@@ -1,0 +1,533 @@
+//! Query-clustering retrieval: k-means over query directions + exact LEMP
+//! for the centroids.
+//!
+//! Reference \[17\] of the paper (Koenigstein, Ram, Shavitt, CIKM 2012)
+//! accelerates Row-Top-k in recommender systems by clustering the *users*
+//! (query vectors) and solving the retrieval problem only for the cluster
+//! centroids. The paper notes that "such a method can directly be applied
+//! in combination with LEMP" — this module is exactly that combination:
+//!
+//! 1. queries are **normalized** and clustered with seeded k-means++ /
+//!    Lloyd iterations (query length does not affect Row-Top-k results,
+//!    Sec. 4.5 of the paper, so clustering directions loses nothing);
+//! 2. an exact LEMP engine retrieves the top-`k·expand` probes for every
+//!    *centroid*;
+//! 3. each query re-scores its centroid's candidate list with exact inner
+//!    products and keeps its own top-`k`.
+//!
+//! The method is approximate — a query's true top-`k` may not appear in
+//! its centroid's candidate list — but all reported scores are exact, and
+//! with one cluster per query it degenerates to the exact algorithm (a
+//! property the tests exploit).
+
+use lemp_core::{Lemp, LempVariant};
+use lemp_linalg::{kernels, ScoredItem, TopK, VectorStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::ApproxError;
+
+/// Configuration of the k-means substrate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters (clamped to the number of points).
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self { k: 64, max_iters: 20, seed: 0xC1u64 }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster centers, one per row.
+    pub centroids: VectorStore,
+    /// Per-point cluster index.
+    pub assignment: Vec<u32>,
+    /// Final sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Objective value after every completed Lloyd iteration.
+    pub inertia_history: Vec<f64>,
+    /// Lloyd iterations actually run (≤ `max_iters`).
+    pub iterations: usize,
+    /// Empty clusters reseeded to far points during the run.
+    pub reseeds: usize,
+}
+
+/// Lloyd's k-means with k-means++ seeding, deterministic under `seed`.
+///
+/// Empty clusters (possible with duplicate points) are reseeded to the
+/// point currently farthest from its assigned centroid.
+///
+/// # Errors
+/// [`ApproxError::InvalidParam`] if `k == 0` or `max_iters == 0`;
+/// [`ApproxError::EmptyInput`] if `data` holds no vectors.
+pub fn kmeans(data: &VectorStore, cfg: &KMeansConfig) -> Result<KMeans, ApproxError> {
+    if cfg.k == 0 {
+        return Err(ApproxError::InvalidParam { name: "k", requirement: "must be positive" });
+    }
+    if cfg.max_iters == 0 {
+        return Err(ApproxError::InvalidParam {
+            name: "max_iters",
+            requirement: "must be positive",
+        });
+    }
+    if data.is_empty() {
+        return Err(ApproxError::EmptyInput { context: "k-means" });
+    }
+    let n = data.len();
+    let dim = data.dim();
+    let k = cfg.k.min(n);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // --- k-means++ seeding -------------------------------------------------
+    let mut centroids = VectorStore::empty(dim).expect("dim > 0");
+    let first = rng.random_range(0..n);
+    centroids.push(data.vector(first)).expect("same dim");
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| kernels::dist_sq(data.vector(i), centroids.vector(0)))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let pick = if total > 0.0 {
+            // Roulette selection proportional to D².
+            let mut target = rng.random::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        } else {
+            // All points coincide with a centroid: any index works.
+            rng.random_range(0..n)
+        };
+        centroids.push(data.vector(pick)).expect("same dim");
+        let c = centroids.len() - 1;
+        for (i, slot) in d2.iter_mut().enumerate() {
+            let d = kernels::dist_sq(data.vector(i), centroids.vector(c));
+            if d < *slot {
+                *slot = d;
+            }
+        }
+    }
+
+    // --- Lloyd iterations ---------------------------------------------------
+    let mut assignment = vec![0u32; n];
+    let mut inertia_history = Vec::new();
+    let mut iterations = 0usize;
+    let mut reseeds = 0usize;
+    let mut sums = vec![0.0f64; k * dim];
+    let mut counts = vec![0usize; k];
+    for _ in 0..cfg.max_iters {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        let mut inertia = 0.0;
+        for (i, slot) in assignment.iter_mut().enumerate() {
+            let x = data.vector(i);
+            let mut best = 0usize;
+            let mut best_d = kernels::dist_sq(x, centroids.vector(0));
+            for c in 1..k {
+                let d = kernels::dist_sq(x, centroids.vector(c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            inertia += best_d;
+            if *slot != best as u32 {
+                *slot = best as u32;
+                changed = true;
+            }
+        }
+        inertia_history.push(inertia);
+        if !changed && iterations > 1 {
+            break;
+        }
+        // Update step.
+        sums.fill(0.0);
+        counts.fill(0);
+        for (i, &a) in assignment.iter().enumerate() {
+            let c = a as usize;
+            kernels::axpy(1.0, data.vector(i), &mut sums[c * dim..(c + 1) * dim]);
+            counts[c] += 1;
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                let inv = 1.0 / counts[c] as f64;
+                let dst = centroids.vector_mut(c);
+                for (d, s) in dst.iter_mut().zip(&sums[c * dim..(c + 1) * dim]) {
+                    *d = s * inv;
+                }
+            } else {
+                // Reseed an empty cluster to the farthest point.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = kernels::dist_sq(
+                            data.vector(a),
+                            centroids.vector(assignment[a] as usize),
+                        );
+                        let db = kernels::dist_sq(
+                            data.vector(b),
+                            centroids.vector(assignment[b] as usize),
+                        );
+                        da.total_cmp(&db)
+                    })
+                    .expect("n > 0");
+                let (src, dst) = (data.vector(far).to_vec(), centroids.vector_mut(c));
+                dst.copy_from_slice(&src);
+                reseeds += 1;
+            }
+        }
+    }
+
+    // The loop can exhaust `max_iters` right after an update step, leaving
+    // assignments stale against the moved centroids; a final assignment-only
+    // pass restores the invariant "every point maps to its nearest centroid"
+    // (it can only lower the objective, so the history stays monotone).
+    for (i, slot) in assignment.iter_mut().enumerate() {
+        let x = data.vector(i);
+        let mut best = 0usize;
+        let mut best_d = kernels::dist_sq(x, centroids.vector(0));
+        for c in 1..k {
+            let d = kernels::dist_sq(x, centroids.vector(c));
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        *slot = best as u32;
+    }
+
+    // Final inertia under the final centroids/assignment.
+    let inertia = (0..n)
+        .map(|i| kernels::dist_sq(data.vector(i), centroids.vector(assignment[i] as usize)))
+        .sum();
+    Ok(KMeans { centroids, assignment, inertia, inertia_history, iterations, reseeds })
+}
+
+/// Configuration of the centroid-based Row-Top-k retriever.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CentroidConfig {
+    /// Number of query clusters.
+    pub clusters: usize,
+    /// Maximum k-means iterations.
+    pub max_iters: usize,
+    /// Centroid candidate multiplier: the exact engine retrieves
+    /// `k · expand` probes per centroid (≥ 1; larger raises recall).
+    pub expand: usize,
+    /// Seed for clustering.
+    pub seed: u64,
+    /// LEMP variant used for the exact centroid retrieval.
+    pub variant: LempVariant,
+}
+
+impl Default for CentroidConfig {
+    fn default() -> Self {
+        Self { clusters: 64, max_iters: 10, expand: 4, seed: 0xC2u64, variant: LempVariant::LI }
+    }
+}
+
+/// Output of [`centroid_row_top_k`].
+#[derive(Debug, Clone)]
+pub struct CentroidOutput {
+    /// Per-query approximate top-`k` (sorted by descending exact score).
+    pub lists: Vec<Vec<ScoredItem>>,
+    /// Clusters actually used (≤ requested; clamped to the query count).
+    pub clusters_used: usize,
+    /// Lloyd iterations the clustering ran.
+    pub kmeans_iterations: usize,
+    /// Candidates retrieved per centroid (`k · expand`, clamped).
+    pub candidates_per_centroid: usize,
+}
+
+/// Approximate Row-Top-k via query clustering (\[17\] + LEMP).
+///
+/// See the module documentation for the algorithm. Returned lists contain
+/// exact scores; only membership is approximate.
+///
+/// # Errors
+/// [`ApproxError::InvalidParam`] on a zero `clusters`, `max_iters` or
+/// `expand`.
+///
+/// # Panics
+/// If query and probe dimensionalities differ.
+pub fn centroid_row_top_k(
+    queries: &VectorStore,
+    probes: &VectorStore,
+    k: usize,
+    cfg: &CentroidConfig,
+) -> Result<CentroidOutput, ApproxError> {
+    if cfg.expand == 0 {
+        return Err(ApproxError::InvalidParam {
+            name: "expand",
+            requirement: "must be positive",
+        });
+    }
+    assert_eq!(
+        queries.dim(),
+        probes.dim(),
+        "dimensionality mismatch: queries {} vs probes {}",
+        queries.dim(),
+        probes.dim()
+    );
+    if queries.is_empty() {
+        return Ok(CentroidOutput {
+            lists: Vec::new(),
+            clusters_used: 0,
+            kmeans_iterations: 0,
+            candidates_per_centroid: 0,
+        });
+    }
+    if probes.is_empty() || k == 0 {
+        return Ok(CentroidOutput {
+            lists: vec![Vec::new(); queries.len()],
+            clusters_used: 0,
+            kmeans_iterations: 0,
+            candidates_per_centroid: 0,
+        });
+    }
+
+    // Cluster *directions*: Row-Top-k is invariant to query length.
+    let (_, directions) = queries.decompose();
+    let km = kmeans(
+        &directions,
+        &KMeansConfig { k: cfg.clusters, max_iters: cfg.max_iters, seed: cfg.seed },
+    )?;
+
+    let cand_k = (k * cfg.expand).min(probes.len());
+    let mut engine = Lemp::builder().variant(cfg.variant).build(probes);
+    let centroid_out = engine.row_top_k(&km.centroids, cand_k);
+
+    let mut lists = Vec::with_capacity(queries.len());
+    let mut top = TopK::new(k);
+    for (i, q) in queries.iter().enumerate() {
+        let candidates = &centroid_out.lists[km.assignment[i] as usize];
+        top.clear();
+        for item in candidates {
+            top.push(item.id, kernels::dot(q, probes.vector(item.id)));
+        }
+        lists.push(top.drain_sorted());
+    }
+    Ok(CentroidOutput {
+        lists,
+        clusters_used: km.centroids.len(),
+        kmeans_iterations: km.iterations,
+        candidates_per_centroid: cand_k,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemp_baselines::types::topk_equivalent;
+    use lemp_baselines::Naive;
+    use lemp_data::synthetic::GeneratorConfig;
+
+    fn fixture(n: usize, seed: u64) -> VectorStore {
+        GeneratorConfig::gaussian(n, 8, 0.8).generate(seed)
+    }
+
+    /// Queries drawn as tight bundles around `c` base directions — the
+    /// regime \[17\] targets (users with shared taste).
+    fn clustered_queries(c: usize, per: usize, dim: usize, seed: u64) -> VectorStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(c * per);
+        for _ in 0..c {
+            let base: Vec<f64> =
+                (0..dim).map(|_| lemp_data::rng::standard_normal(&mut rng)).collect();
+            for _ in 0..per {
+                let row: Vec<f64> = base
+                    .iter()
+                    .map(|&b| b + 0.05 * lemp_data::rng::standard_normal(&mut rng))
+                    .collect();
+                rows.push(row);
+            }
+        }
+        VectorStore::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn kmeans_assignment_is_nearest_centroid() {
+        let data = fixture(200, 1);
+        let km = kmeans(&data, &KMeansConfig { k: 8, max_iters: 15, seed: 2 }).unwrap();
+        assert_eq!(km.centroids.len(), 8);
+        for i in 0..data.len() {
+            let assigned = kernels::dist_sq(
+                data.vector(i),
+                km.centroids.vector(km.assignment[i] as usize),
+            );
+            for c in 0..km.centroids.len() {
+                let d = kernels::dist_sq(data.vector(i), km.centroids.vector(c));
+                assert!(
+                    assigned <= d + 1e-12,
+                    "point {i}: assigned dist {assigned} > dist to centroid {c} = {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_objective_never_increases() {
+        let data = fixture(300, 3);
+        let km = kmeans(&data, &KMeansConfig { k: 10, max_iters: 25, seed: 4 }).unwrap();
+        assert_eq!(km.reseeds, 0, "gaussian data should not need reseeding");
+        for w in km.inertia_history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "objective increased: {} -> {}", w[0], w[1]);
+        }
+        assert!(km.inertia <= km.inertia_history[0] + 1e-9);
+    }
+
+    #[test]
+    fn kmeans_k_clamped_to_point_count() {
+        let data = fixture(5, 5);
+        let km = kmeans(&data, &KMeansConfig { k: 50, max_iters: 5, seed: 6 }).unwrap();
+        assert_eq!(km.centroids.len(), 5);
+        // every point is (a) centroid, inertia 0
+        assert!(km.inertia < 1e-18);
+    }
+
+    #[test]
+    fn kmeans_handles_duplicate_points() {
+        let data = VectorStore::from_rows(&vec![vec![1.0, 2.0]; 20]).unwrap();
+        let km = kmeans(&data, &KMeansConfig { k: 4, max_iters: 5, seed: 7 }).unwrap();
+        assert!(km.inertia < 1e-18);
+        assert!(km.assignment.iter().all(|&a| (a as usize) < km.centroids.len()));
+    }
+
+    #[test]
+    fn kmeans_validates_config() {
+        let data = fixture(10, 8);
+        assert!(kmeans(&data, &KMeansConfig { k: 0, max_iters: 5, seed: 1 }).is_err());
+        assert!(kmeans(&data, &KMeansConfig { k: 2, max_iters: 0, seed: 1 }).is_err());
+        assert!(kmeans(&VectorStore::empty(8).unwrap(), &KMeansConfig::default()).is_err());
+    }
+
+    #[test]
+    fn kmeans_deterministic_given_seed() {
+        let data = fixture(100, 9);
+        let a = kmeans(&data, &KMeansConfig { k: 6, max_iters: 10, seed: 11 }).unwrap();
+        let b = kmeans(&data, &KMeansConfig { k: 6, max_iters: 10, seed: 11 }).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.centroids.as_flat(), b.centroids.as_flat());
+    }
+
+    #[test]
+    fn one_cluster_per_query_is_exact() {
+        let queries = fixture(30, 10);
+        let probes = fixture(150, 11);
+        let k = 5;
+        let cfg = CentroidConfig {
+            clusters: queries.len(),
+            max_iters: 15,
+            expand: 1,
+            seed: 12,
+            variant: LempVariant::LI,
+        };
+        let out = centroid_row_top_k(&queries, &probes, k, &cfg).unwrap();
+        assert_eq!(out.clusters_used, queries.len());
+        let (expect, _) = Naive.row_top_k(&queries, &probes, k);
+        assert!(
+            topk_equivalent(&out.lists, &expect, 1e-9),
+            "one-cluster-per-query centroid retrieval must be exact"
+        );
+    }
+
+    #[test]
+    fn clustered_queries_reach_high_recall_with_few_clusters() {
+        let queries = clustered_queries(6, 25, 8, 13);
+        let probes = fixture(400, 14);
+        let k = 10;
+        let cfg = CentroidConfig {
+            clusters: 6,
+            max_iters: 20,
+            expand: 4,
+            seed: 15,
+            variant: LempVariant::LI,
+        };
+        let out = centroid_row_top_k(&queries, &probes, k, &cfg).unwrap();
+        let (truth, _) = Naive.row_top_k(&queries, &probes, k);
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for (got, want) in out.lists.iter().zip(&truth) {
+            let got_ids: Vec<usize> = got.iter().map(|s| s.id).collect();
+            hit += want.iter().filter(|w| got_ids.contains(&w.id)).count();
+            total += want.len();
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall > 0.9, "recall {recall} too low for tightly clustered queries");
+    }
+
+    #[test]
+    fn scores_are_exact_and_sorted() {
+        let queries = fixture(10, 16);
+        let probes = fixture(80, 17);
+        let out =
+            centroid_row_top_k(&queries, &probes, 4, &CentroidConfig::default()).unwrap();
+        for (i, list) in out.lists.iter().enumerate() {
+            for w in list.windows(2) {
+                assert!(w[0].score >= w[1].score, "list {i} not sorted");
+            }
+            for item in list {
+                let exact = kernels::dot(queries.vector(i), probes.vector(item.id));
+                assert!((item.score - exact).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let queries = fixture(5, 18);
+        let probes = fixture(20, 19);
+        let empty_q = VectorStore::empty(8).unwrap();
+        let out =
+            centroid_row_top_k(&empty_q, &probes, 3, &CentroidConfig::default()).unwrap();
+        assert!(out.lists.is_empty());
+
+        let empty_p = VectorStore::empty(8).unwrap();
+        let out =
+            centroid_row_top_k(&queries, &empty_p, 3, &CentroidConfig::default()).unwrap();
+        assert_eq!(out.lists.len(), 5);
+        assert!(out.lists.iter().all(Vec::is_empty));
+
+        let out = centroid_row_top_k(&queries, &probes, 0, &CentroidConfig::default()).unwrap();
+        assert!(out.lists.iter().all(Vec::is_empty));
+
+        let bad = CentroidConfig { expand: 0, ..Default::default() };
+        assert!(centroid_row_top_k(&queries, &probes, 3, &bad).is_err());
+    }
+
+    #[test]
+    fn expand_improves_recall() {
+        let queries = clustered_queries(4, 20, 8, 20);
+        let probes = fixture(300, 21);
+        let k = 8;
+        let (truth, _) = Naive.row_top_k(&queries, &probes, k);
+        let recall_at = |expand: usize| {
+            let cfg = CentroidConfig { clusters: 4, expand, seed: 22, ..Default::default() };
+            let out = centroid_row_top_k(&queries, &probes, k, &cfg).unwrap();
+            let mut hit = 0;
+            let mut total = 0;
+            for (got, want) in out.lists.iter().zip(&truth) {
+                let ids: Vec<usize> = got.iter().map(|s| s.id).collect();
+                hit += want.iter().filter(|w| ids.contains(&w.id)).count();
+                total += want.len();
+            }
+            hit as f64 / total as f64
+        };
+        let r1 = recall_at(1);
+        let r8 = recall_at(8);
+        assert!(r8 >= r1 - 1e-12, "recall should not drop with larger expand: {r1} vs {r8}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for approximate-retrieval construction and configuration.
+
+use std::fmt;
+
+/// Errors raised when building an approximate index from invalid parameters
+/// or inputs.
+///
+/// Query-time misuse that indicates a caller bug (dimension mismatch,
+/// out-of-range ids) panics instead, matching the convention of
+/// `lemp-core`: recoverable configuration problems are `Result`s, broken
+/// invariants are panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApproxError {
+    /// A numeric parameter was outside its valid range.
+    InvalidParam {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint that was violated.
+        requirement: &'static str,
+    },
+    /// The input vector set was empty where at least one vector is required.
+    EmptyInput {
+        /// What the vectors were needed for.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for ApproxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApproxError::InvalidParam { name, requirement } => {
+                write!(f, "invalid parameter `{name}`: {requirement}")
+            }
+            ApproxError::EmptyInput { context } => {
+                write!(f, "empty input: {context} requires at least one vector")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApproxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ApproxError::InvalidParam { name: "bits", requirement: "must be positive" };
+        let s = e.to_string();
+        assert!(s.contains("bits"));
+        assert!(s.contains("positive"));
+        let e = ApproxError::EmptyInput { context: "k-means" };
+        assert!(e.to_string().contains("k-means"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(ApproxError::EmptyInput { context: "XBOX transform" });
+        assert!(e.to_string().contains("XBOX"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Approximate maximum-inner-product search: the LEMP paper's related-work
+//! extensions, built from scratch.
+//!
+//! The LEMP paper (Teflioudi et al., SIGMOD 2015) focuses on **exact**
+//! retrieval of large entries in a matrix product, but its related-work
+//! section (Sec. 5) surveys three approximate families and notes they can
+//! be combined with — or compared against — the LEMP framework. This crate
+//! implements all three on top of the same substrates as the exact engine:
+//!
+//! | Module | Paper reference | Method |
+//! |---|---|---|
+//! | [`transform`] | \[15\] Shrivastava & Li, \[16\] Bachrach et al. | asymmetric MIPS→cosine/Euclidean reductions ([`AlshTransform`], [`XboxTransform`]) |
+//! | [`srp`] | \[15\], \[9\] | sign-random-projection LSH with Hamming ranking ([`SrpLsh`]) and banded tables ([`SrpTables`]) |
+//! | [`pca_tree`] | \[16\] | PCA-tree with budgeted backtracking ([`PcaTree`]) |
+//! | [`centroids`] | \[17\] Koenigstein et al. | query k-means + exact LEMP per centroid ([`centroid_row_top_k`]) |
+//! | [`recall`] | — | tie-tolerant recall/precision metrics for grading all of the above |
+//!
+//! Every method here verifies its candidates with exact inner products, so
+//! reported scores are always correct — only *recall* (which probes make
+//! the candidate set) is approximate. Each index exposes a knob trading
+//! time for recall (`budget`, `tables`, `leaf_budget`, `expand`), and each
+//! degenerates to the exact answer at the knob's maximum, which the test
+//! suite verifies.
+//!
+//! # Example
+//!
+//! ```
+//! use lemp_approx::{PcaTree, PcaTreeConfig};
+//! use lemp_linalg::VectorStore;
+//!
+//! let probes = VectorStore::from_rows(&[
+//!     vec![1.0, 0.0],
+//!     vec![0.8, 0.6],
+//!     vec![0.0, 1.0],
+//! ]).unwrap();
+//! let tree = PcaTree::build(&probes, &PcaTreeConfig::default()).unwrap();
+//! // Full leaf budget => exact top-1.
+//! let top = tree.query_top_k(&[2.0, 0.1], 1, tree.leaves());
+//! assert_eq!(top[0].id, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod centroids;
+pub mod error;
+pub mod pca_tree;
+pub mod recall;
+pub mod srp;
+pub mod transform;
+
+pub use centroids::{centroid_row_top_k, kmeans, CentroidConfig, CentroidOutput, KMeans, KMeansConfig};
+pub use error::ApproxError;
+pub use pca_tree::{PcaTree, PcaTreeConfig};
+pub use srp::{SrpConfig, SrpLsh, SrpTables, SrpTablesConfig};
+pub use transform::{AlshTransform, MipsTransform, XboxTransform};

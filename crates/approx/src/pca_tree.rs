@@ -1,0 +1,462 @@
+//! PCA-tree retrieval over the XBOX MIPS transform.
+//!
+//! Reference \[16\] of the paper (Bachrach et al., RecSys 2014) speeds up
+//! the Xbox recommender by reducing MIPS to Euclidean search (see
+//! [`crate::transform::XboxTransform`]) and then searching a *PCA tree*: a
+//! binary space partition that recursively splits the point set at the
+//! median of its principal component. This module reproduces that design:
+//!
+//! * principal directions are found with seeded power iteration on the
+//!   (implicitly centered) covariance — no eigen library needed;
+//! * leaves hold contiguous id ranges of a permutation array, so a leaf
+//!   visit is a cache-friendly sequential scan;
+//! * queries descend to their home leaf and then *backtrack* through the
+//!   most promising unexplored subtrees (smallest projection margin first)
+//!   until a leaf budget is exhausted.
+//!
+//! With a budget of all leaves the search degenerates to an exact scan —
+//! the test suite exploits this to validate the traversal. Every candidate
+//! is verified against the original probe vectors, so scores are exact and
+//! only *recall* is approximate.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use lemp_linalg::{kernels, ScoredItem, TopK, VectorStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::ApproxError;
+use crate::transform::{MipsTransform, XboxTransform};
+
+/// Construction parameters of a [`PcaTree`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcaTreeConfig {
+    /// Maximum number of points per leaf.
+    pub leaf_size: usize,
+    /// Power-iteration rounds per split (20 is ample for a split axis —
+    /// the split only needs the *rough* principal direction).
+    pub power_iters: usize,
+    /// Seed for the power-iteration start vectors.
+    pub seed: u64,
+}
+
+impl Default for PcaTreeConfig {
+    fn default() -> Self {
+        Self { leaf_size: 32, power_iters: 20, seed: 0x9CA }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Internal {
+        /// Split axis (unit vector in transformed space).
+        axis: Box<[f64]>,
+        /// Split threshold on the raw projection `xᵀaxis`.
+        split: f64,
+        left: u32,
+        right: u32,
+    },
+    Leaf {
+        /// Range `perm[start..end]` of probe ids in this leaf.
+        start: u32,
+        end: u32,
+    },
+}
+
+/// A PCA tree over a probe set, answering approximate Row-Top-k queries by
+/// inner product.
+#[derive(Debug, Clone)]
+pub struct PcaTree {
+    transform: XboxTransform,
+    nodes: Vec<Node>,
+    perm: Vec<u32>,
+    /// Original probes, for exact candidate verification.
+    probes: VectorStore,
+    leaves: usize,
+}
+
+impl PcaTree {
+    /// Builds the tree over the probe set.
+    ///
+    /// # Errors
+    /// [`ApproxError::InvalidParam`] if `leaf_size == 0` or
+    /// `power_iters == 0`; [`ApproxError::EmptyInput`] if `probes` is
+    /// empty.
+    pub fn build(probes: &VectorStore, cfg: &PcaTreeConfig) -> Result<Self, ApproxError> {
+        if cfg.leaf_size == 0 {
+            return Err(ApproxError::InvalidParam {
+                name: "leaf_size",
+                requirement: "must be positive",
+            });
+        }
+        if cfg.power_iters == 0 {
+            return Err(ApproxError::InvalidParam {
+                name: "power_iters",
+                requirement: "must be positive",
+            });
+        }
+        let transform = XboxTransform::fit(probes)?;
+        let points = transform.transform_probes(probes);
+        let mut perm: Vec<u32> = (0..probes.len() as u32).collect();
+        let mut nodes = Vec::new();
+        let mut leaves = 0usize;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut builder = Builder {
+            points: &points,
+            cfg,
+            nodes: &mut nodes,
+            leaves: &mut leaves,
+            rng: &mut rng,
+        };
+        let n = perm.len();
+        builder.split(&mut perm, 0, n);
+        Ok(Self { transform, nodes, perm, probes: probes.clone(), leaves })
+    }
+
+    /// Number of leaves (the unit of the search budget).
+    pub fn leaves(&self) -> usize {
+        self.leaves
+    }
+
+    /// Number of indexed probes.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// `true` if no probes are indexed (unreachable via [`Self::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// Approximate top-`k` probes by inner product with `q`, visiting at
+    /// most `leaf_budget` leaves (clamped to at least 1). With
+    /// `leaf_budget ≥ self.leaves()` the result is exact.
+    ///
+    /// # Panics
+    /// If `q.len()` differs from the probe dimensionality.
+    pub fn query_top_k(&self, q: &[f64], k: usize, leaf_budget: usize) -> Vec<ScoredItem> {
+        assert_eq!(
+            q.len(),
+            self.probes.dim(),
+            "dimensionality mismatch: query {} vs probes {}",
+            q.len(),
+            self.probes.dim()
+        );
+        if k == 0 || self.probes.is_empty() {
+            return Vec::new();
+        }
+        let mut tq = Vec::with_capacity(self.transform.output_dim(q.len()));
+        self.transform.transform_query(q, &mut tq);
+
+        let mut top = TopK::new(k);
+        let mut visited = 0usize;
+        let budget = leaf_budget.max(1);
+        // Best-first backtracking: frontier of (margin, node id), smallest
+        // projection margin first. The root enters with margin 0.
+        let mut frontier: BinaryHeap<Reverse<(Margin, u32)>> = BinaryHeap::new();
+        frontier.push(Reverse((Margin(0.0), 0)));
+        while let Some(Reverse((_, mut node))) = frontier.pop() {
+            if visited >= budget {
+                break;
+            }
+            // Descend to the near leaf, deferring far children.
+            loop {
+                match &self.nodes[node as usize] {
+                    Node::Internal { axis, split, left, right } => {
+                        let proj = kernels::dot(&tq, axis);
+                        let margin = Margin((proj - split).abs());
+                        let (near, far) =
+                            if proj < *split { (*left, *right) } else { (*right, *left) };
+                        frontier.push(Reverse((margin, far)));
+                        node = near;
+                    }
+                    Node::Leaf { start, end } => {
+                        for &id in &self.perm[*start as usize..*end as usize] {
+                            let value = kernels::dot(q, self.probes.vector(id as usize));
+                            top.push(id as usize, value);
+                        }
+                        visited += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        top.drain_sorted()
+    }
+
+    /// [`Self::query_top_k`] for every row of `queries`.
+    ///
+    /// # Panics
+    /// If the dimensionalities differ.
+    pub fn row_top_k(
+        &self,
+        queries: &VectorStore,
+        k: usize,
+        leaf_budget: usize,
+    ) -> Vec<Vec<ScoredItem>> {
+        queries.iter().map(|q| self.query_top_k(q, k, leaf_budget)).collect()
+    }
+}
+
+/// Total-ordered wrapper for margin priorities (finite by construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Margin(f64);
+
+impl Eq for Margin {}
+
+impl PartialOrd for Margin {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Margin {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+struct Builder<'a> {
+    points: &'a VectorStore,
+    cfg: &'a PcaTreeConfig,
+    nodes: &'a mut Vec<Node>,
+    leaves: &'a mut usize,
+    rng: &'a mut StdRng,
+}
+
+impl Builder<'_> {
+    /// Builds the subtree over `perm[start..end]`, returning its node id.
+    fn split(&mut self, perm: &mut [u32], start: usize, end: usize) -> u32 {
+        let id = self.nodes.len() as u32;
+        let len = end - start;
+        if len <= self.cfg.leaf_size {
+            return self.leaf(start, end);
+        }
+        let Some(axis) = self.principal_axis(&perm[start..end]) else {
+            // Degenerate range (all points identical): no split axis exists.
+            return self.leaf(start, end);
+        };
+
+        // Sort the range by projection and split at the median.
+        let mut scored: Vec<(f64, u32)> = perm[start..end]
+            .iter()
+            .map(|&p| (kernels::dot(self.points.vector(p as usize), &axis), p))
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mid = len / 2;
+        if scored[mid - 1].0 == scored[scored.len() - 1].0 && scored[0].0 == scored[mid].0 {
+            // All projections equal: splitting would strand one side empty.
+            return self.leaf(start, end);
+        }
+        let split = 0.5 * (scored[mid - 1].0 + scored[mid].0);
+        // `split` may coincide with one side under ties; the partition by
+        // *rank* (not by value) keeps both children non-empty regardless.
+        for (slot, (_, p)) in perm[start..end].iter_mut().zip(&scored) {
+            *slot = *p;
+        }
+
+        self.nodes.push(Node::Internal {
+            axis: axis.into_boxed_slice(),
+            split,
+            left: 0,
+            right: 0,
+        });
+        let left = self.split(perm, start, start + mid);
+        let right = self.split(perm, start + mid, end);
+        match &mut self.nodes[id as usize] {
+            Node::Internal { left: l, right: r, .. } => {
+                *l = left;
+                *r = right;
+            }
+            Node::Leaf { .. } => unreachable!("node {id} was pushed as Internal"),
+        }
+        id
+    }
+
+    fn leaf(&mut self, start: usize, end: usize) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node::Leaf { start: start as u32, end: end as u32 });
+        *self.leaves += 1;
+        id
+    }
+
+    /// Leading principal direction of the centered points via power
+    /// iteration; `None` when the points carry no variance.
+    fn principal_axis(&mut self, ids: &[u32]) -> Option<Vec<f64>> {
+        let dim = self.points.dim();
+        let inv_n = 1.0 / ids.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for &p in ids {
+            kernels::axpy(inv_n, self.points.vector(p as usize), &mut mean);
+        }
+
+        let mut v: Vec<f64> = (0..dim).map(|_| lemp_data::rng::standard_normal(self.rng)).collect();
+        if kernels::normalize(&mut v) == 0.0 {
+            v[0] = 1.0; // astronomically unlikely, but keep the start valid
+        }
+        let mut next = vec![0.0; dim];
+        let mut centered = vec![0.0; dim];
+        for _ in 0..self.cfg.power_iters {
+            next.fill(0.0);
+            // next = Σ ((x−μ)ᵀv)(x−μ), the covariance matvec without
+            // materializing the matrix.
+            for &p in ids {
+                centered.copy_from_slice(self.points.vector(p as usize));
+                kernels::axpy(-1.0, &mean, &mut centered);
+                let w = kernels::dot(&centered, &v);
+                kernels::axpy(w, &centered, &mut next);
+            }
+            if kernels::normalize(&mut next) == 0.0 {
+                return None; // zero covariance: all points identical
+            }
+            std::mem::swap(&mut v, &mut next);
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemp_data::synthetic::GeneratorConfig;
+
+    fn fixture(n: usize, seed: u64) -> VectorStore {
+        GeneratorConfig::gaussian(n, 10, 0.8).generate(seed)
+    }
+
+    fn exact_top_k(q: &[f64], probes: &VectorStore, k: usize) -> Vec<usize> {
+        let mut top = TopK::new(k);
+        for j in 0..probes.len() {
+            top.push(j, kernels::dot(q, probes.vector(j)));
+        }
+        top.drain_sorted().into_iter().map(|s| s.id).collect()
+    }
+
+    #[test]
+    fn full_budget_is_exact() {
+        let probes = fixture(250, 1);
+        let queries = fixture(20, 2);
+        let tree = PcaTree::build(&probes, &PcaTreeConfig::default()).unwrap();
+        assert!(tree.leaves() >= 8);
+        for i in 0..queries.len() {
+            let q = queries.vector(i);
+            let got: Vec<usize> =
+                tree.query_top_k(q, 7, tree.leaves()).into_iter().map(|s| s.id).collect();
+            assert_eq!(got, exact_top_k(q, &probes, 7), "query {i}");
+        }
+    }
+
+    #[test]
+    fn leaves_partition_the_probe_set() {
+        let probes = fixture(333, 3);
+        let tree = PcaTree::build(&probes, &PcaTreeConfig { leaf_size: 16, ..Default::default() })
+            .unwrap();
+        let mut seen = vec![false; probes.len()];
+        let mut leaf_count = 0;
+        for node in &tree.nodes {
+            if let Node::Leaf { start, end } = node {
+                leaf_count += 1;
+                assert!(end > start, "empty leaf");
+                assert!(*end as usize - *start as usize <= 16 * 2, "oversized leaf");
+                for &id in &tree.perm[*start as usize..*end as usize] {
+                    assert!(!seen[id as usize], "probe {id} in two leaves");
+                    seen[id as usize] = true;
+                }
+            }
+        }
+        assert_eq!(leaf_count, tree.leaves());
+        assert!(seen.iter().all(|&s| s), "some probe missing from all leaves");
+    }
+
+    #[test]
+    fn single_leaf_budget_finds_good_answers() {
+        let probes = fixture(500, 4);
+        let queries = fixture(50, 5);
+        let tree = PcaTree::build(&probes, &PcaTreeConfig::default()).unwrap();
+        let k = 1;
+        let mut hit = 0usize;
+        for i in 0..queries.len() {
+            let q = queries.vector(i);
+            let truth = exact_top_k(q, &probes, k);
+            let got: Vec<usize> = tree.query_top_k(q, k, 4).into_iter().map(|s| s.id).collect();
+            hit += truth.iter().filter(|t| got.contains(t)).count();
+        }
+        // 4 of ~16 leaves: well above chance (4/16) because backtracking
+        // follows the projection margins.
+        assert!(hit as f64 / queries.len() as f64 > 0.55, "hit rate {hit}/{}", queries.len());
+    }
+
+    #[test]
+    fn recall_is_monotone_in_budget_on_average() {
+        let probes = fixture(400, 6);
+        let queries = fixture(30, 7);
+        let tree = PcaTree::build(&probes, &PcaTreeConfig::default()).unwrap();
+        let k = 5;
+        let recall = |budget: usize| {
+            let mut hit = 0;
+            let mut total = 0;
+            for i in 0..queries.len() {
+                let q = queries.vector(i);
+                let truth = exact_top_k(q, &probes, k);
+                let got: Vec<usize> =
+                    tree.query_top_k(q, k, budget).into_iter().map(|s| s.id).collect();
+                hit += truth.iter().filter(|t| got.contains(t)).count();
+                total += truth.len();
+            }
+            hit as f64 / total as f64
+        };
+        let r1 = recall(1);
+        let r4 = recall(4);
+        let rall = recall(tree.leaves());
+        assert!(r1 <= r4 + 0.05 && r4 <= rall + 1e-12, "{r1} {r4} {rall}");
+        assert_eq!(rall, 1.0);
+    }
+
+    #[test]
+    fn duplicate_points_build_and_answer() {
+        let row = vec![1.0, 2.0, 3.0];
+        let probes = VectorStore::from_rows(&vec![row.clone(); 100]).unwrap();
+        let tree = PcaTree::build(&probes, &PcaTreeConfig { leaf_size: 8, ..Default::default() })
+            .unwrap();
+        // no split axis exists, everything collapses into one leaf
+        assert_eq!(tree.leaves(), 1);
+        let got = tree.query_top_k(&[1.0, 0.0, 0.0], 3, 1);
+        assert_eq!(got.len(), 3);
+        for item in got {
+            assert!((item.score - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let probes = fixture(10, 8);
+        assert!(PcaTree::build(&probes, &PcaTreeConfig { leaf_size: 0, ..Default::default() })
+            .is_err());
+        assert!(PcaTree::build(&probes, &PcaTreeConfig { power_iters: 0, ..Default::default() })
+            .is_err());
+        assert!(PcaTree::build(&VectorStore::empty(10).unwrap(), &PcaTreeConfig::default())
+            .is_err());
+    }
+
+    #[test]
+    fn zero_k_returns_empty() {
+        let probes = fixture(20, 9);
+        let tree = PcaTree::build(&probes, &PcaTreeConfig::default()).unwrap();
+        assert!(tree.query_top_k(probes.vector(0), 0, 10).is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let probes = fixture(120, 10);
+        let q = fixture(1, 11);
+        let a = PcaTree::build(&probes, &PcaTreeConfig { seed: 5, ..Default::default() }).unwrap();
+        let b = PcaTree::build(&probes, &PcaTreeConfig { seed: 5, ..Default::default() }).unwrap();
+        let ra = a.query_top_k(q.vector(0), 5, 2);
+        let rb = b.query_top_k(q.vector(0), 5, 2);
+        assert_eq!(ra.len(), rb.len());
+        for (x, y) in ra.iter().zip(&rb) {
+            assert_eq!((x.id, x.score), (y.id, y.score));
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Recall metrics for evaluating approximate retrieval against exact
+//! ground truth.
+//!
+//! The paper evaluates only exact methods (plus the ε-bounded BayesLSH
+//! bucket variant); this module provides the measurement harness that the
+//! approximate extensions ([`crate::SrpLsh`], [`crate::PcaTree`],
+//! [`crate::centroid_row_top_k`]) are graded with in tests, examples and
+//! benches. All metrics are *tie-tolerant*: an approximate result that
+//! returns a probe whose exact score ties the k-th true score (within a
+//! tolerance) counts as a hit, mirroring how
+//! `lemp_baselines::types::topk_equivalent` compares exact algorithms.
+
+use lemp_baselines::types::{Entry, TopKLists};
+
+/// Mean Row-Top-k recall over all queries.
+///
+/// For each query the *score threshold* is the smallest score in the true
+/// top-`k` list minus `tol`; every returned item scoring at or above it is
+/// a hit (this forgives tie reorderings at the boundary). The per-query
+/// recall is `hits / |truth|`, and queries with empty truth count as
+/// recall 1. Returns 1.0 for an empty query set.
+///
+/// # Panics
+/// If the two list collections disagree on the number of queries.
+pub fn topk_recall(truth: &TopKLists, got: &TopKLists, tol: f64) -> f64 {
+    assert_eq!(truth.len(), got.len(), "query counts differ: {} vs {}", truth.len(), got.len());
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    for (want, have) in truth.iter().zip(got) {
+        total += query_recall(want, have, tol);
+    }
+    total / truth.len() as f64
+}
+
+/// Recall of a single query's approximate list against its true list.
+fn query_recall(truth: &[lemp_linalg::ScoredItem], got: &[lemp_linalg::ScoredItem], tol: f64) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let kth = truth
+        .iter()
+        .map(|s| s.score)
+        .fold(f64::INFINITY, f64::min);
+    let hits = got.iter().filter(|s| s.score >= kth - tol).count().min(truth.len());
+    hits as f64 / truth.len() as f64
+}
+
+/// Recall of an Above-θ result: the fraction of true `(query, probe)`
+/// pairs present in the approximate result. Returns 1.0 when the truth is
+/// empty.
+pub fn pair_recall(truth: &[Entry], got: &[Entry]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let mut got_pairs: Vec<(u32, u32)> = got.iter().map(|e| (e.query, e.probe)).collect();
+    got_pairs.sort_unstable();
+    got_pairs.dedup();
+    let hits = truth
+        .iter()
+        .filter(|e| got_pairs.binary_search(&(e.query, e.probe)).is_ok())
+        .count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Precision of an Above-θ result: the fraction of returned pairs that are
+/// true results. Returns 1.0 when nothing was returned (an empty answer
+/// makes no false claims).
+pub fn pair_precision(truth: &[Entry], got: &[Entry]) -> f64 {
+    if got.is_empty() {
+        return 1.0;
+    }
+    let mut truth_pairs: Vec<(u32, u32)> = truth.iter().map(|e| (e.query, e.probe)).collect();
+    truth_pairs.sort_unstable();
+    let hits = got
+        .iter()
+        .filter(|e| truth_pairs.binary_search(&(e.query, e.probe)).is_ok())
+        .count();
+    hits as f64 / got.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemp_linalg::ScoredItem;
+
+    fn item(id: usize, score: f64) -> ScoredItem {
+        ScoredItem { id, score }
+    }
+
+    #[test]
+    fn recall_of_truth_vs_itself_is_one() {
+        let truth = vec![
+            vec![item(0, 2.0), item(3, 1.5)],
+            vec![item(1, 0.9)],
+            vec![],
+        ];
+        assert_eq!(topk_recall(&truth, &truth, 1e-9), 1.0);
+    }
+
+    #[test]
+    fn recall_counts_score_ties_as_hits() {
+        let truth = vec![vec![item(0, 2.0), item(1, 1.0)]];
+        // Different id but the same boundary score: a legitimate tie swap.
+        let got = vec![vec![item(0, 2.0), item(7, 1.0)]];
+        assert_eq!(topk_recall(&truth, &got, 1e-9), 1.0);
+        // Strictly worse second item: half recall.
+        let got = vec![vec![item(0, 2.0), item(7, 0.5)]];
+        assert_eq!(topk_recall(&truth, &got, 1e-9), 0.5);
+    }
+
+    #[test]
+    fn recall_missing_everything_is_zero() {
+        let truth = vec![vec![item(0, 2.0)]];
+        let got = vec![vec![]];
+        assert_eq!(topk_recall(&truth, &got, 1e-9), 0.0);
+    }
+
+    #[test]
+    fn recall_caps_hits_at_truth_size() {
+        // More returned items above the threshold than the truth holds
+        // (possible when k_got > k_truth): recall stays ≤ 1.
+        let truth = vec![vec![item(0, 1.0)]];
+        let got = vec![vec![item(0, 1.2), item(1, 1.1)]];
+        assert_eq!(topk_recall(&truth, &got, 1e-9), 1.0);
+    }
+
+    #[test]
+    fn empty_query_set() {
+        assert_eq!(topk_recall(&vec![], &vec![], 1e-9), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "query counts differ")]
+    fn mismatched_query_counts_panic() {
+        let _ = topk_recall(&vec![vec![]], &vec![], 1e-9);
+    }
+
+    fn entry(q: u32, p: u32) -> Entry {
+        Entry { query: q, probe: p, value: 1.0 }
+    }
+
+    #[test]
+    fn pair_recall_and_precision() {
+        let truth = vec![entry(0, 1), entry(0, 2), entry(1, 0)];
+        let got = vec![entry(0, 1), entry(1, 0), entry(2, 2)];
+        assert!((pair_recall(&truth, &got) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((pair_precision(&truth, &got) - 2.0 / 3.0).abs() < 1e-12);
+        // duplicates in `got` do not inflate recall
+        let dup = vec![entry(0, 1), entry(0, 1)];
+        assert!((pair_recall(&truth, &dup) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_metrics_empty_cases() {
+        assert_eq!(pair_recall(&[], &[entry(0, 0)]), 1.0);
+        assert_eq!(pair_precision(&[entry(0, 0)], &[]), 1.0);
+        assert_eq!(pair_recall(&[entry(0, 0)], &[]), 0.0);
+    }
+}

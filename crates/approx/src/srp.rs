@@ -1,0 +1,562 @@
+//! Sign-random-projection LSH over a MIPS transform.
+//!
+//! This is the classic random-hyperplane sketch of Charikar applied to the
+//! large-entry retrieval problem the way the paper's related work \[15, 16\]
+//! does: first reduce MIPS to angular similarity with an asymmetric
+//! transform (see [`crate::transform`]), then index the transformed probe
+//! vectors with `b`-bit sign signatures. Two query strategies are provided:
+//!
+//! * **Hamming ranking** ([`SrpLsh::query_top_k`]) — scan all probe
+//!   signatures (cheap XOR + popcount over packed words), keep the `budget`
+//!   probes with the smallest Hamming distance, verify those exactly
+//!   against the *original* probe vectors, and return the top-`k`. Recall
+//!   is tuned by `budget` and the signature width.
+//! * **Banded tables** ([`SrpTables`]) — the OR-of-ANDs amplification:
+//!   signatures are split into `t` bands of `r` bits; probes colliding with
+//!   the query on *any* full band become candidates. Classic LSH bucketing
+//!   with tunable collision probability `1 − (1 − pʳ)ᵗ`.
+//!
+//! Both are **approximate**: they can miss true results (bounded
+//! empirically in tests and benches) but never report a false positive,
+//! because every candidate is re-scored with an exact inner product.
+
+use lemp_linalg::{kernels, ScoredItem, TopK, VectorStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::ApproxError;
+use crate::transform::{MipsTransform, XboxTransform};
+
+/// Configuration of the SRP signature family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SrpConfig {
+    /// Signature width in bits (packed into `⌈bits/64⌉` words per probe).
+    pub bits: usize,
+    /// Seed for the random hyperplanes (derandomized experiments).
+    pub seed: u64,
+}
+
+impl Default for SrpConfig {
+    fn default() -> Self {
+        Self { bits: 128, seed: 0x5e_ed }
+    }
+}
+
+/// Packed sign signatures of a vector set under shared random hyperplanes.
+#[derive(Debug, Clone)]
+struct SignatureSet {
+    /// Hyperplane directions, one per bit, in transformed space.
+    planes: VectorStore,
+    /// `len × words` packed signature matrix.
+    sigs: Vec<u64>,
+    words: usize,
+    bits: usize,
+}
+
+impl SignatureSet {
+    fn build(points: &VectorStore, bits: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = points.dim();
+        let mut flat = Vec::with_capacity(bits * dim);
+        for _ in 0..bits * dim {
+            flat.push(lemp_data::rng::standard_normal(&mut rng));
+        }
+        let planes = VectorStore::from_flat(flat, dim).expect("gaussian values are finite");
+        let words = bits.div_ceil(64);
+        let mut sigs = vec![0u64; points.len() * words];
+        let mut buf = vec![0u64; words];
+        for (i, p) in points.iter().enumerate() {
+            Self::sign_bits(&planes, p, &mut buf);
+            sigs[i * words..(i + 1) * words].copy_from_slice(&buf);
+        }
+        Self { planes, sigs, words, bits }
+    }
+
+    /// Writes the packed sign signature of `v` into `out`.
+    fn sign_bits(planes: &VectorStore, v: &[f64], out: &mut [u64]) {
+        out.fill(0);
+        for (bit, h) in planes.iter().enumerate() {
+            if kernels::dot(h, v) >= 0.0 {
+                out[bit / 64] |= 1 << (bit % 64);
+            }
+        }
+    }
+
+    #[inline]
+    fn signature(&self, i: usize) -> &[u64] {
+        &self.sigs[i * self.words..(i + 1) * self.words]
+    }
+
+    #[inline]
+    fn hamming(a: &[u64], b: &[u64]) -> u32 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+    }
+}
+
+/// Approximate Row-Top-k via XBOX transform + SRP signatures + Hamming
+/// ranking, with exact re-scoring of the candidate set.
+#[derive(Debug, Clone)]
+pub struct SrpLsh {
+    transform: XboxTransform,
+    signatures: SignatureSet,
+    /// Original (untransformed) probes for exact verification.
+    probes: VectorStore,
+}
+
+impl SrpLsh {
+    /// Builds the index over the probe set.
+    ///
+    /// # Errors
+    /// [`ApproxError::InvalidParam`] if `bits == 0`;
+    /// [`ApproxError::EmptyInput`] if `probes` is empty.
+    pub fn build(probes: &VectorStore, cfg: &SrpConfig) -> Result<Self, ApproxError> {
+        if cfg.bits == 0 {
+            return Err(ApproxError::InvalidParam {
+                name: "bits",
+                requirement: "must be positive",
+            });
+        }
+        let transform = XboxTransform::fit(probes)?;
+        let transformed = transform.transform_probes(probes);
+        let signatures = SignatureSet::build(&transformed, cfg.bits, cfg.seed);
+        Ok(Self { transform, signatures, probes: probes.clone() })
+    }
+
+    /// Signature width in bits.
+    pub fn bits(&self) -> usize {
+        self.signatures.bits
+    }
+
+    /// Number of indexed probes.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// `true` if no probes are indexed (unreachable via [`Self::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// Approximate top-`k` probes by inner product with `q`.
+    ///
+    /// `budget` is the number of Hamming-nearest candidates verified
+    /// exactly (clamped to at least `k`); larger budgets trade time for
+    /// recall. Results are sorted by descending inner product, ties by
+    /// ascending probe id.
+    ///
+    /// # Panics
+    /// If `q.len()` differs from the probe dimensionality.
+    pub fn query_top_k(&self, q: &[f64], k: usize, budget: usize) -> Vec<ScoredItem> {
+        assert_eq!(
+            q.len(),
+            self.probes.dim(),
+            "dimensionality mismatch: query {} vs probes {}",
+            q.len(),
+            self.probes.dim()
+        );
+        if k == 0 || self.probes.is_empty() {
+            return Vec::new();
+        }
+        let budget = budget.max(k).min(self.probes.len());
+
+        let mut tq = Vec::with_capacity(self.transform.output_dim(q.len()));
+        self.transform.transform_query(q, &mut tq);
+        let mut qsig = vec![0u64; self.signatures.words];
+        SignatureSet::sign_bits(&self.signatures.planes, &tq, &mut qsig);
+
+        // Keep the `budget` smallest Hamming distances: a bounded top-k
+        // selector over the negated distance.
+        let mut nearest = TopK::new(budget);
+        for j in 0..self.probes.len() {
+            let d = SignatureSet::hamming(&qsig, self.signatures.signature(j));
+            nearest.push(j, -(d as f64));
+        }
+
+        let mut top = TopK::new(k);
+        for cand in nearest.drain_sorted() {
+            let value = kernels::dot(q, self.probes.vector(cand.id));
+            top.push(cand.id, value);
+        }
+        top.drain_sorted()
+    }
+
+    /// [`Self::query_top_k`] for every row of `queries`.
+    ///
+    /// # Panics
+    /// If the dimensionalities differ.
+    pub fn row_top_k(
+        &self,
+        queries: &VectorStore,
+        k: usize,
+        budget: usize,
+    ) -> Vec<Vec<ScoredItem>> {
+        queries.iter().map(|q| self.query_top_k(q, k, budget)).collect()
+    }
+}
+
+/// Configuration of the banded (OR-of-ANDs) SRP tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SrpTablesConfig {
+    /// Number of hash tables (bands) `t`.
+    pub tables: usize,
+    /// Bits per band `r` (at most 32 so band keys fit comfortably in
+    /// `u64` table keys with headroom).
+    pub band_bits: usize,
+    /// Seed for the hyperplanes.
+    pub seed: u64,
+}
+
+impl Default for SrpTablesConfig {
+    /// Defaults sized for the *moderate* angular gaps of MIPS workloads:
+    /// after the XBOX transform even the best probe's cosine is typically
+    /// 0.3–0.6 (bit-agreement probability `p = 1 − ϑ/π ≈ 0.6–0.7`), so
+    /// bands must be short and tables plentiful — `1 − (1 − p⁷)⁴⁸ ≈ 0.87–
+    /// 0.95` over this range, while an unrelated pair (`p ≈ 0.5`) collides
+    /// with probability ≈ 0.31. Workloads with crisper similarities can
+    /// lengthen the bands.
+    fn default() -> Self {
+        Self { tables: 48, band_bits: 7, seed: 0x5e_ed }
+    }
+}
+
+/// Banded SRP hash tables: a probe is a candidate for a query iff they
+/// collide on all `band_bits` bits of at least one band.
+///
+/// The collision probability of a pair at angle `ϑ` is
+/// `1 − (1 − (1 − ϑ/π)^band_bits)^tables`, the standard LSH S-curve; more
+/// tables raise recall, more band bits sharpen precision. All candidates
+/// are verified exactly, so reported scores are never wrong — only the
+/// candidate set is approximate.
+#[derive(Debug, Clone)]
+pub struct SrpTables {
+    transform: XboxTransform,
+    signatures: SignatureSet,
+    /// Per table: probe ids sorted by band key (CSR-style binary-searchable
+    /// layout; tables are immutable after build, so sorted runs beat hash
+    /// maps on both memory and locality).
+    tables: Vec<TableLayout>,
+    probes: VectorStore,
+    band_bits: usize,
+}
+
+#[derive(Debug, Clone)]
+struct TableLayout {
+    /// `(band key, probe id)` sorted by key.
+    entries: Vec<(u64, u32)>,
+}
+
+impl TableLayout {
+    fn bucket(&self, key: u64) -> &[(u64, u32)] {
+        let lo = self.entries.partition_point(|&(k, _)| k < key);
+        let hi = self.entries.partition_point(|&(k, _)| k <= key);
+        &self.entries[lo..hi]
+    }
+}
+
+impl SrpTables {
+    /// Builds the banded tables over the probe set.
+    ///
+    /// # Errors
+    /// [`ApproxError::InvalidParam`] if `tables == 0` or
+    /// `band_bits ∉ 1..=32`; [`ApproxError::EmptyInput`] if `probes` is
+    /// empty.
+    pub fn build(probes: &VectorStore, cfg: &SrpTablesConfig) -> Result<Self, ApproxError> {
+        if cfg.tables == 0 {
+            return Err(ApproxError::InvalidParam {
+                name: "tables",
+                requirement: "must be positive",
+            });
+        }
+        if cfg.band_bits == 0 || cfg.band_bits > 32 {
+            return Err(ApproxError::InvalidParam {
+                name: "band_bits",
+                requirement: "must lie in 1..=32",
+            });
+        }
+        let transform = XboxTransform::fit(probes)?;
+        let transformed = transform.transform_probes(probes);
+        let total_bits = cfg.tables * cfg.band_bits;
+        let signatures = SignatureSet::build(&transformed, total_bits, cfg.seed);
+
+        let mut tables = Vec::with_capacity(cfg.tables);
+        for t in 0..cfg.tables {
+            let mut entries: Vec<(u64, u32)> = (0..probes.len())
+                .map(|j| {
+                    let key = band_key(signatures.signature(j), t, cfg.band_bits);
+                    (key, j as u32)
+                })
+                .collect();
+            entries.sort_unstable();
+            tables.push(TableLayout { entries });
+        }
+        Ok(Self { transform, signatures, tables, probes: probes.clone(), band_bits: cfg.band_bits })
+    }
+
+    /// Number of tables (bands).
+    pub fn tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Approximate top-`k` by inner product: candidates are the union of
+    /// the query's buckets across all tables, deduplicated and verified
+    /// exactly. Returns fewer than `k` items when fewer probes collide.
+    ///
+    /// # Panics
+    /// If `q.len()` differs from the probe dimensionality.
+    pub fn query_top_k(&self, q: &[f64], k: usize) -> Vec<ScoredItem> {
+        assert_eq!(
+            q.len(),
+            self.probes.dim(),
+            "dimensionality mismatch: query {} vs probes {}",
+            q.len(),
+            self.probes.dim()
+        );
+        if k == 0 || self.probes.is_empty() {
+            return Vec::new();
+        }
+        let mut tq = Vec::with_capacity(self.transform.output_dim(q.len()));
+        self.transform.transform_query(q, &mut tq);
+        let mut qsig = vec![0u64; self.signatures.words];
+        SignatureSet::sign_bits(&self.signatures.planes, &tq, &mut qsig);
+
+        let mut seen = vec![false; self.probes.len()];
+        let mut top = TopK::new(k);
+        for (t, table) in self.tables.iter().enumerate() {
+            let key = band_key(&qsig, t, self.band_bits);
+            for &(_, j) in table.bucket(key) {
+                let j = j as usize;
+                if !seen[j] {
+                    seen[j] = true;
+                    top.push(j, kernels::dot(q, self.probes.vector(j)));
+                }
+            }
+        }
+        top.drain_sorted()
+    }
+
+    /// Average number of verified candidates per query over a query set
+    /// (the `|C|/q` statistic of the paper's tables).
+    pub fn mean_candidates(&self, queries: &VectorStore) -> f64 {
+        if queries.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0usize;
+        let mut tq = Vec::new();
+        let mut qsig = vec![0u64; self.signatures.words];
+        let mut seen = vec![false; self.probes.len()];
+        for q in queries.iter() {
+            self.transform.transform_query(q, &mut tq);
+            SignatureSet::sign_bits(&self.signatures.planes, &tq, &mut qsig);
+            seen.fill(false);
+            for (t, table) in self.tables.iter().enumerate() {
+                let key = band_key(&qsig, t, self.band_bits);
+                for &(_, j) in table.bucket(key) {
+                    if !seen[j as usize] {
+                        seen[j as usize] = true;
+                        total += 1;
+                    }
+                }
+            }
+        }
+        total as f64 / queries.len() as f64
+    }
+}
+
+/// Extracts band `t`'s `band_bits`-bit key from a packed signature.
+fn band_key(sig: &[u64], t: usize, band_bits: usize) -> u64 {
+    let start = t * band_bits;
+    let mut key = 0u64;
+    for b in 0..band_bits {
+        let bit = start + b;
+        if sig[bit / 64] >> (bit % 64) & 1 == 1 {
+            key |= 1 << b;
+        }
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemp_data::synthetic::GeneratorConfig;
+
+    fn fixture(n: usize, seed: u64) -> VectorStore {
+        GeneratorConfig::gaussian(n, 12, 0.8).generate(seed)
+    }
+
+    fn exact_top_k(q: &[f64], probes: &VectorStore, k: usize) -> Vec<usize> {
+        let mut top = TopK::new(k);
+        for j in 0..probes.len() {
+            top.push(j, kernels::dot(q, probes.vector(j)));
+        }
+        top.drain_sorted().into_iter().map(|s| s.id).collect()
+    }
+
+    #[test]
+    fn full_budget_is_exact() {
+        let probes = fixture(120, 1);
+        let queries = fixture(15, 2);
+        let index = SrpLsh::build(&probes, &SrpConfig::default()).unwrap();
+        for i in 0..queries.len() {
+            let q = queries.vector(i);
+            let got = index.query_top_k(q, 5, probes.len());
+            let expect = exact_top_k(q, &probes, 5);
+            let got_ids: Vec<usize> = got.iter().map(|s| s.id).collect();
+            assert_eq!(got_ids, expect, "query {i}: full budget must be exact");
+        }
+    }
+
+    #[test]
+    fn scores_are_exact_inner_products() {
+        let probes = fixture(60, 3);
+        let queries = fixture(4, 4);
+        let index = SrpLsh::build(&probes, &SrpConfig::default()).unwrap();
+        for i in 0..queries.len() {
+            let q = queries.vector(i);
+            for item in index.query_top_k(q, 3, 20) {
+                let exact = kernels::dot(q, probes.vector(item.id));
+                assert!((item.score - exact).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn recall_improves_with_budget() {
+        let probes = fixture(400, 5);
+        let queries = fixture(40, 6);
+        let index = SrpLsh::build(&probes, &SrpConfig { bits: 96, seed: 7 }).unwrap();
+        let k = 10;
+        let mut recalls = Vec::new();
+        for budget in [k, 4 * k, 40 * k] {
+            let mut hit = 0usize;
+            let mut total = 0usize;
+            for i in 0..queries.len() {
+                let q = queries.vector(i);
+                let truth = exact_top_k(q, &probes, k);
+                let got: Vec<usize> =
+                    index.query_top_k(q, k, budget).into_iter().map(|s| s.id).collect();
+                hit += truth.iter().filter(|t| got.contains(t)).count();
+                total += truth.len();
+            }
+            recalls.push(hit as f64 / total as f64);
+        }
+        assert!(
+            recalls[0] <= recalls[1] + 0.02 && recalls[1] <= recalls[2] + 0.02,
+            "recall not monotone in budget: {recalls:?}"
+        );
+        assert!(recalls[2] > 0.9, "recall at 40k budget too low: {}", recalls[2]);
+    }
+
+    #[test]
+    fn zero_k_and_budget_clamping() {
+        let probes = fixture(30, 8);
+        let index = SrpLsh::build(&probes, &SrpConfig::default()).unwrap();
+        let q = probes.vector(0).to_vec();
+        assert!(index.query_top_k(&q, 0, 100).is_empty());
+        // budget below k is clamped up to k
+        let got = index.query_top_k(&q, 5, 1);
+        assert_eq!(got.len(), 5);
+        assert_eq!(index.len(), 30);
+        assert!(!index.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let probes = fixture(50, 9);
+        let q = fixture(1, 10);
+        let a = SrpLsh::build(&probes, &SrpConfig { bits: 64, seed: 42 }).unwrap();
+        let b = SrpLsh::build(&probes, &SrpConfig { bits: 64, seed: 42 }).unwrap();
+        let ra = a.query_top_k(q.vector(0), 5, 10);
+        let rb = b.query_top_k(q.vector(0), 5, 10);
+        assert_eq!(ra.len(), rb.len());
+        for (x, y) in ra.iter().zip(&rb) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.score, y.score);
+        }
+    }
+
+    #[test]
+    fn build_validates_config() {
+        let probes = fixture(10, 11);
+        assert!(SrpLsh::build(&probes, &SrpConfig { bits: 0, seed: 1 }).is_err());
+        assert!(SrpLsh::build(&VectorStore::empty(12).unwrap(), &SrpConfig::default()).is_err());
+    }
+
+    #[test]
+    fn band_key_extracts_contiguous_bits() {
+        // signature words: bits 0..64 in sig[0], 64..128 in sig[1]
+        let sig = [0b1011u64, u64::MAX];
+        assert_eq!(band_key(&sig, 0, 4), 0b1011);
+        assert_eq!(band_key(&sig, 1, 4), 0);
+        // band straddling the word boundary: bits 60..72
+        assert_eq!(band_key(&sig, 5, 12), 0b1111_1111_0000);
+    }
+
+    #[test]
+    fn tables_candidates_are_verified_exactly() {
+        let probes = fixture(200, 12);
+        let queries = fixture(10, 13);
+        let cfg = SrpTablesConfig { tables: 24, band_bits: 8, seed: 3 };
+        let index = SrpTables::build(&probes, &cfg).unwrap();
+        assert_eq!(index.tables(), 24);
+        for i in 0..queries.len() {
+            let q = queries.vector(i);
+            for item in index.query_top_k(q, 5) {
+                let exact = kernels::dot(q, probes.vector(item.id));
+                assert!((item.score - exact).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn tables_recall_reasonable_at_default_config() {
+        let probes = fixture(300, 14);
+        let queries = fixture(30, 15);
+        let index = SrpTables::build(&probes, &SrpTablesConfig::default()).unwrap();
+        let k = 1;
+        let mut hit = 0usize;
+        for i in 0..queries.len() {
+            let q = queries.vector(i);
+            let truth = exact_top_k(q, &probes, k);
+            let got: Vec<usize> = index.query_top_k(q, k).into_iter().map(|s| s.id).collect();
+            hit += truth.iter().filter(|t| got.contains(t)).count();
+        }
+        let recall = hit as f64 / queries.len() as f64;
+        assert!(recall >= 0.6, "top-1 recall {recall} too low for default tables");
+        // candidate set must be well below the full probe count
+        let cpq = index.mean_candidates(&queries);
+        assert!(cpq < probes.len() as f64 * 0.75, "tables degenerate to a scan: {cpq}");
+    }
+
+    #[test]
+    fn tables_validate_config() {
+        let probes = fixture(10, 16);
+        assert!(SrpTables::build(&probes, &SrpTablesConfig { tables: 0, ..Default::default() })
+            .is_err());
+        assert!(SrpTables::build(
+            &probes,
+            &SrpTablesConfig { band_bits: 0, ..Default::default() }
+        )
+        .is_err());
+        assert!(SrpTables::build(
+            &probes,
+            &SrpTablesConfig { band_bits: 33, ..Default::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn tables_may_return_short_lists() {
+        // One table with many band bits: buckets are tiny, some queries
+        // find fewer than k collisions — the method reports what it has.
+        let probes = fixture(40, 17);
+        let queries = fixture(10, 18);
+        let cfg = SrpTablesConfig { tables: 1, band_bits: 24, seed: 4 };
+        let index = SrpTables::build(&probes, &cfg).unwrap();
+        for i in 0..queries.len() {
+            let got = index.query_top_k(queries.vector(i), 10);
+            assert!(got.len() <= 10);
+        }
+    }
+}

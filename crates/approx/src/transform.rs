@@ -1,0 +1,396 @@
+//! Asymmetric MIPS-to-similarity transformations.
+//!
+//! LSH-style methods cannot index inner products directly: `qᵀp` violates
+//! the triangle inequality (footnote 2 of the paper). The related work the
+//! paper cites resolves this with *asymmetric* vector transformations that
+//! reduce maximum-inner-product search to a problem LSH can solve:
+//!
+//! * [`XboxTransform`] — the Euclidean transformation of Bachrach et al.
+//!   (RecSys 2014, reference \[16\] of the paper): appends one coordinate
+//!   `√(M² − ‖p‖²)` to every probe so all transformed probes share length
+//!   `M`, turning MIPS into *exact* cosine similarity search.
+//! * [`AlshTransform`] — the asymmetric LSH transformation of Shrivastava
+//!   and Li (NIPS 2014, reference \[15\]): appends the powers
+//!   `‖p‖², ‖p‖⁴, …` to probes and constants `½, ½, …` to queries so that
+//!   Euclidean nearest neighbour among transformed probes approaches the
+//!   MIPS answer as the number of appended terms grows.
+//!
+//! Both implement [`MipsTransform`], which downstream approximate indexes
+//! ([`crate::SrpLsh`], [`crate::PcaTree`]) are generic over.
+
+use lemp_linalg::{kernels, VectorStore};
+
+use crate::error::ApproxError;
+
+/// A pair of maps `(P, Q)` such that similarity search over `P(p)` with
+/// query `Q(q)` approximates (or solves) maximum-inner-product search.
+pub trait MipsTransform {
+    /// Dimensionality of transformed vectors given the input dimensionality.
+    fn output_dim(&self, input_dim: usize) -> usize;
+
+    /// Applies the probe-side map `P`; `out` is cleared and refilled.
+    fn transform_probe(&self, p: &[f64], out: &mut Vec<f64>);
+
+    /// Applies the query-side map `Q`; `out` is cleared and refilled.
+    fn transform_query(&self, q: &[f64], out: &mut Vec<f64>);
+
+    /// Transforms every vector of a store with the probe-side map.
+    fn transform_probes(&self, probes: &VectorStore) -> VectorStore {
+        let out_dim = self.output_dim(probes.dim());
+        let mut flat = Vec::with_capacity(probes.len() * out_dim);
+        let mut buf = Vec::with_capacity(out_dim);
+        for p in probes.iter() {
+            self.transform_probe(p, &mut buf);
+            flat.extend_from_slice(&buf);
+        }
+        VectorStore::from_flat(flat, out_dim).expect("transform outputs are finite")
+    }
+
+    /// Transforms every vector of a store with the query-side map.
+    fn transform_queries(&self, queries: &VectorStore) -> VectorStore {
+        let out_dim = self.output_dim(queries.dim());
+        let mut flat = Vec::with_capacity(queries.len() * out_dim);
+        let mut buf = Vec::with_capacity(out_dim);
+        for q in queries.iter() {
+            self.transform_query(q, &mut buf);
+            flat.extend_from_slice(&buf);
+        }
+        VectorStore::from_flat(flat, out_dim).expect("transform outputs are finite")
+    }
+}
+
+/// The Euclidean MIPS transformation of Bachrach et al. \[16\].
+///
+/// Fit on the probe set, it records `M = max_p ‖p‖` and maps
+///
+/// ```text
+/// P(p) = [p ; √(M² − ‖p‖²)]          Q(q) = [q ; 0]
+/// ```
+///
+/// so that `Q(q)ᵀP(p) = qᵀp` **exactly** while `‖P(p)‖ = M` for every
+/// probe. Because all transformed probes have equal length, ranking by
+/// cosine similarity — or equivalently by Euclidean distance from `Q(q)` —
+/// ranks by the original inner product. The reduction is exact; any
+/// approximation error downstream comes from the index, not the transform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XboxTransform {
+    max_len: f64,
+}
+
+impl XboxTransform {
+    /// Fits the transform on a probe set (records the maximum length).
+    ///
+    /// # Errors
+    /// [`ApproxError::EmptyInput`] if `probes` holds no vectors.
+    pub fn fit(probes: &VectorStore) -> Result<Self, ApproxError> {
+        if probes.is_empty() {
+            return Err(ApproxError::EmptyInput { context: "XBOX transform fit" });
+        }
+        let max_len = probes.iter().map(kernels::norm).fold(0.0_f64, f64::max);
+        Ok(Self { max_len })
+    }
+
+    /// Constructs the transform from a known maximum probe length.
+    ///
+    /// # Errors
+    /// [`ApproxError::InvalidParam`] unless `max_len` is finite and > 0.
+    pub fn with_max_len(max_len: f64) -> Result<Self, ApproxError> {
+        if !max_len.is_finite() || max_len <= 0.0 {
+            return Err(ApproxError::InvalidParam {
+                name: "max_len",
+                requirement: "must be finite and positive",
+            });
+        }
+        Ok(Self { max_len })
+    }
+
+    /// The recorded maximum probe length `M`.
+    pub fn max_len(&self) -> f64 {
+        self.max_len
+    }
+}
+
+impl MipsTransform for XboxTransform {
+    fn output_dim(&self, input_dim: usize) -> usize {
+        input_dim + 1
+    }
+
+    fn transform_probe(&self, p: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(p);
+        // Guard the subtraction against rounding on the probe that attains
+        // the maximum itself (‖p‖ may exceed M by one ulp).
+        let slack = (self.max_len * self.max_len - kernels::norm_sq(p)).max(0.0);
+        out.push(slack.sqrt());
+    }
+
+    fn transform_query(&self, q: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(q);
+        out.push(0.0);
+    }
+}
+
+/// The asymmetric LSH transformation of Shrivastava and Li \[15\].
+///
+/// Probes are first rescaled by `s = U / max_p ‖p‖` so every length is at
+/// most `U < 1`, then mapped with `m` appended squaring terms:
+///
+/// ```text
+/// P(p) = [s·p ; ‖s·p‖² ; ‖s·p‖⁴ ; … ; ‖s·p‖^(2^m)]
+/// Q(q) = [q̄  ; ½      ; ½      ; … ; ½          ]     (q̄ = q/‖q‖)
+/// ```
+///
+/// A short computation gives
+/// `‖Q(q) − P(p)‖² = 1 + m/4 − 2·s·q̄ᵀp + ‖s·p‖^(2^(m+1))`, so Euclidean
+/// NN over `P(p)` solves MIPS up to the vanishing bias `‖s·p‖^(2^(m+1)) ≤
+/// U^(2^(m+1))` — e.g. `0.83¹⁶ ≈ 0.05` at the authors' default `m = 3`.
+/// Unlike [`XboxTransform`] the reduction is inexact; [`Self::bias_bound`]
+/// exposes the worst-case distortion so callers can size `m`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlshTransform {
+    scale: f64,
+    u: f64,
+    m: usize,
+}
+
+impl AlshTransform {
+    /// Fits the transform: `u` is the target maximum length (paper default
+    /// 0.83), `m` the number of appended terms (paper default 3).
+    ///
+    /// # Errors
+    /// [`ApproxError::InvalidParam`] if `u ∉ (0, 1)` or `m == 0` or `m > 10`
+    /// (beyond which `2^m` exponents underflow to exactly zero and add
+    /// nothing); [`ApproxError::EmptyInput`] if `probes` is empty.
+    pub fn fit(probes: &VectorStore, u: f64, m: usize) -> Result<Self, ApproxError> {
+        if !(0.0 < u && u < 1.0) {
+            return Err(ApproxError::InvalidParam {
+                name: "u",
+                requirement: "must lie strictly between 0 and 1",
+            });
+        }
+        if m == 0 || m > 10 {
+            return Err(ApproxError::InvalidParam {
+                name: "m",
+                requirement: "must lie in 1..=10",
+            });
+        }
+        if probes.is_empty() {
+            return Err(ApproxError::EmptyInput { context: "ALSH transform fit" });
+        }
+        let max_len = probes.iter().map(kernels::norm).fold(0.0_f64, f64::max);
+        // An all-zero probe set degenerates: any positive scale keeps lengths
+        // at 0 ≤ U, so pick 1 to leave the data untouched.
+        let scale = if max_len > 0.0 { u / max_len } else { 1.0 };
+        Ok(Self { scale, u, m })
+    }
+
+    /// The probe rescaling factor `s = U / max‖p‖`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The maximum-length parameter `U`.
+    pub fn u(&self) -> f64 {
+        self.u
+    }
+
+    /// The number of appended squaring terms `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Worst-case additive bias `U^(2^(m+1))` of the Euclidean reduction.
+    pub fn bias_bound(&self) -> f64 {
+        self.u.powi(1 << (self.m + 1))
+    }
+}
+
+impl MipsTransform for AlshTransform {
+    fn output_dim(&self, input_dim: usize) -> usize {
+        input_dim + self.m
+    }
+
+    fn transform_probe(&self, p: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(p.len() + self.m);
+        out.extend(p.iter().map(|&x| x * self.scale));
+        let mut pow = kernels::norm_sq(&out[..p.len()]); // ‖s·p‖²
+        for _ in 0..self.m {
+            out.push(pow);
+            pow *= pow; // ‖s·p‖⁴, ‖s·p‖⁸, …
+        }
+    }
+
+    fn transform_query(&self, q: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(q.len() + self.m);
+        out.extend_from_slice(q);
+        kernels::normalize(out);
+        out.extend(std::iter::repeat_n(0.5, self.m));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemp_data::synthetic::GeneratorConfig;
+
+    fn probes(n: usize, dim: usize, seed: u64) -> VectorStore {
+        GeneratorConfig::gaussian(n, dim, 0.8).generate(seed)
+    }
+
+    #[test]
+    fn xbox_preserves_inner_products_exactly() {
+        let p = probes(50, 8, 1);
+        let q = probes(10, 8, 2);
+        let t = XboxTransform::fit(&p).unwrap();
+        let tp = t.transform_probes(&p);
+        let tq = t.transform_queries(&q);
+        assert_eq!(tp.dim(), 9);
+        for i in 0..q.len() {
+            for j in 0..p.len() {
+                let orig = q.dot_between(i, &p, j);
+                let mapped = tq.dot_between(i, &tp, j);
+                assert!(
+                    (orig - mapped).abs() < 1e-12,
+                    "transform changed qᵀp: {orig} vs {mapped}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xbox_probe_lengths_are_constant() {
+        let p = probes(80, 6, 3);
+        let t = XboxTransform::fit(&p).unwrap();
+        let tp = t.transform_probes(&p);
+        for j in 0..tp.len() {
+            let l = kernels::norm(tp.vector(j));
+            assert!(
+                (l - t.max_len()).abs() < 1e-9,
+                "probe {j} transformed length {l} != M {}",
+                t.max_len()
+            );
+        }
+    }
+
+    #[test]
+    fn xbox_cosine_order_matches_inner_product_order() {
+        let p = probes(40, 5, 4);
+        let q = probes(1, 5, 5);
+        let t = XboxTransform::fit(&p).unwrap();
+        let tp = t.transform_probes(&p);
+        let mut tq = Vec::new();
+        t.transform_query(q.vector(0), &mut tq);
+
+        let mut by_ip: Vec<usize> = (0..p.len()).collect();
+        by_ip.sort_by(|&a, &b| {
+            q.dot_between(0, &p, b).partial_cmp(&q.dot_between(0, &p, a)).unwrap()
+        });
+        let mut by_cos: Vec<usize> = (0..p.len()).collect();
+        by_cos.sort_by(|&a, &b| {
+            kernels::cosine(&tq, tp.vector(b))
+                .partial_cmp(&kernels::cosine(&tq, tp.vector(a)))
+                .unwrap()
+        });
+        assert_eq!(by_ip, by_cos);
+    }
+
+    #[test]
+    fn xbox_rejects_bad_input() {
+        assert!(matches!(
+            XboxTransform::fit(&VectorStore::empty(4).unwrap()),
+            Err(ApproxError::EmptyInput { .. })
+        ));
+        assert!(XboxTransform::with_max_len(0.0).is_err());
+        assert!(XboxTransform::with_max_len(f64::NAN).is_err());
+        assert!(XboxTransform::with_max_len(2.5).is_ok());
+    }
+
+    #[test]
+    fn alsh_distance_identity_holds() {
+        let p = probes(30, 7, 6);
+        let q = probes(5, 7, 7);
+        let t = AlshTransform::fit(&p, 0.83, 3).unwrap();
+        let tp = t.transform_probes(&p);
+        let tq = t.transform_queries(&q);
+        assert_eq!(tp.dim(), 10);
+        for i in 0..q.len() {
+            let qnorm = kernels::norm(q.vector(i));
+            for j in 0..p.len() {
+                let dist_sq = kernels::dist_sq(tq.vector(i), tp.vector(j));
+                let sp_norm_sq = kernels::norm_sq(p.vector(j)) * t.scale() * t.scale();
+                let tail = sp_norm_sq.powi(1 << t.m()); // ‖s·p‖^(2^(m+1))
+                let expect = 1.0 + t.m() as f64 / 4.0
+                    - 2.0 * t.scale() * q.dot_between(i, &p, j) / qnorm
+                    + tail;
+                assert!(
+                    (dist_sq - expect).abs() < 1e-9,
+                    "ALSH identity violated: {dist_sq} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alsh_nearest_neighbor_is_mips_argmax() {
+        // With a healthy m the bias U^(2^(m+1)) is far below the spacing of
+        // random inner products, so the transformed NN must be the MIPS
+        // winner for each query.
+        let p = probes(60, 6, 8);
+        let q = probes(8, 6, 9);
+        let t = AlshTransform::fit(&p, 0.83, 5).unwrap();
+        assert!(t.bias_bound() < 1e-5);
+        let tp = t.transform_probes(&p);
+        let tq = t.transform_queries(&q);
+        for i in 0..q.len() {
+            let best_ip = (0..p.len())
+                .max_by(|&a, &b| {
+                    q.dot_between(i, &p, a).partial_cmp(&q.dot_between(i, &p, b)).unwrap()
+                })
+                .unwrap();
+            let nn = (0..p.len())
+                .min_by(|&a, &b| {
+                    kernels::dist_sq(tq.vector(i), tp.vector(a))
+                        .partial_cmp(&kernels::dist_sq(tq.vector(i), tp.vector(b)))
+                        .unwrap()
+                })
+                .unwrap();
+            assert_eq!(best_ip, nn, "query {i}: ALSH NN disagrees with MIPS argmax");
+        }
+    }
+
+    #[test]
+    fn alsh_rejects_bad_params() {
+        let p = probes(5, 4, 10);
+        assert!(AlshTransform::fit(&p, 0.0, 3).is_err());
+        assert!(AlshTransform::fit(&p, 1.0, 3).is_err());
+        assert!(AlshTransform::fit(&p, 0.83, 0).is_err());
+        assert!(AlshTransform::fit(&p, 0.83, 11).is_err());
+        assert!(matches!(
+            AlshTransform::fit(&VectorStore::empty(4).unwrap(), 0.83, 3),
+            Err(ApproxError::EmptyInput { .. })
+        ));
+    }
+
+    #[test]
+    fn alsh_handles_all_zero_probes() {
+        let p = VectorStore::from_rows(&[vec![0.0, 0.0], vec![0.0, 0.0]]).unwrap();
+        let t = AlshTransform::fit(&p, 0.5, 2).unwrap();
+        let tp = t.transform_probes(&p);
+        // appended coordinates of a zero vector are all zero
+        assert_eq!(tp.vector(0), &[0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn bias_bound_decreases_in_m() {
+        let p = probes(5, 4, 11);
+        let mut last = f64::INFINITY;
+        for m in 1..=6 {
+            let t = AlshTransform::fit(&p, 0.83, m).unwrap();
+            assert!(t.bias_bound() < last);
+            last = t.bias_bound();
+        }
+    }
+}

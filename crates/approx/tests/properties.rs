@@ -1,0 +1,219 @@
+//! Property-based tests for the approximate-retrieval crate.
+//!
+//! The central invariants:
+//! * the XBOX transform preserves inner products exactly and equalizes
+//!   probe lengths, for *any* finite input;
+//! * the ALSH distance identity holds for any valid `(u, m)`;
+//! * PCA-tree search with the full leaf budget is exact (it degenerates to
+//!   a scan), for any tree shape proptest can produce;
+//! * SRP Hamming ranking with a full budget is exact;
+//! * every approximate method's scores are true inner products (no false
+//!   scoring, only possibly missing members).
+
+use lemp_approx::{
+    kmeans, AlshTransform, KMeansConfig, MipsTransform, PcaTree, PcaTreeConfig, SrpConfig,
+    SrpLsh, SrpTables, SrpTablesConfig, XboxTransform,
+};
+use lemp_linalg::{kernels, TopK, VectorStore};
+use proptest::prelude::*;
+
+/// A random vector set: `n ∈ [1, 40]` vectors of `dim ∈ [1, 8]`, values in
+/// a range wide enough to create length skew.
+fn vector_set() -> impl Strategy<Value = VectorStore> {
+    (1usize..=8).prop_flat_map(|dim| {
+        proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, dim),
+            1..=40,
+        )
+        .prop_map(|rows| VectorStore::from_rows(&rows).expect("valid rows"))
+    })
+}
+
+/// A `(probes, query)` pair of matching dimensionality.
+fn probes_and_query() -> impl Strategy<Value = (VectorStore, Vec<f64>)> {
+    (1usize..=8).prop_flat_map(|dim| {
+        (
+            proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, dim), 1..=40)
+                .prop_map(|rows| VectorStore::from_rows(&rows).expect("valid rows")),
+            proptest::collection::vec(-10.0f64..10.0, dim),
+        )
+    })
+}
+
+fn exact_top_k(q: &[f64], probes: &VectorStore, k: usize) -> Vec<f64> {
+    let mut top = TopK::new(k);
+    for j in 0..probes.len() {
+        top.push(j, kernels::dot(q, probes.vector(j)));
+    }
+    top.drain_sorted().into_iter().map(|s| s.score).collect()
+}
+
+proptest! {
+    #[test]
+    fn xbox_preserves_inner_products((probes, q) in probes_and_query()) {
+        let t = XboxTransform::fit(&probes).expect("non-empty");
+        let tp = t.transform_probes(&probes);
+        let mut tq = Vec::new();
+        t.transform_query(&q, &mut tq);
+        for j in 0..probes.len() {
+            let orig = kernels::dot(&q, probes.vector(j));
+            let mapped = kernels::dot(&tq, tp.vector(j));
+            prop_assert!((orig - mapped).abs() <= 1e-9 * (1.0 + orig.abs()),
+                "probe {j}: {orig} vs {mapped}");
+        }
+    }
+
+    #[test]
+    fn xbox_equalizes_probe_lengths(probes in vector_set()) {
+        let t = XboxTransform::fit(&probes).expect("non-empty");
+        let tp = t.transform_probes(&probes);
+        for j in 0..tp.len() {
+            let l = kernels::norm(tp.vector(j));
+            prop_assert!((l - t.max_len()).abs() <= 1e-6 * (1.0 + t.max_len()),
+                "probe {j} length {l} != {}", t.max_len());
+        }
+    }
+
+    #[test]
+    fn alsh_distance_identity(
+        (probes, q) in probes_and_query(),
+        u in 0.1f64..0.95,
+        m in 1usize..=6,
+    ) {
+        let t = AlshTransform::fit(&probes, u, m).expect("valid params");
+        let tp = t.transform_probes(&probes);
+        let mut tq = Vec::new();
+        t.transform_query(&q, &mut tq);
+        let qn = kernels::norm(&q);
+        prop_assume!(qn > 1e-9); // normalized query undefined at 0
+        for j in 0..probes.len() {
+            let d2 = kernels::dist_sq(&tq, tp.vector(j));
+            let sp2 = kernels::norm_sq(probes.vector(j)) * t.scale() * t.scale();
+            let tail = sp2.powi(1 << m);
+            let expect = 1.0 + m as f64 / 4.0
+                - 2.0 * t.scale() * kernels::dot(&q, probes.vector(j)) / qn
+                + tail;
+            prop_assert!((d2 - expect).abs() <= 1e-6 * (1.0 + expect.abs()),
+                "probe {j}: {d2} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn pca_tree_full_budget_matches_exact_scan(
+        (probes, q) in probes_and_query(),
+        k in 1usize..=5,
+        leaf_size in 1usize..=10,
+    ) {
+        let tree = PcaTree::build(
+            &probes,
+            &PcaTreeConfig { leaf_size, power_iters: 8, seed: 11 },
+        ).expect("valid build");
+        let got: Vec<f64> = tree
+            .query_top_k(&q, k, tree.leaves())
+            .into_iter()
+            .map(|s| s.score)
+            .collect();
+        let expect = exact_top_k(&q, &probes, k);
+        prop_assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((g - e).abs() < 1e-9, "scores diverge: {} vs {}", g, e);
+        }
+    }
+
+    #[test]
+    fn srp_full_budget_matches_exact_scan(
+        (probes, q) in probes_and_query(),
+        k in 1usize..=5,
+    ) {
+        let index = SrpLsh::build(&probes, &SrpConfig { bits: 32, seed: 13 })
+            .expect("valid build");
+        let got: Vec<f64> = index
+            .query_top_k(&q, k, probes.len())
+            .into_iter()
+            .map(|s| s.score)
+            .collect();
+        let expect = exact_top_k(&q, &probes, k);
+        prop_assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((g - e).abs() < 1e-9, "scores diverge: {} vs {}", g, e);
+        }
+    }
+
+    #[test]
+    fn kmeans_invariants(
+        points in vector_set(),
+        k in 1usize..=10,
+        seed in 0u64..100,
+    ) {
+        let km = kmeans(&points, &KMeansConfig { k, max_iters: 8, seed })
+            .expect("non-empty input");
+        prop_assert_eq!(km.centroids.len(), k.min(points.len()));
+        prop_assert_eq!(km.assignment.len(), points.len());
+        // every point is assigned to its nearest centroid
+        for i in 0..points.len() {
+            let assigned = kernels::dist_sq(
+                points.vector(i),
+                km.centroids.vector(km.assignment[i] as usize),
+            );
+            for c in 0..km.centroids.len() {
+                let d = kernels::dist_sq(points.vector(i), km.centroids.vector(c));
+                prop_assert!(assigned <= d + 1e-9, "point {i} misassigned");
+            }
+        }
+        // the recomputed objective matches the reported inertia
+        let objective: f64 = (0..points.len())
+            .map(|i| {
+                kernels::dist_sq(
+                    points.vector(i),
+                    km.centroids.vector(km.assignment[i] as usize),
+                )
+            })
+            .sum();
+        prop_assert!((objective - km.inertia).abs() <= 1e-9 * (1.0 + objective));
+    }
+
+    #[test]
+    fn srp_tables_subset_of_exact_scores(
+        (probes, q) in probes_and_query(),
+        tables in 1usize..=8,
+        band_bits in 1usize..=10,
+    ) {
+        // Whatever the banded tables return: exact scores, sorted, no
+        // duplicates, ids in range.
+        let index = SrpTables::build(
+            &probes,
+            &SrpTablesConfig { tables, band_bits, seed: 23 },
+        ).expect("valid build");
+        let got = index.query_top_k(&q, 5);
+        let mut seen = std::collections::BTreeSet::new();
+        for w in got.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for item in &got {
+            prop_assert!(item.id < probes.len());
+            prop_assert!(seen.insert(item.id), "duplicate probe {}", item.id);
+            let exact = kernels::dot(&q, probes.vector(item.id));
+            prop_assert!((item.score - exact).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn approximate_scores_are_never_fabricated(
+        (probes, q) in probes_and_query(),
+        budget in 1usize..=10,
+    ) {
+        // Whatever subset the index returns, each score must equal the
+        // exact inner product of that (query, probe) pair, and lists must
+        // be sorted by descending score.
+        let index = SrpLsh::build(&probes, &SrpConfig { bits: 16, seed: 17 })
+            .expect("valid build");
+        let got = index.query_top_k(&q, 3, budget);
+        for w in got.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for item in &got {
+            let exact = kernels::dot(&q, probes.vector(item.id));
+            prop_assert!((item.score - exact).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! L2AP: all-pairs similarity search with prefix L2-norm bounds, adapted to
+//! LEMP's query-against-index setting.
+//!
+//! Reference: D. C. Anastasiu and G. Karypis, "L2AP: Fast cosine similarity
+//! search with prefix L-2 norm bounds", ICDE 2014 — \[18\] in the paper.
+//!
+//! The index is built over unit vectors for a fixed *index threshold* `t`
+//! (LEMP uses `t = θ_b(q_max)`, the smallest local threshold any query can
+//! pose to the bucket, Sec. 5). Per vector, the longest coordinate prefix
+//! whose L2 norm stays below `t` is left **unindexed**: a pair whose common
+//! features all fall in that prefix has cosine `< t` by Cauchy–Schwarz, so
+//! completeness at thresholds `≥ t` is preserved. Each posting carries the
+//! vector's *suffix norm* at its position, enabling the L2 filtering bounds:
+//!
+//! * **admission** — once the query's remaining suffix norm plus `t` cannot
+//!   reach the query threshold, no *new* candidates are admitted;
+//! * **during-scan** — a candidate is killed the moment
+//!   `A + ‖q_{>f}‖·‖x_{>f}‖ + ‖x_prefix‖ < θ̂`;
+//! * **post-scan** — surviving candidates are kept only if
+//!   `A + ‖x_prefix‖ ≥ θ̂`.
+//!
+//! These per-posting checks are exactly the "sophisticated filtering
+//! conditions both during and after scanning" the paper credits for L2AP's
+//! aggressive pruning — and blames for its cost relative to INCR (Sec. 6.3).
+
+use lemp_linalg::{kernels, VectorStore};
+
+/// One inverted-list posting: vector `lid` has `value` at this coordinate
+/// and an L2 norm of `suffix` over this and all later coordinates.
+#[derive(Debug, Clone, Copy)]
+struct Posting {
+    lid: u32,
+    value: f64,
+    suffix: f64,
+}
+
+/// An L2AP index over a set of unit vectors.
+#[derive(Debug, Clone)]
+pub struct L2apIndex {
+    /// The indexed unit vectors (kept for exact verification by callers).
+    vectors: VectorStore,
+    lists: Vec<Vec<Posting>>,
+    /// Per vector: L2 norm of its unindexed prefix (< `t` by construction).
+    prefix_norm: Vec<f64>,
+    /// Per vector: first indexed coordinate (its prefix is `[0, split)`).
+    split: Vec<u32>,
+    /// Index threshold: completeness holds for query thresholds ≥ `t`.
+    t: f64,
+}
+
+/// Reusable per-query scratch: accumulator plus epoch stamps (cleared in
+/// O(1) per query, the same trick as the paper's CP array).
+#[derive(Debug, Clone)]
+pub struct L2apScratch {
+    acc: Vec<f64>,
+    stamp: Vec<u32>,
+    dead: Vec<u32>,
+    epoch: u32,
+    touched: Vec<u32>,
+}
+
+impl L2apScratch {
+    /// Scratch sized for an index over `n` vectors.
+    pub fn new(n: usize) -> Self {
+        Self { acc: vec![0.0; n], stamp: vec![0; n], dead: vec![0; n], epoch: 0, touched: Vec::new() }
+    }
+
+    /// Grows the scratch to serve an index over at least `n` vectors.
+    pub fn resize(&mut self, n: usize) {
+        if n > self.acc.len() {
+            self.acc.resize(n, 0.0);
+            self.stamp.resize(n, 0);
+            self.dead.resize(n, 0);
+        }
+    }
+
+    fn begin(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.dead.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.touched.clear();
+    }
+}
+
+impl L2apIndex {
+    /// Builds the index at threshold `t` over `unit_vectors` (each of unit or
+    /// zero length; zero vectors are never returned as candidates).
+    ///
+    /// # Panics
+    /// If `t` is not in `(0, 1]` — thresholds outside that range make no
+    /// sense for cosine similarity and break the prefix bound.
+    pub fn build(unit_vectors: &VectorStore, t: f64) -> Self {
+        assert!(t > 0.0 && t <= 1.0, "index threshold must be in (0, 1], got {t}");
+        let dim = unit_vectors.dim();
+        let mut lists: Vec<Vec<Posting>> = vec![Vec::new(); dim];
+        let mut prefix_norm = Vec::with_capacity(unit_vectors.len());
+        let mut splits = Vec::with_capacity(unit_vectors.len());
+        for (i, x) in unit_vectors.iter().enumerate() {
+            // Split: longest prefix with ‖prefix‖ < t stays unindexed.
+            let mut prefix_sq = 0.0;
+            let mut split = 0;
+            for (f, &v) in x.iter().enumerate() {
+                let next = prefix_sq + v * v;
+                if next.sqrt() < t {
+                    prefix_sq = next;
+                    split = f + 1;
+                } else {
+                    break;
+                }
+            }
+            prefix_norm.push(prefix_sq.sqrt());
+            splits.push(split as u32);
+            // Index the suffix with running suffix norms.
+            let mut suffix_sq: f64 = x[split..].iter().map(|v| v * v).sum();
+            for (f, &v) in x.iter().enumerate().skip(split) {
+                if v != 0.0 {
+                    lists[f].push(Posting { lid: i as u32, value: v, suffix: suffix_sq.max(0.0).sqrt() });
+                }
+                suffix_sq -= v * v;
+            }
+        }
+        Self { vectors: unit_vectors.clone(), lists, prefix_norm, split: splits, t }
+    }
+
+    /// The index threshold `t`.
+    pub fn threshold(&self) -> f64 {
+        self.t
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// `true` if the index holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Total number of postings (index size; L2AP's prefix reduction makes
+    /// this smaller than `n·r`).
+    pub fn postings(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+
+    /// Collects into `out` the local ids of all vectors whose cosine with
+    /// the unit query `q` *may* reach `threshold`; exact verification is the
+    /// caller's job (LEMP's verification step recomputes the full inner
+    /// product anyway, Alg. 1 line 16).
+    ///
+    /// Completeness requires `threshold ≥ t` (asserted in debug builds).
+    pub fn candidates_into(
+        &self,
+        q: &[f64],
+        threshold: f64,
+        scratch: &mut L2apScratch,
+        out: &mut Vec<u32>,
+    ) {
+        debug_assert!(threshold >= self.t - 1e-12, "query threshold below index threshold");
+        debug_assert_eq!(q.len(), self.lists.len());
+        scratch.begin();
+        let epoch = scratch.epoch;
+        // Query suffix norms: remq[f] = ‖q[f..]‖.
+        let dim = q.len();
+        let mut remq = vec![0.0; dim + 1];
+        for f in (0..dim).rev() {
+            remq[f] = (remq[f + 1] * remq[f + 1] + q[f] * q[f]).sqrt();
+        }
+        for (f, &qf) in q.iter().enumerate() {
+            if qf == 0.0 {
+                continue;
+            }
+            let rem_after = remq[f + 1];
+            // Admission: a candidate first seen at f has total similarity
+            // < t (prefix) + remq[f]·1, so stop admitting when that bound
+            // falls below the query threshold.
+            let admit = remq[f] + self.t > threshold - 1e-9;
+            for post in &self.lists[f] {
+                let lid = post.lid as usize;
+                if scratch.stamp[lid] != epoch {
+                    if !admit {
+                        continue;
+                    }
+                    scratch.stamp[lid] = epoch;
+                    scratch.acc[lid] = 0.0;
+                    scratch.touched.push(post.lid);
+                } else if scratch.dead[lid] == epoch {
+                    continue;
+                }
+                let a = scratch.acc[lid] + qf * post.value;
+                scratch.acc[lid] = a;
+                // During-scan L2 bound: remaining indexed part plus the
+                // unindexed prefix cannot lift the pair to the threshold.
+                let suffix_after = (post.suffix * post.suffix - post.value * post.value)
+                    .max(0.0)
+                    .sqrt();
+                if a + rem_after * suffix_after + self.prefix_norm[lid] < threshold - 1e-9 {
+                    scratch.dead[lid] = epoch;
+                }
+            }
+        }
+        for &lid in &scratch.touched {
+            let l = lid as usize;
+            if scratch.dead[l] == epoch {
+                continue;
+            }
+            // Post-scan bound: the unindexed prefix of x can contribute at
+            // most ‖x_prefix‖·‖q_prefix‖ (both restricted to [0, split)).
+            let s = self.split[l] as usize;
+            let q_prefix = (1.0 - remq[s] * remq[s]).max(0.0).sqrt();
+            if scratch.acc[l] + self.prefix_norm[l] * q_prefix >= threshold - 1e-9 {
+                out.push(lid);
+            }
+        }
+    }
+
+    /// Standalone exact search: ids (and cosines) of all indexed vectors
+    /// with `cos(q, x) ≥ threshold`, verified internally.
+    pub fn search(&self, q: &[f64], threshold: f64, scratch: &mut L2apScratch) -> Vec<(u32, f64)> {
+        let mut cand = Vec::new();
+        self.candidates_into(q, threshold, scratch, &mut cand);
+        let mut out = Vec::new();
+        for lid in cand {
+            let cos = kernels::dot(q, self.vectors.vector(lid as usize));
+            if cos >= threshold {
+                out.push((lid, cos));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemp_data::synthetic::GeneratorConfig;
+
+    /// Unit-normalized random store.
+    fn unit_store(n: usize, dim: usize, seed: u64, sparse: bool) -> VectorStore {
+        let cfg = if sparse {
+            GeneratorConfig::sparse(n, dim, 0.0, 0.3)
+        } else {
+            GeneratorConfig::gaussian(n, dim, 0.0)
+        };
+        let (_, dirs) = cfg.generate(seed).decompose();
+        dirs
+    }
+
+    fn brute_force(q: &[f64], store: &VectorStore, threshold: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (i, x) in store.iter().enumerate() {
+            if kernels::dot(q, x) >= threshold {
+                out.push(i as u32);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn candidates_are_complete_at_index_threshold() {
+        for (seed, sparse) in [(1, false), (2, true)] {
+            let store = unit_store(300, 20, seed, sparse);
+            let queries = unit_store(40, 20, seed + 10, sparse);
+            let t = 0.5;
+            let idx = L2apIndex::build(&store, t);
+            let mut scratch = L2apScratch::new(store.len());
+            for thr in [0.5, 0.7, 0.9] {
+                for q in queries.iter() {
+                    let mut cand = Vec::new();
+                    idx.candidates_into(q, thr, &mut scratch, &mut cand);
+                    let truth = brute_force(q, &store, thr);
+                    for id in &truth {
+                        assert!(
+                            cand.contains(id),
+                            "missing true result {id} at thr {thr} (sparse={sparse})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_matches_brute_force_exactly() {
+        let store = unit_store(250, 16, 5, false);
+        let queries = unit_store(30, 16, 6, false);
+        let idx = L2apIndex::build(&store, 0.6);
+        let mut scratch = L2apScratch::new(store.len());
+        for q in queries.iter() {
+            let mut got: Vec<u32> = idx.search(q, 0.6, &mut scratch).iter().map(|x| x.0).collect();
+            got.sort_unstable();
+            let expect = brute_force(q, &store, 0.6);
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_candidates_vs_full_scan() {
+        let store = unit_store(2000, 30, 7, false);
+        let q_store = unit_store(20, 30, 8, false);
+        let idx = L2apIndex::build(&store, 0.9);
+        let mut scratch = L2apScratch::new(store.len());
+        let mut total = 0usize;
+        for q in q_store.iter() {
+            let mut cand = Vec::new();
+            idx.candidates_into(q, 0.9, &mut scratch, &mut cand);
+            total += cand.len();
+        }
+        // At a 0.9 cosine threshold on random 30-dim unit vectors nearly
+        // nothing qualifies; the L2 filters must discard the bulk of the
+        // index (dense gaussian data is the *hardest* case for APSS
+        // filtering, so expect reduction, not elimination).
+        let full = 20 * store.len();
+        assert!(total < full / 3, "candidates not pruned: {total} of {full}");
+    }
+
+    #[test]
+    fn prefix_reduction_shrinks_index() {
+        let store = unit_store(500, 25, 9, false);
+        let full: usize = store.len() * store.dim();
+        let idx = L2apIndex::build(&store, 0.9);
+        assert!(idx.postings() < full, "postings {} vs dense {full}", idx.postings());
+        // Lower threshold → less prefix skipped → more postings.
+        let idx_low = L2apIndex::build(&store, 0.2);
+        assert!(idx_low.postings() >= idx.postings());
+    }
+
+    #[test]
+    fn build_rejects_invalid_threshold() {
+        let store = unit_store(4, 4, 11, false);
+        assert!(std::panic::catch_unwind(|| L2apIndex::build(&store, 0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| L2apIndex::build(&store, 1.5)).is_err());
+    }
+
+    #[test]
+    fn empty_index_yields_no_candidates() {
+        let store = VectorStore::empty(8).unwrap();
+        let idx = L2apIndex::build(&store, 0.5);
+        assert!(idx.is_empty());
+        let mut scratch = L2apScratch::new(0);
+        let q = vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let mut cand = Vec::new();
+        idx.candidates_into(&q, 0.5, &mut scratch, &mut cand);
+        assert!(cand.is_empty());
+    }
+
+    #[test]
+    fn identical_vector_is_always_found() {
+        let store = unit_store(100, 12, 13, false);
+        let idx = L2apIndex::build(&store, 0.95);
+        let mut scratch = L2apScratch::new(store.len());
+        for i in (0..store.len()).step_by(7) {
+            let q = store.vector(i).to_vec();
+            let res = idx.search(&q, 0.95, &mut scratch);
+            assert!(res.iter().any(|&(id, cos)| id as usize == i && cos > 0.9999));
+        }
+    }
+
+    #[test]
+    fn scratch_epochs_do_not_leak_between_queries() {
+        let store = unit_store(50, 10, 15, false);
+        let idx = L2apIndex::build(&store, 0.5);
+        let mut scratch = L2apScratch::new(store.len());
+        let q1 = store.vector(0).to_vec();
+        let q2 = store.vector(1).to_vec();
+        let r1a = idx.search(&q1, 0.5, &mut scratch);
+        let _ = idx.search(&q2, 0.5, &mut scratch);
+        let r1b = idx.search(&q1, 0.5, &mut scratch);
+        assert_eq!(r1a.len(), r1b.len());
+    }
+}

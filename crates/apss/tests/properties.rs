@@ -1,0 +1,110 @@
+//! Property-based tests for the cosine similarity search algorithms.
+
+use lemp_apss::{min_matches_for, BlshIndex, L2apIndex, L2apScratch};
+use lemp_linalg::{kernels, VectorStore};
+use proptest::prelude::*;
+
+/// Arbitrary *unit* vectors (zero rows are skipped by normalizing a biased
+/// vector).
+fn unit_store_strategy(
+    n: std::ops::Range<usize>,
+    dim: usize,
+) -> impl Strategy<Value = VectorStore> {
+    proptest::collection::vec(proptest::collection::vec(-4.0f64..4.0, dim..=dim), n).prop_map(
+        move |mut rows| {
+            for row in &mut rows {
+                if kernels::norm_sq(row) == 0.0 {
+                    row[0] = 1.0;
+                }
+                kernels::normalize(row);
+            }
+            VectorStore::from_rows(&rows).expect("finite rows")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// L2AP completeness: at any query threshold at or above the index
+    /// threshold, every truly-qualifying vector appears in the candidates.
+    #[test]
+    fn l2ap_candidates_are_complete(
+        store in unit_store_strategy(1..60, 6),
+        queries in unit_store_strategy(1..8, 6),
+        t in 0.05f64..0.9,
+        bump in 0.0f64..0.5,
+    ) {
+        let idx = L2apIndex::build(&store, t);
+        let threshold = (t + bump).min(1.0);
+        let mut scratch = L2apScratch::new(store.len());
+        let mut cand = Vec::new();
+        for q in queries.iter() {
+            cand.clear();
+            idx.candidates_into(q, threshold, &mut scratch, &mut cand);
+            for (i, x) in store.iter().enumerate() {
+                if kernels::dot(q, x) >= threshold {
+                    prop_assert!(
+                        cand.contains(&(i as u32)),
+                        "missing qualifying vector {i} at threshold {threshold}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// L2AP's standalone search returns exactly the brute-force set.
+    #[test]
+    fn l2ap_search_is_exact(
+        store in unit_store_strategy(1..50, 5),
+        q in proptest::collection::vec(-4.0f64..4.0, 5..=5),
+        t in 0.1f64..0.8,
+    ) {
+        let mut q = q;
+        if kernels::norm_sq(&q) == 0.0 {
+            q[0] = 1.0;
+        }
+        kernels::normalize(&mut q);
+        let idx = L2apIndex::build(&store, t);
+        let mut scratch = L2apScratch::new(store.len());
+        let mut got: Vec<u32> = idx.search(&q, t, &mut scratch).iter().map(|r| r.0).collect();
+        got.sort_unstable();
+        let mut expect = Vec::new();
+        for (i, x) in store.iter().enumerate() {
+            if kernels::dot(&q, x) >= t {
+                expect.push(i as u32);
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The BLSH minimum-match count is monotone in the threshold and bounded
+    /// by the signature width.
+    #[test]
+    fn blsh_min_matches_monotone(
+        bits in 1usize..64,
+        t1 in -1.0f64..1.0,
+        bump in 0.0f64..1.0,
+        eps in 0.001f64..0.2,
+    ) {
+        let t2 = (t1 + bump).min(1.0);
+        let m1 = min_matches_for(bits, t1, eps);
+        let m2 = min_matches_for(bits, t2, eps);
+        prop_assert!(m1 <= m2);
+        prop_assert!(m2 <= bits as u32);
+    }
+
+    /// Signatures are invariant to positive scaling of the input vector
+    /// (sign-based hashing sees only the direction).
+    #[test]
+    fn blsh_signature_scale_invariant(
+        store in unit_store_strategy(1..20, 6),
+        scale in 0.1f64..10.0,
+    ) {
+        let idx = BlshIndex::build(&store, 16, 7);
+        for v in store.iter() {
+            let scaled: Vec<f64> = v.iter().map(|x| x * scale).collect();
+            prop_assert_eq!(idx.query_signature(v), idx.query_signature(&scaled));
+        }
+    }
+}

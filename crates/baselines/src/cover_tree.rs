@@ -1,0 +1,507 @@
+//! Cover tree construction and single-tree exact max-kernel search.
+//!
+//! This is the paper's `Tree` baseline \[10\] (Curtin, Ram, Gray: "Fast exact
+//! max-kernel search", FastMKS on cover trees \[12\]). The tree is built with
+//! a simplified insertion procedure (in the spirit of Izbicki & Shelton's
+//! *simplified cover tree*): every node stores one point; a child `c` of a
+//! node `p` at level `l` satisfies the covering invariant
+//! `d(p, c) ≤ base^l`, and child levels strictly decrease. After
+//! construction every node's *furthest descendant distance* λ is computed
+//! exactly, which is the only quantity search correctness relies on.
+//!
+//! For the linear kernel the FastMKS node bound is
+//!
+//! ```text
+//! max_{p ∈ descendants(N)} qᵀp  ≤  qᵀc_N + ‖q‖ · λ_N        (Cauchy–Schwarz)
+//! ```
+//!
+//! Search is best-first over that bound, so for Row-Top-k it can stop the
+//! moment the largest outstanding bound cannot beat the running k-th best —
+//! exactly the pruning the paper describes ("the spheres are exploited to
+//! avoid processing subtrees that cannot contribute to the result").
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use lemp_linalg::{kernels, TopK, VectorStore};
+
+use crate::types::{Entry, RetrievalCounters, TopKLists};
+
+/// Base parameter used in the paper's experiments ("the base parameter of
+/// the cover trees was set to 1.3 as suggested in \[13\]").
+pub const DEFAULT_BASE: f64 = 1.3;
+
+/// A cover tree over a set of points, supporting exact max-kernel search
+/// with the inner-product kernel.
+#[derive(Debug, Clone)]
+pub struct CoverTree {
+    points: VectorStore,
+    norms: Vec<f64>,
+    level: Vec<i32>,
+    children: Vec<Vec<u32>>,
+    parent: Vec<u32>,
+    /// Exact furthest-descendant distance per node.
+    lambda: Vec<f64>,
+    root: Option<u32>,
+    base: f64,
+    build_ns: u64,
+}
+
+/// Max-heap entry for best-first search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Scored {
+    bound: f64,
+    node: u32,
+}
+
+impl Eq for Scored {}
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound.partial_cmp(&other.bound).expect("finite bounds")
+    }
+}
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+impl CoverTree {
+    /// Builds a tree over `points` by sequential insertion.
+    pub fn build(points: &VectorStore, base: f64) -> Self {
+        assert!(base > 1.0, "cover tree base must exceed 1");
+        let start = Instant::now();
+        let n = points.len();
+        let mut tree = Self {
+            points: points.clone(),
+            norms: points.lengths(),
+            level: vec![0; n],
+            children: vec![Vec::new(); n],
+            parent: vec![NO_PARENT; n],
+            lambda: vec![0.0; n],
+            root: None,
+            base,
+            build_ns: 0,
+        };
+        for i in 0..n as u32 {
+            tree.insert(i);
+        }
+        tree.compute_lambdas();
+        tree.build_ns = start.elapsed().as_nanos() as u64;
+        tree
+    }
+
+    /// Index-construction time in nanoseconds.
+    pub fn build_ns(&self) -> u64 {
+        self.build_ns
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the tree indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    #[inline]
+    fn covdist(&self, node: u32) -> f64 {
+        self.base.powi(self.level[node as usize])
+    }
+
+    #[inline]
+    fn dist(&self, a: u32, b: u32) -> f64 {
+        kernels::dist(self.points.vector(a as usize), self.points.vector(b as usize))
+    }
+
+    /// Smallest level `l` with `base^l ≥ d`.
+    fn level_for(&self, d: f64) -> i32 {
+        if d <= 0.0 {
+            return i32::MIN / 2; // any level covers a zero distance
+        }
+        (d.ln() / self.base.ln()).ceil() as i32
+    }
+
+    fn insert(&mut self, x: u32) {
+        let Some(mut root) = self.root else {
+            self.root = Some(x);
+            self.level[x as usize] = 0;
+            return;
+        };
+        // Raise the root until it covers x.
+        while self.dist(root, x) > self.covdist(root) {
+            if self.children[root as usize].is_empty() {
+                // A childless root can simply take a higher level.
+                self.level[root as usize] = self.level_for(self.dist(root, x));
+            } else {
+                // Pull a leaf up to become the new root (Izbicki–Shelton
+                // style), at a level high enough to cover the old root.
+                let leaf = self.detach_some_leaf(root);
+                let lvl = self
+                    .level_for(self.dist(leaf, root))
+                    .max(self.level[root as usize] + 1);
+                self.level[leaf as usize] = lvl;
+                self.children[leaf as usize].push(root);
+                self.parent[root as usize] = leaf;
+                self.root = Some(leaf);
+                root = leaf;
+            }
+        }
+        // Descend: any child that covers x adopts the insertion.
+        let mut p = root;
+        'descend: loop {
+            for &c in &self.children[p as usize] {
+                if self.dist(c, x) <= self.covdist(c) {
+                    p = c;
+                    continue 'descend;
+                }
+            }
+            break;
+        }
+        self.level[x as usize] = self.level[p as usize] - 1;
+        self.children[p as usize].push(x);
+        self.parent[x as usize] = p;
+    }
+
+    /// Removes and returns some leaf of the subtree under `node`
+    /// (first-child walk). `node` must have children.
+    fn detach_some_leaf(&mut self, node: u32) -> u32 {
+        let mut cur = node;
+        while let Some(&c) = self.children[cur as usize].first() {
+            cur = c;
+        }
+        let parent = self.parent[cur as usize];
+        debug_assert_ne!(parent, NO_PARENT);
+        let siblings = &mut self.children[parent as usize];
+        let pos = siblings.iter().position(|&c| c == cur).expect("child registered in parent");
+        siblings.swap_remove(pos);
+        self.parent[cur as usize] = NO_PARENT;
+        cur
+    }
+
+    /// Exact λ per node: for every node, every ancestor's λ is raised to the
+    /// distance between their points. O(n · depth) distance computations.
+    fn compute_lambdas(&mut self) {
+        for l in self.lambda.iter_mut() {
+            *l = 0.0;
+        }
+        for x in 0..self.points.len() as u32 {
+            let mut a = self.parent[x as usize];
+            while a != NO_PARENT {
+                let d = self.dist(a, x);
+                if d > self.lambda[a as usize] {
+                    self.lambda[a as usize] = d;
+                }
+                a = self.parent[a as usize];
+            }
+        }
+    }
+
+    /// FastMKS bound on `qᵀp` over all descendants of `node` (the node's own
+    /// point scores exactly `score`).
+    #[inline]
+    fn node_bound(&self, score: f64, q_norm: f64, node: u32) -> f64 {
+        // Relative slack: the bound compares float-evaluated quantities, so
+        // widen it slightly to never prune an exact boundary descendant.
+        let b = score + q_norm * self.lambda[node as usize];
+        b + 1e-12 * (1.0 + b.abs())
+    }
+
+    /// Row-Top-k for one query into a reusable [`TopK`]; returns the number
+    /// of inner products computed.
+    pub fn query_top_k_into(&self, q: &[f64], top: &mut TopK) -> u64 {
+        let Some(root) = self.root else {
+            return 0;
+        };
+        let q_norm = kernels::norm(q);
+        let mut dots = 0u64;
+        let mut heap = BinaryHeap::new();
+        let score = kernels::dot(q, self.points.vector(root as usize));
+        dots += 1;
+        top.push(root as usize, score);
+        heap.push(Scored { bound: self.node_bound(score, q_norm, root), node: root });
+        while let Some(Scored { bound, node }) = heap.pop() {
+            if top.is_full() && bound <= top.threshold() {
+                break; // max-heap: every remaining bound is ≤ this one
+            }
+            for &c in &self.children[node as usize] {
+                let s = kernels::dot(q, self.points.vector(c as usize));
+                dots += 1;
+                top.push(c as usize, s);
+                let b = self.node_bound(s, q_norm, c);
+                if !(top.is_full() && b <= top.threshold()) {
+                    heap.push(Scored { bound: b, node: c });
+                }
+            }
+        }
+        dots
+    }
+
+    /// Above-θ for one query; appends `(probe_id, value)` pairs and returns
+    /// the number of inner products computed.
+    pub fn query_above_into(&self, q: &[f64], theta: f64, out: &mut Vec<(u32, f64)>) -> u64 {
+        let Some(root) = self.root else {
+            return 0;
+        };
+        let q_norm = kernels::norm(q);
+        let mut dots = 0u64;
+        let mut stack = Vec::new();
+        let score = kernels::dot(q, self.points.vector(root as usize));
+        dots += 1;
+        if score >= theta {
+            out.push((root, score));
+        }
+        if self.node_bound(score, q_norm, root) >= theta {
+            stack.push(root);
+        }
+        while let Some(node) = stack.pop() {
+            for &c in &self.children[node as usize] {
+                let s = kernels::dot(q, self.points.vector(c as usize));
+                dots += 1;
+                if s >= theta {
+                    out.push((c, s));
+                }
+                if self.node_bound(s, q_norm, c) >= theta {
+                    stack.push(c);
+                }
+            }
+        }
+        dots
+    }
+
+    /// Solves Row-Top-k for every query.
+    pub fn row_top_k(&self, queries: &VectorStore, k: usize) -> (TopKLists, RetrievalCounters) {
+        let start = Instant::now();
+        let mut lists = Vec::with_capacity(queries.len());
+        let mut top = TopK::new(k);
+        let mut dots = 0u64;
+        for q in queries.iter() {
+            dots += self.query_top_k_into(q, &mut top);
+            lists.push(top.drain_sorted());
+        }
+        let results: usize = lists.iter().map(Vec::len).sum();
+        let counters = RetrievalCounters {
+            preprocess_ns: self.build_ns,
+            retrieval_ns: start.elapsed().as_nanos() as u64,
+            candidates: dots,
+            queries: queries.len() as u64,
+            results: results as u64,
+            ..Default::default()
+        };
+        (lists, counters)
+    }
+
+    /// Solves Above-θ for every query.
+    pub fn above_theta(
+        &self,
+        queries: &VectorStore,
+        theta: f64,
+    ) -> (Vec<Entry>, RetrievalCounters) {
+        let start = Instant::now();
+        let mut entries = Vec::new();
+        let mut row: Vec<(u32, f64)> = Vec::new();
+        let mut dots = 0u64;
+        for (i, q) in queries.iter().enumerate() {
+            row.clear();
+            dots += self.query_above_into(q, theta, &mut row);
+            entries
+                .extend(row.iter().map(|&(j, v)| Entry { query: i as u32, probe: j, value: v }));
+        }
+        let counters = RetrievalCounters {
+            preprocess_ns: self.build_ns,
+            retrieval_ns: start.elapsed().as_nanos() as u64,
+            candidates: dots,
+            queries: queries.len() as u64,
+            results: entries.len() as u64,
+            ..Default::default()
+        };
+        (entries, counters)
+    }
+
+    /// Validates the structural invariants; used by tests.
+    ///
+    /// # Errors
+    /// A description of the first violated invariant.
+    pub fn validate_invariants(&self) -> Result<(), String> {
+        let n = self.points.len();
+        if n == 0 {
+            return if self.root.is_none() { Ok(()) } else { Err("root in empty tree".into()) };
+        }
+        let root = self.root.ok_or("missing root")?;
+        if self.parent[root as usize] != NO_PARENT {
+            return Err("root has a parent".into());
+        }
+        // Every node reachable exactly once; covering and level invariants.
+        let mut visited = vec![false; n];
+        let mut stack = vec![root];
+        let mut count = 0usize;
+        while let Some(p) = stack.pop() {
+            if visited[p as usize] {
+                return Err(format!("node {p} visited twice"));
+            }
+            visited[p as usize] = true;
+            count += 1;
+            for &c in &self.children[p as usize] {
+                if self.parent[c as usize] != p {
+                    return Err(format!("child {c} does not point back to parent {p}"));
+                }
+                if self.level[c as usize] >= self.level[p as usize] {
+                    return Err(format!("child {c} level not below parent {p}"));
+                }
+                if self.dist(p, c) > self.covdist(p) * (1.0 + 1e-9) {
+                    return Err(format!("covering violated between {p} and {c}"));
+                }
+                stack.push(c);
+            }
+        }
+        if count != n {
+            return Err(format!("only {count} of {n} nodes reachable"));
+        }
+        // λ is an upper bound on descendant distances (and exact somewhere).
+        for x in 0..n as u32 {
+            let mut a = self.parent[x as usize];
+            while a != NO_PARENT {
+                if self.dist(a, x) > self.lambda[a as usize] * (1.0 + 1e-9) {
+                    return Err(format!("lambda too small at node {a}"));
+                }
+                a = self.parent[a as usize];
+            }
+        }
+        Ok(())
+    }
+
+    /// Read access for the dual-tree traversal.
+    pub(crate) fn root(&self) -> Option<u32> {
+        self.root
+    }
+    pub(crate) fn level_of(&self, node: u32) -> i32 {
+        self.level[node as usize]
+    }
+    pub(crate) fn children_of(&self, node: u32) -> &[u32] {
+        &self.children[node as usize]
+    }
+    pub(crate) fn lambda_of(&self, node: u32) -> f64 {
+        self.lambda[node as usize]
+    }
+    pub(crate) fn norm_of(&self, node: u32) -> f64 {
+        self.norms[node as usize]
+    }
+    pub(crate) fn point(&self, node: u32) -> &[f64] {
+        self.points.vector(node as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::Naive;
+    use crate::types::{canonical_pairs, topk_equivalent};
+    use lemp_data::synthetic::GeneratorConfig;
+
+    fn random_pair(m: usize, n: usize, dim: usize, seed: u64) -> (VectorStore, VectorStore) {
+        let q = GeneratorConfig::gaussian(m, dim, 0.8).generate(seed);
+        let p = GeneratorConfig::gaussian(n, dim, 0.8).generate(seed + 1);
+        (q, p)
+    }
+
+    #[test]
+    fn invariants_hold_on_random_data() {
+        for seed in 0..4 {
+            let p = GeneratorConfig::gaussian(300, 6, 1.2).generate(seed);
+            let t = CoverTree::build(&p, DEFAULT_BASE);
+            t.validate_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn invariants_hold_on_adversarial_orders() {
+        // Increasing distance from origin (worst case for root raising).
+        let rows: Vec<Vec<f64>> = (1..200).map(|i| vec![i as f64, 0.0]).collect();
+        let p = VectorStore::from_rows(&rows).unwrap();
+        let t = CoverTree::build(&p, DEFAULT_BASE);
+        t.validate_invariants().unwrap();
+        // Decreasing.
+        let rows: Vec<Vec<f64>> = (1..200).rev().map(|i| vec![i as f64, 0.0]).collect();
+        let p = VectorStore::from_rows(&rows).unwrap();
+        let t = CoverTree::build(&p, DEFAULT_BASE);
+        t.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicates_are_tolerated() {
+        let p = VectorStore::from_rows(&vec![vec![1.0, 2.0]; 20]).unwrap();
+        let t = CoverTree::build(&p, DEFAULT_BASE);
+        t.validate_invariants().unwrap();
+        let q = VectorStore::from_rows(&[vec![1.0, 1.0]]).unwrap();
+        let (lists, _) = t.row_top_k(&q, 5);
+        assert_eq!(lists[0].len(), 5);
+    }
+
+    #[test]
+    fn top_k_agrees_with_naive() {
+        let (q, p) = random_pair(25, 150, 8, 40);
+        let t = CoverTree::build(&p, DEFAULT_BASE);
+        for k in [1usize, 4, 11] {
+            let (got, _) = t.row_top_k(&q, k);
+            let (expect, _) = Naive.row_top_k(&q, &p, k);
+            assert!(topk_equivalent(&got, &expect, 1e-9), "k {k}");
+        }
+    }
+
+    #[test]
+    fn above_theta_agrees_with_naive() {
+        let (q, p) = random_pair(25, 150, 8, 50);
+        let t = CoverTree::build(&p, DEFAULT_BASE);
+        for theta in [0.3, 1.0, 3.0] {
+            let (got, _) = t.above_theta(&q, theta);
+            let (expect, _) = Naive.above_theta(&q, &p, theta);
+            assert_eq!(canonical_pairs(&got), canonical_pairs(&expect), "theta {theta}");
+        }
+    }
+
+    #[test]
+    fn pruning_saves_work_on_skewed_lengths() {
+        // High length skew: most probes are short and prunable.
+        let p = GeneratorConfig::gaussian(2000, 8, 3.0).generate(60);
+        let q = GeneratorConfig::gaussian(50, 8, 0.3).generate(61);
+        let t = CoverTree::build(&p, DEFAULT_BASE);
+        let (_, counters) = t.row_top_k(&q, 1);
+        let full = (q.len() * p.len()) as u64;
+        assert!(
+            counters.candidates < full / 2,
+            "expected pruning, evaluated {} of {full}",
+            counters.candidates
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_trees() {
+        let empty = VectorStore::empty(3).unwrap();
+        let t = CoverTree::build(&empty, DEFAULT_BASE);
+        t.validate_invariants().unwrap();
+        let q = VectorStore::from_rows(&[vec![1.0, 0.0, 0.0]]).unwrap();
+        let (lists, _) = t.row_top_k(&q, 2);
+        assert!(lists[0].is_empty());
+
+        let single = VectorStore::from_rows(&[vec![2.0, 0.0, 0.0]]).unwrap();
+        let t = CoverTree::build(&single, DEFAULT_BASE);
+        t.validate_invariants().unwrap();
+        let (lists, _) = t.row_top_k(&q, 2);
+        assert_eq!(lists[0].len(), 1);
+        assert!((lists[0][0].score - 2.0).abs() < 1e-12);
+        let (entries, _) = t.above_theta(&q, 1.0);
+        assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn base_must_exceed_one() {
+        let p = VectorStore::from_rows(&[vec![1.0]]).unwrap();
+        let ok = std::panic::catch_unwind(|| CoverTree::build(&p, 1.0));
+        assert!(ok.is_err());
+    }
+}

@@ -1,0 +1,313 @@
+//! Dual-tree exact max-kernel search (the paper's `D-Tree` baseline \[13\]).
+//!
+//! Both the query and the probe set are arranged in cover trees; the search
+//! walks *pairs* of nodes so bound computations are shared across whole
+//! groups of queries. For a pair of nodes with centers `q_c`, `p_c` and
+//! furthest-descendant distances `λ_q`, `λ_p`, every descendant pair obeys
+//!
+//! ```text
+//! qᵀp ≤ q_cᵀp_c + λ_q‖p_c‖ + λ_p‖q_c‖ + λ_qλ_p
+//! ```
+//!
+//! For Row-Top-k the pair is pruned against a *group* threshold — the
+//! minimum running k-th best over all queries below the query node — which
+//! is exactly why the paper finds the dual tree weaker than the single tree
+//! for top-k ("the bounds for a group of queries depend on the worst running
+//! lower bound θ′ among all queries of the group"). Group thresholds are
+//! cached per node and refreshed periodically; a stale cache is always a
+//! valid *lower* bound (thresholds only grow), so pruning stays exact.
+//!
+//! Traversal: every node's point is represented as an explicit *self leaf*
+//! when the node expands, so each (query point, probe point) pair is reached
+//! exactly once; the side with the higher cover-tree level expands first.
+
+use std::time::Instant;
+
+use lemp_linalg::{kernels, TopK, VectorStore};
+
+use crate::cover_tree::CoverTree;
+use crate::types::{Entry, RetrievalCounters, TopKLists};
+
+/// Dual cover trees over queries and probes.
+#[derive(Debug, Clone)]
+pub struct DualTree {
+    qtree: CoverTree,
+    ptree: CoverTree,
+    /// BFS order of query-tree nodes (parents first), for threshold refresh.
+    q_bfs: Vec<u32>,
+    build_ns: u64,
+}
+
+/// A traversal handle: a tree node, or the *self leaf* carrying only the
+/// node's own point (λ = 0, never expandable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Handle {
+    node: u32,
+    self_leaf: bool,
+}
+
+impl DualTree {
+    /// Builds both trees.
+    pub fn build(queries: &VectorStore, probes: &VectorStore, base: f64) -> Self {
+        let start = Instant::now();
+        let qtree = CoverTree::build(queries, base);
+        let ptree = CoverTree::build(probes, base);
+        let q_bfs = bfs_order(&qtree);
+        Self { qtree, ptree, q_bfs, build_ns: start.elapsed().as_nanos() as u64 }
+    }
+
+    /// Tree-construction time (both trees) in nanoseconds.
+    pub fn build_ns(&self) -> u64 {
+        self.build_ns
+    }
+
+    fn pair_bound(&self, s: f64, qa: Handle, pb: Handle) -> f64 {
+        let lq = if qa.self_leaf { 0.0 } else { self.qtree.lambda_of(qa.node) };
+        let lp = if pb.self_leaf { 0.0 } else { self.ptree.lambda_of(pb.node) };
+        let b = s + lq * self.ptree.norm_of(pb.node) + lp * self.qtree.norm_of(qa.node) + lq * lp;
+        // Relative slack against float rounding at exact boundaries.
+        b + 1e-12 * (1.0 + b.abs())
+    }
+
+    fn expandable_q(&self, h: Handle) -> bool {
+        !h.self_leaf && !self.qtree.children_of(h.node).is_empty()
+    }
+
+    fn expandable_p(&self, h: Handle) -> bool {
+        !h.self_leaf && !self.ptree.children_of(h.node).is_empty()
+    }
+
+    /// Solves Above-θ for every query.
+    pub fn above_theta(&self, theta: f64) -> (Vec<Entry>, RetrievalCounters) {
+        let start = Instant::now();
+        let mut entries = Vec::new();
+        let mut dots = 0u64;
+        if let (Some(qr), Some(pr)) = (self.qtree.root(), self.ptree.root()) {
+            let mut stack = vec![(
+                Handle { node: qr, self_leaf: false },
+                Handle { node: pr, self_leaf: false },
+            )];
+            while let Some((qa, pb)) = stack.pop() {
+                let s = kernels::dot(self.qtree.point(qa.node), self.ptree.point(pb.node));
+                dots += 1;
+                if self.pair_bound(s, qa, pb) < theta {
+                    continue;
+                }
+                let can_q = self.expandable_q(qa);
+                let can_p = self.expandable_p(pb);
+                if !can_q && !can_p {
+                    if s >= theta {
+                        entries.push(Entry { query: qa.node, probe: pb.node, value: s });
+                    }
+                    continue;
+                }
+                self.expand(qa, pb, can_q, can_p, &mut stack);
+            }
+        }
+        let counters = RetrievalCounters {
+            preprocess_ns: self.build_ns,
+            retrieval_ns: start.elapsed().as_nanos() as u64,
+            candidates: dots,
+            queries: self.qtree.len() as u64,
+            results: entries.len() as u64,
+            ..Default::default()
+        };
+        (entries, counters)
+    }
+
+    /// Solves Row-Top-k for every query.
+    pub fn row_top_k(&self, k: usize) -> (TopKLists, RetrievalCounters) {
+        let start = Instant::now();
+        let m = self.qtree.len();
+        let mut tops: Vec<TopK> = (0..m).map(|_| TopK::new(k)).collect();
+        let mut dots = 0u64;
+        if k > 0 {
+            if let (Some(qr), Some(pr)) = (self.qtree.root(), self.ptree.root()) {
+                // Cached lower bound of the subtree-min threshold per query
+                // node; refreshed every `refresh_every` evaluations.
+                let mut node_thr = vec![f64::NEG_INFINITY; m];
+                let refresh_every = (m as u64).max(1024);
+                let mut next_refresh = refresh_every;
+                let mut stack = vec![(
+                    Handle { node: qr, self_leaf: false },
+                    Handle { node: pr, self_leaf: false },
+                )];
+                while let Some((qa, pb)) = stack.pop() {
+                    let s = kernels::dot(self.qtree.point(qa.node), self.ptree.point(pb.node));
+                    dots += 1;
+                    if dots >= next_refresh {
+                        refresh_node_thr(&self.qtree, &self.q_bfs, &tops, &mut node_thr);
+                        next_refresh = dots + refresh_every;
+                    }
+                    let can_q = self.expandable_q(qa);
+                    let can_p = self.expandable_p(pb);
+                    let group_thr = if qa.self_leaf || !can_q {
+                        tops[qa.node as usize].threshold()
+                    } else {
+                        node_thr[qa.node as usize]
+                    };
+                    if self.pair_bound(s, qa, pb) <= group_thr {
+                        continue;
+                    }
+                    if !can_q && !can_p {
+                        tops[qa.node as usize].push(pb.node as usize, s);
+                        continue;
+                    }
+                    self.expand(qa, pb, can_q, can_p, &mut stack);
+                }
+            }
+        }
+        let lists: TopKLists = tops.iter_mut().map(TopK::drain_sorted).collect();
+        let results: usize = lists.iter().map(Vec::len).sum();
+        let counters = RetrievalCounters {
+            preprocess_ns: self.build_ns,
+            retrieval_ns: start.elapsed().as_nanos() as u64,
+            candidates: dots,
+            queries: m as u64,
+            results: results as u64,
+            ..Default::default()
+        };
+        (lists, counters)
+    }
+
+    /// Pushes the children pairs of one expansion step. The side with the
+    /// higher cover-tree level expands (ties favour the probe side), so each
+    /// point pair has a unique traversal path.
+    fn expand(
+        &self,
+        qa: Handle,
+        pb: Handle,
+        can_q: bool,
+        can_p: bool,
+        stack: &mut Vec<(Handle, Handle)>,
+    ) {
+        let expand_q = if can_q && can_p {
+            self.qtree.level_of(qa.node) > self.ptree.level_of(pb.node)
+        } else {
+            can_q
+        };
+        if expand_q {
+            stack.push((Handle { node: qa.node, self_leaf: true }, pb));
+            for &c in self.qtree.children_of(qa.node) {
+                stack.push((Handle { node: c, self_leaf: false }, pb));
+            }
+        } else {
+            stack.push((qa, Handle { node: pb.node, self_leaf: true }));
+            for &c in self.ptree.children_of(pb.node) {
+                stack.push((qa, Handle { node: c, self_leaf: false }));
+            }
+        }
+    }
+}
+
+/// BFS order (parents before children) of a cover tree.
+fn bfs_order(tree: &CoverTree) -> Vec<u32> {
+    let mut order = Vec::with_capacity(tree.len());
+    if let Some(root) = tree.root() {
+        let mut frontier = vec![root];
+        while let Some(x) = frontier.pop() {
+            order.push(x);
+            frontier.extend_from_slice(tree.children_of(x));
+        }
+    }
+    order
+}
+
+/// Exact subtree-min thresholds, computed children-first.
+fn refresh_node_thr(tree: &CoverTree, bfs: &[u32], tops: &[TopK], node_thr: &mut [f64]) {
+    for &x in bfs.iter().rev() {
+        let mut t = tops[x as usize].threshold();
+        for &c in tree.children_of(x) {
+            t = t.min(node_thr[c as usize]);
+        }
+        node_thr[x as usize] = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover_tree::DEFAULT_BASE;
+    use crate::naive::Naive;
+    use crate::types::{canonical_pairs, topk_equivalent};
+    use lemp_data::synthetic::GeneratorConfig;
+
+    fn random_pair(m: usize, n: usize, dim: usize, seed: u64) -> (VectorStore, VectorStore) {
+        let q = GeneratorConfig::gaussian(m, dim, 0.8).generate(seed);
+        let p = GeneratorConfig::gaussian(n, dim, 0.8).generate(seed + 1);
+        (q, p)
+    }
+
+    #[test]
+    fn above_theta_agrees_with_naive() {
+        let (q, p) = random_pair(40, 90, 6, 70);
+        let dt = DualTree::build(&q, &p, DEFAULT_BASE);
+        for theta in [0.3, 1.0, 2.5] {
+            let (got, _) = dt.above_theta(theta);
+            let (expect, _) = Naive.above_theta(&q, &p, theta);
+            assert_eq!(canonical_pairs(&got), canonical_pairs(&expect), "theta {theta}");
+        }
+    }
+
+    #[test]
+    fn top_k_agrees_with_naive() {
+        let (q, p) = random_pair(30, 80, 6, 80);
+        let dt = DualTree::build(&q, &p, DEFAULT_BASE);
+        for k in [1usize, 3, 7] {
+            let (got, _) = dt.row_top_k(k);
+            let (expect, _) = Naive.row_top_k(&q, &p, k);
+            assert!(topk_equivalent(&got, &expect, 1e-9), "k {k}");
+        }
+    }
+
+    #[test]
+    fn high_theta_prunes_pairs() {
+        let (q, p) = random_pair(60, 200, 6, 90);
+        let dt = DualTree::build(&q, &p, DEFAULT_BASE);
+        // θ above the maximum entry: everything prunable near the roots.
+        let (entries, counters) = dt.above_theta(100.0);
+        assert!(entries.is_empty());
+        let full = (q.len() * p.len()) as u64;
+        assert!(
+            counters.candidates < full / 4,
+            "expected heavy pruning, evaluated {} of {full}",
+            counters.candidates
+        );
+    }
+
+    #[test]
+    fn k_zero_and_oversized_k() {
+        let (q, p) = random_pair(10, 20, 4, 95);
+        let dt = DualTree::build(&q, &p, DEFAULT_BASE);
+        let (lists, counters) = dt.row_top_k(0);
+        assert!(lists.iter().all(Vec::is_empty));
+        assert_eq!(counters.candidates, 0);
+        let (lists, _) = dt.row_top_k(100);
+        for l in &lists {
+            assert_eq!(l.len(), 20);
+        }
+    }
+
+    #[test]
+    fn empty_sides_produce_empty_results() {
+        let empty = VectorStore::empty(4).unwrap();
+        let q = GeneratorConfig::gaussian(5, 4, 0.5).generate(1);
+        let dt = DualTree::build(&q, &empty, DEFAULT_BASE);
+        let (entries, _) = dt.above_theta(0.1);
+        assert!(entries.is_empty());
+        let (lists, _) = dt.row_top_k(3);
+        assert_eq!(lists.len(), 5);
+        assert!(lists.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn duplicate_points_on_both_sides() {
+        let q = VectorStore::from_rows(&vec![vec![1.0, 0.5]; 8]).unwrap();
+        let p = VectorStore::from_rows(&vec![vec![0.5, 1.0]; 8]).unwrap();
+        let dt = DualTree::build(&q, &p, DEFAULT_BASE);
+        let (got, _) = dt.above_theta(0.9);
+        let (expect, _) = Naive.above_theta(&q, &p, 0.9);
+        assert_eq!(canonical_pairs(&got), canonical_pairs(&expect));
+        assert_eq!(got.len(), 64); // every pair has value 1.0 ≥ 0.9
+    }
+}

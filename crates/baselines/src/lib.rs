@@ -1,0 +1,36 @@
+//! Baseline algorithms for the large-entry retrieval problem.
+//!
+//! The paper (Sec. 5–6) compares LEMP against four prior approaches, all of
+//! which are implemented here from scratch:
+//!
+//! * [`naive`] — compute the full product `QᵀP` and select (the `Naive`
+//!   baseline; O(mnr), the yardstick every speedup in the paper is measured
+//!   against).
+//! * [`ta`] — Fagin's threshold algorithm adapted to inner products
+//!   (per-coordinate sorted lists; the "most promising list" max-heap
+//!   selection strategy of Sec. 6.1; bottom-up scanning for negative query
+//!   coordinates).
+//! * [`cover_tree`] — cover-tree construction and single-tree exact
+//!   max-kernel search (`Tree`, Curtin/Ram/Gray FastMKS \[10\]).
+//! * [`dual_tree`] — the dual-tree variant (`D-Tree` \[13\]) that also arranges
+//!   the queries in a cover tree and processes them in batches.
+//!
+//! Shared problem-level types (result entries, instrumentation counters)
+//! live in [`types`]; the LEMP core crate reuses both the types and — via its
+//! bucket adapters — the TA and cover-tree machinery.
+
+#![warn(missing_docs)]
+
+pub mod cover_tree;
+pub mod export;
+pub mod dual_tree;
+pub mod naive;
+pub mod ta;
+pub mod types;
+
+pub use cover_tree::CoverTree;
+pub use export::ExportError;
+pub use dual_tree::DualTree;
+pub use naive::Naive;
+pub use ta::TaIndex;
+pub use types::{Entry, RetrievalCounters, TopKLists};

@@ -1,0 +1,179 @@
+//! The Naive baseline: compute the full product matrix and select.
+//!
+//! Sec. 2 of the paper: "A simple solution … is to first compute the full
+//! product matrix `QᵀP`, and then select from this product all entries above
+//! the threshold (for Above-θ) or the k largest entries in each row (for
+//! Row-Top-k) … it has time complexity O(mnr) and is infeasible for large
+//! problem instances." It is the reference both for correctness (all exact
+//! methods must reproduce its output) and for speedups (paper reports up to
+//! 14 572× over it).
+
+use std::time::Instant;
+
+use lemp_linalg::{TopK, VectorStore};
+
+use crate::types::{Entry, RetrievalCounters, TopKLists};
+
+/// The naive full-product retriever.
+///
+/// Stateless; the struct exists so all algorithms share the
+/// `above_theta`/`row_top_k` call shape and counter reporting.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Naive;
+
+impl Naive {
+    /// Solves Above-θ by scanning the full product row by row.
+    pub fn above_theta(
+        &self,
+        queries: &VectorStore,
+        probes: &VectorStore,
+        theta: f64,
+    ) -> (Vec<Entry>, RetrievalCounters) {
+        let start = Instant::now();
+        let mut out = Vec::new();
+        let mut row = Vec::with_capacity(probes.len());
+        for (i, q) in queries.iter().enumerate() {
+            probes.dots_with(q, &mut row);
+            for (j, &v) in row.iter().enumerate() {
+                if v >= theta {
+                    out.push(Entry { query: i as u32, probe: j as u32, value: v });
+                }
+            }
+        }
+        let counters = RetrievalCounters {
+            retrieval_ns: start.elapsed().as_nanos() as u64,
+            candidates: (queries.len() * probes.len()) as u64,
+            queries: queries.len() as u64,
+            results: out.len() as u64,
+            ..Default::default()
+        };
+        (out, counters)
+    }
+
+    /// Solves Row-Top-k by scanning the full product row by row.
+    pub fn row_top_k(
+        &self,
+        queries: &VectorStore,
+        probes: &VectorStore,
+        k: usize,
+    ) -> (TopKLists, RetrievalCounters) {
+        let start = Instant::now();
+        let mut lists = Vec::with_capacity(queries.len());
+        let mut top = TopK::new(k);
+        let mut row = Vec::with_capacity(probes.len());
+        for q in queries.iter() {
+            probes.dots_with(q, &mut row);
+            for (j, &v) in row.iter().enumerate() {
+                top.push(j, v);
+            }
+            lists.push(top.drain_sorted());
+        }
+        let results: usize = lists.iter().map(Vec::len).sum();
+        let counters = RetrievalCounters {
+            retrieval_ns: start.elapsed().as_nanos() as u64,
+            candidates: (queries.len() * probes.len()) as u64,
+            queries: queries.len() as u64,
+            results: results as u64,
+            ..Default::default()
+        };
+        (lists, counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (VectorStore, VectorStore) {
+        // The running example of Fig. 1b: 2 latent factors, 4 users (rows of
+        // QT) and 5 movies (columns of P).
+        let q = VectorStore::from_rows(&[
+            vec![3.2, -0.4],
+            vec![3.1, -0.2],
+            vec![0.0, 1.8],
+            vec![-0.4, 1.9],
+        ])
+        .unwrap();
+        let p = VectorStore::from_rows(&[
+            vec![1.6, 0.6],
+            vec![1.3, 0.8],
+            vec![0.7, 2.7],
+            vec![1.0, 2.8],
+            vec![0.4, 2.2],
+        ])
+        .unwrap();
+        (q, p)
+    }
+
+    #[test]
+    fn above_theta_matches_figure_1b() {
+        // Fig. 1b shows QTP row 0 as (4.9, 3.8, 1.2, 2.1, 0.4) etc.; with
+        // θ = 3.8 exactly the ten bold-ish large entries qualify.
+        let (q, p) = fixture();
+        let (entries, c) = Naive.above_theta(&q, &p, 3.8);
+        let pairs = crate::types::canonical_pairs(&entries);
+        assert_eq!(
+            pairs,
+            vec![
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 2),
+                (2, 3),
+                (2, 4),
+                (3, 2),
+                (3, 3),
+                (3, 4)
+            ]
+        );
+        assert_eq!(c.candidates, 20);
+        assert_eq!(c.queries, 4);
+        assert_eq!(c.results, 10);
+        for e in &entries {
+            assert!(e.value >= 3.8);
+        }
+        // spot-check a value from the figure
+        let e00 = entries.iter().find(|e| e.query == 0 && e.probe == 0).unwrap();
+        assert!((e00.value - 4.88).abs() < 1e-9); // 3.2*1.6 − 0.4*0.6
+    }
+
+    #[test]
+    fn above_theta_empty_result_for_huge_theta() {
+        let (q, p) = fixture();
+        let (entries, _) = Naive.above_theta(&q, &p, 1e9);
+        assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn row_top_k_ranks_each_row() {
+        let (q, p) = fixture();
+        let (lists, c) = Naive.row_top_k(&q, &p, 2);
+        assert_eq!(lists.len(), 4);
+        for l in &lists {
+            assert_eq!(l.len(), 2);
+            assert!(l[0].score >= l[1].score);
+        }
+        // user 0 (action fan): top movies are the action ones (ids 0, 1)
+        let ids: Vec<usize> = lists[0].iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(c.results, 8);
+    }
+
+    #[test]
+    fn row_top_k_with_k_larger_than_n_returns_all() {
+        let (q, p) = fixture();
+        let (lists, _) = Naive.row_top_k(&q, &p, 100);
+        for l in &lists {
+            assert_eq!(l.len(), p.len());
+        }
+    }
+
+    #[test]
+    fn row_top_k_zero_k_is_empty() {
+        let (q, p) = fixture();
+        let (lists, c) = Naive.row_top_k(&q, &p, 0);
+        assert!(lists.iter().all(Vec::is_empty));
+        assert_eq!(c.results, 0);
+    }
+}

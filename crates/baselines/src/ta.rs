@@ -1,0 +1,465 @@
+//! The threshold algorithm (TA) of Fagin et al., adapted to inner products.
+//!
+//! Sec. 5 of the paper: "TA arranges the values of each coordinate of the
+//! probe vectors in a sorted list, one per coordinate. Given a query, TA
+//! repeatedly selects a suitable list …, retrieves the next vector from the
+//! top of the list, and maintains the set of the top-k results seen so far.
+//! TA uses a termination criterion to stop processing as early as possible."
+//! and "the only difference is that sorted lists need to be processed
+//! bottom-to-top when the respective coordinate of the query vector is
+//! negative."
+//!
+//! List selection follows the paper's experimental setup (Sec. 6.1): "we
+//! followed common practice and selected in each step the sorted list `i`
+//! that maximized `qᵢpᵢ`, where `pᵢ` refers to the next coordinate value in
+//! list `i` … we implemented it efficiently using a max-heap."
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use lemp_linalg::{kernels, TopK, VectorStore};
+
+use crate::types::{Entry, RetrievalCounters, TopKLists};
+
+/// Per-coordinate descending sorted lists over a probe store, plus the store
+/// itself for random-access verification.
+#[derive(Debug, Clone)]
+pub struct TaIndex {
+    probes: VectorStore,
+    /// `ids[f]` — probe ids sorted by descending coordinate `f`.
+    ids: Vec<Vec<u32>>,
+    /// `vals[f][rank]` — the coordinate value of `ids[f][rank]`.
+    vals: Vec<Vec<f64>>,
+    build_ns: u64,
+}
+
+/// A heap entry: the marginal contribution `q_f · v` of the next unread
+/// value `v` of list `f`. Max-heap on `contrib`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Frontier {
+    contrib: f64,
+    list: u32,
+    /// Next unread rank in the list (top-down for positive `q_f`,
+    /// bottom-up for negative).
+    rank: u32,
+}
+
+impl Eq for Frontier {}
+
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.contrib.partial_cmp(&other.contrib).expect("finite contributions")
+    }
+}
+
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Numerical slack on the incremental termination bound `T`; being
+/// conservative here only delays termination, never drops results.
+const T_SLACK: f64 = 1e-9;
+
+impl TaIndex {
+    /// Builds the `r` sorted lists in O(r·n·log n).
+    pub fn build(probes: &VectorStore) -> Self {
+        let start = Instant::now();
+        let n = probes.len();
+        let dim = probes.dim();
+        let mut ids = Vec::with_capacity(dim);
+        let mut vals = Vec::with_capacity(dim);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        for f in 0..dim {
+            order.sort_by(|&a, &b| {
+                let va = probes.vector(a as usize)[f];
+                let vb = probes.vector(b as usize)[f];
+                vb.partial_cmp(&va).expect("finite coordinates").then(a.cmp(&b))
+            });
+            ids.push(order.clone());
+            vals.push(order.iter().map(|&i| probes.vector(i as usize)[f]).collect());
+        }
+        Self { probes: probes.clone(), ids, vals, build_ns: start.elapsed().as_nanos() as u64 }
+    }
+
+    /// Index-construction time in nanoseconds.
+    pub fn build_ns(&self) -> u64 {
+        self.build_ns
+    }
+
+    /// Number of indexed probe vectors.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// `true` if no probe vectors are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// Initializes the frontier heap and the initial bound `T` for a query.
+    fn init_frontiers(&self, q: &[f64], heap: &mut BinaryHeap<Frontier>) -> f64 {
+        heap.clear();
+        let n = self.probes.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut t = 0.0;
+        for (f, &qf) in q.iter().enumerate() {
+            if qf == 0.0 {
+                continue;
+            }
+            let rank = if qf > 0.0 { 0 } else { n - 1 };
+            let contrib = qf * self.vals[f][rank];
+            t += contrib;
+            heap.push(Frontier { contrib, list: f as u32, rank: rank as u32 });
+        }
+        t
+    }
+
+    /// Advances list `fr.list` one step in its scan direction; returns the
+    /// next frontier if the list is not exhausted.
+    fn advance(&self, q: &[f64], fr: Frontier) -> Option<Frontier> {
+        let f = fr.list as usize;
+        let qf = q[f];
+        let n = self.vals[f].len();
+        let next_rank = if qf > 0.0 {
+            let r = fr.rank as usize + 1;
+            if r >= n {
+                return None;
+            }
+            r
+        } else {
+            if fr.rank == 0 {
+                return None;
+            }
+            fr.rank as usize - 1
+        };
+        Some(Frontier { contrib: qf * self.vals[f][next_rank], list: fr.list, rank: next_rank as u32 })
+    }
+
+    /// Above-θ for a single query; appends `(probe_id, value)` pairs.
+    /// Returns the number of full inner products computed.
+    pub fn query_above_into(
+        &self,
+        q: &[f64],
+        theta: f64,
+        seen: &mut SeenSet,
+        out: &mut Vec<(u32, f64)>,
+    ) -> u64 {
+        let n = self.probes.len();
+        let mut heap = BinaryHeap::new();
+        let mut t = self.init_frontiers(q, &mut heap);
+        seen.begin_query();
+        let mut dots = 0u64;
+        let mut seen_count = 0usize;
+        // All-zero query: every inner product is 0.
+        if heap.is_empty() {
+            if 0.0 >= theta {
+                out.extend((0..n as u32).map(|j| (j, 0.0)));
+            }
+            return 0;
+        }
+        while let Some(fr) = heap.pop() {
+            if t < theta - T_SLACK * (1.0 + theta.abs()) {
+                break; // no unseen vector can reach θ
+            }
+            let id = self.ids[fr.list as usize][fr.rank as usize];
+            if seen.insert(id) {
+                let v = kernels::dot(q, self.probes.vector(id as usize));
+                dots += 1;
+                seen_count += 1;
+                if v >= theta {
+                    out.push((id, v));
+                }
+                if seen_count == n {
+                    break; // every probe evaluated
+                }
+            }
+            if let Some(next) = self.advance(q, fr) {
+                t += next.contrib - fr.contrib;
+                heap.push(next);
+            } else {
+                t -= fr.contrib;
+            }
+        }
+        dots
+    }
+
+    /// Row-Top-k for a single query into a reusable [`TopK`]. Returns the
+    /// number of full inner products computed.
+    pub fn query_top_k_into(&self, q: &[f64], top: &mut TopK, seen: &mut SeenSet) -> u64 {
+        let n = self.probes.len();
+        let mut heap = BinaryHeap::new();
+        let mut t = self.init_frontiers(q, &mut heap);
+        seen.begin_query();
+        let mut dots = 0u64;
+        let mut seen_count = 0usize;
+        if heap.is_empty() {
+            // All-zero query: any k probes tie at score 0.
+            for j in 0..n.min(top.k()) {
+                top.push(j, 0.0);
+            }
+            return 0;
+        }
+        while let Some(fr) = heap.pop() {
+            if top.is_full() && top.threshold() >= t + T_SLACK * (1.0 + t.abs()) {
+                break; // no unseen vector can enter the top-k
+            }
+            let id = self.ids[fr.list as usize][fr.rank as usize];
+            if seen.insert(id) {
+                let v = kernels::dot(q, self.probes.vector(id as usize));
+                dots += 1;
+                seen_count += 1;
+                top.push(id as usize, v);
+                if seen_count == n {
+                    break;
+                }
+            }
+            if let Some(next) = self.advance(q, fr) {
+                t += next.contrib - fr.contrib;
+                heap.push(next);
+            } else {
+                t -= fr.contrib;
+            }
+        }
+        dots
+    }
+
+    /// Solves Above-θ for every query.
+    pub fn above_theta(
+        &self,
+        queries: &VectorStore,
+        theta: f64,
+    ) -> (Vec<Entry>, RetrievalCounters) {
+        let start = Instant::now();
+        let mut entries = Vec::new();
+        let mut seen = SeenSet::new(self.probes.len());
+        let mut row: Vec<(u32, f64)> = Vec::new();
+        let mut dots = 0u64;
+        for (i, q) in queries.iter().enumerate() {
+            row.clear();
+            dots += self.query_above_into(q, theta, &mut seen, &mut row);
+            entries.extend(
+                row.iter().map(|&(j, v)| Entry { query: i as u32, probe: j, value: v }),
+            );
+        }
+        let counters = RetrievalCounters {
+            preprocess_ns: self.build_ns,
+            retrieval_ns: start.elapsed().as_nanos() as u64,
+            candidates: dots,
+            queries: queries.len() as u64,
+            results: entries.len() as u64,
+            ..Default::default()
+        };
+        (entries, counters)
+    }
+
+    /// Solves Row-Top-k for every query.
+    pub fn row_top_k(&self, queries: &VectorStore, k: usize) -> (TopKLists, RetrievalCounters) {
+        let start = Instant::now();
+        let mut lists = Vec::with_capacity(queries.len());
+        let mut top = TopK::new(k);
+        let mut seen = SeenSet::new(self.probes.len());
+        let mut dots = 0u64;
+        for q in queries.iter() {
+            dots += self.query_top_k_into(q, &mut top, &mut seen);
+            lists.push(top.drain_sorted());
+        }
+        let results: usize = lists.iter().map(Vec::len).sum();
+        let counters = RetrievalCounters {
+            preprocess_ns: self.build_ns,
+            retrieval_ns: start.elapsed().as_nanos() as u64,
+            candidates: dots,
+            queries: queries.len() as u64,
+            results: results as u64,
+            ..Default::default()
+        };
+        (lists, counters)
+    }
+}
+
+/// An epoch-stamped membership set over `[0, n)`: `begin_query` is O(1)
+/// instead of clearing (same trick the paper's Appendix A applies to the CP
+/// array).
+#[derive(Debug, Clone)]
+pub struct SeenSet {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl SeenSet {
+    /// A set over ids `0..n`, initially empty.
+    pub fn new(n: usize) -> Self {
+        Self { stamp: vec![0; n], epoch: 0 }
+    }
+
+    /// Grows the id universe to at least `n` (new ids start absent).
+    pub fn resize(&mut self, n: usize) {
+        if n > self.stamp.len() {
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    /// Empties the set in O(1) (epoch bump; wraps by clearing).
+    pub fn begin_query(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Inserts `id`; returns `true` if it was not yet present.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        let slot = &mut self.stamp[id as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.stamp[id as usize] == self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::Naive;
+    use crate::types::{canonical_pairs, topk_equivalent};
+    use lemp_data::synthetic::GeneratorConfig;
+
+    fn random_pair(m: usize, n: usize, dim: usize, seed: u64) -> (VectorStore, VectorStore) {
+        let q = GeneratorConfig::gaussian(m, dim, 0.8).generate(seed);
+        let p = GeneratorConfig::gaussian(n, dim, 0.8).generate(seed + 1);
+        (q, p)
+    }
+
+    #[test]
+    fn above_theta_agrees_with_naive() {
+        let (q, p) = random_pair(40, 120, 8, 10);
+        let idx = TaIndex::build(&p);
+        for theta in [0.2, 0.8, 2.0] {
+            let (got, counters) = idx.above_theta(&q, theta);
+            let (expect, _) = Naive.above_theta(&q, &p, theta);
+            assert_eq!(canonical_pairs(&got), canonical_pairs(&expect), "theta {theta}");
+            assert!(counters.candidates <= (q.len() * p.len()) as u64);
+        }
+    }
+
+    #[test]
+    fn top_k_agrees_with_naive() {
+        let (q, p) = random_pair(30, 100, 6, 20);
+        let idx = TaIndex::build(&p);
+        for k in [1usize, 3, 10] {
+            let (got, _) = idx.row_top_k(&q, k);
+            let (expect, _) = Naive.row_top_k(&q, &p, k);
+            assert!(topk_equivalent(&got, &expect, 1e-9), "k {k}");
+        }
+    }
+
+    #[test]
+    fn negative_coordinates_scan_bottom_up_correctly() {
+        // Queries with strictly negative coordinates exercise the bottom-up
+        // list direction.
+        let q = VectorStore::from_rows(&[vec![-1.0, -2.0], vec![-3.0, 0.5]]).unwrap();
+        let p = GeneratorConfig::gaussian(80, 2, 0.5).generate(3);
+        let idx = TaIndex::build(&p);
+        let (got, _) = idx.row_top_k(&q, 5);
+        let (expect, _) = Naive.row_top_k(&q, &p, 5);
+        assert!(topk_equivalent(&got, &expect, 1e-9));
+        let (got, _) = idx.above_theta(&q, 0.5);
+        let (expect, _) = Naive.above_theta(&q, &p, 0.5);
+        assert_eq!(canonical_pairs(&got), canonical_pairs(&expect));
+    }
+
+    #[test]
+    fn zero_query_vector_is_handled() {
+        let q = VectorStore::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        let p = GeneratorConfig::gaussian(10, 2, 0.5).generate(4);
+        let idx = TaIndex::build(&p);
+        // θ > 0: nothing qualifies
+        let (got, _) = idx.above_theta(&q, 0.1);
+        assert!(got.is_empty());
+        // θ ≤ 0: everything qualifies at value 0
+        let (got, _) = idx.above_theta(&q, 0.0);
+        assert_eq!(got.len(), 10);
+        // top-k still returns k items (all tied at 0)
+        let (lists, _) = idx.row_top_k(&q, 3);
+        assert_eq!(lists[0].len(), 3);
+        assert!(lists[0].iter().all(|s| s.score == 0.0));
+    }
+
+    #[test]
+    fn early_termination_prunes_on_skewed_data() {
+        // One very long probe dominates; TA must stop long before scanning
+        // everything for k = 1.
+        let mut rows = vec![vec![100.0, 100.0]];
+        for i in 0..500 {
+            let x = 0.001 + (i as f64) * 1e-6;
+            rows.push(vec![x, x]);
+        }
+        let p = VectorStore::from_rows(&rows).unwrap();
+        let q = VectorStore::from_rows(&[vec![1.0, 1.0]]).unwrap();
+        let idx = TaIndex::build(&p);
+        let (lists, counters) = idx.row_top_k(&q, 1);
+        assert_eq!(lists[0][0].id, 0);
+        assert!(
+            counters.candidates < 20,
+            "expected early termination, evaluated {}",
+            counters.candidates
+        );
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_everything() {
+        let (q, p) = random_pair(5, 12, 4, 30);
+        let idx = TaIndex::build(&p);
+        let (lists, _) = idx.row_top_k(&q, 50);
+        for l in &lists {
+            assert_eq!(l.len(), 12);
+        }
+    }
+
+    #[test]
+    fn empty_probe_store() {
+        let p = VectorStore::empty(3).unwrap();
+        let q = VectorStore::from_rows(&[vec![1.0, 0.0, 0.0]]).unwrap();
+        let idx = TaIndex::build(&p);
+        let (e, _) = idx.above_theta(&q, 0.5);
+        assert!(e.is_empty());
+        let (l, _) = idx.row_top_k(&q, 3);
+        assert!(l[0].is_empty());
+    }
+
+    #[test]
+    fn seen_set_epochs() {
+        let mut s = SeenSet::new(4);
+        s.begin_query();
+        assert!(s.insert(2));
+        assert!(!s.insert(2));
+        assert!(s.contains(2));
+        s.begin_query();
+        assert!(!s.contains(2));
+        assert!(s.insert(2));
+    }
+
+    #[test]
+    fn sparse_probe_data_agrees_with_naive() {
+        let q = GeneratorConfig::sparse(20, 10, 1.0, 0.3).generate(5);
+        let p = GeneratorConfig::sparse(60, 10, 1.0, 0.3).generate(6);
+        let idx = TaIndex::build(&p);
+        let (got, _) = idx.above_theta(&q, 0.7);
+        let (expect, _) = Naive.above_theta(&q, &p, 0.7);
+        assert_eq!(canonical_pairs(&got), canonical_pairs(&expect));
+    }
+}

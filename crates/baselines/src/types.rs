@@ -1,0 +1,173 @@
+//! Problem-level result types and instrumentation counters shared by every
+//! retrieval algorithm in the workspace.
+
+use lemp_linalg::ScoredItem;
+
+/// One large entry of the product matrix: `[QᵀP]_{query,probe} = value ≥ θ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry {
+    /// Row index (query-vector id `i`).
+    pub query: u32,
+    /// Column index (probe-vector id `j`).
+    pub probe: u32,
+    /// The inner product `qᵢᵀpⱼ`.
+    pub value: f64,
+}
+
+/// Row-Top-k output: for every query (outer index) the retained probes
+/// sorted by descending inner product, ties by ascending probe id.
+pub type TopKLists = Vec<Vec<ScoredItem>>;
+
+/// Work counters every algorithm reports, mirroring the measurements in the
+/// paper's tables: wall-clock phases and the number of *candidates* — probe
+/// vectors whose full inner product with a query was computed ("|C|/q" in
+/// Tables 3–6).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RetrievalCounters {
+    /// Index-construction time (sorted lists, trees, buckets) in ns.
+    pub preprocess_ns: u64,
+    /// Parameter-tuning time (LEMP only) in ns.
+    pub tune_ns: u64,
+    /// Retrieval time in ns.
+    pub retrieval_ns: u64,
+    /// Full inner products computed during retrieval.
+    pub candidates: u64,
+    /// Number of queries processed.
+    pub queries: u64,
+    /// Number of result entries produced.
+    pub results: u64,
+}
+
+impl RetrievalCounters {
+    /// Average candidate-set size per query (`|C|/q` of the paper's tables);
+    /// 0 when no query ran.
+    pub fn candidates_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.candidates as f64 / self.queries as f64
+        }
+    }
+
+    /// Total wall-clock (preprocessing + tuning + retrieval) in seconds, the
+    /// quantity the paper's figures plot.
+    pub fn total_seconds(&self) -> f64 {
+        (self.preprocess_ns + self.tune_ns + self.retrieval_ns) as f64 / 1e9
+    }
+
+    /// Merges another counter set into this one (used when a run is split
+    /// across phases or threads).
+    pub fn merge(&mut self, other: &RetrievalCounters) {
+        self.preprocess_ns += other.preprocess_ns;
+        self.tune_ns += other.tune_ns;
+        self.retrieval_ns += other.retrieval_ns;
+        self.candidates += other.candidates;
+        self.queries += other.queries;
+        self.results += other.results;
+    }
+}
+
+/// Canonical form of an Above-θ result for comparisons: `(query, probe)`
+/// pairs sorted lexicographically.
+pub fn canonical_pairs(entries: &[Entry]) -> Vec<(u32, u32)> {
+    let mut pairs: Vec<(u32, u32)> = entries.iter().map(|e| (e.query, e.probe)).collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Canonical form of a Row-Top-k result: per query the sorted probe ids
+/// *without* scores. Two correct algorithms may legitimately differ on probes
+/// tied at the k-th score; [`topk_equivalent`] handles that case.
+pub fn canonical_topk(lists: &TopKLists) -> Vec<Vec<u32>> {
+    lists
+        .iter()
+        .map(|l| {
+            let mut ids: Vec<u32> = l.iter().map(|s| s.id as u32).collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect()
+}
+
+/// Whether two Row-Top-k results are equivalent up to ties: per query the
+/// multisets of retained *scores* must match to `tol` (the ids may differ
+/// only where scores tie, which this check permits).
+pub fn topk_equivalent(a: &TopKLists, b: &TopKLists, tol: f64) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    for (la, lb) in a.iter().zip(b) {
+        if la.len() != lb.len() {
+            return false;
+        }
+        let mut sa: Vec<f64> = la.iter().map(|s| s.score).collect();
+        let mut sb: Vec<f64> = lb.iter().map(|s| s.score).collect();
+        sa.sort_by(|x, y| x.partial_cmp(y).expect("finite scores"));
+        sb.sort_by(|x, y| x.partial_cmp(y).expect("finite scores"));
+        if sa.iter().zip(&sb).any(|(x, y)| (x - y).abs() > tol) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_average_and_total() {
+        let c = RetrievalCounters {
+            preprocess_ns: 1_000_000_000,
+            tune_ns: 500_000_000,
+            retrieval_ns: 1_500_000_000,
+            candidates: 100,
+            queries: 4,
+            results: 7,
+        };
+        assert!((c.candidates_per_query() - 25.0).abs() < 1e-12);
+        assert!((c.total_seconds() - 3.0).abs() < 1e-12);
+        assert_eq!(RetrievalCounters::default().candidates_per_query(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RetrievalCounters { queries: 1, candidates: 2, ..Default::default() };
+        let b = RetrievalCounters { queries: 3, candidates: 5, results: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.queries, 4);
+        assert_eq!(a.candidates, 7);
+        assert_eq!(a.results, 1);
+    }
+
+    #[test]
+    fn canonical_pairs_sorts() {
+        let entries = vec![
+            Entry { query: 1, probe: 2, value: 0.5 },
+            Entry { query: 0, probe: 9, value: 1.5 },
+            Entry { query: 1, probe: 0, value: 0.7 },
+        ];
+        assert_eq!(canonical_pairs(&entries), vec![(0, 9), (1, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn topk_equivalence_tolerates_tied_id_swaps() {
+        use lemp_linalg::ScoredItem;
+        let a = vec![vec![
+            ScoredItem { id: 0, score: 1.0 },
+            ScoredItem { id: 1, score: 0.5 },
+        ]];
+        let b = vec![vec![
+            ScoredItem { id: 2, score: 1.0 }, // different id, same score: a tie swap
+            ScoredItem { id: 1, score: 0.5 },
+        ]];
+        assert!(topk_equivalent(&a, &b, 1e-9));
+        let c = vec![vec![
+            ScoredItem { id: 0, score: 1.0 },
+            ScoredItem { id: 1, score: 0.4 },
+        ]];
+        assert!(!topk_equivalent(&a, &c, 1e-9));
+        assert!(!topk_equivalent(&a, &vec![], 1e-9));
+        assert!(!topk_equivalent(&a, &vec![vec![]], 1e-9));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the baseline algorithms.
+
+use lemp_baselines::types::{canonical_pairs, topk_equivalent};
+use lemp_baselines::{CoverTree, DualTree, Naive, TaIndex};
+use lemp_linalg::VectorStore;
+use proptest::prelude::*;
+
+fn store_strategy(
+    n: std::ops::Range<usize>,
+    dim: usize,
+) -> impl Strategy<Value = VectorStore> {
+    proptest::collection::vec(proptest::collection::vec(-4.0f64..4.0, dim..=dim), n)
+        .prop_map(|rows| VectorStore::from_rows(&rows).expect("finite rows"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// TA equals Naive on arbitrary stores, thresholds and k.
+    #[test]
+    fn ta_is_exact(
+        probes in store_strategy(1..80, 4),
+        queries in store_strategy(1..12, 4),
+        theta in -2.0f64..6.0,
+        k in 1usize..8,
+    ) {
+        let idx = TaIndex::build(&probes);
+        let (got, counters) = idx.above_theta(&queries, theta);
+        let (expect, _) = Naive.above_theta(&queries, &probes, theta);
+        prop_assert_eq!(canonical_pairs(&got), canonical_pairs(&expect));
+        prop_assert!(counters.candidates <= (queries.len() * probes.len()) as u64);
+
+        let (got, _) = idx.row_top_k(&queries, k);
+        let (expect, _) = Naive.row_top_k(&queries, &probes, k);
+        prop_assert!(topk_equivalent(&got, &expect, 1e-9));
+    }
+
+    /// The cover tree's structural invariants hold for arbitrary inputs, and
+    /// its searches are exact.
+    #[test]
+    fn cover_tree_invariants_and_exactness(
+        probes in store_strategy(1..80, 3),
+        queries in store_strategy(1..10, 3),
+        theta in -2.0f64..6.0,
+    ) {
+        let tree = CoverTree::build(&probes, 1.3);
+        tree.validate_invariants().unwrap();
+        let (got, _) = tree.above_theta(&queries, theta);
+        let (expect, _) = Naive.above_theta(&queries, &probes, theta);
+        prop_assert_eq!(canonical_pairs(&got), canonical_pairs(&expect));
+        let (got, _) = tree.row_top_k(&queries, 3);
+        let (expect, _) = Naive.row_top_k(&queries, &probes, 3);
+        prop_assert!(topk_equivalent(&got, &expect, 1e-9));
+    }
+
+    /// The dual tree is exact for arbitrary inputs.
+    #[test]
+    fn dual_tree_exactness(
+        probes in store_strategy(1..60, 3),
+        queries in store_strategy(1..12, 3),
+        theta in -2.0f64..6.0,
+    ) {
+        let dt = DualTree::build(&queries, &probes, 1.3);
+        let (got, _) = dt.above_theta(theta);
+        let (expect, _) = Naive.above_theta(&queries, &probes, theta);
+        prop_assert_eq!(canonical_pairs(&got), canonical_pairs(&expect));
+        let (got, _) = dt.row_top_k(2);
+        let (expect, _) = Naive.row_top_k(&queries, &probes, 2);
+        prop_assert!(topk_equivalent(&got, &expect, 1e-9));
+    }
+
+    /// TA's candidate count (inner products) never exceeds Naive's and the
+    /// result count is consistent with it.
+    #[test]
+    fn ta_never_does_more_work_than_naive(
+        probes in store_strategy(1..60, 5),
+        queries in store_strategy(1..8, 5),
+        k in 1usize..6,
+    ) {
+        let idx = TaIndex::build(&probes);
+        let (lists, counters) = idx.row_top_k(&queries, k);
+        prop_assert!(counters.candidates <= (queries.len() * probes.len()) as u64);
+        for l in &lists {
+            prop_assert!(l.len() == k.min(probes.len()));
+        }
+    }
+}

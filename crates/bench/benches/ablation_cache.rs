@@ -1,0 +1,50 @@
+//! **Sec. 6.2 "caching effects"** as a criterion bench: cache-aware vs
+//! cache-oblivious bucketization on a low-length-skew (KDD-like) workload.
+//!
+//! Shape target (paper): the cache-aware version creates many more buckets
+//! and is clearly faster on low-skew data; differences are marginal on
+//! high-skew data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lemp_bench::workload::Workload;
+use lemp_core::{BucketPolicy, Lemp, LempVariant};
+use lemp_data::datasets::Dataset;
+
+fn bench_cache_policy(c: &mut Criterion) {
+    for (ds, scale) in [(Dataset::Kdd, 0.002), (Dataset::IeSvdT, 0.002)] {
+        let w = Workload::new(ds, scale, 42);
+        let mut group = c.benchmark_group(format!("ablation_cache/{}", w.name));
+        for (label, cache_bytes) in [("aware", BucketPolicy::default().cache_bytes), ("oblivious", 0)]
+        {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(label),
+                &cache_bytes,
+                |b, &cache_bytes| {
+                    b.iter(|| {
+                        let policy = BucketPolicy { cache_bytes, ..Default::default() };
+                        let mut engine = Lemp::builder()
+                            .variant(LempVariant::LI)
+                            .policy(policy)
+                            .build(&w.probes);
+                        engine.row_top_k(&w.queries, 10)
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cache_policy
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation for the Sec. 3.2 bucketization knobs: the length ratio that
+//! opens a new bucket (paper: 0.9) and the minimum bucket size (paper: 30).
+//!
+//! Shape targets:
+//! * the ratio is a mild knob — too close to 1.0 creates many tiny buckets
+//!   (per-bucket overhead), too low mixes lengths inside buckets (weaker
+//!   local thresholds, more candidates);
+//! * dropping the minimum size hurts on skewed data where the ratio rule
+//!   alone would fragment the tail into one-vector buckets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lemp_bench::workload::Workload;
+use lemp_core::{BucketPolicy, Lemp, LempVariant};
+use lemp_data::datasets::Dataset;
+
+fn bench_length_ratio(c: &mut Criterion) {
+    for (ds, scale) in [(Dataset::IeSvdT, 0.002), (Dataset::Netflix, 0.002)] {
+        let w = Workload::new(ds, scale, 42);
+        let mut group = c.benchmark_group(format!("ablation_ratio/{}", w.name));
+        for ratio in [0.5, 0.7, 0.9, 0.99] {
+            group.bench_with_input(BenchmarkId::from_parameter(ratio), &ratio, |b, &ratio| {
+                b.iter(|| {
+                    let policy = BucketPolicy { length_ratio: ratio, ..Default::default() };
+                    let mut engine =
+                        Lemp::builder().variant(LempVariant::LI).policy(policy).build(&w.probes);
+                    engine.row_top_k(&w.queries, 10)
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_min_bucket(c: &mut Criterion) {
+    let w = Workload::new(Dataset::IeSvdT, 0.002, 42);
+    let mut group = c.benchmark_group(format!("ablation_min_bucket/{}", w.name));
+    for min_bucket in [1usize, 10, 30, 100] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(min_bucket),
+            &min_bucket,
+            |b, &min_bucket| {
+                b.iter(|| {
+                    let policy = BucketPolicy { min_bucket, ..Default::default() };
+                    let mut engine =
+                        Lemp::builder().variant(LempVariant::LI).policy(policy).build(&w.probes);
+                    engine.row_top_k(&w.queries, 10)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_length_ratio, bench_min_bucket
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Approximate MIPS methods (the paper's related work \[15, 16, 17\])
+//! against the exact LEMP engine: retrieval time at practical knob
+//! settings. Recall at the same settings is reported by the
+//! `repro-approx` binary; this bench captures the time side only.
+//!
+//! Shape targets: SRP Hamming ranking and the PCA tree beat the exact
+//! engine per query once their budgets are small fractions of `n`; the
+//! centroid method amortizes the exact engine over queries-per-cluster and
+//! wins when queries are plentiful relative to clusters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lemp_approx::{
+    centroid_row_top_k, CentroidConfig, PcaTree, PcaTreeConfig, SrpConfig, SrpLsh,
+};
+use lemp_bench::workload::Workload;
+use lemp_core::{Lemp, LempVariant};
+use lemp_data::datasets::Dataset;
+
+const K: usize = 10;
+
+fn bench_approx(c: &mut Criterion) {
+    let w = Workload::new(Dataset::Netflix, 0.003, 42);
+    let mut group = c.benchmark_group(format!("approx_topk/{}", w.name));
+
+    group.bench_function("exact-LI", |b| {
+        let mut engine = Lemp::builder().variant(LempVariant::LI).build(&w.probes);
+        let _ = engine.row_top_k(&w.queries, K);
+        b.iter(|| engine.row_top_k(&w.queries, K));
+    });
+
+    group.bench_function("srp-budget-16k", |b| {
+        let index = SrpLsh::build(&w.probes, &SrpConfig::default()).expect("valid probes");
+        b.iter(|| index.row_top_k(&w.queries, K, 16 * K));
+    });
+
+    group.bench_function("pca-quarter-leaves", |b| {
+        let tree = PcaTree::build(&w.probes, &PcaTreeConfig::default()).expect("valid probes");
+        let budget = (tree.leaves() / 4).max(1);
+        b.iter(|| tree.row_top_k(&w.queries, K, budget));
+    });
+
+    group.bench_function("centroid-64x4", |b| {
+        let cfg = CentroidConfig { clusters: 64, expand: 4, ..Default::default() };
+        b.iter(|| centroid_row_top_k(&w.queries, &w.probes, K, &cfg).expect("valid config"));
+    });
+
+    group.finish();
+}
+
+fn bench_approx_build(c: &mut Criterion) {
+    let w = Workload::new(Dataset::Netflix, 0.003, 42);
+    let mut group = c.benchmark_group(format!("approx_build/{}", w.name));
+    group.bench_function("srp", |b| {
+        b.iter(|| SrpLsh::build(&w.probes, &SrpConfig::default()).expect("valid probes"));
+    });
+    group.bench_function("pca-tree", |b| {
+        b.iter(|| PcaTree::build(&w.probes, &PcaTreeConfig::default()).expect("valid probes"));
+    });
+    group.bench_function("exact-lemp-bucketize", |b| {
+        b.iter(|| Lemp::builder().build(&w.probes));
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_approx, bench_approx_build
+}
+criterion_main!(benches);

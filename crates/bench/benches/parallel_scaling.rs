@@ -1,0 +1,50 @@
+//! Thread-scaling of the retrieval phase (a faithful extension: queries
+//! are independent, so the paper's single-threaded setting parallelizes
+//! trivially over disjoint query ranges).
+//!
+//! Shape target: near-linear scaling while the probe buckets stay
+//! cache-resident per core; preprocessing and tuning are serial and bound
+//! the speedup at small scales (Amdahl).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lemp_bench::workload::Workload;
+use lemp_core::{Lemp, LempVariant};
+use lemp_data::datasets::Dataset;
+
+fn bench_threads(c: &mut Criterion) {
+    for (ds, scale) in [(Dataset::Kdd, 0.002), (Dataset::IeSvdT, 0.003)] {
+        let w = Workload::new(ds, scale, 42);
+        let mut group = c.benchmark_group(format!("parallel_scaling/{}", w.name));
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(threads),
+                &threads,
+                |b, &threads| {
+                    // Build (and lazily index) once per thread count; measure
+                    // retrieval only, as the paper's tables separate phases.
+                    let mut engine = Lemp::builder()
+                        .variant(LempVariant::LI)
+                        .threads(threads)
+                        .build(&w.probes);
+                    let _ = engine.row_top_k(&w.queries, 10); // warm indexes
+                    b.iter(|| engine.row_top_k(&w.queries, 10));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_threads
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! **Table 2** as a criterion bench: preprocessing (index construction)
+//! time per method on scaled datasets.
+//!
+//! Shape target (paper): trees cost the most, TA is a cheap per-coordinate
+//! sort, LEMP's bucketization + lazy indexing is cheapest on skewed data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lemp_baselines::{CoverTree, DualTree, TaIndex};
+use lemp_bench::workload::Workload;
+use lemp_core::{BucketPolicy, ProbeBuckets};
+use lemp_data::datasets::Dataset;
+use std::hint::black_box;
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_preprocessing");
+    for ds in [Dataset::IeSvd, Dataset::Netflix] {
+        let w = Workload::new(ds, 0.002, 42);
+        group.bench_with_input(BenchmarkId::new("LEMP_buckets", w.name.clone()), &w, |b, w| {
+            b.iter(|| ProbeBuckets::build(black_box(&w.probes), &BucketPolicy::default()));
+        });
+        group.bench_with_input(BenchmarkId::new("TA_lists", w.name.clone()), &w, |b, w| {
+            b.iter(|| TaIndex::build(black_box(&w.probes)));
+        });
+        group.bench_with_input(BenchmarkId::new("Tree", w.name.clone()), &w, |b, w| {
+            b.iter(|| CoverTree::build(black_box(&w.probes), 1.3));
+        });
+        group.bench_with_input(BenchmarkId::new("D-Tree", w.name.clone()), &w, |b, w| {
+            b.iter(|| DualTree::build(black_box(&w.queries), black_box(&w.probes), 1.3));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_preprocessing
+}
+criterion_main!(benches);

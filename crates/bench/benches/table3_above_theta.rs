@@ -1,0 +1,47 @@
+//! **Table 3 / Fig. 5 / Fig. 6a** as a criterion bench: Above-θ across the
+//! paper's algorithm lineup on the IE datasets, at a low ("Fig. 5, @1k") and
+//! a high ("Fig. 6a, @1M") recall level.
+//!
+//! Shape target (paper): LEMP fastest, then Tree/TA, D-Tree last among the
+//! indexes, Naive θ-independent and slowest on skewed data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lemp_bench::runners::{run_above, Algo};
+use lemp_bench::workload::Workload;
+use lemp_data::datasets::Dataset;
+
+fn bench_above(c: &mut Criterion) {
+    for ds in [Dataset::IeSvd, Dataset::IeNmf] {
+        let w = Workload::new(ds, 0.002, 42);
+        let levels = w.recall_levels(43);
+        let low = levels.first().expect("levels").clone();
+        let high = levels.last().expect("levels").clone();
+        for (fig, level) in [("fig5_low", low), ("fig6a_high", high)] {
+            let mut group = c.benchmark_group(format!("table3/{}/{}", w.name, fig));
+            for algo in Algo::paper_lineup() {
+                group.bench_with_input(
+                    BenchmarkId::from_parameter(algo.name()),
+                    &algo,
+                    |b, &algo| {
+                        b.iter(|| run_above(algo, &w, level.theta));
+                    },
+                );
+            }
+            group.finish();
+        }
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_above
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! **Table 4 / Fig. 6b** as a criterion bench: Row-Top-k across the paper's
+//! algorithm lineup on the transposed IE datasets and Netflix, at k = 1 (the
+//! Fig. 6b headline) and k = 10.
+//!
+//! Shape target (paper): LEMP wins, Tree second, TA collapses on dense
+//! low-skew data, D-Tree's group bounds are loose.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lemp_bench::runners::{run_topk, Algo};
+use lemp_bench::workload::Workload;
+use lemp_data::datasets::Dataset;
+
+fn bench_topk(c: &mut Criterion) {
+    for (ds, scale) in [
+        (Dataset::IeSvdT, 0.002),
+        (Dataset::IeNmfT, 0.002),
+        (Dataset::Netflix, 0.02),
+    ] {
+        let w = Workload::new(ds, scale, 42);
+        for k in [1usize, 10] {
+            let mut group = c.benchmark_group(format!("table4/{}/k{}", w.name, k));
+            for algo in Algo::paper_lineup() {
+                group.bench_with_input(
+                    BenchmarkId::from_parameter(algo.name()),
+                    &algo,
+                    |b, &algo| {
+                        b.iter(|| run_topk(algo, &w, k));
+                    },
+                );
+            }
+            group.finish();
+        }
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_topk
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! **Table 5 / Fig. 7a–b** as a criterion bench: the nine LEMP bucket-method
+//! variants on Above-θ (IE-SVD shape), at a mid recall level.
+//!
+//! Shape target (paper): LEMP-L strong at low recall on high-skew data,
+//! LEMP-I/LI best overall, L2AP slower than INCR despite pruning hardest,
+//! BLSH ≈ LEMP-L plus hashing overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lemp_bench::runners::{run_above, Algo};
+use lemp_bench::workload::Workload;
+use lemp_core::LempVariant;
+use lemp_data::datasets::Dataset;
+
+fn bench_variants_above(c: &mut Criterion) {
+    for ds in [Dataset::IeSvd, Dataset::IeNmf] {
+        let w = Workload::new(ds, 0.002, 42);
+        let levels = w.recall_levels(43);
+        let level = levels[levels.len() / 2].clone();
+        let mut group = c.benchmark_group(format!("table5/{}/{}", w.name, level.label));
+        for variant in LempVariant::all() {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(variant.name()),
+                &variant,
+                |b, &variant| {
+                    b.iter(|| run_above(Algo::Lemp(variant), &w, level.theta));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_variants_above
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! **Table 6 / Fig. 7c–f** as a criterion bench: the nine LEMP bucket-method
+//! variants on Row-Top-k (IE-SVDᵀ and Netflix shapes) at k = 10.
+//!
+//! Shape target (paper): LEMP-LI best or tied-best; INCR ≫ COORD on
+//! low-skew data; TA-in-bucket far better than standalone TA; L2AP's
+//! aggressive filters cost more than they save vs INCR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lemp_bench::runners::{run_topk, Algo};
+use lemp_bench::workload::Workload;
+use lemp_core::LempVariant;
+use lemp_data::datasets::Dataset;
+
+fn bench_variants_topk(c: &mut Criterion) {
+    for (ds, scale) in [(Dataset::IeSvdT, 0.002), (Dataset::Netflix, 0.02)] {
+        let w = Workload::new(ds, scale, 42);
+        let mut group = c.benchmark_group(format!("table6/{}/k10", w.name));
+        for variant in LempVariant::all() {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(variant.name()),
+                &variant,
+                |b, &variant| {
+                    b.iter(|| run_topk(Algo::Lemp(variant), &w, 10));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_variants_topk
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Regenerates the **Sec. 6.2 "caching effects"** ablation: cache-aware vs
+//! cache-oblivious bucketization on a low-length-skew dataset.
+//!
+//! The paper: "LEMP created more than 15x more buckets than its
+//! cache-oblivious version (403 vs. 26), and was more than twice as fast
+//! (16.7h vs. 7.3h)" on KDD, and "for datasets with large length skew,
+//! runtime differences were marginal".
+//!
+//! Usage: `cargo run --release --bin repro-ablation-cache [scale=0.01] [seed=42] [k=10]`
+
+use lemp_bench::report::{fmt_secs, preamble, print_table, Args};
+use lemp_bench::workload::Workload;
+use lemp_core::{BucketPolicy, Lemp, LempVariant};
+use lemp_data::datasets::Dataset;
+
+fn run(w: &Workload, cache_bytes: usize, k: usize) -> (usize, f64, f64) {
+    let policy = BucketPolicy { cache_bytes, ..Default::default() };
+    let start = std::time::Instant::now();
+    let mut engine =
+        Lemp::builder().variant(LempVariant::LI).policy(policy).build(&w.probes);
+    let out = engine.row_top_k(&w.queries, k);
+    (
+        out.stats.bucket_count,
+        start.elapsed().as_secs_f64(),
+        out.stats.counters.candidates_per_query(),
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_f64("scale", 0.01);
+    let seed = args.get_u64("seed", 42);
+    let k = args.get_u64("k", 10) as usize;
+    preamble("Sec. 6.2 ablation: cache-aware vs cache-oblivious buckets", scale, seed);
+
+    let mut rows = Vec::new();
+    for (ds, ds_scale) in [(Dataset::Kdd, scale * 0.4), (Dataset::IeSvdT, scale)] {
+        let w = Workload::new(ds, ds_scale, seed);
+        let (aware_buckets, aware_s, aware_c) = run(&w, BucketPolicy::default().cache_bytes, k);
+        let (obl_buckets, obl_s, obl_c) = run(&w, 0, k);
+        rows.push(vec![
+            w.name.clone(),
+            aware_buckets.to_string(),
+            fmt_secs(aware_s),
+            format!("{aware_c:.0}"),
+            obl_buckets.to_string(),
+            fmt_secs(obl_s),
+            format!("{obl_c:.0}"),
+            format!("{:.2}x", obl_s / aware_s),
+        ]);
+    }
+    print_table(
+        &format!("Cache ablation — Row-Top-{k}"),
+        &[
+            "Dataset",
+            "buckets",
+            "time",
+            "|C|/q",
+            "buckets(obl)",
+            "time(obl)",
+            "|C|/q(obl)",
+            "oblivious/aware",
+        ],
+        &rows,
+    );
+    println!(
+        "\nshape check (paper): many more buckets and a clear win for the cache-aware \
+         version on low-skew data (KDD); marginal differences on high-skew data."
+    );
+}

@@ -1,0 +1,61 @@
+//! Ablation for the Sec. 4.4 design choice: does the sample-based tuner
+//! (per-bucket `t_b` and `φ_b`) beat fixed configurations?
+//!
+//! Runs LEMP-I with φ forced to each value 1..5 (via a tuner sample of 0,
+//! which falls back to defaults — here emulated by running the pure
+//! variants with different fixed sample sizes) against the tuned LEMP-LI.
+//! Prints total time and candidates per query.
+//!
+//! Usage: `cargo run --release --bin repro-ablation-tuning [scale=0.01] [seed=42] [k=10]`
+
+use std::time::Instant;
+
+use lemp_bench::report::{fmt_secs, preamble, print_table, Args};
+use lemp_bench::workload::Workload;
+use lemp_core::{Lemp, LempVariant};
+use lemp_data::datasets::Dataset;
+
+fn run_once(w: &Workload, variant: LempVariant, sample: usize, k: usize) -> (f64, f64) {
+    let start = Instant::now();
+    let mut engine = Lemp::builder().variant(variant).sample_size(sample).build(&w.probes);
+    let out = engine.row_top_k(&w.queries, k);
+    (start.elapsed().as_secs_f64(), out.stats.counters.candidates_per_query())
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_f64("scale", 0.01);
+    let seed = args.get_u64("seed", 42);
+    let k = args.get_u64("k", 10) as usize;
+    preamble("Sec. 4.4 ablation: tuned vs untuned method selection", scale, seed);
+
+    let mut rows = Vec::new();
+    for ds in [Dataset::IeSvdT, Dataset::Netflix] {
+        let w = Workload::new(ds, scale, seed);
+        // Untuned single methods (sample 0 → default parameters).
+        for (label, variant, sample) in [
+            ("LEMP-L (no tuning)", LempVariant::L, 0),
+            ("LEMP-I (untuned φ)", LempVariant::I, 0),
+            ("LEMP-I (tuned φ)", LempVariant::I, 50),
+            ("LEMP-LI (tuned t_b, φ_b)", LempVariant::LI, 50),
+        ] {
+            let (secs, cpq) = run_once(&w, variant, sample, k);
+            rows.push(vec![
+                w.name.clone(),
+                label.to_string(),
+                fmt_secs(secs),
+                format!("{cpq:.0}"),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Tuning ablation — Row-Top-{k}"),
+        &["Dataset", "Configuration", "time", "|C|/q"],
+        &rows,
+    );
+    println!(
+        "\nshape check (paper, Sec. 6.3): the tuned hybrid matches or beats every fixed \
+         configuration — 'LEMP-LI, for a small extra tuning cost, combines the strong \
+         points of both methods.'"
+    );
+}

@@ -1,0 +1,102 @@
+//! Extension experiment: the approximate MIPS methods of the paper's
+//! related work (\[15\] ALSH/SRP-LSH, \[16\] XBOX + PCA-tree,
+//! \[17\] query centroids) against exact LEMP — time *and* recall per knob
+//! setting, the table the paper's Sec. 5 discussion implies but does not
+//! run.
+//!
+//! Shape targets: every method sweeps from fast/low-recall to
+//! exact-at-max-knob; SRP and PCA beat exact per query at moderate recall;
+//! the centroid method wins only when many queries share a cluster.
+//!
+//! Usage: `cargo run --release --bin repro-approx [scale=0.003] [seed=42] [k=10]`
+
+use std::time::Instant;
+
+use lemp_approx::recall::topk_recall;
+use lemp_approx::{
+    centroid_row_top_k, CentroidConfig, PcaTree, PcaTreeConfig, SrpConfig, SrpLsh,
+};
+use lemp_bench::report::{fmt_secs, preamble, print_table, Args};
+use lemp_bench::workload::Workload;
+use lemp_core::{Lemp, LempVariant};
+use lemp_data::datasets::Dataset;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_f64("scale", 0.003);
+    let seed = args.get_u64("seed", 42);
+    let k = args.get_u64("k", 10) as usize;
+    preamble("approximate methods vs exact LEMP (related-work extension)", scale, seed);
+
+    for ds in [Dataset::Netflix, Dataset::IeSvdT] {
+        let w = Workload::new(ds, scale, seed);
+        let mut rows = Vec::new();
+
+        let start = Instant::now();
+        let mut engine = Lemp::builder().variant(LempVariant::LI).build(&w.probes);
+        let exact = engine.row_top_k(&w.queries, k);
+        let exact_time = start.elapsed().as_secs_f64();
+        rows.push(vec![
+            "exact LEMP-LI".into(),
+            "—".into(),
+            fmt_secs(exact_time),
+            "1.0000".into(),
+        ]);
+
+        let start = Instant::now();
+        let srp = SrpLsh::build(&w.probes, &SrpConfig { seed, ..Default::default() })
+            .expect("valid probes");
+        let srp_build = start.elapsed().as_secs_f64();
+        for budget in [k, 4 * k, 16 * k, 64 * k] {
+            let start = Instant::now();
+            let lists = srp.row_top_k(&w.queries, k, budget);
+            let time = start.elapsed().as_secs_f64();
+            rows.push(vec![
+                format!("SRP-LSH (build {})", fmt_secs(srp_build)),
+                format!("budget={budget}"),
+                fmt_secs(time),
+                format!("{:.4}", topk_recall(&exact.lists, &lists, 1e-9)),
+            ]);
+        }
+
+        let start = Instant::now();
+        let tree = PcaTree::build(&w.probes, &PcaTreeConfig { seed, ..Default::default() })
+            .expect("valid probes");
+        let tree_build = start.elapsed().as_secs_f64();
+        let mut budgets: Vec<usize> = [1, tree.leaves() / 8, tree.leaves() / 2, tree.leaves()]
+            .into_iter()
+            .map(|b| b.max(1))
+            .collect();
+        budgets.dedup();
+        for budget in budgets {
+            let start = Instant::now();
+            let lists = tree.row_top_k(&w.queries, k, budget);
+            let time = start.elapsed().as_secs_f64();
+            rows.push(vec![
+                format!("PCA-tree (build {})", fmt_secs(tree_build)),
+                format!("leaves={budget}/{}", tree.leaves()),
+                fmt_secs(time),
+                format!("{:.4}", topk_recall(&exact.lists, &lists, 1e-9)),
+            ]);
+        }
+
+        for clusters in [16, 64, 256] {
+            let cfg = CentroidConfig { clusters, expand: 4, seed, ..Default::default() };
+            let start = Instant::now();
+            let out = centroid_row_top_k(&w.queries, &w.probes, k, &cfg).expect("valid config");
+            let time = start.elapsed().as_secs_f64();
+            rows.push(vec![
+                "centroids+LEMP".into(),
+                format!("clusters={clusters} expand=4"),
+                fmt_secs(time),
+                format!("{:.4}", topk_recall(&exact.lists, &out.lists, 1e-9)),
+            ]);
+        }
+
+        print_table(
+            &format!("{} — Row-Top-{k}, {} queries × {} probes", w.name, w.queries.len(), w.probes.len()),
+            &["method", "knob", "time", "recall"],
+            &rows,
+        );
+    }
+}

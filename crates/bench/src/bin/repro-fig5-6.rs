@@ -1,0 +1,78 @@
+//! Regenerates **Fig. 5** (Above-θ at the smallest recall level on the IE
+//! datasets) and **Fig. 6** (Above-θ at the largest level, plus Row-Top-1 on
+//! all four datasets) as bar-chart-style tables with speedup annotations —
+//! the "X.Yx" labels the paper prints over the LEMP bars.
+//!
+//! Usage: `cargo run --release --bin repro-fig5-6 [scale=0.01] [seed=42] [kdd_scale=0.004]`
+
+use lemp_bench::report::{fmt_secs, preamble, print_table, Args};
+use lemp_bench::runners::{run_above, run_topk, Algo, Measurement};
+use lemp_bench::workload::{above_datasets, topk_datasets, Workload};
+use lemp_data::datasets::Dataset;
+
+fn speedup_row(ms: &[Measurement]) -> Vec<Vec<String>> {
+    let lemp = ms.last().expect("LEMP runs last").total_s;
+    let best_other = ms[..ms.len() - 1]
+        .iter()
+        .map(|m| m.total_s)
+        .fold(f64::INFINITY, f64::min);
+    ms.iter()
+        .map(|m| {
+            let note = if m.algo.starts_with("LEMP") {
+                format!("{:.1}x vs next best", best_other / lemp)
+            } else {
+                String::new()
+            };
+            vec![m.algo.clone(), fmt_secs(m.total_s), note]
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_f64("scale", 0.01);
+    let kdd_scale = args.get_f64("kdd_scale", scale * 0.4);
+    let seed = args.get_u64("seed", 42);
+    preamble("Fig. 5 and Fig. 6: headline comparisons", scale, seed);
+
+    // Fig. 5: Above-θ at the smallest recall level (the paper's @1k).
+    for ds in above_datasets() {
+        let w = Workload::new(ds, scale, seed);
+        let levels = w.recall_levels(seed + 1);
+        let level = &levels[0];
+        let ms: Vec<Measurement> =
+            Algo::paper_lineup().iter().map(|&a| run_above(a, &w, level.theta)).collect();
+        print_table(
+            &format!("Fig. 5 — Above-θ {} on {}", level.label, w.name),
+            &["Algorithm", "total", "speedup"],
+            &speedup_row(&ms),
+        );
+    }
+
+    // Fig. 6a: Above-θ at the largest level (the paper's @1M).
+    for ds in above_datasets() {
+        let w = Workload::new(ds, scale, seed);
+        let levels = w.recall_levels(seed + 1);
+        let level = levels.last().expect("levels");
+        let ms: Vec<Measurement> =
+            Algo::paper_lineup().iter().map(|&a| run_above(a, &w, level.theta)).collect();
+        print_table(
+            &format!("Fig. 6a — Above-θ {} on {}", level.label, w.name),
+            &["Algorithm", "total", "speedup"],
+            &speedup_row(&ms),
+        );
+    }
+
+    // Fig. 6b: Row-Top-1 on all four datasets.
+    for ds in topk_datasets() {
+        let s = if ds == Dataset::Kdd { kdd_scale } else { scale };
+        let w = Workload::new(ds, s, seed);
+        let ms: Vec<Measurement> =
+            Algo::paper_lineup().iter().map(|&a| run_topk(a, &w, 1)).collect();
+        print_table(
+            &format!("Fig. 6b — Row-Top-1 on {}", w.name),
+            &["Algorithm", "total", "speedup"],
+            &speedup_row(&ms),
+        );
+    }
+}

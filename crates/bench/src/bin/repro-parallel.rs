@@ -1,0 +1,55 @@
+//! Extension experiment: thread scaling of LEMP's retrieval phase.
+//!
+//! The paper runs single-threaded; queries are embarrassingly parallel, so
+//! this table reports the retrieval-phase speedup over disjoint query
+//! ranges (preprocessing and tuning stay serial — the Amdahl bound shows
+//! in the total column).
+//!
+//! Usage: `cargo run --release --bin repro-parallel [scale=0.005] [seed=42] [k=10]`
+
+use std::time::Instant;
+
+use lemp_bench::report::{fmt_secs, preamble, print_table, Args};
+use lemp_bench::workload::Workload;
+use lemp_core::{Lemp, LempVariant};
+use lemp_data::datasets::Dataset;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_f64("scale", 0.005);
+    let seed = args.get_u64("seed", 42);
+    let k = args.get_u64("k", 10) as usize;
+    preamble("retrieval-phase thread scaling (extension)", scale, seed);
+
+    let mut rows = Vec::new();
+    for ds in [Dataset::Kdd, Dataset::IeSvdT, Dataset::Netflix] {
+        let w = Workload::new(ds, scale, seed);
+        let mut base_retrieval = 0.0;
+        for threads in [1usize, 2, 4, 8] {
+            let mut engine = Lemp::builder()
+                .variant(LempVariant::LI)
+                .threads(threads)
+                .build(&w.probes);
+            let _ = engine.row_top_k(&w.queries, k); // build indexes once
+            let start = Instant::now();
+            let out = engine.row_top_k(&w.queries, k);
+            let total = start.elapsed().as_secs_f64();
+            let retrieval = out.stats.counters.retrieval_ns as f64 / 1e9;
+            if threads == 1 {
+                base_retrieval = retrieval;
+            }
+            rows.push(vec![
+                w.name.clone(),
+                threads.to_string(),
+                fmt_secs(retrieval),
+                fmt_secs(total),
+                format!("{:.2}x", base_retrieval / retrieval.max(1e-12)),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Row-Top-{k} retrieval scaling"),
+        &["dataset", "threads", "retrieval", "total", "speedup"],
+        &rows,
+    );
+}

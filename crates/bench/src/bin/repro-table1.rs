@@ -1,0 +1,51 @@
+//! Regenerates **Table 1** (dataset statistics): shape, length CoV per side,
+//! % non-zero entries, and the Naive baseline time (measured at scale,
+//! extrapolated to paper size as `time/scale²`).
+//!
+//! Usage: `cargo run --release --bin repro-table1 [scale=0.01] [seed=42]`
+
+use lemp_bench::report::{fmt_secs, preamble, print_table, Args};
+use lemp_bench::runners::{run_topk, Algo};
+use lemp_bench::workload::Workload;
+use lemp_data::datasets::Dataset;
+use lemp_linalg::stats;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_f64("scale", 0.01);
+    let seed = args.get_u64("seed", 42);
+    preamble("Table 1: datasets", scale, seed);
+
+    let mut rows = Vec::new();
+    for ds in Dataset::all_base() {
+        let w = Workload::new(ds, scale, seed);
+        let q_cov = stats::cov(&w.queries.lengths());
+        let p_cov = stats::cov(&w.probes.lengths());
+        let nz = 100.0
+            * (stats::nonzero_fraction(w.queries.as_flat())
+                * w.queries.as_flat().len() as f64
+                + stats::nonzero_fraction(w.probes.as_flat()) * w.probes.as_flat().len() as f64)
+            / (w.queries.as_flat().len() + w.probes.as_flat().len()) as f64;
+        let naive = run_topk(Algo::Naive, &w, 1);
+        let paper_equiv_min = naive.total_s / (scale * scale) / 60.0;
+        rows.push(vec![
+            w.name.clone(),
+            w.queries.len().to_string(),
+            w.probes.len().to_string(),
+            format!("{q_cov:.2}"),
+            format!("{p_cov:.2}"),
+            format!("{nz:.1}"),
+            fmt_secs(naive.total_s),
+            format!("{paper_equiv_min:.0}"),
+        ]);
+    }
+    print_table(
+        "Table 1 — datasets (all r = 50)",
+        &["Dataset", "m", "n", "CoV Q", "CoV P", "%NonZero", "Naive", "~paper-scale (min)"],
+        &rows,
+    );
+    println!(
+        "\npaper reference: IE-NMF 1.56/5.53 36.2% 112min | IE-SVD 1.51/4.44 100% 113min | \
+         Netflix 0.43/0.72 100% 8.4min | KDD 0.38/0.40 100% 2910min"
+    );
+}

@@ -1,0 +1,58 @@
+//! Regenerates **Table 4** (and the data behind **Fig. 6b**): Row-Top-k
+//! comparison of Naive, Tree, D-Tree, TA and LEMP-LI on IE-SVDᵀ, IE-NMFᵀ,
+//! Netflix and KDD for k ∈ {1, 5, 10, 50}.
+//!
+//! Usage: `cargo run --release --bin repro-table4 [scale=0.01] [seed=42] [kdd_scale=0.004]`
+
+use lemp_bench::report::{fmt_secs, preamble, print_table, Args};
+use lemp_bench::runners::{run_topk, Algo};
+use lemp_bench::workload::{topk_datasets, Workload, TOP_K_VALUES};
+use lemp_data::datasets::Dataset;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_f64("scale", 0.01);
+    // KDD is 1M×624K at paper scale; default to a smaller slice of it.
+    let kdd_scale = args.get_f64("kdd_scale", scale * 0.4);
+    let seed = args.get_u64("seed", 42);
+    preamble("Table 4 / Fig. 6b: Row-Top-k vs prior methods", scale, seed);
+
+    for ds in topk_datasets() {
+        let s = if ds == Dataset::Kdd { kdd_scale } else { scale };
+        let w = Workload::new(ds, s, seed);
+        let mut rows = Vec::new();
+        for algo in Algo::paper_lineup() {
+            let mut row = vec![algo.name()];
+            for &k in &TOP_K_VALUES {
+                if algo == Algo::Naive && k != 1 {
+                    // The paper only runs Naive at k = 1 ("this is a fair
+                    // comparison because running times for larger k may be
+                    // slightly above but not below").
+                    row.push("-".into());
+                    row.push("-".into());
+                    continue;
+                }
+                let m = run_topk(algo, &w, k);
+                row.push(fmt_secs(m.total_s));
+                row.push(format!("({:.0})", m.candidates_per_query));
+            }
+            rows.push(row);
+        }
+        let mut headers: Vec<String> = vec!["Algorithm".into()];
+        for &k in &TOP_K_VALUES {
+            headers.push(format!("k={k}"));
+            headers.push("|C|/q".into());
+        }
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        print_table(
+            &format!("Table 4 — {} ({}×{})", w.name, w.queries.len(), w.probes.len()),
+            &header_refs,
+            &rows,
+        );
+    }
+    println!(
+        "\nshape check (paper): LEMP wins everywhere; Tree second on most datasets; \
+         TA collapses on the dense low-skew data (Netflix/KDD); D-Tree's group bounds \
+         are loose for top-k."
+    );
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Table 5** (and **Fig. 7a–b**): the nine LEMP bucket-method
+//! variants on the Above-θ problem, IE datasets, across recall levels.
+//!
+//! Usage: `cargo run --release --bin repro-table5 [scale=0.01] [seed=42]`
+
+use lemp_bench::report::{fmt_secs, preamble, print_table, Args};
+use lemp_bench::runners::{run_above, Algo};
+use lemp_bench::workload::{above_datasets, Workload};
+use lemp_core::LempVariant;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_f64("scale", 0.01);
+    let seed = args.get_u64("seed", 42);
+    preamble("Table 5 / Fig. 7a–b: LEMP bucket algorithms, Above-θ", scale, seed);
+
+    for ds in above_datasets() {
+        let w = Workload::new(ds, scale, seed);
+        let levels = w.recall_levels(seed + 1);
+        let mut rows = Vec::new();
+        for variant in LempVariant::all() {
+            let mut row = vec![variant.name().to_string()];
+            for level in &levels {
+                let m = run_above(Algo::Lemp(variant), &w, level.theta);
+                row.push(fmt_secs(m.total_s));
+                row.push(format!("({:.1})", m.candidates_per_query));
+            }
+            rows.push(row);
+        }
+        let mut headers: Vec<String> = vec!["Algorithm".into()];
+        for level in &levels {
+            headers.push(level.label.clone());
+            headers.push("|C|/q".into());
+        }
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        print_table(
+            &format!("Table 5 — {} ({}×{})", w.name, w.queries.len(), w.probes.len()),
+            &header_refs,
+            &rows,
+        );
+    }
+    println!(
+        "\nshape check (paper): LEMP-L wins at small recall on these high-skew datasets \
+         (bucket pruning does all the work); LEMP-I/LI take over as the result grows; \
+         L2AP has the smallest |C|/q but is slower than INCR; BLSH ≈ LEMP-L plus hashing \
+         overhead; Tree-in-bucket trails the specialized methods."
+    );
+}

@@ -1,0 +1,49 @@
+//! Regenerates **Table 6** (and **Fig. 7c–f**): the nine LEMP bucket-method
+//! variants on Row-Top-k over IE-SVDᵀ, IE-NMFᵀ, Netflix and KDD.
+//!
+//! Usage: `cargo run --release --bin repro-table6 [scale=0.01] [seed=42] [kdd_scale=0.004]`
+
+use lemp_bench::report::{fmt_secs, preamble, print_table, Args};
+use lemp_bench::runners::{run_topk, Algo};
+use lemp_bench::workload::{topk_datasets, Workload, TOP_K_VALUES};
+use lemp_core::LempVariant;
+use lemp_data::datasets::Dataset;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_f64("scale", 0.01);
+    let kdd_scale = args.get_f64("kdd_scale", scale * 0.4);
+    let seed = args.get_u64("seed", 42);
+    preamble("Table 6 / Fig. 7c–f: LEMP bucket algorithms, Row-Top-k", scale, seed);
+
+    for ds in topk_datasets() {
+        let s = if ds == Dataset::Kdd { kdd_scale } else { scale };
+        let w = Workload::new(ds, s, seed);
+        let mut rows = Vec::new();
+        for variant in LempVariant::all() {
+            let mut row = vec![variant.name().to_string()];
+            for &k in &TOP_K_VALUES {
+                let m = run_topk(Algo::Lemp(variant), &w, k);
+                row.push(fmt_secs(m.total_s));
+                row.push(format!("({:.0})", m.candidates_per_query));
+            }
+            rows.push(row);
+        }
+        let mut headers: Vec<String> = vec!["Algorithm".into()];
+        for &k in &TOP_K_VALUES {
+            headers.push(format!("k={k}"));
+            headers.push("|C|/q".into());
+        }
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        print_table(
+            &format!("Table 6 — {} ({}×{})", w.name, w.queries.len(), w.probes.len()),
+            &header_refs,
+            &rows,
+        );
+    }
+    println!(
+        "\nshape check (paper): LEMP-LI best or tied-best throughout; INCR ≫ COORD on the \
+         low-skew data (KDD); LEMP-L competitive only on high length skew; L2AP prunes \
+         hardest but runs slower; TA-in-bucket beats standalone TA massively."
+    );
+}

@@ -1,0 +1,18 @@
+//! Benchmark harness shared code: workload construction and table printing
+//! for regenerating every table and figure of the LEMP paper.
+//!
+//! The actual regenerators are the `repro-*` binaries (`src/bin/`) and the
+//! criterion benches (`benches/`); this library holds what they share:
+//!
+//! * [`workload`] — materialized datasets with calibrated θ values for the
+//!   paper's "@recall-level" Above-θ workloads (Sec. 6.1) and the k sweeps.
+//! * [`report`] — fixed-width table printing in the layout of Tables 3–6.
+//! * [`runners`] — one-call wrappers running each algorithm (Naive, TA,
+//!   Tree, D-Tree, and the nine LEMP variants) on a workload and returning
+//!   the measurements the paper reports (total time, |C|/q, preprocessing).
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runners;
+pub mod workload;

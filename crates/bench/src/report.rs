@@ -1,0 +1,117 @@
+//! Fixed-width table printing in the visual layout of the paper's tables,
+//! plus a tiny `key=value` CLI argument parser shared by the `repro-*`
+//! binaries.
+
+use std::collections::HashMap;
+
+/// Prints a titled fixed-width table; the first header is left-aligned, the
+/// rest right-aligned (the layout of Tables 3–6).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i == 0 {
+                line.push_str(&format!("{:<w$}  ", cell, w = widths[0]));
+            } else {
+                line.push_str(&format!("{:>w$}  ", cell, w = widths[i]));
+            }
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    let header_line = fmt_row(&header_cells);
+    println!("{header_line}");
+    println!("{}", "-".repeat(header_line.trim_end().len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Seconds → a compact human duration (`431ms`, `2.41s`, `1.2h`).
+pub fn fmt_secs(s: f64) -> String {
+    if s < 0.001 {
+        format!("{:.0}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.0}ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.2}s")
+    } else if s < 7200.0 {
+        format!("{:.1}m", s / 60.0)
+    } else {
+        format!("{:.1}h", s / 3600.0)
+    }
+}
+
+/// Parses `key=value` command-line arguments with typed getters.
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments (ignoring anything without `=`).
+    pub fn parse() -> Self {
+        let values = std::env::args()
+            .skip(1)
+            .filter_map(|a| {
+                a.split_once('=').map(|(k, v)| (k.trim_start_matches('-').to_string(), v.to_string()))
+            })
+            .collect();
+        Self { values }
+    }
+
+    /// `f64` argument with default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// `u64` argument with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// String argument with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+/// Standard preamble all `repro-*` binaries print.
+pub fn preamble(what: &str, scale: f64, seed: u64) {
+    println!("LEMP reproduction — {what}");
+    println!(
+        "scale={scale} seed={seed}  (override with scale=<f> seed=<u>; paper sizes are scale=1.0)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting_covers_ranges() {
+        assert_eq!(fmt_secs(0.0000015), "2us");
+        assert_eq!(fmt_secs(0.0005), "500us");
+        assert_eq!(fmt_secs(0.5), "500ms");
+        assert_eq!(fmt_secs(2.0), "2.00s");
+        assert_eq!(fmt_secs(300.0), "5.0m");
+        assert_eq!(fmt_secs(7200.0), "2.0h");
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(
+            "demo",
+            &["algo", "time"],
+            &[vec!["Naive".into(), "1.0s".into()], vec!["LEMP-LI".into(), "0.1s".into()]],
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! One-call wrappers running each compared algorithm on a workload.
+//!
+//! Every wrapper measures what the paper measures (Sec. 6.1 "Methodology"):
+//! **overall wall-clock time including preprocessing, tuning, and
+//! retrieval**, plus the average candidate-set size per query.
+
+use std::time::Instant;
+
+use lemp_baselines::{CoverTree, DualTree, Naive, TaIndex};
+use lemp_core::{Lemp, LempVariant};
+
+use crate::workload::Workload;
+
+/// An algorithm under comparison (the paper's Figs. 5–6 lineup plus the
+/// LEMP variants of Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Full product scan.
+    Naive,
+    /// Fagin's threshold algorithm over the whole probe matrix.
+    Ta,
+    /// Single cover tree (FastMKS).
+    Tree,
+    /// Dual cover trees.
+    DTree,
+    /// A LEMP variant.
+    Lemp(LempVariant),
+}
+
+impl Algo {
+    /// The paper's lineup for Tables 3–4 / Figs. 5–6.
+    pub fn paper_lineup() -> [Algo; 5] {
+        [Algo::Naive, Algo::DTree, Algo::Tree, Algo::Ta, Algo::Lemp(LempVariant::LI)]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> String {
+        match self {
+            Algo::Naive => "Naive".into(),
+            Algo::Ta => "TA".into(),
+            Algo::Tree => "Tree".into(),
+            Algo::DTree => "D-Tree".into(),
+            Algo::Lemp(v) => v.name().into(),
+        }
+    }
+}
+
+/// One measured run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Algorithm name.
+    pub algo: String,
+    /// Total wall-clock seconds (preprocessing + tuning + retrieval).
+    pub total_s: f64,
+    /// Preprocessing (index construction) seconds.
+    pub preprocess_s: f64,
+    /// Average candidates (full inner products) per query.
+    pub candidates_per_query: f64,
+    /// Result entries produced.
+    pub results: u64,
+}
+
+/// Runs one algorithm on the Above-θ problem.
+pub fn run_above(algo: Algo, w: &Workload, theta: f64) -> Measurement {
+    let start = Instant::now();
+    let (counters, results) = match algo {
+        Algo::Naive => {
+            let (entries, c) = Naive.above_theta(&w.queries, &w.probes, theta);
+            (c, entries.len() as u64)
+        }
+        Algo::Ta => {
+            let index = TaIndex::build(&w.probes);
+            let (entries, c) = index.above_theta(&w.queries, theta);
+            (c, entries.len() as u64)
+        }
+        Algo::Tree => {
+            let tree = CoverTree::build(&w.probes, 1.3);
+            let (entries, c) = tree.above_theta(&w.queries, theta);
+            (c, entries.len() as u64)
+        }
+        Algo::DTree => {
+            let dt = DualTree::build(&w.queries, &w.probes, 1.3);
+            let (entries, c) = dt.above_theta(theta);
+            (c, entries.len() as u64)
+        }
+        Algo::Lemp(variant) => {
+            let mut engine = Lemp::builder().variant(variant).build(&w.probes);
+            let out = engine.above_theta(&w.queries, theta);
+            (out.stats.counters, out.entries.len() as u64)
+        }
+    };
+    Measurement {
+        algo: algo.name(),
+        total_s: start.elapsed().as_secs_f64(),
+        preprocess_s: counters.preprocess_ns as f64 / 1e9,
+        candidates_per_query: counters.candidates_per_query(),
+        results,
+    }
+}
+
+/// Runs one algorithm on the Row-Top-k problem.
+pub fn run_topk(algo: Algo, w: &Workload, k: usize) -> Measurement {
+    let start = Instant::now();
+    let (counters, results) = match algo {
+        Algo::Naive => {
+            let (lists, c) = Naive.row_top_k(&w.queries, &w.probes, k);
+            (c, lists.iter().map(|l| l.len() as u64).sum())
+        }
+        Algo::Ta => {
+            let index = TaIndex::build(&w.probes);
+            let (lists, c) = index.row_top_k(&w.queries, k);
+            (c, lists.iter().map(|l| l.len() as u64).sum())
+        }
+        Algo::Tree => {
+            let tree = CoverTree::build(&w.probes, 1.3);
+            let (lists, c) = tree.row_top_k(&w.queries, k);
+            (c, lists.iter().map(|l| l.len() as u64).sum())
+        }
+        Algo::DTree => {
+            let dt = DualTree::build(&w.queries, &w.probes, 1.3);
+            let (lists, c) = dt.row_top_k(k);
+            (c, lists.iter().map(|l| l.len() as u64).sum())
+        }
+        Algo::Lemp(variant) => {
+            let mut engine = Lemp::builder().variant(variant).build(&w.probes);
+            let out = engine.row_top_k(&w.queries, k);
+            let n = out.lists.iter().map(|l| l.len() as u64).sum();
+            (out.stats.counters, n)
+        }
+    };
+    Measurement {
+        algo: algo.name(),
+        total_s: start.elapsed().as_secs_f64(),
+        preprocess_s: counters.preprocess_ns as f64 / 1e9,
+        candidates_per_query: counters.candidates_per_query(),
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemp_data::datasets::Dataset;
+
+    #[test]
+    fn all_algorithms_produce_matching_result_counts() {
+        let w = Workload::new(Dataset::Netflix, 0.0005, 4);
+        let theta = w.mid_theta(5);
+        let baseline = run_above(Algo::Naive, &w, theta);
+        for algo in [Algo::Ta, Algo::Tree, Algo::DTree, Algo::Lemp(LempVariant::LI)] {
+            let m = run_above(algo, &w, theta);
+            assert_eq!(m.results, baseline.results, "{} diverges", m.algo);
+            assert!(m.total_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn topk_runs_produce_k_results_per_query() {
+        let w = Workload::new(Dataset::IeSvdT, 0.0008, 6);
+        let k = 3;
+        for algo in Algo::paper_lineup() {
+            let m = run_topk(algo, &w, k);
+            assert_eq!(m.results, (w.queries.len() * k) as u64, "{}", m.algo);
+        }
+    }
+}

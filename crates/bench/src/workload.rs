@@ -1,0 +1,146 @@
+//! Workload construction for the paper's experiments.
+//!
+//! A workload is a materialized (queries, probes) pair from one of the
+//! Table 1 dataset specs at a configurable scale, plus the θ calibration
+//! for the "@recall level" Above-θ experiments (Sec. 6.1: "we selected θ
+//! such that we retrieve the top-10³ … -10⁷ entries in the whole product
+//! matrix").
+//!
+//! At laptop scale the product has fewer entries than the paper's 10¹¹, so
+//! recall targets are expressed as *fractions* of the product size spanning
+//! the same relative regime; labels carry the absolute counts for
+//! readability. See EXPERIMENTS.md for the mapping.
+
+use lemp_data::calibrate;
+use lemp_data::datasets::{Dataset, DatasetSpec};
+use lemp_linalg::VectorStore;
+
+/// A materialized benchmark workload.
+pub struct Workload {
+    /// Dataset display name (paper spelling).
+    pub name: String,
+    /// The resolved spec (after scaling).
+    pub spec: DatasetSpec,
+    /// Query vectors (rows).
+    pub queries: VectorStore,
+    /// Probe vectors (rows).
+    pub probes: VectorStore,
+}
+
+impl Workload {
+    /// Materializes `dataset` at `scale` deterministically.
+    pub fn new(dataset: Dataset, scale: f64, seed: u64) -> Self {
+        let spec = dataset.spec().scaled(scale);
+        let (queries, probes) = spec.generate(seed);
+        Self { name: spec.name.clone(), spec, queries, probes }
+    }
+
+    /// Product-matrix size `m·n`.
+    pub fn pairs(&self) -> usize {
+        self.queries.len() * self.probes.len()
+    }
+
+    /// The five recall levels for this workload: `(label, target, θ)`.
+    ///
+    /// Targets are geometric fractions `10⁻⁶ … 10⁻²` of the product size
+    /// (floored at 50 results so calibration stays meaningful), θ calibrated
+    /// by pair sampling.
+    pub fn recall_levels(&self, seed: u64) -> Vec<RecallLevel> {
+        let total = self.pairs() as f64;
+        let mut out = Vec::new();
+        let mut last_target = 0usize;
+        for (i, frac) in [1e-6, 1e-5, 1e-4, 1e-3, 1e-2].into_iter().enumerate() {
+            let target = ((total * frac) as usize).max(50).min(self.pairs());
+            if target == last_target {
+                continue; // tiny workloads collapse adjacent levels
+            }
+            last_target = target;
+            let samples = 200_000.min(self.pairs().max(1));
+            let Some(theta) =
+                calibrate::sampled_theta(&self.queries, &self.probes, target, samples, seed + i as u64)
+            else {
+                continue;
+            };
+            out.push(RecallLevel { label: format!("@{}", fmt_count(target)), target, theta });
+        }
+        out
+    }
+
+    /// One mid-range recall level (used by preprocessing measurements).
+    pub fn mid_theta(&self, seed: u64) -> f64 {
+        let levels = self.recall_levels(seed);
+        levels.get(levels.len() / 2).map_or(1.0, |l| l.theta)
+    }
+}
+
+/// One Above-θ workload point.
+#[derive(Debug, Clone)]
+pub struct RecallLevel {
+    /// Human-readable label, e.g. `@10k`.
+    pub label: String,
+    /// Intended result count.
+    pub target: usize,
+    /// Calibrated threshold.
+    pub theta: f64,
+}
+
+/// `1234` → `1.2k`, `2000000` → `2M` (labels of the paper's figures).
+pub fn fmt_count(n: usize) -> String {
+    if n >= 10_000_000 {
+        format!("{}M", n / 1_000_000)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{}k", n / 1000)
+    } else if n >= 1_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// The k values of the paper's Row-Top-k experiments (Sec. 6.1).
+pub const TOP_K_VALUES: [usize; 4] = [1, 5, 10, 50];
+
+/// The four Row-Top-k datasets of Table 4 / Fig. 7c–f.
+pub fn topk_datasets() -> [Dataset; 4] {
+    [Dataset::IeSvdT, Dataset::IeNmfT, Dataset::Netflix, Dataset::Kdd]
+}
+
+/// The two Above-θ datasets of Table 3 / Fig. 7a–b.
+pub fn above_datasets() -> [Dataset; 2] {
+    [Dataset::IeSvd, Dataset::IeNmf]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_materializes_at_scale() {
+        let w = Workload::new(Dataset::Netflix, 0.002, 1);
+        assert_eq!(w.queries.len(), 960);
+        assert_eq!(w.probes.len(), 64); // floor kicks in: 17770·0.002 ≈ 36 → 64
+        assert_eq!(w.name, "Netflix");
+    }
+
+    #[test]
+    fn recall_levels_are_increasing_targets_decreasing_theta() {
+        let w = Workload::new(Dataset::IeSvd, 0.003, 2);
+        let levels = w.recall_levels(3);
+        assert!(levels.len() >= 3, "expected several distinct levels");
+        for pair in levels.windows(2) {
+            assert!(pair[1].target > pair[0].target);
+            assert!(pair[1].theta <= pair[0].theta + 1e-12);
+        }
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(50), "50");
+        assert_eq!(fmt_count(1_500), "1.5k");
+        assert_eq!(fmt_count(100_000), "100k");
+        assert_eq!(fmt_count(1_200_000), "1.2M");
+        assert_eq!(fmt_count(10_000_000), "10M");
+    }
+}

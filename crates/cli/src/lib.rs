@@ -1,0 +1,949 @@
+//! `lemp-cli` — run LEMP and its baselines on factor matrices from files.
+//!
+//! Subcommands (see [`USAGE`] for the full syntax):
+//!
+//! * `above` / `topk` — exact retrieval (Above-θ / Row-Top-k) with any
+//!   LEMP variant, optional multi-threading and chunked execution;
+//! * `approx-topk` — the approximate methods of `lemp-approx` (SRP-LSH,
+//!   PCA-tree, query centroids) with optional recall verification;
+//! * `generate` — write Table-1-calibrated synthetic factor matrices;
+//! * `convert` — translate between the binary, CSV and Matrix Market
+//!   formats;
+//! * `stats` — length statistics and a bucketization preview of a matrix;
+//! * `tune-report` — the Sec. 4.4 tuner's per-bucket decisions for a
+//!   workload.
+//!
+//! Matrix files are selected by extension: `.bin` (the workspace binary
+//! format), `.mtx` (Matrix Market array or coordinate), anything else CSV.
+
+#![warn(missing_docs)]
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use lemp_approx::{
+    centroid_row_top_k, CentroidConfig, PcaTree, PcaTreeConfig, SrpConfig, SrpLsh,
+};
+use lemp_baselines::export;
+use lemp_baselines::types::TopKLists;
+use lemp_baselines::Naive;
+use lemp_core::{AdaptiveConfig, BanditPolicy, Lemp, LempVariant};
+use lemp_data::datasets::Dataset;
+use lemp_data::{io as mio, mm};
+use lemp_linalg::{stats, VectorStore};
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "usage:
+  lemp-cli above       <queries> <probes> theta=<f> [out=<path>] [variant=<L|C|I|LC|LI|TA|Tree|L2AP|BLSH>] [threads=<n>] [chunk=<n>] [abs=<bool>] [adaptive=<ucb1|eps-greedy>]
+  lemp-cli topk        <queries> <probes> k=<n>     [out=<path>] [variant=...] [threads=<n>] [chunk=<n>] [floor=<f>] [adaptive=<ucb1|eps-greedy>]
+  lemp-cli approx-topk <queries> <probes> k=<n> method=<srp|pca|centroid> [budget=<n>] [clusters=<n>] [expand=<n>] [seed=<u>] [verify=<bool>] [out=<path>]
+  lemp-cli generate    <ie-nmf|ie-svd|netflix|kdd> <queries-out> <probes-out> [scale=<f>] [seed=<u>]
+  lemp-cli convert     <in> <out> [mm-layout=<array|coordinate>]
+  lemp-cli stats       <matrix>
+  lemp-cli tune-report <queries> <probes> (theta=<f> | k=<n>) [variant=...]
+  lemp-cli topn        <queries> <probes> n=<n> [chunk=<n>] [out=<path>]
+  lemp-cli index       <probes> <engine-out> [variant=...]
+  lemp-cli self-join   <matrix> t=<f> [out=<path>]
+
+matrix files by extension: .bin (lemp binary), .mtx (Matrix Market), otherwise CSV;
+`above`/`topk` accept a prebuilt engine image (from `index`) as the <probes> argument
+when its extension is .eng";
+
+/// Entry point shared by the binary and the tests. `args` excludes the
+/// program name.
+///
+/// # Errors
+/// A human-readable message describing the argument or IO problem.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "above" => retrieve(args, true),
+        "topk" => retrieve(args, false),
+        "approx-topk" => approx_topk(args),
+        "generate" => generate(args),
+        "convert" => convert(args),
+        "stats" => matrix_stats(args),
+        "tune-report" => tune_report(args),
+        "topn" => global_top_n(args),
+        "index" => index(args),
+        "self-join" => self_join(args),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+/// `key=value` lookup over the free arguments.
+fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter().find_map(|a| a.strip_prefix(&format!("{key}=")))
+}
+
+/// Parses `key=value` with a default, reporting parse failures by key name.
+fn opt_parse<T: std::str::FromStr>(
+    args: &[String],
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match opt(args, key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("bad {key}: {raw:?}")),
+    }
+}
+
+/// Parses a required `key=value`.
+fn opt_require<T: std::str::FromStr>(args: &[String], key: &str) -> Result<T, String> {
+    let raw = opt(args, key).ok_or_else(|| format!("missing required {key}=<value>"))?;
+    raw.parse().map_err(|_| format!("bad {key}: {raw:?}"))
+}
+
+fn positional(args: &[String], idx: usize) -> Result<&str, String> {
+    args.iter()
+        .skip(1) // subcommand
+        .filter(|a| !a.contains('='))
+        .nth(idx)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing positional argument #{}", idx + 1))
+}
+
+/// File kind by extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Binary,
+    MatrixMarket,
+    Csv,
+}
+
+fn format_of(path: &Path) -> Format {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("bin") => Format::Binary,
+        Some("mtx") => Format::MatrixMarket,
+        _ => Format::Csv,
+    }
+}
+
+fn load(path: &str) -> Result<VectorStore, String> {
+    let p = Path::new(path);
+    let result = match format_of(p) {
+        Format::Binary => mio::read_binary(p),
+        Format::MatrixMarket => mm::read_mm(p),
+        Format::Csv => mio::read_csv(p),
+    };
+    result.map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn write_store(store: &VectorStore, path: &Path, mm_layout: &str) -> Result<(), String> {
+    let result = match format_of(path) {
+        Format::Binary => mio::write_binary(store, path),
+        Format::MatrixMarket => match mm_layout {
+            "array" => mm::write_mm_array(store, path),
+            "coordinate" => mm::write_mm_coordinate(store, path),
+            other => return Err(format!("bad mm-layout: {other:?} (array|coordinate)")),
+        },
+        Format::Csv => mio::write_csv(store, path),
+    };
+    result.map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+fn parse_variant(name: &str) -> Result<LempVariant, String> {
+    let v = match name.to_ascii_uppercase().as_str() {
+        "L" => LempVariant::L,
+        "C" => LempVariant::C,
+        "I" => LempVariant::I,
+        "LC" => LempVariant::LC,
+        "LI" => LempVariant::LI,
+        "TA" => LempVariant::Ta,
+        "TREE" => LempVariant::Tree,
+        "L2AP" => LempVariant::L2ap,
+        "BLSH" => LempVariant::Blsh,
+        other => return Err(format!("unknown variant {other:?}")),
+    };
+    Ok(v)
+}
+
+/// Output sink: a file or stdout.
+fn sink(args: &[String]) -> Result<Box<dyn Write>, String> {
+    match opt(args, "out") {
+        Some(path) => {
+            let f =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            Ok(Box::new(std::io::BufWriter::new(f)))
+        }
+        None => Ok(Box::new(std::io::BufWriter::new(std::io::stdout()))),
+    }
+}
+
+fn load_pair(args: &[String]) -> Result<(VectorStore, VectorStore), String> {
+    let queries = load(positional(args, 0)?)?;
+    let probes = load(positional(args, 1)?)?;
+    if queries.dim() != probes.dim() {
+        return Err(format!(
+            "dimensionality mismatch: queries r={}, probes r={}",
+            queries.dim(),
+            probes.dim()
+        ));
+    }
+    Ok((queries, probes))
+}
+
+/// Parses the `adaptive=<policy>` option into a driver configuration.
+fn adaptive_cfg(args: &[String]) -> Result<Option<AdaptiveConfig>, String> {
+    match opt(args, "adaptive") {
+        None => Ok(None),
+        Some("ucb1") => Ok(Some(AdaptiveConfig::default())),
+        Some("eps-greedy") => {
+            let seed: u64 = opt_parse(args, "seed", 42)?;
+            Ok(Some(AdaptiveConfig {
+                policy: BanditPolicy::EpsilonGreedy { epsilon: 0.1, seed },
+                ..Default::default()
+            }))
+        }
+        Some(other) => Err(format!("unknown adaptive policy {other:?} (ucb1|eps-greedy)")),
+    }
+}
+
+fn retrieve(args: &[String], above: bool) -> Result<(), String> {
+    let queries = load(positional(args, 0)?)?;
+    let probes_path = positional(args, 1)?;
+    let threads: usize = opt_parse(args, "threads", 1)?;
+    let chunk: usize = opt_parse(args, "chunk", 0)?; // 0 = monolithic
+    // A prebuilt engine image skips preprocessing; a matrix builds fresh.
+    let mut engine = if probes_path.ends_with(".eng") {
+        Lemp::load(Path::new(probes_path))
+            .map_err(|e| format!("cannot load engine {probes_path}: {e}"))?
+    } else {
+        let probes = load(probes_path)?;
+        let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
+        Lemp::builder().variant(variant).threads(threads).build(&probes)
+    };
+    if engine.buckets().dim() != queries.dim() {
+        return Err(format!(
+            "dimensionality mismatch: queries r={}, probes r={}",
+            queries.dim(),
+            engine.buckets().dim()
+        ));
+    }
+    let mut out = sink(args)?;
+
+    let adaptive = adaptive_cfg(args)?;
+    if adaptive.is_some() && chunk > 0 {
+        return Err("adaptive selection does not support chunked execution".into());
+    }
+
+    if above {
+        let theta: f64 = opt_require(args, "theta")?;
+        let abs: bool = opt_parse(args, "abs", false)?;
+        if abs && (chunk > 0 || adaptive.is_some()) {
+            return Err("abs=true supports neither chunked nor adaptive execution".into());
+        }
+        let (mut entries, stats) = if let Some(acfg) = &adaptive {
+            let (result, _) = engine.above_theta_adaptive(&queries, theta, acfg);
+            (result.entries, result.stats)
+        } else if abs {
+            let result = engine.abs_above_theta(&queries, theta);
+            (result.entries, result.stats)
+        } else if chunk > 0 {
+            let mut collected = Vec::new();
+            let stats = engine.above_theta_chunked(&queries, theta, chunk, |es| {
+                collected.extend_from_slice(es)
+            });
+            (collected, stats)
+        } else {
+            let result = engine.above_theta(&queries, theta);
+            (result.entries, result.stats)
+        };
+        entries.sort_by_key(|e| (e.query, e.probe));
+        export::write_entries_csv(&mut out, &entries).map_err(|e| e.to_string())?;
+        let sign = if abs { "|·| ≥" } else { "≥" };
+        eprintln!(
+            "{} entries {sign} {theta} | {} queries, {:.1} candidates/query, {} buckets, total {:.3}s",
+            entries.len(),
+            stats.counters.queries,
+            stats.counters.candidates_per_query(),
+            stats.bucket_count,
+            stats.counters.total_seconds()
+        );
+    } else {
+        let k: usize = opt_require(args, "k")?;
+        let floor: f64 = opt_parse(args, "floor", f64::NEG_INFINITY)?;
+        if floor > f64::NEG_INFINITY && (chunk > 0 || adaptive.is_some()) {
+            return Err("floor supports neither chunked nor adaptive execution".into());
+        }
+        let (lists, stats) = if let Some(acfg) = &adaptive {
+            let (result, _) = engine.row_top_k_adaptive(&queries, k, acfg);
+            (result.lists, result.stats)
+        } else if floor > f64::NEG_INFINITY {
+            let result = engine.row_top_k_with_floor(&queries, k, floor);
+            (result.lists, result.stats)
+        } else if chunk > 0 {
+            let mut lists: TopKLists = vec![Vec::new(); queries.len()];
+            let stats = engine.row_top_k_chunked(&queries, k, chunk, |q, list| {
+                lists[q as usize] = list.to_vec();
+            });
+            (lists, stats)
+        } else {
+            let result = engine.row_top_k(&queries, k);
+            (result.lists, result.stats)
+        };
+        export::write_topk_csv(&mut out, &lists).map_err(|e| e.to_string())?;
+        eprintln!(
+            "top-{k} for {} queries | {:.1} candidates/query, {} buckets, total {:.3}s",
+            stats.counters.queries,
+            stats.counters.candidates_per_query(),
+            stats.bucket_count,
+            stats.counters.total_seconds()
+        );
+    }
+    Ok(())
+}
+
+fn approx_topk(args: &[String]) -> Result<(), String> {
+    let (queries, probes) = load_pair(args)?;
+    let k: usize = opt_require(args, "k")?;
+    let method: String = opt_require(args, "method")?;
+    let seed: u64 = opt_parse(args, "seed", 42)?;
+    let verify: bool = opt_parse(args, "verify", false)?;
+    let started = std::time::Instant::now();
+
+    let lists: TopKLists = match method.as_str() {
+        "srp" => {
+            let budget: usize = opt_parse(args, "budget", 8 * k.max(1))?;
+            let index = SrpLsh::build(&probes, &SrpConfig { bits: 128, seed })
+                .map_err(|e| e.to_string())?;
+            index.row_top_k(&queries, k, budget)
+        }
+        "pca" => {
+            let tree = PcaTree::build(&probes, &PcaTreeConfig { seed, ..Default::default() })
+                .map_err(|e| e.to_string())?;
+            let budget: usize = opt_parse(args, "budget", (tree.leaves() / 4).max(1))?;
+            tree.row_top_k(&queries, k, budget)
+        }
+        "centroid" => {
+            let clusters: usize = opt_parse(args, "clusters", 64)?;
+            let expand: usize = opt_parse(args, "expand", 4)?;
+            let cfg = CentroidConfig { clusters, expand, seed, ..Default::default() };
+            centroid_row_top_k(&queries, &probes, k, &cfg)
+                .map_err(|e| e.to_string())?
+                .lists
+        }
+        other => return Err(format!("unknown method {other:?} (srp|pca|centroid)")),
+    };
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut out = sink(args)?;
+    export::write_topk_csv(&mut out, &lists).map_err(|e| e.to_string())?;
+
+    if verify {
+        let (truth, _) = Naive.row_top_k(&queries, &probes, k);
+        let recall = lemp_approx::recall::topk_recall(&truth, &lists, 1e-9);
+        eprintln!(
+            "approx {method} top-{k}: {} queries in {elapsed:.3}s, recall {recall:.4}",
+            queries.len()
+        );
+    } else {
+        eprintln!("approx {method} top-{k}: {} queries in {elapsed:.3}s", queries.len());
+    }
+    Ok(())
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let name = positional(args, 0)?;
+    let dataset = parse_dataset(name)?;
+    let q_out = PathBuf::from(positional(args, 1)?);
+    let p_out = PathBuf::from(positional(args, 2)?);
+    let scale: f64 = opt_parse(args, "scale", 0.01)?;
+    let seed: u64 = opt_parse(args, "seed", 42)?;
+    let spec = dataset.spec().scaled(scale);
+    let (q, p) = spec.generate(seed);
+    write_store(&q, &q_out, "array")?;
+    write_store(&p, &p_out, "array")?;
+    eprintln!(
+        "{}: wrote {} queries to {} and {} probes to {} (r = {})",
+        spec.name,
+        q.len(),
+        q_out.display(),
+        p.len(),
+        p_out.display(),
+        spec.dim
+    );
+    Ok(())
+}
+
+fn parse_dataset(name: &str) -> Result<Dataset, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "ie-nmf" => Ok(Dataset::IeNmf),
+        "ie-svd" => Ok(Dataset::IeSvd),
+        "netflix" => Ok(Dataset::Netflix),
+        "kdd" => Ok(Dataset::Kdd),
+        other => Err(format!("unknown dataset {other:?}")),
+    }
+}
+
+fn convert(args: &[String]) -> Result<(), String> {
+    let input = positional(args, 0)?;
+    let output = positional(args, 1)?;
+    let mm_layout = opt(args, "mm-layout").unwrap_or("array");
+    let store = load(input)?;
+    write_store(&store, Path::new(output), mm_layout)?;
+    eprintln!(
+        "converted {input} -> {output} ({} vectors, r = {})",
+        store.len(),
+        store.dim()
+    );
+    Ok(())
+}
+
+fn matrix_stats(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0)?;
+    let store = load(path)?;
+    let lengths = store.lengths();
+    println!("{path}:");
+    println!("  vectors        {}", store.len());
+    println!("  dimensionality {}", store.dim());
+    println!("  length mean    {:.4}", stats::mean(&lengths));
+    println!("  length CoV     {:.4}", stats::cov(&lengths));
+    println!(
+        "  length p50/p99 {:.4} / {:.4}",
+        stats::quantile(&lengths, 0.5),
+        stats::quantile(&lengths, 0.99)
+    );
+    println!("  non-zero       {:.1}%", 100.0 * stats::nonzero_fraction(store.as_flat()));
+    // Bucketization preview under the default policy: how LEMP would cut
+    // this matrix as the probe side.
+    let engine = Lemp::builder().build(&store);
+    let buckets = engine.buckets();
+    println!("  buckets        {} (default policy)", buckets.bucket_count());
+    if let (Some(first), Some(last)) = (buckets.buckets().first(), buckets.buckets().last()) {
+        println!(
+            "  bucket lengths {:.4} (longest) .. {:.4} (shortest)",
+            first.max_len, last.min_len
+        );
+        let largest = buckets.buckets().iter().map(|b| b.len()).max().unwrap_or(0);
+        println!("  largest bucket {largest} vectors");
+    }
+    Ok(())
+}
+
+fn tune_report(args: &[String]) -> Result<(), String> {
+    let (queries, probes) = load_pair(args)?;
+    let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
+    let mut engine = Lemp::builder().variant(variant).build(&probes);
+    let params = match (opt(args, "theta"), opt(args, "k")) {
+        (Some(raw), None) => {
+            let theta: f64 = raw.parse().map_err(|_| format!("bad theta: {raw:?}"))?;
+            engine.tune_above(&queries, theta)
+        }
+        (None, Some(raw)) => {
+            let k: usize = raw.parse().map_err(|_| format!("bad k: {raw:?}"))?;
+            engine.tune_top_k(&queries, k)
+        }
+        _ => return Err("tune-report needs exactly one of theta=<f> or k=<n>".into()),
+    };
+    println!("bucket,size,max_len,min_len,t_b,phi_b");
+    for (b, (bucket, p)) in engine.buckets().buckets().iter().zip(&params).enumerate() {
+        println!(
+            "{b},{},{:.6},{:.6},{:.3},{}",
+            bucket.len(),
+            bucket.max_len,
+            bucket.min_len,
+            p.tb,
+            p.phi
+        );
+    }
+    Ok(())
+}
+
+fn global_top_n(args: &[String]) -> Result<(), String> {
+    let (queries, probes) = load_pair(args)?;
+    let n: usize = opt_require(args, "n")?;
+    let chunk: usize = opt_parse(args, "chunk", 256)?;
+    if chunk == 0 {
+        return Err("chunk must be positive".into());
+    }
+    let started = std::time::Instant::now();
+    let mut engine = Lemp::builder().build(&probes);
+    let entries = engine.global_top_n(&queries, n, chunk);
+    let elapsed = started.elapsed().as_secs_f64();
+    let mut out = sink(args)?;
+    export::write_entries_csv(&mut out, &entries).map_err(|e| e.to_string())?;
+    if let Some(last) = entries.last() {
+        eprintln!(
+            "top-{} of the whole product in {elapsed:.3}s; recall-level θ = {:?}",
+            entries.len(),
+            last.value
+        );
+    } else {
+        eprintln!("empty product: no entries");
+    }
+    Ok(())
+}
+
+fn index(args: &[String]) -> Result<(), String> {
+    let probes = load(positional(args, 0)?)?;
+    let out = positional(args, 1)?;
+    if !out.ends_with(".eng") {
+        return Err(format!("engine images use the .eng extension, got {out:?}"));
+    }
+    let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
+    let engine = Lemp::builder().variant(variant).build(&probes);
+    engine
+        .save(Path::new(out))
+        .map_err(|e| format!("cannot write engine {out}: {e}"))?;
+    eprintln!(
+        "indexed {} probes into {} buckets -> {out}",
+        engine.buckets().total(),
+        engine.buckets().bucket_count()
+    );
+    Ok(())
+}
+
+fn self_join(args: &[String]) -> Result<(), String> {
+    let vectors = load(positional(args, 0)?)?;
+    let t: f64 = opt_require(args, "t")?;
+    if !(0.0 < t && t <= 1.0) {
+        return Err(format!("self-join threshold must lie in (0, 1], got {t}"));
+    }
+    let started = std::time::Instant::now();
+    let result = lemp_apss::cosine_self_join(&vectors, t);
+    let elapsed = started.elapsed().as_secs_f64();
+    let mut out = sink(args)?;
+    writeln!(out, "i,j,cosine").map_err(|e| e.to_string())?;
+    for &(i, j, sim) in &result.pairs {
+        writeln!(out, "{i},{j},{sim:?}").map_err(|e| e.to_string())?;
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "{} pairs with cosine ≥ {t} among {} vectors ({} candidates verified, {elapsed:.3}s)",
+        result.pairs.len(),
+        vectors.len(),
+        result.candidates
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    fn temp(tag: &str, ext: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lemp-cli-test-{tag}-{}.{ext}", std::process::id()));
+        p
+    }
+
+    fn write_csv_matrix(path: &Path, rows: &[&str]) {
+        std::fs::write(path, rows.join("\n")).unwrap();
+    }
+
+    #[test]
+    fn opt_and_positional_parsing() {
+        let args = s(&["topk", "q.csv", "p.csv", "k=5", "out=res.csv"]);
+        assert_eq!(opt(&args, "k"), Some("5"));
+        assert_eq!(opt(&args, "out"), Some("res.csv"));
+        assert_eq!(opt(&args, "missing"), None);
+        assert_eq!(positional(&args, 0).unwrap(), "q.csv");
+        assert_eq!(positional(&args, 1).unwrap(), "p.csv");
+        assert!(positional(&args, 2).is_err());
+    }
+
+    #[test]
+    fn opt_parse_defaults_and_errors() {
+        let args = s(&["above", "threads=3"]);
+        assert_eq!(opt_parse(&args, "threads", 1usize).unwrap(), 3);
+        assert_eq!(opt_parse(&args, "chunk", 7usize).unwrap(), 7);
+        let bad = s(&["above", "threads=lots"]);
+        assert!(opt_parse(&bad, "threads", 1usize).unwrap_err().contains("bad threads"));
+        assert!(opt_require::<usize>(&bad, "k").unwrap_err().contains("missing required"));
+    }
+
+    #[test]
+    fn variant_names_parse_case_insensitively() {
+        assert_eq!(parse_variant("li").unwrap().name(), "LEMP-LI");
+        assert_eq!(parse_variant("TREE").unwrap().name(), "LEMP-Tree");
+        assert!(parse_variant("nope").is_err());
+    }
+
+    #[test]
+    fn format_detection_by_extension() {
+        assert_eq!(format_of(Path::new("a.bin")), Format::Binary);
+        assert_eq!(format_of(Path::new("a.mtx")), Format::MatrixMarket);
+        assert_eq!(format_of(Path::new("a.csv")), Format::Csv);
+        assert_eq!(format_of(Path::new("a")), Format::Csv);
+    }
+
+    #[test]
+    fn unknown_subcommand_and_missing_args() {
+        assert!(run(&s(&["frobnicate"])).unwrap_err().contains("unknown subcommand"));
+        assert!(run(&[]).unwrap_err().contains("missing subcommand"));
+        assert!(run(&s(&["above"])).unwrap_err().contains("positional"));
+    }
+
+    #[test]
+    fn end_to_end_topk_on_csv_files() {
+        let q = temp("e2e-q", "csv");
+        let p = temp("e2e-p", "csv");
+        let out = temp("e2e-out", "csv");
+        write_csv_matrix(&q, &["1,0", "0,1"]);
+        write_csv_matrix(&p, &["2,0", "0,3", "1,1"]);
+        run(&s(&[
+            "topk",
+            q.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "k=1",
+            &format!("out={}", out.display()),
+        ]))
+        .unwrap();
+        let lists = export::read_topk_csv(std::fs::File::open(&out).unwrap()).unwrap();
+        assert_eq!(lists[0][0].id, 0); // q0=(1,0): best probe (2,0)
+        assert_eq!(lists[1][0].id, 1); // q1=(0,1): best probe (0,3)
+        for f in [&q, &p, &out] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn end_to_end_above_with_chunking_matches_monolithic() {
+        let q = temp("chunk-q", "csv");
+        let p = temp("chunk-p", "csv");
+        let out1 = temp("chunk-out1", "csv");
+        let out2 = temp("chunk-out2", "csv");
+        write_csv_matrix(&q, &["1,0", "0,1", "2,2"]);
+        write_csv_matrix(&p, &["2,0", "0,3", "1,1"]);
+        let base = ["above", q.to_str().unwrap(), p.to_str().unwrap(), "theta=1.5"];
+        run(&s(&[&base[..], &[&format!("out={}", out1.display())]].concat())).unwrap();
+        run(&s(&[&base[..], &[&format!("out={}", out2.display()), "chunk=1"]].concat()))
+            .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&out1).unwrap(),
+            std::fs::read_to_string(&out2).unwrap()
+        );
+        for f in [&q, &p, &out1, &out2] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn convert_roundtrips_through_all_formats() {
+        let csv = temp("conv", "csv");
+        let bin = temp("conv", "bin");
+        let mtx = temp("conv", "mtx");
+        let back = temp("conv-back", "csv");
+        write_csv_matrix(&csv, &["1,2.5", "-3,0"]);
+        run(&s(&["convert", csv.to_str().unwrap(), bin.to_str().unwrap()])).unwrap();
+        run(&s(&["convert", bin.to_str().unwrap(), mtx.to_str().unwrap()])).unwrap();
+        run(&s(&[
+            "convert",
+            mtx.to_str().unwrap(),
+            back.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let a = mio::read_csv(&csv).unwrap();
+        let b = mio::read_csv(&back).unwrap();
+        assert_eq!(a, b);
+        // coordinate layout as well
+        run(&s(&[
+            "convert",
+            csv.to_str().unwrap(),
+            mtx.to_str().unwrap(),
+            "mm-layout=coordinate",
+        ]))
+        .unwrap();
+        assert_eq!(mm::read_mm(&mtx).unwrap(), a);
+        assert!(run(&s(&[
+            "convert",
+            csv.to_str().unwrap(),
+            mtx.to_str().unwrap(),
+            "mm-layout=banana",
+        ]))
+        .is_err());
+        for f in [&csv, &bin, &mtx, &back] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn generate_then_stats_and_tune_report() {
+        let q = temp("gen-q", "bin");
+        let p = temp("gen-p", "bin");
+        run(&s(&[
+            "generate",
+            "netflix",
+            q.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "scale=0.002",
+            "seed=7",
+        ]))
+        .unwrap();
+        run(&s(&["stats", p.to_str().unwrap()])).unwrap();
+        run(&s(&[
+            "tune-report",
+            q.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "k=3",
+        ]))
+        .unwrap();
+        // exactly one of theta/k
+        assert!(run(&s(&[
+            "tune-report",
+            q.to_str().unwrap(),
+            p.to_str().unwrap(),
+        ]))
+        .is_err());
+        assert!(run(&s(&[
+            "tune-report",
+            q.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "theta=1.0",
+            "k=3",
+        ]))
+        .is_err());
+        for f in [&q, &p] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn approx_topk_all_methods_run() {
+        let q = temp("ax-q", "csv");
+        let p = temp("ax-p", "csv");
+        let out = temp("ax-out", "csv");
+        let qrows: Vec<String> =
+            (0..8).map(|i| format!("{},{}", 1.0 + i as f64 * 0.1, i as f64 * 0.2)).collect();
+        let prows: Vec<String> =
+            (0..30).map(|i| format!("{},{}", (i % 5) as f64, (i % 7) as f64 * 0.5)).collect();
+        std::fs::write(&q, qrows.join("\n")).unwrap();
+        std::fs::write(&p, prows.join("\n")).unwrap();
+        for method in ["srp", "pca", "centroid"] {
+            run(&s(&[
+                "approx-topk",
+                q.to_str().unwrap(),
+                p.to_str().unwrap(),
+                "k=2",
+                &format!("method={method}"),
+                "verify=true",
+                &format!("out={}", out.display()),
+            ]))
+            .unwrap();
+            let lists = export::read_topk_csv(std::fs::File::open(&out).unwrap()).unwrap();
+            assert!(!lists.is_empty(), "{method} produced no output");
+        }
+        assert!(run(&s(&[
+            "approx-topk",
+            q.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "k=2",
+            "method=magic",
+        ]))
+        .is_err());
+        for f in [&q, &p, &out] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn abs_above_reports_both_signs() {
+        let q = temp("abs-q", "csv");
+        let p = temp("abs-p", "csv");
+        let out = temp("abs-out", "csv");
+        write_csv_matrix(&q, &["1,0"]);
+        write_csv_matrix(&p, &["2,0", "-2,0", "0,1"]);
+        run(&s(&[
+            "above",
+            q.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "theta=1.5",
+            "abs=true",
+            &format!("out={}", out.display()),
+        ]))
+        .unwrap();
+        let entries = export::read_entries_csv(std::fs::File::open(&out).unwrap()).unwrap();
+        let mut values: Vec<f64> = entries.iter().map(|e| e.value).collect();
+        values.sort_by(f64::total_cmp);
+        assert_eq!(values, vec![-2.0, 2.0]);
+        // invalid combinations are rejected
+        let base = ["above", q.to_str().unwrap(), p.to_str().unwrap(), "theta=1.5"];
+        assert!(run(&s(&[&base[..], &["abs=true", "chunk=1"]].concat())).is_err());
+        assert!(run(&s(&[&base[..], &["abs=true", "adaptive=ucb1"]].concat())).is_err());
+        for f in [&q, &p, &out] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn topk_floor_truncates_lists() {
+        let q = temp("floor-q", "csv");
+        let p = temp("floor-p", "csv");
+        let out = temp("floor-out", "csv");
+        write_csv_matrix(&q, &["1,0"]);
+        write_csv_matrix(&p, &["3,0", "2,0", "1,0"]);
+        run(&s(&[
+            "topk",
+            q.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "k=3",
+            "floor=1.5",
+            &format!("out={}", out.display()),
+        ]))
+        .unwrap();
+        let lists = export::read_topk_csv(std::fs::File::open(&out).unwrap()).unwrap();
+        assert_eq!(lists[0].len(), 2, "only values 3 and 2 reach the floor");
+        assert!(lists[0].iter().all(|i| i.score >= 1.5));
+        let base = ["topk", q.to_str().unwrap(), p.to_str().unwrap(), "k=3"];
+        assert!(run(&s(&[&base[..], &["floor=1.5", "chunk=1"]].concat())).is_err());
+        assert!(run(&s(&[&base[..], &["floor=1.5", "adaptive=ucb1"]].concat())).is_err());
+        for f in [&q, &p, &out] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn adaptive_policies_match_tuned_results() {
+        let q = temp("adapt-q", "csv");
+        let p = temp("adapt-p", "csv");
+        let out1 = temp("adapt-out1", "csv");
+        let out2 = temp("adapt-out2", "csv");
+        let qrows: Vec<String> =
+            (0..6).map(|i| format!("{},{}", 1.0 + i as f64 * 0.3, 2.0 - i as f64 * 0.2)).collect();
+        // Distinct values everywhere so the top-k boundary has no ties (tied
+        // boundaries may legally differ between drivers).
+        let prows: Vec<String> = (0..40)
+            .map(|i| format!("{},{}", 0.5 + i as f64 * 0.13, ((i * 7) % 11) as f64 * 0.4))
+            .collect();
+        std::fs::write(&q, qrows.join("\n")).unwrap();
+        std::fs::write(&p, prows.join("\n")).unwrap();
+        let base = ["topk", q.to_str().unwrap(), p.to_str().unwrap(), "k=2"];
+        run(&s(&[&base[..], &[&format!("out={}", out1.display())]].concat())).unwrap();
+        for policy in ["ucb1", "eps-greedy"] {
+            run(&s(&[
+                &base[..],
+                &[&format!("adaptive={policy}"), &format!("out={}", out2.display())],
+            ]
+            .concat()))
+            .unwrap();
+            assert_eq!(
+                std::fs::read_to_string(&out1).unwrap(),
+                std::fs::read_to_string(&out2).unwrap(),
+                "{policy} must return the tuned result"
+            );
+        }
+        assert!(run(&s(&[&base[..], &["adaptive=magic"]].concat())).is_err());
+        assert!(run(&s(&[&base[..], &["adaptive=ucb1", "chunk=2"]].concat())).is_err());
+        for f in [&q, &p, &out1, &out2] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let q = temp("dim-q", "csv");
+        let p = temp("dim-p", "csv");
+        write_csv_matrix(&q, &["1,2,3"]);
+        write_csv_matrix(&p, &["1,2"]);
+        let err = run(&s(&["topk", q.to_str().unwrap(), p.to_str().unwrap(), "k=1"]))
+            .unwrap_err();
+        assert!(err.contains("dimensionality mismatch"));
+        for f in [&q, &p] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn index_then_query_from_engine_image() {
+        let q = temp("eng-q", "csv");
+        let p = temp("eng-p", "csv");
+        let eng = temp("eng", "eng");
+        let out1 = temp("eng-out1", "csv");
+        let out2 = temp("eng-out2", "csv");
+        write_csv_matrix(&q, &["1,0", "0,1"]);
+        write_csv_matrix(&p, &["2,0", "0,3", "1,1"]);
+        run(&s(&["index", p.to_str().unwrap(), eng.to_str().unwrap()])).unwrap();
+        // engine image and fresh build must answer identically
+        run(&s(&[
+            "topk",
+            q.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "k=2",
+            &format!("out={}", out1.display()),
+        ]))
+        .unwrap();
+        run(&s(&[
+            "topk",
+            q.to_str().unwrap(),
+            eng.to_str().unwrap(),
+            "k=2",
+            &format!("out={}", out2.display()),
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&out1).unwrap(),
+            std::fs::read_to_string(&out2).unwrap()
+        );
+        // wrong extension is rejected
+        assert!(run(&s(&["index", p.to_str().unwrap(), "probes.bin"]))
+            .unwrap_err()
+            .contains(".eng"));
+        for f in [&q, &p, &eng, &out1, &out2] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn self_join_finds_parallel_vectors() {
+        let m = temp("sj", "csv");
+        let out = temp("sj-out", "csv");
+        write_csv_matrix(&m, &["1,0", "2,0", "0,1", "1,1"]);
+        run(&s(&[
+            "self-join",
+            m.to_str().unwrap(),
+            "t=0.99",
+            &format!("out={}", out.display()),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "i,j,cosine");
+        assert_eq!(lines.len(), 2, "only the two parallel vectors match: {text}");
+        assert!(lines[1].starts_with("0,1,"));
+        // threshold validation
+        assert!(run(&s(&["self-join", m.to_str().unwrap(), "t=0"])).is_err());
+        assert!(run(&s(&["self-join", m.to_str().unwrap(), "t=1.5"])).is_err());
+        for f in [&m, &out] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn topn_returns_global_largest_entries() {
+        let q = temp("topn-q", "csv");
+        let p = temp("topn-p", "csv");
+        let out = temp("topn-out", "csv");
+        write_csv_matrix(&q, &["1,0", "0,2"]);
+        write_csv_matrix(&p, &["3,0", "0,1", "1,1"]);
+        run(&s(&[
+            "topn",
+            q.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "n=2",
+            &format!("out={}", out.display()),
+        ]))
+        .unwrap();
+        let entries = export::read_entries_csv(std::fs::File::open(&out).unwrap()).unwrap();
+        assert_eq!(entries.len(), 2);
+        // largest product entries: q0·p0 = 3, q1·p1 = 2 (and q1·p2 = 2 ties)
+        assert_eq!(entries[0].value, 3.0);
+        assert_eq!(entries[1].value, 2.0);
+        for f in [&q, &p, &out] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn dataset_names_parse() {
+        assert!(parse_dataset("IE-NMF").is_ok());
+        assert!(parse_dataset("ie-svd").is_ok());
+        assert!(parse_dataset("netflix").is_ok());
+        assert!(parse_dataset("kdd").is_ok());
+        assert!(parse_dataset("movielens").is_err());
+    }
+}

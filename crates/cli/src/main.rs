@@ -1,0 +1,16 @@
+//! Thin binary wrapper around [`lemp_cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match lemp_cli::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{}", lemp_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

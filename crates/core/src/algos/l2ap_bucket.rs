@@ -1,0 +1,120 @@
+//! LEMP-L2AP: the L2AP index as a bucket method (Sec. 5).
+//!
+//! "We create a separate L2AP index for each bucket. In L2AP, like in most
+//! APSS algorithms, a lower bound on the cosine similarity threshold needs
+//! to be fixed a priori. In our setting, we pick the lower bound
+//! `θ_b(q_max)`, where `q_max` is the query vector with the largest length."
+//!
+//! If a query later poses a local threshold *below* the index threshold
+//! (possible in Row-Top-k warm-up, where `θ′` starts low), L2AP's
+//! completeness guarantee does not apply; the adapter then falls back to
+//! LENGTH, preserving exactness at the cost the paper attributes to L2AP's
+//! fixed a-priori bound ("the actual threshold used when querying the index
+//! can be far away from the lower bound used during index creation").
+
+use lemp_apss::L2apIndex;
+
+use crate::bucket::Bucket;
+
+use super::{length, MethodScratch, QueryCtx, Sink};
+
+/// Runs L2AP candidate generation at the query's local threshold; pushes
+/// unverified candidates.
+pub fn run(
+    ctx: &QueryCtx<'_>,
+    bucket: &Bucket,
+    index: &L2apIndex,
+    scratch: &mut MethodScratch,
+    sink: &mut Sink,
+) {
+    if ctx.local_threshold < index.threshold() {
+        length::run(ctx, bucket, sink);
+        return;
+    }
+    index.candidates_into(ctx.dir, ctx.local_threshold, &mut scratch.l2ap, &mut sink.unverified);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::{BucketPolicy, ProbeBuckets};
+    use lemp_data::synthetic::GeneratorConfig;
+    use lemp_linalg::kernels;
+
+    #[test]
+    fn candidates_are_superset_of_true_results() {
+        let store = GeneratorConfig::gaussian(200, 8, 0.4).generate(81);
+        let policy = BucketPolicy { min_bucket: store.len(), length_ratio: 0.1, ..Default::default() };
+        let mut pb = ProbeBuckets::build(&store, &policy);
+        let bucket = &mut pb.buckets_mut()[0];
+        let queries = GeneratorConfig::gaussian(25, 8, 0.4).generate(82);
+        let theta = 0.9;
+        let qmax = queries.lengths().into_iter().fold(0.0, f64::max);
+        bucket.ensure_l2ap(theta / (qmax * bucket.max_len));
+        let index = bucket.indexes.l2ap.as_ref().unwrap();
+        let mut scratch = MethodScratch::new(bucket.len());
+        for q in queries.iter() {
+            let qlen = kernels::norm(q);
+            let th_b = theta / (qlen * bucket.max_len);
+            if th_b > 1.0 {
+                continue;
+            }
+            let dir: Vec<f64> = q.iter().map(|x| x / qlen).collect();
+            let ctx = QueryCtx {
+                dir: &dir,
+                len: qlen,
+                theta,
+                theta_over_len: theta / qlen,
+                local_threshold: th_b,
+                scaled: q,
+            };
+            let mut sink = Sink::default();
+            run(&ctx, bucket, index, &mut scratch, &mut sink);
+            for (lid, &id) in bucket.ids.iter().enumerate() {
+                let dot = kernels::dot(q, store.vector(id as usize));
+                if dot >= theta {
+                    assert!(
+                        sink.unverified.contains(&(lid as u32)),
+                        "missing true result lid {lid} (dot {dot})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn below_index_threshold_falls_back_to_length() {
+        let store = GeneratorConfig::gaussian(100, 6, 0.2).generate(83);
+        let policy = BucketPolicy { min_bucket: store.len(), length_ratio: 0.1, ..Default::default() };
+        let mut pb = ProbeBuckets::build(&store, &policy);
+        let bucket = &mut pb.buckets_mut()[0];
+        bucket.ensure_l2ap(0.5);
+        let index = bucket.indexes.l2ap.as_ref().unwrap();
+        let mut scratch = MethodScratch::new(bucket.len());
+        let dir: Vec<f64> = {
+            let q = store.vector(0);
+            let n = kernels::norm(q);
+            q.iter().map(|x| x / n).collect()
+        };
+        // local threshold 0.1 < index threshold 0.5 → LENGTH fallback: the
+        // candidate set must still cover everything length-qualified.
+        let ctx = QueryCtx {
+            dir: &dir,
+            len: 1.0,
+            theta: 0.1 * bucket.max_len,
+            theta_over_len: 0.1 * bucket.max_len,
+            local_threshold: 0.1,
+            scaled: &dir,
+        };
+        let mut sink = Sink::default();
+        run(&ctx, bucket, index, &mut scratch, &mut sink);
+        let expected: Vec<u32> = bucket
+            .lengths
+            .iter()
+            .enumerate()
+            .take_while(|(_, &l)| l >= ctx.theta_over_len)
+            .map(|(lid, _)| lid as u32)
+            .collect();
+        assert_eq!(sink.unverified, expected);
+    }
+}

@@ -1,0 +1,74 @@
+//! LEMP-Tree: a cover tree per bucket (Sec. 5 / Sec. 6.3).
+//!
+//! "LEMP-Tree creates one tree per bucket (lazy construction), instead one
+//! tree from the entire probe dataset" — which the paper finds much faster
+//! than standalone `Tree` whenever tree construction is the bottleneck, at
+//! the price of inconsistent pruning power (multiple small trees vs one
+//! big one).
+//!
+//! Like TA, the tree computes exact inner products internally, so
+//! qualifying vectors are *verified* and internal evaluations are the
+//! candidate count.
+
+use lemp_baselines::CoverTree;
+
+use super::{MethodScratch, QueryCtx, Sink};
+
+/// Runs the bucket's cover tree against the current threshold; returns the
+/// number of inner products computed.
+pub fn run(
+    ctx: &QueryCtx<'_>,
+    tree: &CoverTree,
+    scratch: &mut MethodScratch,
+    sink: &mut Sink,
+) -> u64 {
+    scratch.row.clear();
+    let dots = tree.query_above_into(ctx.scaled, ctx.theta, &mut scratch.row);
+    sink.verified.extend_from_slice(&scratch.row);
+    dots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::{BucketPolicy, ProbeBuckets};
+    use lemp_data::synthetic::GeneratorConfig;
+    use lemp_linalg::kernels;
+
+    #[test]
+    fn adapter_finds_exactly_the_qualifying_vectors() {
+        let store = GeneratorConfig::gaussian(200, 6, 0.8).generate(71);
+        let policy = BucketPolicy { min_bucket: store.len(), length_ratio: 0.1, ..Default::default() };
+        let mut pb = ProbeBuckets::build(&store, &policy);
+        let bucket = &mut pb.buckets_mut()[0];
+        bucket.ensure_tree(1.3);
+        let tree = bucket.indexes.tree.as_ref().unwrap();
+        let mut scratch = MethodScratch::new(bucket.len());
+        let queries = GeneratorConfig::gaussian(15, 6, 0.8).generate(72);
+        for theta in [0.5, 1.2] {
+            for q in queries.iter() {
+                let qlen = kernels::norm(q);
+                let dir: Vec<f64> = q.iter().map(|x| x / qlen).collect();
+                let ctx = QueryCtx {
+                    dir: &dir,
+                    len: qlen,
+                    theta,
+                    theta_over_len: theta / qlen,
+                    local_threshold: theta / (qlen * bucket.max_len),
+                    scaled: q,
+                };
+                let mut sink = Sink::default();
+                run(&ctx, tree, &mut scratch, &mut sink);
+                let mut got: Vec<u32> = sink.verified.iter().map(|v| v.0).collect();
+                got.sort_unstable();
+                let mut expect: Vec<u32> = Vec::new();
+                for (lid, &id) in bucket.ids.iter().enumerate() {
+                    if kernels::dot(q, store.vector(id as usize)) >= theta {
+                        expect.push(lid as u32);
+                    }
+                }
+                assert_eq!(got, expect, "theta {theta}");
+            }
+        }
+    }
+}

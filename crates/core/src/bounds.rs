@@ -1,0 +1,232 @@
+//! Threshold and feasible-region mathematics (Sec. 3.1, 4.2 of the paper).
+//!
+//! * [`local_threshold`] — Eq. 3: `θ_b(q) = θ / (‖q‖ · l_b)`; the cosine
+//!   similarity a probe from bucket `b` must reach for `qᵀp ≥ θ` to be
+//!   possible. `θ_b(q) > 1` prunes the whole bucket.
+//! * [`probe_threshold`] — the improved probe-specific threshold
+//!   `θ_p(q) = θ / (‖q‖ · ‖p‖)` used by INCR (Eq. 5).
+//! * [`feasible_region`] — the per-coordinate interval `[L_f, U_f]` such
+//!   that any unit probe direction `p̄` with `q̄ᵀp̄ ≥ θ_b(q)` must satisfy
+//!   `L_f ≤ p̄_f ≤ U_f`.
+//!
+//! The region derivation: with `q̄ᵀp̄ = q̄_f p̄_f + q̄ᵀ_{-f} p̄_{-f}` and
+//! Cauchy–Schwarz on the `-f` parts,
+//! `θ̂ ≤ q̄_f p̄_f + √(1−q̄_f²)·√(1−p̄_f²)`. Solving the boundary quadratic
+//! gives roots `q̄_f θ̂ ± √((1−θ̂²)(1−q̄_f²))`; squaring may introduce a
+//! spurious root, which is detected by checking the pre-squaring sign
+//! condition `θ̂ − q̄_f x ≥ 0` (this reduces to the paper's case analysis for
+//! `θ̂ ∈ [0, 1]` and additionally handles the negative thresholds that occur
+//! early in Row-Top-k runs, where `θ′` can start below zero).
+
+/// Small widening applied to the feasible region so float rounding at the
+/// interval boundary can never drop a true result.
+const REGION_SLACK: f64 = 1e-9;
+
+/// Local threshold `θ_b(q)` of Eq. 3. Degenerate lengths are mapped to
+/// `±∞` so that the bucket is pruned (θ > 0) or trivially admitted (θ ≤ 0).
+#[inline]
+pub fn local_threshold(theta: f64, query_len: f64, bucket_max_len: f64) -> f64 {
+    let denom = query_len * bucket_max_len;
+    if denom <= 0.0 {
+        return if theta > 0.0 { f64::INFINITY } else { f64::NEG_INFINITY };
+    }
+    theta / denom
+}
+
+/// The sound per-bucket cosine threshold for the COORD/INCR feasible
+/// regions.
+///
+/// For θ ≥ 0 this is the paper's `θ_b(q) = θ/(‖q‖·l_b)` (Eq. 3): every probe
+/// `p` in the bucket has `‖p‖ ≤ l_b`, so `qᵀp ≥ θ ⟹ cos ≥ θ_b(q)`. For
+/// **negative** θ the inequality flips — `θ/(‖q‖·‖p‖)` is *most* negative
+/// for the bucket's shortest vector — so the sound bound divides by the
+/// bucket's minimum length instead. (The paper never hits this case: it
+/// defines Above-θ with θ > 0; but Row-Top-k warm-up can run with a
+/// negative `θ′` when the seeded inner products are negative.)
+#[inline]
+pub fn region_threshold(
+    theta: f64,
+    query_len: f64,
+    bucket_max_len: f64,
+    bucket_min_len: f64,
+) -> f64 {
+    if theta >= 0.0 {
+        local_threshold(theta, query_len, bucket_max_len)
+    } else {
+        local_threshold(theta, query_len, bucket_min_len)
+    }
+}
+
+/// Probe-specific threshold `θ_p(q)` of Eq. 5 (`θ_p(q) ≥ θ_b(q)` inside a
+/// bucket, since `‖p‖ ≤ l_b`).
+#[inline]
+pub fn probe_threshold(theta: f64, query_len: f64, probe_len: f64) -> f64 {
+    local_threshold(theta, query_len, probe_len)
+}
+
+/// Feasible region `[L_f, U_f]` for coordinate value `p̄_f` given the query
+/// direction coordinate `q̄_f` and the local threshold `θ̂ = θ_b(q)`.
+///
+/// Guarantees: for any unit vectors `q̄, p̄` with `q̄ᵀp̄ ≥ θ̂`, the value
+/// `p̄_f` lies inside the returned interval (the *superset* property; the
+/// interval may also contain infeasible values). For `θ̂ ≤ −1` the region is
+/// all of `[−1, 1]`; for `θ̂ > 1` the caller should have pruned the bucket,
+/// but the returned (near-degenerate) interval is still a superset of the
+/// (empty) feasible set.
+#[inline]
+pub fn feasible_region(qf: f64, theta_b: f64) -> (f64, f64) {
+    if theta_b <= -1.0 {
+        return (-1.0, 1.0); // cos ≥ θ̂ holds everywhere: nothing to prune
+    }
+    let th = theta_b;
+    let qf = qf.clamp(-1.0, 1.0);
+    // g(x) = q̄_f·x + √((1−q̄_f²)(1−x²)) is concave on [−1, 1], so its
+    // super-level set {g ≥ θ̂} is an interval. An endpoint sits at the
+    // domain edge iff the edge itself is feasible (g(−1) = −q̄_f,
+    // g(1) = q̄_f); otherwise it is the corresponding quadratic root
+    // q̄_f·θ̂ ∓ √((1−θ̂²)(1−q̄_f²)). This reduces to the paper's case
+    // analysis for θ̂ ∈ [0, 1] and stays correct for the negative
+    // thresholds of Row-Top-k warm-up and for |q̄_f| = 1 (double root).
+    let root = ((1.0 - th * th).max(0.0) * (1.0 - qf * qf)).sqrt();
+    let l = if -qf >= th { -1.0 } else { qf * th - root };
+    let u = if qf >= th { 1.0 } else { qf * th + root };
+    ((l - REGION_SLACK).max(-1.0), (u + REGION_SLACK).min(1.0))
+}
+
+/// Reference feasibility predicate used by tests and the tuner's sanity
+/// checks: the exact maximum of `q̄ᵀp̄` over unit `p̄` with the given
+/// coordinate value is `q̄_f·x + √((1−q̄_f²)(1−x²))`.
+#[inline]
+pub fn max_cosine_given_coord(qf: f64, x: f64) -> f64 {
+    let qf = qf.clamp(-1.0, 1.0);
+    let x = x.clamp(-1.0, 1.0);
+    qf * x + ((1.0 - qf * qf).max(0.0) * (1.0 - x * x).max(0.0)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_threshold_matches_fig2() {
+        // Fig. 2: θ = 0.9, ‖q1‖ = 5, buckets l = 2, 1, 0.5.
+        assert!((local_threshold(0.9, 5.0, 2.0) - 0.09).abs() < 1e-12);
+        assert!((local_threshold(0.9, 5.0, 1.0) - 0.18).abs() < 1e-12);
+        assert!((local_threshold(0.9, 5.0, 0.5) - 0.36).abs() < 1e-12);
+        // ‖q2‖ = 1: 0.45, 0.90, 1.8 (pruned)
+        assert!((local_threshold(0.9, 1.0, 2.0) - 0.45).abs() < 1e-12);
+        assert!((local_threshold(0.9, 1.0, 1.0) - 0.90).abs() < 1e-12);
+        assert!(local_threshold(0.9, 1.0, 0.5) > 1.0);
+        // ‖q3‖ = 0.1: all above 1
+        assert!(local_threshold(0.9, 0.1, 2.0) > 1.0);
+    }
+
+    #[test]
+    fn local_threshold_degenerate_lengths() {
+        assert_eq!(local_threshold(0.5, 0.0, 2.0), f64::INFINITY);
+        assert_eq!(local_threshold(0.0, 0.0, 2.0), f64::NEG_INFINITY);
+        assert_eq!(local_threshold(-1.0, 2.0, 0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn feasible_region_matches_fig4_example() {
+        // Fig. 4d: q̄ = (0.70, 0.3, 0.4, 0.51), θ_b = 0.9; regions for the
+        // focus coordinates F = {1, 4}: [0.32, 0.94] and [0.09, 0.83].
+        let (l1, u1) = feasible_region(0.70, 0.9);
+        assert!((l1 - 0.32).abs() < 0.01, "L1 {l1}");
+        assert!((u1 - 0.94).abs() < 0.01, "U1 {u1}");
+        let (l4, u4) = feasible_region(0.51, 0.9);
+        assert!((l4 - 0.09).abs() < 0.01, "L4 {l4}");
+        assert!((u4 - 0.83).abs() < 0.01, "U4 {u4}");
+    }
+
+    #[test]
+    fn region_is_superset_of_feasible_values_dense_grid() {
+        // For a grid of (q̄_f, θ̂, x): if some unit p̄ with p̄_f = x can reach
+        // cosine θ̂, then x must be inside the region.
+        let grid: Vec<f64> = (-20..=20).map(|i| i as f64 / 20.0).collect();
+        for &qf in &grid {
+            for &th in &grid {
+                let (l, u) = feasible_region(qf, th);
+                for &x in &grid {
+                    if max_cosine_given_coord(qf, x) >= th {
+                        assert!(
+                            x >= l - 1e-9 && x <= u + 1e-9,
+                            "qf={qf} th={th}: feasible x={x} outside [{l}, {u}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_shrinks_with_threshold() {
+        // Fig. 3: larger local thresholds give smaller feasible regions.
+        let widths: Vec<f64> = [0.3, 0.8, 0.99]
+            .iter()
+            .map(|&t| {
+                let (l, u) = feasible_region(0.5, t);
+                u - l
+            })
+            .collect();
+        assert!(widths[0] > widths[1]);
+        assert!(widths[1] > widths[2]);
+    }
+
+    #[test]
+    fn region_handles_extreme_qf() {
+        // q̄_f = ±1: p̄ must equal ±q̄ up to the free coordinate; the region
+        // collapses around ±θ̂.
+        let (l, u) = feasible_region(1.0, 0.8);
+        assert!((l - 0.8).abs() < 1e-6);
+        assert!((u - 1.0).abs() < 1e-6);
+        let (l, u) = feasible_region(-1.0, 0.8);
+        assert!((l + 1.0).abs() < 1e-6);
+        assert!((u + 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn region_with_negative_threshold_is_safe() {
+        // θ̂ < 0 happens in Row-Top-k warm-up. qf = 0 with θ̂ < 0 must give
+        // the full range (every x is feasible via the orthogonal complement).
+        let (l, u) = feasible_region(0.0, -0.5);
+        assert_eq!((l, u), (-1.0, 1.0));
+        // And θ̂ ≤ −1 unconditionally.
+        let (l, u) = feasible_region(0.7, -1.5);
+        assert_eq!((l, u), (-1.0, 1.0));
+    }
+
+    #[test]
+    fn region_at_threshold_one_pins_to_query() {
+        // θ̂ = 1 forces p̄ = q̄, so the region is {q̄_f} (within slack).
+        let (l, u) = feasible_region(0.6, 1.0);
+        assert!((l - 0.6).abs() < 1e-6);
+        assert!((u - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn region_threshold_is_sound_for_both_signs() {
+        // θ > 0: divide by the longest vector (Eq. 3).
+        assert!((region_threshold(0.9, 1.0, 2.0, 0.5) - 0.45).abs() < 1e-12);
+        // θ < 0: divide by the shortest vector — every probe's θ_p is ≥ it.
+        let t = region_threshold(-0.9, 1.0, 2.0, 0.5);
+        assert!((t + 1.8).abs() < 1e-12);
+        for p_len in [0.5, 1.0, 2.0] {
+            assert!(probe_threshold(-0.9, 1.0, p_len) >= t - 1e-12);
+        }
+        // zero min length with negative θ: no pruning possible
+        assert_eq!(region_threshold(-0.1, 1.0, 2.0, 0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn probe_threshold_dominates_local_threshold() {
+        // ‖p‖ ≤ l_b ⇒ θ_p(q) ≥ θ_b(q) (the INCR improvement).
+        let theta = 0.9;
+        let q = 1.3;
+        let lb = 2.0;
+        for p_len in [0.5, 1.0, 1.9, 2.0] {
+            assert!(probe_threshold(theta, q, p_len) >= local_threshold(theta, q, lb) - 1e-12);
+        }
+    }
+}

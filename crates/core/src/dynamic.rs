@@ -1,0 +1,838 @@
+//! Dynamic probe maintenance: insert and remove probe vectors without
+//! rebuilding the engine.
+//!
+//! The paper preprocesses a *static* probe matrix (Alg. 1, lines 1–6). In
+//! production deployments of the motivating applications the probe side
+//! churns — items enter and leave a recommender catalog, facts are added to
+//! an open-IE store — so a practical engine must absorb edits cheaply. This
+//! module extends LEMP's bucket structure with incremental maintenance:
+//!
+//! * **Insert**: the new vector is routed to the bucket whose length range
+//!   contains it (binary search over the bucket boundaries), placed at its
+//!   sorted position, and the bucket's lazy indexes are dropped — they
+//!   rebuild on the next query that needs them, exactly like the paper's
+//!   lazy construction. When a vector falls *between* two buckets' ranges,
+//!   a quality rule mirroring the paper's bucketization decides between
+//!   joining a neighbour (if the ratio or min-size rule allows) and opening
+//!   a fresh bucket. Buckets pushed past the cache cap split in half.
+//! * **Remove**: the vector's bucket is located through its length (lengths
+//!   are tracked per id, and computed with the same `kernels::norm` used by
+//!   bucketization, so the lookup is exact), the row is cut out, indexes
+//!   are dropped, and empty buckets disappear.
+//!
+//! Two invariants survive every edit, and the test suite checks them after
+//! randomized edit scripts:
+//!
+//! 1. *within-bucket order*: lengths are non-increasing and `max_len`/
+//!    `min_len` are exact;
+//! 2. *inter-bucket order*: each bucket's `min_len` is at least the next
+//!    bucket's `max_len`, so the length axis remains partitioned and the
+//!    binary-search locate stays sound.
+//!
+//! Incremental edits can degrade the *quality* of the bucketization (the
+//! ratio rule may be violated by absorbed vectors, buckets may shrink below
+//! the paper's minimum size) without ever affecting correctness.
+//! [`DynamicLemp::fragmentation`] measures the degradation and
+//! [`DynamicLemp::rebuild`] compacts back to the exact static layout while
+//! preserving stable ids.
+
+use lemp_linalg::{kernels, LinalgError, VectorStore};
+
+use crate::bucket::{Bucket, BucketPolicy, ProbeBuckets};
+use crate::exec::RunConfig;
+use crate::persist::PersistError;
+use crate::runner::{self, AboveThetaOutput, TopKOutput};
+
+/// A LEMP engine over a mutable probe set.
+///
+/// Probe ids are *stable handles*: the ids reported in query results refer
+/// to insertion order (the initial vectors get `0..n`, each insert returns
+/// the next id) and never shift when other probes are removed.
+///
+/// # Example
+///
+/// ```
+/// use lemp_core::dynamic::DynamicLemp;
+/// use lemp_core::{BucketPolicy, RunConfig};
+/// use lemp_linalg::VectorStore;
+///
+/// let probes = VectorStore::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+/// let mut engine = DynamicLemp::new(&probes, BucketPolicy::default(), RunConfig::default());
+/// let id = engine.insert(&[2.0, 2.0]).unwrap();
+/// assert_eq!(id, 2);
+/// assert!(engine.remove(0));
+/// assert!(!engine.remove(0)); // already gone
+///
+/// let queries = VectorStore::from_rows(&[vec![1.0, 1.0]]).unwrap();
+/// let top = engine.row_top_k(&queries, 1);
+/// assert_eq!(top.lists[0][0].id, id as usize); // the inserted vector wins
+/// ```
+#[derive(Debug)]
+pub struct DynamicLemp {
+    policy: BucketPolicy,
+    config: RunConfig,
+    buckets: ProbeBuckets,
+    /// Length per id (exact, from `kernels::norm`); valid while alive.
+    id_len: Vec<f64>,
+    alive: Vec<bool>,
+    live: usize,
+}
+
+impl DynamicLemp {
+    /// Builds the engine over an initial probe set (ids `0..probes.len()`).
+    pub fn new(probes: &VectorStore, policy: BucketPolicy, config: RunConfig) -> Self {
+        let buckets = ProbeBuckets::build(probes, &policy);
+        let id_len = probes.lengths();
+        let alive = vec![true; probes.len()];
+        let live = probes.len();
+        Self { policy, config, buckets, id_len, alive, live }
+    }
+
+    /// Number of live probe vectors.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` if no probes are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.buckets.dim()
+    }
+
+    /// Whether `id` refers to a live probe.
+    pub fn contains(&self, id: u32) -> bool {
+        (id as usize) < self.alive.len() && self.alive[id as usize]
+    }
+
+    /// The id the next [`Self::insert`] will return.
+    pub fn next_id(&self) -> u32 {
+        self.id_len.len() as u32
+    }
+
+    /// Current number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.bucket_count()
+    }
+
+    /// Inserts a probe vector; returns its stable id.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimMismatch`] on wrong dimensionality and
+    /// [`LinalgError::NonFinite`] if any coordinate is NaN or infinite.
+    pub fn insert(&mut self, v: &[f64]) -> Result<u32, LinalgError> {
+        if v.len() != self.dim() {
+            return Err(LinalgError::DimMismatch { left: self.dim(), right: v.len() });
+        }
+        if let Some(index) = v.iter().position(|x| !x.is_finite()) {
+            return Err(LinalgError::NonFinite { index });
+        }
+        assert!(self.id_len.len() < u32::MAX as usize, "id space exhausted");
+        let id = self.id_len.len() as u32;
+        let len = kernels::norm(v);
+
+        let ratio = self.policy.length_ratio;
+        let min_bucket = self.policy.min_bucket;
+        let dim = self.dim();
+        let buckets = self.buckets.buckets_vec_mut();
+        // Buckets partition the length axis in decreasing order; `pp` is the
+        // count of buckets whose range lies fully above `len`.
+        let pp = buckets.partition_point(|b| b.max_len >= len);
+        let target = if buckets.is_empty() {
+            buckets.push(singleton(id, v));
+            0
+        } else if pp == 0 {
+            // Longer than every existing vector: join the front bucket if
+            // the ratio rule tolerates stretching it, else open a new one.
+            if buckets[0].min_len >= len * ratio || buckets[0].len() < min_bucket {
+                buckets[0].insert_sorted(id, v, len);
+                0
+            } else {
+                buckets.insert(0, singleton(id, v));
+                0
+            }
+        } else {
+            let cand = pp - 1; // last bucket with max_len ≥ len
+            if len > buckets[cand].min_len {
+                // Strictly inside the candidate's range: forced (the only
+                // placement that keeps the length axis partitioned).
+                buckets[cand].insert_sorted(id, v, len);
+                cand
+            } else if len >= buckets[cand].max_len * ratio
+                || buckets[cand].len() < min_bucket
+            {
+                // At/below the candidate's bottom but within its ratio
+                // window (or the candidate is undersized): absorb, exactly
+                // like the static bucketization's greedy scan.
+                buckets[cand].insert_sorted(id, v, len);
+                cand
+            } else if cand + 1 < buckets.len() && buckets[cand + 1].min_len >= len * ratio {
+                // The next (shorter) bucket can take it as its new maximum
+                // without breaking its own ratio window.
+                buckets[cand + 1].insert_sorted(id, v, len);
+                cand + 1
+            } else {
+                buckets.insert(cand + 1, singleton(id, v));
+                cand + 1
+            }
+        };
+        // Cache cap: split an overgrown bucket in half (both keep order).
+        let cap = self.policy.max_bucket(dim);
+        if buckets[target].len() > cap {
+            let tail = buckets[target].split_off_tail();
+            buckets.insert(target + 1, tail);
+        }
+
+        self.id_len.push(len);
+        self.alive.push(true);
+        self.live += 1;
+        let live = self.live;
+        self.buckets.set_total(live);
+        Ok(id)
+    }
+
+    /// Removes the probe with the given id; returns whether it was live.
+    pub fn remove(&mut self, id: u32) -> bool {
+        if !self.contains(id) {
+            return false;
+        }
+        let len = self.id_len[id as usize];
+        let buckets = self.buckets.buckets_vec_mut();
+        // First bucket whose range reaches down to `len`.
+        let start = buckets.partition_point(|b| b.min_len > len);
+        let mut found = None;
+        for (bi, bucket) in buckets.iter().enumerate().skip(start) {
+            if bucket.max_len < len {
+                break;
+            }
+            if let Some(lid) = bucket.ids.iter().position(|&x| x == id) {
+                found = Some((bi, lid));
+                break;
+            }
+        }
+        let (bi, lid) = found.expect("live id must be present in a bucket");
+        buckets[bi].remove_at(lid);
+        if buckets[bi].is_empty() {
+            buckets.remove(bi);
+        }
+        self.alive[id as usize] = false;
+        self.live -= 1;
+        let live = self.live;
+        self.buckets.set_total(live);
+        true
+    }
+
+    /// The live probes as `(stable ids, vectors)`, in ascending id order.
+    pub fn live_vectors(&self) -> (Vec<u32>, VectorStore) {
+        let mut pairs: Vec<(u32, usize, usize)> = Vec::with_capacity(self.live);
+        for (bi, bucket) in self.buckets.buckets().iter().enumerate() {
+            for (lid, &id) in bucket.ids.iter().enumerate() {
+                pairs.push((id, bi, lid));
+            }
+        }
+        pairs.sort_unstable_by_key(|&(id, _, _)| id);
+        let mut store = VectorStore::empty(self.dim()).expect("dim > 0");
+        let mut ids = Vec::with_capacity(pairs.len());
+        for (id, bi, lid) in pairs {
+            ids.push(id);
+            store
+                .push(self.buckets.buckets()[bi].origs.vector(lid))
+                .expect("same dimensionality");
+        }
+        (ids, store)
+    }
+
+    /// Fraction of buckets that are *undersized* (below the policy's
+    /// minimum bucket size), the signature damage of incremental edits:
+    /// out-of-range inserts open singleton buckets and removals shrink
+    /// existing ones. The static bucketization produces at most one
+    /// undersized bucket (the last), so this is ≈ 0 right after
+    /// construction or [`Self::rebuild`] and grows with edit churn.
+    pub fn fragmentation(&self) -> f64 {
+        let n = self.buckets.bucket_count();
+        if n == 0 {
+            return 0.0;
+        }
+        let undersized = self
+            .buckets
+            .buckets()
+            .iter()
+            .filter(|b| b.len() < self.policy.min_bucket)
+            .count();
+        undersized as f64 / n as f64
+    }
+
+    /// Rebuilds the bucketization from scratch (compaction). Stable ids are
+    /// preserved; all lazy indexes are dropped and rebuild on demand.
+    pub fn rebuild(&mut self) {
+        let (ids, store) = self.live_vectors();
+        let mut rebuilt = ProbeBuckets::build(&store, &self.policy);
+        // `build` numbered the rows 0..live; map back to stable ids.
+        for bucket in rebuilt.buckets_mut() {
+            for slot in &mut bucket.ids {
+                *slot = ids[*slot as usize];
+            }
+        }
+        self.buckets = rebuilt;
+        self.buckets.set_total(self.live);
+    }
+
+    /// Solves Above-θ over the live probes (ids in the result are stable).
+    ///
+    /// # Panics
+    /// If the query dimensionality differs from the probe dimensionality.
+    pub fn above_theta(&mut self, queries: &VectorStore, theta: f64) -> AboveThetaOutput {
+        runner::above_theta(&mut self.buckets, queries, theta, &self.config)
+    }
+
+    /// Solves Row-Top-k over the live probes (ids in the result are
+    /// stable).
+    ///
+    /// # Panics
+    /// If the query dimensionality differs from the probe dimensionality.
+    pub fn row_top_k(&mut self, queries: &VectorStore, k: usize) -> TopKOutput {
+        runner::row_top_k(&mut self.buckets, queries, k, &self.config)
+    }
+
+    /// Solves **|Above-θ|** (`|qᵀp| ≥ theta`, `theta > 0`) over the live
+    /// probes, as [`crate::Lemp::abs_above_theta`] does for the static
+    /// engine.
+    ///
+    /// # Panics
+    /// If `theta ≤ 0` or on dimensionality mismatch.
+    pub fn abs_above_theta(&mut self, queries: &VectorStore, theta: f64) -> AboveThetaOutput {
+        assert!(theta > 0.0, "abs_above_theta requires theta > 0, got {theta}");
+        let mut out = self.above_theta(queries, theta);
+        let negated = queries.negated();
+        let neg = self.above_theta(&negated, theta);
+        out.entries.extend(neg.entries.iter().map(|e| lemp_baselines::types::Entry {
+            query: e.query,
+            probe: e.probe,
+            value: -e.value,
+        }));
+        out.stats.merge(&neg.stats);
+        out.stats.counters.queries = queries.len() as u64;
+        out.stats.counters.results = out.entries.len() as u64;
+        out
+    }
+
+    /// **Row-Top-k with a score floor** over the live probes, as
+    /// [`crate::Lemp::row_top_k_with_floor`] does for the static engine.
+    ///
+    /// # Panics
+    /// If the query dimensionality differs from the probe dimensionality.
+    pub fn row_top_k_with_floor(
+        &mut self,
+        queries: &VectorStore,
+        k: usize,
+        floor: f64,
+    ) -> TopKOutput {
+        runner::row_top_k_floor(&mut self.buckets, queries, k, floor, &self.config)
+    }
+
+    /// The underlying buckets (inspection / tests).
+    pub fn buckets(&self) -> &ProbeBuckets {
+        &self.buckets
+    }
+
+    /// Serializes the dynamic engine: bucketization policy, run
+    /// configuration, the id-space watermark and the bucket contents.
+    /// Stable ids survive the round trip; dead ids stay dead (they are
+    /// reconstructed as "absent from every bucket").
+    ///
+    /// # Errors
+    /// Propagates write failures.
+    pub fn write_to<W: std::io::Write>(&self, writer: W) -> Result<(), PersistError> {
+        use crate::persist::{write_bucket_section, write_config, write_f64, write_u64};
+        let mut w = std::io::BufWriter::new(writer);
+        w.write_all(DYN_MAGIC)?;
+        write_f64(&mut w, self.policy.length_ratio)?;
+        write_u64(&mut w, self.policy.min_bucket as u64)?;
+        write_u64(&mut w, self.policy.cache_bytes as u64)?;
+        write_u64(&mut w, self.policy.seed)?;
+        write_config(&mut w, &self.config)?;
+        write_u64(&mut w, self.id_len.len() as u64)?;
+        write_bucket_section(&mut w, &self.buckets)?;
+        use std::io::Write;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Saves the dynamic engine to a file (see [`DynamicLemp::write_to`]).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), PersistError> {
+        self.write_to(std::fs::File::create(path)?)
+    }
+
+    /// Deserializes an engine written by [`DynamicLemp::write_to`].
+    ///
+    /// The per-id length table and liveness flags are reconstructed from
+    /// the bucket contents (lengths recompute bit-identically via
+    /// `kernels::norm`), so only the id-space watermark is stored.
+    ///
+    /// # Errors
+    /// [`PersistError::Format`] on anything a corrupted file could break:
+    /// the shared bucket-section validations plus id-space violations
+    /// (ids at/above the watermark, duplicate ids across buckets).
+    pub fn read_from<R: std::io::Read>(reader: R) -> Result<Self, PersistError> {
+        use crate::persist::{expect_eof, read_bucket_section, read_config, read_f64, read_u64};
+        let mut r = std::io::BufReader::new(reader);
+        let mut magic = [0u8; 8];
+        std::io::Read::read_exact(&mut r, &mut magic)
+            .map_err(|_| PersistError::Format("file too short for magic".into()))?;
+        if &magic != DYN_MAGIC {
+            return Err(PersistError::Format(format!("bad magic {magic:?}")));
+        }
+        let policy = BucketPolicy {
+            length_ratio: read_f64(&mut r, "length_ratio")?,
+            min_bucket: read_u64(&mut r, "min_bucket")? as usize,
+            cache_bytes: read_u64(&mut r, "cache_bytes")? as usize,
+            seed: read_u64(&mut r, "policy seed")?,
+        };
+        if !(policy.length_ratio > 0.0 && policy.length_ratio <= 1.0) || policy.min_bucket == 0 {
+            return Err(PersistError::Format("invalid bucket policy".into()));
+        }
+        let config = read_config(&mut r)?;
+        let id_space = read_u64(&mut r, "id space")? as usize;
+        let buckets = read_bucket_section(&mut r)?;
+        expect_eof(&mut r)?;
+
+        let mut id_len = vec![0.0f64; id_space];
+        let mut alive = vec![false; id_space];
+        for bucket in buckets.buckets() {
+            for (lid, &id) in bucket.ids.iter().enumerate() {
+                let id = id as usize;
+                if id >= id_space {
+                    return Err(PersistError::Format(format!(
+                        "id {id} at/above the id-space watermark {id_space}"
+                    )));
+                }
+                if alive[id] {
+                    return Err(PersistError::Format(format!("duplicate id {id}")));
+                }
+                alive[id] = true;
+                id_len[id] = bucket.lengths[lid];
+            }
+        }
+        let live = buckets.total();
+        Ok(Self { policy, config, buckets, id_len, alive, live })
+    }
+
+    /// Loads a dynamic engine from a file (see [`DynamicLemp::read_from`]).
+    ///
+    /// # Errors
+    /// Same conditions as [`DynamicLemp::read_from`].
+    pub fn load(path: &std::path::Path) -> Result<Self, PersistError> {
+        Self::read_from(std::fs::File::open(path)?)
+    }
+}
+
+const DYN_MAGIC: &[u8; 8] = b"LEMPDYN1";
+
+/// A fresh single-vector bucket.
+fn singleton(id: u32, v: &[f64]) -> Bucket {
+    let origs = VectorStore::from_rows(&[v.to_vec()]).expect("caller validated v");
+    Bucket::from_sorted_rows(vec![id], origs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LempVariant;
+    use lemp_baselines::types::canonical_pairs;
+    use lemp_baselines::Naive;
+    use lemp_data::synthetic::GeneratorConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fixture(n: usize, seed: u64) -> VectorStore {
+        GeneratorConfig::gaussian(n, 8, 1.0).generate(seed)
+    }
+
+    fn engine(probes: &VectorStore) -> DynamicLemp {
+        let config = RunConfig { sample_size: 8, ..Default::default() };
+        let policy = BucketPolicy { min_bucket: 8, cache_bytes: 64 << 10, ..Default::default() };
+        DynamicLemp::new(probes, policy, config)
+    }
+
+    #[test]
+    fn abs_and_floor_apis_are_exact_after_churn() {
+        let probes = fixture(300, 4200);
+        let queries = GeneratorConfig::gaussian(25, 8, 0.8).generate(4300);
+        let mut e = engine(&probes);
+        // Churn: drop every third probe, insert a few fresh ones.
+        for id in (0..300u32).step_by(3) {
+            assert!(e.remove(id));
+        }
+        let extra = fixture(20, 4400);
+        for i in 0..extra.len() {
+            e.insert(extra.vector(i)).unwrap();
+        }
+        // Ground truth over the live set, queried through a fresh engine
+        // with ids mapped back to stable ids.
+        let (ids, live) = e.live_vectors();
+        let theta = 0.9;
+        let mut expect_abs: Vec<(u32, u32)> = Vec::new();
+        for i in 0..queries.len() {
+            for (j, &id) in ids.iter().enumerate() {
+                if queries.dot_between(i, &live, j).abs() >= theta {
+                    expect_abs.push((i as u32, id));
+                }
+            }
+        }
+        expect_abs.sort_unstable();
+        let out = e.abs_above_theta(&queries, theta);
+        assert_eq!(canonical_pairs(&out.entries), expect_abs);
+        assert!(out.entries.iter().any(|en| en.value < 0.0), "two-sided fixture");
+
+        // Floored top-k against the brute-force filtered ranking.
+        let k = 3;
+        let floor = 0.7;
+        let out = e.row_top_k_with_floor(&queries, k, floor);
+        for (i, list) in out.lists.iter().enumerate() {
+            let mut row: Vec<(u32, f64)> = (0..live.len())
+                .map(|j| (ids[j], queries.dot_between(i, &live, j)))
+                .filter(|&(_, v)| v >= floor)
+                .collect();
+            row.sort_by(|a, b| f64::total_cmp(&b.1, &a.1));
+            row.truncate(k);
+            let got: Vec<u32> = list.iter().map(|it| it.id as u32).collect();
+            let want: Vec<u32> = row.iter().map(|&(id, _)| id).collect();
+            assert_eq!(got, want, "query {i}");
+        }
+    }
+
+    /// Checks both maintenance invariants on the current bucket state.
+    fn check_invariants(e: &DynamicLemp) {
+        let mut prev_min = f64::INFINITY;
+        let mut seen = std::collections::BTreeSet::new();
+        for b in e.buckets().buckets() {
+            assert!(!b.is_empty(), "empty bucket retained");
+            assert!(
+                b.max_len <= prev_min + 1e-15,
+                "inter-bucket order broken: max {} after min {prev_min}",
+                b.max_len
+            );
+            assert!((b.lengths[0] - b.max_len).abs() == 0.0);
+            assert!((b.lengths[b.len() - 1] - b.min_len).abs() == 0.0);
+            for w in b.lengths.windows(2) {
+                assert!(w[0] >= w[1], "within-bucket order broken");
+            }
+            for (lid, &id) in b.ids.iter().enumerate() {
+                assert!(e.contains(id), "dead id {id} in bucket");
+                assert_eq!(e.id_len[id as usize], b.lengths[lid], "stale length for id {id}");
+                assert!(seen.insert(id), "id {id} in two buckets");
+            }
+            prev_min = b.min_len;
+        }
+        assert_eq!(seen.len(), e.len(), "live count disagrees with bucket contents");
+    }
+
+    #[test]
+    fn insert_assigns_sequential_stable_ids() {
+        let probes = fixture(20, 1);
+        let mut e = engine(&probes);
+        assert_eq!(e.next_id(), 20);
+        let a = e.insert(&[1.0; 8]).unwrap();
+        let b = e.insert(&[2.0; 8]).unwrap();
+        assert_eq!((a, b), (20, 21));
+        assert!(e.contains(a) && e.contains(b));
+        assert_eq!(e.len(), 22);
+        check_invariants(&e);
+    }
+
+    #[test]
+    fn insert_validates_input() {
+        let probes = fixture(10, 2);
+        let mut e = engine(&probes);
+        assert!(matches!(e.insert(&[1.0; 3]), Err(LinalgError::DimMismatch { .. })));
+        let mut bad = vec![1.0; 8];
+        bad[4] = f64::NAN;
+        assert!(matches!(e.insert(&bad), Err(LinalgError::NonFinite { index: 4 })));
+        assert_eq!(e.len(), 10, "failed inserts must not change the set");
+    }
+
+    #[test]
+    fn remove_is_idempotent_and_updates_len() {
+        let probes = fixture(15, 3);
+        let mut e = engine(&probes);
+        assert!(e.remove(7));
+        assert!(!e.remove(7));
+        assert!(!e.remove(999));
+        assert_eq!(e.len(), 14);
+        assert!(!e.contains(7));
+        check_invariants(&e);
+    }
+
+    #[test]
+    fn drain_everything_then_refill() {
+        let probes = fixture(12, 4);
+        let mut e = engine(&probes);
+        for id in 0..12 {
+            assert!(e.remove(id));
+        }
+        assert!(e.is_empty());
+        assert_eq!(e.bucket_count(), 0);
+        let q = fixture(3, 5);
+        assert!(e.above_theta(&q, 0.1).entries.is_empty());
+        let top = e.row_top_k(&q, 2);
+        assert!(top.lists.iter().all(Vec::is_empty));
+        // refill
+        let id = e.insert(&[1.0; 8]).unwrap();
+        assert_eq!(id, 12);
+        assert_eq!(e.len(), 1);
+        let top = e.row_top_k(&q, 1);
+        assert!(top.lists.iter().all(|l| l.len() == 1 && l[0].id == 12));
+        check_invariants(&e);
+    }
+
+    #[test]
+    fn queries_agree_with_naive_after_edits() {
+        let probes = fixture(120, 6);
+        let mut e = engine(&probes);
+        let mut rng = StdRng::seed_from_u64(7);
+        // random edit script: 60 inserts, 50 removals of random live ids
+        for _ in 0..60 {
+            let v: Vec<f64> = (0..8)
+                .map(|_| 2.0 * lemp_data::rng::standard_normal(&mut rng))
+                .collect();
+            e.insert(&v).unwrap();
+        }
+        let mut removed = 0;
+        while removed < 50 {
+            let id = rng.random_range(0..e.next_id());
+            if e.remove(id) {
+                removed += 1;
+            }
+        }
+        check_invariants(&e);
+
+        let (ids, store) = e.live_vectors();
+        let queries = fixture(25, 8);
+        let theta = 2.0;
+        let (naive_entries, _) = Naive.above_theta(&queries, &store, theta);
+        let expect: Vec<(u32, u32)> = {
+            let mut v: Vec<(u32, u32)> = naive_entries
+                .iter()
+                .map(|en| (en.query, ids[en.probe as usize]))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let got = e.above_theta(&queries, theta);
+        assert_eq!(canonical_pairs(&got.entries), expect);
+
+        // Row-Top-k: compare score multisets per query.
+        let k = 5;
+        let (naive_topk, _) = Naive.row_top_k(&queries, &store, k);
+        let dynamic_topk = e.row_top_k(&queries, k);
+        assert!(lemp_baselines::types::topk_equivalent(
+            &dynamic_topk.lists,
+            &naive_topk,
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn inserts_split_buckets_past_the_cache_cap() {
+        // Tiny cache: cap is small, repeated equal-length inserts must
+        // split instead of growing one bucket forever.
+        let policy = BucketPolicy { min_bucket: 2, cache_bytes: 4096, ..Default::default() };
+        let config = RunConfig { sample_size: 4, ..Default::default() };
+        let probes = fixture(10, 9);
+        let mut e = DynamicLemp::new(&probes, policy, config);
+        let cap = policy.max_bucket(8);
+        for _ in 0..6 * cap {
+            e.insert(&[1.0; 8]).unwrap();
+        }
+        check_invariants(&e);
+        for b in e.buckets().buckets() {
+            assert!(b.len() <= cap, "bucket of {} exceeds cap {cap}", b.len());
+        }
+        assert!(e.bucket_count() >= 6);
+    }
+
+    #[test]
+    fn out_of_range_inserts_open_new_buckets() {
+        let probes = fixture(40, 10);
+        let mut e = engine(&probes);
+        let before = e.bucket_count();
+        // Vastly longer than anything: must not be absorbed into the front
+        // bucket (ratio rule) once that bucket is at min size.
+        e.insert(&[1e6; 8]).unwrap();
+        assert!(e.bucket_count() >= before);
+        assert!((e.buckets().buckets()[0].max_len - 1e6 * (8f64).sqrt()).abs() < 1.0);
+        // Vastly shorter: lands at the tail.
+        e.insert(&[1e-9; 8]).unwrap();
+        let last = e.buckets().buckets().last().unwrap();
+        assert!(last.min_len < 1e-6);
+        check_invariants(&e);
+    }
+
+    #[test]
+    fn rebuild_compacts_and_preserves_results() {
+        let probes = fixture(100, 11);
+        let mut e = engine(&probes);
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..80 {
+            let scale = 10f64.powf(rng.random_range(-2.0..2.0));
+            let v: Vec<f64> = (0..8)
+                .map(|_| scale * lemp_data::rng::standard_normal(&mut rng))
+                .collect();
+            e.insert(&v).unwrap();
+        }
+        for id in (0..100).step_by(3) {
+            e.remove(id);
+        }
+        let queries = fixture(10, 13);
+        let before = canonical_pairs(&e.above_theta(&queries, 1.5).entries);
+        let frag_before = e.fragmentation();
+        e.rebuild();
+        check_invariants(&e);
+        let after = canonical_pairs(&e.above_theta(&queries, 1.5).entries);
+        assert_eq!(before, after, "rebuild changed query results");
+        assert!(
+            e.fragmentation() <= frag_before + 1e-12,
+            "rebuild must not worsen fragmentation ({frag_before} -> {})",
+            e.fragmentation()
+        );
+    }
+
+    #[test]
+    fn live_vectors_roundtrip_exactly() {
+        let probes = fixture(30, 14);
+        let mut e = engine(&probes);
+        e.remove(5);
+        e.remove(17);
+        let added = e.insert(&[0.5; 8]).unwrap();
+        let (ids, store) = e.live_vectors();
+        assert_eq!(ids.len(), 29);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be ascending");
+        assert!(!ids.contains(&5) && !ids.contains(&17));
+        assert!(ids.contains(&added));
+        for (row, &id) in ids.iter().enumerate() {
+            if id < 30 {
+                assert_eq!(store.vector(row), probes.vector(id as usize), "id {id} mutated");
+            } else {
+                assert_eq!(store.vector(row), &[0.5; 8]);
+            }
+        }
+    }
+
+    #[test]
+    fn persistence_roundtrips_after_edits() {
+        let probes = fixture(60, 20);
+        let mut e = engine(&probes);
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..30 {
+            let v: Vec<f64> =
+                (0..8).map(|_| 3.0 * lemp_data::rng::standard_normal(&mut rng)).collect();
+            e.insert(&v).unwrap();
+        }
+        for id in (0..60).step_by(4) {
+            e.remove(id);
+        }
+        let mut buf = Vec::new();
+        e.write_to(&mut buf).unwrap();
+        let mut loaded = DynamicLemp::read_from(&buf[..]).unwrap();
+        check_invariants(&loaded);
+        assert_eq!(loaded.len(), e.len());
+        assert_eq!(loaded.next_id(), e.next_id());
+        assert_eq!(loaded.bucket_count(), e.bucket_count());
+        // dead ids stay dead, live ids stay live
+        for id in 0..e.next_id() {
+            assert_eq!(loaded.contains(id), e.contains(id), "liveness of id {id} changed");
+        }
+        // identical answers and continued edits
+        let queries = fixture(10, 22);
+        let a = e.above_theta(&queries, 1.0);
+        let b = loaded.above_theta(&queries, 1.0);
+        assert_eq!(canonical_pairs(&a.entries), canonical_pairs(&b.entries));
+        let id_e = e.insert(&[1.0; 8]).unwrap();
+        let id_l = loaded.insert(&[1.0; 8]).unwrap();
+        assert_eq!(id_e, id_l, "id watermark diverged after load");
+        assert!(loaded.remove(id_l));
+    }
+
+    #[test]
+    fn persistence_rejects_corruption() {
+        let probes = fixture(20, 23);
+        let e = engine(&probes);
+        let mut buf = Vec::new();
+        e.write_to(&mut buf).unwrap();
+
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(DynamicLemp::read_from(&bad[..]), Err(PersistError::Format(_))));
+
+        // id watermark smaller than a stored id: offset of the id-space
+        // word is magic(8) + policy(4×8) + config(1 + 3×8 + 3×8).
+        let id_space_at = 8 + 32 + 1 + 48;
+        let mut bad = buf.clone();
+        bad[id_space_at..id_space_at + 8].copy_from_slice(&1u64.to_le_bytes());
+        let err = DynamicLemp::read_from(&bad[..]).unwrap_err();
+        assert!(err.to_string().contains("watermark"), "unexpected error: {err}");
+
+        // truncations
+        for cut in [4usize, 20, id_space_at + 4, buf.len() - 3] {
+            assert!(
+                DynamicLemp::read_from(&buf[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        // trailing bytes
+        let mut bad = buf.clone();
+        bad.push(0);
+        assert!(DynamicLemp::read_from(&bad[..]).is_err());
+    }
+
+    #[test]
+    fn persistence_file_roundtrip() {
+        let probes = fixture(15, 24);
+        let e = engine(&probes);
+        let path =
+            std::env::temp_dir().join(format!("lemp-dyn-persist-{}.eng", std::process::id()));
+        e.save(&path).unwrap();
+        let loaded = DynamicLemp::load(&path).unwrap();
+        assert_eq!(loaded.len(), 15);
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(DynamicLemp::load(&path), Err(PersistError::Io(_))));
+    }
+
+    #[test]
+    fn works_with_every_exact_variant() {
+        let probes = fixture(80, 15);
+        let queries = fixture(10, 16);
+        for variant in LempVariant::all() {
+            if variant.is_approximate() {
+                continue;
+            }
+            let config =
+                RunConfig { variant, sample_size: 4, ..Default::default() };
+            let policy = BucketPolicy { min_bucket: 8, ..Default::default() };
+            let mut e = DynamicLemp::new(&probes, policy, config);
+            e.insert(&[3.0; 8]).unwrap();
+            e.remove(0);
+            let (ids, store) = e.live_vectors();
+            let (expect, _) = Naive.above_theta(&queries, &store, 1.5);
+            let expect_pairs: Vec<(u32, u32)> = {
+                let mut v: Vec<(u32, u32)> =
+                    expect.iter().map(|en| (en.query, ids[en.probe as usize])).collect();
+                v.sort_unstable();
+                v
+            };
+            let got = e.above_theta(&queries, 1.5);
+            assert_eq!(
+                canonical_pairs(&got.entries),
+                expect_pairs,
+                "{} diverges after edits",
+                variant.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Sorted-list indexes over a bucket's unit directions (Sec. 4.2, App. A).
+//!
+//! Both layouts hold, per coordinate `f`, the bucket's vectors sorted by
+//! decreasing `p̄_f` (Fig. 4c). The *storage layout* differs per consumer,
+//! exactly as Appendix A prescribes:
+//!
+//! * [`ColumnIndex`] (for COORD) — values and local ids in **separate
+//!   arrays**: "the data values are accessed only during binary search to
+//!   determine the scan range, and the local identifiers are accessed only
+//!   during the actual scan phase", so the scan touches a minimal number of
+//!   cache lines.
+//! * [`RowIndex`] (for INCR) — `(value, lid)` **pairs**: "INCR needs access
+//!   to both coordinate values and local identifiers during scanning, we
+//!   store the sorted lists row-wise."
+//!
+//! Scan ranges for a feasible region `[L_f, U_f]` are located by binary
+//! search on the descending value arrays.
+
+use lemp_linalg::VectorStore;
+
+/// Column-wise sorted-list index (COORD layout).
+#[derive(Debug, Clone)]
+pub struct ColumnIndex {
+    /// `vals[f]` — coordinate values sorted descending.
+    vals: Vec<Vec<f64>>,
+    /// `lids[f]` — local ids aligned with `vals[f]`.
+    lids: Vec<Vec<u32>>,
+}
+
+impl ColumnIndex {
+    /// Builds the per-coordinate sorted lists; O(r·n·log n).
+    pub fn build(dirs: &VectorStore) -> Self {
+        let (order, values) = sorted_lists(dirs);
+        Self { vals: values, lids: order }
+    }
+
+    /// Number of coordinates (lists).
+    pub fn dim(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// List length (same for every coordinate).
+    pub fn list_len(&self) -> usize {
+        self.vals.first().map_or(0, Vec::len)
+    }
+
+    /// Half-open index range of list `f` holding values in `[lo, hi]`.
+    #[inline]
+    pub fn scan_range(&self, f: usize, lo: f64, hi: f64) -> (usize, usize) {
+        range_desc(&self.vals[f], lo, hi)
+    }
+
+    /// The local ids of list `f` within an index range.
+    #[inline]
+    pub fn lids(&self, f: usize, range: (usize, usize)) -> &[u32] {
+        &self.lids[f][range.0..range.1]
+    }
+}
+
+/// Row-wise sorted-list index (INCR layout).
+#[derive(Debug, Clone)]
+pub struct RowIndex {
+    /// `entries[f]` — `(value, lid)` sorted by descending value.
+    entries: Vec<Vec<(f64, u32)>>,
+}
+
+impl RowIndex {
+    /// Builds the per-coordinate sorted lists; O(r·n·log n).
+    pub fn build(dirs: &VectorStore) -> Self {
+        let (order, values) = sorted_lists(dirs);
+        let entries = values
+            .into_iter()
+            .zip(order)
+            .map(|(vals, lids)| vals.into_iter().zip(lids).collect())
+            .collect();
+        Self { entries }
+    }
+
+    /// Number of coordinates (lists).
+    pub fn dim(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Half-open index range of list `f` holding values in `[lo, hi]`.
+    #[inline]
+    pub fn scan_range(&self, f: usize, lo: f64, hi: f64) -> (usize, usize) {
+        let list = &self.entries[f];
+        let start = list.partition_point(|&(v, _)| v > hi);
+        let end = list.partition_point(|&(v, _)| v >= lo);
+        (start, end.max(start))
+    }
+
+    /// The `(value, lid)` entries of list `f` within an index range.
+    #[inline]
+    pub fn entries(&self, f: usize, range: (usize, usize)) -> &[(f64, u32)] {
+        &self.entries[f][range.0..range.1]
+    }
+}
+
+/// Shared sort: per coordinate, ids ordered by descending value (ties by
+/// ascending id for determinism), plus the aligned value arrays.
+fn sorted_lists(dirs: &VectorStore) -> (Vec<Vec<u32>>, Vec<Vec<f64>>) {
+    let n = dirs.len();
+    let dim = dirs.dim();
+    let mut order_out = Vec::with_capacity(dim);
+    let mut vals_out = Vec::with_capacity(dim);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for f in 0..dim {
+        order.sort_by(|&a, &b| {
+            let va = dirs.vector(a as usize)[f];
+            let vb = dirs.vector(b as usize)[f];
+            vb.partial_cmp(&va).expect("finite directions").then(a.cmp(&b))
+        });
+        order_out.push(order.clone());
+        vals_out.push(order.iter().map(|&i| dirs.vector(i as usize)[f]).collect());
+    }
+    (order_out, vals_out)
+}
+
+/// Half-open range of a **descending** array with values in `[lo, hi]`.
+#[inline]
+fn range_desc(vals: &[f64], lo: f64, hi: f64) -> (usize, usize) {
+    let start = vals.partition_point(|&v| v > hi);
+    let end = vals.partition_point(|&v| v >= lo);
+    (start, end.max(start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig4_bucket() -> VectorStore {
+        // The normalized vectors of Fig. 4a.
+        VectorStore::from_rows(&[
+            vec![0.58, 0.50, 0.40, 0.50],
+            vec![0.98, 0.00, 0.00, 0.20],
+            vec![0.53, 0.00, 0.00, 0.85],
+            vec![0.35, 0.93, 0.00, 0.10],
+            vec![0.58, 0.50, 0.40, 0.50],
+            vec![0.30, -0.40, 0.81, -0.30],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lists_are_sorted_descending_with_correct_ids() {
+        let idx = ColumnIndex::build(&fig4_bucket());
+        // Fig. 4c: I1 order is lids 2, 1, 5, 3, 4, 6 → zero-based 1, 0, 4, 2, 3, 5.
+        assert_eq!(idx.lids(0, (0, 6)), &[1, 0, 4, 2, 3, 5]);
+        // I4 order: 3, 1, 5, 2, 4, 6 → 2, 0, 4, 1, 3, 5.
+        assert_eq!(idx.lids(3, (0, 6)), &[2, 0, 4, 1, 3, 5]);
+        for f in 0..4 {
+            let all = idx.scan_range(f, -1.0, 1.0);
+            assert_eq!(all, (0, 6));
+        }
+    }
+
+    #[test]
+    fn scan_range_matches_fig4_focus_coordinates() {
+        let idx = ColumnIndex::build(&fig4_bucket());
+        // Fig. 4d: feasible region on coordinate 1 is [0.32, 0.94] →
+        // scan range covers lids 1, 5, 3, 4 (zero-based 0, 4, 2, 3).
+        let r1 = idx.scan_range(0, 0.32, 0.94);
+        assert_eq!(idx.lids(0, r1), &[0, 4, 2, 3]);
+        // Coordinate 4 region [0.09, 0.83] → lids 1, 5, 2, 4 (0, 4, 1, 3).
+        let r4 = idx.scan_range(3, 0.09, 0.83);
+        assert_eq!(idx.lids(3, r4), &[0, 4, 1, 3]);
+    }
+
+    #[test]
+    fn row_index_agrees_with_column_index() {
+        let store = fig4_bucket();
+        let col = ColumnIndex::build(&store);
+        let row = RowIndex::build(&store);
+        for f in 0..store.dim() {
+            for (lo, hi) in [(-1.0, 1.0), (0.0, 0.5), (0.4, 0.4), (0.9, 0.2)] {
+                let rc = col.scan_range(f, lo, hi);
+                let rr = row.scan_range(f, lo, hi);
+                assert_eq!(rc, rr, "f={f} range=({lo},{hi})");
+                let ids_c: Vec<u32> = col.lids(f, rc).to_vec();
+                let ids_r: Vec<u32> = row.entries(f, rr).iter().map(|e| e.1).collect();
+                assert_eq!(ids_c, ids_r);
+                // row entries carry the right values
+                for &(v, lid) in row.entries(f, rr) {
+                    assert!((v - store.vector(lid as usize)[f]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_range_boundaries_are_inclusive() {
+        let store = VectorStore::from_rows(&[vec![0.5], vec![0.3], vec![0.1]]).unwrap();
+        let idx = ColumnIndex::build(&store);
+        assert_eq!(idx.scan_range(0, 0.3, 0.5), (0, 2));
+        assert_eq!(idx.scan_range(0, 0.3, 0.3), (1, 2));
+        assert_eq!(idx.scan_range(0, 0.31, 0.49), (1, 1)); // empty
+        // inverted interval → empty, never panics
+        assert_eq!(idx.scan_range(0, 0.5, 0.1).0, idx.scan_range(0, 0.5, 0.1).1);
+    }
+
+    #[test]
+    fn empty_store_builds_empty_lists() {
+        let store = VectorStore::empty(3).unwrap();
+        let col = ColumnIndex::build(&store);
+        assert_eq!(col.dim(), 3);
+        assert_eq!(col.list_len(), 0);
+        assert_eq!(col.scan_range(0, -1.0, 1.0), (0, 0));
+        let row = RowIndex::build(&store);
+        assert_eq!(row.scan_range(2, -1.0, 1.0), (0, 0));
+    }
+
+    #[test]
+    fn ties_are_ordered_by_id() {
+        let store = VectorStore::from_rows(&[vec![0.5], vec![0.5], vec![0.5]]).unwrap();
+        let idx = ColumnIndex::build(&store);
+        assert_eq!(idx.lids(0, (0, 3)), &[0, 1, 2]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Reusable per-query scratch state: the CP arrays of Sec. 4.2/4.3.
+//!
+//! Appendix A: "we avoid clearing the CP array when moving from one query
+//! vector to the next. Instead, we keep the array uninitialized" — realized
+//! here with epoch stamps: an entry whose stamp differs from the current
+//! epoch is logically uninitialized, and starting a new query is a single
+//! integer increment instead of an O(n) clear.
+
+/// The candidate-pruning array of COORD (Fig. 4e): per local id, how many
+/// focus-coordinate scan ranges contained the vector.
+#[derive(Debug, Clone)]
+pub struct CpArray {
+    count: Vec<u16>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl CpArray {
+    /// An array for buckets of up to `n` vectors.
+    pub fn new(n: usize) -> Self {
+        Self { count: vec![0; n], stamp: vec![0; n], epoch: 0 }
+    }
+
+    /// Grows to accommodate `n` local ids (buckets vary in size; the scratch
+    /// is sized for the largest seen so far).
+    pub fn resize(&mut self, n: usize) {
+        if n > self.count.len() {
+            self.count.resize(n, 0);
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    /// Starts a new query in O(1).
+    pub fn begin(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Increments the counter of `lid` (implicitly from 0 on first touch).
+    #[inline]
+    pub fn bump(&mut self, lid: u32) {
+        let i = lid as usize;
+        if self.stamp[i] == self.epoch {
+            self.count[i] += 1;
+        } else {
+            self.stamp[i] = self.epoch;
+            self.count[i] = 1;
+        }
+    }
+
+    /// Current count of `lid` (0 if untouched this query).
+    #[inline]
+    pub fn count(&self, lid: u32) -> u16 {
+        let i = lid as usize;
+        if self.stamp[i] == self.epoch {
+            self.count[i]
+        } else {
+            0
+        }
+    }
+}
+
+/// The extended CP array of INCR (Fig. 4f): accumulates the partial inner
+/// product `q̄_Fᵀp̄_F` and the partial squared norm `‖p̄_F‖²` per touched
+/// vector, plus the touch list so candidates can be enumerated without
+/// rescanning the index.
+#[derive(Debug, Clone)]
+pub struct ExtCpArray {
+    acc: Vec<f64>,
+    norm_sq: Vec<f64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    touched: Vec<u32>,
+}
+
+impl ExtCpArray {
+    /// An array for buckets of up to `n` vectors.
+    pub fn new(n: usize) -> Self {
+        Self { acc: vec![0.0; n], norm_sq: vec![0.0; n], stamp: vec![0; n], epoch: 0, touched: Vec::new() }
+    }
+
+    /// Grows to accommodate `n` local ids.
+    pub fn resize(&mut self, n: usize) {
+        if n > self.acc.len() {
+            self.acc.resize(n, 0.0);
+            self.norm_sq.resize(n, 0.0);
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    /// Starts a new query in O(1).
+    pub fn begin(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.touched.clear();
+    }
+
+    /// Adds one focus-coordinate observation: `q̄_f · p̄_f` to the partial
+    /// product, `p̄_f²` to the partial norm.
+    #[inline]
+    pub fn accumulate(&mut self, lid: u32, contrib: f64, value_sq: f64) {
+        let i = lid as usize;
+        if self.stamp[i] == self.epoch {
+            self.acc[i] += contrib;
+            self.norm_sq[i] += value_sq;
+        } else {
+            self.stamp[i] = self.epoch;
+            self.acc[i] = contrib;
+            self.norm_sq[i] = value_sq;
+            self.touched.push(lid);
+        }
+    }
+
+    /// Partial inner product and partial squared norm of `lid`.
+    #[inline]
+    pub fn get(&self, lid: u32) -> (f64, f64) {
+        let i = lid as usize;
+        if self.stamp[i] == self.epoch {
+            (self.acc[i], self.norm_sq[i])
+        } else {
+            (0.0, 0.0)
+        }
+    }
+
+    /// Vectors touched by at least one scan range this query.
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cp_array_counts_and_resets() {
+        let mut cp = CpArray::new(4);
+        cp.begin();
+        cp.bump(1);
+        cp.bump(1);
+        cp.bump(3);
+        assert_eq!(cp.count(1), 2);
+        assert_eq!(cp.count(3), 1);
+        assert_eq!(cp.count(0), 0);
+        cp.begin();
+        assert_eq!(cp.count(1), 0, "epoch reset must forget previous query");
+        cp.bump(1);
+        assert_eq!(cp.count(1), 1);
+    }
+
+    #[test]
+    fn cp_array_epoch_wraparound() {
+        let mut cp = CpArray::new(2);
+        cp.epoch = u32::MAX - 1;
+        cp.begin(); // reaches MAX
+        cp.bump(0);
+        assert_eq!(cp.count(0), 1);
+        cp.begin(); // wraps: full clear, epoch restarts
+        assert_eq!(cp.count(0), 0);
+        cp.bump(0);
+        assert_eq!(cp.count(0), 1);
+    }
+
+    #[test]
+    fn ext_cp_accumulates_partials() {
+        let mut e = ExtCpArray::new(6);
+        e.begin();
+        e.accumulate(1, 0.58 * 0.70, 0.58 * 0.58);
+        e.accumulate(1, 0.50 * 0.51, 0.50 * 0.50);
+        let (acc, nsq) = e.get(1);
+        // Fig. 4f row for vector 1: q̄ᵀ_F p̄_F = 0.66, ‖p̄_F‖² = 0.59.
+        assert!((acc - 0.661).abs() < 1e-9);
+        assert!((nsq - 0.5864).abs() < 1e-9);
+        assert_eq!(e.touched(), &[1]);
+        assert_eq!(e.get(0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn ext_cp_begin_clears_touched() {
+        let mut e = ExtCpArray::new(3);
+        e.begin();
+        e.accumulate(0, 1.0, 1.0);
+        e.accumulate(2, 0.5, 0.25);
+        assert_eq!(e.touched(), &[0, 2]);
+        e.begin();
+        assert!(e.touched().is_empty());
+        assert_eq!(e.get(0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn resize_preserves_semantics() {
+        let mut cp = CpArray::new(2);
+        cp.begin();
+        cp.bump(1);
+        cp.resize(10);
+        cp.bump(9);
+        assert_eq!(cp.count(1), 1);
+        assert_eq!(cp.count(9), 1);
+        let mut e = ExtCpArray::new(1);
+        e.begin();
+        e.resize(5);
+        e.accumulate(4, 0.1, 0.01);
+        assert_eq!(e.touched(), &[4]);
+    }
+}

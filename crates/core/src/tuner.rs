@@ -1,0 +1,313 @@
+//! Sample-based algorithm selection (Sec. 4.4 of the paper).
+//!
+//! "LEMP uses a simple, pragmatic method for algorithm selection: it samples
+//! a small set of query vectors and tests the different methods for each
+//! bucket. We observe the wall-clock times obtained by the various methods
+//! and select a threshold `t_b` for each bucket: whenever `θ_b(q) < t_b`,
+//! LEMP will use LENGTH, otherwise it uses coordinate-based pruning.
+//! Similarly, we select for each bucket a parameter `φ_b` … we simply take
+//! the choice that performed best on the sampled query vectors."
+//!
+//! Implementation: for every bucket and every sampled (unpruned) query we
+//! time LENGTH and the variant's coordinate method for φ ∈ 1..=5, *including
+//! the verification cost* the produced candidate set would incur (candidate
+//! counts are exactly what differentiates the methods). `φ_b` minimizes the
+//! summed coordinate-method time; `t_b` is then picked on a grid to minimize
+//! the modeled mixed cost `Σ_q [θ_b(q) < t_b ? t_LENGTH(q) : t_COORD(q)]`.
+
+use std::time::Instant;
+
+use lemp_linalg::kernels;
+
+use crate::algos::{MethodScratch, QueryCtx, Sink};
+use crate::bucket::{Bucket, ProbeBuckets};
+use crate::bounds::{local_threshold, region_threshold};
+use crate::exec::{ensure_for, run_method, BuildClock, RunConfig};
+use crate::query::QueryBatch;
+use crate::variant::{ResolvedMethod, TunedParams};
+
+/// Largest focus-set size the tuner tries (the paper: "typically in the
+/// range of 1–5").
+pub const MAX_PHI: usize = 5;
+
+/// Grid resolution for the `t_b` search.
+const TB_GRID: usize = 20;
+
+/// Tuner output.
+#[derive(Debug, Clone)]
+pub struct Tuning {
+    /// Per-bucket parameters, aligned with the bucket list.
+    pub per_bucket: Vec<TunedParams>,
+    /// Wall-clock spent tuning (reported like the paper's "tuning time").
+    pub tune_ns: u64,
+}
+
+impl Tuning {
+    /// Untuned defaults for `n` buckets (used by variants that need no
+    /// tuning: L, TA, Tree, L2AP, BLSH).
+    pub fn untuned(n: usize) -> Self {
+        Self { per_bucket: vec![TunedParams::default(); n], tune_ns: 0 }
+    }
+}
+
+/// Per-sampled-query thresholds used during tuning: Above-θ uses the global
+/// θ for everyone; Row-Top-k seeds a per-query `θ′` the same way the driver
+/// does (k longest probes).
+pub(crate) enum TuneGoal {
+    Above(f64),
+    TopK(usize),
+}
+
+/// Runs the tuner for variants with a coordinate method; `clock` accumulates
+/// index builds triggered by tuning (they count as preprocessing).
+pub(crate) fn tune(
+    buckets: &mut ProbeBuckets,
+    batch: &QueryBatch,
+    goal: &TuneGoal,
+    cfg: &RunConfig,
+    scratch: &mut MethodScratch,
+    clock: &mut BuildClock,
+) -> Tuning {
+    let nbuckets = buckets.bucket_count();
+    if !cfg.variant.needs_phi() || nbuckets == 0 || batch.is_empty() {
+        return Tuning::untuned(nbuckets);
+    }
+    let start = Instant::now();
+    // The paper's tuning cost is "negligible since the number of query
+    // vectors is large"; keep that true at small m by capping the sample at
+    // a few percent of the query count.
+    let effective = cfg.sample_size.min(batch.len() / 20 + 4);
+    let positions = batch.sample_positions(effective);
+    // Per-sample effective θ (global for Above, seeded θ′ for TopK) and the
+    // per-sample ‖q‖ exposed to the bounds (1 for TopK, Sec. 4.5).
+    let mut sample_theta = Vec::with_capacity(positions.len());
+    let mut sample_len = Vec::with_capacity(positions.len());
+    for &qi in &positions {
+        match goal {
+            TuneGoal::Above(theta) => {
+                sample_theta.push(*theta);
+                sample_len.push(batch.lengths[qi]);
+            }
+            TuneGoal::TopK(k) => {
+                sample_theta.push(seed_threshold(buckets, batch.dirs.vector(qi), *k));
+                sample_len.push(1.0);
+            }
+        }
+    }
+    let incr = cfg.variant.coord_is_incr();
+    let mut per_bucket = Vec::with_capacity(nbuckets);
+    let mut sink = Sink::default();
+    // Reused measurement rows: θ_b, LENGTH time, per-φ coordinate time.
+    let mut rows: Vec<(f64, u64, [u64; MAX_PHI])> = Vec::new();
+    for b in 0..nbuckets {
+        let bucket = &mut buckets.buckets_mut()[b];
+        scratch.ensure(bucket.len());
+        rows.clear();
+        let max_phi = MAX_PHI.min(bucket.dirs.dim());
+        // The coordinate methods need their index; build it now (counted as
+        // preprocessing, like the paper's "maximum indexing time").
+        for phi in 1..=max_phi {
+            ensure_for(bucket, coord_method(incr, phi), 1e-3, cfg, 0, clock);
+        }
+        for (s, &qi) in positions.iter().enumerate() {
+            let theta = sample_theta[s];
+            let qlen = sample_len[s];
+            if local_threshold(theta, qlen, bucket.max_len) > 1.0 {
+                continue;
+            }
+            let th_b = region_threshold(theta, qlen, bucket.max_len, bucket.min_len);
+            let dir = batch.dirs.vector(qi);
+            let ctx = QueryCtx {
+                dir,
+                len: qlen,
+                theta,
+                theta_over_len: safe_div(theta, qlen),
+                local_threshold: th_b,
+                scaled: dir, // tuning measures relative cost; q̄ scale suffices
+            };
+            let t_len = time_method(ResolvedMethod::Length, &ctx, bucket, scratch, &mut sink);
+            let mut t_phi = [u64::MAX; MAX_PHI];
+            for phi in 1..=max_phi {
+                t_phi[phi - 1] =
+                    time_method(coord_method(incr, phi), &ctx, bucket, scratch, &mut sink);
+            }
+            rows.push((th_b, t_len, t_phi));
+        }
+        per_bucket.push(pick_params(&rows, max_phi, cfg));
+    }
+    Tuning { per_bucket, tune_ns: start.elapsed().as_nanos() as u64 }
+}
+
+fn coord_method(incr: bool, phi: usize) -> ResolvedMethod {
+    if incr && phi > 1 {
+        ResolvedMethod::Incr(phi)
+    } else {
+        ResolvedMethod::Coord(phi)
+    }
+}
+
+fn safe_div(theta: f64, len: f64) -> f64 {
+    if len <= 0.0 {
+        if theta > 0.0 {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        theta / len
+    }
+}
+
+/// Times one method run including the verification the candidate set would
+/// cost (results are discarded — tuning is measurement only).
+fn time_method(
+    method: ResolvedMethod,
+    ctx: &QueryCtx<'_>,
+    bucket: &Bucket,
+    scratch: &mut MethodScratch,
+    sink: &mut Sink,
+) -> u64 {
+    sink.clear();
+    let start = Instant::now();
+    let _ = run_method(method, ctx, bucket, None, scratch, sink);
+    let mut sum = 0.0;
+    for &lid in &sink.unverified {
+        sum += kernels::dot(ctx.dir, bucket.dirs.vector(lid as usize));
+    }
+    std::hint::black_box(sum);
+    start.elapsed().as_nanos() as u64
+}
+
+/// Seeds the Row-Top-k warm-up threshold the same way the driver does: the
+/// smallest of the inner products with the k longest probes.
+pub(crate) fn seed_threshold(buckets: &ProbeBuckets, dir: &[f64], k: usize) -> f64 {
+    let mut top = lemp_linalg::TopK::new(k);
+    let mut remaining = k;
+    'outer: for bucket in buckets.buckets() {
+        for lid in 0..bucket.len() {
+            if remaining == 0 {
+                break 'outer;
+            }
+            let v = kernels::dot(dir, bucket.origs.vector(lid));
+            top.push(bucket.ids[lid] as usize, v);
+            remaining -= 1;
+        }
+    }
+    top.threshold()
+}
+
+/// Selects `φ_b` (argmin summed time) and `t_b` (grid argmin of the mixed
+/// cost model) from the measurement rows.
+fn pick_params(rows: &[(f64, u64, [u64; MAX_PHI])], max_phi: usize, cfg: &RunConfig) -> TunedParams {
+    if rows.is_empty() || max_phi == 0 {
+        return TunedParams::default();
+    }
+    // φ_b: smallest total coordinate-method time.
+    let mut best_phi = 1;
+    let mut best_total = u128::MAX;
+    for phi in 1..=max_phi {
+        let total: u128 = rows.iter().map(|r| r.2[phi - 1] as u128).sum();
+        if total < best_total {
+            best_total = total;
+            best_phi = phi;
+        }
+    }
+    // t_b: grid argmin of the mixed cost (only for hybrid variants; pure
+    // coordinate variants keep t_b = 0 so LENGTH is never chosen).
+    if !cfg.variant.needs_tb() {
+        return TunedParams { tb: 0.0, phi: best_phi };
+    }
+    let mut best_tb = 0.0;
+    let mut best_cost = u128::MAX;
+    for g in 0..=TB_GRID + 1 {
+        // grid over [0, 1] plus a sentinel above 1 (= always LENGTH)
+        let tb = g as f64 / TB_GRID as f64;
+        let cost: u128 = rows
+            .iter()
+            .map(|&(th_b, t_len, t_phi)| {
+                if th_b < tb {
+                    t_len as u128
+                } else {
+                    t_phi[best_phi - 1] as u128
+                }
+            })
+            .sum();
+        if cost < best_cost {
+            best_cost = cost;
+            best_tb = tb;
+        }
+    }
+    TunedParams { tb: best_tb, phi: best_phi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::BucketPolicy;
+    use crate::variant::LempVariant;
+    use lemp_data::synthetic::GeneratorConfig;
+    use lemp_linalg::VectorStore;
+
+    fn setup(n: usize, m: usize, cov: f64) -> (ProbeBuckets, QueryBatch, VectorStore) {
+        let probes = GeneratorConfig::gaussian(n, 8, cov).generate(5);
+        let queries = GeneratorConfig::gaussian(m, 8, cov).generate(6);
+        let pb = ProbeBuckets::build(&probes, &BucketPolicy::default());
+        let batch = QueryBatch::build(&queries);
+        (pb, batch, queries)
+    }
+
+    #[test]
+    fn tuner_produces_params_for_every_bucket() {
+        let (mut pb, batch, _) = setup(400, 60, 1.0);
+        let cfg = RunConfig { variant: LempVariant::LI, sample_size: 10, ..Default::default() };
+        let mut scratch = MethodScratch::new(512);
+        let mut clock = BuildClock::default();
+        let tuning =
+            tune(&mut pb, &batch, &TuneGoal::Above(0.5), &cfg, &mut scratch, &mut clock);
+        assert_eq!(tuning.per_bucket.len(), pb.bucket_count());
+        for p in &tuning.per_bucket {
+            assert!(p.phi >= 1 && p.phi <= MAX_PHI);
+            assert!(p.tb >= 0.0 && p.tb <= 1.05);
+        }
+        assert!(tuning.tune_ns > 0);
+        assert!(clock.built > 0, "tuning builds the coordinate indexes");
+    }
+
+    #[test]
+    fn variants_without_phi_are_untuned() {
+        let (mut pb, batch, _) = setup(200, 20, 0.5);
+        let cfg = RunConfig { variant: LempVariant::L, ..Default::default() };
+        let mut scratch = MethodScratch::new(256);
+        let mut clock = BuildClock::default();
+        let tuning =
+            tune(&mut pb, &batch, &TuneGoal::Above(0.5), &cfg, &mut scratch, &mut clock);
+        assert_eq!(tuning.tune_ns, 0);
+        assert_eq!(clock.built, 0);
+        assert!(tuning.per_bucket.iter().all(|p| *p == TunedParams::default()));
+    }
+
+    #[test]
+    fn topk_goal_seeds_thresholds() {
+        let (pb, batch, _) = setup(300, 10, 0.8);
+        let th = seed_threshold(&pb, batch.dirs.vector(0), 5);
+        assert!(th.is_finite());
+        // k larger than n: threshold stays unfull → −∞
+        let th = seed_threshold(&pb, batch.dirs.vector(0), 10_000);
+        assert_eq!(th, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn empty_inputs_yield_untuned() {
+        let probes = GeneratorConfig::gaussian(100, 4, 0.2).generate(9);
+        let mut pb = ProbeBuckets::build(&probes, &BucketPolicy::default());
+        let empty = VectorStore::empty(4).unwrap();
+        let batch = QueryBatch::build(&empty);
+        let cfg = RunConfig { variant: LempVariant::LI, ..Default::default() };
+        let mut scratch = MethodScratch::new(128);
+        let mut clock = BuildClock::default();
+        let tuning =
+            tune(&mut pb, &batch, &TuneGoal::Above(0.5), &cfg, &mut scratch, &mut clock);
+        assert_eq!(tuning.per_bucket.len(), pb.bucket_count());
+        assert_eq!(tuning.tune_ns, 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for engine persistence: any engine an arbitrary
+//! probe store produces must round-trip bit-exactly through the binary
+//! image, for both the static and dynamic engines.
+
+use lemp_core::dynamic::DynamicLemp;
+use lemp_core::{BucketPolicy, Lemp, RunConfig};
+use lemp_linalg::VectorStore;
+use proptest::prelude::*;
+
+fn store_strategy() -> impl Strategy<Value = VectorStore> {
+    (1usize..=6).prop_flat_map(|dim| {
+        proptest::collection::vec(
+            (proptest::collection::vec(-2.0f64..2.0, dim), -3.0f64..3.0),
+            0..=50,
+        )
+        .prop_map(move |rows| {
+            let scaled: Vec<Vec<f64>> = rows
+                .into_iter()
+                .map(|(mut v, log_scale)| {
+                    let s = 10f64.powf(log_scale);
+                    for x in &mut v {
+                        *x *= s;
+                    }
+                    v
+                })
+                .collect();
+            if scaled.is_empty() {
+                VectorStore::empty(dim).expect("dim > 0")
+            } else {
+                VectorStore::from_rows(&scaled).expect("valid rows")
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn static_engine_roundtrips_bit_exactly(
+        probes in store_strategy(),
+        min_bucket in 1usize..=20,
+        sample in 0usize..=10,
+    ) {
+        let policy = BucketPolicy { min_bucket, cache_bytes: 16 << 10, ..Default::default() };
+        let engine = Lemp::builder()
+            .policy(policy)
+            .sample_size(sample)
+            .build(&probes);
+        let mut buf = Vec::new();
+        engine.write_to(&mut buf).expect("in-memory write succeeds");
+        let loaded = Lemp::read_from(&buf[..]).expect("image written by us loads");
+        prop_assert_eq!(loaded.config(), engine.config());
+        prop_assert_eq!(loaded.buckets().bucket_count(), engine.buckets().bucket_count());
+        prop_assert_eq!(loaded.buckets().total(), engine.buckets().total());
+        for (a, b) in loaded.buckets().buckets().iter().zip(engine.buckets().buckets()) {
+            prop_assert_eq!(&a.ids, &b.ids);
+            prop_assert_eq!(a.origs.as_flat(), b.origs.as_flat());
+            prop_assert_eq!(a.max_len.to_bits(), b.max_len.to_bits());
+            prop_assert_eq!(a.min_len.to_bits(), b.min_len.to_bits());
+        }
+        // writing the loaded engine again gives the identical image
+        let mut buf2 = Vec::new();
+        loaded.write_to(&mut buf2).expect("second write succeeds");
+        prop_assert_eq!(buf, buf2, "image is not a fixed point");
+    }
+
+    #[test]
+    fn dynamic_engine_roundtrips_through_edits(
+        probes in store_strategy(),
+        removals in proptest::collection::vec(0u32..60, 0..12),
+    ) {
+        let policy = BucketPolicy { min_bucket: 4, cache_bytes: 16 << 10, ..Default::default() };
+        let mut engine = DynamicLemp::new(&probes, policy, RunConfig::default());
+        for id in removals {
+            engine.remove(id);
+        }
+        engine.insert(&vec![0.5; probes.dim()]).expect("valid insert");
+        let mut buf = Vec::new();
+        engine.write_to(&mut buf).expect("in-memory write succeeds");
+        let loaded = DynamicLemp::read_from(&buf[..]).expect("image loads");
+        prop_assert_eq!(loaded.len(), engine.len());
+        prop_assert_eq!(loaded.next_id(), engine.next_id());
+        for id in 0..engine.next_id() {
+            prop_assert_eq!(loaded.contains(id), engine.contains(id));
+        }
+        let (ids_a, store_a) = engine.live_vectors();
+        let (ids_b, store_b) = loaded.live_vectors();
+        prop_assert_eq!(ids_a, ids_b);
+        prop_assert_eq!(store_a.as_flat(), store_b.as_flat());
+    }
+}

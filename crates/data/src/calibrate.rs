@@ -1,0 +1,142 @@
+//! θ calibration for "recall level" workloads.
+//!
+//! The paper's Above-θ experiments select θ "such that we retrieve the
+//! top-10³, -10⁴, -10⁵, -10⁶ and -10⁷ entries in the whole product matrix"
+//! (Sec. 6.1). This module computes such a θ for a target result size —
+//! exactly (full product, O(mnr), fine at test scale) or by uniform pair
+//! sampling (quantile estimation, used by the bench harness at larger scale).
+
+use lemp_linalg::{kernels, stats, TopK, VectorStore};
+use rand::Rng;
+
+use crate::rng::seeded;
+
+/// θ such that exactly `target` entries of `QᵀP` are ≥ θ (the value of the
+/// `target`-th largest entry). Computes the full product; intended for small
+/// inputs.
+///
+/// Returns `None` when `target` is 0 or exceeds `m·n`.
+pub fn exact_theta(queries: &VectorStore, probes: &VectorStore, target: usize) -> Option<f64> {
+    let total = queries.len() * probes.len();
+    if target == 0 || target > total {
+        return None;
+    }
+    let mut top = TopK::new(target);
+    for q in queries.iter() {
+        for (j, p) in probes.iter().enumerate() {
+            top.push(j, kernels::dot(q, p));
+        }
+    }
+    let items = top.drain_sorted();
+    items.last().map(|x| x.score)
+}
+
+/// θ estimate for a target result size from `samples` uniformly random
+/// `(query, probe)` pairs: the empirical `1 − target/(mn)` quantile of the
+/// sampled inner products.
+///
+/// Returns `None` when `target` is 0 or exceeds `m·n`, or either side is
+/// empty.
+pub fn sampled_theta(
+    queries: &VectorStore,
+    probes: &VectorStore,
+    target: usize,
+    samples: usize,
+    seed: u64,
+) -> Option<f64> {
+    if queries.is_empty() || probes.is_empty() {
+        return None;
+    }
+    let total = queries.len() as f64 * probes.len() as f64;
+    if target == 0 || target as f64 > total {
+        return None;
+    }
+    let mut rng = seeded(seed);
+    let mut dots: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let i = rng.random_range(0..queries.len());
+        let j = rng.random_range(0..probes.len());
+        dots.push(queries.dot_between(i, probes, j));
+    }
+    dots.sort_by(|a, b| a.partial_cmp(b).expect("finite dot products"));
+    let q = 1.0 - target as f64 / total;
+    Some(stats::quantile_of_sorted(&dots, q))
+}
+
+/// Number of entries of `QᵀP` that are ≥ θ (exact, full product).
+pub fn count_above(queries: &VectorStore, probes: &VectorStore, theta: f64) -> usize {
+    let mut count = 0;
+    for q in queries.iter() {
+        for p in probes.iter() {
+            if kernels::dot(q, p) >= theta {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::GeneratorConfig;
+
+    fn small_pair() -> (VectorStore, VectorStore) {
+        let q = GeneratorConfig::gaussian(80, 10, 0.5).generate(1);
+        let p = GeneratorConfig::gaussian(60, 10, 0.5).generate(2);
+        (q, p)
+    }
+
+    #[test]
+    fn exact_theta_hits_target_exactly() {
+        let (q, p) = small_pair();
+        for target in [1usize, 10, 100, 1000] {
+            let theta = exact_theta(&q, &p, target).unwrap();
+            let count = count_above(&q, &p, theta);
+            // ties can make the count exceed the target, never undershoot
+            assert!(count >= target, "target {target}, count {count}");
+            assert!(count <= target + 5, "excess ties: target {target}, count {count}");
+        }
+    }
+
+    #[test]
+    fn exact_theta_rejects_degenerate_targets() {
+        let (q, p) = small_pair();
+        assert!(exact_theta(&q, &p, 0).is_none());
+        assert!(exact_theta(&q, &p, q.len() * p.len() + 1).is_none());
+        // full product is a valid target
+        assert!(exact_theta(&q, &p, q.len() * p.len()).is_some());
+    }
+
+    #[test]
+    fn sampled_theta_approximates_exact() {
+        let (q, p) = small_pair();
+        let target = 200;
+        let exact = exact_theta(&q, &p, target).unwrap();
+        let sampled = sampled_theta(&q, &p, target, 40_000, 3).unwrap();
+        let exact_count = count_above(&q, &p, exact) as f64;
+        let sampled_count = count_above(&q, &p, sampled) as f64;
+        // within 2x of the target result size is plenty for workload shaping
+        assert!(
+            sampled_count > exact_count * 0.4 && sampled_count < exact_count * 2.5,
+            "exact {exact_count}, sampled {sampled_count}"
+        );
+    }
+
+    #[test]
+    fn sampled_theta_handles_empty_and_degenerate() {
+        let (q, p) = small_pair();
+        let empty = VectorStore::empty(10).unwrap();
+        assert!(sampled_theta(&empty, &p, 5, 100, 1).is_none());
+        assert!(sampled_theta(&q, &empty, 5, 100, 1).is_none());
+        assert!(sampled_theta(&q, &p, 0, 100, 1).is_none());
+    }
+
+    #[test]
+    fn count_above_monotone_in_theta() {
+        let (q, p) = small_pair();
+        let lo = count_above(&q, &p, 0.5);
+        let hi = count_above(&q, &p, 1.5);
+        assert!(lo >= hi);
+    }
+}

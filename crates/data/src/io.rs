@@ -1,0 +1,256 @@
+//! Matrix IO: a small self-describing binary format and CSV import/export.
+//!
+//! The binary format is `LEMPVS01` magic, little-endian `u64` count and dim,
+//! then `count·dim` little-endian `f64`s. CSV is one vector per line. Both
+//! writers/readers are buffered (many small `read`/`write` calls would
+//! otherwise dominate, per the performance guide).
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use lemp_linalg::VectorStore;
+
+const MAGIC: &[u8; 8] = b"LEMPVS01";
+
+/// Errors raised by matrix IO.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file is not in the expected format.
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes a store in the binary format.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_binary(store: &VectorStore, path: &Path) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(store.len() as u64).to_le_bytes())?;
+    w.write_all(&(store.dim() as u64).to_le_bytes())?;
+    for x in store.as_flat() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a store from the binary format.
+///
+/// # Errors
+/// [`IoError::Format`] on bad magic, truncated data, or non-finite values;
+/// [`IoError::Io`] on filesystem errors.
+pub fn read_binary(path: &Path) -> Result<VectorStore, IoError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(|_| IoError::Format("file too short for magic".into()))?;
+    if &magic != MAGIC {
+        return Err(IoError::Format(format!("bad magic {magic:?}")));
+    }
+    let count = read_u64(&mut r)? as usize;
+    let dim = read_u64(&mut r)? as usize;
+    let total = count
+        .checked_mul(dim)
+        .ok_or_else(|| IoError::Format("count*dim overflows".into()))?;
+    let mut data = Vec::with_capacity(total);
+    let mut buf = [0u8; 8];
+    for _ in 0..total {
+        r.read_exact(&mut buf).map_err(|_| IoError::Format("truncated data section".into()))?;
+        data.push(f64::from_le_bytes(buf));
+    }
+    // Reject trailing garbage: the format is exactly sized.
+    if r.read(&mut buf)? != 0 {
+        return Err(IoError::Format("trailing bytes after data section".into()));
+    }
+    VectorStore::from_flat(data, dim.max(1))
+        .map_err(|e| IoError::Format(format!("invalid store: {e}")))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, IoError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf).map_err(|_| IoError::Format("truncated header".into()))?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Writes a store as CSV, one vector per line.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_csv(store: &VectorStore, path: &Path) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for v in store.iter() {
+        let mut first = true;
+        for x in v {
+            if first {
+                first = false;
+            } else {
+                w.write_all(b",")?;
+            }
+            write!(w, "{x}")?;
+        }
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a CSV file of equal-length comma-separated float rows.
+///
+/// Empty lines are skipped. The dimensionality is inferred from the first
+/// row.
+///
+/// # Errors
+/// [`IoError::Format`] on unparsable values, ragged rows, or an empty file.
+pub fn read_csv(path: &Path) -> Result<VectorStore, IoError> {
+    let r = BufReader::new(File::open(path)?);
+    let mut data: Vec<f64> = Vec::new();
+    let mut dim: Option<usize> = None;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let start = data.len();
+        for field in line.split(',') {
+            let x: f64 = field
+                .trim()
+                .parse()
+                .map_err(|_| IoError::Format(format!("line {}: bad float {field:?}", lineno + 1)))?;
+            data.push(x);
+        }
+        let row_len = data.len() - start;
+        match dim {
+            None => dim = Some(row_len),
+            Some(d) if d != row_len => {
+                return Err(IoError::Format(format!(
+                    "line {}: expected {d} fields, found {row_len}",
+                    lineno + 1
+                )));
+            }
+            _ => {}
+        }
+    }
+    let dim = dim.ok_or_else(|| IoError::Format("empty csv".into()))?;
+    VectorStore::from_flat(data, dim).map_err(|e| IoError::Format(format!("invalid store: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lemp-io-test-{tag}-{}", std::process::id()));
+        p
+    }
+
+    fn sample_store() -> VectorStore {
+        VectorStore::from_rows(&[
+            vec![1.0, -2.5, 3.25],
+            vec![0.0, 1e-10, -7.0],
+            vec![100.5, 0.0, 0.125],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let path = temp_path("bin-roundtrip");
+        let store = sample_store();
+        write_binary(&store, &path).unwrap();
+        let back = read_binary(&path).unwrap();
+        assert_eq!(store, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let path = temp_path("bin-magic");
+        std::fs::write(&path, b"NOTLEMP!rest").unwrap();
+        assert!(matches!(read_binary(&path), Err(IoError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_truncation_and_trailing() {
+        let path = temp_path("bin-trunc");
+        let store = sample_store();
+        write_binary(&store, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.pop();
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_binary(&path), Err(IoError::Format(_))));
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0);
+        bytes.push(0);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_binary(&path), Err(IoError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let path = temp_path("csv-roundtrip");
+        let store = sample_store();
+        write_csv(&store, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(store.len(), back.len());
+        assert_eq!(store.dim(), back.dim());
+        for (a, b) in store.as_flat().iter().zip(back.as_flat()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows_and_bad_floats() {
+        let path = temp_path("csv-ragged");
+        std::fs::write(&path, "1,2,3\n4,5\n").unwrap();
+        assert!(matches!(read_csv(&path), Err(IoError::Format(_))));
+        std::fs::write(&path, "1,banana\n").unwrap();
+        assert!(matches!(read_csv(&path), Err(IoError::Format(_))));
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(read_csv(&path), Err(IoError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_skips_blank_lines() {
+        let path = temp_path("csv-blank");
+        std::fs::write(&path, "1,2\n\n3,4\n\n").unwrap();
+        let s = read_csv(&path).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.vector(1), &[3.0, 4.0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = temp_path("does-not-exist");
+        assert!(matches!(read_binary(&path), Err(IoError::Io(_))));
+        assert!(matches!(read_csv(&path), Err(IoError::Io(_))));
+    }
+}

@@ -1,0 +1,39 @@
+//! Dataset substrate for the LEMP reproduction.
+//!
+//! The paper evaluates on four real datasets (Table 1): factorizations of
+//! Netflix and KDD-Cup'11 ratings and SVD/NMF factorizations of a New York
+//! Times open-information-extraction matrix. Those inputs are not
+//! redistributable, so this crate builds the closest synthetic equivalents:
+//!
+//! * [`synthetic`] — generators that control exactly the statistics Table 1
+//!   reports and that drive LEMP's behaviour: dimensionality `r`, the
+//!   coefficient of variation (CoV) of vector lengths (log-normal length
+//!   multipliers), and the fraction of non-zero entries (Bernoulli masks on
+//!   non-negative NMF-like factors).
+//! * [`datasets`] — named, scale-parameterized configurations reproducing
+//!   each Table 1 row (IE-NMF, IE-SVD, Netflix, KDD and their transposes).
+//! * [`mf`] — a from-scratch stochastic-gradient-descent matrix-factorization
+//!   trainer with L2 regularization: the *provenance* of the paper's inputs
+//!   (it cites DSGD++ with λ = 50 for Netflix). Factors produced by actual MF
+//!   are used in examples and tests to confirm the calibrated generators are
+//!   representative.
+//! * [`io`] — a small self-describing binary format plus CSV import/export so
+//!   users can run the library on their own factor matrices.
+//! * [`calibrate`] — θ selection for the "recall level" workloads (@1k…@10M):
+//!   the paper chooses θ so that the Above-θ result has a target size; we do
+//!   the same exactly (small inputs) or by pair sampling (large inputs).
+//! * [`rng`] — seeded random sources and a Box–Muller standard normal (kept
+//!   local to avoid a `rand_distr` dependency).
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod datasets;
+pub mod io;
+pub mod mf;
+pub mod mm;
+pub mod rng;
+pub mod synthetic;
+
+pub use datasets::{Dataset, DatasetSpec};
+pub use synthetic::{GeneratorConfig, ValueModel};

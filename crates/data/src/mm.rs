@@ -1,0 +1,446 @@
+//! Matrix Market import/export.
+//!
+//! [Matrix Market] is the lingua franca for exchanging matrices with
+//! numerical software (SciPy, MATLAB, Julia); supporting it lets users run
+//! LEMP directly on factor matrices produced elsewhere. A stored `m × r`
+//! matrix maps to a [`VectorStore`] of `m` vectors of dimensionality `r`
+//! (one matrix row per vector — the transpose convention the whole
+//! workspace uses for factor matrices).
+//!
+//! Supported headers: `matrix array real|integer general` (dense,
+//! column-major values as the spec requires) and
+//! `matrix coordinate real|integer general` (sparse triplets, 1-based;
+//! unlisted entries are zero). `pattern`, `complex` and the symmetry
+//! variants are rejected with a descriptive error — they have no sensible
+//! meaning for factor matrices.
+//!
+//! [Matrix Market]: https://math.nist.gov/MatrixMarket/formats.html
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use lemp_linalg::VectorStore;
+
+use crate::io::IoError;
+
+/// Writes a store as a dense Matrix Market `array real general` file
+/// (values in column-major order, as the format requires).
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_mm_array(store: &VectorStore, path: &Path) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "%%MatrixMarket matrix array real general")?;
+    writeln!(w, "% written by lemp-data ({} vectors of dim {})", store.len(), store.dim())?;
+    writeln!(w, "{} {}", store.len(), store.dim())?;
+    for col in 0..store.dim() {
+        for row in 0..store.len() {
+            writeln!(w, "{:?}", store.vector(row)[col])?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a store as a sparse Matrix Market `coordinate real general` file
+/// (exact zeros are omitted; indexes are 1-based).
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_mm_coordinate(store: &VectorStore, path: &Path) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    let nnz = store.as_flat().iter().filter(|&&x| x != 0.0).count();
+    writeln!(w, "{} {} {}", store.len(), store.dim(), nnz)?;
+    for row in 0..store.len() {
+        for (col, &x) in store.vector(row).iter().enumerate() {
+            if x != 0.0 {
+                writeln!(w, "{} {} {:?}", row + 1, col + 1, x)?;
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a Matrix Market file (array or coordinate, auto-detected from the
+/// header) into a store of one vector per matrix row.
+///
+/// # Errors
+/// [`IoError::Format`] on unsupported headers (`pattern`, `complex`,
+/// symmetry variants), bad sizes, out-of-range or duplicate coordinate
+/// entries, non-finite or unparseable values, and wrong value counts;
+/// [`IoError::Io`] on filesystem errors.
+pub fn read_mm(path: &Path) -> Result<VectorStore, IoError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines();
+
+    let header = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| IoError::Format("empty file".into()))?;
+    let layout = parse_header(&header)?;
+
+    // Skip comments, find the size line.
+    let size_line = loop {
+        let line = lines
+            .next()
+            .transpose()?
+            .ok_or_else(|| IoError::Format("missing size line".into()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        break line;
+    };
+
+    match layout {
+        Layout::Array => read_array(&size_line, lines),
+        Layout::Coordinate => read_coordinate(&size_line, lines),
+    }
+}
+
+enum Layout {
+    Array,
+    Coordinate,
+}
+
+fn parse_header(header: &str) -> Result<Layout, IoError> {
+    let tokens: Vec<String> = header.split_whitespace().map(str::to_lowercase).collect();
+    let [banner, object, layout, field, symmetry] = tokens.as_slice() else {
+        return Err(IoError::Format(format!("malformed header `{header}`")));
+    };
+    if banner != "%%matrixmarket" {
+        return Err(IoError::Format(format!("not a MatrixMarket file: `{header}`")));
+    }
+    if object != "matrix" {
+        return Err(IoError::Format(format!("unsupported object `{object}` (only matrix)")));
+    }
+    if field != "real" && field != "integer" {
+        return Err(IoError::Format(format!(
+            "unsupported field `{field}` (only real/integer; factor matrices are dense reals)"
+        )));
+    }
+    if symmetry != "general" {
+        return Err(IoError::Format(format!(
+            "unsupported symmetry `{symmetry}` (only general)"
+        )));
+    }
+    match layout.as_str() {
+        "array" => Ok(Layout::Array),
+        "coordinate" => Ok(Layout::Coordinate),
+        other => Err(IoError::Format(format!("unsupported layout `{other}`"))),
+    }
+}
+
+fn parse_size2(line: &str) -> Result<(usize, usize), IoError> {
+    let mut it = line.split_whitespace();
+    match (it.next(), it.next(), it.next()) {
+        (Some(r), Some(c), None) => Ok((
+            r.parse().map_err(|_| IoError::Format(format!("bad row count `{r}`")))?,
+            c.parse().map_err(|_| IoError::Format(format!("bad column count `{c}`")))?,
+        )),
+        _ => Err(IoError::Format(format!("expected `rows cols`, found `{line}`"))),
+    }
+}
+
+fn read_array(
+    size_line: &str,
+    lines: impl Iterator<Item = std::io::Result<String>>,
+) -> Result<VectorStore, IoError> {
+    let (rows, cols) = parse_size2(size_line)?;
+    if rows == 0 || cols == 0 {
+        return Err(IoError::Format(format!("degenerate shape {rows}×{cols}")));
+    }
+    let total = rows
+        .checked_mul(cols)
+        .ok_or_else(|| IoError::Format("rows*cols overflows".into()))?;
+    let mut data = vec![0.0f64; total];
+    let mut filled = 0usize;
+    for line in lines {
+        let line = line?;
+        for token in line.split_whitespace() {
+            if token.starts_with('%') {
+                break; // trailing comment on a value line
+            }
+            if filled == total {
+                return Err(IoError::Format(format!("more than {total} values")));
+            }
+            let x: f64 = token
+                .parse()
+                .map_err(|_| IoError::Format(format!("bad value `{token}`")))?;
+            // Column-major on disk → row-major in the store.
+            let col = filled / rows;
+            let row = filled % rows;
+            data[row * cols + col] = x;
+            filled += 1;
+        }
+    }
+    if filled != total {
+        return Err(IoError::Format(format!("expected {total} values, found {filled}")));
+    }
+    VectorStore::from_flat(data, cols).map_err(|e| IoError::Format(format!("invalid store: {e}")))
+}
+
+fn read_coordinate(
+    size_line: &str,
+    lines: impl Iterator<Item = std::io::Result<String>>,
+) -> Result<VectorStore, IoError> {
+    let mut it = size_line.split_whitespace();
+    let (rows, cols, nnz) = match (it.next(), it.next(), it.next(), it.next()) {
+        (Some(r), Some(c), Some(z), None) => (
+            r.parse::<usize>()
+                .map_err(|_| IoError::Format(format!("bad row count `{r}`")))?,
+            c.parse::<usize>()
+                .map_err(|_| IoError::Format(format!("bad column count `{c}`")))?,
+            z.parse::<usize>().map_err(|_| IoError::Format(format!("bad nnz `{z}`")))?,
+        ),
+        _ => {
+            return Err(IoError::Format(format!(
+                "expected `rows cols nnz`, found `{size_line}`"
+            )))
+        }
+    };
+    if rows == 0 || cols == 0 {
+        return Err(IoError::Format(format!("degenerate shape {rows}×{cols}")));
+    }
+    let total = rows
+        .checked_mul(cols)
+        .ok_or_else(|| IoError::Format("rows*cols overflows".into()))?;
+    let mut data = vec![0.0f64; total];
+    let mut seen = vec![false; total];
+    let mut read = 0usize;
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let (i, j, v) = match (fields.next(), fields.next(), fields.next(), fields.next()) {
+            (Some(i), Some(j), Some(v), None) => (i, j, v),
+            _ => {
+                return Err(IoError::Format(format!(
+                    "expected `row col value`, found `{trimmed}`"
+                )))
+            }
+        };
+        let i: usize = i.parse().map_err(|_| IoError::Format(format!("bad row `{i}`")))?;
+        let j: usize = j.parse().map_err(|_| IoError::Format(format!("bad col `{j}`")))?;
+        let v: f64 = v.parse().map_err(|_| IoError::Format(format!("bad value `{v}`")))?;
+        if i == 0 || i > rows || j == 0 || j > cols {
+            return Err(IoError::Format(format!(
+                "entry ({i}, {j}) outside 1..={rows} × 1..={cols}"
+            )));
+        }
+        let at = (i - 1) * cols + (j - 1);
+        if seen[at] {
+            return Err(IoError::Format(format!("duplicate entry ({i}, {j})")));
+        }
+        seen[at] = true;
+        data[at] = v;
+        read += 1;
+    }
+    if read != nnz {
+        return Err(IoError::Format(format!("header declares {nnz} entries, found {read}")));
+    }
+    VectorStore::from_flat(data, cols).map_err(|e| IoError::Format(format!("invalid store: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lemp-mm-test-{tag}-{}", std::process::id()));
+        p
+    }
+
+    /// Deliberately asymmetric so row/column-major mix-ups fail loudly.
+    fn sample_store() -> VectorStore {
+        VectorStore::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 0.0, 6.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn array_roundtrip_is_bit_exact() {
+        let path = temp_path("array");
+        let store = sample_store();
+        write_mm_array(&store, &path).unwrap();
+        let back = read_mm(&path).unwrap();
+        assert_eq!(store, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn array_is_column_major_on_disk() {
+        let path = temp_path("colmajor");
+        write_mm_array(&sample_store(), &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let values: Vec<&str> = text
+            .lines()
+            .filter(|l| !l.starts_with('%') && !l.contains(' '))
+            .collect();
+        // column 1 first: 1.0 then 4.0
+        assert_eq!(&values[..2], &["1.0", "4.0"]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn coordinate_roundtrip_preserves_zeros() {
+        let path = temp_path("coord");
+        let store = sample_store(); // contains one exact zero
+        write_mm_coordinate(&store, &path).unwrap();
+        let back = read_mm(&path).unwrap();
+        assert_eq!(store, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reads_hand_written_coordinate_with_comments() {
+        let path = temp_path("hand");
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix coordinate real general\n\
+             % a comment\n\
+             \n\
+             2 2 2\n\
+             1 2 0.5\n\
+             2 1 -3\n",
+        )
+        .unwrap();
+        let s = read_mm(&path).unwrap();
+        assert_eq!(s.vector(0), &[0.0, 0.5]);
+        assert_eq!(s.vector(1), &[-3.0, 0.0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn integer_field_parses_as_floats() {
+        let path = temp_path("int");
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix array integer general\n2 1\n7\n-2\n",
+        )
+        .unwrap();
+        let s = read_mm(&path).unwrap();
+        assert_eq!(s.vector(0), &[7.0]);
+        assert_eq!(s.vector(1), &[-2.0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_is_case_insensitive() {
+        let path = temp_path("case");
+        std::fs::write(
+            &path,
+            "%%MatrixMarket MATRIX Array Real GENERAL\n1 1\n5\n",
+        )
+        .unwrap();
+        assert_eq!(read_mm(&path).unwrap().vector(0), &[5.0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_unsupported_headers() {
+        let path = temp_path("unsupported");
+        for (header, needle) in [
+            ("%%MatrixMarket matrix coordinate pattern general", "pattern"),
+            ("%%MatrixMarket matrix coordinate complex general", "complex"),
+            ("%%MatrixMarket matrix array real symmetric", "symmetric"),
+            ("%%MatrixMarket vector array real general", "vector"),
+            ("%%NotMatrixMarket matrix array real general", "not a MatrixMarket"),
+            ("%%MatrixMarket matrix array real", "malformed"),
+        ] {
+            std::fs::write(&path, format!("{header}\n1 1\n1\n")).unwrap();
+            let err = read_mm(&path).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "header `{header}`: error `{err}` misses `{needle}`"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_value_count_mismatches() {
+        let path = temp_path("counts");
+        std::fs::write(&path, "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n")
+            .unwrap();
+        assert!(read_mm(&path).unwrap_err().to_string().contains("expected 4 values"));
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n5\n",
+        )
+        .unwrap();
+        assert!(read_mm(&path).unwrap_err().to_string().contains("more than 4"));
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n",
+        )
+        .unwrap();
+        assert!(read_mm(&path).unwrap_err().to_string().contains("declares 3"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_duplicate_entries() {
+        let path = temp_path("range");
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+        )
+        .unwrap();
+        assert!(read_mm(&path).unwrap_err().to_string().contains("outside"));
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n",
+        )
+        .unwrap();
+        assert!(read_mm(&path).unwrap_err().to_string().contains("outside"));
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n1 1 2.0\n",
+        )
+        .unwrap();
+        assert!(read_mm(&path).unwrap_err().to_string().contains("duplicate"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        let path = temp_path("nan");
+        std::fs::write(&path, "%%MatrixMarket matrix array real general\n1 1\nNaN\n").unwrap();
+        assert!(matches!(read_mm(&path), Err(IoError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_and_empty_file() {
+        assert!(matches!(read_mm(&temp_path("missing")), Err(IoError::Io(_))));
+        let path = temp_path("empty");
+        std::fs::write(&path, "").unwrap();
+        assert!(read_mm(&path).unwrap_err().to_string().contains("empty file"));
+        std::fs::write(&path, "%%MatrixMarket matrix array real general\n").unwrap();
+        assert!(read_mm(&path).unwrap_err().to_string().contains("missing size"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn large_roundtrip_via_generator() {
+        use crate::synthetic::GeneratorConfig;
+        let store = GeneratorConfig::gaussian(40, 7, 1.0).generate(5);
+        let path = temp_path("gen");
+        write_mm_array(&store, &path).unwrap();
+        assert_eq!(read_mm(&path).unwrap(), store);
+        write_mm_coordinate(&store, &path).unwrap();
+        assert_eq!(read_mm(&path).unwrap(), store);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,103 @@
+//! Seeded random sources and distributions.
+//!
+//! Everything in the workspace that needs randomness takes an explicit
+//! `StdRng` (or seed) so experiments are exactly reproducible. The standard
+//! normal is a local Box–Muller implementation instead of a `rand_distr`
+//! dependency (see DESIGN.md §3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG from a 64-bit seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// One standard-normal sample via the Box–Muller transform.
+///
+/// Uses the polar-free form `√(−2 ln u₁)·cos(2π u₂)`; `u₁` is drawn from the
+/// half-open `(0, 1]` by flipping `1 − u` so the logarithm is finite.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.random::<f64>(); // (0, 1]
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A log-normal sample with the *underlying* normal's parameters `mu`,
+/// `sigma` (i.e. `exp(N(mu, sigma²))`).
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Parameters `(mu, sigma)` of a log-normal with unit mean and the requested
+/// coefficient of variation.
+///
+/// For `X = exp(N(mu, σ²))`: `CoV(X) = √(exp(σ²) − 1)`, independent of `mu`,
+/// so `σ = √(ln(1 + CoV²))`; `mu = −σ²/2` normalizes the mean to 1. This is
+/// how the generators dial in the per-dataset length skew of Table 1.
+pub fn log_normal_params_for_cov(target_cov: f64) -> (f64, f64) {
+    assert!(target_cov >= 0.0, "CoV must be non-negative");
+    let sigma_sq = (1.0 + target_cov * target_cov).ln();
+    let sigma = sigma_sq.sqrt();
+    (-sigma_sq / 2.0, sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemp_linalg::stats;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = seeded(1);
+        let xs: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut rng)).collect();
+        assert!(stats::mean(&xs).abs() < 0.02, "mean {}", stats::mean(&xs));
+        assert!((stats::std_dev(&xs) - 1.0).abs() < 0.02, "sd {}", stats::std_dev(&xs));
+        assert!(xs.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn log_normal_hits_target_cov() {
+        for target in [0.1, 0.4, 1.5, 4.4] {
+            let (mu, sigma) = log_normal_params_for_cov(target);
+            let mut rng = seeded(2);
+            let xs: Vec<f64> = (0..400_000).map(|_| log_normal(&mut rng, mu, sigma)).collect();
+            let got = stats::cov(&xs);
+            // heavier tails need looser tolerance
+            let tol = 0.02 + 0.08 * target;
+            assert!(
+                (got - target).abs() < tol,
+                "target CoV {target}, got {got} (tol {tol})"
+            );
+            // unit mean by construction
+            assert!((stats::mean(&xs) - 1.0).abs() < 0.05 + 0.02 * target);
+        }
+    }
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a: Vec<f64> = {
+            let mut r = seeded(42);
+            (0..10).map(|_| standard_normal(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = seeded(42);
+            (0..10).map(|_| standard_normal(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<f64> = {
+            let mut r = seeded(43);
+            (0..10).map(|_| standard_normal(&mut r)).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cov_zero_gives_constant_distribution() {
+        let (mu, sigma) = log_normal_params_for_cov(0.0);
+        assert_eq!(sigma, 0.0);
+        let mut rng = seeded(3);
+        let x = log_normal(&mut rng, mu, sigma);
+        assert!((x - 1.0).abs() < 1e-12);
+    }
+}

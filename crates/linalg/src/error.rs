@@ -1,0 +1,64 @@
+//! Error type shared by the substrate.
+
+use std::fmt;
+
+/// Errors raised by vector-store construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The flat data buffer cannot be split into whole `dim`-sized rows.
+    ShapeMismatch {
+        /// Total number of scalars supplied.
+        len: usize,
+        /// Requested dimensionality.
+        dim: usize,
+    },
+    /// A dimensionality of zero was requested.
+    ZeroDim,
+    /// Two stores that must agree on dimensionality do not.
+    DimMismatch {
+        /// Dimensionality of the left operand.
+        left: usize,
+        /// Dimensionality of the right operand.
+        right: usize,
+    },
+    /// A non-finite value (NaN or infinity) was found at the given flat index.
+    NonFinite {
+        /// Flat index of the offending scalar.
+        index: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { len, dim } => {
+                write!(f, "buffer of {len} scalars is not divisible into rows of dim {dim}")
+            }
+            LinalgError::ZeroDim => write!(f, "vector dimensionality must be positive"),
+            LinalgError::DimMismatch { left, right } => {
+                write!(f, "dimensionality mismatch: {left} vs {right}")
+            }
+            LinalgError::NonFinite { index } => {
+                write!(f, "non-finite value at flat index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::ShapeMismatch { len: 7, dim: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+        let e = LinalgError::DimMismatch { left: 2, right: 5 };
+        assert!(e.to_string().contains("mismatch"));
+        assert!(LinalgError::ZeroDim.to_string().contains("positive"));
+        assert!(LinalgError::NonFinite { index: 4 }.to_string().contains('4'));
+    }
+}

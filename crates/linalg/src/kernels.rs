@@ -1,0 +1,173 @@
+//! Hot numeric kernels: inner products, norms, normalization.
+//!
+//! These are the innermost loops of every algorithm in the workspace (the
+//! paper estimates ~100 ns per inner product on its hardware; everything else
+//! is pruning work to avoid calling these). The portable implementations are
+//! straight-line slice code with manually unrolled independent accumulators
+//! so that rustc auto-vectorizes them; the reducing kernels (`dot`,
+//! `dist_sq`) and `axpy` additionally dispatch at runtime to the explicit
+//! AVX2 versions in [`crate::simd`], which produce **bit-identical** results
+//! (same per-lane operation order, no FMA) — enabling SIMD never changes a
+//! single produced value anywhere in the workspace.
+
+use crate::simd;
+
+/// Inner product `a · b` of two equally long slices.
+///
+/// Uses four independent accumulators so the floating-point reduction does
+/// not serialize on a single dependency chain (enables SIMD + pipelining);
+/// dispatches to the bit-identical AVX2 kernel when available.
+///
+/// # Panics
+/// Panics in debug builds if the slices have different lengths; in release
+/// builds the shorter length is used (callers in this workspace always pass
+/// equal lengths).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    simd::dot(a, b)
+}
+
+/// Squared Euclidean norm `‖v‖²`.
+#[inline]
+pub fn norm_sq(v: &[f64]) -> f64 {
+    dot(v, v)
+}
+
+/// Euclidean norm `‖v‖`.
+#[inline]
+pub fn norm(v: &[f64]) -> f64 {
+    norm_sq(v).sqrt()
+}
+
+/// Squared Euclidean distance `‖a − b‖²`.
+#[inline]
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    simd::dist_sq(a, b)
+}
+
+/// Euclidean distance `‖a − b‖`.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    dist_sq(a, b).sqrt()
+}
+
+/// Scales `v` in place by `s`.
+#[inline]
+pub fn scale(v: &mut [f64], s: f64) {
+    for x in v {
+        *x *= s;
+    }
+}
+
+/// Normalizes `v` in place to unit length and returns its original length.
+///
+/// A zero vector is left untouched and `0.0` is returned; callers treat
+/// zero-length vectors as never matching (their inner product with anything
+/// is 0, which is below any positive threshold).
+#[inline]
+pub fn normalize(v: &mut [f64]) -> f64 {
+    let len = norm(v);
+    if len > 0.0 {
+        scale(v, 1.0 / len);
+    }
+    len
+}
+
+/// `out = a + s·b` (vector add with scale), used by the SGD trainer.
+#[inline]
+pub fn axpy(s: f64, b: &[f64], a: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    simd::axpy(s, b, a);
+}
+
+/// Cosine of the angle between `a` and `b`; 0 if either vector is zero.
+#[inline]
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot(a, b) / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn dot_matches_reference_for_all_tail_lengths() {
+        // Exercise every `n mod 4` branch of the unrolled loop.
+        for n in 0..13 {
+            let a: Vec<f64> = (0..n).map(|i| i as f64 + 0.5).collect();
+            let b: Vec<f64> = (0..n).map(|i| 2.0 - i as f64).collect();
+            let expect: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            approx(dot(&a, &b), expect);
+        }
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        approx(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norm_of_pythagorean_triple() {
+        approx(norm(&[3.0, 4.0]), 5.0);
+        approx(norm_sq(&[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn dist_and_dist_sq_agree() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 6.0, 3.0];
+        approx(dist_sq(&a, &b), 25.0);
+        approx(dist(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn normalize_returns_length_and_unit_result() {
+        let mut v = vec![3.0, 0.0, 4.0];
+        let len = normalize(&mut v);
+        approx(len, 5.0);
+        approx(norm(&v), 1.0);
+        approx(v[0], 0.6);
+        approx(v[2], 0.8);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = vec![0.0, 0.0];
+        approx(normalize(&mut v), 0.0);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut a);
+        assert_eq!(a, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn cosine_of_parallel_and_orthogonal() {
+        approx(cosine(&[1.0, 0.0], &[5.0, 0.0]), 1.0);
+        approx(cosine(&[1.0, 0.0], &[0.0, 2.0]), 0.0);
+        approx(cosine(&[1.0, 0.0], &[-3.0, 0.0]), -1.0);
+        approx(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut v = vec![1.0, -2.0];
+        scale(&mut v, -3.0);
+        assert_eq!(v, vec![-3.0, 6.0]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Dense vector-set linear algebra substrate for the LEMP reproduction.
+//!
+//! LEMP ([Teflioudi et al., SIGMOD 2015]) operates on *tall-and-skinny* factor
+//! matrices: millions of vectors of dimensionality `r` in the tens to
+//! hundreds. This crate provides the storage layout and numeric kernels every
+//! other crate in the workspace builds on:
+//!
+//! * [`VectorStore`] — a contiguous, row-major set of `r`-dimensional `f64`
+//!   vectors. Rows of a store correspond to *columns* of the paper's factor
+//!   matrices `Q`/`P` (the paper stores them transposed for exactly this
+//!   reason: sequential vector access).
+//! * [`kernels`] — inner products, norms and normalization written so the
+//!   compiler can keep them in registers and auto-vectorize (4-way unrolled
+//!   independent accumulators, no bounds checks in the hot loop).
+//! * [`simd`] — explicit AVX2 versions of the reducing kernels with runtime
+//!   dispatch; **bit-identical** to the scalar code (same operation order,
+//!   no FMA), so turning SIMD on or off never changes any produced value.
+//! * [`TopK`] — a bounded max-`k` selector (min-heap at heart) used by every
+//!   Row-Top-k implementation in the workspace.
+//! * [`stats`] — scalar summaries (mean, coefficient of variation, quantiles)
+//!   used to validate generated datasets against the paper's Table 1.
+//!
+//! The crate is dependency-free and deliberately small; it is the only place
+//! in the workspace allowed to contain "raw loop" numeric code.
+//!
+//! [Teflioudi et al., SIGMOD 2015]: https://doi.org/10.1145/2723372.2747647
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod kernels;
+pub mod simd;
+pub mod stats;
+pub mod topk;
+pub mod vector_store;
+
+pub use error::LinalgError;
+pub use topk::{ScoredItem, TopK};
+pub use vector_store::VectorStore;

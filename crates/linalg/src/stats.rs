@@ -1,0 +1,120 @@
+//! Scalar summary statistics.
+//!
+//! Used to validate synthetic datasets against the paper's Table 1 (which
+//! characterizes each dataset by the coefficient of variation of its vector
+//! lengths and its fraction of non-zero entries) and by the tuner to reason
+//! about sampled timings.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; 0 for fewer than two values.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt()
+}
+
+/// Coefficient of variation `σ/μ`; 0 when the mean is 0.
+///
+/// Table 1 of the paper reports the CoV of the vector lengths of each factor
+/// matrix; it is the statistic that predicts how effective LEMP's bucket
+/// pruning will be (Sec. 3.2: "the more skewed the length distribution, the
+/// more probe buckets can be pruned").
+pub fn cov(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        0.0
+    } else {
+        std_dev(xs) / m
+    }
+}
+
+/// Fraction of entries that are non-zero; 0 for an empty slice.
+pub fn nonzero_fraction(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|x| **x != 0.0).count() as f64 / xs.len() as f64
+}
+
+/// Empirical quantile via linear interpolation on the sorted copy.
+/// `q` is clamped to [0, 1]. Returns 0 for an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    quantile_of_sorted(&sorted, q)
+}
+
+/// Quantile of an already ascending-sorted slice (no copy).
+pub fn quantile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn mean_and_std_dev_basics() {
+        approx(mean(&[1.0, 2.0, 3.0]), 2.0);
+        approx(mean(&[]), 0.0);
+        approx(std_dev(&[2.0, 2.0, 2.0]), 0.0);
+        approx(std_dev(&[1.0, 3.0]), 1.0);
+        approx(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn cov_is_scale_invariant() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b: Vec<f64> = a.iter().map(|x| x * 17.0).collect();
+        approx(cov(&a), cov(&b));
+        approx(cov(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn nonzero_fraction_counts() {
+        approx(nonzero_fraction(&[0.0, 1.0, 0.0, 2.0]), 0.5);
+        approx(nonzero_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        approx(quantile(&xs, 0.0), 1.0);
+        approx(quantile(&xs, 1.0), 4.0);
+        approx(quantile(&xs, 0.5), 2.5);
+        approx(quantile(&xs, 1.0 / 3.0), 2.0);
+        approx(quantile(&[], 0.5), 0.0);
+        // out-of-range q clamps
+        approx(quantile(&xs, 2.0), 4.0);
+        approx(quantile(&xs, -1.0), 1.0);
+    }
+}

@@ -1,0 +1,401 @@
+//! Contiguous row-major storage for a set of equal-dimension vectors.
+
+use crate::error::LinalgError;
+use crate::kernels;
+
+/// A set of `len` vectors of dimensionality `dim`, stored contiguously
+/// row-major (`vector(i)` is `data[i*dim .. (i+1)*dim]`).
+///
+/// This is the in-memory representation of one factor matrix *transpose*: the
+/// paper's `Q` is `r × m`, we store `QT` as an `m × r` [`VectorStore`] so that
+/// query vectors are scanned sequentially (the access pattern Sec. 3.2 of the
+/// paper relies on for prefetching).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorStore {
+    data: Vec<f64>,
+    dim: usize,
+}
+
+impl VectorStore {
+    /// Creates a store from a flat row-major buffer.
+    ///
+    /// # Errors
+    /// [`LinalgError::ZeroDim`] if `dim == 0`, [`LinalgError::ShapeMismatch`]
+    /// if `data.len()` is not a multiple of `dim`, and
+    /// [`LinalgError::NonFinite`] if any value is NaN or infinite.
+    pub fn from_flat(data: Vec<f64>, dim: usize) -> Result<Self, LinalgError> {
+        if dim == 0 {
+            return Err(LinalgError::ZeroDim);
+        }
+        if !data.len().is_multiple_of(dim) {
+            return Err(LinalgError::ShapeMismatch { len: data.len(), dim });
+        }
+        if let Some(index) = data.iter().position(|v| !v.is_finite()) {
+            return Err(LinalgError::NonFinite { index });
+        }
+        Ok(Self { data, dim })
+    }
+
+    /// Creates a store from per-vector rows; all rows must share a length.
+    ///
+    /// # Errors
+    /// Same conditions as [`VectorStore::from_flat`]; additionally
+    /// [`LinalgError::DimMismatch`] if rows disagree on length and
+    /// [`LinalgError::ZeroDim`] if `rows` is empty (the dimensionality would
+    /// be unknown).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, LinalgError> {
+        let Some(first) = rows.first() else {
+            return Err(LinalgError::ZeroDim);
+        };
+        let dim = first.len();
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        for row in rows {
+            if row.len() != dim {
+                return Err(LinalgError::DimMismatch { left: dim, right: row.len() });
+            }
+            data.extend_from_slice(row);
+        }
+        Self::from_flat(data, dim)
+    }
+
+    /// An empty store of the given dimensionality.
+    ///
+    /// # Errors
+    /// [`LinalgError::ZeroDim`] if `dim == 0`.
+    pub fn empty(dim: usize) -> Result<Self, LinalgError> {
+        Self::from_flat(Vec::new(), dim)
+    }
+
+    /// Number of vectors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// `true` if the store holds no vectors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality `r` of every vector.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow of vector `i`.
+    ///
+    /// # Panics
+    /// If `i >= self.len()`.
+    #[inline]
+    pub fn vector(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Mutable borrow of vector `i`.
+    ///
+    /// # Panics
+    /// If `i >= self.len()`.
+    #[inline]
+    pub fn vector_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The whole flat row-major buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Iterator over vectors in index order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[f64]> + '_ {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// Appends a vector.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimMismatch`] if `v.len() != self.dim()`.
+    pub fn push(&mut self, v: &[f64]) -> Result<(), LinalgError> {
+        if v.len() != self.dim {
+            return Err(LinalgError::DimMismatch { left: self.dim, right: v.len() });
+        }
+        self.data.extend_from_slice(v);
+        Ok(())
+    }
+
+    /// Inserts a vector at position `i`, shifting subsequent vectors up.
+    ///
+    /// Used by dynamic index maintenance to keep bucket rows length-sorted;
+    /// `O(len)` like `Vec::insert`.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimMismatch`] if `v.len() != self.dim()`.
+    ///
+    /// # Panics
+    /// If `i > self.len()`.
+    pub fn insert_row(&mut self, i: usize, v: &[f64]) -> Result<(), LinalgError> {
+        if v.len() != self.dim {
+            return Err(LinalgError::DimMismatch { left: self.dim, right: v.len() });
+        }
+        assert!(i <= self.len(), "insert position {i} out of bounds (len {})", self.len());
+        let at = i * self.dim;
+        self.data.splice(at..at, v.iter().copied());
+        Ok(())
+    }
+
+    /// Removes the vector at position `i`, shifting subsequent vectors down;
+    /// `O(len)` like `Vec::remove`.
+    ///
+    /// # Panics
+    /// If `i >= self.len()`.
+    pub fn remove_row(&mut self, i: usize) {
+        assert!(i < self.len(), "remove position {i} out of bounds (len {})", self.len());
+        let at = i * self.dim;
+        self.data.drain(at..at + self.dim);
+    }
+
+    /// Euclidean length of every vector, in index order.
+    pub fn lengths(&self) -> Vec<f64> {
+        self.iter().map(kernels::norm).collect()
+    }
+
+    /// Inner product between vector `i` of `self` and vector `j` of `other`.
+    ///
+    /// # Panics
+    /// If indexes are out of range or the dimensionalities differ (debug).
+    #[inline]
+    pub fn dot_between(&self, i: usize, other: &VectorStore, j: usize) -> f64 {
+        kernels::dot(self.vector(i), other.vector(j))
+    }
+
+    /// A new store containing the selected vectors, in the order given.
+    ///
+    /// # Panics
+    /// If any index is out of range.
+    pub fn select(&self, indexes: &[usize]) -> VectorStore {
+        let mut data = Vec::with_capacity(indexes.len() * self.dim);
+        for &i in indexes {
+            data.extend_from_slice(self.vector(i));
+        }
+        VectorStore { data, dim: self.dim }
+    }
+
+    /// A new store with every vector negated (`v ↦ −v`).
+    ///
+    /// IEEE-754 negation is exact, so `negated().dot(..) == -dot(..)` bit
+    /// for bit; this is what makes the sign-flipped second pass of
+    /// `abs_above_theta` exact.
+    pub fn negated(&self) -> VectorStore {
+        VectorStore { data: self.data.iter().map(|&x| -x).collect(), dim: self.dim }
+    }
+
+    /// Splits into `(lengths, directions)`: per-vector Euclidean lengths and
+    /// a store of unit vectors (zero vectors stay zero).
+    ///
+    /// This is the paper's length/direction decomposition (Sec. 3.1) and the
+    /// first step of LEMP preprocessing.
+    pub fn decompose(&self) -> (Vec<f64>, VectorStore) {
+        let mut directions = self.clone();
+        let mut lengths = Vec::with_capacity(self.len());
+        for i in 0..self.len() {
+            lengths.push(kernels::normalize(directions.vector_mut(i)));
+        }
+        (lengths, directions)
+    }
+
+    /// Full product row: inner product of `q` with every vector, appended to
+    /// `out`. This is the Naive inner loop; kept here so the substrate owns
+    /// all O(n·r) scans.
+    pub fn dots_with(&self, q: &[f64], out: &mut Vec<f64>) {
+        debug_assert_eq!(q.len(), self.dim);
+        out.clear();
+        out.reserve(self.len());
+        for p in self.iter() {
+            out.push(kernels::dot(q, p));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_3x2() -> VectorStore {
+        VectorStore::from_flat(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2).unwrap()
+    }
+
+    #[test]
+    fn negated_flips_every_sign_exactly() {
+        let s = store_3x2();
+        let n = s.negated();
+        assert_eq!(n.len(), 3);
+        assert_eq!(n.vector(1), &[-3.0, -4.0]);
+        // Inner products flip sign bit-exactly.
+        let q = [0.3, -0.7];
+        for i in 0..s.len() {
+            let a = kernels::dot(&q, s.vector(i));
+            let b = kernels::dot(&q, n.vector(i));
+            assert_eq!((-a).to_bits(), b.to_bits());
+        }
+        // Lengths are unchanged.
+        assert_eq!(s.lengths(), n.lengths());
+    }
+
+    #[test]
+    fn from_flat_validates_shape() {
+        assert_eq!(
+            VectorStore::from_flat(vec![1.0; 5], 2),
+            Err(LinalgError::ShapeMismatch { len: 5, dim: 2 })
+        );
+        assert_eq!(VectorStore::from_flat(vec![], 0), Err(LinalgError::ZeroDim));
+        assert_eq!(
+            VectorStore::from_flat(vec![1.0, f64::NAN], 2),
+            Err(LinalgError::NonFinite { index: 1 })
+        );
+        assert_eq!(
+            VectorStore::from_flat(vec![f64::INFINITY, 1.0], 2),
+            Err(LinalgError::NonFinite { index: 0 })
+        );
+    }
+
+    #[test]
+    fn from_rows_validates_consistency() {
+        let ok = VectorStore::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok.dim(), 2);
+        assert!(matches!(
+            VectorStore::from_rows(&[vec![1.0], vec![2.0, 3.0]]),
+            Err(LinalgError::DimMismatch { .. })
+        ));
+        assert!(matches!(VectorStore::from_rows(&[]), Err(LinalgError::ZeroDim)));
+    }
+
+    #[test]
+    fn indexing_and_iteration() {
+        let s = store_3x2();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.vector(1), &[3.0, 4.0]);
+        let rows: Vec<&[f64]> = s.iter().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[5.0, 6.0]);
+        assert!(!s.is_empty());
+        assert!(VectorStore::empty(4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn push_checks_dim() {
+        let mut s = store_3x2();
+        s.push(&[7.0, 8.0]).unwrap();
+        assert_eq!(s.len(), 4);
+        assert!(matches!(s.push(&[1.0]), Err(LinalgError::DimMismatch { .. })));
+    }
+
+    #[test]
+    fn insert_row_shifts_and_validates() {
+        let mut s = store_3x2();
+        s.insert_row(1, &[9.0, 9.5]).unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.vector(0), &[1.0, 2.0]);
+        assert_eq!(s.vector(1), &[9.0, 9.5]);
+        assert_eq!(s.vector(2), &[3.0, 4.0]);
+        // boundary positions
+        s.insert_row(0, &[0.0, 0.0]).unwrap();
+        assert_eq!(s.vector(0), &[0.0, 0.0]);
+        let end = s.len();
+        s.insert_row(end, &[7.0, 7.0]).unwrap();
+        assert_eq!(s.vector(s.len() - 1), &[7.0, 7.0]);
+        assert!(matches!(s.insert_row(0, &[1.0]), Err(LinalgError::DimMismatch { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn insert_row_rejects_far_position() {
+        let mut s = store_3x2();
+        let _ = s.insert_row(10, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn remove_row_shifts_down() {
+        let mut s = store_3x2();
+        s.remove_row(1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.vector(0), &[1.0, 2.0]);
+        assert_eq!(s.vector(1), &[5.0, 6.0]);
+        s.remove_row(0);
+        s.remove_row(0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn remove_row_rejects_bad_position() {
+        let mut s = store_3x2();
+        s.remove_row(3);
+    }
+
+    #[test]
+    fn insert_then_remove_roundtrips() {
+        let mut s = store_3x2();
+        let before = s.clone();
+        s.insert_row(2, &[42.0, 43.0]).unwrap();
+        s.remove_row(2);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn lengths_are_euclidean() {
+        let s = VectorStore::from_rows(&[vec![3.0, 4.0], vec![0.0, 0.0]]).unwrap();
+        let l = s.lengths();
+        assert!((l[0] - 5.0).abs() < 1e-12);
+        assert_eq!(l[1], 0.0);
+    }
+
+    #[test]
+    fn select_reorders_and_duplicates() {
+        let s = store_3x2();
+        let t = s.select(&[2, 0, 0]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.vector(0), &[5.0, 6.0]);
+        assert_eq!(t.vector(1), &[1.0, 2.0]);
+        assert_eq!(t.vector(2), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn decompose_roundtrips() {
+        let s = VectorStore::from_rows(&[vec![3.0, 4.0], vec![0.0, 0.0], vec![-2.0, 0.0]]).unwrap();
+        let (lengths, dirs) = s.decompose();
+        assert!((lengths[0] - 5.0).abs() < 1e-12);
+        assert_eq!(lengths[1], 0.0);
+        assert!((lengths[2] - 2.0).abs() < 1e-12);
+        // length * direction reconstructs the vector
+        for (i, &len) in lengths.iter().enumerate() {
+            for f in 0..s.dim() {
+                let rebuilt = len * dirs.vector(i)[f];
+                assert!((rebuilt - s.vector(i)[f]).abs() < 1e-12);
+            }
+        }
+        // directions are unit (or zero)
+        assert!((crate::kernels::norm(dirs.vector(0)) - 1.0).abs() < 1e-12);
+        assert_eq!(crate::kernels::norm(dirs.vector(1)), 0.0);
+    }
+
+    #[test]
+    fn dots_with_computes_product_row() {
+        let s = store_3x2();
+        let mut out = Vec::new();
+        s.dots_with(&[1.0, -1.0], &mut out);
+        assert_eq!(out, vec![-1.0, -1.0, -1.0]);
+        // reuse of the buffer clears previous content
+        s.dots_with(&[0.0, 1.0], &mut out);
+        assert_eq!(out, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn dot_between_stores() {
+        let a = store_3x2();
+        let b = VectorStore::from_rows(&[vec![10.0, 0.0]]).unwrap();
+        assert_eq!(a.dot_between(1, &b, 0), 30.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Approximate MIPS: the recall/time trade-off of the paper's related work.
+//!
+//! The LEMP paper retrieves *exactly*; its related-work section (Sec. 5)
+//! surveys approximate alternatives — ALSH \[15\], the Xbox Euclidean
+//! transformation with trees \[16\], and query clustering \[17\] — that
+//! trade recall for speed. This example puts all three (as implemented in
+//! `lemp::approx`) next to the exact LEMP engine on a Netflix-like
+//! workload and prints each method's knob sweep: time per query versus
+//! Row-Top-10 recall.
+//!
+//! Run with: `cargo run --release --example approx_tradeoff`
+
+use std::time::Instant;
+
+use lemp::approx::{
+    centroid_row_top_k, recall::topk_recall, CentroidConfig, PcaTree, PcaTreeConfig, SrpConfig,
+    SrpLsh,
+};
+use lemp::data::datasets::Dataset;
+use lemp::Lemp;
+
+fn main() {
+    // A laptop-sized slice of the Netflix-like dataset (Table 1 statistics).
+    let spec = Dataset::Netflix.spec().scaled(0.004);
+    let (queries, probes) = spec.generate(42);
+    let k = 10;
+    println!(
+        "{}: {} queries × {} probes, r = {}, Row-Top-{k}\n",
+        spec.name,
+        queries.len(),
+        probes.len(),
+        spec.dim
+    );
+
+    // Exact ground truth (and the exact engine's time as the bar to beat).
+    let start = Instant::now();
+    let mut engine = Lemp::builder().build(&probes);
+    let exact = engine.row_top_k(&queries, k);
+    let exact_us = start.elapsed().as_micros() as f64 / queries.len() as f64;
+    println!("exact LEMP-LI             {exact_us:>8.1} µs/query   recall 1.0000");
+
+    // SRP-LSH: budget sweep (how many Hamming-nearest candidates to verify).
+    let start = Instant::now();
+    let srp = SrpLsh::build(&probes, &SrpConfig::default()).expect("valid probes");
+    let build_ms = start.elapsed().as_millis();
+    println!("\nSRP-LSH (128-bit signatures, built in {build_ms} ms):");
+    for budget in [k, 4 * k, 16 * k, 64 * k] {
+        let start = Instant::now();
+        let lists = srp.row_top_k(&queries, k, budget);
+        let us = start.elapsed().as_micros() as f64 / queries.len() as f64;
+        let recall = topk_recall(&exact.lists, &lists, 1e-9);
+        println!("  budget {budget:>4}            {us:>8.1} µs/query   recall {recall:.4}");
+    }
+
+    // PCA-tree: leaf-budget sweep.
+    let start = Instant::now();
+    let tree = PcaTree::build(&probes, &PcaTreeConfig::default()).expect("valid probes");
+    let build_ms = start.elapsed().as_millis();
+    println!("\nPCA-tree ({} leaves, built in {build_ms} ms):", tree.leaves());
+    for budget in [1, 2, 4, tree.leaves()] {
+        let start = Instant::now();
+        let lists = tree.row_top_k(&queries, k, budget);
+        let us = start.elapsed().as_micros() as f64 / queries.len() as f64;
+        let recall = topk_recall(&exact.lists, &lists, 1e-9);
+        println!("  {budget:>3} of {} leaves       {us:>8.1} µs/query   recall {recall:.4}", tree.leaves());
+    }
+
+    // Query centroids: cluster-count sweep (the \[17\] + LEMP combination).
+    println!("\nquery centroids + exact LEMP per centroid:");
+    for clusters in [8, 32, 128] {
+        let cfg = CentroidConfig { clusters, ..Default::default() };
+        let start = Instant::now();
+        let out = centroid_row_top_k(&queries, &probes, k, &cfg).expect("valid config");
+        let us = start.elapsed().as_micros() as f64 / queries.len() as f64;
+        let recall = topk_recall(&exact.lists, &out.lists, 1e-9);
+        println!(
+            "  {clusters:>4} clusters ×{} cand  {us:>8.1} µs/query   recall {recall:.4}",
+            out.candidates_per_centroid
+        );
+    }
+
+    println!(
+        "\nEvery method verifies candidates exactly — reported scores are true\n\
+         inner products; only candidate membership (recall) is approximate."
+    );
+}

@@ -1,0 +1,93 @@
+//! Recommender-system scenario: the paper's motivating Netflix workload.
+//!
+//! Two parts:
+//!
+//! 1. **Provenance** — the full pipeline behind the paper's collaborative
+//!    filtering datasets: synthetic clustered/popularity-skewed ratings →
+//!    SGD matrix factorization with L2 regularization → Row-Top-k retrieval
+//!    on the trained factors, verified identical to the naive full product.
+//! 2. **Performance** — Row-Top-k on factor matrices calibrated to the
+//!    paper's Netflix statistics (Table 1: 17 770 items, r = 50, length CoV
+//!    0.43/0.72), where LEMP's bucket pruning shows the speedups the paper
+//!    reports.
+//!
+//! Run with: `cargo run --release --example recommender`
+
+use std::time::Instant;
+
+use lemp::baselines::types::topk_equivalent;
+use lemp::baselines::Naive;
+use lemp::data::mf::{synthetic_ratings_clustered, train, MfConfig};
+use lemp::data::synthetic::GeneratorConfig;
+use lemp::linalg::stats;
+use lemp::{Lemp, LempVariant};
+
+fn main() {
+    // ---- Part 1: train a model, retrieve, verify exactness -------------
+    let users = 2_000;
+    let items = 1_500;
+    let k = 10;
+    println!("== part 1: matrix-factorization provenance ==");
+    println!("generating {} clustered, popularity-skewed ratings…", users * 25);
+    let (mut ratings, _) =
+        synthetic_ratings_clustered(users, items, users * 25, 50, 20, 0.5, 0.7, 0.3, 2.5, 42);
+    // Center the ratings: the global mean lives outside the factors, as in
+    // real recommender pipelines.
+    let mean = ratings.iter().map(|r| r.value).sum::<f64>() / ratings.len() as f64;
+    for r in &mut ratings {
+        r.value -= mean;
+    }
+    let cfg = MfConfig { rank: 50, epochs: 12, lambda: 0.1, ..MfConfig::default() };
+    let model = train(&ratings, users, items, &cfg, 7);
+    println!(
+        "trained rank-{} factors: RMSE {:.3}, item-length CoV {:.2}",
+        cfg.rank,
+        model.rmse(&ratings),
+        stats::cov(&model.items.lengths())
+    );
+
+    let mut engine = Lemp::builder().variant(LempVariant::LI).build(&model.items);
+    let out = engine.row_top_k(&model.users, k);
+    let (naive_lists, _) = Naive.row_top_k(&model.users, &model.items, k);
+    assert!(topk_equivalent(&out.lists, &naive_lists, 1e-9), "LEMP and Naive disagree");
+    println!("top-{k} lists verified identical to the naive full product");
+    println!("sample recommendations (predicted rating = global mean + qᵀp):");
+    for u in 0..3 {
+        let recs: Vec<String> = out.lists[u]
+            .iter()
+            .take(3)
+            .map(|s| format!("item {} ({:.2})", s.id, mean + s.score))
+            .collect();
+        println!("  user {u}: {}", recs.join(", "));
+    }
+
+    // ---- Part 2: Netflix-calibrated factors at full item count ---------
+    println!("\n== part 2: Netflix-calibrated retrieval (Table 1 statistics) ==");
+    let probes = GeneratorConfig::gaussian(17_770, 50, 0.72).generate(1);
+    let queries = GeneratorConfig::gaussian(8_000, 50, 0.43).generate(2);
+    println!("{} queries × {} items, r = 50", queries.len(), probes.len());
+    for k in [1usize, 10] {
+        let t = Instant::now();
+        let mut engine = Lemp::builder().variant(LempVariant::LI).build(&probes);
+        let out = engine.row_top_k(&queries, k);
+        let lemp_t = t.elapsed();
+
+        let t = Instant::now();
+        let (naive_lists, naive_counters) = Naive.row_top_k(&queries, &probes, k);
+        let naive_t = t.elapsed();
+
+        assert!(topk_equivalent(&out.lists, &naive_lists, 1e-9));
+        println!(
+            "k={k:>2}: naive {naive_t:>7.2?} ({} dots)  LEMP {lemp_t:>7.2?} \
+             ({:.0} candidates/query, {} buckets)  speedup {:.1}x",
+            naive_counters.candidates,
+            out.stats.counters.candidates_per_query(),
+            out.stats.bucket_count,
+            naive_t.as_secs_f64() / lemp_t.as_secs_f64()
+        );
+    }
+    println!(
+        "\n(The paper reports 6.7x over naive for Row-Top-1 on the real Netflix factors \
+         at 480k queries; speedups grow with the query count as tuning amortizes.)"
+    );
+}

@@ -1,0 +1,67 @@
+//! A tour of the nine LEMP bucket-method variants (Fig. 7 in miniature).
+//!
+//! Runs every variant of the engine on the same scaled IE-SVD workload and
+//! prints total time and average candidate-set size per query — the two
+//! measurements the paper's Tables 5/6 report — so the relative behaviour
+//! (LENGTH cheap but candidate-heavy, INCR pruning hardest among the fast
+//! methods, L2AP pruning hardest overall but slower, BLSH ≈ LENGTH plus
+//! overhead) is visible on a laptop in seconds.
+//!
+//! Run with: `cargo run --release --example variants_tour`
+
+use std::time::Instant;
+
+use lemp::baselines::types::canonical_pairs;
+use lemp::baselines::Naive;
+use lemp::data::calibrate;
+use lemp::data::datasets::Dataset;
+use lemp::{Lemp, LempVariant};
+
+fn main() {
+    let spec = Dataset::IeSvd.spec().scaled(0.004);
+    println!("dataset {}: {} queries × {} probes", spec.name, spec.m, spec.n);
+    let (queries, probes) = spec.generate(5);
+    let theta = calibrate::sampled_theta(&queries, &probes, 3_000, 150_000, 9)
+        .expect("calibration");
+    println!("θ = {theta:.4} (≈ @3k recall level)\n");
+
+    let (truth, naive_counters) = Naive.above_theta(&queries, &probes, theta);
+    let truth_pairs = canonical_pairs(&truth);
+    println!(
+        "{:<10} {:>9} {:>12} {:>8}  note",
+        "variant", "time", "|C|/query", "recall"
+    );
+    println!(
+        "{:<10} {:>9} {:>12} {:>8}  full product",
+        "Naive",
+        format!("{:.0?}", std::time::Duration::from_nanos(naive_counters.retrieval_ns)),
+        format!("{:.0}", naive_counters.candidates_per_query()),
+        "1.00"
+    );
+
+    for variant in LempVariant::all() {
+        let t = Instant::now();
+        let mut engine = Lemp::builder().variant(variant).build(&probes);
+        let out = engine.above_theta(&queries, theta);
+        let elapsed = t.elapsed();
+        let got = canonical_pairs(&out.entries);
+        let found = truth_pairs.iter().filter(|p| got.binary_search(p).is_ok()).count();
+        let recall = if truth_pairs.is_empty() {
+            1.0
+        } else {
+            found as f64 / truth_pairs.len() as f64
+        };
+        let note = if variant.is_approximate() { "approximate (ε = 0.03)" } else { "exact" };
+        println!(
+            "{:<10} {:>9} {:>12} {:>8}  {}",
+            variant.name().trim_start_matches("LEMP-"),
+            format!("{elapsed:.0?}"),
+            format!("{:.1}", out.stats.counters.candidates_per_query()),
+            format!("{recall:.2}"),
+            note
+        );
+        if !variant.is_approximate() {
+            assert_eq!(got, truth_pairs, "{} must be exact", variant.name());
+        }
+    }
+}

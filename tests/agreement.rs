@@ -1,0 +1,160 @@
+//! Ground-truth agreement: every exact algorithm in the workspace must
+//! return exactly the Naive result on randomized workloads spanning the
+//! paper's data regimes (dense/sparse, low/high length skew), both problems,
+//! several thresholds and k values.
+
+use lemp::baselines::types::{canonical_pairs, topk_equivalent};
+use lemp::baselines::{CoverTree, DualTree, Naive, TaIndex};
+use lemp::data::synthetic::GeneratorConfig;
+use lemp::linalg::VectorStore;
+use lemp::{Lemp, LempVariant};
+
+struct Regime {
+    name: &'static str,
+    queries: VectorStore,
+    probes: VectorStore,
+}
+
+fn regimes() -> Vec<Regime> {
+    vec![
+        Regime {
+            name: "dense low-skew (KDD-like)",
+            queries: GeneratorConfig::gaussian(50, 12, 0.4).generate(1),
+            probes: GeneratorConfig::gaussian(350, 12, 0.4).generate(2),
+        },
+        Regime {
+            name: "dense high-skew (IE-SVD-like)",
+            queries: GeneratorConfig::gaussian(50, 12, 1.5).generate(3),
+            probes: GeneratorConfig::gaussian(350, 12, 4.4).generate(4),
+        },
+        Regime {
+            name: "sparse non-negative (IE-NMF-like)",
+            queries: GeneratorConfig::sparse(50, 12, 1.5, 0.36).generate(5),
+            probes: GeneratorConfig::sparse(350, 12, 5.0, 0.36).generate(6),
+        },
+        Regime {
+            name: "tiny dimension",
+            queries: GeneratorConfig::gaussian(40, 2, 0.8).generate(7),
+            probes: GeneratorConfig::gaussian(200, 2, 0.8).generate(8),
+        },
+    ]
+}
+
+/// Thresholds spanning near-empty to bulky result sets per regime.
+fn thetas(queries: &VectorStore, probes: &VectorStore) -> Vec<f64> {
+    [100, 1_000, 5_000]
+        .into_iter()
+        .filter_map(|t| lemp::data::calibrate::exact_theta(queries, probes, t))
+        .collect()
+}
+
+#[test]
+fn lemp_variants_match_naive_above_theta_across_regimes() {
+    for regime in regimes() {
+        for theta in thetas(&regime.queries, &regime.probes) {
+            let (expect, _) = Naive.above_theta(&regime.queries, &regime.probes, theta);
+            let expect = canonical_pairs(&expect);
+            for variant in LempVariant::all() {
+                if variant.is_approximate() {
+                    continue;
+                }
+                let mut engine =
+                    Lemp::builder().variant(variant).sample_size(6).build(&regime.probes);
+                let out = engine.above_theta(&regime.queries, theta);
+                assert_eq!(
+                    canonical_pairs(&out.entries),
+                    expect,
+                    "{} on {} at theta {theta}",
+                    variant.name(),
+                    regime.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lemp_variants_match_naive_top_k_across_regimes() {
+    for regime in regimes() {
+        for k in [1usize, 4, 25] {
+            let (expect, _) = Naive.row_top_k(&regime.queries, &regime.probes, k);
+            for variant in LempVariant::all() {
+                if variant.is_approximate() {
+                    continue;
+                }
+                let mut engine =
+                    Lemp::builder().variant(variant).sample_size(6).build(&regime.probes);
+                let out = engine.row_top_k(&regime.queries, k);
+                assert!(
+                    topk_equivalent(&out.lists, &expect, 1e-9),
+                    "{} on {} at k {k}",
+                    variant.name(),
+                    regime.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn baselines_match_naive_across_regimes() {
+    for regime in regimes() {
+        let theta = thetas(&regime.queries, &regime.probes)[0];
+        let (expect_above, _) = Naive.above_theta(&regime.queries, &regime.probes, theta);
+        let expect_above = canonical_pairs(&expect_above);
+        let (expect_topk, _) = Naive.row_top_k(&regime.queries, &regime.probes, 5);
+
+        let ta = TaIndex::build(&regime.probes);
+        let (got, _) = ta.above_theta(&regime.queries, theta);
+        assert_eq!(canonical_pairs(&got), expect_above, "TA above on {}", regime.name);
+        let (got, _) = ta.row_top_k(&regime.queries, 5);
+        assert!(topk_equivalent(&got, &expect_topk, 1e-9), "TA topk on {}", regime.name);
+
+        let tree = CoverTree::build(&regime.probes, 1.3);
+        let (got, _) = tree.above_theta(&regime.queries, theta);
+        assert_eq!(canonical_pairs(&got), expect_above, "Tree above on {}", regime.name);
+        let (got, _) = tree.row_top_k(&regime.queries, 5);
+        assert!(topk_equivalent(&got, &expect_topk, 1e-9), "Tree topk on {}", regime.name);
+
+        let dt = DualTree::build(&regime.queries, &regime.probes, 1.3);
+        let (got, _) = dt.above_theta(theta);
+        assert_eq!(canonical_pairs(&got), expect_above, "D-Tree above on {}", regime.name);
+        let (got, _) = dt.row_top_k(5);
+        assert!(topk_equivalent(&got, &expect_topk, 1e-9), "D-Tree topk on {}", regime.name);
+    }
+}
+
+#[test]
+fn parallel_engine_matches_serial_across_variants() {
+    let queries = GeneratorConfig::gaussian(60, 10, 1.0).generate(9);
+    let probes = GeneratorConfig::gaussian(400, 10, 1.0).generate(10);
+    let theta = lemp::data::calibrate::exact_theta(&queries, &probes, 500).unwrap();
+    for variant in [LempVariant::L, LempVariant::LI, LempVariant::Ta, LempVariant::L2ap] {
+        let mut serial = Lemp::builder().variant(variant).sample_size(6).build(&probes);
+        let mut parallel =
+            Lemp::builder().variant(variant).sample_size(6).threads(3).build(&probes);
+        let a = serial.above_theta(&queries, theta);
+        let b = parallel.above_theta(&queries, theta);
+        assert_eq!(
+            canonical_pairs(&a.entries),
+            canonical_pairs(&b.entries),
+            "{} above",
+            variant.name()
+        );
+        let ta = serial.row_top_k(&queries, 7);
+        let tb = parallel.row_top_k(&queries, 7);
+        assert!(topk_equivalent(&ta.lists, &tb.lists, 1e-9), "{} topk", variant.name());
+    }
+}
+
+#[test]
+fn mf_trained_factors_roundtrip_through_lemp() {
+    // End-to-end: ratings → factorization → retrieval, verified vs Naive.
+    use lemp::data::mf::{synthetic_ratings, train, MfConfig};
+    let (ratings, _) = synthetic_ratings(80, 60, 2500, 6, 0.2, 11);
+    let model = train(&ratings, 80, 60, &MfConfig { rank: 8, epochs: 10, ..Default::default() }, 12);
+    let (expect, _) = Naive.row_top_k(&model.users, &model.items, 5);
+    let mut engine = Lemp::builder().sample_size(6).build(&model.items);
+    let out = engine.row_top_k(&model.users, 5);
+    assert!(topk_equivalent(&out.lists, &expect, 1e-9));
+}

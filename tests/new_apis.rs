@@ -1,0 +1,141 @@
+//! Integration tests for the extension APIs — |Above-θ|, floored Row-Top-k
+//! and adaptive selection — across crate boundaries: persisted engine
+//! images, multi-threaded configurations, and the facade re-exports.
+
+use lemp::baselines::types::{canonical_pairs, topk_equivalent};
+use lemp::baselines::Naive;
+use lemp::data::synthetic::GeneratorConfig;
+use lemp::linalg::VectorStore;
+use lemp::{AdaptiveConfig, BanditPolicy, Lemp, LempVariant};
+
+fn data(m: usize, n: usize, cov: f64, seed: u64) -> (VectorStore, VectorStore) {
+    let q = GeneratorConfig::gaussian(m, 12, cov).generate(seed);
+    let p = GeneratorConfig::gaussian(n, 12, cov).generate(seed + 1);
+    (q, p)
+}
+
+fn temp(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("lemp-new-apis-{tag}-{}.eng", std::process::id()));
+    p
+}
+
+#[test]
+fn abs_above_on_reloaded_engine_matches_fresh() {
+    let (q, p) = data(40, 300, 1.0, 9000);
+    let theta = 1.1;
+    let mut fresh = Lemp::builder().variant(LempVariant::LI).build(&p);
+    let expect = fresh.abs_above_theta(&q, theta);
+    assert!(!expect.entries.is_empty(), "fixture must produce results");
+
+    let path = temp("abs");
+    fresh.save(&path).unwrap();
+    let mut loaded = Lemp::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let got = loaded.abs_above_theta(&q, theta);
+    assert_eq!(canonical_pairs(&got.entries), canonical_pairs(&expect.entries));
+}
+
+#[test]
+fn abs_above_runs_multithreaded() {
+    let (q, p) = data(50, 250, 0.9, 9100);
+    let theta = 0.9;
+    let mut serial = Lemp::builder().build(&p);
+    let mut parallel = Lemp::builder().threads(4).build(&p);
+    let a = serial.abs_above_theta(&q, theta);
+    let b = parallel.abs_above_theta(&q, theta);
+    assert_eq!(canonical_pairs(&a.entries), canonical_pairs(&b.entries));
+    assert!(a.entries.iter().any(|e| e.value < 0.0), "two-sided fixture");
+}
+
+#[test]
+fn floored_topk_across_variants() {
+    let (q, p) = data(25, 200, 0.8, 9200);
+    let k = 4;
+    // A floor from the data: the median 2nd-best value, nudged off-score.
+    let (full, _) = Naive.row_top_k(&q, &p, 2);
+    let mut seconds: Vec<f64> = full.iter().map(|l| l[1].score).collect();
+    seconds.sort_by(f64::total_cmp);
+    let floor = seconds[seconds.len() / 2] + 1e-7;
+
+    let mut reference: Option<Vec<Vec<usize>>> = None;
+    for variant in [LempVariant::L, LempVariant::I, LempVariant::LI, LempVariant::Ta] {
+        let mut engine = Lemp::builder().variant(variant).sample_size(6).build(&p);
+        let out = engine.row_top_k_with_floor(&q, k, floor);
+        for list in &out.lists {
+            assert!(list.iter().all(|i| i.score >= floor), "{}", variant.name());
+            assert!(list.len() <= k);
+        }
+        let ids: Vec<Vec<usize>> =
+            out.lists.iter().map(|l| l.iter().map(|i| i.id).collect()).collect();
+        match &reference {
+            None => reference = Some(ids),
+            Some(expect) => assert_eq!(&ids, expect, "{} diverges", variant.name()),
+        }
+    }
+}
+
+#[test]
+fn adaptive_on_reloaded_engine_matches_naive() {
+    let (q, p) = data(30, 250, 1.1, 9300);
+    let engine = Lemp::builder().build(&p);
+    let path = temp("adaptive");
+    engine.save(&path).unwrap();
+    let mut loaded = Lemp::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let acfg = AdaptiveConfig {
+        policy: BanditPolicy::EpsilonGreedy { epsilon: 0.2, seed: 3 },
+        ..Default::default()
+    };
+    let (expect, _) = Naive.above_theta(&q, &p, 1.0);
+    let (out, report) = loaded.above_theta_adaptive(&q, 1.0, &acfg);
+    assert_eq!(canonical_pairs(&out.entries), canonical_pairs(&expect));
+    assert_eq!(report.buckets.len(), loaded.buckets().bucket_count());
+
+    let (expect_k, _) = Naive.row_top_k(&q, &p, 5);
+    let (out, _) = loaded.row_top_k_adaptive(&q, 5, &acfg);
+    assert!(topk_equivalent(&out.lists, &expect_k, 1e-9));
+}
+
+#[test]
+fn adaptive_report_names_align_with_arm_stats() {
+    let (q, p) = data(40, 200, 0.7, 9400);
+    let mut engine = Lemp::new(&p);
+    let (_, report) = engine.row_top_k_adaptive(&q, 3, &AdaptiveConfig::default());
+    assert!(!report.arm_names.is_empty());
+    assert_eq!(report.arm_names[0], "LENGTH");
+    for bins in &report.buckets {
+        for bin in bins {
+            assert_eq!(bin.arms.len(), report.arm_names.len());
+            assert!(bin.lo < bin.hi);
+            if let Some(best) = bin.best_arm {
+                assert!(best < report.arm_names.len());
+                assert!(bin.arms[best].pulls > 0, "best arm must have been pulled");
+            }
+        }
+    }
+}
+
+#[test]
+fn floor_interacts_with_streaming_column_top_k_reversal() {
+    // Column-Top-k is Row-Top-k with roles reversed (Sec. 2); a floored
+    // row query against the transposed role assignment must agree with
+    // the brute-force scan on the same orientation.
+    let (q, p) = data(20, 60, 0.6, 9500);
+    let k = 3;
+    let floor = 0.4;
+    let mut engine = Lemp::builder().sample_size(4).build(&q); // probes := Q
+    let out = engine.row_top_k_with_floor(&p, k, floor);
+    for (j, list) in out.lists.iter().enumerate() {
+        let mut expect: Vec<(usize, f64)> = (0..q.len())
+            .map(|i| (i, p.dot_between(j, &q, i)))
+            .filter(|&(_, v)| v >= floor)
+            .collect();
+        expect.sort_by(|a, b| f64::total_cmp(&b.1, &a.1));
+        expect.truncate(k);
+        let got: Vec<usize> = list.iter().map(|i| i.id).collect();
+        let want: Vec<usize> = expect.iter().map(|&(i, _)| i).collect();
+        assert_eq!(got, want, "column {j}");
+    }
+}
