@@ -211,12 +211,12 @@ impl Default for SrpTablesConfig {
     /// Defaults sized for the *moderate* angular gaps of MIPS workloads:
     /// after the XBOX transform even the best probe's cosine is typically
     /// 0.3–0.6 (bit-agreement probability `p = 1 − ϑ/π ≈ 0.6–0.7`), so
-    /// bands must be short and tables plentiful — `1 − (1 − p⁷)⁴⁸ ≈ 0.87–
-    /// 0.95` over this range, while an unrelated pair (`p ≈ 0.5`) collides
-    /// with probability ≈ 0.31. Workloads with crisper similarities can
-    /// lengthen the bands.
+    /// bands must be short and tables plentiful — `1 − (1 − p⁷)⁶⁴ ≈ 0.84–
+    /// 0.996` over this range, while an unrelated pair (`p ≈ 0.5`)
+    /// collides with probability ≈ 0.39. Workloads with crisper
+    /// similarities can lengthen the bands.
     fn default() -> Self {
-        Self { tables: 48, band_bits: 7, seed: 0x5e_ed }
+        Self { tables: 64, band_bits: 7, seed: 0x5e_ed }
     }
 }
 

@@ -62,14 +62,34 @@ mod tests {
             let (mu, sigma) = log_normal_params_for_cov(target);
             let mut rng = seeded(2);
             let xs: Vec<f64> = (0..400_000).map(|_| log_normal(&mut rng, mu, sigma)).collect();
-            let got = stats::cov(&xs);
-            // heavier tails need looser tolerance
-            let tol = 0.02 + 0.08 * target;
+            // The log-domain moments pin the distribution exactly and their
+            // estimators converge fast regardless of tail weight: ln X must
+            // be N(mu, sigma²) by construction.
+            let logs: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
             assert!(
-                (got - target).abs() < tol,
-                "target CoV {target}, got {got} (tol {tol})"
+                (stats::mean(&logs) - mu).abs() < 0.01 * (1.0 + sigma),
+                "target CoV {target}: log-mean {} vs mu {mu}",
+                stats::mean(&logs)
             );
-            // unit mean by construction
+            assert!(
+                (stats::std_dev(&logs) - sigma).abs() < 0.01 * (1.0 + sigma),
+                "target CoV {target}: log-sd {} vs sigma {sigma}",
+                stats::std_dev(&logs)
+            );
+            // The direct sample CoV is only assertable where its estimator
+            // converges: the variance-of-variance of exp(N(0, σ²)) grows
+            // like exp(4σ²), so at CoV 4.4 (σ ≈ 1.74) even 400k samples
+            // leave tens of percent of estimator noise.
+            if target <= 1.5 {
+                let got = stats::cov(&xs);
+                let tol = 0.02 + 0.08 * target;
+                assert!(
+                    (got - target).abs() < tol,
+                    "target CoV {target}, got {got} (tol {tol})"
+                );
+            }
+            // unit mean by construction (the mean estimator's relative
+            // error is CoV/√n ≈ 0.7% even at the heaviest tail)
             assert!((stats::mean(&xs) - 1.0).abs() < 0.05 + 0.02 * target);
         }
     }

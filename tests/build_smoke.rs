@@ -1,0 +1,105 @@
+//! Workspace bootstrap smoke test: the facade's two headline entry points
+//! (`Lemp::above_theta`, `Lemp::row_top_k`) run on a tiny synthetic matrix
+//! and agree with the naive full-product baseline. If this fails, the
+//! workspace wiring (manifests, re-exports, inter-crate DAG) is broken in a
+//! way the unit tests may not pinpoint.
+
+use lemp::baselines::types::{canonical_pairs, topk_equivalent};
+use lemp::baselines::Naive;
+use lemp::linalg::VectorStore;
+use lemp::{Lemp, LempVariant};
+
+/// A deterministic 12×3 probe store and 4×3 query store with mixed signs
+/// and length skew, small enough to check by hand if it ever breaks.
+fn tiny_matrices() -> (VectorStore, VectorStore) {
+    let probes = VectorStore::from_rows(&[
+        vec![1.0, 0.0, 0.0],
+        vec![0.0, 1.0, 0.0],
+        vec![0.0, 0.0, 1.0],
+        vec![0.5, 0.5, 0.5],
+        vec![-1.0, 0.2, 0.1],
+        vec![2.0, -0.3, 0.4],
+        vec![0.1, 0.1, 0.1],
+        vec![3.0, 3.0, -3.0],
+        vec![-0.7, -0.8, -0.9],
+        vec![0.05, 2.5, 0.0],
+        vec![1.2, 1.1, 1.0],
+        vec![-2.0, 0.0, 2.0],
+    ])
+    .expect("finite probe rows");
+    let queries = VectorStore::from_rows(&[
+        vec![1.0, 1.0, 1.0],
+        vec![-1.0, 0.5, 0.0],
+        vec![0.0, 0.0, 2.0],
+        vec![0.3, -0.2, 0.1],
+    ])
+    .expect("finite query rows");
+    (queries, probes)
+}
+
+#[test]
+fn above_theta_matches_naive_on_tiny_matrix() {
+    let (queries, probes) = tiny_matrices();
+    for theta in [-0.5, 0.0, 0.4, 1.0, 2.5] {
+        let (expect, _) = Naive.above_theta(&queries, &probes, theta);
+        let mut engine = Lemp::builder().build(&probes);
+        let out = engine.above_theta(&queries, theta);
+        assert_eq!(
+            canonical_pairs(&out.entries),
+            canonical_pairs(&expect),
+            "Above-θ diverged from naive at θ = {theta}"
+        );
+    }
+}
+
+#[test]
+fn row_top_k_matches_naive_on_tiny_matrix() {
+    let (queries, probes) = tiny_matrices();
+    for k in [1, 3, 7, 20] {
+        let (expect, _) = Naive.row_top_k(&queries, &probes, k);
+        let mut engine = Lemp::builder().build(&probes);
+        let out = engine.row_top_k(&queries, k);
+        assert!(
+            topk_equivalent(&out.lists, &expect, 1e-12),
+            "Row-Top-{k} diverged from naive"
+        );
+    }
+}
+
+#[test]
+fn every_exact_variant_agrees_on_tiny_matrix() {
+    let (queries, probes) = tiny_matrices();
+    let (expect, _) = Naive.above_theta(&queries, &probes, 0.4);
+    let expect = canonical_pairs(&expect);
+    for variant in LempVariant::all() {
+        if variant.is_approximate() {
+            continue;
+        }
+        let mut engine = Lemp::builder().variant(variant).build(&probes);
+        let out = engine.above_theta(&queries, 0.4);
+        assert_eq!(
+            canonical_pairs(&out.entries),
+            expect,
+            "variant {} diverged from naive",
+            variant.name()
+        );
+    }
+}
+
+#[test]
+fn documented_facade_reexports_resolve() {
+    // Compile-time check that the re-exports the crate docs promise exist.
+    use lemp::{
+        AboveThetaOutput, AdaptiveConfig, BanditPolicy, BucketPolicy, Entry, LempBuilder,
+        RunStats, TopKOutput,
+    };
+    fn assert_exists<T>() {}
+    assert_exists::<AboveThetaOutput>();
+    assert_exists::<AdaptiveConfig>();
+    assert_exists::<BanditPolicy>();
+    assert_exists::<BucketPolicy>();
+    assert_exists::<Entry>();
+    assert_exists::<LempBuilder>();
+    assert_exists::<RunStats>();
+    assert_exists::<TopKOutput>();
+}

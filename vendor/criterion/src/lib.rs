@@ -1,0 +1,371 @@
+//! Minimal in-tree stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, covering exactly the API surface this workspace uses:
+//! `Criterion` (builder methods, `bench_function`, `benchmark_group`),
+//! `BenchmarkGroup` (`bench_function`, `bench_with_input`, `sample_size`,
+//! `measurement_time`, `finish`), `Bencher::iter`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! It measures wall-clock medians over a configurable number of samples and
+//! prints one line per benchmark — enough to compare hot paths locally. It
+//! does no statistical analysis, warm-up calibration, or HTML reporting.
+//! When the process runs under `cargo test` (criterion-style `--test`
+//! harness arguments are present), every benchmark executes its routine once
+//! so `cargo test --benches` still smoke-tests the code.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(self, id, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Criterion's CLI entry point; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Override the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Override the warm-up time for this group (accepted, unused).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = self.qualified(&id.into());
+        let cfg = self.scoped();
+        run_one(&cfg, &label, &mut f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, P: ?Sized, F: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        let label = self.qualified(&id.into());
+        let cfg = self.scoped();
+        run_one(&cfg, &label, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (purely cosmetic here).
+    pub fn finish(self) {}
+
+    fn qualified(&self, id: &BenchmarkId) -> String {
+        format!("{}/{}", self.name, id.label)
+    }
+
+    fn scoped(&self) -> Criterion {
+        Criterion {
+            sample_size: self.sample_size.unwrap_or(self.parent.sample_size),
+            measurement_time: self
+                .measurement_time
+                .unwrap_or(self.parent.measurement_time),
+            warm_up_time: self.parent.warm_up_time,
+            test_mode: self.parent.test_mode,
+        }
+    }
+}
+
+/// Identifies a benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identified by the parameter value alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Times the routine under measurement.
+pub struct Bencher {
+    /// `(iterations, elapsed)` per sample, filled by `iter`.
+    samples: Vec<(u64, Duration)>,
+    iters_per_sample: u64,
+    samples_wanted: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Time `routine`, running it enough times to fill the sample budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        for _ in 0..self.samples_wanted {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push((self.iters_per_sample, start.elapsed()));
+        }
+    }
+}
+
+fn run_one(cfg: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    if cfg.test_mode {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            samples_wanted: 1,
+            test_mode: true,
+        };
+        f(&mut b);
+        println!("test {label} ... ok");
+        return;
+    }
+
+    // Calibrate iterations-per-sample so the whole run lands near the
+    // measurement budget.
+    let mut calib = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        samples_wanted: 1,
+        test_mode: false,
+    };
+    let warm_until = Instant::now() + cfg.warm_up_time;
+    let mut once = Duration::ZERO;
+    loop {
+        calib.samples.clear();
+        f(&mut calib);
+        if let Some((iters, d)) = calib.samples.last() {
+            once = *d / (*iters as u32).max(1);
+        }
+        if Instant::now() >= warm_until {
+            break;
+        }
+    }
+    let per_sample = cfg.measurement_time.as_nanos() / cfg.sample_size.max(1) as u128;
+    let iters = if once.as_nanos() == 0 {
+        1000
+    } else {
+        (per_sample / once.as_nanos()).clamp(1, 10_000_000) as u64
+    };
+
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: iters,
+        samples_wanted: cfg.sample_size,
+        test_mode: false,
+    };
+    f(&mut b);
+
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|(n, d)| d.as_nanos() as f64 / (*n).max(1) as f64)
+        .collect();
+    if per_iter.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let lo = per_iter[0];
+    let hi = per_iter[per_iter.len() - 1];
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{label:<50} time: [{} {} {}]",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi)
+    );
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Defines a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut c: $crate::Criterion = $config;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut ran = 0u64;
+        let mut c = quick();
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_run() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).measurement_time(Duration::from_millis(2));
+        let mut hits = 0u64;
+        for n in [1u64, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| {
+                    hits += n;
+                    black_box(hits)
+                })
+            });
+        }
+        group.bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| black_box(1)));
+        group.finish();
+        assert!(hits > 0);
+    }
+}

@@ -1,0 +1,523 @@
+//! Minimal in-tree stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, covering exactly the API surface this workspace uses:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]` and multiple
+//!   `#[test] fn name(pat in strategy, ...)` items),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`], [`prop_oneof!`],
+//! * [`Strategy`] with `prop_map` / `prop_flat_map`, ranges as strategies,
+//!   tuples of strategies, [`collection::vec`], and [`Just`].
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case reports
+//! the generated inputs verbatim. Generation is deterministic — each test
+//! function derives its RNG seed from its own name, so failures reproduce
+//! exactly on re-run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SampleUniform, SeedableRng};
+
+/// Per-test configuration (`ProptestConfig::with_cases(n)`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject,
+}
+
+/// The random source handed to strategies.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Deterministic runner; the seed is derived from the test name.
+    pub fn new(seed: u64) -> Self {
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Sample a value from a uniform range.
+    pub fn sample<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        self.rng.random_range(range)
+    }
+
+    /// Access the underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+///
+/// Object-safe (generation takes a concrete [`TestRunner`]) so strategies can
+/// be boxed for [`prop_oneof!`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Generate one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` returns for it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V: std::fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, runner: &mut TestRunner) -> V {
+        (**self).generate(runner)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, runner: &mut TestRunner) -> S2::Value {
+        (self.f)(self.inner.generate(runner)).generate(runner)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: SampleUniform + Clone + std::fmt::Debug,
+    std::ops::Range<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        runner.sample(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: SampleUniform + Clone + std::fmt::Debug,
+    std::ops::RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        runner.sample(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Weighted choice between boxed strategies (backs [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V: std::fmt::Debug> Union<V> {
+    /// Build from `(weight, strategy)` arms; weights need not be normalized.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, runner: &mut TestRunner) -> V {
+        let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+        let mut pick = runner.sample(0..total);
+        for (w, strat) in &self.arms {
+            if pick < *w {
+                return strat.generate(runner);
+            }
+            pick -= *w;
+        }
+        unreachable!("weights sum mismatch")
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections (`proptest::collection::vec`).
+
+    use super::{Strategy, TestRunner};
+
+    /// Sizes acceptable to [`vec`]: a fixed `usize`, `a..b`, or `a..=b`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_incl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_incl: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_incl: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose length lies in `size` and whose elements come
+    /// from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// The `proptest::collection::vec` entry point.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = runner.sample(self.size.lo..=self.size.hi_incl);
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+/// Box a strategy for use in [`prop_oneof!`] arms.
+pub fn box_strategy<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+/// Drive one proptest-style test: generate `config.cases` inputs from
+/// `strategies` and run `case` on each, panicking with the inputs on the
+/// first failure. Rejections (`prop_assume!`) retry, up to a bounded number
+/// of attempts. Called by the expansion of [`proptest!`].
+pub fn run_cases<S, F>(config: &ProptestConfig, name: &str, strategies: S, mut case: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let seed = seed_from_name(name);
+    let mut runner = TestRunner::new(seed);
+    let mut ran = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(20).max(100);
+    while ran < config.cases {
+        attempts += 1;
+        if attempts > max_attempts {
+            panic!(
+                "proptest '{name}': too many rejected cases ({attempts} attempts for {} cases)",
+                config.cases
+            );
+        }
+        let values = strategies.generate(&mut runner);
+        let described = format!("{values:?}");
+        match case(values) {
+            Ok(()) => ran += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed on case {ran} (seed {seed}):\n{msg}\ninputs: {described}");
+            }
+        }
+    }
+}
+
+/// Derive a stable 64-bit seed from a test's module path and name.
+pub fn seed_from_name(name: &str) -> u64 {
+    // FNV-1a
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` imports.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} at {}:{}",
+                format!($($fmt)*),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&($left), &($right));
+        if !(*left == *right) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `left == right` at {}:{}\n  left: {:?}\n right: {:?}",
+                file!(),
+                line!(),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&($left), &($right));
+        if !(*left == *right) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `left == right` ({}) at {}:{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*),
+                file!(),
+                line!(),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&($left), &($right));
+        if *left == *right {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `left != right` at {}:{}\n  both: {:?}",
+                file!(),
+                line!(),
+                left
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::box_strategy($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::box_strategy($strat)),)+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::proptest!(@run config, $name, ($($arg in $strat),+), $body);
+            }
+        )*
+    };
+
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+
+    (@run $config:ident, $name:ident, ($($arg:pat in $strat:expr),+), $body:block) => {{
+        let strategies = ($($crate::box_strategy($strat),)+);
+        $crate::run_cases(
+            &$config,
+            concat!(module_path!(), "::", stringify!($name)),
+            strategies,
+            |values| {
+                let ($($arg,)+) = values;
+                $body
+                Ok(())
+            },
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, y in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn maps_and_flat_maps_compose(
+            v in (1usize..4).prop_flat_map(|n| crate::collection::vec(0i32..3, n..=n)),
+            s in (0u32..3).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert_eq!(s % 2, 0);
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(x in prop_oneof![2 => 0i32..1, 1 => 10i32..11]) {
+            prop_assert!(x == 0 || x == 10);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}
