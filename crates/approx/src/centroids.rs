@@ -91,9 +91,8 @@ pub fn kmeans(data: &VectorStore, cfg: &KMeansConfig) -> Result<KMeans, ApproxEr
     let mut centroids = VectorStore::empty(dim).expect("dim > 0");
     let first = rng.random_range(0..n);
     centroids.push(data.vector(first)).expect("same dim");
-    let mut d2: Vec<f64> = (0..n)
-        .map(|i| kernels::dist_sq(data.vector(i), centroids.vector(0)))
-        .collect();
+    let mut d2: Vec<f64> =
+        (0..n).map(|i| kernels::dist_sq(data.vector(i), centroids.vector(0))).collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
         let pick = if total > 0.0 {
@@ -270,10 +269,7 @@ pub fn centroid_row_top_k(
     cfg: &CentroidConfig,
 ) -> Result<CentroidOutput, ApproxError> {
     if cfg.expand == 0 {
-        return Err(ApproxError::InvalidParam {
-            name: "expand",
-            requirement: "must be positive",
-        });
+        return Err(ApproxError::InvalidParam { name: "expand", requirement: "must be positive" });
     }
     assert_eq!(
         queries.dim(),
@@ -364,10 +360,8 @@ mod tests {
         let km = kmeans(&data, &KMeansConfig { k: 8, max_iters: 15, seed: 2 }).unwrap();
         assert_eq!(km.centroids.len(), 8);
         for i in 0..data.len() {
-            let assigned = kernels::dist_sq(
-                data.vector(i),
-                km.centroids.vector(km.assignment[i] as usize),
-            );
+            let assigned =
+                kernels::dist_sq(data.vector(i), km.centroids.vector(km.assignment[i] as usize));
             for c in 0..km.centroids.len() {
                 let d = kernels::dist_sq(data.vector(i), km.centroids.vector(c));
                 assert!(
@@ -473,8 +467,7 @@ mod tests {
     fn scores_are_exact_and_sorted() {
         let queries = fixture(10, 16);
         let probes = fixture(80, 17);
-        let out =
-            centroid_row_top_k(&queries, &probes, 4, &CentroidConfig::default()).unwrap();
+        let out = centroid_row_top_k(&queries, &probes, 4, &CentroidConfig::default()).unwrap();
         for (i, list) in out.lists.iter().enumerate() {
             for w in list.windows(2) {
                 assert!(w[0].score >= w[1].score, "list {i} not sorted");
@@ -491,13 +484,11 @@ mod tests {
         let queries = fixture(5, 18);
         let probes = fixture(20, 19);
         let empty_q = VectorStore::empty(8).unwrap();
-        let out =
-            centroid_row_top_k(&empty_q, &probes, 3, &CentroidConfig::default()).unwrap();
+        let out = centroid_row_top_k(&empty_q, &probes, 3, &CentroidConfig::default()).unwrap();
         assert!(out.lists.is_empty());
 
         let empty_p = VectorStore::empty(8).unwrap();
-        let out =
-            centroid_row_top_k(&queries, &empty_p, 3, &CentroidConfig::default()).unwrap();
+        let out = centroid_row_top_k(&queries, &empty_p, 3, &CentroidConfig::default()).unwrap();
         assert_eq!(out.lists.len(), 5);
         assert!(out.lists.iter().all(Vec::is_empty));
 

@@ -48,7 +48,9 @@ pub mod recall;
 pub mod srp;
 pub mod transform;
 
-pub use centroids::{centroid_row_top_k, kmeans, CentroidConfig, CentroidOutput, KMeans, KMeansConfig};
+pub use centroids::{
+    centroid_row_top_k, kmeans, CentroidConfig, CentroidOutput, KMeans, KMeansConfig,
+};
 pub use error::ApproxError;
 pub use pca_tree::{PcaTree, PcaTreeConfig};
 pub use srp::{SrpConfig, SrpLsh, SrpTables, SrpTablesConfig};

@@ -102,13 +102,8 @@ impl PcaTree {
         let mut nodes = Vec::new();
         let mut leaves = 0usize;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut builder = Builder {
-            points: &points,
-            cfg,
-            nodes: &mut nodes,
-            leaves: &mut leaves,
-            rng: &mut rng,
-        };
+        let mut builder =
+            Builder { points: &points, cfg, nodes: &mut nodes, leaves: &mut leaves, rng: &mut rng };
         let n = perm.len();
         builder.split(&mut perm, 0, n);
         Ok(Self { transform, nodes, perm, probes: probes.clone(), leaves })
@@ -256,12 +251,7 @@ impl Builder<'_> {
             *slot = *p;
         }
 
-        self.nodes.push(Node::Internal {
-            axis: axis.into_boxed_slice(),
-            split,
-            left: 0,
-            right: 0,
-        });
+        self.nodes.push(Node::Internal { axis: axis.into_boxed_slice(), split, left: 0, right: 0 });
         let left = self.split(perm, start, start + mid);
         let right = self.split(perm, start + mid, end);
         match &mut self.nodes[id as usize] {
@@ -417,8 +407,8 @@ mod tests {
     fn duplicate_points_build_and_answer() {
         let row = vec![1.0, 2.0, 3.0];
         let probes = VectorStore::from_rows(&vec![row.clone(); 100]).unwrap();
-        let tree = PcaTree::build(&probes, &PcaTreeConfig { leaf_size: 8, ..Default::default() })
-            .unwrap();
+        let tree =
+            PcaTree::build(&probes, &PcaTreeConfig { leaf_size: 8, ..Default::default() }).unwrap();
         // no split axis exists, everything collapses into one leaf
         assert_eq!(tree.leaves(), 1);
         let got = tree.query_top_k(&[1.0, 0.0, 0.0], 3, 1);
@@ -431,12 +421,14 @@ mod tests {
     #[test]
     fn config_validation() {
         let probes = fixture(10, 8);
-        assert!(PcaTree::build(&probes, &PcaTreeConfig { leaf_size: 0, ..Default::default() })
-            .is_err());
+        assert!(
+            PcaTree::build(&probes, &PcaTreeConfig { leaf_size: 0, ..Default::default() }).is_err()
+        );
         assert!(PcaTree::build(&probes, &PcaTreeConfig { power_iters: 0, ..Default::default() })
             .is_err());
-        assert!(PcaTree::build(&VectorStore::empty(10).unwrap(), &PcaTreeConfig::default())
-            .is_err());
+        assert!(
+            PcaTree::build(&VectorStore::empty(10).unwrap(), &PcaTreeConfig::default()).is_err()
+        );
     }
 
     #[test]

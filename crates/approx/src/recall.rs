@@ -35,14 +35,15 @@ pub fn topk_recall(truth: &TopKLists, got: &TopKLists, tol: f64) -> f64 {
 }
 
 /// Recall of a single query's approximate list against its true list.
-fn query_recall(truth: &[lemp_linalg::ScoredItem], got: &[lemp_linalg::ScoredItem], tol: f64) -> f64 {
+fn query_recall(
+    truth: &[lemp_linalg::ScoredItem],
+    got: &[lemp_linalg::ScoredItem],
+    tol: f64,
+) -> f64 {
     if truth.is_empty() {
         return 1.0;
     }
-    let kth = truth
-        .iter()
-        .map(|s| s.score)
-        .fold(f64::INFINITY, f64::min);
+    let kth = truth.iter().map(|s| s.score).fold(f64::INFINITY, f64::min);
     let hits = got.iter().filter(|s| s.score >= kth - tol).count().min(truth.len());
     hits as f64 / truth.len() as f64
 }
@@ -57,10 +58,8 @@ pub fn pair_recall(truth: &[Entry], got: &[Entry]) -> f64 {
     let mut got_pairs: Vec<(u32, u32)> = got.iter().map(|e| (e.query, e.probe)).collect();
     got_pairs.sort_unstable();
     got_pairs.dedup();
-    let hits = truth
-        .iter()
-        .filter(|e| got_pairs.binary_search(&(e.query, e.probe)).is_ok())
-        .count();
+    let hits =
+        truth.iter().filter(|e| got_pairs.binary_search(&(e.query, e.probe)).is_ok()).count();
     hits as f64 / truth.len() as f64
 }
 
@@ -73,10 +72,8 @@ pub fn pair_precision(truth: &[Entry], got: &[Entry]) -> f64 {
     }
     let mut truth_pairs: Vec<(u32, u32)> = truth.iter().map(|e| (e.query, e.probe)).collect();
     truth_pairs.sort_unstable();
-    let hits = got
-        .iter()
-        .filter(|e| truth_pairs.binary_search(&(e.query, e.probe)).is_ok())
-        .count();
+    let hits =
+        got.iter().filter(|e| truth_pairs.binary_search(&(e.query, e.probe)).is_ok()).count();
     hits as f64 / got.len() as f64
 }
 
@@ -91,11 +88,7 @@ mod tests {
 
     #[test]
     fn recall_of_truth_vs_itself_is_one() {
-        let truth = vec![
-            vec![item(0, 2.0), item(3, 1.5)],
-            vec![item(1, 0.9)],
-            vec![],
-        ];
+        let truth = vec![vec![item(0, 2.0), item(3, 1.5)], vec![item(1, 0.9)], vec![]];
         assert_eq!(topk_recall(&truth, &truth, 1e-9), 1.0);
     }
 

@@ -534,11 +534,8 @@ mod tests {
         let probes = fixture(10, 16);
         assert!(SrpTables::build(&probes, &SrpTablesConfig { tables: 0, ..Default::default() })
             .is_err());
-        assert!(SrpTables::build(
-            &probes,
-            &SrpTablesConfig { band_bits: 0, ..Default::default() }
-        )
-        .is_err());
+        assert!(SrpTables::build(&probes, &SrpTablesConfig { band_bits: 0, ..Default::default() })
+            .is_err());
         assert!(SrpTables::build(
             &probes,
             &SrpTablesConfig { band_bits: 33, ..Default::default() }

@@ -170,10 +170,7 @@ impl AlshTransform {
             });
         }
         if m == 0 || m > 10 {
-            return Err(ApproxError::InvalidParam {
-                name: "m",
-                requirement: "must lie in 1..=10",
-            });
+            return Err(ApproxError::InvalidParam { name: "m", requirement: "must lie in 1..=10" });
         }
         if probes.is_empty() {
             return Err(ApproxError::EmptyInput { context: "ALSH transform fit" });
@@ -252,10 +249,7 @@ mod tests {
             for j in 0..p.len() {
                 let orig = q.dot_between(i, &p, j);
                 let mapped = tq.dot_between(i, &tp, j);
-                assert!(
-                    (orig - mapped).abs() < 1e-12,
-                    "transform changed qᵀp: {orig} vs {mapped}"
-                );
+                assert!((orig - mapped).abs() < 1e-12, "transform changed qᵀp: {orig} vs {mapped}");
             }
         }
     }

@@ -11,8 +11,8 @@
 //!   scoring, only possibly missing members).
 
 use lemp_approx::{
-    kmeans, AlshTransform, KMeansConfig, MipsTransform, PcaTree, PcaTreeConfig, SrpConfig,
-    SrpLsh, SrpTables, SrpTablesConfig, XboxTransform,
+    kmeans, AlshTransform, KMeansConfig, MipsTransform, PcaTree, PcaTreeConfig, SrpConfig, SrpLsh,
+    SrpTables, SrpTablesConfig, XboxTransform,
 };
 use lemp_linalg::{kernels, TopK, VectorStore};
 use proptest::prelude::*;
@@ -21,11 +21,8 @@ use proptest::prelude::*;
 /// a range wide enough to create length skew.
 fn vector_set() -> impl Strategy<Value = VectorStore> {
     (1usize..=8).prop_flat_map(|dim| {
-        proptest::collection::vec(
-            proptest::collection::vec(-10.0f64..10.0, dim),
-            1..=40,
-        )
-        .prop_map(|rows| VectorStore::from_rows(&rows).expect("valid rows"))
+        proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, dim), 1..=40)
+            .prop_map(|rows| VectorStore::from_rows(&rows).expect("valid rows"))
     })
 }
 

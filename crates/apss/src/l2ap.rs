@@ -62,7 +62,13 @@ pub struct L2apScratch {
 impl L2apScratch {
     /// Scratch sized for an index over `n` vectors.
     pub fn new(n: usize) -> Self {
-        Self { acc: vec![0.0; n], stamp: vec![0; n], dead: vec![0; n], epoch: 0, touched: Vec::new() }
+        Self {
+            acc: vec![0.0; n],
+            stamp: vec![0; n],
+            dead: vec![0; n],
+            epoch: 0,
+            touched: Vec::new(),
+        }
     }
 
     /// Grows the scratch to serve an index over at least `n` vectors.
@@ -117,7 +123,11 @@ impl L2apIndex {
             let mut suffix_sq: f64 = x[split..].iter().map(|v| v * v).sum();
             for (f, &v) in x.iter().enumerate().skip(split) {
                 if v != 0.0 {
-                    lists[f].push(Posting { lid: i as u32, value: v, suffix: suffix_sq.max(0.0).sqrt() });
+                    lists[f].push(Posting {
+                        lid: i as u32,
+                        value: v,
+                        suffix: suffix_sq.max(0.0).sqrt(),
+                    });
                 }
                 suffix_sq -= v * v;
             }
@@ -194,9 +204,8 @@ impl L2apIndex {
                 scratch.acc[lid] = a;
                 // During-scan L2 bound: remaining indexed part plus the
                 // unindexed prefix cannot lift the pair to the threshold.
-                let suffix_after = (post.suffix * post.suffix - post.value * post.value)
-                    .max(0.0)
-                    .sqrt();
+                let suffix_after =
+                    (post.suffix * post.suffix - post.value * post.value).max(0.0).sqrt();
                 if a + rem_after * suffix_after + self.prefix_norm[lid] < threshold - 1e-9 {
                     scratch.dead[lid] = epoch;
                 }

@@ -128,11 +128,7 @@ mod tests {
         let out = cosine_self_join(&v, 1.0);
         // the three duplicates form all three pairs; rounding may place the
         // cosine a hair below 1.0, so compare against naive instead of 3
-        assert_eq!(
-            out.pairs.len(),
-            naive_self_join(&v, 1.0).len(),
-            "duplicate pairs lost"
-        );
+        assert_eq!(out.pairs.len(), naive_self_join(&v, 1.0).len(), "duplicate pairs lost");
         for &(_, _, sim) in &out.pairs {
             assert!(sim >= 1.0 - 1e-12);
         }

@@ -142,9 +142,7 @@ impl CoverTree {
                 // Pull a leaf up to become the new root (Izbicki–Shelton
                 // style), at a level high enough to cover the old root.
                 let leaf = self.detach_some_leaf(root);
-                let lvl = self
-                    .level_for(self.dist(leaf, root))
-                    .max(self.level[root as usize] + 1);
+                let lvl = self.level_for(self.dist(leaf, root)).max(self.level[root as usize] + 1);
                 self.level[leaf as usize] = lvl;
                 self.children[leaf as usize].push(root);
                 self.parent[root as usize] = leaf;
@@ -309,8 +307,7 @@ impl CoverTree {
         for (i, q) in queries.iter().enumerate() {
             row.clear();
             dots += self.query_above_into(q, theta, &mut row);
-            entries
-                .extend(row.iter().map(|&(j, v)| Entry { query: i as u32, probe: j, value: v }));
+            entries.extend(row.iter().map(|&(j, v)| Entry { query: i as u32, probe: j, value: v }));
         }
         let counters = RetrievalCounters {
             preprocess_ns: self.build_ns,

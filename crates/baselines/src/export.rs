@@ -179,15 +179,11 @@ pub fn read_topk_csv<R: Read>(reader: R) -> Result<TopKLists, ExportError> {
     Ok(lists)
 }
 
-fn parse<T: std::str::FromStr>(
-    field: &str,
-    line: usize,
-    name: &str,
-) -> Result<T, ExportError> {
-    field.trim().parse().map_err(|_| ExportError::Parse {
-        line,
-        message: format!("invalid {name}: `{field}`"),
-    })
+fn parse<T: std::str::FromStr>(field: &str, line: usize, name: &str) -> Result<T, ExportError> {
+    field
+        .trim()
+        .parse()
+        .map_err(|_| ExportError::Parse { line, message: format!("invalid {name}: `{field}`") })
 }
 
 #[cfg(test)]
@@ -288,10 +284,7 @@ mod tests {
     #[test]
     fn topk_rejects_wrong_field_count() {
         let text = format!("{TOPK_HEADER}\n0,1,5\n");
-        assert!(matches!(
-            read_topk_csv(text.as_bytes()),
-            Err(ExportError::Parse { line: 2, .. })
-        ));
+        assert!(matches!(read_topk_csv(text.as_bytes()), Err(ExportError::Parse { line: 2, .. })));
     }
 
     #[test]

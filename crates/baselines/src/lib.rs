@@ -22,15 +22,15 @@
 #![warn(missing_docs)]
 
 pub mod cover_tree;
-pub mod export;
 pub mod dual_tree;
+pub mod export;
 pub mod naive;
 pub mod ta;
 pub mod types;
 
 pub use cover_tree::CoverTree;
-pub use export::ExportError;
 pub use dual_tree::DualTree;
+pub use export::ExportError;
 pub use naive::Naive;
 pub use ta::TaIndex;
 pub use types::{Entry, RetrievalCounters, TopKLists};

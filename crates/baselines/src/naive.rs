@@ -114,18 +114,7 @@ mod tests {
         let pairs = crate::types::canonical_pairs(&entries);
         assert_eq!(
             pairs,
-            vec![
-                (0, 0),
-                (0, 1),
-                (1, 0),
-                (1, 1),
-                (2, 2),
-                (2, 3),
-                (2, 4),
-                (3, 2),
-                (3, 3),
-                (3, 4)
-            ]
+            vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (3, 4)]
         );
         assert_eq!(c.candidates, 20);
         assert_eq!(c.queries, 4);

@@ -137,7 +137,11 @@ impl TaIndex {
             }
             fr.rank as usize - 1
         };
-        Some(Frontier { contrib: qf * self.vals[f][next_rank], list: fr.list, rank: next_rank as u32 })
+        Some(Frontier {
+            contrib: qf * self.vals[f][next_rank],
+            list: fr.list,
+            rank: next_rank as u32,
+        })
     }
 
     /// Above-θ for a single query; appends `(probe_id, value)` pairs.
@@ -242,9 +246,7 @@ impl TaIndex {
         for (i, q) in queries.iter().enumerate() {
             row.clear();
             dots += self.query_above_into(q, theta, &mut seen, &mut row);
-            entries.extend(
-                row.iter().map(|&(j, v)| Entry { query: i as u32, probe: j, value: v }),
-            );
+            entries.extend(row.iter().map(|&(j, v)| Entry { query: i as u32, probe: j, value: v }));
         }
         let counters = RetrievalCounters {
             preprocess_ns: self.build_ns,

@@ -153,19 +153,13 @@ mod tests {
     #[test]
     fn topk_equivalence_tolerates_tied_id_swaps() {
         use lemp_linalg::ScoredItem;
-        let a = vec![vec![
-            ScoredItem { id: 0, score: 1.0 },
-            ScoredItem { id: 1, score: 0.5 },
-        ]];
+        let a = vec![vec![ScoredItem { id: 0, score: 1.0 }, ScoredItem { id: 1, score: 0.5 }]];
         let b = vec![vec![
             ScoredItem { id: 2, score: 1.0 }, // different id, same score: a tie swap
             ScoredItem { id: 1, score: 0.5 },
         ]];
         assert!(topk_equivalent(&a, &b, 1e-9));
-        let c = vec![vec![
-            ScoredItem { id: 0, score: 1.0 },
-            ScoredItem { id: 1, score: 0.4 },
-        ]];
+        let c = vec![vec![ScoredItem { id: 0, score: 1.0 }, ScoredItem { id: 1, score: 0.4 }]];
         assert!(!topk_equivalent(&a, &c, 1e-9));
         assert!(!topk_equivalent(&a, &vec![], 1e-9));
         assert!(!topk_equivalent(&a, &vec![vec![]], 1e-9));

@@ -5,10 +5,7 @@ use lemp_baselines::{CoverTree, DualTree, Naive, TaIndex};
 use lemp_linalg::VectorStore;
 use proptest::prelude::*;
 
-fn store_strategy(
-    n: std::ops::Range<usize>,
-    dim: usize,
-) -> impl Strategy<Value = VectorStore> {
+fn store_strategy(n: std::ops::Range<usize>, dim: usize) -> impl Strategy<Value = VectorStore> {
     proptest::collection::vec(proptest::collection::vec(-4.0f64..4.0, dim..=dim), n)
         .prop_map(|rows| VectorStore::from_rows(&rows).expect("finite rows"))
 }

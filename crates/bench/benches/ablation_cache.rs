@@ -14,7 +14,8 @@ fn bench_cache_policy(c: &mut Criterion) {
     for (ds, scale) in [(Dataset::Kdd, 0.002), (Dataset::IeSvdT, 0.002)] {
         let w = Workload::new(ds, scale, 42);
         let mut group = c.benchmark_group(format!("ablation_cache/{}", w.name));
-        for (label, cache_bytes) in [("aware", BucketPolicy::default().cache_bytes), ("oblivious", 0)]
+        for (label, cache_bytes) in
+            [("aware", BucketPolicy::default().cache_bytes), ("oblivious", 0)]
         {
             group.bench_with_input(
                 BenchmarkId::from_parameter(label),

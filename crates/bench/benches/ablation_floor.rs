@@ -19,11 +19,8 @@ fn bench_floor(c: &mut Criterion) {
         // Calibrate floors from the k-th score distribution of one plain run.
         let mut engine = Lemp::builder().variant(LempVariant::LI).build(&w.probes);
         let plain = engine.row_top_k(&w.queries, k);
-        let mut kth: Vec<f64> = plain
-            .lists
-            .iter()
-            .filter_map(|l| l.last().map(|i| i.score))
-            .collect();
+        let mut kth: Vec<f64> =
+            plain.lists.iter().filter_map(|l| l.last().map(|i| i.score)).collect();
         kth.sort_by(f64::total_cmp);
         if kth.is_empty() {
             continue;
@@ -38,8 +35,7 @@ fn bench_floor(c: &mut Criterion) {
         for (label, floor) in floors {
             group.bench_function(BenchmarkId::from_parameter(format!("prune/{label}")), |b| {
                 b.iter(|| {
-                    let mut engine =
-                        Lemp::builder().variant(LempVariant::LI).build(&w.probes);
+                    let mut engine = Lemp::builder().variant(LempVariant::LI).build(&w.probes);
                     engine.row_top_k_with_floor(&w.queries, k, floor)
                 });
             });
@@ -47,8 +43,7 @@ fn bench_floor(c: &mut Criterion) {
                 BenchmarkId::from_parameter(format!("post-filter/{label}")),
                 |b| {
                     b.iter(|| {
-                        let mut engine =
-                            Lemp::builder().variant(LempVariant::LI).build(&w.probes);
+                        let mut engine = Lemp::builder().variant(LempVariant::LI).build(&w.probes);
                         let mut out = engine.row_top_k(&w.queries, k);
                         for list in &mut out.lists {
                             list.retain(|i| i.score >= floor);

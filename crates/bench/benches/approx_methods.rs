@@ -9,9 +9,7 @@
 //! wins when queries are plentiful relative to clusters.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lemp_approx::{
-    centroid_row_top_k, CentroidConfig, PcaTree, PcaTreeConfig, SrpConfig, SrpLsh,
-};
+use lemp_approx::{centroid_row_top_k, CentroidConfig, PcaTree, PcaTreeConfig, SrpConfig, SrpLsh};
 use lemp_bench::workload::Workload;
 use lemp_core::{Lemp, LempVariant};
 use lemp_data::datasets::Dataset;

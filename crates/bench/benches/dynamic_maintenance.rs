@@ -29,8 +29,7 @@ fn bench_edits(c: &mut Criterion) {
     let mut group = c.benchmark_group(format!("dynamic_edits/{}", w.name));
 
     group.bench_function("insert+remove-pair", |b| {
-        let mut engine =
-            DynamicLemp::new(&w.probes, BucketPolicy::default(), RunConfig::default());
+        let mut engine = DynamicLemp::new(&w.probes, BucketPolicy::default(), RunConfig::default());
         let v = vec![0.25; engine.dim()];
         b.iter(|| {
             let id = engine.insert(&v).expect("valid vector");
@@ -39,8 +38,7 @@ fn bench_edits(c: &mut Criterion) {
     });
 
     group.bench_function("full-rebuild", |b| {
-        let mut engine =
-            DynamicLemp::new(&w.probes, BucketPolicy::default(), RunConfig::default());
+        let mut engine = DynamicLemp::new(&w.probes, BucketPolicy::default(), RunConfig::default());
         churn(&mut engine, 200);
         b.iter(|| engine.rebuild());
     });
@@ -53,16 +51,14 @@ fn bench_query_after_churn(c: &mut Criterion) {
     let mut group = c.benchmark_group(format!("dynamic_query/{}", w.name));
 
     group.bench_function("fragmented", |b| {
-        let mut engine =
-            DynamicLemp::new(&w.probes, BucketPolicy::default(), RunConfig::default());
+        let mut engine = DynamicLemp::new(&w.probes, BucketPolicy::default(), RunConfig::default());
         churn(&mut engine, 500);
         let _ = engine.row_top_k(&w.queries, 10); // warm indexes
         b.iter(|| engine.row_top_k(&w.queries, 10));
     });
 
     group.bench_function("compacted", |b| {
-        let mut engine =
-            DynamicLemp::new(&w.probes, BucketPolicy::default(), RunConfig::default());
+        let mut engine = DynamicLemp::new(&w.probes, BucketPolicy::default(), RunConfig::default());
         churn(&mut engine, 500);
         engine.rebuild();
         let _ = engine.row_top_k(&w.queries, 10);

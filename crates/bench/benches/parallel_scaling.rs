@@ -22,10 +22,8 @@ fn bench_threads(c: &mut Criterion) {
                 |b, &threads| {
                     // Build (and lazily index) once per thread count; measure
                     // retrieval only, as the paper's tables separate phases.
-                    let mut engine = Lemp::builder()
-                        .variant(LempVariant::LI)
-                        .threads(threads)
-                        .build(&w.probes);
+                    let mut engine =
+                        Lemp::builder().variant(LempVariant::LI).threads(threads).build(&w.probes);
                     let _ = engine.row_top_k(&w.queries, 10); // warm indexes
                     b.iter(|| engine.row_top_k(&w.queries, 10));
                 },

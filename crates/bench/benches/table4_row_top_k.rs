@@ -11,11 +11,9 @@ use lemp_bench::workload::Workload;
 use lemp_data::datasets::Dataset;
 
 fn bench_topk(c: &mut Criterion) {
-    for (ds, scale) in [
-        (Dataset::IeSvdT, 0.002),
-        (Dataset::IeNmfT, 0.002),
-        (Dataset::Netflix, 0.02),
-    ] {
+    for (ds, scale) in
+        [(Dataset::IeSvdT, 0.002), (Dataset::IeNmfT, 0.002), (Dataset::Netflix, 0.02)]
+    {
         let w = Workload::new(ds, scale, 42);
         for k in [1usize, 10] {
             let mut group = c.benchmark_group(format!("table4/{}/k{}", w.name, k));

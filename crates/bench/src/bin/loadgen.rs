@@ -1,0 +1,255 @@
+//! `loadgen` — drive a running `lemp serve` instance over real sockets and
+//! report throughput plus p50/p95/p99 latency.
+//!
+//! Usage:
+//! `loadgen addr=127.0.0.1:PORT [threads=4] [requests=200] [k=10] [qpr=2]
+//!  [seed=42] [theta=<f>] [verify-probes=<path>]`
+//!
+//! * `threads` client threads split `requests` total requests, each
+//!   carrying `qpr` query vectors (dimensionality is discovered from
+//!   `GET /healthz`).
+//! * By default requests are `POST /top-k` at the given `k`; passing
+//!   `theta=` switches to `POST /above-theta`.
+//! * With `verify-probes=` pointing at the matrix the server was booted
+//!   on, every top-k answer is checked against the naive baseline — the
+//!   acceptance gate for the serving layer — and any mismatch exits
+//!   non-zero.
+//! * `503` responses (load shedding) are counted, not retried.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use lemp_baselines::types::topk_equivalent;
+use lemp_baselines::Naive;
+use lemp_bench::report::Args;
+use lemp_data::synthetic::GeneratorConfig;
+use lemp_data::{io as mio, mm};
+use lemp_linalg::{ScoredItem, VectorStore};
+use lemp_serve::client;
+use lemp_serve::json::{obj, Json};
+
+fn load_matrix(path: &str) -> Result<VectorStore, String> {
+    let p = std::path::Path::new(path);
+    let result = match p.extension().and_then(|e| e.to_str()) {
+        Some("bin") => mio::read_binary(p),
+        Some("mtx") => mm::read_mm(p),
+        _ => mio::read_csv(p),
+    };
+    result.map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn queries_json(store: &VectorStore, lo: usize, hi: usize) -> Json {
+    Json::Arr(
+        (lo..hi)
+            .map(|i| Json::Arr(store.vector(i).iter().map(|&x| Json::Num(x)).collect()))
+            .collect(),
+    )
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((p / 100.0) * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[idx] as f64 / 1e6
+}
+
+/// Outcome of one request: latency (ok) or the failure class.
+enum Outcome {
+    Ok { ns: u64, lists: Vec<Vec<ScoredItem>> },
+    Shed,
+    Error(String),
+}
+
+fn main() {
+    let args = Args::parse();
+    let addr = args.get_str("addr", "");
+    if addr.is_empty() {
+        eprintln!("usage: loadgen addr=HOST:PORT [threads=4] [requests=200] [k=10] [qpr=2] [seed=42] [theta=<f>] [verify-probes=<path>]");
+        std::process::exit(2);
+    }
+    let threads = args.get_u64("threads", 4).max(1) as usize;
+    let requests = args.get_u64("requests", 200).max(1) as usize;
+    let k = args.get_u64("k", 10) as usize;
+    let qpr = args.get_u64("qpr", 2).max(1) as usize;
+    let seed = args.get_u64("seed", 42);
+    let theta = args.get_f64("theta", f64::NAN);
+    let above_mode = theta.is_finite();
+
+    // Discover the engine shape from the server itself.
+    let (status, health) = match client::get(&addr, "/healthz") {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: cannot reach {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if status != 200 {
+        eprintln!("loadgen: /healthz returned {status}: {health:?}");
+        std::process::exit(1);
+    }
+    let dim = health.get("dim").and_then(Json::as_u64).unwrap_or(0) as usize;
+    let probes_live = health.get("probes").and_then(Json::as_u64).unwrap_or(0);
+    if dim == 0 {
+        eprintln!("loadgen: server reports dimensionality 0");
+        std::process::exit(1);
+    }
+    eprintln!("loadgen: target {addr} | {probes_live} probes, r = {dim}");
+
+    let queries = GeneratorConfig::gaussian(requests * qpr, dim, 1.0).generate(seed);
+
+    // Fan out: `threads` workers split the request index space; every
+    // request is an independent HTTP exchange over its own socket.
+    let outcomes: Mutex<Vec<(usize, Outcome)>> = Mutex::new(Vec::with_capacity(requests));
+    let wall_start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let (queries, outcomes, addr) = (&queries, &outcomes, &addr);
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                let mut r = t;
+                while r < requests {
+                    let lo = r * qpr;
+                    let body = if above_mode {
+                        obj(vec![
+                            ("queries", queries_json(queries, lo, lo + qpr)),
+                            ("theta", Json::Num(theta)),
+                        ])
+                    } else {
+                        obj(vec![
+                            ("queries", queries_json(queries, lo, lo + qpr)),
+                            ("k", Json::Num(k as f64)),
+                        ])
+                    };
+                    let path = if above_mode { "/above-theta" } else { "/top-k" };
+                    let start = Instant::now();
+                    let outcome = match client::post(addr, path, &body) {
+                        Ok((200, reply)) => {
+                            let ns = start.elapsed().as_nanos() as u64;
+                            let lists = if above_mode {
+                                Vec::new()
+                            } else {
+                                match parse_lists(&reply) {
+                                    Ok(lists) => lists,
+                                    Err(e) => {
+                                        local.push((r, Outcome::Error(e)));
+                                        r += threads;
+                                        continue;
+                                    }
+                                }
+                            };
+                            Outcome::Ok { ns, lists }
+                        }
+                        Ok((503, _)) => Outcome::Shed,
+                        Ok((status, reply)) => Outcome::Error(format!("HTTP {status}: {reply:?}")),
+                        Err(e) => Outcome::Error(e.to_string()),
+                    };
+                    local.push((r, outcome));
+                    r += threads;
+                }
+                outcomes.lock().unwrap().append(&mut local);
+            });
+        }
+    });
+    let wall = wall_start.elapsed().as_secs_f64();
+
+    let outcomes = outcomes.into_inner().unwrap();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    let mut errors = 0usize;
+    let mut answers: Vec<(usize, Vec<Vec<ScoredItem>>)> = Vec::new();
+    for (r, outcome) in outcomes {
+        match outcome {
+            Outcome::Ok { ns, lists } => {
+                ok += 1;
+                latencies.push(ns);
+                answers.push((r, lists));
+            }
+            Outcome::Shed => shed += 1,
+            Outcome::Error(e) => {
+                errors += 1;
+                eprintln!("loadgen: request {r} failed: {e}");
+            }
+        }
+    }
+    latencies.sort_unstable();
+
+    println!(
+        "loadgen results ({} threads x {} requests, {} queries/request):",
+        threads, requests, qpr
+    );
+    println!("  ok         {ok}");
+    println!("  shed (503) {shed}");
+    println!("  errors     {errors}");
+    println!("  wall time  {wall:.3}s");
+    println!(
+        "  throughput {:.1} req/s | {:.1} queries/s",
+        ok as f64 / wall,
+        (ok * qpr) as f64 / wall
+    );
+    println!(
+        "  latency    p50 {:.3} ms | p95 {:.3} ms | p99 {:.3} ms",
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 95.0),
+        percentile(&latencies, 99.0)
+    );
+
+    // Optional exactness gate against the naive baseline.
+    let verify_path = args.get_str("verify-probes", "");
+    let mut mismatches = 0usize;
+    if !verify_path.is_empty() && !above_mode {
+        match load_matrix(&verify_path) {
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                std::process::exit(1);
+            }
+            Ok(probes) => {
+                let (expect, _) = Naive.row_top_k(&queries, &probes, k);
+                for (r, lists) in &answers {
+                    let lo = r * qpr;
+                    if !topk_equivalent(lists, &expect[lo..lo + qpr].to_vec(), 1e-9) {
+                        mismatches += 1;
+                        eprintln!("loadgen: request {r} diverges from the naive baseline");
+                    }
+                }
+                println!(
+                    "  verify     {} of {ok} answers checked against Naive, {mismatches} mismatches",
+                    answers.len()
+                );
+            }
+        }
+    }
+
+    if errors > 0 || mismatches > 0 || ok == 0 {
+        std::process::exit(1);
+    }
+}
+
+fn parse_lists(body: &Json) -> Result<Vec<Vec<ScoredItem>>, String> {
+    let lists = body
+        .get("lists")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "response misses \"lists\"".to_string())?;
+    lists
+        .iter()
+        .map(|list| {
+            list.as_arr()
+                .ok_or_else(|| "list is not an array".to_string())?
+                .iter()
+                .map(|item| {
+                    let id = item
+                        .get("id")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| "item misses \"id\"".to_string())?
+                        as usize;
+                    let score = item
+                        .get("score")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| "item misses \"score\"".to_string())?;
+                    Ok(ScoredItem { id, score })
+                })
+                .collect()
+        })
+        .collect()
+}

@@ -16,8 +16,7 @@ use lemp_data::datasets::Dataset;
 fn run(w: &Workload, cache_bytes: usize, k: usize) -> (usize, f64, f64) {
     let policy = BucketPolicy { cache_bytes, ..Default::default() };
     let start = std::time::Instant::now();
-    let mut engine =
-        Lemp::builder().variant(LempVariant::LI).policy(policy).build(&w.probes);
+    let mut engine = Lemp::builder().variant(LempVariant::LI).policy(policy).build(&w.probes);
     let out = engine.row_top_k(&w.queries, k);
     (
         out.stats.bucket_count,

@@ -40,12 +40,7 @@ fn main() {
             ("LEMP-LI (tuned t_b, φ_b)", LempVariant::LI, 50),
         ] {
             let (secs, cpq) = run_once(&w, variant, sample, k);
-            rows.push(vec![
-                w.name.clone(),
-                label.to_string(),
-                fmt_secs(secs),
-                format!("{cpq:.0}"),
-            ]);
+            rows.push(vec![w.name.clone(), label.to_string(), fmt_secs(secs), format!("{cpq:.0}")]);
         }
     }
     print_table(

@@ -13,9 +13,7 @@
 use std::time::Instant;
 
 use lemp_approx::recall::topk_recall;
-use lemp_approx::{
-    centroid_row_top_k, CentroidConfig, PcaTree, PcaTreeConfig, SrpConfig, SrpLsh,
-};
+use lemp_approx::{centroid_row_top_k, CentroidConfig, PcaTree, PcaTreeConfig, SrpConfig, SrpLsh};
 use lemp_bench::report::{fmt_secs, preamble, print_table, Args};
 use lemp_bench::workload::Workload;
 use lemp_core::{Lemp, LempVariant};
@@ -36,12 +34,7 @@ fn main() {
         let mut engine = Lemp::builder().variant(LempVariant::LI).build(&w.probes);
         let exact = engine.row_top_k(&w.queries, k);
         let exact_time = start.elapsed().as_secs_f64();
-        rows.push(vec![
-            "exact LEMP-LI".into(),
-            "—".into(),
-            fmt_secs(exact_time),
-            "1.0000".into(),
-        ]);
+        rows.push(vec!["exact LEMP-LI".into(), "—".into(), fmt_secs(exact_time), "1.0000".into()]);
 
         let start = Instant::now();
         let srp = SrpLsh::build(&w.probes, &SrpConfig { seed, ..Default::default() })
@@ -94,7 +87,12 @@ fn main() {
         }
 
         print_table(
-            &format!("{} — Row-Top-{k}, {} queries × {} probes", w.name, w.queries.len(), w.probes.len()),
+            &format!(
+                "{} — Row-Top-{k}, {} queries × {} probes",
+                w.name,
+                w.queries.len(),
+                w.probes.len()
+            ),
             &["method", "knob", "time", "recall"],
             &rows,
         );

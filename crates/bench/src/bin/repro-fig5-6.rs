@@ -12,10 +12,7 @@ use lemp_data::datasets::Dataset;
 
 fn speedup_row(ms: &[Measurement]) -> Vec<Vec<String>> {
     let lemp = ms.last().expect("LEMP runs last").total_s;
-    let best_other = ms[..ms.len() - 1]
-        .iter()
-        .map(|m| m.total_s)
-        .fold(f64::INFINITY, f64::min);
+    let best_other = ms[..ms.len() - 1].iter().map(|m| m.total_s).fold(f64::INFINITY, f64::min);
     ms.iter()
         .map(|m| {
             let note = if m.algo.starts_with("LEMP") {

@@ -26,10 +26,8 @@ fn main() {
         let w = Workload::new(ds, scale, seed);
         let mut base_retrieval = 0.0;
         for threads in [1usize, 2, 4, 8] {
-            let mut engine = Lemp::builder()
-                .variant(LempVariant::LI)
-                .threads(threads)
-                .build(&w.probes);
+            let mut engine =
+                Lemp::builder().variant(LempVariant::LI).threads(threads).build(&w.probes);
             let _ = engine.row_top_k(&w.queries, k); // build indexes once
             let start = Instant::now();
             let out = engine.row_top_k(&w.queries, k);

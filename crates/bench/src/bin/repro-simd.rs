@@ -81,11 +81,7 @@ fn main() {
         let lemp_secs = start.elapsed().as_secs_f64();
         simd::override_isa(prev);
         black_box((naive, lemp));
-        rows.push(vec![
-            format!("{isa:?}"),
-            fmt_secs(naive_secs),
-            fmt_secs(lemp_secs),
-        ]);
+        rows.push(vec![format!("{isa:?}"), fmt_secs(naive_secs), fmt_secs(lemp_secs)]);
     }
     print_table(
         &format!("end-to-end Row-Top-{k} on {} (both ISAs return identical results)", w.name),

@@ -22,8 +22,7 @@ fn main() {
         let q_cov = stats::cov(&w.queries.lengths());
         let p_cov = stats::cov(&w.probes.lengths());
         let nz = 100.0
-            * (stats::nonzero_fraction(w.queries.as_flat())
-                * w.queries.as_flat().len() as f64
+            * (stats::nonzero_fraction(w.queries.as_flat()) * w.queries.as_flat().len() as f64
                 + stats::nonzero_fraction(w.probes.as_flat()) * w.probes.as_flat().len() as f64)
             / (w.queries.as_flat().len() + w.probes.as_flat().len()) as f64;
         let naive = run_topk(Algo::Naive, &w, 1);

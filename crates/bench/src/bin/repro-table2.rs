@@ -35,8 +35,7 @@ fn main() {
 
         let mut engine = Lemp::builder().variant(LempVariant::LI).build(&w.probes);
         let out = engine.row_top_k(&w.queries, 10);
-        let lemp_s =
-            (out.stats.counters.preprocess_ns + out.stats.counters.tune_ns) as f64 / 1e9;
+        let lemp_s = (out.stats.counters.preprocess_ns + out.stats.counters.tune_ns) as f64 / 1e9;
 
         let t = Instant::now();
         let _ta = TaIndex::build(&w.probes);

@@ -62,7 +62,8 @@ impl Args {
         let values = std::env::args()
             .skip(1)
             .filter_map(|a| {
-                a.split_once('=').map(|(k, v)| (k.trim_start_matches('-').to_string(), v.to_string()))
+                a.split_once('=')
+                    .map(|(k, v)| (k.trim_start_matches('-').to_string(), v.to_string()))
             })
             .collect();
         Self { values }

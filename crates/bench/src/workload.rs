@@ -56,9 +56,13 @@ impl Workload {
             }
             last_target = target;
             let samples = 200_000.min(self.pairs().max(1));
-            let Some(theta) =
-                calibrate::sampled_theta(&self.queries, &self.probes, target, samples, seed + i as u64)
-            else {
+            let Some(theta) = calibrate::sampled_theta(
+                &self.queries,
+                &self.probes,
+                target,
+                samples,
+                seed + i as u64,
+            ) else {
                 continue;
             };
             out.push(RecallLevel { label: format!("@{}", fmt_count(target)), target, theta });

@@ -21,9 +21,7 @@
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use lemp_approx::{
-    centroid_row_top_k, CentroidConfig, PcaTree, PcaTreeConfig, SrpConfig, SrpLsh,
-};
+use lemp_approx::{centroid_row_top_k, CentroidConfig, PcaTree, PcaTreeConfig, SrpConfig, SrpLsh};
 use lemp_baselines::export;
 use lemp_baselines::types::TopKLists;
 use lemp_baselines::Naive;
@@ -44,10 +42,11 @@ pub const USAGE: &str = "usage:
   lemp-cli topn        <queries> <probes> n=<n> [chunk=<n>] [out=<path>]
   lemp-cli index       <probes> <engine-out> [variant=...]
   lemp-cli self-join   <matrix> t=<f> [out=<path>]
+  lemp-cli serve       <probes|engine.eng> [addr=127.0.0.1:0] [workers=<n>] [queue=<n>] [batch=<n>] [variant=...] [sample=<matrix>] [warm-k=<n>]
 
 matrix files by extension: .bin (lemp binary), .mtx (Matrix Market), otherwise CSV;
-`above`/`topk` accept a prebuilt engine image (from `index`) as the <probes> argument
-when its extension is .eng";
+`above`/`topk`/`serve` accept a prebuilt engine image (from `index`) as the <probes>
+argument when its extension is .eng";
 
 /// Entry point shared by the binary and the tests. `args` excludes the
 /// program name.
@@ -67,6 +66,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "topn" => global_top_n(args),
         "index" => index(args),
         "self-join" => self_join(args),
+        "serve" => serve(args),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -77,11 +77,7 @@ fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
 }
 
 /// Parses `key=value` with a default, reporting parse failures by key name.
-fn opt_parse<T: std::str::FromStr>(
-    args: &[String],
-    key: &str,
-    default: T,
-) -> Result<T, String> {
+fn opt_parse<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, String> {
     match opt(args, key) {
         None => Ok(default),
         Some(raw) => raw.parse().map_err(|_| format!("bad {key}: {raw:?}")),
@@ -204,7 +200,7 @@ fn retrieve(args: &[String], above: bool) -> Result<(), String> {
     let probes_path = positional(args, 1)?;
     let threads: usize = opt_parse(args, "threads", 1)?;
     let chunk: usize = opt_parse(args, "chunk", 0)?; // 0 = monolithic
-    // A prebuilt engine image skips preprocessing; a matrix builds fresh.
+                                                     // A prebuilt engine image skips preprocessing; a matrix builds fresh.
     let mut engine = if probes_path.ends_with(".eng") {
         Lemp::load(Path::new(probes_path))
             .map_err(|e| format!("cannot load engine {probes_path}: {e}"))?
@@ -241,9 +237,8 @@ fn retrieve(args: &[String], above: bool) -> Result<(), String> {
             (result.entries, result.stats)
         } else if chunk > 0 {
             let mut collected = Vec::new();
-            let stats = engine.above_theta_chunked(&queries, theta, chunk, |es| {
-                collected.extend_from_slice(es)
-            });
+            let stats = engine
+                .above_theta_chunked(&queries, theta, chunk, |es| collected.extend_from_slice(es));
             (collected, stats)
         } else {
             let result = engine.above_theta(&queries, theta);
@@ -319,9 +314,7 @@ fn approx_topk(args: &[String]) -> Result<(), String> {
             let clusters: usize = opt_parse(args, "clusters", 64)?;
             let expand: usize = opt_parse(args, "expand", 4)?;
             let cfg = CentroidConfig { clusters, expand, seed, ..Default::default() };
-            centroid_row_top_k(&queries, &probes, k, &cfg)
-                .map_err(|e| e.to_string())?
-                .lists
+            centroid_row_top_k(&queries, &probes, k, &cfg).map_err(|e| e.to_string())?.lists
         }
         other => return Err(format!("unknown method {other:?} (srp|pca|centroid)")),
     };
@@ -382,11 +375,7 @@ fn convert(args: &[String]) -> Result<(), String> {
     let mm_layout = opt(args, "mm-layout").unwrap_or("array");
     let store = load(input)?;
     write_store(&store, Path::new(output), mm_layout)?;
-    eprintln!(
-        "converted {input} -> {output} ({} vectors, r = {})",
-        store.len(),
-        store.dim()
-    );
+    eprintln!("converted {input} -> {output} ({} vectors, r = {})", store.len(), store.dim());
     Ok(())
 }
 
@@ -483,15 +472,87 @@ fn index(args: &[String]) -> Result<(), String> {
     }
     let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
     let engine = Lemp::builder().variant(variant).build(&probes);
-    engine
-        .save(Path::new(out))
-        .map_err(|e| format!("cannot write engine {out}: {e}"))?;
+    engine.save(Path::new(out)).map_err(|e| format!("cannot write engine {out}: {e}"))?;
     eprintln!(
         "indexed {} probes into {} buckets -> {out}",
         engine.buckets().total(),
         engine.buckets().bucket_count()
     );
     Ok(())
+}
+
+/// `serve`: boot the `lemp-serve` HTTP service over a probe matrix or a
+/// persisted engine image (the intended production input — `lemp index`
+/// once, then `lemp serve engine.eng` on every restart without repeating
+/// preprocessing). The engine is warmed before the socket starts
+/// accepting, so the first request already runs the shared `&self` path.
+fn serve(args: &[String]) -> Result<(), String> {
+    use lemp_core::{BucketPolicy, DynamicLemp, RunConfig, WarmGoal};
+    use lemp_serve::{ServeConfig, Server};
+
+    let probes_path = positional(args, 0)?;
+    let addr = opt(args, "addr").unwrap_or("127.0.0.1:0");
+    let workers: usize = opt_parse(args, "workers", 4)?;
+    let queue: usize = opt_parse(args, "queue", 64)?;
+    let batch: usize = opt_parse(args, "batch", 8)?;
+    let warm_k: usize = opt_parse(args, "warm-k", 10)?;
+
+    let mut engine = if probes_path.ends_with(".eng") {
+        let loaded = Lemp::load(Path::new(probes_path))
+            .map_err(|e| format!("cannot load engine {probes_path}: {e}"))?;
+        DynamicLemp::from_engine(loaded, BucketPolicy::default())
+    } else {
+        let probes = load(probes_path)?;
+        let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
+        let config = RunConfig { variant, ..Default::default() };
+        DynamicLemp::new(&probes, BucketPolicy::default(), config)
+    };
+    if engine.is_empty() {
+        return Err(format!("{probes_path} holds no probe vectors"));
+    }
+    // Request-level parallelism comes from the worker pool; per-call
+    // threading would oversubscribe the cores.
+    engine.set_threads(1);
+
+    // Warm on an explicit sample, or on the probe vectors themselves
+    // (drawn from the same latent space — a reasonable tuning stand-in).
+    let sample = match opt(args, "sample") {
+        Some(path) => {
+            let sample = load(path)?;
+            if sample.dim() != engine.dim() {
+                return Err(format!(
+                    "sample dimensionality {} does not match engine dimensionality {}",
+                    sample.dim(),
+                    engine.dim()
+                ));
+            }
+            sample
+        }
+        None => engine.live_vectors().1,
+    };
+    let report = engine.warm(&sample, WarmGoal::TopK(warm_k.max(1)));
+    eprintln!(
+        "warmed {} probes in {} buckets: {} indexes built in {:.3}s (tuning {:.3}s)",
+        engine.len(),
+        engine.bucket_count(),
+        report.indexes_built,
+        report.build_ns as f64 / 1e9,
+        report.tune_ns as f64 / 1e9,
+    );
+
+    let cfg = ServeConfig {
+        workers: workers.max(1),
+        queue_cap: queue.max(1),
+        batch_max: batch.max(1),
+        ..Default::default()
+    };
+    let server = Server::bind(addr, engine, cfg).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    // Scripts parse this line to discover the ephemeral port; flush so it
+    // is visible before the accept loop blocks.
+    println!("lemp-serve listening on {local}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    server.run().map_err(|e| format!("server failed: {e}"))
 }
 
 fn self_join(args: &[String]) -> Result<(), String> {
@@ -612,8 +673,7 @@ mod tests {
         write_csv_matrix(&p, &["2,0", "0,3", "1,1"]);
         let base = ["above", q.to_str().unwrap(), p.to_str().unwrap(), "theta=1.5"];
         run(&s(&[&base[..], &[&format!("out={}", out1.display())]].concat())).unwrap();
-        run(&s(&[&base[..], &[&format!("out={}", out2.display()), "chunk=1"]].concat()))
-            .unwrap();
+        run(&s(&[&base[..], &[&format!("out={}", out2.display()), "chunk=1"]].concat())).unwrap();
         assert_eq!(
             std::fs::read_to_string(&out1).unwrap(),
             std::fs::read_to_string(&out2).unwrap()
@@ -632,23 +692,13 @@ mod tests {
         write_csv_matrix(&csv, &["1,2.5", "-3,0"]);
         run(&s(&["convert", csv.to_str().unwrap(), bin.to_str().unwrap()])).unwrap();
         run(&s(&["convert", bin.to_str().unwrap(), mtx.to_str().unwrap()])).unwrap();
-        run(&s(&[
-            "convert",
-            mtx.to_str().unwrap(),
-            back.to_str().unwrap(),
-        ]))
-        .unwrap();
+        run(&s(&["convert", mtx.to_str().unwrap(), back.to_str().unwrap()])).unwrap();
         let a = mio::read_csv(&csv).unwrap();
         let b = mio::read_csv(&back).unwrap();
         assert_eq!(a, b);
         // coordinate layout as well
-        run(&s(&[
-            "convert",
-            csv.to_str().unwrap(),
-            mtx.to_str().unwrap(),
-            "mm-layout=coordinate",
-        ]))
-        .unwrap();
+        run(&s(&["convert", csv.to_str().unwrap(), mtx.to_str().unwrap(), "mm-layout=coordinate"]))
+            .unwrap();
         assert_eq!(mm::read_mm(&mtx).unwrap(), a);
         assert!(run(&s(&[
             "convert",
@@ -676,20 +726,9 @@ mod tests {
         ]))
         .unwrap();
         run(&s(&["stats", p.to_str().unwrap()])).unwrap();
-        run(&s(&[
-            "tune-report",
-            q.to_str().unwrap(),
-            p.to_str().unwrap(),
-            "k=3",
-        ]))
-        .unwrap();
+        run(&s(&["tune-report", q.to_str().unwrap(), p.to_str().unwrap(), "k=3"])).unwrap();
         // exactly one of theta/k
-        assert!(run(&s(&[
-            "tune-report",
-            q.to_str().unwrap(),
-            p.to_str().unwrap(),
-        ]))
-        .is_err());
+        assert!(run(&s(&["tune-report", q.to_str().unwrap(), p.to_str().unwrap(),])).is_err());
         assert!(run(&s(&[
             "tune-report",
             q.to_str().unwrap(),
@@ -840,8 +879,7 @@ mod tests {
         let p = temp("dim-p", "csv");
         write_csv_matrix(&q, &["1,2,3"]);
         write_csv_matrix(&p, &["1,2"]);
-        let err = run(&s(&["topk", q.to_str().unwrap(), p.to_str().unwrap(), "k=1"]))
-            .unwrap_err();
+        let err = run(&s(&["topk", q.to_str().unwrap(), p.to_str().unwrap(), "k=1"])).unwrap_err();
         assert!(err.contains("dimensionality mismatch"));
         for f in [&q, &p] {
             std::fs::remove_file(f).ok();
@@ -893,13 +931,8 @@ mod tests {
         let m = temp("sj", "csv");
         let out = temp("sj-out", "csv");
         write_csv_matrix(&m, &["1,0", "2,0", "0,1", "1,1"]);
-        run(&s(&[
-            "self-join",
-            m.to_str().unwrap(),
-            "t=0.99",
-            &format!("out={}", out.display()),
-        ]))
-        .unwrap();
+        run(&s(&["self-join", m.to_str().unwrap(), "t=0.99", &format!("out={}", out.display())]))
+            .unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines[0], "i,j,cosine");

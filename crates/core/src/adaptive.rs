@@ -41,12 +41,12 @@ use lemp_linalg::{kernels, TopK, VectorStore};
 
 use crate::algos::{MethodScratch, QueryCtx, Sink};
 use crate::bounds::{local_threshold, region_threshold};
-use crate::bucket::ProbeBuckets;
+use crate::bucket::{Bucket, ProbeBuckets};
 use crate::exec::{ensure_for, run_method, verify_above, verify_topk, BuildClock, RunConfig};
 use crate::query::QueryBatch;
 use crate::runner::{
-    emit_zero_bucket, max_bucket_len, theta_over_len, unpruned_prefix, AboveThetaOutput,
-    MethodMix, RunStats, TopKOutput,
+    emit_zero_bucket, max_bucket_len, theta_over_len, unpruned_prefix, AboveThetaOutput, MethodMix,
+    RunStats, TopKOutput,
 };
 use crate::tuner;
 use crate::variant::ResolvedMethod;
@@ -312,8 +312,7 @@ impl AdaptiveSelector {
                 let state = &self.states[b * self.bins + bin];
                 let lo = bin as f64 / self.bins as f64;
                 let hi = (bin + 1) as f64 / self.bins as f64;
-                let best_arm =
-                    if state.total_pulls == 0 { None } else { Some(state.exploit()) };
+                let best_arm = if state.total_pulls == 0 { None } else { Some(state.exploit()) };
                 bins.push(BinReport { lo, hi, arms: state.arms.clone(), best_arm });
             }
             buckets.push(bins);
@@ -349,12 +348,7 @@ pub struct AdaptiveReport {
 impl AdaptiveReport {
     /// Total pulls across all bandits (= (query, bucket) pairs served).
     pub fn total_pulls(&self) -> u64 {
-        self.buckets
-            .iter()
-            .flatten()
-            .flat_map(|bin| bin.arms.iter())
-            .map(|a| a.pulls)
-            .sum()
+        self.buckets.iter().flatten().flat_map(|bin| bin.arms.iter()).map(|a| a.pulls).sum()
     }
 }
 
@@ -362,7 +356,7 @@ impl AdaptiveReport {
 /// layouts; LENGTH needs none). The bandit warm-up pulls every arm at least
 /// once, so this is not speculative work.
 fn ensure_arm_indexes(
-    bucket: &mut crate::bucket::Bucket,
+    bucket: &mut Bucket,
     selector: &AdaptiveSelector,
     cfg: &RunConfig,
     clock: &mut BuildClock,
@@ -435,31 +429,21 @@ pub(crate) fn above_theta_adaptive_with(
         }
         ensure_arm_indexes(bucket, selector, cfg, &mut clock);
         let bucket = &buckets.buckets()[b];
-        scratch.ensure(bucket.len());
-        #[allow(clippy::needless_range_loop)] // qi indexes parallel arrays
-        for qi in 0..unpruned {
-            let qlen = batch.lengths[qi];
-            let th_b = region_threshold(theta, qlen, bucket.max_len, bucket.min_len);
-            let bin = selector.bin(local_threshold(theta, qlen, bucket.max_len));
-            let arm = selector.choose(b, bin);
-            let method = selector.method(arm);
-            mix.record(method);
-            let ctx = QueryCtx {
-                dir: batch.dirs.vector(qi),
-                len: qlen,
-                theta,
-                theta_over_len: tol[qi],
-                local_threshold: th_b,
-                scaled: queries.vector(batch.ids[qi] as usize),
-            };
-            let pull_start = Instant::now();
-            sink.clear();
-            let internal = run_method(method, &ctx, bucket, None, &mut scratch, &mut sink);
-            let (vdots, results) = verify_above(bucket, &ctx, &sink, batch.ids[qi], &mut entries);
-            selector.record(b, bin, arm, pull_start.elapsed().as_nanos() as u64);
-            counters.candidates += internal + vdots;
-            counters.results += results;
-        }
+        adaptive_above_bucket(
+            b,
+            bucket,
+            &batch,
+            queries,
+            theta,
+            &tol,
+            unpruned,
+            selector,
+            &mut scratch,
+            &mut sink,
+            &mut entries,
+            &mut counters,
+            &mut mix,
+        );
     }
 
     let retrieval_ns = (retrieval_start.elapsed().as_nanos() as u64).saturating_sub(clock.ns);
@@ -471,6 +455,118 @@ pub(crate) fn above_theta_adaptive_with(
             counters,
             bucket_count: nbuckets,
             indexes_built: clock.built,
+            method_mix: mix,
+        },
+    }
+}
+
+/// One bucket's Above-θ sweep with bandit arm choices (indexes already
+/// built). Shared by the lazy `&mut` driver and the warmed `&self` path.
+#[allow(clippy::too_many_arguments)]
+fn adaptive_above_bucket(
+    b: usize,
+    bucket: &Bucket,
+    batch: &QueryBatch,
+    queries: &VectorStore,
+    theta: f64,
+    tol: &[f64],
+    unpruned: usize,
+    selector: &mut AdaptiveSelector,
+    scratch: &mut MethodScratch,
+    sink: &mut Sink,
+    entries: &mut Vec<Entry>,
+    counters: &mut RetrievalCounters,
+    mix: &mut MethodMix,
+) {
+    scratch.ensure(bucket.len());
+    #[allow(clippy::needless_range_loop)] // qi indexes parallel arrays
+    for qi in 0..unpruned {
+        let qlen = batch.lengths[qi];
+        let th_b = region_threshold(theta, qlen, bucket.max_len, bucket.min_len);
+        let bin = selector.bin(local_threshold(theta, qlen, bucket.max_len));
+        let arm = selector.choose(b, bin);
+        let method = selector.method(arm);
+        mix.record(method);
+        let ctx = QueryCtx {
+            dir: batch.dirs.vector(qi),
+            len: qlen,
+            theta,
+            theta_over_len: tol[qi],
+            local_threshold: th_b,
+            scaled: queries.vector(batch.ids[qi] as usize),
+        };
+        let pull_start = Instant::now();
+        sink.clear();
+        let internal = run_method(method, &ctx, bucket, None, scratch, sink);
+        let (vdots, results) = verify_above(bucket, &ctx, sink, batch.ids[qi], entries);
+        selector.record(b, bin, arm, pull_start.elapsed().as_nanos() as u64);
+        counters.candidates += internal + vdots;
+        counters.results += results;
+    }
+}
+
+/// [`above_theta_adaptive_with`] over a **warmed** engine: both sorted-list
+/// layouts exist in every bucket, so the buckets are only read — the
+/// `&self`-shareable adaptive path (the learning state lives in the
+/// caller's selector).
+pub(crate) fn above_theta_adaptive_prepared(
+    buckets: &ProbeBuckets,
+    queries: &VectorStore,
+    theta: f64,
+    selector: &mut AdaptiveSelector,
+    scratch: &mut MethodScratch,
+) -> AboveThetaOutput {
+    assert_eq!(queries.dim(), buckets.dim(), "query/probe dimensionality mismatch");
+    assert_eq!(
+        selector.bucket_count(),
+        buckets.bucket_count(),
+        "selector sized for a different bucketization"
+    );
+    let prep_start = Instant::now();
+    let batch = QueryBatch::build(queries);
+    let tol: Vec<f64> = batch.lengths.iter().map(|&l| theta_over_len(theta, l)).collect();
+    let batch_prep_ns = prep_start.elapsed().as_nanos() as u64;
+
+    let retrieval_start = Instant::now();
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut counters = RetrievalCounters { queries: queries.len() as u64, ..Default::default() };
+    let mut mix = MethodMix::default();
+    let mut sink = Sink::default();
+
+    for (b, bucket) in buckets.buckets().iter().enumerate() {
+        let unpruned = unpruned_prefix(&batch, theta, bucket.max_len);
+        if unpruned == 0 {
+            break; // later buckets are shorter: pruned for every query
+        }
+        if bucket.max_len <= 0.0 {
+            emit_zero_bucket(bucket, &batch, 0, unpruned, &mut entries, &mut counters);
+            continue;
+        }
+        adaptive_above_bucket(
+            b,
+            bucket,
+            &batch,
+            queries,
+            theta,
+            &tol,
+            unpruned,
+            selector,
+            scratch,
+            &mut sink,
+            &mut entries,
+            &mut counters,
+            &mut mix,
+        );
+    }
+
+    counters.preprocess_ns = batch_prep_ns;
+    counters.retrieval_ns = retrieval_start.elapsed().as_nanos() as u64;
+    AboveThetaOutput {
+        entries,
+        stats: RunStats {
+            counters,
+            bucket_count: buckets.bucket_count(),
+            indexes_built: 0,
             method_mix: mix,
         },
     }
@@ -540,53 +636,18 @@ pub(crate) fn row_top_k_adaptive_with(
                 ensure_arm_indexes(bucket, selector, cfg, &mut clock);
             }
             // The sweep itself (Sec. 4.5 driver with bandit arm choices).
-            top.clear();
-            let mut need = k;
-            seed_counts.clear();
-            seed_counts.resize(buckets.bucket_count(), 0);
-            'seed: for (b, bucket) in buckets.buckets().iter().enumerate() {
-                for lid in 0..bucket.len() {
-                    if need == 0 {
-                        break 'seed;
-                    }
-                    let v = kernels::dot(dir, bucket.origs.vector(lid));
-                    counters.candidates += 1;
-                    top.push(bucket.ids[lid] as usize, v);
-                    seed_counts[b] += 1;
-                    need -= 1;
-                }
-            }
-            let mut theta = top.threshold();
-            for (b, bucket) in buckets.buckets().iter().enumerate() {
-                if local_threshold(theta, 1.0, bucket.max_len) > 1.0 + 1e-12 {
-                    break;
-                }
-                if bucket.max_len <= 0.0 {
-                    continue;
-                }
-                scratch.ensure(bucket.len());
-                let th_b = region_threshold(theta, 1.0, bucket.max_len, bucket.min_len);
-                let bin = selector.bin(local_threshold(theta, 1.0, bucket.max_len));
-                let arm = selector.choose(b, bin);
-                let method = selector.method(arm);
-                mix.record(method);
-                let ctx = QueryCtx {
-                    dir,
-                    len: 1.0,
-                    theta,
-                    theta_over_len: theta,
-                    local_threshold: th_b,
-                    scaled: dir,
-                };
-                let pull_start = Instant::now();
-                sink.clear();
-                let internal = run_method(method, &ctx, bucket, None, &mut scratch, &mut sink);
-                let vdots = verify_topk(bucket, &ctx, &sink, seed_counts[b], &mut top);
-                selector.record(b, bin, arm, pull_start.elapsed().as_nanos() as u64);
-                counters.candidates += internal + vdots;
-                theta = top.threshold();
-            }
-            let mut list = top.drain_sorted();
+            let mut list = adaptive_topk_one(
+                buckets.buckets(),
+                dir,
+                k,
+                selector,
+                &mut scratch,
+                &mut sink,
+                &mut top,
+                &mut seed_counts,
+                &mut counters,
+                &mut mix,
+            );
             for item in &mut list {
                 item.score *= batch.lengths[qi];
             }
@@ -604,6 +665,132 @@ pub(crate) fn row_top_k_adaptive_with(
             counters,
             bucket_count: buckets.bucket_count(),
             indexes_built: clock.built,
+            method_mix: mix,
+        },
+    }
+}
+
+/// One Row-Top-k query with bandit arm choices over pre-built buckets
+/// (Sec. 4.5 driver). Returns the top-k list at the `‖q‖ = 1` scale.
+#[allow(clippy::too_many_arguments)]
+fn adaptive_topk_one(
+    buckets: &[Bucket],
+    dir: &[f64],
+    k: usize,
+    selector: &mut AdaptiveSelector,
+    scratch: &mut MethodScratch,
+    sink: &mut Sink,
+    top: &mut TopK,
+    seed_counts: &mut Vec<usize>,
+    counters: &mut RetrievalCounters,
+    mix: &mut MethodMix,
+) -> Vec<lemp_linalg::ScoredItem> {
+    top.clear();
+    let mut need = k;
+    seed_counts.clear();
+    seed_counts.resize(buckets.len(), 0);
+    'seed: for (b, bucket) in buckets.iter().enumerate() {
+        for lid in 0..bucket.len() {
+            if need == 0 {
+                break 'seed;
+            }
+            let v = kernels::dot(dir, bucket.origs.vector(lid));
+            counters.candidates += 1;
+            top.push(bucket.ids[lid] as usize, v);
+            seed_counts[b] += 1;
+            need -= 1;
+        }
+    }
+    let mut theta = top.threshold();
+    for (b, bucket) in buckets.iter().enumerate() {
+        if local_threshold(theta, 1.0, bucket.max_len) > 1.0 + 1e-12 {
+            break;
+        }
+        if bucket.max_len <= 0.0 {
+            continue;
+        }
+        scratch.ensure(bucket.len());
+        let th_b = region_threshold(theta, 1.0, bucket.max_len, bucket.min_len);
+        let bin = selector.bin(local_threshold(theta, 1.0, bucket.max_len));
+        let arm = selector.choose(b, bin);
+        let method = selector.method(arm);
+        mix.record(method);
+        let ctx = QueryCtx {
+            dir,
+            len: 1.0,
+            theta,
+            theta_over_len: theta,
+            local_threshold: th_b,
+            scaled: dir,
+        };
+        let pull_start = Instant::now();
+        sink.clear();
+        let internal = run_method(method, &ctx, bucket, None, scratch, sink);
+        let vdots = verify_topk(bucket, &ctx, sink, seed_counts[b], top);
+        selector.record(b, bin, arm, pull_start.elapsed().as_nanos() as u64);
+        counters.candidates += internal + vdots;
+        theta = top.threshold();
+    }
+    top.drain_sorted()
+}
+
+/// [`row_top_k_adaptive_with`] over a **warmed** engine (see
+/// [`above_theta_adaptive_prepared`]).
+pub(crate) fn row_top_k_adaptive_prepared(
+    buckets: &ProbeBuckets,
+    queries: &VectorStore,
+    k: usize,
+    selector: &mut AdaptiveSelector,
+    scratch: &mut MethodScratch,
+) -> TopKOutput {
+    assert_eq!(queries.dim(), buckets.dim(), "query/probe dimensionality mismatch");
+    assert_eq!(
+        selector.bucket_count(),
+        buckets.bucket_count(),
+        "selector sized for a different bucketization"
+    );
+    let prep_start = Instant::now();
+    let batch = QueryBatch::build(queries);
+    let batch_prep_ns = prep_start.elapsed().as_nanos() as u64;
+
+    let retrieval_start = Instant::now();
+    let mut lists: Vec<Vec<lemp_linalg::ScoredItem>> = vec![Vec::new(); queries.len()];
+    let mut counters = RetrievalCounters { queries: queries.len() as u64, ..Default::default() };
+    let mut mix = MethodMix::default();
+    let mut sink = Sink::default();
+    let mut top = TopK::new(k);
+    let mut seed_counts: Vec<usize> = Vec::new();
+
+    if k > 0 && !batch.is_empty() && buckets.bucket_count() > 0 {
+        for qi in 0..batch.len() {
+            let mut list = adaptive_topk_one(
+                buckets.buckets(),
+                batch.dirs.vector(qi),
+                k,
+                selector,
+                scratch,
+                &mut sink,
+                &mut top,
+                &mut seed_counts,
+                &mut counters,
+                &mut mix,
+            );
+            for item in &mut list {
+                item.score *= batch.lengths[qi];
+            }
+            lists[batch.ids[qi] as usize] = list;
+        }
+    }
+
+    counters.results = lists.iter().map(|l| l.len() as u64).sum();
+    counters.preprocess_ns = batch_prep_ns;
+    counters.retrieval_ns = retrieval_start.elapsed().as_nanos() as u64;
+    TopKOutput {
+        lists,
+        stats: RunStats {
+            counters,
+            bucket_count: buckets.bucket_count(),
+            indexes_built: 0,
             method_mix: mix,
         },
     }
@@ -725,21 +912,14 @@ mod tests {
         assert_eq!(sel.method(0), ResolvedMethod::Length);
         assert_eq!(sel.method(1), ResolvedMethod::Coord(1)); // Appendix A
         assert_eq!(sel.method(2), ResolvedMethod::Incr(2));
-        let sel = AdaptiveSelector::new(
-            AdaptiveConfig { use_incr: false, ..Default::default() },
-            1,
-            10,
-        );
+        let sel =
+            AdaptiveSelector::new(AdaptiveConfig { use_incr: false, ..Default::default() }, 1, 10);
         assert_eq!(sel.method(3), ResolvedMethod::Coord(3));
     }
 
     #[test]
     fn max_phi_is_capped_by_dimensionality() {
-        let sel = AdaptiveSelector::new(
-            AdaptiveConfig { max_phi: 50, ..Default::default() },
-            1,
-            3,
-        );
+        let sel = AdaptiveSelector::new(AdaptiveConfig { max_phi: 50, ..Default::default() }, 1, 3);
         assert_eq!(sel.arm_count(), 4); // LENGTH + φ ∈ {1, 2, 3}
     }
 

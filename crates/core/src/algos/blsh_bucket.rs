@@ -101,7 +101,8 @@ mod tests {
     #[test]
     fn recall_stays_within_epsilon_budget() {
         let store = GeneratorConfig::gaussian(800, 16, 0.3).generate(91);
-        let policy = BucketPolicy { min_bucket: store.len(), length_ratio: 0.1, ..Default::default() };
+        let policy =
+            BucketPolicy { min_bucket: store.len(), length_ratio: 0.1, ..Default::default() };
         let mut pb = ProbeBuckets::build(&store, &policy);
         let bucket = &mut pb.buckets_mut()[0];
         bucket.ensure_blsh(32, 7);
@@ -142,7 +143,8 @@ mod tests {
     #[test]
     fn pruning_is_no_stronger_than_length_and_no_weaker_than_empty() {
         let store = GeneratorConfig::gaussian(300, 12, 0.4).generate(92);
-        let policy = BucketPolicy { min_bucket: store.len(), length_ratio: 0.1, ..Default::default() };
+        let policy =
+            BucketPolicy { min_bucket: store.len(), length_ratio: 0.1, ..Default::default() };
         let mut pb = ProbeBuckets::build(&store, &policy);
         let bucket = &mut pb.buckets_mut()[0];
         bucket.ensure_blsh(32, 9);

@@ -82,11 +82,8 @@ mod tests {
             [0.58, 0.50, 0.40, 0.50],
             [0.30, -0.40, 0.81, -0.30],
         ];
-        let rows: Vec<Vec<f64>> = lens
-            .iter()
-            .zip(dirs.iter())
-            .map(|(&l, d)| d.iter().map(|x| x * l).collect())
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            lens.iter().zip(dirs.iter()).map(|(&l, d)| d.iter().map(|x| x * l).collect()).collect();
         VectorStore::from_rows(&rows).unwrap()
     }
 

@@ -97,11 +97,8 @@ mod tests {
             [0.58, 0.50, 0.40, 0.50],
             [0.30, -0.40, 0.81, -0.30],
         ];
-        let rows: Vec<Vec<f64>> = lens
-            .iter()
-            .zip(dirs.iter())
-            .map(|(&l, d)| d.iter().map(|x| x * l).collect())
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            lens.iter().zip(dirs.iter()).map(|(&l, d)| d.iter().map(|x| x * l).collect()).collect();
         VectorStore::from_rows(&rows).unwrap()
     }
 
@@ -208,7 +205,14 @@ mod tests {
         };
         for phi in 2..=5 {
             let mut s_incr = Sink::default();
-            run(&ctx, bucket, bucket.indexes.incr.as_ref().unwrap(), phi, &mut scratch, &mut s_incr);
+            run(
+                &ctx,
+                bucket,
+                bucket.indexes.incr.as_ref().unwrap(),
+                phi,
+                &mut scratch,
+                &mut s_incr,
+            );
             let mut s_coord = Sink::default();
             super::super::coord::run(
                 &ctx,

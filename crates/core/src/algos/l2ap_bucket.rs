@@ -44,7 +44,8 @@ mod tests {
     #[test]
     fn candidates_are_superset_of_true_results() {
         let store = GeneratorConfig::gaussian(200, 8, 0.4).generate(81);
-        let policy = BucketPolicy { min_bucket: store.len(), length_ratio: 0.1, ..Default::default() };
+        let policy =
+            BucketPolicy { min_bucket: store.len(), length_ratio: 0.1, ..Default::default() };
         let mut pb = ProbeBuckets::build(&store, &policy);
         let bucket = &mut pb.buckets_mut()[0];
         let queries = GeneratorConfig::gaussian(25, 8, 0.4).generate(82);
@@ -85,7 +86,8 @@ mod tests {
     #[test]
     fn below_index_threshold_falls_back_to_length() {
         let store = GeneratorConfig::gaussian(100, 6, 0.2).generate(83);
-        let policy = BucketPolicy { min_bucket: store.len(), length_ratio: 0.1, ..Default::default() };
+        let policy =
+            BucketPolicy { min_bucket: store.len(), length_ratio: 0.1, ..Default::default() };
         let mut pb = ProbeBuckets::build(&store, &policy);
         let bucket = &mut pb.buckets_mut()[0];
         bucket.ensure_l2ap(0.5);

@@ -38,7 +38,8 @@ mod tests {
     #[test]
     fn adapter_finds_exactly_the_qualifying_vectors() {
         let store = GeneratorConfig::gaussian(200, 6, 0.8).generate(71);
-        let policy = BucketPolicy { min_bucket: store.len(), length_ratio: 0.1, ..Default::default() };
+        let policy =
+            BucketPolicy { min_bucket: store.len(), length_ratio: 0.1, ..Default::default() };
         let mut pb = ProbeBuckets::build(&store, &policy);
         let bucket = &mut pb.buckets_mut()[0];
         bucket.ensure_tree(1.3);

@@ -400,7 +400,8 @@ mod tests {
     fn bucketization_invariants_hold() {
         for cov in [0.1, 0.5, 2.0, 5.0] {
             let store = probes(500, cov, 42);
-            let policy = BucketPolicy { min_bucket: 10, cache_bytes: 64 << 10, ..Default::default() };
+            let policy =
+                BucketPolicy { min_bucket: 10, cache_bytes: 64 << 10, ..Default::default() };
             let pb = ProbeBuckets::build(&store, &policy);
             check_invariants(&pb, &store, &policy);
         }
@@ -422,11 +423,7 @@ mod tests {
         let pb = ProbeBuckets::build(&store, &policy);
         for b in pb.buckets() {
             let lo = b.lengths.last().unwrap();
-            assert!(
-                b.max_len / lo < 2.0,
-                "bucket mixes lengths {} and {lo}",
-                b.max_len
-            );
+            assert!(b.max_len / lo < 2.0, "bucket mixes lengths {} and {lo}", b.max_len);
         }
     }
 

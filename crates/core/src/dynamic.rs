@@ -38,10 +38,13 @@
 
 use lemp_linalg::{kernels, LinalgError, VectorStore};
 
+use crate::algos::MethodScratch;
 use crate::bucket::{Bucket, BucketPolicy, ProbeBuckets};
-use crate::exec::RunConfig;
+use crate::exec::{BuildClock, RunConfig};
 use crate::persist::PersistError;
 use crate::runner::{self, AboveThetaOutput, TopKOutput};
+use crate::variant::TunedParams;
+use crate::{Lemp, WarmGoal, WarmReport, WarmState};
 
 /// A LEMP engine over a mutable probe set.
 ///
@@ -76,6 +79,9 @@ pub struct DynamicLemp {
     id_len: Vec<f64>,
     alive: Vec<bool>,
     live: usize,
+    /// Warm-query state ([`DynamicLemp::warm`]); edits keep it consistent
+    /// by rebuilding the touched bucket's indexes inside the edit.
+    warm: Option<WarmState>,
 }
 
 impl DynamicLemp {
@@ -85,7 +91,91 @@ impl DynamicLemp {
         let id_len = probes.lengths();
         let alive = vec![true; probes.len()];
         let live = probes.len();
-        Self { policy, config, buckets, id_len, alive, live }
+        Self { policy, config, buckets, id_len, alive, live, warm: None }
+    }
+
+    /// Wraps a prebuilt static engine (e.g. one loaded from a persisted
+    /// image, see [`Lemp::load`]) as a dynamic engine: the preprocessed
+    /// buckets and run configuration are taken over as-is, bucket ids
+    /// become the stable ids, and `policy` governs future edits. This is
+    /// how `lemp serve` turns a persisted engine into a servable one.
+    pub fn from_engine(engine: Lemp, policy: BucketPolicy) -> Self {
+        let (buckets, config) = engine.into_parts();
+        let watermark = buckets
+            .buckets()
+            .iter()
+            .flat_map(|b| b.ids.iter())
+            .map(|&id| id as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut id_len = vec![0.0f64; watermark];
+        let mut alive = vec![false; watermark];
+        for bucket in buckets.buckets() {
+            for (lid, &id) in bucket.ids.iter().enumerate() {
+                alive[id as usize] = true;
+                id_len[id as usize] = bucket.lengths[lid];
+            }
+        }
+        let live = alive.iter().filter(|&&a| a).count();
+        Self { policy, config, buckets, id_len, alive, live, warm: None }
+    }
+
+    /// Overrides the retrieval worker-thread count (services pick their
+    /// own threading model regardless of what a persisted image recorded).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads.max(1);
+    }
+
+    /// **Warms the engine for shared (`&self`) querying**, exactly like
+    /// [`Lemp::warm`]: tunes per-bucket parameters on `sample` and
+    /// force-builds every bucket's indexes. Unlike the static engine,
+    /// subsequent [`DynamicLemp::insert`]/[`DynamicLemp::remove`] calls
+    /// *keep* the engine warm: the touched bucket's indexes are rebuilt
+    /// inside the edit (under the caller's write exclusivity), so readers
+    /// sharing `&self` never observe a missing index.
+    ///
+    /// # Panics
+    /// If the sample dimensionality differs from the probe dimensionality.
+    pub fn warm(&mut self, sample: &VectorStore, goal: WarmGoal) -> WarmReport {
+        let (state, report) = WarmState::build(&mut self.buckets, &self.config, sample, goal);
+        self.warm = Some(state);
+        report
+    }
+
+    /// Whether the engine is warm (the `*_shared` methods are usable).
+    pub fn is_warm(&self) -> bool {
+        self.warm.is_some()
+    }
+
+    /// A [`MethodScratch`] sized for the current largest bucket (one per
+    /// querying thread). Scratch grows on demand, so it stays valid as
+    /// edits reshape the buckets.
+    pub fn make_scratch(&self) -> MethodScratch {
+        MethodScratch::new(runner::max_bucket_len(&self.buckets))
+    }
+
+    fn warm_state(&self, caller: &str) -> &WarmState {
+        self.warm.as_ref().unwrap_or_else(|| {
+            panic!("{caller} requires a warmed engine: call DynamicLemp::warm first")
+        })
+    }
+
+    /// Rebuilds the indexes of bucket `b` so the warm invariant (every
+    /// bucket fully indexed) survives an edit that dropped them.
+    fn rewarm_bucket(&mut self, b: usize) {
+        let params = match &self.warm {
+            Some(w) => w.per_bucket[b],
+            None => return,
+        };
+        let mut clock = BuildClock::default();
+        let seed = runner::cfg_seed(&self.config, b);
+        runner::warm_bucket(
+            &mut self.buckets.buckets_vec_mut()[b],
+            &params,
+            &self.config,
+            seed,
+            &mut clock,
+        );
     }
 
     /// Number of live probe vectors.
@@ -141,18 +231,18 @@ impl DynamicLemp {
         // Buckets partition the length axis in decreasing order; `pp` is the
         // count of buckets whose range lies fully above `len`.
         let pp = buckets.partition_point(|b| b.max_len >= len);
-        let target = if buckets.is_empty() {
+        let (target, created) = if buckets.is_empty() {
             buckets.push(singleton(id, v));
-            0
+            (0, true)
         } else if pp == 0 {
             // Longer than every existing vector: join the front bucket if
             // the ratio rule tolerates stretching it, else open a new one.
             if buckets[0].min_len >= len * ratio || buckets[0].len() < min_bucket {
                 buckets[0].insert_sorted(id, v, len);
-                0
+                (0, false)
             } else {
                 buckets.insert(0, singleton(id, v));
-                0
+                (0, true)
             }
         } else {
             let cand = pp - 1; // last bucket with max_len ≥ len
@@ -160,30 +250,49 @@ impl DynamicLemp {
                 // Strictly inside the candidate's range: forced (the only
                 // placement that keeps the length axis partitioned).
                 buckets[cand].insert_sorted(id, v, len);
-                cand
-            } else if len >= buckets[cand].max_len * ratio
-                || buckets[cand].len() < min_bucket
-            {
+                (cand, false)
+            } else if len >= buckets[cand].max_len * ratio || buckets[cand].len() < min_bucket {
                 // At/below the candidate's bottom but within its ratio
                 // window (or the candidate is undersized): absorb, exactly
                 // like the static bucketization's greedy scan.
                 buckets[cand].insert_sorted(id, v, len);
-                cand
+                (cand, false)
             } else if cand + 1 < buckets.len() && buckets[cand + 1].min_len >= len * ratio {
                 // The next (shorter) bucket can take it as its new maximum
                 // without breaking its own ratio window.
                 buckets[cand + 1].insert_sorted(id, v, len);
-                cand + 1
+                (cand + 1, false)
             } else {
                 buckets.insert(cand + 1, singleton(id, v));
-                cand + 1
+                (cand + 1, true)
             }
         };
         // Cache cap: split an overgrown bucket in half (both keep order).
         let cap = self.policy.max_bucket(dim);
-        if buckets[target].len() > cap {
+        let split = buckets[target].len() > cap;
+        if split {
             let tail = buckets[target].split_off_tail();
             buckets.insert(target + 1, tail);
+        }
+
+        // Keep the warm state aligned and the warm invariant (all buckets
+        // fully indexed) intact: the edit dropped the touched buckets'
+        // indexes, so rebuild them now, while the caller holds exclusive
+        // access.
+        if let Some(w) = &mut self.warm {
+            if created {
+                w.per_bucket.insert(target, TunedParams::default());
+            }
+            if split {
+                let params = w.per_bucket[target];
+                w.per_bucket.insert(target + 1, params);
+            }
+        }
+        if self.warm.is_some() {
+            self.rewarm_bucket(target);
+            if split {
+                self.rewarm_bucket(target + 1);
+            }
         }
 
         self.id_len.push(len);
@@ -215,8 +324,17 @@ impl DynamicLemp {
         }
         let (bi, lid) = found.expect("live id must be present in a bucket");
         buckets[bi].remove_at(lid);
-        if buckets[bi].is_empty() {
+        let dropped = buckets[bi].is_empty();
+        if dropped {
             buckets.remove(bi);
+        }
+        // Warm maintenance: drop or rebuild the touched bucket's slot.
+        if dropped {
+            if let Some(w) = &mut self.warm {
+                w.per_bucket.remove(bi);
+            }
+        } else if self.warm.is_some() {
+            self.rewarm_bucket(bi);
         }
         self.alive[id as usize] = false;
         self.live -= 1;
@@ -238,9 +356,7 @@ impl DynamicLemp {
         let mut ids = Vec::with_capacity(pairs.len());
         for (id, bi, lid) in pairs {
             ids.push(id);
-            store
-                .push(self.buckets.buckets()[bi].origs.vector(lid))
-                .expect("same dimensionality");
+            store.push(self.buckets.buckets()[bi].origs.vector(lid)).expect("same dimensionality");
         }
         (ids, store)
     }
@@ -256,17 +372,17 @@ impl DynamicLemp {
         if n == 0 {
             return 0.0;
         }
-        let undersized = self
-            .buckets
-            .buckets()
-            .iter()
-            .filter(|b| b.len() < self.policy.min_bucket)
-            .count();
+        let undersized =
+            self.buckets.buckets().iter().filter(|b| b.len() < self.policy.min_bucket).count();
         undersized as f64 / n as f64
     }
 
     /// Rebuilds the bucketization from scratch (compaction). Stable ids are
-    /// preserved; all lazy indexes are dropped and rebuild on demand.
+    /// preserved; all lazy indexes are dropped and rebuild on demand. A
+    /// warm engine stays warm — every bucket of the compacted layout is
+    /// re-indexed before the call returns — but the tuned per-bucket
+    /// parameters reset to defaults (the old buckets no longer exist);
+    /// call [`DynamicLemp::warm`] again to re-tune.
     pub fn rebuild(&mut self) {
         let (ids, store) = self.live_vectors();
         let mut rebuilt = ProbeBuckets::build(&store, &self.policy);
@@ -278,6 +394,14 @@ impl DynamicLemp {
         }
         self.buckets = rebuilt;
         self.buckets.set_total(self.live);
+        if self.warm.is_some() {
+            let per_bucket = vec![TunedParams::default(); self.buckets.bucket_count()];
+            let mut clock = BuildClock::default();
+            runner::prebuild_all(&mut self.buckets, &self.config, &per_bucket, &mut clock);
+            if let Some(w) = &mut self.warm {
+                w.per_bucket = per_bucket;
+            }
+        }
     }
 
     /// Solves Above-θ over the live probes (ids in the result are stable).
@@ -285,6 +409,10 @@ impl DynamicLemp {
     /// # Panics
     /// If the query dimensionality differs from the probe dimensionality.
     pub fn above_theta(&mut self, queries: &VectorStore, theta: f64) -> AboveThetaOutput {
+        if self.warm.is_some() {
+            let mut scratch = self.make_scratch();
+            return self.above_theta_shared(queries, theta, &mut scratch);
+        }
         runner::above_theta(&mut self.buckets, queries, theta, &self.config)
     }
 
@@ -294,7 +422,92 @@ impl DynamicLemp {
     /// # Panics
     /// If the query dimensionality differs from the probe dimensionality.
     pub fn row_top_k(&mut self, queries: &VectorStore, k: usize) -> TopKOutput {
+        if self.warm.is_some() {
+            let mut scratch = self.make_scratch();
+            return self.row_top_k_shared(queries, k, &mut scratch);
+        }
         runner::row_top_k(&mut self.buckets, queries, k, &self.config)
+    }
+
+    /// [`DynamicLemp::above_theta`] through `&self` over a warmed engine,
+    /// with a caller-owned scratch — the hot path of `lemp-serve`, where
+    /// many reader threads share one engine behind an `RwLock` whose write
+    /// side is only taken by probe edits.
+    ///
+    /// # Panics
+    /// If the engine is not warmed ([`DynamicLemp::warm`]) or on
+    /// query/probe dimensionality mismatch.
+    pub fn above_theta_shared(
+        &self,
+        queries: &VectorStore,
+        theta: f64,
+        scratch: &mut MethodScratch,
+    ) -> AboveThetaOutput {
+        let warm = self.warm_state("above_theta_shared");
+        runner::above_theta_prepared(
+            &self.buckets,
+            queries,
+            theta,
+            &self.config,
+            &warm.per_bucket,
+            warm.blsh_table.as_ref(),
+            scratch,
+        )
+    }
+
+    /// [`DynamicLemp::row_top_k`] through `&self` over a warmed engine.
+    ///
+    /// # Panics
+    /// If the engine is not warmed ([`DynamicLemp::warm`]) or on
+    /// query/probe dimensionality mismatch.
+    pub fn row_top_k_shared(
+        &self,
+        queries: &VectorStore,
+        k: usize,
+        scratch: &mut MethodScratch,
+    ) -> TopKOutput {
+        self.row_top_k_with_floor_shared(queries, k, f64::NEG_INFINITY, scratch)
+    }
+
+    /// [`DynamicLemp::row_top_k_with_floor`] through `&self` over a warmed
+    /// engine.
+    ///
+    /// # Panics
+    /// If the engine is not warmed ([`DynamicLemp::warm`]) or on
+    /// query/probe dimensionality mismatch.
+    pub fn row_top_k_with_floor_shared(
+        &self,
+        queries: &VectorStore,
+        k: usize,
+        floor: f64,
+        scratch: &mut MethodScratch,
+    ) -> TopKOutput {
+        let warm = self.warm_state("row_top_k_with_floor_shared");
+        runner::row_top_k_prepared(
+            &self.buckets,
+            queries,
+            k,
+            floor,
+            &self.config,
+            &warm.per_bucket,
+            warm.blsh_table.as_ref(),
+            scratch,
+        )
+    }
+
+    /// [`DynamicLemp::abs_above_theta`] through `&self` over a warmed
+    /// engine.
+    ///
+    /// # Panics
+    /// If `theta ≤ 0`, the engine is not warmed, or on dimensionality
+    /// mismatch.
+    pub fn abs_above_theta_shared(
+        &self,
+        queries: &VectorStore,
+        theta: f64,
+        scratch: &mut MethodScratch,
+    ) -> AboveThetaOutput {
+        crate::abs_above_theta_via(queries, theta, |q| self.above_theta_shared(q, theta, scratch))
     }
 
     /// Solves **|Above-θ|** (`|qᵀp| ≥ theta`, `theta > 0`) over the live
@@ -304,19 +517,7 @@ impl DynamicLemp {
     /// # Panics
     /// If `theta ≤ 0` or on dimensionality mismatch.
     pub fn abs_above_theta(&mut self, queries: &VectorStore, theta: f64) -> AboveThetaOutput {
-        assert!(theta > 0.0, "abs_above_theta requires theta > 0, got {theta}");
-        let mut out = self.above_theta(queries, theta);
-        let negated = queries.negated();
-        let neg = self.above_theta(&negated, theta);
-        out.entries.extend(neg.entries.iter().map(|e| lemp_baselines::types::Entry {
-            query: e.query,
-            probe: e.probe,
-            value: -e.value,
-        }));
-        out.stats.merge(&neg.stats);
-        out.stats.counters.queries = queries.len() as u64;
-        out.stats.counters.results = out.entries.len() as u64;
-        out
+        crate::abs_above_theta_via(queries, theta, |q| self.above_theta(q, theta))
     }
 
     /// **Row-Top-k with a score floor** over the live probes, as
@@ -330,6 +531,10 @@ impl DynamicLemp {
         k: usize,
         floor: f64,
     ) -> TopKOutput {
+        if self.warm.is_some() {
+            let mut scratch = self.make_scratch();
+            return self.row_top_k_with_floor_shared(queries, k, floor, &mut scratch);
+        }
         runner::row_top_k_floor(&mut self.buckets, queries, k, floor, &self.config)
     }
 
@@ -420,7 +625,7 @@ impl DynamicLemp {
             }
         }
         let live = buckets.total();
-        Ok(Self { policy, config, buckets, id_len, alive, live })
+        Ok(Self { policy, config, buckets, id_len, alive, live, warm: None })
     }
 
     /// Loads a dynamic engine from a file (see [`DynamicLemp::read_from`]).
@@ -598,9 +803,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         // random edit script: 60 inserts, 50 removals of random live ids
         for _ in 0..60 {
-            let v: Vec<f64> = (0..8)
-                .map(|_| 2.0 * lemp_data::rng::standard_normal(&mut rng))
-                .collect();
+            let v: Vec<f64> =
+                (0..8).map(|_| 2.0 * lemp_data::rng::standard_normal(&mut rng)).collect();
             e.insert(&v).unwrap();
         }
         let mut removed = 0;
@@ -617,10 +821,8 @@ mod tests {
         let theta = 2.0;
         let (naive_entries, _) = Naive.above_theta(&queries, &store, theta);
         let expect: Vec<(u32, u32)> = {
-            let mut v: Vec<(u32, u32)> = naive_entries
-                .iter()
-                .map(|en| (en.query, ids[en.probe as usize]))
-                .collect();
+            let mut v: Vec<(u32, u32)> =
+                naive_entries.iter().map(|en| (en.query, ids[en.probe as usize])).collect();
             v.sort_unstable();
             v
         };
@@ -631,11 +833,7 @@ mod tests {
         let k = 5;
         let (naive_topk, _) = Naive.row_top_k(&queries, &store, k);
         let dynamic_topk = e.row_top_k(&queries, k);
-        assert!(lemp_baselines::types::topk_equivalent(
-            &dynamic_topk.lists,
-            &naive_topk,
-            1e-9
-        ));
+        assert!(lemp_baselines::types::topk_equivalent(&dynamic_topk.lists, &naive_topk, 1e-9));
     }
 
     #[test]
@@ -681,9 +879,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         for _ in 0..80 {
             let scale = 10f64.powf(rng.random_range(-2.0..2.0));
-            let v: Vec<f64> = (0..8)
-                .map(|_| scale * lemp_data::rng::standard_normal(&mut rng))
-                .collect();
+            let v: Vec<f64> =
+                (0..8).map(|_| scale * lemp_data::rng::standard_normal(&mut rng)).collect();
             e.insert(&v).unwrap();
         }
         for id in (0..100).step_by(3) {
@@ -780,10 +977,7 @@ mod tests {
 
         // truncations
         for cut in [4usize, 20, id_space_at + 4, buf.len() - 3] {
-            assert!(
-                DynamicLemp::read_from(&buf[..cut]).is_err(),
-                "truncation at {cut} accepted"
-            );
+            assert!(DynamicLemp::read_from(&buf[..cut]).is_err(), "truncation at {cut} accepted");
         }
         // trailing bytes
         let mut bad = buf.clone();
@@ -812,8 +1006,7 @@ mod tests {
             if variant.is_approximate() {
                 continue;
             }
-            let config =
-                RunConfig { variant, sample_size: 4, ..Default::default() };
+            let config = RunConfig { variant, sample_size: 4, ..Default::default() };
             let policy = BucketPolicy { min_bucket: 8, ..Default::default() };
             let mut e = DynamicLemp::new(&probes, policy, config);
             e.insert(&[3.0; 8]).unwrap();

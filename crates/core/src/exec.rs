@@ -262,10 +262,7 @@ mod tests {
             local_threshold: 0.75,
             scaled: &[2.0, 0.0],
         };
-        let sink = Sink {
-            unverified: vec![0, 1],
-            verified: vec![],
-        };
+        let sink = Sink { unverified: vec![0, 1], verified: vec![] };
         let mut entries = Vec::new();
         let (dots, results) = verify_above(bucket, &ctx, &sink, 9, &mut entries);
         assert_eq!(dots, 2);

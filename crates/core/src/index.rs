@@ -195,7 +195,7 @@ mod tests {
         assert_eq!(idx.scan_range(0, 0.3, 0.5), (0, 2));
         assert_eq!(idx.scan_range(0, 0.3, 0.3), (1, 2));
         assert_eq!(idx.scan_range(0, 0.31, 0.49), (1, 1)); // empty
-        // inverted interval → empty, never panics
+                                                           // inverted interval → empty, never panics
         assert_eq!(idx.scan_range(0, 0.5, 0.1).0, idx.scan_range(0, 0.5, 0.1).1);
     }
 

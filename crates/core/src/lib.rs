@@ -62,16 +62,104 @@ pub mod tuner;
 pub mod variant;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveReport, AdaptiveSelector, BanditPolicy};
+pub use algos::MethodScratch;
 pub use bucket::{Bucket, BucketPolicy, ProbeBuckets};
 pub use dynamic::DynamicLemp;
-pub use persist::PersistError;
 pub use exec::RunConfig;
 pub use lemp_baselines::types::{Entry, RetrievalCounters, TopKLists};
+pub use persist::PersistError;
 pub use runner::{AboveThetaOutput, MethodMix, RunStats, TopKOutput};
 pub use stream::column_top_k;
 pub use variant::{LempVariant, TunedParams};
 
+use algos::blsh_bucket::MinMatchTable;
 use lemp_linalg::VectorStore;
+
+/// What a [`Lemp::warm`] (or [`DynamicLemp::warm`]) call tunes for. The
+/// goal only steers the Sec. 4.4 tuner's per-bucket `t_b`/`φ_b` choice —
+/// a warmed engine answers *both* problems at any `θ`/`k`, with identical
+/// results; only the time spent can differ from a freshly tuned run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WarmGoal {
+    /// Tune for Row-Top-k at the given `k`.
+    TopK(usize),
+    /// Tune for Above-θ at the given threshold.
+    Above(f64),
+}
+
+/// What a warm-up did: index construction and tuning effort.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WarmReport {
+    /// Indexes built during the warm-up.
+    pub indexes_built: u64,
+    /// Nanoseconds spent building indexes.
+    pub build_ns: u64,
+    /// Nanoseconds spent in the Sec. 4.4 tuner.
+    pub tune_ns: u64,
+}
+
+/// Materialized per-run state of a warmed engine: the tuned per-bucket
+/// parameters plus the precomputed BLSH minimum-match table. Once this
+/// exists (and every bucket's indexes are built), the query drivers never
+/// need `&mut` access again.
+#[derive(Debug, Clone)]
+pub(crate) struct WarmState {
+    pub(crate) per_bucket: Vec<TunedParams>,
+    pub(crate) blsh_table: Option<MinMatchTable>,
+}
+
+impl WarmState {
+    /// Tunes `buckets` on `sample` for `goal` and force-builds every
+    /// bucket's indexes — the shared engine-warming step behind
+    /// [`Lemp::warm`] and [`DynamicLemp::warm`].
+    pub(crate) fn build(
+        buckets: &mut ProbeBuckets,
+        config: &RunConfig,
+        sample: &VectorStore,
+        goal: WarmGoal,
+    ) -> (WarmState, WarmReport) {
+        assert_eq!(sample.dim(), buckets.dim(), "query/probe dimensionality mismatch");
+        let batch = query::QueryBatch::build(sample);
+        let mut scratch = MethodScratch::new(runner::max_bucket_len(buckets));
+        let mut clock = exec::BuildClock::default();
+        let tune_goal = match goal {
+            WarmGoal::TopK(k) => tuner::TuneGoal::TopK(k),
+            WarmGoal::Above(theta) => tuner::TuneGoal::Above(theta),
+        };
+        let tuning = tuner::tune(buckets, &batch, &tune_goal, config, &mut scratch, &mut clock);
+        runner::prebuild_all(buckets, config, &tuning.per_bucket, &mut clock);
+        let state = WarmState {
+            per_bucket: tuning.per_bucket,
+            blsh_table: runner::make_blsh_table(config),
+        };
+        let report =
+            WarmReport { indexes_built: clock.built, build_ns: clock.ns, tune_ns: tuning.tune_ns };
+        (state, report)
+    }
+}
+
+/// **|Above-θ|** on top of any Above-θ runner: one pass as-is, one pass
+/// over sign-flipped queries (exact negations), results merged with their
+/// true signed values. Shared by the static/dynamic, lazy/shared variants.
+pub(crate) fn abs_above_theta_via(
+    queries: &VectorStore,
+    theta: f64,
+    mut run: impl FnMut(&VectorStore) -> AboveThetaOutput,
+) -> AboveThetaOutput {
+    assert!(theta > 0.0, "abs_above_theta requires theta > 0, got {theta}");
+    let mut out = run(queries);
+    let negated = queries.negated();
+    let neg = run(&negated);
+    out.entries.extend(neg.entries.iter().map(|e| Entry {
+        query: e.query,
+        probe: e.probe,
+        value: -e.value,
+    }));
+    out.stats.merge(&neg.stats);
+    out.stats.counters.queries = queries.len() as u64;
+    out.stats.counters.results = out.entries.len() as u64;
+    out
+}
 
 /// The LEMP retrieval engine: preprocessed probe buckets plus run options.
 ///
@@ -79,10 +167,43 @@ use lemp_linalg::VectorStore;
 /// built lazily inside the first query run that needs them. The engine is
 /// reusable across thresholds, `k` values and query sets — exactly how the
 /// paper's evaluation sweeps its workloads.
+///
+/// # Sharing the engine across threads
+///
+/// Every query entry point comes in two flavors. The `&mut self`
+/// convenience methods ([`Lemp::above_theta`], [`Lemp::row_top_k`], …)
+/// tune and build indexes lazily inside the call — ideal for one-shot
+/// batch runs. A long-lived service instead calls [`Lemp::warm`] once to
+/// force tuning and index materialization, after which the `*_shared`
+/// methods ([`Lemp::above_theta_shared`], [`Lemp::row_top_k_shared`], …)
+/// answer queries through `&self` with a caller-owned [`MethodScratch`],
+/// so one engine serves any number of threads concurrently:
+///
+/// ```
+/// use lemp_core::{Lemp, WarmGoal};
+/// use lemp_linalg::VectorStore;
+///
+/// let probes = VectorStore::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]]).unwrap();
+/// let queries = VectorStore::from_rows(&[vec![3.0, 1.0]]).unwrap();
+/// let mut engine = Lemp::new(&probes);
+/// engine.warm(&queries, WarmGoal::TopK(1));
+/// std::thread::scope(|s| {
+///     for _ in 0..4 {
+///         // shared borrows only — no locking needed
+///         let (engine, queries) = (&engine, &queries);
+///         s.spawn(move || {
+///             let mut scratch = engine.make_scratch();
+///             let top = engine.row_top_k_shared(queries, 1, &mut scratch);
+///             assert_eq!(top.lists[0][0].id, 0);
+///         });
+///     }
+/// });
+/// ```
 #[derive(Debug)]
 pub struct Lemp {
     buckets: ProbeBuckets,
     config: RunConfig,
+    warm: Option<WarmState>,
 }
 
 /// Builder for [`Lemp`].
@@ -135,7 +256,7 @@ impl LempBuilder {
 
     /// Builds the engine over the probe vectors (one vector per row).
     pub fn build(self, probes: &VectorStore) -> Lemp {
-        Lemp { buckets: ProbeBuckets::build(probes, &self.policy), config: self.config }
+        Lemp { buckets: ProbeBuckets::build(probes, &self.policy), config: self.config, warm: None }
     }
 }
 
@@ -160,11 +281,170 @@ impl Lemp {
         &self.config
     }
 
+    /// Overrides the retrieval worker-thread count of an existing engine
+    /// (services load persisted engines and pick their own threading).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads.max(1);
+    }
+
+    /// **Warms the engine for shared (`&self`) querying**: runs the
+    /// Sec. 4.4 tuner on `sample` for `goal` and force-builds every
+    /// bucket's indexes (the variant's method at the largest reachable
+    /// local threshold, plus both sorted-list layouts for the adaptive arm
+    /// menu). Afterwards the `*_shared` methods answer queries without any
+    /// mutable access, so one engine can serve many threads concurrently.
+    ///
+    /// Warming again (e.g. with a different goal) re-tunes but reuses all
+    /// existing indexes. After a warm-up the `&mut` convenience wrappers
+    /// become thin shims over the shared path.
+    ///
+    /// # Panics
+    /// If the sample dimensionality differs from the probe dimensionality.
+    pub fn warm(&mut self, sample: &VectorStore, goal: WarmGoal) -> WarmReport {
+        let (state, report) = WarmState::build(&mut self.buckets, &self.config, sample, goal);
+        self.warm = Some(state);
+        report
+    }
+
+    /// Whether [`Lemp::warm`] has run (the `*_shared` methods are usable).
+    pub fn is_warm(&self) -> bool {
+        self.warm.is_some()
+    }
+
+    /// A [`MethodScratch`] sized for this engine's largest bucket, for use
+    /// with the `*_shared` methods (one per querying thread).
+    pub fn make_scratch(&self) -> MethodScratch {
+        MethodScratch::new(runner::max_bucket_len(&self.buckets))
+    }
+
+    fn warm_state(&self, caller: &str) -> &WarmState {
+        self.warm
+            .as_ref()
+            .unwrap_or_else(|| panic!("{caller} requires a warmed engine: call Lemp::warm first"))
+    }
+
+    /// [`Lemp::above_theta`] through `&self` over a warmed engine, with a
+    /// caller-owned scratch — safe to call from many threads concurrently.
+    ///
+    /// # Panics
+    /// If the engine is not warmed ([`Lemp::warm`]) or on query/probe
+    /// dimensionality mismatch.
+    pub fn above_theta_shared(
+        &self,
+        queries: &VectorStore,
+        theta: f64,
+        scratch: &mut MethodScratch,
+    ) -> AboveThetaOutput {
+        let warm = self.warm_state("above_theta_shared");
+        runner::above_theta_prepared(
+            &self.buckets,
+            queries,
+            theta,
+            &self.config,
+            &warm.per_bucket,
+            warm.blsh_table.as_ref(),
+            scratch,
+        )
+    }
+
+    /// [`Lemp::row_top_k`] through `&self` over a warmed engine, with a
+    /// caller-owned scratch — safe to call from many threads concurrently.
+    ///
+    /// # Panics
+    /// If the engine is not warmed ([`Lemp::warm`]) or on query/probe
+    /// dimensionality mismatch.
+    pub fn row_top_k_shared(
+        &self,
+        queries: &VectorStore,
+        k: usize,
+        scratch: &mut MethodScratch,
+    ) -> TopKOutput {
+        self.row_top_k_with_floor_shared(queries, k, f64::NEG_INFINITY, scratch)
+    }
+
+    /// [`Lemp::row_top_k_with_floor`] through `&self` over a warmed engine.
+    ///
+    /// # Panics
+    /// If the engine is not warmed ([`Lemp::warm`]) or on query/probe
+    /// dimensionality mismatch.
+    pub fn row_top_k_with_floor_shared(
+        &self,
+        queries: &VectorStore,
+        k: usize,
+        floor: f64,
+        scratch: &mut MethodScratch,
+    ) -> TopKOutput {
+        let warm = self.warm_state("row_top_k_with_floor_shared");
+        runner::row_top_k_prepared(
+            &self.buckets,
+            queries,
+            k,
+            floor,
+            &self.config,
+            &warm.per_bucket,
+            warm.blsh_table.as_ref(),
+            scratch,
+        )
+    }
+
+    /// [`Lemp::abs_above_theta`] through `&self` over a warmed engine.
+    ///
+    /// # Panics
+    /// If `theta ≤ 0`, the engine is not warmed, or on dimensionality
+    /// mismatch.
+    pub fn abs_above_theta_shared(
+        &self,
+        queries: &VectorStore,
+        theta: f64,
+        scratch: &mut MethodScratch,
+    ) -> AboveThetaOutput {
+        abs_above_theta_via(queries, theta, |q| self.above_theta_shared(q, theta, scratch))
+    }
+
+    /// [`Lemp::above_theta_adaptive_with`] through `&self` over a warmed
+    /// engine (the selector carries the learning state; the engine is only
+    /// read). Concurrent callers need distinct selectors or external
+    /// synchronization of one.
+    ///
+    /// # Panics
+    /// If the engine is not warmed, the selector was sized for a different
+    /// bucketization, or on dimensionality mismatch.
+    pub fn above_theta_adaptive_shared(
+        &self,
+        queries: &VectorStore,
+        theta: f64,
+        selector: &mut AdaptiveSelector,
+        scratch: &mut MethodScratch,
+    ) -> AboveThetaOutput {
+        let _ = self.warm_state("above_theta_adaptive_shared");
+        adaptive::above_theta_adaptive_prepared(&self.buckets, queries, theta, selector, scratch)
+    }
+
+    /// [`Lemp::row_top_k_adaptive_with`] through `&self` over a warmed
+    /// engine.
+    ///
+    /// # Panics
+    /// Same conditions as [`Lemp::above_theta_adaptive_shared`].
+    pub fn row_top_k_adaptive_shared(
+        &self,
+        queries: &VectorStore,
+        k: usize,
+        selector: &mut AdaptiveSelector,
+        scratch: &mut MethodScratch,
+    ) -> TopKOutput {
+        let _ = self.warm_state("row_top_k_adaptive_shared");
+        adaptive::row_top_k_adaptive_prepared(&self.buckets, queries, k, selector, scratch)
+    }
+
     /// Solves **Above-θ**: all entries of `QᵀP` that are ≥ `theta`.
     ///
     /// # Panics
     /// If the query dimensionality differs from the probe dimensionality.
     pub fn above_theta(&mut self, queries: &VectorStore, theta: f64) -> AboveThetaOutput {
+        if self.warm.is_some() {
+            let mut scratch = self.make_scratch();
+            return self.above_theta_shared(queries, theta, &mut scratch);
+        }
         runner::above_theta(&mut self.buckets, queries, theta, &self.config)
     }
 
@@ -174,6 +454,10 @@ impl Lemp {
     /// # Panics
     /// If the query dimensionality differs from the probe dimensionality.
     pub fn row_top_k(&mut self, queries: &VectorStore, k: usize) -> TopKOutput {
+        if self.warm.is_some() {
+            let mut scratch = self.make_scratch();
+            return self.row_top_k_shared(queries, k, &mut scratch);
+        }
         runner::row_top_k(&mut self.buckets, queries, k, &self.config)
     }
 
@@ -191,19 +475,7 @@ impl Lemp {
     /// Problem 1 in the paper makes the same assumption) or on query/probe
     /// dimensionality mismatch.
     pub fn abs_above_theta(&mut self, queries: &VectorStore, theta: f64) -> AboveThetaOutput {
-        assert!(theta > 0.0, "abs_above_theta requires theta > 0, got {theta}");
-        let mut out = self.above_theta(queries, theta);
-        let negated = queries.negated();
-        let neg = self.above_theta(&negated, theta);
-        out.entries.extend(neg.entries.iter().map(|e| Entry {
-            query: e.query,
-            probe: e.probe,
-            value: -e.value,
-        }));
-        out.stats.merge(&neg.stats);
-        out.stats.counters.queries = queries.len() as u64;
-        out.stats.counters.results = out.entries.len() as u64;
-        out
+        abs_above_theta_via(queries, theta, |q| self.above_theta(q, theta))
     }
 
     /// **Row-Top-k with a score floor**: for each query, the up-to-`k`
@@ -222,6 +494,10 @@ impl Lemp {
         k: usize,
         floor: f64,
     ) -> TopKOutput {
+        if self.warm.is_some() {
+            let mut scratch = self.make_scratch();
+            return self.row_top_k_with_floor_shared(queries, k, floor, &mut scratch);
+        }
         runner::row_top_k_floor(&mut self.buckets, queries, k, floor, &self.config)
     }
 
@@ -278,6 +554,10 @@ impl Lemp {
         theta: f64,
         selector: &mut AdaptiveSelector,
     ) -> AboveThetaOutput {
+        if self.warm.is_some() {
+            let mut scratch = self.make_scratch();
+            return self.above_theta_adaptive_shared(queries, theta, selector, &mut scratch);
+        }
         adaptive::above_theta_adaptive_with(
             &mut self.buckets,
             queries,
@@ -298,6 +578,10 @@ impl Lemp {
         k: usize,
         selector: &mut AdaptiveSelector,
     ) -> TopKOutput {
+        if self.warm.is_some() {
+            let mut scratch = self.make_scratch();
+            return self.row_top_k_adaptive_shared(queries, k, selector, &mut scratch);
+        }
         adaptive::row_top_k_adaptive_with(&mut self.buckets, queries, k, &self.config, selector)
     }
 
@@ -318,6 +602,17 @@ impl Lemp {
     /// If the query dimensionality differs from the probe dimensionality.
     pub fn tune_top_k(&mut self, queries: &VectorStore, k: usize) -> Vec<TunedParams> {
         self.tune(queries, tuner::TuneGoal::TopK(k))
+    }
+
+    /// Reassembles an engine from preprocessed parts (persistence).
+    pub(crate) fn from_parts(buckets: ProbeBuckets, config: RunConfig) -> Self {
+        Self { buckets, config, warm: None }
+    }
+
+    /// Decomposes the engine into its preprocessed parts
+    /// ([`DynamicLemp::from_engine`] reuses a loaded static engine).
+    pub(crate) fn into_parts(self) -> (ProbeBuckets, RunConfig) {
+        (self.buckets, self.config)
     }
 
     fn tune(&mut self, queries: &VectorStore, goal: tuner::TuneGoal) -> Vec<TunedParams> {

@@ -3,8 +3,12 @@
 //!
 //! At the paper's scale the probe side has millions of vectors; a service
 //! that restarts should not redo the sort/normalize/bucketize pass (nor
-//! lose the run configuration a deployment was tuned with). The format is
-//! a small versioned binary layout:
+//! lose the run configuration a deployment was tuned with). A persisted
+//! engine image is the **intended input to `lemp serve`**: build it once
+//! with `lemp index`, then every server boot loads it (via
+//! [`Lemp::load`], wrapped by [`crate::DynamicLemp::from_engine`]), warms
+//! it, and starts answering — preprocessing never runs at serve time. The
+//! format is a small versioned binary layout:
 //!
 //! ```text
 //! "LEMPENG1"                                magic
@@ -128,8 +132,7 @@ pub(crate) fn write_config<W: Write>(w: &mut W, cfg: &RunConfig) -> Result<(), P
 /// Reads a [`RunConfig`] written by [`write_config`].
 pub(crate) fn read_config<R: Read>(r: &mut R) -> Result<RunConfig, PersistError> {
     let mut tag = [0u8; 1];
-    r.read_exact(&mut tag)
-        .map_err(|_| PersistError::Format("truncated variant tag".into()))?;
+    r.read_exact(&mut tag).map_err(|_| PersistError::Format("truncated variant tag".into()))?;
     let config = RunConfig {
         variant: variant_from_tag(tag[0])?,
         sample_size: read_u64(r, "sample_size")? as usize,
@@ -281,7 +284,7 @@ impl Lemp {
         let config = read_config(&mut r)?;
         let buckets = read_bucket_section(&mut r)?;
         expect_eof(&mut r)?;
-        Ok(Lemp { buckets, config })
+        Ok(Lemp::from_parts(buckets, config))
     }
 
     /// Loads an engine from a file (see [`Lemp::read_from`]).
@@ -411,8 +414,7 @@ mod tests {
             vec![1.0, 0.0],
         ])
         .unwrap();
-        let policy =
-            crate::BucketPolicy { min_bucket: 2, length_ratio: 0.9, ..Default::default() };
+        let policy = crate::BucketPolicy { min_bucket: 2, length_ratio: 0.9, ..Default::default() };
         let engine = Lemp::builder().policy(policy).build(&p);
         assert!(engine.buckets().bucket_count() >= 2, "fixture needs two buckets");
         let mut buf = Vec::new();

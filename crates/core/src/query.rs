@@ -66,12 +66,8 @@ mod tests {
 
     #[test]
     fn batch_sorts_by_decreasing_length() {
-        let store = VectorStore::from_rows(&[
-            vec![1.0, 0.0],
-            vec![3.0, 0.0],
-            vec![0.0, 2.0],
-        ])
-        .unwrap();
+        let store =
+            VectorStore::from_rows(&[vec![1.0, 0.0], vec![3.0, 0.0], vec![0.0, 2.0]]).unwrap();
         let b = QueryBatch::build(&store);
         assert_eq!(b.ids, vec![1, 2, 0]);
         assert_eq!(b.lengths, vec![3.0, 2.0, 1.0]);

@@ -167,7 +167,7 @@ fn ensure_method(variant: LempVariant, tuned: &TunedParams, max_th_b: f64) -> Re
     resolve(variant, tuned, max_th_b)
 }
 
-fn make_blsh_table(cfg: &RunConfig) -> Option<MinMatchTable> {
+pub(crate) fn make_blsh_table(cfg: &RunConfig) -> Option<MinMatchTable> {
     if cfg.variant == LempVariant::Blsh {
         Some(MinMatchTable::new(cfg.blsh_bits, cfg.blsh_eps))
     } else {
@@ -258,7 +258,8 @@ pub(crate) fn above_theta(
 
     let mut scratch = MethodScratch::new(max_bucket_len(buckets));
     let mut clock = BuildClock::default();
-    let tuning = tuner::tune(buckets, &batch, &TuneGoal::Above(theta), cfg, &mut scratch, &mut clock);
+    let tuning =
+        tuner::tune(buckets, &batch, &TuneGoal::Above(theta), cfg, &mut scratch, &mut clock);
     let tune_build_ns = clock.ns;
     let tune_ns = tuning.tune_ns.saturating_sub(tune_build_ns);
 
@@ -285,84 +286,20 @@ pub(crate) fn above_theta(
     }
     let build_ns_retrieval = clock.ns - tune_build_ns;
 
-    let mut mix = MethodMix::default();
-    if cfg.threads <= 1 {
-        let mut sink = Sink::default();
-        for b in 0..reachable {
-            let bucket = &buckets.buckets()[b];
-            let unpruned = unpruned_prefix(&batch, theta, bucket.max_len);
-            if bucket.max_len <= 0.0 {
-                emit_zero_bucket(bucket, &batch, 0, unpruned, &mut entries, &mut counters);
-                continue;
-            }
-            process_bucket_above(
-                bucket,
-                &batch,
-                queries,
-                theta,
-                &tol,
-                0,
-                unpruned,
-                cfg.variant,
-                &tuning.per_bucket[b],
-                blsh_table.as_ref(),
-                &mut scratch,
-                &mut sink,
-                &mut entries,
-                &mut counters,
-                &mut mix,
-            );
-        }
-    } else {
-        let nthreads = cfg.threads.min(batch.len().max(1));
-        let chunk = batch.len().div_ceil(nthreads);
-        let buckets_ref = &*buckets;
-        let batch_ref = &batch;
-        let tol_ref = &tol;
-        let tuning_ref = &tuning;
-        let table_ref = blsh_table.as_ref();
-        let results: Vec<(Vec<Entry>, RetrievalCounters, MethodMix)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..nthreads)
-                .map(|t| {
-                    scope.spawn(move || {
-                        let lo = t * chunk;
-                        let hi = ((t + 1) * chunk).min(batch_ref.len());
-                        let mut scratch = MethodScratch::new(max_bucket_len(buckets_ref));
-                        let mut sink = Sink::default();
-                        let mut entries = Vec::new();
-                        let mut counters = RetrievalCounters::default();
-                        let mut local_mix = MethodMix::default();
-                        for b in 0..reachable {
-                            let bucket = &buckets_ref.buckets()[b];
-                            let unpruned = unpruned_prefix(batch_ref, theta, bucket.max_len);
-                            let hi_b = unpruned.min(hi);
-                            if lo >= hi_b {
-                                continue;
-                            }
-                            if bucket.max_len <= 0.0 {
-                                emit_zero_bucket(bucket, batch_ref, lo, hi_b, &mut entries, &mut counters);
-                                continue;
-                            }
-                            process_bucket_above(
-                                bucket, batch_ref, queries, theta, tol_ref, lo, hi_b,
-                                cfg.variant, &tuning_ref.per_bucket[b], table_ref,
-                                &mut scratch, &mut sink, &mut entries, &mut counters,
-                                &mut local_mix,
-                            );
-                        }
-                        (entries, counters, local_mix)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
-        for (mut e, c, m) in results {
-            entries.append(&mut e);
-            counters.candidates += c.candidates;
-            counters.results += c.results;
-            mix.merge(&m);
-        }
-    }
+    let mix = above_theta_body(
+        buckets,
+        &batch,
+        queries,
+        theta,
+        &tol,
+        reachable,
+        cfg,
+        &tuning.per_bucket,
+        blsh_table.as_ref(),
+        &mut scratch,
+        &mut entries,
+        &mut counters,
+    );
 
     let retrieval_ns =
         (retrieval_start.elapsed().as_nanos() as u64).saturating_sub(build_ns_retrieval);
@@ -380,7 +317,219 @@ pub(crate) fn above_theta(
     }
 }
 
-fn cfg_seed(cfg: &RunConfig, bucket_idx: usize) -> u64 {
+/// The retrieval phase of Above-θ over buckets whose indexes are already
+/// built (serial with the caller's scratch, or partitioned across scoped
+/// threads). Shared by the lazy `&mut` driver and the warmed `&self` path.
+#[allow(clippy::too_many_arguments)]
+fn above_theta_body(
+    buckets: &ProbeBuckets,
+    batch: &QueryBatch,
+    queries: &VectorStore,
+    theta: f64,
+    tol: &[f64],
+    reachable: usize,
+    cfg: &RunConfig,
+    per_bucket: &[TunedParams],
+    blsh_table: Option<&MinMatchTable>,
+    scratch: &mut MethodScratch,
+    entries: &mut Vec<Entry>,
+    counters: &mut RetrievalCounters,
+) -> MethodMix {
+    let mut mix = MethodMix::default();
+    if cfg.threads <= 1 {
+        let mut sink = Sink::default();
+        for (bucket, params) in buckets.buckets()[..reachable].iter().zip(per_bucket) {
+            let unpruned = unpruned_prefix(batch, theta, bucket.max_len);
+            if bucket.max_len <= 0.0 {
+                emit_zero_bucket(bucket, batch, 0, unpruned, entries, counters);
+                continue;
+            }
+            process_bucket_above(
+                bucket,
+                batch,
+                queries,
+                theta,
+                tol,
+                0,
+                unpruned,
+                cfg.variant,
+                params,
+                blsh_table,
+                scratch,
+                &mut sink,
+                entries,
+                counters,
+                &mut mix,
+            );
+        }
+    } else {
+        let nthreads = cfg.threads.min(batch.len().max(1));
+        let chunk = batch.len().div_ceil(nthreads);
+        let results: Vec<(Vec<Entry>, RetrievalCounters, MethodMix)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..nthreads)
+                    .map(|t| {
+                        scope.spawn(move || {
+                            let lo = t * chunk;
+                            let hi = ((t + 1) * chunk).min(batch.len());
+                            let mut scratch = MethodScratch::new(max_bucket_len(buckets));
+                            let mut sink = Sink::default();
+                            let mut entries = Vec::new();
+                            let mut counters = RetrievalCounters::default();
+                            let mut local_mix = MethodMix::default();
+                            for (bucket, params) in
+                                buckets.buckets()[..reachable].iter().zip(per_bucket)
+                            {
+                                let unpruned = unpruned_prefix(batch, theta, bucket.max_len);
+                                let hi_b = unpruned.min(hi);
+                                if lo >= hi_b {
+                                    continue;
+                                }
+                                if bucket.max_len <= 0.0 {
+                                    emit_zero_bucket(
+                                        bucket,
+                                        batch,
+                                        lo,
+                                        hi_b,
+                                        &mut entries,
+                                        &mut counters,
+                                    );
+                                    continue;
+                                }
+                                process_bucket_above(
+                                    bucket,
+                                    batch,
+                                    queries,
+                                    theta,
+                                    tol,
+                                    lo,
+                                    hi_b,
+                                    cfg.variant,
+                                    params,
+                                    blsh_table,
+                                    &mut scratch,
+                                    &mut sink,
+                                    &mut entries,
+                                    &mut counters,
+                                    &mut local_mix,
+                                );
+                            }
+                            (entries, counters, local_mix)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            });
+        for (mut e, c, m) in results {
+            entries.append(&mut e);
+            counters.candidates += c.candidates;
+            counters.results += c.results;
+            mix.merge(&m);
+        }
+    }
+    mix
+}
+
+/// Above-θ over a **warmed** engine: all reachable indexes are assumed
+/// built and the tuned parameters are supplied by the caller, so the
+/// buckets are only read — this is the `&self`-shareable hot path.
+pub(crate) fn above_theta_prepared(
+    buckets: &ProbeBuckets,
+    queries: &VectorStore,
+    theta: f64,
+    cfg: &RunConfig,
+    per_bucket: &[TunedParams],
+    blsh_table: Option<&MinMatchTable>,
+    scratch: &mut MethodScratch,
+) -> AboveThetaOutput {
+    assert_eq!(queries.dim(), buckets.dim(), "query/probe dimensionality mismatch");
+    let prep_start = Instant::now();
+    let batch = QueryBatch::build(queries);
+    let tol: Vec<f64> = batch.lengths.iter().map(|&l| theta_over_len(theta, l)).collect();
+    let batch_prep_ns = prep_start.elapsed().as_nanos() as u64;
+
+    let retrieval_start = Instant::now();
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut counters = RetrievalCounters { queries: queries.len() as u64, ..Default::default() };
+    let mut reachable = 0usize;
+    for (b, bucket) in buckets.buckets().iter().enumerate() {
+        if unpruned_prefix(&batch, theta, bucket.max_len) == 0 {
+            break;
+        }
+        reachable = b + 1;
+    }
+    let mix = above_theta_body(
+        buckets,
+        &batch,
+        queries,
+        theta,
+        &tol,
+        reachable,
+        cfg,
+        per_bucket,
+        blsh_table,
+        scratch,
+        &mut entries,
+        &mut counters,
+    );
+    counters.preprocess_ns = batch_prep_ns;
+    counters.retrieval_ns = retrieval_start.elapsed().as_nanos() as u64;
+    AboveThetaOutput {
+        entries,
+        stats: RunStats {
+            counters,
+            bucket_count: buckets.bucket_count(),
+            indexes_built: 0,
+            method_mix: mix,
+        },
+    }
+}
+
+/// Builds every index the bucket can need once warmed: the variant's method
+/// at the largest reachable local threshold (1.0) plus both sorted-list
+/// layouts (COORD and INCR), which the adaptive arm menu draws from. The
+/// cache budget already accounts for the two sorted-list layouts
+/// ([`crate::BucketPolicy::max_bucket`]), so this stays within the paper's
+/// cache model.
+pub(crate) fn warm_bucket(
+    bucket: &mut Bucket,
+    params: &TunedParams,
+    cfg: &RunConfig,
+    bucket_seed: u64,
+    clock: &mut BuildClock,
+) {
+    if bucket.max_len <= 0.0 {
+        return;
+    }
+    let method = ensure_method(cfg.variant, params, 1.0);
+    ensure_for(bucket, method, cfg.l2ap_topk_threshold, cfg, bucket_seed, clock);
+    ensure_for(bucket, ResolvedMethod::Coord(1), cfg.l2ap_topk_threshold, cfg, bucket_seed, clock);
+    if bucket.dirs.dim() > 1 {
+        ensure_for(
+            bucket,
+            ResolvedMethod::Incr(2),
+            cfg.l2ap_topk_threshold,
+            cfg,
+            bucket_seed,
+            clock,
+        );
+    }
+}
+
+/// Warms every bucket (see [`warm_bucket`]); `per_bucket` must be aligned
+/// with the bucket list.
+pub(crate) fn prebuild_all(
+    buckets: &mut ProbeBuckets,
+    cfg: &RunConfig,
+    per_bucket: &[TunedParams],
+    clock: &mut BuildClock,
+) {
+    for (b, (bucket, params)) in buckets.buckets_mut().iter_mut().zip(per_bucket).enumerate() {
+        warm_bucket(bucket, params, cfg, cfg_seed(cfg, b), clock);
+    }
+}
+
+pub(crate) fn cfg_seed(cfg: &RunConfig, bucket_idx: usize) -> u64 {
     // Distinct hyperplanes per bucket, stable across runs.
     0x1E4D_0000 ^ (bucket_idx as u64) ^ ((cfg.blsh_bits as u64) << 32)
 }
@@ -504,8 +653,18 @@ pub(crate) fn row_top_k_floor(
     if k > 0 && !batch.is_empty() && buckets.bucket_count() > 0 {
         if cfg.threads <= 1 {
             serial_topk(
-                buckets, &batch, k, floor, cfg, &tuning, blsh_table.as_ref(), &mut scratch,
-                &mut clock, &mut lists, &mut counters, &mut mix,
+                buckets,
+                &batch,
+                k,
+                floor,
+                cfg,
+                &tuning,
+                blsh_table.as_ref(),
+                &mut scratch,
+                &mut clock,
+                &mut lists,
+                &mut counters,
+                &mut mix,
             );
         } else {
             // Parallel mode pre-builds every bucket's index (shared read
@@ -516,11 +675,26 @@ pub(crate) fn row_top_k_floor(
                     continue;
                 }
                 let method = ensure_method(cfg.variant, &tuning.per_bucket[b], 1.0);
-                ensure_for(bucket, method, cfg.l2ap_topk_threshold, cfg, cfg_seed(cfg, b), &mut clock);
+                ensure_for(
+                    bucket,
+                    method,
+                    cfg.l2ap_topk_threshold,
+                    cfg,
+                    cfg_seed(cfg, b),
+                    &mut clock,
+                );
             }
             parallel_topk(
-                buckets, &batch, k, floor, cfg, &tuning, blsh_table.as_ref(), &mut lists,
-                &mut counters, &mut mix,
+                buckets,
+                &batch,
+                k,
+                floor,
+                cfg,
+                &tuning.per_bucket,
+                blsh_table.as_ref(),
+                &mut lists,
+                &mut counters,
+                &mut mix,
             );
         }
     }
@@ -583,9 +757,66 @@ fn serial_topk(
             let method = ensure_method(cfg.variant, &tuning.per_bucket[b], 1.0);
             ensure_for(bucket, method, cfg.l2ap_topk_threshold, cfg, cfg_seed(cfg, b), clock);
         }
+        topk_range(
+            buckets.buckets(),
+            batch,
+            qi,
+            qi + 1,
+            k,
+            floor,
+            cfg.variant,
+            &tuning.per_bucket,
+            blsh_table,
+            scratch,
+            &mut sink,
+            &mut top,
+            &mut seed_counts,
+            counters,
+            mix,
+            |qid, list| lists[qid as usize] = list,
+        );
+    }
+}
+
+/// Runs the queries `[lo, hi)` of the sorted batch over pre-built buckets,
+/// handing each finished list (with its original query id) to `emit`.
+/// Shared by the serial driver, the parallel workers, and the warmed
+/// `&self` path.
+#[allow(clippy::too_many_arguments)]
+fn topk_range<F: FnMut(u32, Vec<lemp_linalg::ScoredItem>)>(
+    buckets: &[Bucket],
+    batch: &QueryBatch,
+    lo: usize,
+    hi: usize,
+    k: usize,
+    floor: f64,
+    variant: LempVariant,
+    per_bucket: &[TunedParams],
+    blsh_table: Option<&MinMatchTable>,
+    scratch: &mut MethodScratch,
+    sink: &mut Sink,
+    top: &mut TopK,
+    seed_counts: &mut Vec<usize>,
+    counters: &mut RetrievalCounters,
+    mix: &mut MethodMix,
+    mut emit: F,
+) {
+    for qi in lo..hi {
+        let floor_scaled = floor_scaled_for(floor, batch.lengths[qi]);
         let mut list = topk_one_query(
-            buckets.buckets(), dir, k, floor_scaled, cfg.variant, &tuning.per_bucket,
-            blsh_table, scratch, &mut sink, &mut top, &mut seed_counts, counters, mix,
+            buckets,
+            batch.dirs.vector(qi),
+            k,
+            floor_scaled,
+            variant,
+            per_bucket,
+            blsh_table,
+            scratch,
+            sink,
+            top,
+            seed_counts,
+            counters,
+            mix,
         );
         // The driver works with ‖q‖ = 1 (Sec. 4.5); report true inner
         // products by scaling back (the ranking is scale-invariant).
@@ -597,7 +828,84 @@ fn serial_topk(
             // guarantees every reported value is ≥ floor.
             list.retain(|item| item.score >= floor);
         }
-        lists[batch.ids[qi] as usize] = list;
+        emit(batch.ids[qi], list);
+    }
+}
+
+/// Row-Top-k (with optional floor) over a **warmed** engine: every bucket's
+/// index is assumed built, so the buckets are only read — the
+/// `&self`-shareable hot path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn row_top_k_prepared(
+    buckets: &ProbeBuckets,
+    queries: &VectorStore,
+    k: usize,
+    floor: f64,
+    cfg: &RunConfig,
+    per_bucket: &[TunedParams],
+    blsh_table: Option<&MinMatchTable>,
+    scratch: &mut MethodScratch,
+) -> TopKOutput {
+    assert_eq!(queries.dim(), buckets.dim(), "query/probe dimensionality mismatch");
+    let prep_start = Instant::now();
+    let batch = QueryBatch::build(queries);
+    let batch_prep_ns = prep_start.elapsed().as_nanos() as u64;
+
+    let retrieval_start = Instant::now();
+    let mut lists: TopKLists = vec![Vec::new(); queries.len()];
+    let mut counters = RetrievalCounters { queries: queries.len() as u64, ..Default::default() };
+    let mut mix = MethodMix::default();
+
+    if k > 0 && !batch.is_empty() && buckets.bucket_count() > 0 {
+        if cfg.threads <= 1 {
+            let mut sink = Sink::default();
+            let mut top = TopK::new(k);
+            let mut seed_counts: Vec<usize> = Vec::new();
+            topk_range(
+                buckets.buckets(),
+                &batch,
+                0,
+                batch.len(),
+                k,
+                floor,
+                cfg.variant,
+                per_bucket,
+                blsh_table,
+                scratch,
+                &mut sink,
+                &mut top,
+                &mut seed_counts,
+                &mut counters,
+                &mut mix,
+                |qid, list| lists[qid as usize] = list,
+            );
+        } else {
+            parallel_topk(
+                buckets,
+                &batch,
+                k,
+                floor,
+                cfg,
+                per_bucket,
+                blsh_table,
+                &mut lists,
+                &mut counters,
+                &mut mix,
+            );
+        }
+    }
+
+    counters.results = lists.iter().map(|l| l.len() as u64).sum();
+    counters.preprocess_ns = batch_prep_ns;
+    counters.retrieval_ns = retrieval_start.elapsed().as_nanos() as u64;
+    TopKOutput {
+        lists,
+        stats: RunStats {
+            counters,
+            bucket_count: buckets.bucket_count(),
+            indexes_built: 0,
+            method_mix: mix,
+        },
     }
 }
 
@@ -611,7 +919,7 @@ fn parallel_topk(
     k: usize,
     floor: f64,
     cfg: &RunConfig,
-    tuning: &Tuning,
+    per_bucket: &[TunedParams],
     blsh_table: Option<&MinMatchTable>,
     lists: &mut TopKLists,
     counters: &mut RetrievalCounters,
@@ -619,42 +927,43 @@ fn parallel_topk(
 ) {
     let nthreads = cfg.threads.min(batch.len().max(1));
     let chunk = batch.len().div_ceil(nthreads);
-    let results: Vec<WorkerTopK> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..nthreads)
-                .map(|t| {
-                    let tuning_ref = &tuning.per_bucket;
-                    scope.spawn(move || {
-                        let lo = t * chunk;
-                        let hi = ((t + 1) * chunk).min(batch.len());
-                        let mut scratch = MethodScratch::new(max_bucket_len(buckets));
-                        let mut sink = Sink::default();
-                        let mut top = TopK::new(k);
-                        let mut seed_counts = Vec::new();
-                        let mut local_counters = RetrievalCounters::default();
-                        let mut local_mix = MethodMix::default();
-                        let mut out = Vec::with_capacity(hi.saturating_sub(lo));
-                        for qi in lo..hi {
-                            let floor_scaled = floor_scaled_for(floor, batch.lengths[qi]);
-                            let mut list = topk_one_query(
-                                buckets.buckets(), batch.dirs.vector(qi), k, floor_scaled,
-                                cfg.variant, tuning_ref, blsh_table, &mut scratch, &mut sink,
-                                &mut top, &mut seed_counts, &mut local_counters, &mut local_mix,
-                            );
-                            for item in &mut list {
-                                item.score *= batch.lengths[qi];
-                            }
-                            if floor > f64::NEG_INFINITY {
-                                list.retain(|item| item.score >= floor);
-                            }
-                            out.push((batch.ids[qi], list));
-                        }
-                        (out, local_counters, local_mix)
-                    })
+    let results: Vec<WorkerTopK> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nthreads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(batch.len());
+                    let mut scratch = MethodScratch::new(max_bucket_len(buckets));
+                    let mut sink = Sink::default();
+                    let mut top = TopK::new(k);
+                    let mut seed_counts = Vec::new();
+                    let mut local_counters = RetrievalCounters::default();
+                    let mut local_mix = MethodMix::default();
+                    let mut out = Vec::with_capacity(hi.saturating_sub(lo));
+                    topk_range(
+                        buckets.buckets(),
+                        batch,
+                        lo,
+                        hi,
+                        k,
+                        floor,
+                        cfg.variant,
+                        per_bucket,
+                        blsh_table,
+                        &mut scratch,
+                        &mut sink,
+                        &mut top,
+                        &mut seed_counts,
+                        &mut local_counters,
+                        &mut local_mix,
+                        |qid, list| out.push((qid, list)),
+                    );
+                    (out, local_counters, local_mix)
                 })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
     for (chunk_lists, c, m) in results {
         for (qid, list) in chunk_lists {
             lists[qid as usize] = list;

@@ -79,7 +79,13 @@ pub struct ExtCpArray {
 impl ExtCpArray {
     /// An array for buckets of up to `n` vectors.
     pub fn new(n: usize) -> Self {
-        Self { acc: vec![0.0; n], norm_sq: vec![0.0; n], stamp: vec![0; n], epoch: 0, touched: Vec::new() }
+        Self {
+            acc: vec![0.0; n],
+            norm_sq: vec![0.0; n],
+            stamp: vec![0; n],
+            epoch: 0,
+            touched: Vec::new(),
+        }
     }
 
     /// Grows to accommodate `n` local ids.

@@ -16,6 +16,7 @@
 use lemp_baselines::types::Entry;
 use lemp_linalg::{ScoredItem, VectorStore};
 
+use crate::algos::MethodScratch;
 use crate::runner::{self, RunStats, TopKOutput};
 use crate::{Lemp, LempBuilder};
 
@@ -96,6 +97,80 @@ impl Lemp {
         }
         stats
     }
+
+    /// [`Lemp::above_theta_chunked`] through `&self` over a warmed engine,
+    /// with a caller-owned scratch — the bounded-memory streaming driver
+    /// for shared engines.
+    ///
+    /// # Panics
+    /// If `chunk_size == 0`, the engine is not warmed ([`Lemp::warm`]), or
+    /// on query/probe dimensionality mismatch.
+    pub fn above_theta_chunked_shared<F>(
+        &self,
+        queries: &VectorStore,
+        theta: f64,
+        chunk_size: usize,
+        scratch: &mut MethodScratch,
+        mut sink: F,
+    ) -> RunStats
+    where
+        F: FnMut(&[Entry]),
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let mut stats = RunStats::default();
+        let dim = queries.dim();
+        let mut offset = 0usize;
+        while offset < queries.len() {
+            let end = (offset + chunk_size).min(queries.len());
+            let chunk =
+                VectorStore::from_flat(queries.as_flat()[offset * dim..end * dim].to_vec(), dim)
+                    .expect("slice of a valid store is valid");
+            let mut out = self.above_theta_shared(&chunk, theta, scratch);
+            for e in &mut out.entries {
+                e.query += offset as u32;
+            }
+            stats.merge(&out.stats);
+            sink(&out.entries);
+            offset = end;
+        }
+        stats
+    }
+
+    /// [`Lemp::row_top_k_chunked`] through `&self` over a warmed engine,
+    /// with a caller-owned scratch.
+    ///
+    /// # Panics
+    /// If `chunk_size == 0`, the engine is not warmed ([`Lemp::warm`]), or
+    /// on query/probe dimensionality mismatch.
+    pub fn row_top_k_chunked_shared<F>(
+        &self,
+        queries: &VectorStore,
+        k: usize,
+        chunk_size: usize,
+        scratch: &mut MethodScratch,
+        mut sink: F,
+    ) -> RunStats
+    where
+        F: FnMut(u32, &[ScoredItem]),
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let mut stats = RunStats::default();
+        let dim = queries.dim();
+        let mut offset = 0usize;
+        while offset < queries.len() {
+            let end = (offset + chunk_size).min(queries.len());
+            let chunk =
+                VectorStore::from_flat(queries.as_flat()[offset * dim..end * dim].to_vec(), dim)
+                    .expect("slice of a valid store is valid");
+            let out = self.row_top_k_shared(&chunk, k, scratch);
+            stats.merge(&out.stats);
+            for (i, list) in out.lists.iter().enumerate() {
+                sink((offset + i) as u32, list);
+            }
+            offset = end;
+        }
+        stats
+    }
 }
 
 /// **Column-Top-k**: for every *probe* column `p ∈ P`, the `k` queries
@@ -139,17 +214,12 @@ impl Lemp {
     /// If `chunk == 0` or the dimensionalities differ.
     pub fn global_top_n(&mut self, queries: &VectorStore, n: usize, chunk: usize) -> Vec<Entry> {
         assert!(chunk > 0, "chunk must be positive");
-        assert_eq!(
-            queries.dim(),
-            self.buckets.dim(),
-            "query/probe dimensionality mismatch"
-        );
+        assert_eq!(queries.dim(), self.buckets.dim(), "query/probe dimensionality mismatch");
         if n == 0 || queries.is_empty() || self.buckets.total() == 0 {
             return Vec::new();
         }
         let probes_total = self.buckets.total();
-        let max_probe_len =
-            self.buckets.buckets().first().map(|b| b.max_len).unwrap_or(0.0);
+        let max_probe_len = self.buckets.buckets().first().map(|b| b.max_len).unwrap_or(0.0);
 
         // Sort query rows by decreasing length so the threshold tightens as
         // fast as possible and the tail can be cut off wholesale.
@@ -160,9 +230,8 @@ impl Lemp {
         // Seed θ′ from the single longest query: its row top-n is cheap and
         // usually close to the global scale.
         let mut heap = lemp_linalg::TopK::new(n);
-        let seed_store =
-            VectorStore::from_flat(queries.vector(order[0]).to_vec(), queries.dim())
-                .expect("row of a valid store");
+        let seed_store = VectorStore::from_flat(queries.vector(order[0]).to_vec(), queries.dim())
+            .expect("row of a valid store");
         let seed = runner::row_top_k(&mut self.buckets, &seed_store, n, &self.config);
         for item in &seed.lists[0] {
             heap.push(order[0] * probes_total + item.id, item.score);
@@ -172,9 +241,9 @@ impl Lemp {
         let mut at = 1usize; // order[0] fully handled by the seed
         while at < order.len() {
             let theta = heap.threshold(); // −∞ until the heap holds n entries
-            // Query-side cut: a query of length ℓ can reach at most
-            // ℓ·max_probe_len; once that trails θ′ every remaining (shorter)
-            // query is out.
+                                          // Query-side cut: a query of length ℓ can reach at most
+                                          // ℓ·max_probe_len; once that trails θ′ every remaining
+                                          // (shorter) query is out.
             if theta > lengths[order[at]] * max_probe_len {
                 break;
             }
@@ -225,8 +294,8 @@ mod tests {
         for chunk_size in [1, 7, 53, 100] {
             let mut engine = Lemp::builder().sample_size(8).build(&p);
             let mut collected = Vec::new();
-            let stats =
-                engine.above_theta_chunked(&q, theta, chunk_size, |es| collected.extend_from_slice(es));
+            let stats = engine
+                .above_theta_chunked(&q, theta, chunk_size, |es| collected.extend_from_slice(es));
             assert_eq!(
                 canonical_pairs(&collected),
                 canonical_pairs(&expect.entries),

@@ -20,8 +20,8 @@ use std::time::Instant;
 use lemp_linalg::kernels;
 
 use crate::algos::{MethodScratch, QueryCtx, Sink};
-use crate::bucket::{Bucket, ProbeBuckets};
 use crate::bounds::{local_threshold, region_threshold};
+use crate::bucket::{Bucket, ProbeBuckets};
 use crate::exec::{ensure_for, run_method, BuildClock, RunConfig};
 use crate::query::QueryBatch;
 use crate::variant::{ResolvedMethod, TunedParams};
@@ -198,7 +198,11 @@ pub(crate) fn seed_threshold(buckets: &ProbeBuckets, dir: &[f64], k: usize) -> f
 
 /// Selects `φ_b` (argmin summed time) and `t_b` (grid argmin of the mixed
 /// cost model) from the measurement rows.
-fn pick_params(rows: &[(f64, u64, [u64; MAX_PHI])], max_phi: usize, cfg: &RunConfig) -> TunedParams {
+fn pick_params(
+    rows: &[(f64, u64, [u64; MAX_PHI])],
+    max_phi: usize,
+    cfg: &RunConfig,
+) -> TunedParams {
     if rows.is_empty() || max_phi == 0 {
         return TunedParams::default();
     }
@@ -224,13 +228,15 @@ fn pick_params(rows: &[(f64, u64, [u64; MAX_PHI])], max_phi: usize, cfg: &RunCon
         let tb = g as f64 / TB_GRID as f64;
         let cost: u128 = rows
             .iter()
-            .map(|&(th_b, t_len, t_phi)| {
-                if th_b < tb {
-                    t_len as u128
-                } else {
-                    t_phi[best_phi - 1] as u128
-                }
-            })
+            .map(
+                |&(th_b, t_len, t_phi)| {
+                    if th_b < tb {
+                        t_len as u128
+                    } else {
+                        t_phi[best_phi - 1] as u128
+                    }
+                },
+            )
             .sum();
         if cost < best_cost {
             best_cost = cost;
@@ -262,8 +268,7 @@ mod tests {
         let cfg = RunConfig { variant: LempVariant::LI, sample_size: 10, ..Default::default() };
         let mut scratch = MethodScratch::new(512);
         let mut clock = BuildClock::default();
-        let tuning =
-            tune(&mut pb, &batch, &TuneGoal::Above(0.5), &cfg, &mut scratch, &mut clock);
+        let tuning = tune(&mut pb, &batch, &TuneGoal::Above(0.5), &cfg, &mut scratch, &mut clock);
         assert_eq!(tuning.per_bucket.len(), pb.bucket_count());
         for p in &tuning.per_bucket {
             assert!(p.phi >= 1 && p.phi <= MAX_PHI);
@@ -279,8 +284,7 @@ mod tests {
         let cfg = RunConfig { variant: LempVariant::L, ..Default::default() };
         let mut scratch = MethodScratch::new(256);
         let mut clock = BuildClock::default();
-        let tuning =
-            tune(&mut pb, &batch, &TuneGoal::Above(0.5), &cfg, &mut scratch, &mut clock);
+        let tuning = tune(&mut pb, &batch, &TuneGoal::Above(0.5), &cfg, &mut scratch, &mut clock);
         assert_eq!(tuning.tune_ns, 0);
         assert_eq!(clock.built, 0);
         assert!(tuning.per_bucket.iter().all(|p| *p == TunedParams::default()));
@@ -305,8 +309,7 @@ mod tests {
         let cfg = RunConfig { variant: LempVariant::LI, ..Default::default() };
         let mut scratch = MethodScratch::new(128);
         let mut clock = BuildClock::default();
-        let tuning =
-            tune(&mut pb, &batch, &TuneGoal::Above(0.5), &cfg, &mut scratch, &mut clock);
+        let tuning = tune(&mut pb, &batch, &TuneGoal::Above(0.5), &cfg, &mut scratch, &mut clock);
         assert_eq!(tuning.per_bucket.len(), pb.bucket_count());
         assert_eq!(tuning.tune_ns, 0);
     }

@@ -115,11 +115,7 @@ pub(crate) enum ResolvedMethod {
 /// Resolves the variant + tuned parameters + local threshold into a method.
 /// Appendix A: "we use COORD instead of INCR whenever φ_b = 1" (identical
 /// candidates, cheaper scan).
-pub(crate) fn resolve(
-    variant: LempVariant,
-    tuned: &TunedParams,
-    theta_b: f64,
-) -> ResolvedMethod {
+pub(crate) fn resolve(variant: LempVariant, tuned: &TunedParams, theta_b: f64) -> ResolvedMethod {
     let coord_method = |phi: usize, incr: bool| {
         if incr && phi > 1 {
             ResolvedMethod::Incr(phi)

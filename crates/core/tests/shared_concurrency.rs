@@ -1,0 +1,276 @@
+//! Concurrent correctness of the warmed, `&self`-shareable query path.
+//!
+//! One engine is warmed once and then shared (plain `&Lemp`, no locking)
+//! by many threads running interleaved Row-Top-k and Above-θ calls; every
+//! result must be identical to the single-threaded `&mut` run. This is the
+//! invariant `lemp-serve` builds on: after `warm`, the hot path only reads
+//! the engine, so the retrieval phase is embarrassingly parallel across
+//! requests (the paper runs single-threaded only as an experimental
+//! control, Sec. 6).
+
+use lemp_baselines::types::{canonical_pairs, topk_equivalent};
+use lemp_baselines::Naive;
+use lemp_core::{AdaptiveConfig, BucketPolicy};
+use lemp_core::{DynamicLemp, Lemp, LempVariant, RunConfig, WarmGoal};
+use lemp_data::synthetic::GeneratorConfig;
+use lemp_linalg::VectorStore;
+
+fn fixture(m: usize, n: usize, seed: u64) -> (VectorStore, VectorStore) {
+    let q = GeneratorConfig::gaussian(m, 10, 1.0).generate(seed);
+    let p = GeneratorConfig::gaussian(n, 10, 1.2).generate(seed + 1);
+    (q, p)
+}
+
+#[test]
+fn warm_then_shared_matches_mut_paths() {
+    let (q, p) = fixture(50, 400, 9000);
+    for variant in LempVariant::all() {
+        if variant.is_approximate() {
+            continue;
+        }
+        let mut reference = Lemp::builder().variant(variant).sample_size(8).build(&p);
+        let above_expect = reference.above_theta(&q, 1.1);
+        let topk_expect = reference.row_top_k(&q, 5);
+
+        let mut engine = Lemp::builder().variant(variant).sample_size(8).build(&p);
+        let report = engine.warm(&q, WarmGoal::TopK(5));
+        assert!(engine.is_warm());
+        assert!(report.indexes_built > 0, "{}: warm must build indexes", variant.name());
+
+        let mut scratch = engine.make_scratch();
+        let above = engine.above_theta_shared(&q, 1.1, &mut scratch);
+        assert_eq!(
+            canonical_pairs(&above.entries),
+            canonical_pairs(&above_expect.entries),
+            "{} shared Above-θ diverges",
+            variant.name()
+        );
+        assert_eq!(above.stats.indexes_built, 0, "shared path must not build");
+        let topk = engine.row_top_k_shared(&q, 5, &mut scratch);
+        assert!(
+            topk_equivalent(&topk.lists, &topk_expect.lists, 1e-9),
+            "{} shared Row-Top-k diverges",
+            variant.name()
+        );
+    }
+}
+
+#[test]
+fn blsh_warm_shared_matches_mut() {
+    // The approximate variant must at least be *deterministically* equal
+    // between the shared and the (fresh-engine) mut path: same signatures,
+    // same minimum-match table, same candidates.
+    let (q, p) = fixture(40, 300, 9100);
+    let mut reference = Lemp::builder().variant(LempVariant::Blsh).build(&p);
+    let expect = reference.above_theta(&q, 1.0);
+    let mut engine = Lemp::builder().variant(LempVariant::Blsh).build(&p);
+    engine.warm(&q, WarmGoal::Above(1.0));
+    let mut scratch = engine.make_scratch();
+    let got = engine.above_theta_shared(&q, 1.0, &mut scratch);
+    assert_eq!(canonical_pairs(&got.entries), canonical_pairs(&expect.entries));
+}
+
+#[test]
+fn n_threads_sharing_one_engine_match_single_threaded_run() {
+    let (q, p) = fixture(60, 500, 9200);
+    let k = 7;
+    let theta = 1.0;
+
+    // Single-threaded ground truth through the classic `&mut` API.
+    let mut reference = Lemp::builder().sample_size(8).build(&p);
+    let topk_expect = reference.row_top_k(&q, k);
+    let above_expect = reference.above_theta(&q, theta);
+
+    let mut engine = Lemp::builder().sample_size(8).build(&p);
+    engine.warm(&q, WarmGoal::TopK(k));
+    let engine = engine; // freeze: from here on, shared borrows only
+
+    const THREADS: usize = 8;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let (engine, q) = (&engine, &q);
+                let (topk_expect, above_expect) = (&topk_expect, &above_expect);
+                scope.spawn(move || {
+                    let mut scratch = engine.make_scratch();
+                    // Interleave the two problems so index reads overlap in
+                    // as many ways as possible across threads.
+                    for round in 0..3 {
+                        if (t + round) % 2 == 0 {
+                            let top = engine.row_top_k_shared(q, k, &mut scratch);
+                            let above = engine.above_theta_shared(q, theta, &mut scratch);
+                            assert!(topk_equivalent(&top.lists, &topk_expect.lists, 1e-9));
+                            assert_eq!(
+                                canonical_pairs(&above.entries),
+                                canonical_pairs(&above_expect.entries)
+                            );
+                        } else {
+                            let above = engine.above_theta_shared(q, theta, &mut scratch);
+                            let top = engine.row_top_k_shared(q, k, &mut scratch);
+                            assert_eq!(
+                                canonical_pairs(&above.entries),
+                                canonical_pairs(&above_expect.entries)
+                            );
+                            assert!(topk_equivalent(&top.lists, &topk_expect.lists, 1e-9));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("shared-engine worker panicked");
+        }
+    });
+}
+
+#[test]
+fn shared_floor_abs_adaptive_and_chunked_match() {
+    let (q, p) = fixture(40, 250, 9300);
+    let mut reference = Lemp::builder().sample_size(8).build(&p);
+    let floor_expect = reference.row_top_k_with_floor(&q, 4, 0.8);
+    let abs_expect = reference.abs_above_theta(&q, 1.2);
+
+    let mut engine = Lemp::builder().sample_size(8).build(&p);
+    engine.warm(&q, WarmGoal::Above(1.2));
+    let mut scratch = engine.make_scratch();
+
+    let floored = engine.row_top_k_with_floor_shared(&q, 4, 0.8, &mut scratch);
+    assert!(topk_equivalent(&floored.lists, &floor_expect.lists, 1e-9));
+
+    let abs = engine.abs_above_theta_shared(&q, 1.2, &mut scratch);
+    assert_eq!(canonical_pairs(&abs.entries), canonical_pairs(&abs_expect.entries));
+
+    // Adaptive (bandit) selection over the shared engine: exact results,
+    // learning state in the caller's selector.
+    let acfg = AdaptiveConfig::default();
+    let mut selector = engine.adaptive_selector(&acfg);
+    let above = engine.above_theta_adaptive_shared(&q, 1.2, &mut selector, &mut scratch);
+    let (expect_entries, _) = Naive.above_theta(&q, &p, 1.2);
+    assert_eq!(canonical_pairs(&above.entries), canonical_pairs(&expect_entries));
+    assert!(selector.total_pulls() > 0);
+    let topk = engine.row_top_k_adaptive_shared(&q, 4, &mut selector, &mut scratch);
+    let (expect_topk, _) = Naive.row_top_k(&q, &p, 4);
+    assert!(topk_equivalent(&topk.lists, &expect_topk, 1e-9));
+
+    // Chunked streaming through &self.
+    let mut collected = Vec::new();
+    engine
+        .above_theta_chunked_shared(&q, 1.2, 7, &mut scratch, |es| collected.extend_from_slice(es));
+    let mono = engine.above_theta_shared(&q, 1.2, &mut scratch);
+    assert_eq!(canonical_pairs(&collected), canonical_pairs(&mono.entries));
+    let mut lists = vec![Vec::new(); q.len()];
+    engine.row_top_k_chunked_shared(&q, 4, 9, &mut scratch, |qid, list| {
+        lists[qid as usize] = list.to_vec()
+    });
+    assert!(topk_equivalent(&lists, &expect_topk, 1e-9));
+}
+
+#[test]
+fn mut_wrappers_are_shims_after_warm() {
+    // After warm, the &mut convenience wrappers route through the shared
+    // path: results stay identical and no further indexes are built.
+    let (q, p) = fixture(30, 200, 9400);
+    let mut engine = Lemp::builder().sample_size(8).build(&p);
+    let before = engine.row_top_k(&q, 3);
+    engine.warm(&q, WarmGoal::TopK(3));
+    let after = engine.row_top_k(&q, 3);
+    assert!(topk_equivalent(&before.lists, &after.lists, 0.0));
+    assert_eq!(after.stats.indexes_built, 0);
+    let above = engine.above_theta(&q, 1.0);
+    assert_eq!(above.stats.indexes_built, 0);
+}
+
+#[test]
+fn dynamic_engine_stays_warm_across_edits() {
+    let (q, p) = fixture(30, 260, 9500);
+    let policy = BucketPolicy { min_bucket: 8, cache_bytes: 64 << 10, ..Default::default() };
+    let config = RunConfig { sample_size: 8, ..Default::default() };
+    let mut engine = DynamicLemp::new(&p, policy, config);
+    engine.warm(&q, WarmGoal::TopK(5));
+    assert!(engine.is_warm());
+
+    // Churn through inserts (absorbing, bucket-opening, splitting) and
+    // removals; the engine must stay warm and the shared path must agree
+    // with a naive scan of the live set after every phase.
+    let extra = GeneratorConfig::gaussian(40, 10, 2.5).generate(9600);
+    for i in 0..extra.len() {
+        engine.insert(extra.vector(i)).unwrap();
+    }
+    engine.insert(&[1e5; 10]).unwrap(); // far out of range: opens a bucket
+    for id in (0..260u32).step_by(3) {
+        engine.remove(id);
+    }
+    assert!(engine.is_warm());
+
+    let (ids, live) = engine.live_vectors();
+    let (naive_entries, _) = Naive.above_theta(&q, &live, 1.5);
+    let expect: Vec<(u32, u32)> = {
+        let mut v: Vec<(u32, u32)> =
+            naive_entries.iter().map(|e| (e.query, ids[e.probe as usize])).collect();
+        v.sort_unstable();
+        v
+    };
+    let mut scratch = engine.make_scratch();
+    let got = engine.above_theta_shared(&q, 1.5, &mut scratch);
+    assert_eq!(canonical_pairs(&got.entries), expect);
+    assert_eq!(got.stats.indexes_built, 0, "edits must re-warm eagerly");
+
+    // Concurrent readers over the edited engine.
+    let (naive_topk, _) = Naive.row_top_k(&q, &live, 5);
+    let expect_topk: Vec<Vec<lemp_linalg::ScoredItem>> = naive_topk
+        .iter()
+        .map(|l| {
+            l.iter()
+                .map(|it| lemp_linalg::ScoredItem { id: ids[it.id] as usize, score: it.score })
+                .collect()
+        })
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let (engine, q, expect_topk) = (&engine, &q, &expect_topk);
+            scope.spawn(move || {
+                let mut scratch = engine.make_scratch();
+                let top = engine.row_top_k_shared(q, 5, &mut scratch);
+                assert!(topk_equivalent(&top.lists, expect_topk, 1e-9));
+            });
+        }
+    });
+
+    // Compaction keeps the engine warm too.
+    engine.rebuild();
+    assert!(engine.is_warm());
+    let got = engine.above_theta_shared(&q, 1.5, &mut scratch);
+    assert_eq!(canonical_pairs(&got.entries), expect);
+}
+
+#[test]
+#[should_panic(expected = "requires a warmed engine")]
+fn shared_query_without_warm_panics() {
+    let (q, p) = fixture(5, 40, 9700);
+    let engine = Lemp::builder().build(&p);
+    let mut scratch = engine.make_scratch();
+    let _ = engine.row_top_k_shared(&q, 2, &mut scratch);
+}
+
+#[test]
+fn from_engine_wraps_a_loaded_static_image() {
+    // The serve path: persist a static engine, load it back, wrap it as a
+    // dynamic engine, warm, and query through &self.
+    let (q, p) = fixture(20, 150, 9800);
+    let engine = Lemp::builder().sample_size(8).build(&p);
+    let mut buf = Vec::new();
+    engine.write_to(&mut buf).unwrap();
+    let loaded = Lemp::read_from(&buf[..]).unwrap();
+    let mut dynamic = DynamicLemp::from_engine(loaded, BucketPolicy::default());
+    assert_eq!(dynamic.len(), p.len());
+    assert_eq!(dynamic.next_id(), p.len() as u32);
+    dynamic.warm(&q, WarmGoal::TopK(3));
+    let (expect, _) = Naive.row_top_k(&q, &p, 3);
+    let mut scratch = dynamic.make_scratch();
+    let got = dynamic.row_top_k_shared(&q, 3, &mut scratch);
+    assert!(topk_equivalent(&got.lists, &expect, 1e-9));
+    // …and it keeps accepting edits.
+    let id = dynamic.insert(&[2.0; 10]).unwrap();
+    assert_eq!(id, p.len() as u32);
+    assert!(dynamic.remove(id));
+}

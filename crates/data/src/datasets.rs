@@ -144,7 +144,10 @@ impl DatasetSpec {
             mean_length: 1.0,
             values: self.values,
         };
-        (q_cfg.generate(seed ^ 0x51ED_CAFE), p_cfg.generate(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1))
+        (
+            q_cfg.generate(seed ^ 0x51ED_CAFE),
+            p_cfg.generate(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1),
+        )
     }
 }
 
@@ -162,10 +165,7 @@ mod tests {
         let s = Dataset::Kdd.spec();
         assert_eq!((s.m, s.n), (1_000_000, 624_000));
         assert!(matches!(Dataset::IeSvd.spec().values, ValueModel::Gaussian));
-        assert!(matches!(
-            Dataset::IeNmf.spec().values,
-            ValueModel::NonNegativeSparse { .. }
-        ));
+        assert!(matches!(Dataset::IeNmf.spec().values, ValueModel::NonNegativeSparse { .. }));
     }
 
     #[test]

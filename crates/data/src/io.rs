@@ -69,9 +69,8 @@ pub fn read_binary(path: &Path) -> Result<VectorStore, IoError> {
     }
     let count = read_u64(&mut r)? as usize;
     let dim = read_u64(&mut r)? as usize;
-    let total = count
-        .checked_mul(dim)
-        .ok_or_else(|| IoError::Format("count*dim overflows".into()))?;
+    let total =
+        count.checked_mul(dim).ok_or_else(|| IoError::Format("count*dim overflows".into()))?;
     let mut data = Vec::with_capacity(total);
     let mut buf = [0u8; 8];
     for _ in 0..total {
@@ -133,10 +132,9 @@ pub fn read_csv(path: &Path) -> Result<VectorStore, IoError> {
         }
         let start = data.len();
         for field in line.split(',') {
-            let x: f64 = field
-                .trim()
-                .parse()
-                .map_err(|_| IoError::Format(format!("line {}: bad float {field:?}", lineno + 1)))?;
+            let x: f64 = field.trim().parse().map_err(|_| {
+                IoError::Format(format!("line {}: bad float {field:?}", lineno + 1))
+            })?;
             data.push(x);
         }
         let row_len = data.len() - start;

@@ -94,13 +94,7 @@ impl MfModel {
 /// `uᵤ ← uᵤ + η(e·vᵢ − λ·uᵤ)` and symmetrically for `vᵢ`. Ratings are
 /// visited in a reshuffled order each epoch (Fisher–Yates on an index
 /// permutation).
-pub fn train(
-    ratings: &[Rating],
-    users: usize,
-    items: usize,
-    cfg: &MfConfig,
-    seed: u64,
-) -> MfModel {
+pub fn train(ratings: &[Rating], users: usize, items: usize, cfg: &MfConfig, seed: u64) -> MfModel {
     assert!(cfg.rank > 0, "rank must be positive");
     let mut rng = seeded(seed);
     let mut u = random_store(users, cfg.rank, cfg.init_std, &mut rng);
@@ -235,16 +229,10 @@ pub fn synthetic_ratings_clustered(
     }
     let noise_scale = spread / (rank as f64).sqrt();
     let planted = |cluster: usize, rng: &mut StdRng| -> Vec<f64> {
-        centers
-            .vector(cluster)
-            .iter()
-            .map(|&c| c + noise_scale * standard_normal(rng))
-            .collect()
+        centers.vector(cluster).iter().map(|&c| c + noise_scale * standard_normal(rng)).collect()
     };
-    let u_rows: Vec<Vec<f64>> =
-        (0..users).map(|i| planted(i % clusters, &mut rng)).collect();
-    let v_rows: Vec<Vec<f64>> =
-        (0..items).map(|i| planted(i % clusters, &mut rng)).collect();
+    let u_rows: Vec<Vec<f64>> = (0..users).map(|i| planted(i % clusters, &mut rng)).collect();
+    let v_rows: Vec<Vec<f64>> = (0..items).map(|i| planted(i % clusters, &mut rng)).collect();
     let model = MfModel {
         users: VectorStore::from_rows(&u_rows).expect("finite planted users"),
         items: VectorStore::from_rows(&v_rows).expect("finite planted items"),
@@ -293,10 +281,7 @@ mod tests {
         let trained = train(&ratings, 60, 40, &cfg, 2);
         let before = untrained.rmse(&ratings);
         let after = trained.rmse(&ratings);
-        assert!(
-            after < before * 0.25,
-            "training did not converge: before {before}, after {after}"
-        );
+        assert!(after < before * 0.25, "training did not converge: before {before}, after {after}");
         assert!(after < 0.6, "absolute fit too poor: {after}");
     }
 

@@ -76,18 +76,13 @@ pub fn read_mm(path: &Path) -> Result<VectorStore, IoError> {
     let reader = BufReader::new(File::open(path)?);
     let mut lines = reader.lines();
 
-    let header = lines
-        .next()
-        .transpose()?
-        .ok_or_else(|| IoError::Format("empty file".into()))?;
+    let header = lines.next().transpose()?.ok_or_else(|| IoError::Format("empty file".into()))?;
     let layout = parse_header(&header)?;
 
     // Skip comments, find the size line.
     let size_line = loop {
-        let line = lines
-            .next()
-            .transpose()?
-            .ok_or_else(|| IoError::Format("missing size line".into()))?;
+        let line =
+            lines.next().transpose()?.ok_or_else(|| IoError::Format("missing size line".into()))?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') {
             continue;
@@ -123,9 +118,7 @@ fn parse_header(header: &str) -> Result<Layout, IoError> {
         )));
     }
     if symmetry != "general" {
-        return Err(IoError::Format(format!(
-            "unsupported symmetry `{symmetry}` (only general)"
-        )));
+        return Err(IoError::Format(format!("unsupported symmetry `{symmetry}` (only general)")));
     }
     match layout.as_str() {
         "array" => Ok(Layout::Array),
@@ -153,9 +146,8 @@ fn read_array(
     if rows == 0 || cols == 0 {
         return Err(IoError::Format(format!("degenerate shape {rows}×{cols}")));
     }
-    let total = rows
-        .checked_mul(cols)
-        .ok_or_else(|| IoError::Format("rows*cols overflows".into()))?;
+    let total =
+        rows.checked_mul(cols).ok_or_else(|| IoError::Format("rows*cols overflows".into()))?;
     let mut data = vec![0.0f64; total];
     let mut filled = 0usize;
     for line in lines {
@@ -167,9 +159,8 @@ fn read_array(
             if filled == total {
                 return Err(IoError::Format(format!("more than {total} values")));
             }
-            let x: f64 = token
-                .parse()
-                .map_err(|_| IoError::Format(format!("bad value `{token}`")))?;
+            let x: f64 =
+                token.parse().map_err(|_| IoError::Format(format!("bad value `{token}`")))?;
             // Column-major on disk → row-major in the store.
             let col = filled / rows;
             let row = filled % rows;
@@ -190,24 +181,17 @@ fn read_coordinate(
     let mut it = size_line.split_whitespace();
     let (rows, cols, nnz) = match (it.next(), it.next(), it.next(), it.next()) {
         (Some(r), Some(c), Some(z), None) => (
-            r.parse::<usize>()
-                .map_err(|_| IoError::Format(format!("bad row count `{r}`")))?,
-            c.parse::<usize>()
-                .map_err(|_| IoError::Format(format!("bad column count `{c}`")))?,
+            r.parse::<usize>().map_err(|_| IoError::Format(format!("bad row count `{r}`")))?,
+            c.parse::<usize>().map_err(|_| IoError::Format(format!("bad column count `{c}`")))?,
             z.parse::<usize>().map_err(|_| IoError::Format(format!("bad nnz `{z}`")))?,
         ),
-        _ => {
-            return Err(IoError::Format(format!(
-                "expected `rows cols nnz`, found `{size_line}`"
-            )))
-        }
+        _ => return Err(IoError::Format(format!("expected `rows cols nnz`, found `{size_line}`"))),
     };
     if rows == 0 || cols == 0 {
         return Err(IoError::Format(format!("degenerate shape {rows}×{cols}")));
     }
-    let total = rows
-        .checked_mul(cols)
-        .ok_or_else(|| IoError::Format("rows*cols overflows".into()))?;
+    let total =
+        rows.checked_mul(cols).ok_or_else(|| IoError::Format("rows*cols overflows".into()))?;
     let mut data = vec![0.0f64; total];
     let mut seen = vec![false; total];
     let mut read = 0usize;
@@ -221,9 +205,7 @@ fn read_coordinate(
         let (i, j, v) = match (fields.next(), fields.next(), fields.next(), fields.next()) {
             (Some(i), Some(j), Some(v), None) => (i, j, v),
             _ => {
-                return Err(IoError::Format(format!(
-                    "expected `row col value`, found `{trimmed}`"
-                )))
+                return Err(IoError::Format(format!("expected `row col value`, found `{trimmed}`")))
             }
         };
         let i: usize = i.parse().map_err(|_| IoError::Format(format!("bad row `{i}`")))?;
@@ -261,11 +243,7 @@ mod tests {
 
     /// Deliberately asymmetric so row/column-major mix-ups fail loudly.
     fn sample_store() -> VectorStore {
-        VectorStore::from_rows(&[
-            vec![1.0, 2.0, 3.0],
-            vec![4.0, 0.0, 6.0],
-        ])
-        .unwrap()
+        VectorStore::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 0.0, 6.0]]).unwrap()
     }
 
     #[test]
@@ -283,10 +261,8 @@ mod tests {
         let path = temp_path("colmajor");
         write_mm_array(&sample_store(), &path).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        let values: Vec<&str> = text
-            .lines()
-            .filter(|l| !l.starts_with('%') && !l.contains(' '))
-            .collect();
+        let values: Vec<&str> =
+            text.lines().filter(|l| !l.starts_with('%') && !l.contains(' ')).collect();
         // column 1 first: 1.0 then 4.0
         assert_eq!(&values[..2], &["1.0", "4.0"]);
         std::fs::remove_file(&path).ok();
@@ -324,11 +300,7 @@ mod tests {
     #[test]
     fn integer_field_parses_as_floats() {
         let path = temp_path("int");
-        std::fs::write(
-            &path,
-            "%%MatrixMarket matrix array integer general\n2 1\n7\n-2\n",
-        )
-        .unwrap();
+        std::fs::write(&path, "%%MatrixMarket matrix array integer general\n2 1\n7\n-2\n").unwrap();
         let s = read_mm(&path).unwrap();
         assert_eq!(s.vector(0), &[7.0]);
         assert_eq!(s.vector(1), &[-2.0]);
@@ -338,11 +310,7 @@ mod tests {
     #[test]
     fn header_is_case_insensitive() {
         let path = temp_path("case");
-        std::fs::write(
-            &path,
-            "%%MatrixMarket MATRIX Array Real GENERAL\n1 1\n5\n",
-        )
-        .unwrap();
+        std::fs::write(&path, "%%MatrixMarket MATRIX Array Real GENERAL\n1 1\n5\n").unwrap();
         assert_eq!(read_mm(&path).unwrap().vector(0), &[5.0]);
         std::fs::remove_file(&path).ok();
     }
@@ -371,20 +339,13 @@ mod tests {
     #[test]
     fn rejects_value_count_mismatches() {
         let path = temp_path("counts");
-        std::fs::write(&path, "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n")
-            .unwrap();
+        std::fs::write(&path, "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n").unwrap();
         assert!(read_mm(&path).unwrap_err().to_string().contains("expected 4 values"));
-        std::fs::write(
-            &path,
-            "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n5\n",
-        )
-        .unwrap();
+        std::fs::write(&path, "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n5\n")
+            .unwrap();
         assert!(read_mm(&path).unwrap_err().to_string().contains("more than 4"));
-        std::fs::write(
-            &path,
-            "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n",
-        )
-        .unwrap();
+        std::fs::write(&path, "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n")
+            .unwrap();
         assert!(read_mm(&path).unwrap_err().to_string().contains("declares 3"));
         std::fs::remove_file(&path).ok();
     }
@@ -392,17 +353,11 @@ mod tests {
     #[test]
     fn rejects_out_of_range_and_duplicate_entries() {
         let path = temp_path("range");
-        std::fs::write(
-            &path,
-            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
-        )
-        .unwrap();
+        std::fs::write(&path, "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n")
+            .unwrap();
         assert!(read_mm(&path).unwrap_err().to_string().contains("outside"));
-        std::fs::write(
-            &path,
-            "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n",
-        )
-        .unwrap();
+        std::fs::write(&path, "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n")
+            .unwrap();
         assert!(read_mm(&path).unwrap_err().to_string().contains("outside"));
         std::fs::write(
             &path,

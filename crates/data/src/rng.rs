@@ -83,10 +83,7 @@ mod tests {
             if target <= 1.5 {
                 let got = stats::cov(&xs);
                 let tol = 0.02 + 0.08 * target;
-                assert!(
-                    (got - target).abs() < tol,
-                    "target CoV {target}, got {got} (tol {tol})"
-                );
+                assert!((got - target).abs() < tol, "target CoV {target}, got {got} (tol {tol})");
             }
             // unit mean by construction (the mean estimator's relative
             // error is CoV/√n ≈ 0.7% even at the heaviest tail)

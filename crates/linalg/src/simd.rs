@@ -41,7 +41,11 @@ static ACTIVE: AtomicU8 = AtomicU8::new(ISA_UNKNOWN);
 /// Returns the instruction set the kernels currently dispatch to.
 ///
 /// Detection runs once (CPUID via `is_x86_feature_detected!`) and is cached
-/// in a relaxed atomic; subsequent calls are a load and a compare.
+/// in a relaxed atomic; subsequent calls are a load and a compare. The
+/// environment variable `LEMP_FORCE_ISA` (`scalar` or `avx2`) overrides
+/// autodetection — this is how CI exercises the scalar fallbacks on
+/// AVX2-capable runners, where compiling for a baseline target CPU alone
+/// would change nothing (dispatch happens at run time, not compile time).
 #[inline]
 pub fn active() -> Isa {
     match ACTIVE.load(Ordering::Relaxed) {
@@ -53,7 +57,20 @@ pub fn active() -> Isa {
 
 #[cold]
 fn detect() -> Isa {
-    let isa = if avx2_supported() { Isa::Avx2 } else { Isa::Scalar };
+    let isa = match std::env::var("LEMP_FORCE_ISA").as_deref() {
+        Ok("scalar") => Isa::Scalar,
+        Ok("avx2") => {
+            assert!(avx2_supported(), "LEMP_FORCE_ISA=avx2 but the CPU lacks avx2");
+            Isa::Avx2
+        }
+        _ => {
+            if avx2_supported() {
+                Isa::Avx2
+            } else {
+                Isa::Scalar
+            }
+        }
+    };
     ACTIVE.store(isa_code(isa), Ordering::Relaxed);
     isa
 }
@@ -191,8 +208,8 @@ pub(crate) fn axpy_scalar(s: f64, b: &[f64], a: &mut [f64]) {
 #[cfg(target_arch = "x86_64")]
 mod avx2 {
     use std::arch::x86_64::{
-        __m256d, _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd,
-        _mm256_setzero_pd, _mm256_storeu_pd, _mm256_sub_pd,
+        __m256d, _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_setzero_pd,
+        _mm256_storeu_pd, _mm256_sub_pd,
     };
 
     /// Reduces the 4-lane accumulator exactly like the scalar kernels:
@@ -312,12 +329,32 @@ mod tests {
     }
 
     #[test]
+    fn force_isa_env_var_overrides_detection() {
+        let _g = isa_guard();
+        // Start from whatever state other tests left behind, and reset to
+        // "unknown" so detect() runs again, now under the env var.
+        let prev = active();
+        std::env::set_var("LEMP_FORCE_ISA", "scalar");
+        ACTIVE.store(ISA_UNKNOWN, Ordering::Relaxed);
+        assert_eq!(active(), Isa::Scalar, "env override must beat autodetection");
+        // Unknown values fall back to autodetection.
+        std::env::set_var("LEMP_FORCE_ISA", "quantum");
+        ACTIVE.store(ISA_UNKNOWN, Ordering::Relaxed);
+        let auto = active();
+        assert_eq!(auto == Isa::Avx2, avx2_supported());
+        std::env::remove_var("LEMP_FORCE_ISA");
+        override_isa(prev);
+    }
+
+    #[test]
     fn detection_is_cached_and_stable() {
         let _g = isa_guard();
         let first = active();
         let second = active();
         assert_eq!(first, second);
-        if cfg!(target_arch = "x86_64") && avx2_supported() {
+        if std::env::var("LEMP_FORCE_ISA").as_deref() == Ok("scalar") {
+            assert_eq!(first, Isa::Scalar);
+        } else if cfg!(target_arch = "x86_64") && avx2_supported() {
             assert_eq!(first, Isa::Avx2);
         } else {
             assert_eq!(first, Isa::Scalar);

@@ -1,0 +1,109 @@
+//! A tiny blocking HTTP/1.1 JSON client — enough for `loadgen`, the
+//! integration tests, and smoke scripts to drive the server over real
+//! sockets without external dependencies.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// One request/response exchange (a fresh connection per call, matching
+/// the server's `Connection: close` policy). Returns the status code and
+/// the parsed JSON body (`Json::Null` for an empty body).
+///
+/// # Errors
+/// Socket failures, malformed responses, and JSON parse errors (as
+/// [`io::ErrorKind::InvalidData`]).
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&Json>,
+    timeout: Option<Duration>,
+) -> io::Result<(u16, Json)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    stream.set_nodelay(true)?;
+    let payload = body.map(Json::render).unwrap_or_default();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: lemp\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Splits a raw HTTP response into status code and parsed JSON body.
+fn parse_response(raw: &[u8]) -> io::Result<(u16, Json)> {
+    let invalid = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| invalid("no header/body separator in response"))?;
+    let head =
+        std::str::from_utf8(&raw[..head_end]).map_err(|_| invalid("non-UTF-8 response head"))?;
+    let status_line = head.lines().next().ok_or_else(|| invalid("empty response"))?;
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("malformed status line"))?;
+    let body = &raw[head_end + 4..];
+    let json = if body.is_empty() {
+        Json::Null
+    } else {
+        let text = std::str::from_utf8(body).map_err(|_| invalid("non-UTF-8 response body"))?;
+        Json::parse(text).map_err(|e| invalid(&format!("bad JSON body: {e}")))?
+    };
+    Ok((status, json))
+}
+
+/// `GET` convenience wrapper around [`request`].
+///
+/// # Errors
+/// Same conditions as [`request`].
+pub fn get(addr: impl ToSocketAddrs, path: &str) -> io::Result<(u16, Json)> {
+    request(addr, "GET", path, None, Some(Duration::from_secs(10)))
+}
+
+/// `POST` convenience wrapper around [`request`].
+///
+/// # Errors
+/// Same conditions as [`request`].
+pub fn post(addr: impl ToSocketAddrs, path: &str, body: &Json) -> io::Result<(u16, Json)> {
+    request(addr, "POST", path, Some(body), Some(Duration::from_secs(10)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_and_body() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 8\r\n\r\n{\"a\": 1}";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.get("a").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn empty_body_is_null() {
+        let (status, body) = parse_response(b"HTTP/1.1 503 Nope\r\nX: y\r\n\r\n").unwrap();
+        assert_eq!(status, 503);
+        assert_eq!(body, Json::Null);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n{}").is_err());
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\n\r\nnot json").is_err());
+    }
+}

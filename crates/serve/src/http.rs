@@ -1,0 +1,247 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing over
+//! `std::net::TcpStream`.
+//!
+//! The server speaks the minimal subset the service needs: one request per
+//! connection (`Connection: close` on every response), `Content-Length`
+//! bodies only (no chunked encoding), case-insensitive header lookup, and
+//! hard caps on header and body size so a hostile peer cannot balloon
+//! memory. Anything outside the subset maps to a clean 4xx instead of a
+//! hang.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased as received).
+    pub method: String,
+    /// The path component (query strings are not used by this API).
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure (including read timeouts).
+    Io(io::Error),
+    /// The bytes were not an acceptable HTTP/1.1 request; the server
+    /// responds with this status and message.
+    Bad {
+        /// Response status to send (400, 413, 405, …).
+        status: u16,
+        /// Human-readable reason, returned in the JSON error body.
+        message: String,
+    },
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+fn bad(status: u16, message: impl Into<String>) -> HttpError {
+    HttpError::Bad { status, message: message.into() }
+}
+
+/// Reads and parses one request from the stream. `max_body` caps the
+/// declared `Content-Length`.
+///
+/// # Errors
+/// [`HttpError::Io`] on socket failures/timeouts, [`HttpError::Bad`] on
+/// malformed or oversized requests.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    // Read until the end of the head ("\r\n\r\n"), never past MAX_HEAD.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut head_end = None;
+    let mut chunk = [0u8; 1024];
+    while head_end.is_none() {
+        if buf.len() > MAX_HEAD {
+            return Err(bad(431, "request head too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad(400, "connection closed before a full request head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        head_end = find_head_end(&buf);
+    }
+    let head_end = head_end.expect("loop exits only when found");
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| bad(400, "request head is not valid UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts.next().ok_or_else(|| bad(400, "missing method"))?.to_uppercase();
+    let target = parts.next().ok_or_else(|| bad(400, "missing request target"))?;
+    let version = parts.next().ok_or_else(|| bad(400, "missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(505, format!("unsupported version {version}")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad(400, format!("malformed header line {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length =
+                value.parse().map_err(|_| bad(400, format!("bad Content-Length {value:?}")))?;
+        } else if name == "transfer-encoding" {
+            return Err(bad(501, "chunked transfer encoding is not supported"));
+        }
+    }
+    if content_length > max_body {
+        return Err(bad(413, format!("body of {content_length} bytes exceeds the limit")));
+    }
+
+    // Body: whatever followed the head in the buffer, then the rest.
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(bad(400, "more body bytes than Content-Length declares"));
+    }
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad(400, "connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+        if body.len() > content_length {
+            return Err(bad(400, "more body bytes than Content-Length declares"));
+        }
+    }
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete JSON response and flushes. Every response closes the
+/// connection (one request per connection keeps the worker pool fair under
+/// load shedding).
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Runs `read_request` against raw client bytes via a real socket pair.
+    fn parse_raw(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            // Keep the socket open long enough for the server side to read.
+            s.shutdown(std::net::Shutdown::Write).ok();
+        });
+        let (mut server, _) = listener.accept().unwrap();
+        let out = read_request(&mut server, 1024);
+        client.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            parse_raw(b"POST /top-k HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"k\": 3}\n")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/top-k");
+        assert_eq!(req.body, b"{\"k\": 3}\n");
+    }
+
+    #[test]
+    fn parses_get_without_body_and_strips_query() {
+        let req = parse_raw(b"get /stats?verbose=1 HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let req = parse_raw(b"POST / HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\n\r\nok").unwrap();
+        assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_and_bad_requests() {
+        for (raw, want_status) in [
+            (&b"POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"[..], 413),
+            (&b"POST / HTTP/2\r\n\r\n"[..], 505),
+            (&b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..], 501),
+            (&b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..], 400),
+            (&b"BROKEN\r\n\r\n"[..], 400),
+        ] {
+            match parse_raw(raw) {
+                Err(HttpError::Bad { status, .. }) => assert_eq!(status, want_status),
+                other => panic!("expected Bad({want_status}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let err = parse_raw(b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort");
+        assert!(matches!(err, Err(HttpError::Bad { status: 400, .. })));
+    }
+
+    #[test]
+    fn response_writer_emits_valid_http() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            write_response(&mut s, 503, "{\"error\":\"overloaded\"}").unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        server.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 22\r\n"));
+        assert!(text.ends_with("{\"error\":\"overloaded\"}"));
+    }
+}

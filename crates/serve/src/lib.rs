@@ -1,0 +1,774 @@
+//! `lemp-serve` — a concurrent query service over one shared LEMP engine.
+//!
+//! The LEMP retrieval phase is embarrassingly parallel across queries
+//! (the paper runs single-threaded only as an experimental control,
+//! Sec. 6), and after [`DynamicLemp::warm`] the hot path needs only
+//! `&self`. This crate turns that into a service: one warmed engine behind
+//! an `RwLock` whose read side is taken by query workers and whose write
+//! side is taken only by probe edits, a fixed worker-thread pool, a
+//! **bounded accept queue** that sheds overload with `503` instead of
+//! stalling, and **micro-batching** — a worker that wakes up drains
+//! compatible queued query requests and answers them with a *single*
+//! engine call, amortizing per-call batch preprocessing.
+//!
+//! Everything is `std`-only: HTTP/1.1 and JSON are hand-rolled (see
+//! [`http`] and [`json`]) because the build environment has no crates.io
+//! access — the same constraint behind the workspace's `vendor/` stand-ins.
+//!
+//! # Endpoints
+//!
+//! | method & path | body | response |
+//! |---|---|---|
+//! | `POST /top-k` | `{"queries": [[f64; dim], …], "k": n, "floor"?: f}` | `{"lists": [[{"id", "score"}, …], …]}` |
+//! | `POST /above-theta` | `{"queries": [[f64; dim], …], "theta": f}` | `{"entries": [{"query", "probe", "value"}, …], "count": n}` |
+//! | `POST /probes` | `{"insert"?: [[f64; dim], …], "remove"?: [id, …]}` | `{"inserted": [id, …], "removed": [bool, …], "probes": n}` |
+//! | `GET /healthz` | — | `{"ok": true, "probes": n, "dim": d, "warm": true}` |
+//! | `GET /stats` | — | `{"counters": {…}, "engine": {…}}` |
+//!
+//! `query` indices in `/above-theta` responses are row indices *within the
+//! request*; `id`/`probe` are the engine's stable probe ids. Errors come
+//! back as `{"error": "message"}` with a 4xx/5xx status. When the accept
+//! queue is full the server answers `503 {"error": "overloaded"}`
+//! immediately — load shedding, never head-of-line blocking.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod stats;
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use lemp_core::{DynamicLemp, MethodScratch, WarmGoal};
+use lemp_linalg::VectorStore;
+
+use http::{HttpError, Request};
+use json::{obj, Json};
+use stats::ServerStats;
+
+/// Tuning knobs of one server instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads answering requests. `0` is allowed (nothing drains
+    /// the queue — only useful in shedding tests).
+    pub workers: usize,
+    /// Accepted connections waiting for a worker; beyond this the acceptor
+    /// sheds with `503`.
+    pub queue_cap: usize,
+    /// Most query requests folded into one engine call per worker wakeup.
+    pub batch_max: usize,
+    /// Per-socket read *and* write timeout (a client that stalls sending
+    /// its request or draining its response cannot pin a worker).
+    pub io_timeout: Option<Duration>,
+    /// Largest accepted request body in bytes.
+    pub max_body: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_cap: 64,
+            batch_max: 8,
+            io_timeout: Some(Duration::from_secs(5)),
+            max_body: 16 << 20,
+        }
+    }
+}
+
+/// The bounded accept queue: `try_push` never blocks (overflow = shed).
+struct ConnQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    cap: usize,
+}
+
+struct QueueState {
+    items: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues, or hands the stream back when full/closed (shed it).
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.lock();
+        if state.closed || state.items.len() >= self.cap {
+            return Err(stream);
+        }
+        state.items.push_back(stream);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking pop (micro-batching drains opportunistically).
+    fn try_pop(&self) -> Option<TcpStream> {
+        self.lock().items.pop_front()
+    }
+
+    fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// State shared by the acceptor and every worker.
+struct Shared {
+    engine: RwLock<DynamicLemp>,
+    /// Vector dimensionality (immutable for the engine's lifetime; lets
+    /// request validation run without touching the lock).
+    dim: usize,
+    stats: ServerStats,
+    queue: ConnQueue,
+    cfg: ServeConfig,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn read_engine(&self) -> std::sync::RwLockReadGuard<'_, DynamicLemp> {
+        self.engine.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_engine(&self) -> std::sync::RwLockWriteGuard<'_, DynamicLemp> {
+        self.engine.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A bound-but-not-yet-serving server (inspect [`Server::local_addr`],
+/// then [`Server::start`] or [`Server::run`]).
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Handle to a running server: address, shutdown, join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port `0` for an ephemeral port) over the given
+    /// engine. An engine that is not yet warm is warmed here with a sample
+    /// of its own probe vectors — a service must never run the lazy `&mut`
+    /// path, so warmth is an invariant from the first request on.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        mut engine: DynamicLemp,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        if !engine.is_warm() {
+            // live_vectors() returns ascending ids, whose lengths are
+            // arbitrary, so a strided subset samples the length spectrum
+            // rather than one end of it.
+            let (_, live) = engine.live_vectors();
+            let rows = live.len().min(256);
+            let stride = (live.len() / rows.max(1)).max(1);
+            let picks: Vec<usize> = (0..rows).map(|i| i * stride).collect();
+            let sample = live.select(&picks);
+            engine.warm(&sample, WarmGoal::TopK(10));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let dim = engine.dim();
+        let shared = Arc::new(Shared {
+            engine: RwLock::new(engine),
+            dim,
+            stats: ServerStats::default(),
+            queue: ConnQueue::new(cfg.queue_cap.max(1)),
+            cfg,
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (with the real port when `0` was requested).
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Spawns the worker pool and the acceptor thread; returns immediately.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn start(self) -> io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let workers: Vec<JoinHandle<()>> = (0..self.shared.cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("lemp-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let shared = Arc::clone(&self.shared);
+        let listener = self.listener;
+        let acceptor = std::thread::Builder::new()
+            .name("lemp-serve-acceptor".to_string())
+            .spawn(move || accept_loop(&listener, &shared))
+            .expect("spawn acceptor");
+        Ok(ServerHandle { addr, shared: self.shared, acceptor, workers })
+    }
+
+    /// Serves until the process dies (the CLI entry point).
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn run(self) -> io::Result<()> {
+        self.start()?.join();
+        Ok(())
+    }
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server threads exit — effectively forever, since
+    /// only [`ServerHandle::shutdown`] stops them (the CLI's serve loop).
+    pub fn join(self) {
+        self.acceptor.join().ok();
+        for w in self.workers {
+            w.join().ok();
+        }
+    }
+
+    /// Stops accepting, drains the queue, and joins all threads. Queued
+    /// but unanswered connections are dropped (clients see EOF).
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.queue.close();
+        self.acceptor.join().ok();
+        for w in self.workers {
+            w.join().ok();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        if let Err(mut stream) = shared.queue.try_push(stream) {
+            // Bounded queue full: shed immediately instead of stalling.
+            ServerStats::bump(&shared.stats.shed);
+            let _ = stream.set_write_timeout(shared.cfg.io_timeout);
+            let body = obj(vec![("error", Json::Str("overloaded".into()))]).render();
+            let _ = http::write_response(&mut stream, 503, &body);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut scratch = shared.read_engine().make_scratch();
+    while let Some(stream) = shared.queue.pop() {
+        // Contain panics (engine asserts on pathological inputs, future
+        // bugs): one bad request must cost one connection, not a worker.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(stream, shared, &mut scratch, true);
+        }));
+        if outcome.is_err() {
+            ServerStats::bump(&shared.stats.server_errors);
+        }
+    }
+}
+
+/// The parameters of a query request; two requests batch together iff they
+/// agree on endpoint *and* parameters (one engine call must serve both).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum QueryKind {
+    TopK { k: usize, floor: f64 },
+    Above { theta: f64 },
+}
+
+/// One parsed query request awaiting its batched engine call.
+struct QueryJob {
+    stream: TcpStream,
+    rows: usize,
+}
+
+fn respond(mut stream: TcpStream, status: u16, body: &Json) {
+    let _ = http::write_response(&mut stream, status, &body.render());
+}
+
+fn respond_error(shared: &Shared, stream: TcpStream, status: u16, message: String) {
+    if status >= 500 {
+        ServerStats::bump(&shared.stats.server_errors);
+    } else {
+        ServerStats::bump(&shared.stats.client_errors);
+    }
+    respond(stream, status, &obj(vec![("error", Json::Str(message))]));
+}
+
+fn respond_http_error(shared: &Shared, stream: TcpStream, err: HttpError) {
+    match err {
+        // Socket-level failure (e.g. read timeout): nothing to say to the
+        // peer reliably; drop the connection.
+        HttpError::Io(_) => ServerStats::bump(&shared.stats.client_errors),
+        HttpError::Bad { status, message } => respond_error(shared, stream, status, message),
+    }
+}
+
+/// Reads, routes and answers one connection. `allow_batch` is true only
+/// for the queue wakeup path — requests drained *during* batching are
+/// handled here with `allow_batch = false` so batching never recurses.
+fn handle_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    scratch: &mut MethodScratch,
+    allow_batch: bool,
+) {
+    let _ = stream.set_read_timeout(shared.cfg.io_timeout);
+    let _ = stream.set_write_timeout(shared.cfg.io_timeout);
+    let _ = stream.set_nodelay(true);
+    let request = match http::read_request(&mut stream, shared.cfg.max_body) {
+        Ok(r) => r,
+        Err(e) => return respond_http_error(shared, stream, e),
+    };
+    ServerStats::bump(&shared.stats.requests);
+    dispatch(stream, request, shared, scratch, allow_batch);
+}
+
+fn dispatch(
+    stream: TcpStream,
+    request: Request,
+    shared: &Shared,
+    scratch: &mut MethodScratch,
+    allow_batch: bool,
+) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let engine = shared.read_engine();
+            let body = obj(vec![
+                ("ok", Json::Bool(true)),
+                ("probes", Json::Num(engine.len() as f64)),
+                ("dim", Json::Num(engine.dim() as f64)),
+                ("warm", Json::Bool(engine.is_warm())),
+            ]);
+            drop(engine);
+            respond(stream, 200, &body);
+        }
+        ("GET", "/stats") => {
+            let engine = shared.read_engine();
+            let engine_info = obj(vec![
+                ("probes", Json::Num(engine.len() as f64)),
+                ("buckets", Json::Num(engine.bucket_count() as f64)),
+                ("dim", Json::Num(engine.dim() as f64)),
+                ("warm", Json::Bool(engine.is_warm())),
+            ]);
+            drop(engine);
+            let body = obj(vec![("counters", shared.stats.snapshot()), ("engine", engine_info)]);
+            respond(stream, 200, &body);
+        }
+        ("POST", "/probes") => handle_probes(stream, &request, shared),
+        ("POST", "/top-k") | ("POST", "/above-theta") => {
+            handle_query(stream, request, shared, scratch, allow_batch)
+        }
+        (_, "/healthz" | "/stats" | "/probes" | "/top-k" | "/above-theta") => {
+            respond_error(shared, stream, 405, format!("method {} not allowed", request.method));
+        }
+        (_, path) => respond_error(shared, stream, 404, format!("unknown path {path:?}")),
+    }
+}
+
+/// Parses a query request body into its kind and query rows (flat).
+fn parse_query(request: &Request, dim: usize) -> Result<(QueryKind, Vec<f64>), (u16, String)> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| (400, "body is not valid UTF-8".to_string()))?;
+    let body = Json::parse(text).map_err(|e| (400, format!("invalid JSON: {e}")))?;
+    let kind = match request.path.as_str() {
+        "/top-k" => {
+            let k = body
+                .get("k")
+                .and_then(Json::as_u64)
+                .ok_or((400, "missing or invalid \"k\"".to_string()))?;
+            let floor = match body.get("floor") {
+                None => f64::NEG_INFINITY,
+                Some(v) => v.as_f64().ok_or((400, "invalid \"floor\"".to_string()))?,
+            };
+            QueryKind::TopK { k: k as usize, floor }
+        }
+        _ => {
+            let theta = body
+                .get("theta")
+                .and_then(Json::as_f64)
+                .ok_or((400, "missing or invalid \"theta\"".to_string()))?;
+            QueryKind::Above { theta }
+        }
+    };
+    let rows = body
+        .get("queries")
+        .and_then(Json::as_arr)
+        .ok_or((400, "missing or invalid \"queries\"".to_string()))?;
+    let mut flat = Vec::with_capacity(rows.len() * dim);
+    for (i, row) in rows.iter().enumerate() {
+        let row = row.as_arr().ok_or_else(|| (400, format!("query {i} is not an array")))?;
+        if row.len() != dim {
+            return Err((
+                400,
+                format!("query {i} has {} coordinates, engine dim is {dim}", row.len()),
+            ));
+        }
+        for x in row {
+            flat.push(x.as_f64().ok_or_else(|| (400, format!("query {i} holds a non-number")))?);
+        }
+    }
+    Ok((kind, flat))
+}
+
+/// Answers a query request, micro-batching compatible queued requests into
+/// the same engine call when `allow_batch` is set.
+fn handle_query(
+    stream: TcpStream,
+    request: Request,
+    shared: &Shared,
+    scratch: &mut MethodScratch,
+    allow_batch: bool,
+) {
+    let (kind, mut flat) = match parse_query(&request, shared.dim) {
+        Ok(parsed) => parsed,
+        Err((status, message)) => return respond_error(shared, stream, status, message),
+    };
+    let mut jobs = vec![QueryJob { stream, rows: flat.len() / shared.dim }];
+
+    // Micro-batching: one worker wakeup drains every *compatible* queued
+    // query request (same endpoint, same parameters) and answers them all
+    // with a single engine call. Incompatible requests are answered
+    // individually, in arrival order, before the batch runs. Only
+    // connections whose request bytes have already arrived join the batch
+    // (a quick `peek` probe decides): a silent peer goes back to the queue
+    // for ordinary handling instead of stalling the already-parsed request
+    // behind its read timeout.
+    if allow_batch {
+        while jobs.len() < shared.cfg.batch_max.max(1) {
+            let Some(mut next) = shared.queue.try_pop() else { break };
+            let _ = next.set_read_timeout(Some(Duration::from_millis(1)));
+            let mut probe = [0u8; 1];
+            if !matches!(next.peek(&mut probe), Ok(n) if n > 0) {
+                // No bytes in flight (or peer already gone): requeue and
+                // stop draining. If the queue refilled meanwhile, shed —
+                // exactly what the acceptor would have done.
+                if let Err(mut next) = shared.queue.try_push(next) {
+                    ServerStats::bump(&shared.stats.shed);
+                    let _ = next.set_write_timeout(shared.cfg.io_timeout);
+                    let body = obj(vec![("error", Json::Str("overloaded".into()))]).render();
+                    let _ = http::write_response(&mut next, 503, &body);
+                }
+                break;
+            }
+            let _ = next.set_read_timeout(shared.cfg.io_timeout);
+            let _ = next.set_write_timeout(shared.cfg.io_timeout);
+            let _ = next.set_nodelay(true);
+            let next_request = match http::read_request(&mut next, shared.cfg.max_body) {
+                Ok(r) => r,
+                Err(e) => {
+                    respond_http_error(shared, next, e);
+                    continue;
+                }
+            };
+            ServerStats::bump(&shared.stats.requests);
+            if next_request.method == "POST" && next_request.path == request.path {
+                match parse_query(&next_request, shared.dim) {
+                    Ok((next_kind, next_flat)) if next_kind == kind => {
+                        jobs.push(QueryJob { stream: next, rows: next_flat.len() / shared.dim });
+                        flat.extend_from_slice(&next_flat);
+                    }
+                    Ok(_) => {
+                        // Same endpoint, different parameters: its own call.
+                        dispatch(next, next_request, shared, scratch, false);
+                    }
+                    Err((status, message)) => respond_error(shared, next, status, message),
+                }
+            } else {
+                dispatch(next, next_request, shared, scratch, false);
+            }
+        }
+    }
+
+    let store = match VectorStore::from_flat(flat, shared.dim) {
+        Ok(store) => store,
+        Err(e) => {
+            // Non-finite coordinates and the like: reject the whole batch
+            // (every member contributed finite JSON numbers, so in practice
+            // this is unreachable; stay defensive anyway).
+            for job in jobs {
+                respond_error(shared, job.stream, 400, format!("invalid queries: {e}"));
+            }
+            return;
+        }
+    };
+
+    ServerStats::bump(&shared.stats.batches);
+    if jobs.len() > 1 {
+        ServerStats::add(&shared.stats.batched_requests, jobs.len() as u64);
+    }
+    ServerStats::add(&shared.stats.queries, store.len() as u64);
+
+    let engine = shared.read_engine();
+    match kind {
+        QueryKind::TopK { k, floor } => {
+            ServerStats::add(&shared.stats.topk_requests, jobs.len() as u64);
+            // k beyond the live probe count returns every probe anyway;
+            // clamping keeps a hostile k (say 10^18) from sizing a heap.
+            let k = k.min(engine.len());
+            let out = engine.row_top_k_with_floor_shared(&store, k, floor, scratch);
+            drop(engine);
+            let mut offset = 0usize;
+            for job in jobs {
+                let lists: Vec<Json> = out.lists[offset..offset + job.rows]
+                    .iter()
+                    .map(|list| {
+                        Json::Arr(
+                            list.iter()
+                                .map(|item| {
+                                    obj(vec![
+                                        ("id", Json::Num(item.id as f64)),
+                                        ("score", Json::Num(item.score)),
+                                    ])
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                offset += job.rows;
+                respond(job.stream, 200, &obj(vec![("lists", Json::Arr(lists))]));
+            }
+        }
+        QueryKind::Above { theta } => {
+            ServerStats::add(&shared.stats.above_requests, jobs.len() as u64);
+            let out = engine.above_theta_shared(&store, theta, scratch);
+            drop(engine);
+            // Split the (unordered) entries back per job by query-row range.
+            let mut per_job: Vec<Vec<Json>> = jobs.iter().map(|_| Vec::new()).collect();
+            let mut bounds = Vec::with_capacity(jobs.len() + 1);
+            bounds.push(0usize);
+            for job in &jobs {
+                bounds.push(bounds.last().unwrap() + job.rows);
+            }
+            for e in &out.entries {
+                let q = e.query as usize;
+                let j = bounds.partition_point(|&b| b <= q) - 1;
+                per_job[j].push(obj(vec![
+                    ("query", Json::Num((q - bounds[j]) as f64)),
+                    ("probe", Json::Num(e.probe as f64)),
+                    ("value", Json::Num(e.value)),
+                ]));
+            }
+            for (job, entries) in jobs.into_iter().zip(per_job) {
+                let count = entries.len();
+                respond(
+                    job.stream,
+                    200,
+                    &obj(vec![("entries", Json::Arr(entries)), ("count", Json::Num(count as f64))]),
+                );
+            }
+        }
+    }
+}
+
+/// `POST /probes`: dynamic inserts/removals behind the write lock. All
+/// vectors are validated *before* the lock is taken, so the engine never
+/// sees a partial edit.
+fn handle_probes(stream: TcpStream, request: &Request, shared: &Shared) {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(t) => t,
+        Err(_) => return respond_error(shared, stream, 400, "body is not valid UTF-8".into()),
+    };
+    let body = match Json::parse(text) {
+        Ok(b) => b,
+        Err(e) => return respond_error(shared, stream, 400, format!("invalid JSON: {e}")),
+    };
+    let mut inserts: Vec<Vec<f64>> = Vec::new();
+    if let Some(rows) = body.get("insert") {
+        let Some(rows) = rows.as_arr() else {
+            return respond_error(shared, stream, 400, "\"insert\" is not an array".into());
+        };
+        for (i, row) in rows.iter().enumerate() {
+            let Some(row) = row.as_arr() else {
+                return respond_error(shared, stream, 400, format!("insert {i} is not an array"));
+            };
+            if row.len() != shared.dim {
+                return respond_error(
+                    shared,
+                    stream,
+                    400,
+                    format!(
+                        "insert {i} has {} coordinates, engine dim is {}",
+                        row.len(),
+                        shared.dim
+                    ),
+                );
+            }
+            let mut v = Vec::with_capacity(row.len());
+            for x in row {
+                match x.as_f64() {
+                    Some(x) => v.push(x),
+                    None => {
+                        return respond_error(
+                            shared,
+                            stream,
+                            400,
+                            format!("insert {i} holds a non-number"),
+                        )
+                    }
+                }
+            }
+            inserts.push(v);
+        }
+    }
+    let mut removals: Vec<u32> = Vec::new();
+    if let Some(ids) = body.get("remove") {
+        let Some(ids) = ids.as_arr() else {
+            return respond_error(shared, stream, 400, "\"remove\" is not an array".into());
+        };
+        for (i, id) in ids.iter().enumerate() {
+            match id.as_u64() {
+                Some(id) if id <= u32::MAX as u64 => removals.push(id as u32),
+                _ => {
+                    return respond_error(
+                        shared,
+                        stream,
+                        400,
+                        format!("remove {i} is not a probe id"),
+                    )
+                }
+            }
+        }
+    }
+
+    ServerStats::bump(&shared.stats.probe_requests);
+    let mut engine = shared.write_engine();
+    let mut inserted = Vec::with_capacity(inserts.len());
+    for v in &inserts {
+        match engine.insert(v) {
+            Ok(id) => inserted.push(Json::Num(id as f64)),
+            Err(e) => {
+                // Validated above; only pathological inputs (non-finite)
+                // can land here.
+                drop(engine);
+                return respond_error(shared, stream, 400, format!("insert rejected: {e}"));
+            }
+        }
+    }
+    let removed: Vec<Json> = removals.iter().map(|&id| Json::Bool(engine.remove(id))).collect();
+    let live = engine.len();
+    drop(engine);
+    respond(
+        stream,
+        200,
+        &obj(vec![
+            ("inserted", Json::Arr(inserted)),
+            ("removed", Json::Arr(removed)),
+            ("probes", Json::Num(live as f64)),
+        ]),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_queue_sheds_on_overflow_and_drains_fifo() {
+        let queue = ConnQueue::new(2);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mk = || TcpStream::connect(addr).unwrap();
+        assert!(queue.try_push(mk()).is_ok());
+        assert!(queue.try_push(mk()).is_ok());
+        assert!(queue.try_push(mk()).is_err(), "third push must overflow");
+        assert!(queue.try_pop().is_some());
+        assert!(queue.try_push(mk()).is_ok(), "freed slot accepts again");
+        assert!(queue.pop().is_some());
+        assert!(queue.pop().is_some());
+        assert!(queue.try_pop().is_none());
+        queue.close();
+        assert!(queue.pop().is_none(), "closed + empty unblocks pop");
+        assert!(queue.try_push(mk()).is_err(), "closed queue rejects");
+    }
+
+    #[test]
+    fn query_kind_batch_compatibility() {
+        let a = QueryKind::TopK { k: 5, floor: f64::NEG_INFINITY };
+        let b = QueryKind::TopK { k: 5, floor: f64::NEG_INFINITY };
+        let c = QueryKind::TopK { k: 6, floor: f64::NEG_INFINITY };
+        let d = QueryKind::Above { theta: 1.0 };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn parse_query_validates_shape() {
+        let req = |path: &str, body: &str| Request {
+            method: "POST".into(),
+            path: path.into(),
+            body: body.as_bytes().to_vec(),
+        };
+        let (kind, flat) =
+            parse_query(&req("/top-k", r#"{"queries":[[1,2],[3,4]],"k":3}"#), 2).unwrap();
+        assert_eq!(kind, QueryKind::TopK { k: 3, floor: f64::NEG_INFINITY });
+        assert_eq!(flat, vec![1.0, 2.0, 3.0, 4.0]);
+        let (kind, _) =
+            parse_query(&req("/above-theta", r#"{"queries":[],"theta":0.5}"#), 2).unwrap();
+        assert_eq!(kind, QueryKind::Above { theta: 0.5 });
+        for (path, body) in [
+            ("/top-k", r#"{"queries":[[1,2]]}"#),         // missing k
+            ("/top-k", r#"{"queries":[[1,2]],"k":-1}"#),  // bad k
+            ("/top-k", r#"{"queries":[[1]],"k":1}"#),     // wrong dim
+            ("/top-k", r#"{"queries":[["x",2]],"k":1}"#), // non-number
+            ("/top-k", r#"{"k":1}"#),                     // missing queries
+            ("/above-theta", r#"{"queries":[[1,2]]}"#),   // missing theta
+            ("/top-k", "not json"),
+        ] {
+            assert!(parse_query(&req(path, body), 2).is_err(), "{body} should fail");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Lock-free service counters, exported by `GET /stats`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::{obj, Json};
+
+/// Monotonic counters of one server instance. All counters use relaxed
+/// ordering — they are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests fully read and routed (any endpoint, any outcome).
+    pub requests: AtomicU64,
+    /// `POST /top-k` query requests answered.
+    pub topk_requests: AtomicU64,
+    /// `POST /above-theta` query requests answered.
+    pub above_requests: AtomicU64,
+    /// `POST /probes` edit requests answered.
+    pub probe_requests: AtomicU64,
+    /// Engine calls made for query endpoints (≤ query requests thanks to
+    /// micro-batching).
+    pub batches: AtomicU64,
+    /// Query requests that were answered as part of a multi-request batch.
+    pub batched_requests: AtomicU64,
+    /// Query vectors answered across all query requests.
+    pub queries: AtomicU64,
+    /// Connections shed with `503` because the accept queue was full.
+    pub shed: AtomicU64,
+    /// Requests rejected with a 4xx (parse/validation failures).
+    pub client_errors: AtomicU64,
+    /// Requests failed with a 5xx.
+    pub server_errors: AtomicU64,
+}
+
+impl ServerStats {
+    /// Relaxed increment helper.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed add helper.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot as the `/stats` JSON object.
+    pub fn snapshot(&self) -> Json {
+        let get = |c: &AtomicU64| Json::Num(c.load(Ordering::Relaxed) as f64);
+        obj(vec![
+            ("requests", get(&self.requests)),
+            ("topk_requests", get(&self.topk_requests)),
+            ("above_requests", get(&self.above_requests)),
+            ("probe_requests", get(&self.probe_requests)),
+            ("batches", get(&self.batches)),
+            ("batched_requests", get(&self.batched_requests)),
+            ("queries", get(&self.queries)),
+            ("shed", get(&self.shed)),
+            ("client_errors", get(&self.client_errors)),
+            ("server_errors", get(&self.server_errors)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reports_all_counters() {
+        let stats = ServerStats::default();
+        ServerStats::bump(&stats.requests);
+        ServerStats::add(&stats.queries, 7);
+        let snap = stats.snapshot();
+        assert_eq!(snap.get("requests").unwrap().as_u64(), Some(1));
+        assert_eq!(snap.get("queries").unwrap().as_u64(), Some(7));
+        assert_eq!(snap.get("shed").unwrap().as_u64(), Some(0));
+        for key in ["topk_requests", "above_requests", "probe_requests", "batches"] {
+            assert!(snap.get(key).is_some(), "missing {key}");
+        }
+    }
+}

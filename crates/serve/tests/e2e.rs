@@ -1,0 +1,340 @@
+//! End-to-end tests: boot the server on an ephemeral port, drive it over
+//! real sockets, and check every answer against the naive baseline.
+
+use std::time::Duration;
+
+use lemp_baselines::types::topk_equivalent;
+use lemp_baselines::Naive;
+use lemp_core::{BucketPolicy, DynamicLemp, RunConfig, WarmGoal};
+use lemp_data::synthetic::GeneratorConfig;
+use lemp_linalg::{ScoredItem, VectorStore};
+use lemp_serve::client;
+use lemp_serve::json::{obj, Json};
+use lemp_serve::{ServeConfig, Server, ServerHandle};
+
+const DIM: usize = 8;
+
+fn fixture(n: usize, seed: u64) -> VectorStore {
+    GeneratorConfig::gaussian(n, DIM, 1.0).generate(seed)
+}
+
+fn boot(probes: &VectorStore, cfg: ServeConfig) -> ServerHandle {
+    let policy = BucketPolicy { min_bucket: 8, cache_bytes: 64 << 10, ..Default::default() };
+    let config = RunConfig { sample_size: 8, ..Default::default() };
+    let mut engine = DynamicLemp::new(probes, policy, config);
+    let sample = fixture(16, 777);
+    engine.warm(&sample, WarmGoal::TopK(5));
+    let server = Server::bind("127.0.0.1:0", engine, cfg).expect("bind ephemeral port");
+    server.start().expect("start server")
+}
+
+fn queries_json(store: &VectorStore, lo: usize, hi: usize) -> Json {
+    Json::Arr(
+        (lo..hi)
+            .map(|i| Json::Arr(store.vector(i).iter().map(|&x| Json::Num(x)).collect()))
+            .collect(),
+    )
+}
+
+fn parse_lists(body: &Json) -> Vec<Vec<ScoredItem>> {
+    body.get("lists")
+        .and_then(Json::as_arr)
+        .expect("lists")
+        .iter()
+        .map(|list| {
+            list.as_arr()
+                .expect("list")
+                .iter()
+                .map(|item| ScoredItem {
+                    id: item.get("id").and_then(Json::as_u64).expect("id") as usize,
+                    score: item.get("score").and_then(Json::as_f64).expect("score"),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_topk_matches_naive_baseline() {
+    let probes = fixture(300, 1);
+    let queries = fixture(48, 2);
+    let k = 5;
+    let (expect, _) = Naive.row_top_k(&queries, &probes, k);
+
+    let handle = boot(&probes, ServeConfig::default());
+    let addr = handle.addr();
+
+    // ≥ 4 client threads, each owning a disjoint slice of the query set,
+    // hammering POST /top-k concurrently.
+    const THREADS: usize = 6;
+    let per = queries.len() / THREADS;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let (queries, expect) = (&queries, &expect);
+            scope.spawn(move || {
+                let lo = t * per;
+                let hi = if t == THREADS - 1 { queries.len() } else { lo + per };
+                // Several rounds so requests interleave heavily.
+                for _ in 0..3 {
+                    for chunk_lo in (lo..hi).step_by(4) {
+                        let chunk_hi = (chunk_lo + 4).min(hi);
+                        let body = obj(vec![
+                            ("queries", queries_json(queries, chunk_lo, chunk_hi)),
+                            ("k", Json::Num(k as f64)),
+                        ]);
+                        let (status, reply) = client::post(addr, "/top-k", &body).expect("request");
+                        assert_eq!(status, 200, "{reply:?}");
+                        let lists = parse_lists(&reply);
+                        assert!(
+                            topk_equivalent(&lists, &expect[chunk_lo..chunk_hi].to_vec(), 1e-9),
+                            "rows {chunk_lo}..{chunk_hi} diverge from naive"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // /stats must report the request and batch counters.
+    let (status, stats) = client::get(addr, "/stats").unwrap();
+    assert_eq!(status, 200);
+    let counters = stats.get("counters").expect("counters");
+    let topk = counters.get("topk_requests").and_then(Json::as_u64).unwrap();
+    let batches = counters.get("batches").and_then(Json::as_u64).unwrap();
+    assert!(topk >= (THREADS * 3) as u64, "served {topk} top-k requests");
+    assert!(batches >= 1 && batches <= counters.get("requests").and_then(Json::as_u64).unwrap());
+    assert!(counters.get("queries").and_then(Json::as_u64).unwrap() >= queries.len() as u64);
+    handle.shutdown();
+}
+
+#[test]
+fn above_theta_endpoint_matches_naive() {
+    let probes = fixture(250, 3);
+    let queries = fixture(30, 4);
+    let theta = 1.0;
+    let (expect_entries, _) = Naive.above_theta(&queries, &probes, theta);
+    let mut expect: Vec<(u32, u32)> = expect_entries.iter().map(|e| (e.query, e.probe)).collect();
+    expect.sort_unstable();
+    assert!(!expect.is_empty(), "fixture must produce entries");
+
+    let handle = boot(&probes, ServeConfig::default());
+    let body = obj(vec![
+        ("queries", queries_json(&queries, 0, queries.len())),
+        ("theta", Json::Num(theta)),
+    ]);
+    let (status, reply) = client::post(handle.addr(), "/above-theta", &body).unwrap();
+    assert_eq!(status, 200, "{reply:?}");
+    let mut got: Vec<(u32, u32)> = reply
+        .get("entries")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|e| {
+            let q = e.get("query").and_then(Json::as_u64).unwrap() as u32;
+            let p = e.get("probe").and_then(Json::as_u64).unwrap() as u32;
+            let v = e.get("value").and_then(Json::as_f64).unwrap();
+            let real = queries.dot_between(q as usize, &probes, p as usize);
+            assert!((v - real).abs() <= 1e-9 * real.abs().max(1.0));
+            (q, p)
+        })
+        .collect();
+    got.sort_unstable();
+    assert_eq!(got, expect);
+    assert_eq!(reply.get("count").and_then(Json::as_u64).unwrap() as usize, expect.len());
+    handle.shutdown();
+}
+
+#[test]
+fn probe_edits_change_subsequent_answers() {
+    let probes = fixture(120, 5);
+    let handle = boot(&probes, ServeConfig::default());
+    let addr = handle.addr();
+
+    // Insert a probe that dominates a known query direction.
+    let spike: Vec<f64> = (0..DIM).map(|i| if i == 0 { 100.0 } else { 0.0 }).collect();
+    let body = obj(vec![(
+        "insert",
+        Json::Arr(vec![Json::Arr(spike.iter().map(|&x| Json::Num(x)).collect())]),
+    )]);
+    let (status, reply) = client::post(addr, "/probes", &body).unwrap();
+    assert_eq!(status, 200, "{reply:?}");
+    let inserted = reply.get("inserted").and_then(Json::as_arr).unwrap();
+    assert_eq!(inserted.len(), 1);
+    let new_id = inserted[0].as_u64().unwrap();
+    assert_eq!(new_id, 120);
+    assert_eq!(reply.get("probes").and_then(Json::as_u64), Some(121));
+
+    // The inserted probe must now win top-1 for an aligned query.
+    let probe_query = obj(vec![
+        (
+            "queries",
+            Json::Arr(vec![Json::Arr(
+                (0..DIM).map(|i| Json::Num(if i == 0 { 1.0 } else { 0.0 })).collect(),
+            )]),
+        ),
+        ("k", Json::Num(1.0)),
+    ]);
+    let (status, reply) = client::post(addr, "/top-k", &probe_query).unwrap();
+    assert_eq!(status, 200);
+    let lists = parse_lists(&reply);
+    assert_eq!(lists[0][0].id as u64, new_id);
+    assert!((lists[0][0].score - 100.0).abs() < 1e-9);
+
+    // Remove it again: a repeat answer must not mention it; removing twice
+    // reports false.
+    let body = obj(vec![("remove", Json::Arr(vec![Json::Num(new_id as f64)]))]);
+    let (status, reply) = client::post(addr, "/probes", &body).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(reply.get("removed").and_then(Json::as_arr).unwrap()[0], Json::Bool(true));
+    let (_, reply) = client::post(addr, "/probes", &body).unwrap();
+    assert_eq!(reply.get("removed").and_then(Json::as_arr).unwrap()[0], Json::Bool(false));
+    let (_, reply) = client::post(addr, "/top-k", &probe_query).unwrap();
+    let lists = parse_lists(&reply);
+    assert_ne!(lists[0][0].id as u64, new_id);
+
+    // healthz reflects the live count.
+    let (status, health) = client::get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(health.get("probes").and_then(Json::as_u64), Some(120));
+    assert_eq!(health.get("dim").and_then(Json::as_u64), Some(DIM as u64));
+    assert_eq!(health.get("warm"), Some(&Json::Bool(true)));
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_with_503() {
+    // No workers: nothing drains the accept queue, so connection number
+    // cap+1 must be shed with 503 instead of waiting forever.
+    let probes = fixture(60, 6);
+    let cfg = ServeConfig { workers: 0, queue_cap: 2, ..Default::default() };
+    let handle = boot(&probes, cfg);
+    let addr = handle.addr();
+
+    // Fill the queue with idle connections (accepted, never answered).
+    let _idle1 = std::net::TcpStream::connect(addr).unwrap();
+    let _idle2 = std::net::TcpStream::connect(addr).unwrap();
+    // Shedding is immediate, so a short client timeout suffices.
+    let mut shed_seen = false;
+    for _ in 0..20 {
+        match client::request(addr, "GET", "/healthz", None, Some(Duration::from_secs(2))) {
+            Ok((503, body)) => {
+                assert_eq!(body.get("error").and_then(Json::as_str), Some("overloaded"));
+                shed_seen = true;
+                break;
+            }
+            Ok((status, body)) => panic!("expected 503, got {status} {body:?}"),
+            // The acceptor may not have enqueued the idle sockets yet.
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    assert!(shed_seen, "overflow connection was never shed");
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_4xx_not_a_hang() {
+    let probes = fixture(80, 7);
+    let handle = boot(&probes, ServeConfig::default());
+    let addr = handle.addr();
+
+    let cases: Vec<(&str, &str, Option<Json>, u16)> = vec![
+        ("GET", "/nope", None, 404),
+        ("DELETE", "/top-k", None, 405),
+        ("POST", "/top-k", Some(Json::Str("not an object".into())), 400),
+        // dimensionality mismatch
+        (
+            "POST",
+            "/top-k",
+            Some(obj(vec![
+                ("queries", Json::Arr(vec![Json::Arr(vec![Json::Num(1.0)])])),
+                ("k", Json::Num(1.0)),
+            ])),
+            400,
+        ),
+        // missing parameter
+        ("POST", "/above-theta", Some(obj(vec![("queries", Json::Arr(vec![]))])), 400),
+        // bad probe id type
+        ("POST", "/probes", Some(obj(vec![("remove", Json::Arr(vec![Json::Num(-3.0)]))])), 400),
+    ];
+    for (method, path, body, want) in cases {
+        let (status, reply) =
+            client::request(addr, method, path, body.as_ref(), Some(Duration::from_secs(5)))
+                .unwrap();
+        assert_eq!(status, want, "{method} {path}: {reply:?}");
+        assert!(reply.get("error").is_some(), "{method} {path} must explain itself");
+    }
+
+    // Raw garbage on the socket also gets a clean 400.
+    use std::io::{Read, Write};
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.write_all(b"GARBAGE\r\n\r\n").unwrap();
+    let mut text = String::new();
+    raw.read_to_string(&mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+
+    // The server is still healthy afterwards.
+    let (status, _) = client::get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+    let (_, stats) = client::get(addr, "/stats").unwrap();
+    let errors =
+        stats.get("counters").unwrap().get("client_errors").and_then(Json::as_u64).unwrap();
+    assert!(errors >= 6, "client errors counted: {errors}");
+    handle.shutdown();
+}
+
+#[test]
+fn empty_query_set_answers_immediately() {
+    let probes = fixture(50, 8);
+    let handle = boot(&probes, ServeConfig::default());
+    let body = obj(vec![("queries", Json::Arr(vec![])), ("k", Json::Num(3.0))]);
+    let (status, reply) = client::post(handle.addr(), "/top-k", &body).unwrap();
+    assert_eq!(status, 200);
+    assert!(reply.get("lists").and_then(Json::as_arr).unwrap().is_empty());
+    handle.shutdown();
+}
+
+#[test]
+fn single_worker_micro_batches_concurrent_requests() {
+    // One worker + a burst of parallel requests: the worker's wakeup must
+    // fold queued compatible requests into shared engine calls. The exact
+    // fold count is timing-dependent, so retry bursts until batching is
+    // observed (correctness of batched answers is asserted every time).
+    let probes = fixture(200, 9);
+    let queries = fixture(32, 10);
+    let k = 3;
+    let (expect, _) = Naive.row_top_k(&queries, &probes, k);
+    let cfg = ServeConfig { workers: 1, queue_cap: 64, batch_max: 8, ..Default::default() };
+    let handle = boot(&probes, cfg);
+    let addr = handle.addr();
+
+    let mut batched = 0u64;
+    for _attempt in 0..25 {
+        std::thread::scope(|scope| {
+            for q in 0..queries.len() {
+                let (queries, expect) = (&queries, &expect);
+                scope.spawn(move || {
+                    let body = obj(vec![
+                        ("queries", queries_json(queries, q, q + 1)),
+                        ("k", Json::Num(k as f64)),
+                    ]);
+                    let (status, reply) = client::post(addr, "/top-k", &body).unwrap();
+                    assert_eq!(status, 200);
+                    let lists = parse_lists(&reply);
+                    assert!(
+                        topk_equivalent(&lists, &expect[q..q + 1].to_vec(), 1e-9),
+                        "query {q} diverges from naive under batching"
+                    );
+                });
+            }
+        });
+        let (_, stats) = client::get(addr, "/stats").unwrap();
+        batched =
+            stats.get("counters").unwrap().get("batched_requests").and_then(Json::as_u64).unwrap();
+        if batched > 0 {
+            break;
+        }
+    }
+    assert!(batched > 0, "micro-batching never engaged across 25 bursts");
+    handle.shutdown();
+}

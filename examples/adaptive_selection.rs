@@ -59,10 +59,7 @@ fn main() {
         .iter()
         .enumerate()
         .max_by_key(|(_, bins)| {
-            bins.iter()
-                .flat_map(|b| b.arms.iter())
-                .map(|a| a.pulls)
-                .sum::<u64>()
+            bins.iter().flat_map(|b| b.arms.iter()).map(|a| a.pulls).sum::<u64>()
         })
         .map(|(b, _)| b)
         .unwrap_or(0);

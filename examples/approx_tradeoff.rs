@@ -62,7 +62,10 @@ fn main() {
         let lists = tree.row_top_k(&queries, k, budget);
         let us = start.elapsed().as_micros() as f64 / queries.len() as f64;
         let recall = topk_recall(&exact.lists, &lists, 1e-9);
-        println!("  {budget:>3} of {} leaves       {us:>8.1} µs/query   recall {recall:.4}", tree.leaves());
+        println!(
+            "  {budget:>3} of {} leaves       {us:>8.1} µs/query   recall {recall:.4}",
+            tree.leaves()
+        );
     }
 
     // Query centroids: cluster-count sweep (the \[17\] + LEMP combination).

@@ -66,11 +66,8 @@ fn main() {
             "hour {hour}: dynamic and cold-build results diverge"
         );
         let cold_above = cold.above_theta(&users, 1.0);
-        let mut expected: Vec<(u32, u32)> = cold_above
-            .entries
-            .iter()
-            .map(|e| (e.query, ids[e.probe as usize]))
-            .collect();
+        let mut expected: Vec<(u32, u32)> =
+            cold_above.entries.iter().map(|e| (e.query, ids[e.probe as usize])).collect();
         expected.sort_unstable();
         let above = engine.above_theta(&users, 1.0);
         assert_eq!(canonical_pairs(&above.entries), expected, "hour {hour}: Above-θ diverges");

@@ -88,9 +88,7 @@ fn main() {
     let out = engine.abs_above_theta(&queries, theta);
     let likely = out.entries.iter().filter(|e| e.value > 0.0).count();
     let unlikely = out.entries.len() - likely;
-    println!(
-        "|entry| ≥ {theta:.4}: {likely} high-confidence facts, {unlikely} unlikely facts"
-    );
+    println!("|entry| ≥ {theta:.4}: {likely} high-confidence facts, {unlikely} unlikely facts");
     let mut most_unlikely: Vec<_> = out.entries.iter().filter(|e| e.value < 0.0).collect();
     most_unlikely.sort_by(|a, b| a.value.partial_cmp(&b.value).unwrap());
     for e in most_unlikely.iter().take(3) {

@@ -21,16 +21,13 @@ fn main() {
     let spec = Dataset::IeSvd.spec().scaled(0.004);
     println!("dataset {}: {} queries × {} probes", spec.name, spec.m, spec.n);
     let (queries, probes) = spec.generate(5);
-    let theta = calibrate::sampled_theta(&queries, &probes, 3_000, 150_000, 9)
-        .expect("calibration");
+    let theta =
+        calibrate::sampled_theta(&queries, &probes, 3_000, 150_000, 9).expect("calibration");
     println!("θ = {theta:.4} (≈ @3k recall level)\n");
 
     let (truth, naive_counters) = Naive.above_theta(&queries, &probes, theta);
     let truth_pairs = canonical_pairs(&truth);
-    println!(
-        "{:<10} {:>9} {:>12} {:>8}  note",
-        "variant", "time", "|C|/query", "recall"
-    );
+    println!("{:<10} {:>9} {:>12} {:>8}  note", "variant", "time", "|C|/query", "recall");
     println!(
         "{:<10} {:>9} {:>12} {:>8}  full product",
         "Naive",
@@ -46,11 +43,8 @@ fn main() {
         let elapsed = t.elapsed();
         let got = canonical_pairs(&out.entries);
         let found = truth_pairs.iter().filter(|p| got.binary_search(p).is_ok()).count();
-        let recall = if truth_pairs.is_empty() {
-            1.0
-        } else {
-            found as f64 / truth_pairs.len() as f64
-        };
+        let recall =
+            if truth_pairs.is_empty() { 1.0 } else { found as f64 / truth_pairs.len() as f64 };
         let note = if variant.is_approximate() { "approximate (ε = 0.03)" } else { "exact" };
         println!(
             "{:<10} {:>9} {:>12} {:>8}  {}",

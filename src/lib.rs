@@ -50,7 +50,6 @@ pub use lemp_data as data;
 pub use lemp_linalg as linalg;
 
 pub use lemp_core::{
-    AboveThetaOutput, AdaptiveConfig, AdaptiveReport, AdaptiveSelector, BanditPolicy,
-    BucketPolicy, Entry, Lemp, LempBuilder, LempVariant, RetrievalCounters, RunStats,
-    TopKOutput,
+    AboveThetaOutput, AdaptiveConfig, AdaptiveReport, AdaptiveSelector, BanditPolicy, BucketPolicy,
+    Entry, Lemp, LempBuilder, LempVariant, RetrievalCounters, RunStats, TopKOutput,
 };

@@ -152,7 +152,8 @@ fn mf_trained_factors_roundtrip_through_lemp() {
     // End-to-end: ratings → factorization → retrieval, verified vs Naive.
     use lemp::data::mf::{synthetic_ratings, train, MfConfig};
     let (ratings, _) = synthetic_ratings(80, 60, 2500, 6, 0.2, 11);
-    let model = train(&ratings, 80, 60, &MfConfig { rank: 8, epochs: 10, ..Default::default() }, 12);
+    let model =
+        train(&ratings, 80, 60, &MfConfig { rank: 8, epochs: 10, ..Default::default() }, 12);
     let (expect, _) = Naive.row_top_k(&model.users, &model.items, 5);
     let mut engine = Lemp::builder().sample_size(6).build(&model.items);
     let out = engine.row_top_k(&model.users, 5);

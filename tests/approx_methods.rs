@@ -55,11 +55,8 @@ fn centroid_method_composes_with_exact_lemp() {
     let k = 5;
     let (truth, _) = Naive.row_top_k(&queries, &probes, k);
     // generous clustering: one cluster per ~8 queries
-    let cfg = CentroidConfig {
-        clusters: (queries.len() / 8).max(1),
-        expand: 8,
-        ..Default::default()
-    };
+    let cfg =
+        CentroidConfig { clusters: (queries.len() / 8).max(1), expand: 8, ..Default::default() };
     let out = centroid_row_top_k(&queries, &probes, k, &cfg).unwrap();
     let recall = topk_recall(&truth, &out.lists, 1e-9);
     // Netflix-like queries are NOT tightly clustered, so recall is modest;
@@ -94,11 +91,7 @@ fn srp_tables_never_return_false_positives_above_theta() {
         // ask for all candidates above θ via a large k, filter by θ
         for item in index.query_top_k(q, probes.len()) {
             if item.score >= theta {
-                got.push(lemp::Entry {
-                    query: i as u32,
-                    probe: item.id as u32,
-                    value: item.score,
-                });
+                got.push(lemp::Entry { query: i as u32, probe: item.id as u32, value: item.score });
             }
         }
     }

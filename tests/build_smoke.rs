@@ -59,10 +59,7 @@ fn row_top_k_matches_naive_on_tiny_matrix() {
         let (expect, _) = Naive.row_top_k(&queries, &probes, k);
         let mut engine = Lemp::builder().build(&probes);
         let out = engine.row_top_k(&queries, k);
-        assert!(
-            topk_equivalent(&out.lists, &expect, 1e-12),
-            "Row-Top-{k} diverged from naive"
-        );
+        assert!(topk_equivalent(&out.lists, &expect, 1e-12), "Row-Top-{k} diverged from naive");
     }
 }
 
@@ -90,8 +87,8 @@ fn every_exact_variant_agrees_on_tiny_matrix() {
 fn documented_facade_reexports_resolve() {
     // Compile-time check that the re-exports the crate docs promise exist.
     use lemp::{
-        AboveThetaOutput, AdaptiveConfig, BanditPolicy, BucketPolicy, Entry, LempBuilder,
-        RunStats, TopKOutput,
+        AboveThetaOutput, AdaptiveConfig, BanditPolicy, BucketPolicy, Entry, LempBuilder, RunStats,
+        TopKOutput,
     };
     fn assert_exists<T>() {}
     assert_exists::<AboveThetaOutput>();

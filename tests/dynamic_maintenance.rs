@@ -37,13 +37,9 @@ fn edit_strategy(dim: usize) -> impl Strategy<Value = Edit> {
 }
 
 /// The surviving `(stable id, vector)` mirror an edit script produces.
-fn apply_mirror(
-    initial: &VectorStore,
-    edits: &[Edit],
-) -> (Vec<u32>, VectorStore) {
-    let mut alive: Vec<(u32, Vec<f64>)> = (0..initial.len())
-        .map(|i| (i as u32, initial.vector(i).to_vec()))
-        .collect();
+fn apply_mirror(initial: &VectorStore, edits: &[Edit]) -> (Vec<u32>, VectorStore) {
+    let mut alive: Vec<(u32, Vec<f64>)> =
+        (0..initial.len()).map(|i| (i as u32, initial.vector(i).to_vec())).collect();
     let mut next_id = initial.len() as u32;
     for edit in edits {
         match edit {
@@ -194,8 +190,7 @@ fn heavy_churn_with_every_variant_stays_exact() {
 fn interleaved_queries_see_each_edit_immediately() {
     let initial = small_store(4, 20, 9);
     let queries = small_store(4, 5, 10);
-    let mut engine =
-        DynamicLemp::new(&initial, BucketPolicy::default(), RunConfig::default());
+    let mut engine = DynamicLemp::new(&initial, BucketPolicy::default(), RunConfig::default());
     let before = engine.row_top_k(&queries, 1);
     // Insert a vector that dominates every query's top-1 by sheer length.
     let id = engine.insert(&[1e4, 1e4, 1e4, 1e4]).unwrap();

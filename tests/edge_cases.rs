@@ -17,8 +17,7 @@ fn exact_variants() -> impl Iterator<Item = LempVariant> {
 #[test]
 fn zero_probe_vectors_are_handled_everywhere() {
     // Some probes are exactly zero; θ > 0 excludes them, θ ≤ 0 includes.
-    let mut rows: Vec<Vec<f64>> =
-        (0..50).map(|i| vec![1.0 + i as f64 * 0.1, 0.5]).collect();
+    let mut rows: Vec<Vec<f64>> = (0..50).map(|i| vec![1.0 + i as f64 * 0.1, 0.5]).collect();
     rows.push(vec![0.0, 0.0]);
     rows.push(vec![0.0, 0.0]);
     let probes = VectorStore::from_rows(&rows).unwrap();
@@ -41,12 +40,9 @@ fn zero_probe_vectors_are_handled_everywhere() {
 #[test]
 fn zero_query_vectors_are_handled_everywhere() {
     let probes = GeneratorConfig::gaussian(60, 3, 0.5).generate(2);
-    let queries = VectorStore::from_rows(&[
-        vec![0.0, 0.0, 0.0],
-        vec![1.0, 0.2, -0.3],
-        vec![0.0, 0.0, 0.0],
-    ])
-    .unwrap();
+    let queries =
+        VectorStore::from_rows(&[vec![0.0, 0.0, 0.0], vec![1.0, 0.2, -0.3], vec![0.0, 0.0, 0.0]])
+            .unwrap();
     for theta in [0.5, 0.0] {
         let (expect, _) = Naive.above_theta(&queries, &probes, theta);
         for variant in exact_variants() {
@@ -77,12 +73,7 @@ fn all_duplicate_probes() {
     for variant in exact_variants() {
         let mut engine = engine_for(&probes, variant);
         let out = engine.above_theta(&queries, 0.5);
-        assert_eq!(
-            canonical_pairs(&out.entries),
-            canonical_pairs(&expect),
-            "{}",
-            variant.name()
-        );
+        assert_eq!(canonical_pairs(&out.entries), canonical_pairs(&expect), "{}", variant.name());
     }
 }
 
@@ -108,12 +99,7 @@ fn dimension_one_vectors() {
     for variant in exact_variants() {
         let mut engine = engine_for(&probes, variant);
         let out = engine.above_theta(&queries, 1.0);
-        assert_eq!(
-            canonical_pairs(&out.entries),
-            canonical_pairs(&expect),
-            "{}",
-            variant.name()
-        );
+        assert_eq!(canonical_pairs(&out.entries), canonical_pairs(&expect), "{}", variant.name());
     }
     let (expect, _) = Naive.row_top_k(&queries, &probes, 2);
     for variant in exact_variants() {
@@ -150,12 +136,7 @@ fn extreme_length_spread_does_not_break_math() {
     for variant in exact_variants() {
         let mut engine = engine_for(&probes, variant);
         let out = engine.above_theta(&queries, theta);
-        assert_eq!(
-            canonical_pairs(&out.entries),
-            canonical_pairs(&expect),
-            "{}",
-            variant.name()
-        );
+        assert_eq!(canonical_pairs(&out.entries), canonical_pairs(&expect), "{}", variant.name());
     }
 }
 
@@ -263,13 +244,9 @@ fn abs_above_duplicate_probes_report_each_copy() {
 fn floored_topk_with_all_variants_on_duplicates() {
     // Duplicates straddling the floor: every exact variant must agree on
     // the *set* sizes (ties within equal scores may order differently).
-    let p = VectorStore::from_rows(&[
-        vec![3.0, 0.0],
-        vec![3.0, 0.0],
-        vec![1.0, 0.0],
-        vec![1.0, 0.0],
-    ])
-    .unwrap();
+    let p =
+        VectorStore::from_rows(&[vec![3.0, 0.0], vec![3.0, 0.0], vec![1.0, 0.0], vec![1.0, 0.0]])
+            .unwrap();
     let q = VectorStore::from_rows(&[vec![1.0, 0.0]]).unwrap();
     for variant in exact_variants() {
         let mut engine = engine_for(&p, variant);
@@ -312,11 +289,7 @@ fn adaptive_degenerate_configurations_stay_exact() {
     ] {
         let mut engine = Lemp::new(&probes);
         let (out, report) = engine.above_theta_adaptive(&queries, 0.8, &acfg);
-        assert_eq!(
-            canonical_pairs(&out.entries),
-            canonical_pairs(&expect),
-            "{acfg:?} diverged"
-        );
+        assert_eq!(canonical_pairs(&out.entries), canonical_pairs(&expect), "{acfg:?} diverged");
         assert_eq!(report.total_pulls(), out.stats.method_mix.total());
     }
 }

@@ -13,11 +13,8 @@ fn store_strategy(
     dim: std::ops::Range<usize>,
 ) -> impl Strategy<Value = VectorStore> {
     (n, dim).prop_flat_map(|(n, dim)| {
-        proptest::collection::vec(
-            proptest::collection::vec(-3.0f64..3.0, dim..=dim),
-            n..=n,
-        )
-        .prop_map(move |rows| VectorStore::from_rows(&rows).expect("finite rows"))
+        proptest::collection::vec(proptest::collection::vec(-3.0f64..3.0, dim..=dim), n..=n)
+            .prop_map(move |rows| VectorStore::from_rows(&rows).expect("finite rows"))
     })
 }
 

@@ -1,9 +1,7 @@
 //! Integration tests for the chunked drivers, role reversal and result
 //! serialization across crates and datasets.
 
-use lemp::baselines::export::{
-    read_entries_csv, read_topk_csv, write_entries_csv, write_topk_csv,
-};
+use lemp::baselines::export::{read_entries_csv, read_topk_csv, write_entries_csv, write_topk_csv};
 use lemp::baselines::types::{canonical_pairs, topk_equivalent, TopKLists};
 use lemp::baselines::Naive;
 use lemp::core::column_top_k;
@@ -17,11 +15,8 @@ fn workload(dataset: Dataset, scale: f64, seed: u64) -> (VectorStore, VectorStor
 
 #[test]
 fn chunked_above_matches_monolithic_on_every_dataset() {
-    for (dataset, theta) in [
-        (Dataset::Netflix, 1.5),
-        (Dataset::IeSvd, 2.0),
-        (Dataset::IeNmf, 1.0),
-    ] {
+    for (dataset, theta) in [(Dataset::Netflix, 1.5), (Dataset::IeSvd, 2.0), (Dataset::IeNmf, 1.0)]
+    {
         let (queries, probes) = workload(dataset, 0.001, 31);
         let mut engine = Lemp::builder().sample_size(8).build(&probes);
         let expect = engine.above_theta(&queries, theta);
@@ -44,11 +39,8 @@ fn chunked_runs_work_with_threads_and_variants() {
     let expect = reference.row_top_k(&queries, k);
     for variant in [LempVariant::L, LempVariant::I, LempVariant::LI] {
         for threads in [1, 4] {
-            let mut engine = Lemp::builder()
-                .variant(variant)
-                .threads(threads)
-                .sample_size(8)
-                .build(&probes);
+            let mut engine =
+                Lemp::builder().variant(variant).threads(threads).sample_size(8).build(&probes);
             let mut lists: TopKLists = vec![Vec::new(); queries.len()];
             engine.row_top_k_chunked(&queries, k, 25, |q, l| lists[q as usize] = l.to_vec());
             assert!(

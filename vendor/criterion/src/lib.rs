@@ -139,9 +139,7 @@ impl BenchmarkGroup<'_> {
     fn scoped(&self) -> Criterion {
         Criterion {
             sample_size: self.sample_size.unwrap_or(self.parent.sample_size),
-            measurement_time: self
-                .measurement_time
-                .unwrap_or(self.parent.measurement_time),
+            measurement_time: self.measurement_time.unwrap_or(self.parent.measurement_time),
             warm_up_time: self.parent.warm_up_time,
             test_mode: self.parent.test_mode,
         }
@@ -157,24 +155,18 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A function name plus a parameter value.
     pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
-        BenchmarkId {
-            label: format!("{function_name}/{parameter}"),
-        }
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
     }
 
     /// Identified by the parameter value alone.
     pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
-        BenchmarkId {
-            label: parameter.to_string(),
-        }
+        BenchmarkId { label: parameter.to_string() }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId {
-            label: s.to_string(),
-        }
+        BenchmarkId { label: s.to_string() }
     }
 }
 
@@ -225,12 +217,8 @@ fn run_one(cfg: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
 
     // Calibrate iterations-per-sample so the whole run lands near the
     // measurement budget.
-    let mut calib = Bencher {
-        samples: Vec::new(),
-        iters_per_sample: 1,
-        samples_wanted: 1,
-        test_mode: false,
-    };
+    let mut calib =
+        Bencher { samples: Vec::new(), iters_per_sample: 1, samples_wanted: 1, test_mode: false };
     let warm_until = Instant::now() + cfg.warm_up_time;
     let mut once = Duration::ZERO;
     loop {
@@ -258,11 +246,8 @@ fn run_one(cfg: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
     };
     f(&mut b);
 
-    let mut per_iter: Vec<f64> = b
-        .samples
-        .iter()
-        .map(|(n, d)| d.as_nanos() as f64 / (*n).max(1) as f64)
-        .collect();
+    let mut per_iter: Vec<f64> =
+        b.samples.iter().map(|(n, d)| d.as_nanos() as f64 / (*n).max(1) as f64).collect();
     if per_iter.is_empty() {
         println!("{label:<50} (no samples)");
         return;
@@ -272,13 +257,7 @@ fn run_one(cfg: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let lo = per_iter[0];
     let hi = per_iter[per_iter.len() - 1];
     let mut line = String::new();
-    let _ = write!(
-        line,
-        "{label:<50} time: [{} {} {}]",
-        fmt_ns(lo),
-        fmt_ns(median),
-        fmt_ns(hi)
-    );
+    let _ = write!(line, "{label:<50} time: [{} {} {}]", fmt_ns(lo), fmt_ns(median), fmt_ns(hi));
     println!("{line}");
 }
 

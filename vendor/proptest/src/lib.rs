@@ -53,9 +53,7 @@ pub struct TestRunner {
 impl TestRunner {
     /// Deterministic runner; the seed is derived from the test name.
     pub fn new(seed: u64) -> Self {
-        TestRunner {
-            rng: StdRng::seed_from_u64(seed),
-        }
+        TestRunner { rng: StdRng::seed_from_u64(seed) }
     }
 
     /// Sample a value from a uniform range.
@@ -243,20 +241,14 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange {
-                lo: r.start,
-                hi_incl: r.end - 1,
-            }
+            SizeRange { lo: r.start, hi_incl: r.end - 1 }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty size range");
-            SizeRange {
-                lo: *r.start(),
-                hi_incl: *r.end(),
-            }
+            SizeRange { lo: *r.start(), hi_incl: *r.end() }
         }
     }
 
@@ -269,10 +261,7 @@ pub mod collection {
 
     /// The `proptest::collection::vec` entry point.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy {
-            element,
-            size: size.into(),
-        }
+        VecStrategy { element, size: size.into() }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
