@@ -11,8 +11,9 @@
 //! * By default requests are `POST /top-k` at the given `k`; passing
 //!   `theta=` switches to `POST /above-theta`.
 //! * With `verify-probes=` pointing at the matrix the server was booted
-//!   on, every top-k answer is checked against the naive baseline — the
-//!   acceptance gate for the serving layer — and any mismatch exits
+//!   on, every answer — top-k lists, or Above-θ entry sets when `theta=`
+//!   is given — is checked against the naive baseline: the acceptance
+//!   gate for the serving layer (sharded or not), any mismatch exits
 //!   non-zero.
 //! * `503` responses (load shedding) are counted, not retried.
 
@@ -54,9 +55,12 @@ fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
     sorted_ns[idx] as f64 / 1e6
 }
 
+/// One Above-θ result entry: (local query row, probe id, value).
+type AboveEntry = (u32, u32, f64);
+
 /// Outcome of one request: latency (ok) or the failure class.
 enum Outcome {
-    Ok { ns: u64, lists: Vec<Vec<ScoredItem>> },
+    Ok { ns: u64, lists: Vec<Vec<ScoredItem>>, entries: Vec<AboveEntry> },
     Shed,
     Error(String),
 }
@@ -126,11 +130,18 @@ fn main() {
                     let outcome = match client::post(addr, path, &body) {
                         Ok((200, reply)) => {
                             let ns = start.elapsed().as_nanos() as u64;
-                            let lists = if above_mode {
-                                Vec::new()
+                            let (lists, entries) = if above_mode {
+                                match parse_entries(&reply) {
+                                    Ok(entries) => (Vec::new(), entries),
+                                    Err(e) => {
+                                        local.push((r, Outcome::Error(e)));
+                                        r += threads;
+                                        continue;
+                                    }
+                                }
                             } else {
                                 match parse_lists(&reply) {
-                                    Ok(lists) => lists,
+                                    Ok(lists) => (lists, Vec::new()),
                                     Err(e) => {
                                         local.push((r, Outcome::Error(e)));
                                         r += threads;
@@ -138,7 +149,7 @@ fn main() {
                                     }
                                 }
                             };
-                            Outcome::Ok { ns, lists }
+                            Outcome::Ok { ns, lists, entries }
                         }
                         Ok((503, _)) => Outcome::Shed,
                         Ok((status, reply)) => Outcome::Error(format!("HTTP {status}: {reply:?}")),
@@ -159,12 +170,17 @@ fn main() {
     let mut shed = 0usize;
     let mut errors = 0usize;
     let mut answers: Vec<(usize, Vec<Vec<ScoredItem>>)> = Vec::new();
+    let mut above_answers: Vec<(usize, Vec<AboveEntry>)> = Vec::new();
     for (r, outcome) in outcomes {
         match outcome {
-            Outcome::Ok { ns, lists } => {
+            Outcome::Ok { ns, lists, entries } => {
                 ok += 1;
                 latencies.push(ns);
-                answers.push((r, lists));
+                if above_mode {
+                    above_answers.push((r, entries));
+                } else {
+                    answers.push((r, lists));
+                }
             }
             Outcome::Shed => shed += 1,
             Outcome::Error(e) => {
@@ -195,14 +211,50 @@ fn main() {
         percentile(&latencies, 99.0)
     );
 
-    // Optional exactness gate against the naive baseline.
+    // Optional exactness gate against the naive baseline — covers both
+    // modes, so a sharded (or any) server can be verified end to end under
+    // top-k *and* Above-θ load.
     let verify_path = args.get_str("verify-probes", "");
     let mut mismatches = 0usize;
-    if !verify_path.is_empty() && !above_mode {
+    if !verify_path.is_empty() {
         match load_matrix(&verify_path) {
             Err(e) => {
                 eprintln!("loadgen: {e}");
                 std::process::exit(1);
+            }
+            Ok(probes) if above_mode => {
+                let (expect_entries, _) = Naive.above_theta(&queries, &probes, theta);
+                // Expected (local query row, probe, value) per request —
+                // the value is checked too, so score corruption that keeps
+                // entry membership intact still fails the gate.
+                let mut per_request: Vec<Vec<AboveEntry>> = vec![Vec::new(); requests];
+                for e in &expect_entries {
+                    let r = e.query as usize / qpr;
+                    per_request[r].push((e.query - (r * qpr) as u32, e.probe, e.value));
+                }
+                let key = |e: &AboveEntry| (e.0, e.1);
+                for list in &mut per_request {
+                    list.sort_unstable_by_key(key);
+                }
+                for (r, entries) in &above_answers {
+                    let mut got = entries.clone();
+                    got.sort_unstable_by_key(key);
+                    let expect = &per_request[*r];
+                    let matches = got.len() == expect.len()
+                        && got.iter().zip(expect).all(|(g, e)| {
+                            g.0 == e.0
+                                && g.1 == e.1
+                                && (g.2 - e.2).abs() <= 1e-9 * e.2.abs().max(1.0)
+                        });
+                    if !matches {
+                        mismatches += 1;
+                        eprintln!("loadgen: request {r} diverges from the naive baseline");
+                    }
+                }
+                println!(
+                    "  verify     {} of {ok} Above-θ answers checked against Naive, {mismatches} mismatches",
+                    above_answers.len()
+                );
             }
             Ok(probes) => {
                 let (expect, _) = Naive.row_top_k(&queries, &probes, k);
@@ -250,6 +302,31 @@ fn parse_lists(body: &Json) -> Result<Vec<Vec<ScoredItem>>, String> {
                     Ok(ScoredItem { id, score })
                 })
                 .collect()
+        })
+        .collect()
+}
+
+fn parse_entries(body: &Json) -> Result<Vec<AboveEntry>, String> {
+    let entries = body
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "response misses \"entries\"".to_string())?;
+    entries
+        .iter()
+        .map(|e| {
+            let q = e
+                .get("query")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "entry misses \"query\"".to_string())? as u32;
+            let p = e
+                .get("probe")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "entry misses \"probe\"".to_string())? as u32;
+            let v = e
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| "entry misses \"value\"".to_string())?;
+            Ok((q, p, v))
         })
         .collect()
 }

@@ -25,28 +25,33 @@ use lemp_approx::{centroid_row_top_k, CentroidConfig, PcaTree, PcaTreeConfig, Sr
 use lemp_baselines::export;
 use lemp_baselines::types::TopKLists;
 use lemp_baselines::Naive;
-use lemp_core::{AdaptiveConfig, BanditPolicy, Lemp, LempVariant};
+use lemp_core::shard::{is_sharded_image, ShardPolicy};
+use lemp_core::{AdaptiveConfig, BanditPolicy, Lemp, LempVariant, ShardedLemp, WarmGoal};
 use lemp_data::datasets::Dataset;
 use lemp_data::{io as mio, mm};
 use lemp_linalg::{stats, VectorStore};
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "usage:
-  lemp-cli above       <queries> <probes> theta=<f> [out=<path>] [variant=<L|C|I|LC|LI|TA|Tree|L2AP|BLSH>] [threads=<n>] [chunk=<n>] [abs=<bool>] [adaptive=<ucb1|eps-greedy>]
-  lemp-cli topk        <queries> <probes> k=<n>     [out=<path>] [variant=...] [threads=<n>] [chunk=<n>] [floor=<f>] [adaptive=<ucb1|eps-greedy>]
+  lemp-cli above       <queries> <probes> theta=<f> [out=<path>] [variant=<L|C|I|LC|LI|TA|Tree|L2AP|BLSH>] [threads=<n>] [chunk=<n>] [abs=<bool>] [adaptive=<ucb1|eps-greedy>] [shards=<n>] [shard-policy=<rr|banded>]
+  lemp-cli topk        <queries> <probes> k=<n>     [out=<path>] [variant=...] [threads=<n>] [chunk=<n>] [floor=<f>] [adaptive=<ucb1|eps-greedy>] [shards=<n>] [shard-policy=<rr|banded>]
   lemp-cli approx-topk <queries> <probes> k=<n> method=<srp|pca|centroid> [budget=<n>] [clusters=<n>] [expand=<n>] [seed=<u>] [verify=<bool>] [out=<path>]
   lemp-cli generate    <ie-nmf|ie-svd|netflix|kdd> <queries-out> <probes-out> [scale=<f>] [seed=<u>]
   lemp-cli convert     <in> <out> [mm-layout=<array|coordinate>]
   lemp-cli stats       <matrix>
   lemp-cli tune-report <queries> <probes> (theta=<f> | k=<n>) [variant=...]
   lemp-cli topn        <queries> <probes> n=<n> [chunk=<n>] [out=<path>]
-  lemp-cli index       <probes> <engine-out> [variant=...]
+  lemp-cli index       <probes> <engine-out> [variant=...] [shards=<n>] [shard-policy=<rr|banded>]
   lemp-cli self-join   <matrix> t=<f> [out=<path>]
-  lemp-cli serve       <probes|engine.eng> [addr=127.0.0.1:0] [workers=<n>] [queue=<n>] [batch=<n>] [variant=...] [sample=<matrix>] [warm-k=<n>]
+  lemp-cli serve       <probes|engine.eng> [addr=127.0.0.1:0] [workers=<n>] [queue=<n>] [batch=<n>] [variant=...] [sample=<matrix>] [warm-k=<n>] [shards=<n>] [shard-policy=<rr|banded>]
 
 matrix files by extension: .bin (lemp binary), .mtx (Matrix Market), otherwise CSV;
 `above`/`topk`/`serve` accept a prebuilt engine image (from `index`) as the <probes>
-argument when its extension is .eng";
+argument when its extension is .eng — single-shard (LEMPENG1) and sharded (LEMPSHD1)
+images are told apart by magic, so both kinds just work;
+shards=<n> (n >= 1) partitions the probes across n shard engines (exact results,
+shard-parallel execution); shard-policy picks round-robin (rr) or length-banded
+partitioning and requires shards= or a sharded image";
 
 /// Entry point shared by the binary and the tests. `args` excludes the
 /// program name.
@@ -195,7 +200,153 @@ fn adaptive_cfg(args: &[String]) -> Result<Option<AdaptiveConfig>, String> {
     }
 }
 
+/// Parses `shard-policy=<rr|banded>` (default round-robin).
+fn parse_shard_policy(args: &[String]) -> Result<ShardPolicy, String> {
+    match opt(args, "shard-policy").unwrap_or("rr") {
+        "rr" => Ok(ShardPolicy::RoundRobin),
+        "banded" => Ok(ShardPolicy::LengthBanded),
+        other => Err(format!("unknown shard-policy {other:?} (rr|banded)")),
+    }
+}
+
+/// Parses `shards=<n>`: `Some(n ≥ 1)` when given (a 1-shard engine is
+/// legitimate), `None` when absent, an error for `shards=0` or garbage.
+fn shard_request(args: &[String]) -> Result<Option<usize>, String> {
+    match opt(args, "shards") {
+        None => Ok(None),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(format!("bad shards: {raw:?} (must be a count of at least 1)")),
+        },
+    }
+}
+
+/// Rejects a `shard-policy=` that would be silently ignored because no
+/// sharded path is taken (no `shards=`, input not a sharded manifest).
+fn reject_dangling_shard_policy(args: &[String]) -> Result<(), String> {
+    if opt(args, "shard-policy").is_some() {
+        return Err("shard-policy= requires shards=<n> (or a sharded engine image)".into());
+    }
+    Ok(())
+}
+
+/// Whether `path` names a sharded (`LEMPSHD1`) engine manifest.
+fn sharded_image(path: &str) -> Result<bool, String> {
+    if !path.ends_with(".eng") {
+        return Ok(false);
+    }
+    is_sharded_image(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Loads or builds the sharded engine for `above`/`topk`/`serve`: a
+/// sharded `.eng` manifest as-is, or a matrix partitioned into `shards`
+/// (`shards == 0` means "not requested on the command line"). A manifest's
+/// partitioning is baked in, so conflicting `shards=`/`shard-policy=`
+/// options are rejected rather than silently ignored.
+fn load_sharded(args: &[String], probes_path: &str, shards: usize) -> Result<ShardedLemp, String> {
+    if sharded_image(probes_path)? {
+        let engine = ShardedLemp::load(Path::new(probes_path))
+            .map_err(|e| format!("cannot load sharded engine {probes_path}: {e}"))?;
+        if shards > 0 && shards != engine.shard_count() {
+            return Err(format!(
+                "{probes_path} is a sharded manifest with {} shards; shards={shards} cannot \
+                 repartition it — rebuild with `lemp index <probes> <out.eng> shards={shards}`",
+                engine.shard_count()
+            ));
+        }
+        if opt(args, "shard-policy").is_some() {
+            return Err(format!(
+                "{probes_path} already encodes its partitioning; shard-policy= only applies \
+                 when building from a matrix"
+            ));
+        }
+        return Ok(engine);
+    }
+    if probes_path.ends_with(".eng") {
+        return Err(format!(
+            "{probes_path} is a single-shard image; build a sharded one with \
+             `lemp index <probes> <out.eng> shards={shards}`"
+        ));
+    }
+    let probes = load(probes_path)?;
+    let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
+    Ok(ShardedLemp::builder()
+        .shards(shards)
+        .policy(parse_shard_policy(args)?)
+        .variant(variant)
+        .build(&probes))
+}
+
+/// `above`/`topk` over a sharded engine: warm on the query set, answer
+/// through the shared path, merge exactly. Output format matches the
+/// unsharded runs byte-for-byte (the conformance suite holds the results
+/// themselves identical).
+fn retrieve_sharded(args: &[String], above: bool, shards: usize) -> Result<(), String> {
+    let queries = load(positional(args, 0)?)?;
+    let probes_path = positional(args, 1)?;
+    if opt_parse::<usize>(args, "chunk", 0)? > 0 {
+        return Err("sharded execution does not support chunked runs".into());
+    }
+    if opt(args, "adaptive").is_some() {
+        return Err("sharded execution does not support adaptive selection in the CLI".into());
+    }
+    let threads: usize = opt_parse(args, "threads", 0)?;
+    let mut engine = load_sharded(args, probes_path, shards)?;
+    engine.set_threads(if threads > 0 { threads } else { engine.shard_count() });
+    if engine.dim() != queries.dim() {
+        return Err(format!(
+            "dimensionality mismatch: queries r={}, probes r={}",
+            queries.dim(),
+            engine.dim()
+        ));
+    }
+    let mut out = sink(args)?;
+    if above {
+        let theta: f64 = opt_require(args, "theta")?;
+        let abs: bool = opt_parse(args, "abs", false)?;
+        engine.warm(&queries, WarmGoal::Above(theta));
+        let mut scratch = engine.make_scratch();
+        let result = if abs {
+            engine.abs_above_theta_shared(&queries, theta, &mut scratch)
+        } else {
+            engine.above_theta_shared(&queries, theta, &mut scratch)
+        };
+        let mut entries = result.entries;
+        entries.sort_by_key(|e| (e.query, e.probe));
+        export::write_entries_csv(&mut out, &entries).map_err(|e| e.to_string())?;
+        let sign = if abs { "|·| ≥" } else { "≥" };
+        eprintln!(
+            "{} entries {sign} {theta} | {} queries over {} shards ({} probes), total {:.3}s",
+            entries.len(),
+            queries.len(),
+            engine.shard_count(),
+            engine.len(),
+            result.stats.counters.total_seconds()
+        );
+    } else {
+        let k: usize = opt_require(args, "k")?;
+        let floor: f64 = opt_parse(args, "floor", f64::NEG_INFINITY)?;
+        engine.warm(&queries, WarmGoal::TopK(k.max(1)));
+        let mut scratch = engine.make_scratch();
+        let result = engine.row_top_k_with_floor_shared(&queries, k, floor, &mut scratch);
+        export::write_topk_csv(&mut out, &result.lists).map_err(|e| e.to_string())?;
+        eprintln!(
+            "top-{k} for {} queries over {} shards ({} probes), total {:.3}s",
+            queries.len(),
+            engine.shard_count(),
+            engine.len(),
+            result.stats.counters.total_seconds()
+        );
+    }
+    Ok(())
+}
+
 fn retrieve(args: &[String], above: bool) -> Result<(), String> {
+    let shards = shard_request(args)?;
+    if shards.is_some() || sharded_image(positional(args, 1)?)? {
+        return retrieve_sharded(args, above, shards.unwrap_or(0));
+    }
+    reject_dangling_shard_policy(args)?;
     let queries = load(positional(args, 0)?)?;
     let probes_path = positional(args, 1)?;
     let threads: usize = opt_parse(args, "threads", 1)?;
@@ -471,6 +622,22 @@ fn index(args: &[String]) -> Result<(), String> {
         return Err(format!("engine images use the .eng extension, got {out:?}"));
     }
     let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
+    if let Some(shards) = shard_request(args)? {
+        let engine = ShardedLemp::builder()
+            .shards(shards)
+            .policy(parse_shard_policy(args)?)
+            .variant(variant)
+            .build(&probes);
+        engine.save(Path::new(out)).map_err(|e| format!("cannot write engine {out}: {e}"))?;
+        eprintln!(
+            "indexed {} probes into {} shards ({} buckets) -> {out}",
+            engine.len(),
+            engine.shard_count(),
+            engine.bucket_count()
+        );
+        return Ok(());
+    }
+    reject_dangling_shard_policy(args)?;
     let engine = Lemp::builder().variant(variant).build(&probes);
     engine.save(Path::new(out)).map_err(|e| format!("cannot write engine {out}: {e}"))?;
     eprintln!(
@@ -484,11 +651,13 @@ fn index(args: &[String]) -> Result<(), String> {
 /// `serve`: boot the `lemp-serve` HTTP service over a probe matrix or a
 /// persisted engine image (the intended production input — `lemp index`
 /// once, then `lemp serve engine.eng` on every restart without repeating
-/// preprocessing). The engine is warmed before the socket starts
-/// accepting, so the first request already runs the shared `&self` path.
+/// preprocessing). Single-shard and sharded images are told apart by
+/// magic; `shards=<n>` on a matrix builds a sharded engine in place. The
+/// engine is warmed before the socket starts accepting, so the first
+/// request already runs the shared `&self` path.
 fn serve(args: &[String]) -> Result<(), String> {
-    use lemp_core::{BucketPolicy, DynamicLemp, RunConfig, WarmGoal};
-    use lemp_serve::{ServeConfig, Server};
+    use lemp_core::{BucketPolicy, DynamicLemp, RunConfig};
+    use lemp_serve::{ServeConfig, ServeEngine, Server};
 
     let probes_path = positional(args, 0)?;
     let addr = opt(args, "addr").unwrap_or("127.0.0.1:0");
@@ -496,49 +665,87 @@ fn serve(args: &[String]) -> Result<(), String> {
     let queue: usize = opt_parse(args, "queue", 64)?;
     let batch: usize = opt_parse(args, "batch", 8)?;
     let warm_k: usize = opt_parse(args, "warm-k", 10)?;
+    let shards = shard_request(args)?;
 
-    let mut engine = if probes_path.ends_with(".eng") {
-        let loaded = Lemp::load(Path::new(probes_path))
-            .map_err(|e| format!("cannot load engine {probes_path}: {e}"))?;
-        DynamicLemp::from_engine(loaded, BucketPolicy::default())
-    } else {
-        let probes = load(probes_path)?;
-        let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
-        let config = RunConfig { variant, ..Default::default() };
-        DynamicLemp::new(&probes, BucketPolicy::default(), config)
-    };
-    if engine.is_empty() {
-        return Err(format!("{probes_path} holds no probe vectors"));
-    }
-    // Request-level parallelism comes from the worker pool; per-call
-    // threading would oversubscribe the cores.
-    engine.set_threads(1);
-
-    // Warm on an explicit sample, or on the probe vectors themselves
-    // (drawn from the same latent space — a reasonable tuning stand-in).
-    let sample = match opt(args, "sample") {
-        Some(path) => {
-            let sample = load(path)?;
-            if sample.dim() != engine.dim() {
-                return Err(format!(
-                    "sample dimensionality {} does not match engine dimensionality {}",
-                    sample.dim(),
-                    engine.dim()
-                ));
+    // Warm-up sample: an explicit file, or (None) the engine's own probe
+    // vectors — drawn from the same latent space, a reasonable tuning
+    // stand-in.
+    let explicit_sample = |dim: usize| -> Result<Option<VectorStore>, String> {
+        match opt(args, "sample") {
+            None => Ok(None),
+            Some(path) => {
+                let sample = load(path)?;
+                if sample.dim() != dim {
+                    return Err(format!(
+                        "sample dimensionality {} does not match engine dimensionality {dim}",
+                        sample.dim()
+                    ));
+                }
+                Ok(Some(sample))
             }
-            sample
         }
-        None => engine.live_vectors().1,
     };
-    let report = engine.warm(&sample, WarmGoal::TopK(warm_k.max(1)));
-    eprintln!(
-        "warmed {} probes in {} buckets: {} indexes built in {:.3}s (tuning {:.3}s)",
-        engine.len(),
-        engine.bucket_count(),
-        report.indexes_built,
-        report.build_ns as f64 / 1e9,
-        report.tune_ns as f64 / 1e9,
-    );
+
+    let engine: ServeEngine = if shards.is_some() || sharded_image(probes_path)? {
+        let mut engine = load_sharded(args, probes_path, shards.unwrap_or(0))?;
+        if engine.is_empty() {
+            return Err(format!("{probes_path} holds no probe vectors"));
+        }
+        // Every request fans out across shards, and the worker pool runs
+        // requests concurrently on top — divide the cores between the two
+        // so the combination never oversubscribes (the dynamic branch's
+        // set_threads(1) with the worker pool as the only parallelism is
+        // the same principle).
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        engine.set_threads((cores / workers.max(1)).clamp(1, engine.shard_count()));
+        let sample = match explicit_sample(engine.dim())? {
+            Some(sample) => sample,
+            None => engine.sample_vectors(1024),
+        };
+        let report = engine.warm(&sample, WarmGoal::TopK(warm_k.max(1)));
+        eprintln!(
+            "warmed {} probes in {} shards ({} buckets): {} indexes built in {:.3}s (tuning {:.3}s)",
+            engine.len(),
+            engine.shard_count(),
+            engine.bucket_count(),
+            report.indexes_built,
+            report.build_ns as f64 / 1e9,
+            report.tune_ns as f64 / 1e9,
+        );
+        ServeEngine::Sharded(engine)
+    } else {
+        reject_dangling_shard_policy(args)?;
+        let mut engine = if probes_path.ends_with(".eng") {
+            let loaded = Lemp::load(Path::new(probes_path))
+                .map_err(|e| format!("cannot load engine {probes_path}: {e}"))?;
+            DynamicLemp::from_engine(loaded, BucketPolicy::default())
+        } else {
+            let probes = load(probes_path)?;
+            let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
+            let config = RunConfig { variant, ..Default::default() };
+            DynamicLemp::new(&probes, BucketPolicy::default(), config)
+        };
+        if engine.is_empty() {
+            return Err(format!("{probes_path} holds no probe vectors"));
+        }
+        // Request-level parallelism comes from the worker pool; per-call
+        // threading would oversubscribe the cores.
+        engine.set_threads(1);
+        let sample = match explicit_sample(engine.dim())? {
+            Some(sample) => sample,
+            None => engine.live_vectors().1,
+        };
+        let report = engine.warm(&sample, WarmGoal::TopK(warm_k.max(1)));
+        eprintln!(
+            "warmed {} probes in {} buckets: {} indexes built in {:.3}s (tuning {:.3}s)",
+            engine.len(),
+            engine.bucket_count(),
+            report.indexes_built,
+            report.build_ns as f64 / 1e9,
+            report.tune_ns as f64 / 1e9,
+        );
+        ServeEngine::Dynamic(engine)
+    };
 
     let cfg = ServeConfig {
         workers: workers.max(1),
@@ -921,6 +1128,141 @@ mod tests {
         assert!(run(&s(&["index", p.to_str().unwrap(), "probes.bin"]))
             .unwrap_err()
             .contains(".eng"));
+        for f in [&q, &p, &eng, &out1, &out2] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn sharded_runs_match_unsharded_runs() {
+        let q = temp("shard-q", "csv");
+        let p = temp("shard-p", "csv");
+        let out1 = temp("shard-out1", "csv");
+        let out2 = temp("shard-out2", "csv");
+        let qrows: Vec<String> =
+            (0..6).map(|i| format!("{},{}", 1.0 + i as f64 * 0.3, 2.0 - i as f64 * 0.2)).collect();
+        // Distinct values everywhere so the top-k boundary has no ties.
+        let prows: Vec<String> = (0..40)
+            .map(|i| format!("{},{}", 0.5 + i as f64 * 0.13, ((i * 7) % 11) as f64 * 0.4))
+            .collect();
+        std::fs::write(&q, qrows.join("\n")).unwrap();
+        std::fs::write(&p, prows.join("\n")).unwrap();
+        for (base, sharded_extra) in [
+            (vec!["topk", q.to_str().unwrap(), p.to_str().unwrap(), "k=3"], "shards=3"),
+            (vec!["above", q.to_str().unwrap(), p.to_str().unwrap(), "theta=1.5"], "shards=2"),
+        ] {
+            run(&s(&[&base[..], &[&format!("out={}", out1.display())]].concat())).unwrap();
+            for policy in ["rr", "banded"] {
+                run(&s(&[
+                    &base[..],
+                    &[
+                        sharded_extra,
+                        &format!("shard-policy={policy}"),
+                        &format!("out={}", out2.display()),
+                    ],
+                ]
+                .concat()))
+                .unwrap();
+                assert_eq!(
+                    std::fs::read_to_string(&out1).unwrap(),
+                    std::fs::read_to_string(&out2).unwrap(),
+                    "sharded {base:?} ({policy}) diverges from unsharded"
+                );
+            }
+        }
+        // shards=1 is a legitimate (single-shard) sharded run, not a no-op.
+        run(&s(&[
+            "topk",
+            q.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "k=3",
+            &format!("out={}", out1.display()),
+        ]))
+        .unwrap();
+        run(&s(&[
+            "topk",
+            q.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "k=3",
+            "shards=1",
+            &format!("out={}", out2.display()),
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&out1).unwrap(),
+            std::fs::read_to_string(&out2).unwrap(),
+            "S=1 sharded topk diverges from unsharded"
+        );
+        // Unsupported combinations are rejected, not silently ignored.
+        let base = ["topk", q.to_str().unwrap(), p.to_str().unwrap(), "k=3", "shards=2"];
+        assert!(run(&s(&[&base[..], &["chunk=2"]].concat())).is_err());
+        assert!(run(&s(&[&base[..], &["adaptive=ucb1"]].concat())).is_err());
+        assert!(run(&s(&[&base[..], &["shard-policy=magic"]].concat())).is_err());
+        // shards=0 and a shard-policy that would be silently dropped error.
+        let plain = ["topk", q.to_str().unwrap(), p.to_str().unwrap(), "k=3"];
+        assert!(run(&s(&[&plain[..], &["shards=0"]].concat())).is_err());
+        let err = run(&s(&[&plain[..], &["shard-policy=banded"]].concat())).unwrap_err();
+        assert!(err.contains("requires shards"), "{err}");
+        for f in [&q, &p, &out1, &out2] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn sharded_index_then_query_from_manifest() {
+        let q = temp("shardeng-q", "csv");
+        let p = temp("shardeng-p", "csv");
+        let eng = temp("shardeng", "eng");
+        let out1 = temp("shardeng-out1", "csv");
+        let out2 = temp("shardeng-out2", "csv");
+        write_csv_matrix(&q, &["1,0", "0,1"]);
+        // All scores distinct for both queries: no k-boundary ties, so the
+        // sharded and unsharded id choices must coincide exactly.
+        write_csv_matrix(&p, &["2,0", "0,3", "1,1", "0.5,0.5", "3,0.2"]);
+        run(&s(&["index", p.to_str().unwrap(), eng.to_str().unwrap(), "shards=2"])).unwrap();
+        // The sharded manifest answers identically to a fresh matrix run —
+        // no shards= needed at query time, the magic decides.
+        run(&s(&[
+            "topk",
+            q.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "k=2",
+            &format!("out={}", out1.display()),
+        ]))
+        .unwrap();
+        run(&s(&[
+            "topk",
+            q.to_str().unwrap(),
+            eng.to_str().unwrap(),
+            "k=2",
+            &format!("out={}", out2.display()),
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&out1).unwrap(),
+            std::fs::read_to_string(&out2).unwrap()
+        );
+        // A manifest's partitioning is baked in: a conflicting shards= or
+        // any shard-policy= is rejected, never silently ignored.
+        let err = run(&s(&["topk", q.to_str().unwrap(), eng.to_str().unwrap(), "k=2", "shards=3"]))
+            .unwrap_err();
+        assert!(err.contains("cannot repartition"), "{err}");
+        let err = run(&s(&[
+            "topk",
+            q.to_str().unwrap(),
+            eng.to_str().unwrap(),
+            "k=2",
+            "shard-policy=banded",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("already encodes"), "{err}");
+        // ...while the matching shards= is accepted.
+        run(&s(&["topk", q.to_str().unwrap(), eng.to_str().unwrap(), "k=2", "shards=2"])).unwrap();
+        // shards= on a *single-shard* image cannot repartition either.
+        run(&s(&["index", p.to_str().unwrap(), eng.to_str().unwrap()])).unwrap();
+        let err = run(&s(&["topk", q.to_str().unwrap(), eng.to_str().unwrap(), "k=2", "shards=2"]))
+            .unwrap_err();
+        assert!(err.contains("single-shard"), "{err}");
         for f in [&q, &p, &eng, &out1, &out2] {
             std::fs::remove_file(f).ok();
         }

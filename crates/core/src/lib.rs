@@ -57,6 +57,7 @@ pub mod persist;
 pub mod query;
 pub mod runner;
 pub mod scratch;
+pub mod shard;
 pub mod stream;
 pub mod tuner;
 pub mod variant;
@@ -69,6 +70,7 @@ pub use exec::RunConfig;
 pub use lemp_baselines::types::{Entry, RetrievalCounters, TopKLists};
 pub use persist::PersistError;
 pub use runner::{AboveThetaOutput, MethodMix, RunStats, TopKOutput};
+pub use shard::{ShardPolicy, ShardScratch, ShardedLemp};
 pub use stream::column_top_k;
 pub use variant::{LempVariant, TunedParams};
 
@@ -274,6 +276,13 @@ impl Lemp {
     /// The preprocessed probe buckets (inspection / tests).
     pub fn buckets(&self) -> &ProbeBuckets {
         &self.buckets
+    }
+
+    /// Mutable bucket access for in-crate structure surgery (the sharded
+    /// engine relabels bucket ids to global probe ids after building each
+    /// shard over its slice of the probe matrix).
+    pub(crate) fn buckets_mut(&mut self) -> &mut ProbeBuckets {
+        &mut self.buckets
     }
 
     /// The active run configuration.

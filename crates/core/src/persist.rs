@@ -25,6 +25,14 @@
 //! everything a corrupted or hand-edited file could break: magic, variant
 //! tags, finiteness, within-bucket length ordering, the inter-bucket
 //! ordering the retrieval loops rely on, and exact trailing length.
+//!
+//! The sharded engine ([`crate::ShardedLemp`]) persists a `LEMPSHD1`
+//! manifest that embeds one such image per shard (see [`crate::shard`]).
+//! **Legacy single-shard `LEMPENG1` files keep loading unchanged** through
+//! [`Lemp::load`] and everything built on it (`lemp serve`,
+//! [`crate::DynamicLemp::from_engine`]); the two formats share the `.eng`
+//! extension and are told apart by magic
+//! ([`crate::shard::is_sharded_image`]).
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};

@@ -1,0 +1,1175 @@
+//! Horizontal sharding: one logical LEMP engine over `S` independent
+//! shard engines, with an exact merge layer.
+//!
+//! LEMP's bucketization (Sec. 3) partitions the probe vectors by length,
+//! and nothing in the pruning logic requires all buckets to live in one
+//! engine: any partition of the probe set can be queried shard-by-shard
+//! and merged exactly. [`ShardedLemp`] exploits that for *shard-level
+//! parallelism* — a single query batch fans out across every shard on the
+//! engine's thread pool — and as the stepping stone toward multi-process
+//! and multi-host deployments (each shard is a self-contained, separately
+//! persistable [`Lemp`]).
+//!
+//! # Exactness across the merge boundary
+//!
+//! Each shard's buckets carry **global** probe ids (the shard engines are
+//! built over their slice of the probe matrix and then relabeled), so
+//! shard outputs need no translation layer:
+//!
+//! * **Above-θ** (and |Above-θ|): a probe either is or is not in a shard;
+//!   the global result is the *concatenation* of per-shard results, entry
+//!   values bit-identical to the unsharded engine (verification computes
+//!   inner products on the original vectors in both).
+//! * **Row-Top-k** (and the floored variant): each shard returns its local
+//!   top-k per query; the global top-k is a per-query **k-way heap merge**
+//!   of the shard-local lists ([`kway_merge_topk`]), ordered by descending
+//!   score with ties broken by ascending global id. Scores are
+//!   bit-identical to the unsharded engine; at a tied k-boundary the
+//!   retained *ids* may legally differ between any two exact engines (the
+//!   same caveat as between LEMP and Naive), never the retained scores.
+//! * **Adaptive selection**: per-shard selectors carry the learning state;
+//!   results are exact regardless of what the bandits chose.
+//!
+//! The differential conformance suite
+//! (`crates/core/tests/sharding_conformance.rs`) pins this down: for every
+//! method and `S ∈ {1, 2, 3, 7}` under every [`ShardPolicy`], the sharded
+//! engine must agree with the unsharded engine and with the naive scan —
+//! including ties at the k-boundary and `θ` exactly equal to a score.
+//!
+//! # Partitioning
+//!
+//! [`ShardPolicy`] picks the partition. `RoundRobin` balances shard sizes
+//! regardless of the length distribution; `LengthBanded` gives each shard
+//! a contiguous band of the length-sorted probes (shard 0 the longest), so
+//! under Row-Top-k workloads the short-band shards prune early and shard 0
+//! does the seeding work — mirroring the paper's bucket layout at the
+//! shard level; `Explicit` accepts any externally computed assignment
+//! (e.g. a routing table from a placement optimizer).
+//!
+//! # Persistence
+//!
+//! [`ShardedLemp::save`] writes a `LEMPSHD1` manifest: the shard map
+//! header plus every shard's ordinary `LEMPENG1` image, length-prefixed.
+//! Loading re-validates each embedded image with the full single-engine
+//! checks *and* the cross-shard invariants (equal dimensionality, globally
+//! disjoint probe ids). Legacy single-shard `.eng` files keep loading
+//! through [`Lemp::load`] — the two formats are distinguished by magic
+//! (see [`is_sharded_image`]).
+
+use std::cmp::Ordering;
+use std::collections::HashSet;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use lemp_linalg::{ScoredItem, VectorStore};
+
+use crate::adaptive::{AdaptiveConfig, AdaptiveSelector};
+use crate::algos::MethodScratch;
+use crate::bucket::BucketPolicy;
+use crate::exec::RunConfig;
+use crate::persist::{expect_eof, read_u64, write_u64, PersistError};
+use crate::runner::{AboveThetaOutput, RunStats, TopKOutput};
+use crate::variant::LempVariant;
+use crate::{Lemp, WarmGoal, WarmReport};
+
+/// How probe rows are assigned to shards.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardPolicy {
+    /// Row `i` goes to shard `i mod S`: balanced sizes, length-agnostic.
+    RoundRobin,
+    /// The probes are sorted by decreasing length and cut into `S`
+    /// near-equal contiguous bands; shard 0 holds the longest band. The
+    /// shard-level analogue of LEMP's own bucketization.
+    LengthBanded,
+    /// Explicit per-row shard assignment (`assignment[i] < S` for all
+    /// rows). For routing tables computed outside the engine.
+    Explicit(Vec<u32>),
+}
+
+impl ShardPolicy {
+    fn kind(&self) -> ShardPolicyKind {
+        match self {
+            ShardPolicy::RoundRobin => ShardPolicyKind::RoundRobin,
+            ShardPolicy::LengthBanded => ShardPolicyKind::LengthBanded,
+            ShardPolicy::Explicit(_) => ShardPolicyKind::Explicit,
+        }
+    }
+
+    /// Global row ids per shard. Rows within a shard keep the order the
+    /// policy produces; the shard engine re-sorts by length anyway.
+    fn partition(&self, probes: &VectorStore, shards: usize) -> Vec<Vec<usize>> {
+        let n = probes.len();
+        let mut rows: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        match self {
+            ShardPolicy::RoundRobin => {
+                for i in 0..n {
+                    rows[i % shards].push(i);
+                }
+            }
+            ShardPolicy::LengthBanded => {
+                let lengths = probes.lengths();
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&a, &b| lengths[b].total_cmp(&lengths[a]).then(a.cmp(&b)));
+                let band = n.div_ceil(shards).max(1);
+                for (pos, &row) in order.iter().enumerate() {
+                    rows[(pos / band).min(shards - 1)].push(row);
+                }
+            }
+            ShardPolicy::Explicit(assignment) => {
+                assert_eq!(
+                    assignment.len(),
+                    n,
+                    "explicit shard assignment must cover every probe row"
+                );
+                for (i, &s) in assignment.iter().enumerate() {
+                    assert!(
+                        (s as usize) < shards,
+                        "explicit assignment routes row {i} to shard {s}, only {shards} shards"
+                    );
+                    rows[s as usize].push(i);
+                }
+            }
+        }
+        rows
+    }
+}
+
+/// The partitioning family of a (possibly loaded) sharded engine. A loaded
+/// `Explicit` engine keeps its partition (it is embedded in the shard
+/// contents) without retaining the original assignment vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicyKind {
+    /// Built with [`ShardPolicy::RoundRobin`].
+    RoundRobin,
+    /// Built with [`ShardPolicy::LengthBanded`].
+    LengthBanded,
+    /// Built with [`ShardPolicy::Explicit`].
+    Explicit,
+}
+
+fn kind_tag(kind: ShardPolicyKind) -> u8 {
+    match kind {
+        ShardPolicyKind::RoundRobin => 0,
+        ShardPolicyKind::LengthBanded => 1,
+        ShardPolicyKind::Explicit => 2,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Result<ShardPolicyKind, PersistError> {
+    Ok(match tag {
+        0 => ShardPolicyKind::RoundRobin,
+        1 => ShardPolicyKind::LengthBanded,
+        2 => ShardPolicyKind::Explicit,
+        other => return Err(PersistError::Format(format!("unknown shard policy tag {other}"))),
+    })
+}
+
+/// Errors of the exact merge layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The same global probe id appeared in more than one shard-local
+    /// list — the shards do not partition the probe set.
+    DuplicateGlobalId(usize),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::DuplicateGlobalId(id) => {
+                write!(f, "global probe id {id} appears in more than one shard list")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// One entry of the k-way merge heap: the current head of `list`.
+struct MergeHead {
+    score: f64,
+    id: usize,
+    list: usize,
+    pos: usize,
+}
+
+impl PartialEq for MergeHead {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for MergeHead {}
+impl PartialOrd for MergeHead {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MergeHead {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: larger score wins; among ties the *smaller* id wins.
+        self.score.total_cmp(&other.score).then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// Exact k-way merge of shard-local top-k lists: the global top-k of the
+/// concatenation, sorted by descending score with ties broken by ascending
+/// global id (the same canonical order as a single engine's
+/// [`lemp_linalg::TopK::drain_sorted`]). Each input list is normalized to
+/// that order first, so arbitrary within-tie input orders are accepted;
+/// `k` larger than the total candidate count returns everything.
+///
+/// # Errors
+/// [`ShardError::DuplicateGlobalId`] if any global id appears in more than
+/// one input item — shard outputs must partition the probe set. (The
+/// engine's own merge path skips this scan: disjointness is a structural
+/// invariant enforced when a [`ShardedLemp`] is built or loaded.)
+pub fn kway_merge_topk(
+    lists: Vec<Vec<ScoredItem>>,
+    k: usize,
+) -> Result<Vec<ScoredItem>, ShardError> {
+    let total: usize = lists.iter().map(Vec::len).sum();
+    let mut seen = HashSet::with_capacity(total);
+    for item in lists.iter().flatten() {
+        if !seen.insert(item.id) {
+            return Err(ShardError::DuplicateGlobalId(item.id));
+        }
+    }
+    Ok(merge_disjoint(lists, k))
+}
+
+/// The merge itself, assuming globally disjoint ids (checked only in debug
+/// builds) — the per-query hot path of [`ShardedLemp::row_top_k_shared`],
+/// which never allocates the duplicate-scan hash set.
+fn merge_disjoint(mut lists: Vec<Vec<ScoredItem>>, k: usize) -> Vec<ScoredItem> {
+    debug_assert!(
+        {
+            let mut seen = HashSet::new();
+            lists.iter().flatten().all(|item| seen.insert(item.id))
+        },
+        "shard-local lists must hold globally disjoint ids"
+    );
+    let total: usize = lists.iter().map(Vec::len).sum();
+    for list in &mut lists {
+        // Already sorted by descending score (shard output); the re-sort
+        // only canonicalizes within-tie id order, so it is near-linear.
+        list.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+    }
+    let take = k.min(total);
+    let mut out = Vec::with_capacity(take);
+    if take == 0 {
+        return out;
+    }
+    let mut heap = std::collections::BinaryHeap::with_capacity(lists.len());
+    for (li, list) in lists.iter().enumerate() {
+        if let Some(item) = list.first() {
+            heap.push(MergeHead { score: item.score, id: item.id, list: li, pos: 0 });
+        }
+    }
+    while out.len() < take {
+        let head = heap.pop().expect("heap holds a head while items remain");
+        out.push(ScoredItem { id: head.id, score: head.score });
+        if let Some(next) = lists[head.list].get(head.pos + 1) {
+            heap.push(MergeHead {
+                score: next.score,
+                id: next.id,
+                list: head.list,
+                pos: head.pos + 1,
+            });
+        }
+    }
+    out
+}
+
+/// Fans per-shard work `chunks` out across scoped threads, one worker per
+/// chunk; each worker runs `f` over its chunk serially and the results are
+/// flattened back in shard order. A single chunk runs inline — the serial
+/// path spawns nothing. Shared by [`ShardedLemp::warm`] (mutable chunks)
+/// and the query fan-out (shared chunks + scratch slices).
+fn fan_out_chunks<C: Send, T: Send>(chunks: Vec<C>, f: impl Fn(C) -> Vec<T> + Sync) -> Vec<T> {
+    if chunks.len() <= 1 {
+        return chunks.into_iter().flat_map(f).collect();
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks.into_iter().map(|c| scope.spawn(move || f(c))).collect();
+        handles.into_iter().flat_map(|h| h.join().expect("shard worker panicked")).collect()
+    })
+}
+
+/// Per-shard scratch for the shared (`&self`) query path of a
+/// [`ShardedLemp`] — one [`MethodScratch`] per shard, handed out disjointly
+/// to the fan-out workers. One `ShardScratch` per querying thread.
+#[derive(Debug)]
+pub struct ShardScratch {
+    per_shard: Vec<MethodScratch>,
+}
+
+/// Builder for [`ShardedLemp`].
+#[derive(Debug, Clone)]
+pub struct ShardedLempBuilder {
+    shards: usize,
+    policy: ShardPolicy,
+    bucket_policy: BucketPolicy,
+    config: RunConfig,
+}
+
+impl Default for ShardedLempBuilder {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            policy: ShardPolicy::RoundRobin,
+            bucket_policy: BucketPolicy::default(),
+            config: RunConfig::default(),
+        }
+    }
+}
+
+impl ShardedLempBuilder {
+    /// Number of shards (≥ 1; default 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Partitioning policy (default [`ShardPolicy::RoundRobin`]).
+    pub fn policy(mut self, policy: ShardPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Bucket method(s) of every shard engine; default [`LempVariant::LI`].
+    pub fn variant(mut self, variant: LempVariant) -> Self {
+        self.config.variant = variant;
+        self
+    }
+
+    /// Tuner sample size of every shard engine (Sec. 4.4; default 50).
+    pub fn sample_size(mut self, sample: usize) -> Self {
+        self.config.sample_size = sample;
+        self
+    }
+
+    /// Threads for the **shard fan-out** (shard engines themselves run
+    /// single-threaded; parallelism comes from querying shards
+    /// concurrently). Default 1 = serial shard sweep.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads.max(1);
+        self
+    }
+
+    /// Bucketization policy of every shard engine.
+    pub fn bucket_policy(mut self, policy: BucketPolicy) -> Self {
+        self.bucket_policy = policy;
+        self
+    }
+
+    /// Partitions `probes` and builds one engine per shard. Bucket ids
+    /// inside every shard are relabeled to the **global** row ids, so shard
+    /// outputs merge without translation.
+    pub fn build(self, probes: &VectorStore) -> ShardedLemp {
+        let fan_out = self.config.threads;
+        // Shard engines stay single-threaded: the sharded layer owns the
+        // parallelism (one worker per shard), and nesting thread pools
+        // would oversubscribe the cores.
+        let shard_config = RunConfig { threads: 1, ..self.config };
+        let rows_per_shard = self.policy.partition(probes, self.shards);
+        let shards = rows_per_shard
+            .iter()
+            .map(|rows| {
+                let sub = probes.select(rows);
+                let mut engine = Lemp::builder()
+                    .policy(self.bucket_policy)
+                    .variant(shard_config.variant)
+                    .sample_size(shard_config.sample_size)
+                    .tree_base(shard_config.tree_base)
+                    .blsh(shard_config.blsh_bits, shard_config.blsh_eps)
+                    .build(&sub);
+                // Relabel local row ids (0..rows.len()) to global ids.
+                for bucket in engine.buckets_mut().buckets_mut() {
+                    for slot in &mut bucket.ids {
+                        *slot = rows[*slot as usize] as u32;
+                    }
+                }
+                engine
+            })
+            .collect();
+        ShardedLemp {
+            shards,
+            kind: self.policy.kind(),
+            fan_out,
+            dim: probes.dim(),
+            total: probes.len(),
+            warm: false,
+        }
+    }
+}
+
+/// A shard-parallel LEMP engine: `S` independently warmed [`Lemp`] shards
+/// behind an exact merge layer. After [`ShardedLemp::warm`] all query
+/// methods run through `&self` with a caller-owned [`ShardScratch`], so
+/// one sharded engine serves any number of threads concurrently — exactly
+/// like [`Lemp`], scaled out.
+///
+/// ```
+/// use lemp_core::shard::{ShardPolicy, ShardedLemp};
+/// use lemp_core::WarmGoal;
+/// use lemp_linalg::VectorStore;
+///
+/// let probes = VectorStore::from_rows(&[
+///     vec![3.0, 0.0],
+///     vec![0.0, 2.0],
+///     vec![1.0, 1.0],
+/// ]).unwrap();
+/// let queries = VectorStore::from_rows(&[vec![1.0, 0.5]]).unwrap();
+/// let mut engine = ShardedLemp::builder()
+///     .shards(2)
+///     .policy(ShardPolicy::LengthBanded)
+///     .build(&probes);
+/// engine.warm(&queries, WarmGoal::TopK(2));
+/// let mut scratch = engine.make_scratch();
+/// let top = engine.row_top_k_shared(&queries, 2, &mut scratch);
+/// assert_eq!(top.lists[0][0].id, 0); // global ids, merged exactly
+/// ```
+#[derive(Debug)]
+pub struct ShardedLemp {
+    /// One engine per shard; bucket ids are global probe ids.
+    shards: Vec<Lemp>,
+    kind: ShardPolicyKind,
+    fan_out: usize,
+    dim: usize,
+    total: usize,
+    warm: bool,
+}
+
+impl ShardedLemp {
+    /// Builder with all defaults (1 shard, round-robin, LEMP-LI).
+    pub fn builder() -> ShardedLempBuilder {
+        ShardedLempBuilder::default()
+    }
+
+    /// Round-robin sharded engine over `probes` with all other defaults.
+    pub fn new(probes: &VectorStore, shards: usize) -> Self {
+        Self::builder().shards(shards).build(probes)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of probe vectors across all shards.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// `true` if no shard holds any probes.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Probe count per shard (the shard map, in shard order).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.buckets().total()).collect()
+    }
+
+    /// Total bucket count across all shards.
+    pub fn bucket_count(&self) -> usize {
+        self.shards.iter().map(|s| s.buckets().bucket_count()).sum()
+    }
+
+    /// The partitioning family this engine was built (or loaded) with.
+    pub fn policy_kind(&self) -> ShardPolicyKind {
+        self.kind
+    }
+
+    /// The shard engines (inspection / tests). Bucket ids are global.
+    pub fn shards(&self) -> &[Lemp] {
+        &self.shards
+    }
+
+    /// Overrides the shard fan-out thread count (shard engines themselves
+    /// stay single-threaded).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.fan_out = threads.max(1);
+    }
+
+    /// **Warms every shard** ([`Lemp::warm`] per shard, fanned out across
+    /// the thread pool); afterwards the `*_shared` methods answer through
+    /// `&self`. Reports are summed.
+    ///
+    /// # Panics
+    /// If the sample dimensionality differs from the probe dimensionality.
+    pub fn warm(&mut self, sample: &VectorStore, goal: WarmGoal) -> WarmReport {
+        assert_eq!(sample.dim(), self.dim, "query/probe dimensionality mismatch");
+        let chunk = self.chunk_size();
+        let reports: Vec<WarmReport> =
+            fan_out_chunks(self.shards.chunks_mut(chunk).collect(), |shards: &mut [Lemp]| {
+                shards.iter_mut().map(|s| s.warm(sample, goal)).collect()
+            });
+        let mut report = WarmReport::default();
+        for r in reports {
+            report.indexes_built += r.indexes_built;
+            report.build_ns += r.build_ns;
+            report.tune_ns += r.tune_ns;
+        }
+        self.warm = true;
+        report
+    }
+
+    /// Whether [`ShardedLemp::warm`] has run (the `*_shared` methods are
+    /// usable).
+    pub fn is_warm(&self) -> bool {
+        self.warm
+    }
+
+    /// A [`ShardScratch`] sized for this engine (one per querying thread).
+    pub fn make_scratch(&self) -> ShardScratch {
+        ShardScratch { per_shard: self.shards.iter().map(Lemp::make_scratch).collect() }
+    }
+
+    /// Fresh per-shard selectors for the adaptive drivers, aligned with
+    /// the shard list.
+    pub fn adaptive_selectors(&self, acfg: &AdaptiveConfig) -> Vec<AdaptiveSelector> {
+        self.shards.iter().map(|s| s.adaptive_selector(acfg)).collect()
+    }
+
+    /// Exactly `min(max, len)` probe vectors, strided across every shard's
+    /// buckets — a warming sample that covers the whole length spectrum
+    /// when no query sample is at hand (mirrors the serving layer's
+    /// self-sample). Shards are visited smallest first, so budget a small
+    /// shard cannot use is always redistributed to a larger one and the
+    /// count comes out exact regardless of shard-size skew.
+    pub fn sample_vectors(&self, max: usize) -> VectorStore {
+        let mut store = VectorStore::empty(self.dim).expect("dim > 0");
+        if self.total == 0 || max == 0 {
+            return store;
+        }
+        let mut nonempty: Vec<&Lemp> =
+            self.shards.iter().filter(|s| s.buckets().total() > 0).collect();
+        nonempty.sort_by_key(|s| s.buckets().total());
+        let mut remaining = max.min(self.total);
+        for (i, shard) in nonempty.iter().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            let n = shard.buckets().total();
+            let take = remaining.div_ceil(nonempty.len() - i).min(n);
+            let stride = (n / take).max(1);
+            let mut idx = 0usize;
+            let mut picked = 0usize;
+            'shard: for bucket in shard.buckets().buckets() {
+                for l in 0..bucket.len() {
+                    if idx.is_multiple_of(stride) {
+                        store.push(bucket.origs.vector(l)).expect("same dimensionality");
+                        picked += 1;
+                        if picked == take {
+                            break 'shard;
+                        }
+                    }
+                    idx += 1;
+                }
+            }
+            remaining -= picked;
+        }
+        store
+    }
+
+    fn assert_ready(&self, caller: &str, scratch: &ShardScratch) {
+        assert!(self.warm, "{caller} requires a warmed engine: call ShardedLemp::warm first");
+        assert_eq!(
+            scratch.per_shard.len(),
+            self.shards.len(),
+            "{caller}: scratch was made for a different sharded engine"
+        );
+    }
+
+    /// Runs `f` once per shard (shard engine + its scratch slot), fanned
+    /// out across up to `fan_out` scoped threads; results in shard order.
+    fn for_each_shard<T: Send>(
+        &self,
+        scratch: &mut ShardScratch,
+        f: impl Fn(&Lemp, &mut MethodScratch) -> T + Sync,
+    ) -> Vec<T> {
+        let chunk = self.chunk_size();
+        let f = &f;
+        fan_out_chunks(
+            self.shards.chunks(chunk).zip(scratch.per_shard.chunks_mut(chunk)).collect(),
+            move |(shards, scratches): (&[Lemp], &mut [MethodScratch])| {
+                shards.iter().zip(scratches).map(|(shard, sc)| f(shard, sc)).collect()
+            },
+        )
+    }
+
+    /// Shards per fan-out worker: `fan_out` workers cover the shard list
+    /// in contiguous chunks (one chunk ⇒ the serial path).
+    fn chunk_size(&self) -> usize {
+        let nthreads = self.fan_out.min(self.shards.len()).max(1);
+        self.shards.len().div_ceil(nthreads).max(1)
+    }
+
+    /// Merges per-shard run statistics: counters sum (CPU totals across
+    /// shards, not wall time), bucket/index counts aggregate, and the
+    /// query count is restored to the batch size (every shard saw every
+    /// query).
+    fn merge_stats(&self, outs: &[RunStats], queries: usize) -> RunStats {
+        let mut stats = RunStats::default();
+        for s in outs {
+            stats.merge(s);
+        }
+        stats.counters.queries = queries as u64;
+        stats.bucket_count = self.bucket_count();
+        stats
+    }
+
+    /// **Above-θ** across all shards: per-shard shared runs, results
+    /// concatenated (a probe lives in exactly one shard). Entry values are
+    /// bit-identical to the unsharded engine.
+    ///
+    /// # Panics
+    /// If the engine is not warmed, the scratch belongs to another engine,
+    /// or on query/probe dimensionality mismatch.
+    pub fn above_theta_shared(
+        &self,
+        queries: &VectorStore,
+        theta: f64,
+        scratch: &mut ShardScratch,
+    ) -> AboveThetaOutput {
+        self.assert_ready("above_theta_shared", scratch);
+        let outs =
+            self.for_each_shard(scratch, |shard, sc| shard.above_theta_shared(queries, theta, sc));
+        let mut entries = Vec::with_capacity(outs.iter().map(|o| o.entries.len()).sum());
+        let stats: Vec<RunStats> = outs
+            .into_iter()
+            .map(|o| {
+                entries.extend(o.entries);
+                o.stats
+            })
+            .collect();
+        let mut stats = self.merge_stats(&stats, queries.len());
+        stats.counters.results = entries.len() as u64;
+        AboveThetaOutput { entries, stats }
+    }
+
+    /// **Row-Top-k** across all shards: per-shard shared runs merged with
+    /// the exact per-query k-way merge ([`kway_merge_topk`]).
+    ///
+    /// # Panics
+    /// Same conditions as [`ShardedLemp::above_theta_shared`].
+    pub fn row_top_k_shared(
+        &self,
+        queries: &VectorStore,
+        k: usize,
+        scratch: &mut ShardScratch,
+    ) -> TopKOutput {
+        self.row_top_k_with_floor_shared(queries, k, f64::NEG_INFINITY, scratch)
+    }
+
+    /// **Row-Top-k with a score floor** across all shards (each shard
+    /// applies the floor locally; the merged top-k of the per-shard
+    /// floored lists is exactly the floored global top-k).
+    ///
+    /// # Panics
+    /// Same conditions as [`ShardedLemp::above_theta_shared`].
+    pub fn row_top_k_with_floor_shared(
+        &self,
+        queries: &VectorStore,
+        k: usize,
+        floor: f64,
+        scratch: &mut ShardScratch,
+    ) -> TopKOutput {
+        self.assert_ready("row_top_k_with_floor_shared", scratch);
+        let mut outs = self.for_each_shard(scratch, |shard, sc| {
+            shard.row_top_k_with_floor_shared(queries, k, floor, sc)
+        });
+        let lists = self.merge_lists(&mut outs, queries.len(), k);
+        let stats: Vec<RunStats> = outs.into_iter().map(|o| o.stats).collect();
+        let mut stats = self.merge_stats(&stats, queries.len());
+        stats.counters.results = lists.iter().map(|l| l.len() as u64).sum();
+        TopKOutput { lists, stats }
+    }
+
+    /// **|Above-θ|** across all shards (two exact Above-θ passes, as in
+    /// [`Lemp::abs_above_theta`]).
+    ///
+    /// # Panics
+    /// If `theta ≤ 0`, plus the conditions of
+    /// [`ShardedLemp::above_theta_shared`].
+    pub fn abs_above_theta_shared(
+        &self,
+        queries: &VectorStore,
+        theta: f64,
+        scratch: &mut ShardScratch,
+    ) -> AboveThetaOutput {
+        crate::abs_above_theta_via(queries, theta, |q| self.above_theta_shared(q, theta, scratch))
+    }
+
+    /// **Above-θ with online (bandit) selection** across all shards: each
+    /// shard learns in its own selector (obtain the slice from
+    /// [`ShardedLemp::adaptive_selectors`]). Shards run serially so the
+    /// learning trajectories stay deterministic; results are exact either
+    /// way.
+    ///
+    /// # Panics
+    /// If the selector slice is not aligned with the shard list, plus the
+    /// conditions of [`ShardedLemp::above_theta_shared`].
+    pub fn above_theta_adaptive_shared(
+        &self,
+        queries: &VectorStore,
+        theta: f64,
+        selectors: &mut [AdaptiveSelector],
+        scratch: &mut ShardScratch,
+    ) -> AboveThetaOutput {
+        self.assert_ready("above_theta_adaptive_shared", scratch);
+        assert_eq!(selectors.len(), self.shards.len(), "one selector per shard");
+        let mut entries = Vec::new();
+        let mut stats = Vec::with_capacity(self.shards.len());
+        for ((shard, selector), sc) in self.shards.iter().zip(selectors).zip(&mut scratch.per_shard)
+        {
+            let out = shard.above_theta_adaptive_shared(queries, theta, selector, sc);
+            entries.extend(out.entries);
+            stats.push(out.stats);
+        }
+        let mut stats = self.merge_stats(&stats, queries.len());
+        stats.counters.results = entries.len() as u64;
+        AboveThetaOutput { entries, stats }
+    }
+
+    /// [`ShardedLemp::above_theta_adaptive_shared`] for Row-Top-k
+    /// workloads.
+    ///
+    /// # Panics
+    /// Same conditions as [`ShardedLemp::above_theta_adaptive_shared`].
+    pub fn row_top_k_adaptive_shared(
+        &self,
+        queries: &VectorStore,
+        k: usize,
+        selectors: &mut [AdaptiveSelector],
+        scratch: &mut ShardScratch,
+    ) -> TopKOutput {
+        self.assert_ready("row_top_k_adaptive_shared", scratch);
+        assert_eq!(selectors.len(), self.shards.len(), "one selector per shard");
+        let mut outs = Vec::with_capacity(self.shards.len());
+        for ((shard, selector), sc) in self.shards.iter().zip(selectors).zip(&mut scratch.per_shard)
+        {
+            outs.push(shard.row_top_k_adaptive_shared(queries, k, selector, sc));
+        }
+        let lists = self.merge_lists(&mut outs, queries.len(), k);
+        let stats: Vec<RunStats> = outs.into_iter().map(|o| o.stats).collect();
+        let mut stats = self.merge_stats(&stats, queries.len());
+        stats.counters.results = lists.iter().map(|l| l.len() as u64).sum();
+        TopKOutput { lists, stats }
+    }
+
+    /// Per-query k-way merge of the shard outputs (lists are moved out of
+    /// `outs`).
+    fn merge_lists(
+        &self,
+        outs: &mut [TopKOutput],
+        queries: usize,
+        k: usize,
+    ) -> Vec<Vec<ScoredItem>> {
+        (0..queries)
+            .map(|qi| {
+                let per_shard: Vec<Vec<ScoredItem>> =
+                    outs.iter_mut().map(|o| std::mem::take(&mut o.lists[qi])).collect();
+                merge_disjoint(per_shard, k)
+            })
+            .collect()
+    }
+
+    /// Serializes the sharded engine as a `LEMPSHD1` manifest: policy
+    /// kind, shard count, then every shard's ordinary engine image,
+    /// length-prefixed. The fan-out thread count is deliberately **not**
+    /// persisted — it is a machine-specific runtime knob (loaders pick
+    /// their own via [`ShardedLemp::set_threads`]), not a property of the
+    /// data.
+    ///
+    /// # Errors
+    /// Propagates write failures.
+    pub fn write_to<W: Write>(&self, writer: W) -> Result<(), PersistError> {
+        let mut w = BufWriter::new(writer);
+        w.write_all(SHARD_MAGIC)?;
+        w.write_all(&[kind_tag(self.kind)])?;
+        write_u64(&mut w, self.shards.len() as u64)?;
+        for shard in &self.shards {
+            let mut image = Vec::new();
+            shard.write_to(&mut image)?;
+            write_u64(&mut w, image.len() as u64)?;
+            w.write_all(&image)?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Saves the sharded engine to a file (see [`ShardedLemp::write_to`]).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> Result<(), PersistError> {
+        self.write_to(File::create(path)?)
+    }
+
+    /// Deserializes a manifest written by [`ShardedLemp::write_to`]. Every
+    /// embedded shard image passes the full single-engine validation, and
+    /// the cross-shard invariants are checked on top: at least one shard,
+    /// equal dimensionality everywhere, and globally disjoint probe ids.
+    ///
+    /// # Errors
+    /// [`PersistError::Format`] on bad magic or any validation failure;
+    /// [`PersistError::Io`] on read failures.
+    pub fn read_from<R: Read>(reader: R) -> Result<Self, PersistError> {
+        let mut r = BufReader::new(reader);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)
+            .map_err(|_| PersistError::Format("file too short for magic".into()))?;
+        if &magic != SHARD_MAGIC {
+            return Err(PersistError::Format(format!("bad magic {magic:?}")));
+        }
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)
+            .map_err(|_| PersistError::Format("truncated shard policy tag".into()))?;
+        let kind = kind_from_tag(tag[0])?;
+        let count = read_u64(&mut r, "shard count")? as usize;
+        if count == 0 {
+            return Err(PersistError::Format("sharded manifest holds no shards".into()));
+        }
+        if count > 1 << 16 {
+            return Err(PersistError::Format(format!("implausible shard count {count}")));
+        }
+        let mut shards = Vec::with_capacity(count);
+        let mut seen_ids: HashSet<u32> = HashSet::new();
+        let mut dim = 0usize;
+        let mut total = 0usize;
+        for s in 0..count {
+            let len = read_u64(&mut r, "shard image length")?;
+            let mut image = Vec::new();
+            r.by_ref().take(len).read_to_end(&mut image)?;
+            if image.len() as u64 != len {
+                return Err(PersistError::Format(format!("shard {s}: truncated image")));
+            }
+            let shard = Lemp::read_from(&image[..])
+                .map_err(|e| PersistError::Format(format!("shard {s}: {e}")))?;
+            if s == 0 {
+                dim = shard.buckets().dim();
+            } else if shard.buckets().dim() != dim {
+                return Err(PersistError::Format(format!(
+                    "shard {s} has dimensionality {}, shard 0 has {dim}",
+                    shard.buckets().dim()
+                )));
+            }
+            for bucket in shard.buckets().buckets() {
+                for &id in &bucket.ids {
+                    if !seen_ids.insert(id) {
+                        return Err(PersistError::Format(format!(
+                            "probe id {id} appears in more than one shard"
+                        )));
+                    }
+                }
+            }
+            total += shard.buckets().total();
+            shards.push(shard);
+        }
+        expect_eof(&mut r)?;
+        // Fan-out is a runtime knob of the loading machine, not of the
+        // image: start serial and let the loader call `set_threads`.
+        Ok(Self { shards, kind, fan_out: 1, dim, total, warm: false })
+    }
+
+    /// Loads a sharded engine from a file (see
+    /// [`ShardedLemp::read_from`]).
+    ///
+    /// # Errors
+    /// Same conditions as [`ShardedLemp::read_from`].
+    pub fn load(path: &Path) -> Result<Self, PersistError> {
+        Self::read_from(File::open(path)?)
+    }
+}
+
+const SHARD_MAGIC: &[u8; 8] = b"LEMPSHD1";
+
+/// Whether the file at `path` is a sharded (`LEMPSHD1`) engine manifest,
+/// as opposed to a legacy single-shard (`LEMPENG1`) image — both use the
+/// `.eng` extension, so services sniff the magic to pick the loader.
+///
+/// # Errors
+/// Propagates filesystem errors (a too-short file reads as "not sharded").
+pub fn is_sharded_image(path: &Path) -> Result<bool, PersistError> {
+    let mut magic = [0u8; 8];
+    let mut f = File::open(path)?;
+    match f.read_exact(&mut magic) {
+        Ok(()) => Ok(&magic == SHARD_MAGIC),
+        // Shorter than any magic: certainly not a sharded manifest. Real
+        // I/O failures still surface instead of silently reading as
+        // "single-shard" and failing later with a misleading format error.
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(false),
+        Err(e) => Err(PersistError::Io(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemp_baselines::types::{canonical_pairs, topk_equivalent};
+    use lemp_baselines::Naive;
+    use lemp_data::synthetic::GeneratorConfig;
+
+    fn data(m: usize, n: usize, seed: u64) -> (VectorStore, VectorStore) {
+        let q = GeneratorConfig::gaussian(m, 8, 1.0).generate(seed);
+        let p = GeneratorConfig::gaussian(n, 8, 1.2).generate(seed + 1);
+        (q, p)
+    }
+
+    fn warmed(p: &VectorStore, q: &VectorStore, shards: usize, policy: ShardPolicy) -> ShardedLemp {
+        let mut engine =
+            ShardedLemp::builder().shards(shards).policy(policy).sample_size(8).build(p);
+        engine.warm(q, WarmGoal::TopK(5));
+        engine
+    }
+
+    #[test]
+    fn policies_partition_every_row_exactly_once() {
+        let (_, p) = data(1, 100, 10);
+        for policy in [
+            ShardPolicy::RoundRobin,
+            ShardPolicy::LengthBanded,
+            ShardPolicy::Explicit((0..100u32).map(|i| (i * 7) % 3).collect()),
+        ] {
+            let rows = policy.partition(&p, 3);
+            assert_eq!(rows.len(), 3);
+            let mut seen: Vec<usize> = rows.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..100).collect::<Vec<_>>(), "{policy:?} lost or duplicated rows");
+        }
+    }
+
+    #[test]
+    fn length_banded_puts_longest_probes_in_shard_zero() {
+        let (_, p) = data(1, 120, 11);
+        let rows = ShardPolicy::LengthBanded.partition(&p, 4);
+        let lengths = p.lengths();
+        let min_first: f64 = rows[0].iter().map(|&i| lengths[i]).fold(f64::INFINITY, f64::min);
+        let max_rest: f64 =
+            rows[1..].iter().flatten().map(|&i| lengths[i]).fold(f64::NEG_INFINITY, f64::max);
+        assert!(min_first >= max_rest, "shard 0 must hold the longest band");
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover every probe row")]
+    fn explicit_policy_rejects_wrong_length() {
+        let (_, p) = data(1, 10, 12);
+        let _ =
+            ShardedLemp::builder().shards(2).policy(ShardPolicy::Explicit(vec![0; 5])).build(&p);
+    }
+
+    #[test]
+    #[should_panic(expected = "routes row")]
+    fn explicit_policy_rejects_out_of_range_shard() {
+        let (_, p) = data(1, 4, 13);
+        let _ = ShardedLemp::builder()
+            .shards(2)
+            .policy(ShardPolicy::Explicit(vec![0, 1, 2, 0]))
+            .build(&p);
+    }
+
+    #[test]
+    fn sharded_matches_naive_for_both_problems() {
+        let (q, p) = data(30, 200, 20);
+        let theta = 1.0;
+        let (expect_above, _) = Naive.above_theta(&q, &p, theta);
+        let (expect_topk, _) = Naive.row_top_k(&q, &p, 4);
+        for shards in [1usize, 3] {
+            let engine = warmed(&p, &q, shards, ShardPolicy::RoundRobin);
+            let mut scratch = engine.make_scratch();
+            let above = engine.above_theta_shared(&q, theta, &mut scratch);
+            assert_eq!(
+                canonical_pairs(&above.entries),
+                canonical_pairs(&expect_above),
+                "S={shards}"
+            );
+            let top = engine.row_top_k_shared(&q, 4, &mut scratch);
+            assert!(topk_equivalent(&top.lists, &expect_topk, 1e-9), "S={shards}");
+        }
+    }
+
+    #[test]
+    fn fan_out_threads_do_not_change_results() {
+        let (q, p) = data(25, 180, 30);
+        let serial = {
+            let engine = warmed(&p, &q, 4, ShardPolicy::LengthBanded);
+            let mut scratch = engine.make_scratch();
+            engine.row_top_k_shared(&q, 5, &mut scratch)
+        };
+        let parallel = {
+            let mut engine = ShardedLemp::builder()
+                .shards(4)
+                .policy(ShardPolicy::LengthBanded)
+                .sample_size(8)
+                .threads(4)
+                .build(&p);
+            engine.warm(&q, WarmGoal::TopK(5));
+            let mut scratch = engine.make_scratch();
+            engine.row_top_k_shared(&q, 5, &mut scratch)
+        };
+        assert!(topk_equivalent(&serial.lists, &parallel.lists, 0.0));
+    }
+
+    #[test]
+    fn more_shards_than_probes_leaves_empty_shards_harmless() {
+        let (q, p) = data(5, 3, 40);
+        let engine = warmed(&p, &q, 7, ShardPolicy::RoundRobin);
+        assert_eq!(engine.shard_count(), 7);
+        assert_eq!(engine.shard_sizes().iter().sum::<usize>(), 3);
+        let mut scratch = engine.make_scratch();
+        let top = engine.row_top_k_shared(&q, 5, &mut scratch);
+        for list in &top.lists {
+            assert_eq!(list.len(), 3, "k beyond the probe count returns everything");
+        }
+    }
+
+    #[test]
+    fn merge_is_canonical_and_rejects_duplicates() {
+        let item = |id: usize, score: f64| ScoredItem { id, score };
+        // Ties across lists resolve by ascending id; k caps the output.
+        let lists =
+            vec![vec![item(5, 3.0), item(1, 1.0)], vec![item(2, 3.0), item(9, 2.0)], vec![]];
+        let merged = kway_merge_topk(lists.clone(), 3).unwrap();
+        assert_eq!(
+            merged,
+            vec![item(2, 3.0), item(5, 3.0), item(9, 2.0)],
+            "ties must resolve by ascending id"
+        );
+        // k beyond the total returns everything, still canonical.
+        let all = kway_merge_topk(lists, 10).unwrap();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all.last().unwrap().id, 1);
+        // Duplicate global ids are a partition violation.
+        let dup = vec![vec![item(3, 2.0)], vec![item(3, 1.0)]];
+        assert_eq!(kway_merge_topk(dup, 2), Err(ShardError::DuplicateGlobalId(3)));
+        assert!(kway_merge_topk(vec![], 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_answers_identically() {
+        let (q, p) = data(20, 150, 50);
+        let engine = warmed(&p, &q, 3, ShardPolicy::LengthBanded);
+        let mut scratch = engine.make_scratch();
+        let before = engine.above_theta_shared(&q, 1.0, &mut scratch);
+        let mut buf = Vec::new();
+        engine.write_to(&mut buf).unwrap();
+
+        let mut loaded = ShardedLemp::read_from(&buf[..]).unwrap();
+        assert_eq!(loaded.shard_count(), 3);
+        assert_eq!(loaded.len(), 150);
+        assert_eq!(loaded.dim(), 8);
+        assert_eq!(loaded.policy_kind(), ShardPolicyKind::LengthBanded);
+        assert!(!loaded.is_warm(), "warm state is not persisted");
+        loaded.warm(&q, WarmGoal::Above(1.0));
+        let mut scratch = loaded.make_scratch();
+        let after = loaded.above_theta_shared(&q, 1.0, &mut scratch);
+        assert_eq!(canonical_pairs(&before.entries), canonical_pairs(&after.entries));
+    }
+
+    #[test]
+    fn manifest_rejects_corruption() {
+        let (q, p) = data(5, 40, 60);
+        let engine = warmed(&p, &q, 2, ShardPolicy::RoundRobin);
+        let mut buf = Vec::new();
+        engine.write_to(&mut buf).unwrap();
+
+        // bad magic
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(ShardedLemp::read_from(&bad[..]), Err(PersistError::Format(_))));
+        // unknown policy tag
+        let mut bad = buf.clone();
+        bad[8] = 77;
+        assert!(ShardedLemp::read_from(&bad[..]).unwrap_err().to_string().contains("policy tag"));
+        // truncations at structural boundaries
+        for cut in [4usize, 9, 24, 40, buf.len() - 1] {
+            assert!(ShardedLemp::read_from(&buf[..cut]).is_err(), "truncation at {cut} accepted");
+        }
+        // trailing garbage
+        let mut bad = buf.clone();
+        bad.push(1);
+        assert!(ShardedLemp::read_from(&bad[..]).unwrap_err().to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn manifest_rejects_overlapping_shard_ids() {
+        // Hand-build a manifest whose two shards are the *same* image:
+        // every probe id collides.
+        let (q, p) = data(5, 30, 70);
+        let single = {
+            let mut e = Lemp::builder().sample_size(4).build(&p);
+            e.warm(&q, WarmGoal::TopK(2));
+            e
+        };
+        let mut image = Vec::new();
+        single.write_to(&mut image).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(SHARD_MAGIC);
+        buf.push(0); // round-robin tag
+        buf.extend_from_slice(&2u64.to_le_bytes()); // shard count
+        for _ in 0..2 {
+            buf.extend_from_slice(&(image.len() as u64).to_le_bytes());
+            buf.extend_from_slice(&image);
+        }
+        let err = ShardedLemp::read_from(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("more than one shard"), "{err}");
+    }
+
+    #[test]
+    fn image_kind_sniffing() {
+        let (q, p) = data(5, 30, 80);
+        let dir = std::env::temp_dir();
+        let sharded_path = dir.join(format!("lemp-shard-sniff-{}.eng", std::process::id()));
+        let single_path = dir.join(format!("lemp-single-sniff-{}.eng", std::process::id()));
+        warmed(&p, &q, 2, ShardPolicy::RoundRobin).save(&sharded_path).unwrap();
+        Lemp::builder().build(&p).save(&single_path).unwrap();
+        assert!(is_sharded_image(&sharded_path).unwrap());
+        assert!(!is_sharded_image(&single_path).unwrap());
+        std::fs::remove_file(&sharded_path).ok();
+        std::fs::remove_file(&single_path).ok();
+        assert!(is_sharded_image(&sharded_path).is_err());
+    }
+
+    #[test]
+    fn sample_vectors_strides_across_shards() {
+        let (q, p) = data(5, 90, 90);
+        let engine = warmed(&p, &q, 3, ShardPolicy::LengthBanded);
+        let sample = engine.sample_vectors(12);
+        assert_eq!(sample.len(), 12, "the budget must be met exactly when probes suffice");
+        assert_eq!(sample.dim(), 8);
+        assert_eq!(engine.sample_vectors(0).len(), 0);
+        // A budget beyond the probe count caps at the probe count.
+        assert_eq!(engine.sample_vectors(1000).len(), 90);
+        // Tiny shards (7 shards over 3 probes) redistribute their unused
+        // budget instead of under-filling.
+        let (q, small) = data(3, 3, 91);
+        let tiny = warmed(&small, &q, 7, ShardPolicy::RoundRobin);
+        assert_eq!(tiny.sample_vectors(3).len(), 3);
+        // Skewed sizes with the big shard *first* (the adversarial order
+        // for forward-only redistribution): sizes [10, 1, 1], budget 9.
+        let (q, p) = data(3, 12, 92);
+        let mut assignment = vec![0u32; 12];
+        assignment[10] = 1;
+        assignment[11] = 2;
+        let skewed = warmed(&p, &q, 3, ShardPolicy::Explicit(assignment));
+        assert_eq!(skewed.shard_sizes(), vec![10, 1, 1]);
+        assert_eq!(skewed.sample_vectors(9).len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a warmed engine")]
+    fn shared_query_without_warm_panics() {
+        let (q, p) = data(5, 40, 95);
+        let engine = ShardedLemp::new(&p, 2);
+        let mut scratch = engine.make_scratch();
+        let _ = engine.row_top_k_shared(&q, 2, &mut scratch);
+    }
+}

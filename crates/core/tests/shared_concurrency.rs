@@ -10,7 +10,8 @@
 
 use lemp_baselines::types::{canonical_pairs, topk_equivalent};
 use lemp_baselines::Naive;
-use lemp_core::{AdaptiveConfig, BucketPolicy};
+use lemp_core::shard::ShardPolicy;
+use lemp_core::{AdaptiveConfig, BucketPolicy, ShardedLemp};
 use lemp_core::{DynamicLemp, Lemp, LempVariant, RunConfig, WarmGoal};
 use lemp_data::synthetic::GeneratorConfig;
 use lemp_linalg::VectorStore;
@@ -241,6 +242,101 @@ fn dynamic_engine_stays_warm_across_edits() {
     assert!(engine.is_warm());
     let got = engine.above_theta_shared(&q, 1.5, &mut scratch);
     assert_eq!(canonical_pairs(&got.entries), expect);
+}
+
+#[test]
+fn n_threads_sharing_one_sharded_engine_match_single_threaded_run() {
+    let (q, p) = fixture(40, 420, 9900);
+    let k = 5;
+    let theta = 1.0;
+
+    // Single-threaded ground truth: the unsharded warmed engine.
+    let mut reference = Lemp::builder().sample_size(8).build(&p);
+    reference.warm(&q, WarmGoal::TopK(k));
+    let mut rscratch = reference.make_scratch();
+    let topk_expect = reference.row_top_k_shared(&q, k, &mut rscratch);
+    let above_expect = reference.above_theta_shared(&q, theta, &mut rscratch);
+
+    let mut engine = ShardedLemp::builder()
+        .shards(3)
+        .policy(ShardPolicy::LengthBanded)
+        .sample_size(8)
+        .threads(2) // shard fan-out *inside* each request, on top of N clients
+        .build(&p);
+    engine.warm(&q, WarmGoal::TopK(k));
+    let engine = engine; // freeze: shared borrows only
+
+    const THREADS: usize = 6;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let (engine, q) = (&engine, &q);
+                let (topk_expect, above_expect) = (&topk_expect, &above_expect);
+                scope.spawn(move || {
+                    let mut scratch = engine.make_scratch();
+                    for round in 0..3 {
+                        if (t + round) % 2 == 0 {
+                            let top = engine.row_top_k_shared(q, k, &mut scratch);
+                            assert!(topk_equivalent(&top.lists, &topk_expect.lists, 0.0));
+                        } else {
+                            let above = engine.above_theta_shared(q, theta, &mut scratch);
+                            assert_eq!(
+                                canonical_pairs(&above.entries),
+                                canonical_pairs(&above_expect.entries)
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("sharded-engine worker panicked");
+        }
+    });
+}
+
+#[test]
+fn rebuild_under_changed_thread_count_preserves_warmth() {
+    // Regression guard for the warm-preserving invariant: `set_threads`
+    // and `rebuild` were never exercised together — a service that scales
+    // its thread pool and then compacts must stay warm and exact.
+    let (q, p) = fixture(25, 240, 9950);
+    let policy = BucketPolicy { min_bucket: 8, cache_bytes: 64 << 10, ..Default::default() };
+    let config = RunConfig { sample_size: 8, ..Default::default() };
+    let mut engine = DynamicLemp::new(&p, policy, config);
+    engine.warm(&q, WarmGoal::TopK(4));
+    assert!(engine.is_warm());
+
+    // Churn so the rebuild actually reshapes buckets.
+    for id in (0..240u32).step_by(5) {
+        engine.remove(id);
+    }
+    let extra = GeneratorConfig::gaussian(30, 10, 2.0).generate(9951);
+    for i in 0..extra.len() {
+        engine.insert(extra.vector(i)).unwrap();
+    }
+
+    for threads in [4usize, 1, 3] {
+        engine.set_threads(threads);
+        engine.rebuild();
+        assert!(engine.is_warm(), "rebuild under threads={threads} lost warmth");
+
+        let (ids, live) = engine.live_vectors();
+        let (naive_entries, _) = Naive.above_theta(&q, &live, 1.2);
+        let expect: Vec<(u32, u32)> = {
+            let mut v: Vec<(u32, u32)> =
+                naive_entries.iter().map(|e| (e.query, ids[e.probe as usize])).collect();
+            v.sort_unstable();
+            v
+        };
+        let mut scratch = engine.make_scratch();
+        let got = engine.above_theta_shared(&q, 1.2, &mut scratch);
+        assert_eq!(canonical_pairs(&got.entries), expect, "threads={threads}");
+        assert_eq!(
+            got.stats.indexes_built, 0,
+            "threads={threads}: rebuild must re-index eagerly, not lazily"
+        );
+    }
 }
 
 #[test]

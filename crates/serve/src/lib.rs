@@ -46,7 +46,8 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use lemp_core::{DynamicLemp, MethodScratch, WarmGoal};
+use lemp_core::runner::{AboveThetaOutput, TopKOutput};
+use lemp_core::{DynamicLemp, MethodScratch, ShardScratch, ShardedLemp, WarmGoal};
 use lemp_linalg::VectorStore;
 
 use http::{HttpError, Request};
@@ -145,9 +146,162 @@ impl ConnQueue {
     }
 }
 
+/// The engine behind a server: either a single dynamic engine (probe
+/// edits supported) or a shard-parallel [`ShardedLemp`] (read-only probe
+/// set; a query batch fans out across all shards). The serving endpoints
+/// and wire shapes are identical — the handler dispatches transparently.
+pub enum ServeEngine {
+    /// One [`DynamicLemp`] — the PR-2 serving mode, `POST /probes` works.
+    Dynamic(DynamicLemp),
+    /// A [`ShardedLemp`] — shard-parallel queries, probe edits rejected
+    /// with `400` (shard routing of edits is a future step).
+    Sharded(ShardedLemp),
+}
+
+impl From<DynamicLemp> for ServeEngine {
+    fn from(engine: DynamicLemp) -> Self {
+        ServeEngine::Dynamic(engine)
+    }
+}
+
+impl From<ShardedLemp> for ServeEngine {
+    fn from(engine: ShardedLemp) -> Self {
+        ServeEngine::Sharded(engine)
+    }
+}
+
+/// Worker-owned scratch matching the engine kind it was made from (the
+/// single-engine scratch is boxed to keep the variants comparably sized).
+enum EngineScratch {
+    Dynamic(Box<MethodScratch>),
+    Sharded(ShardScratch),
+}
+
+impl ServeEngine {
+    /// Live probe count.
+    pub fn len(&self) -> usize {
+        match self {
+            ServeEngine::Dynamic(e) => e.len(),
+            ServeEngine::Sharded(e) => e.len(),
+        }
+    }
+
+    /// `true` if no probes are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        match self {
+            ServeEngine::Dynamic(e) => e.dim(),
+            ServeEngine::Sharded(e) => e.dim(),
+        }
+    }
+
+    /// Whether the engine is warm (the shared query path is usable).
+    pub fn is_warm(&self) -> bool {
+        match self {
+            ServeEngine::Dynamic(e) => e.is_warm(),
+            ServeEngine::Sharded(e) => e.is_warm(),
+        }
+    }
+
+    /// Total bucket count (summed across shards when sharded).
+    pub fn bucket_count(&self) -> usize {
+        match self {
+            ServeEngine::Dynamic(e) => e.bucket_count(),
+            ServeEngine::Sharded(e) => e.bucket_count(),
+        }
+    }
+
+    /// Number of shards (1 for the dynamic engine).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            ServeEngine::Dynamic(_) => 1,
+            ServeEngine::Sharded(e) => e.shard_count(),
+        }
+    }
+
+    /// Probe count per shard (a one-element vector for the dynamic
+    /// engine) — the `/stats` shard map.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        match self {
+            ServeEngine::Dynamic(e) => vec![e.len()],
+            ServeEngine::Sharded(e) => e.shard_sizes(),
+        }
+    }
+
+    fn make_scratch(&self) -> EngineScratch {
+        match self {
+            ServeEngine::Dynamic(e) => EngineScratch::Dynamic(Box::new(e.make_scratch())),
+            ServeEngine::Sharded(e) => EngineScratch::Sharded(e.make_scratch()),
+        }
+    }
+
+    /// Warms an engine that arrived cold, on a strided self-sample of its
+    /// own probe vectors (covers the length spectrum either way).
+    fn warm_on_self_sample(&mut self) {
+        match self {
+            ServeEngine::Dynamic(engine) => {
+                // live_vectors() returns ascending ids, whose lengths are
+                // arbitrary, so a strided subset samples the length
+                // spectrum rather than one end of it.
+                let (_, live) = engine.live_vectors();
+                let rows = live.len().min(256);
+                let stride = (live.len() / rows.max(1)).max(1);
+                let picks: Vec<usize> = (0..rows).map(|i| i * stride).collect();
+                let sample = live.select(&picks);
+                engine.warm(&sample, WarmGoal::TopK(10));
+            }
+            ServeEngine::Sharded(engine) => {
+                let sample = engine.sample_vectors(256);
+                engine.warm(&sample, WarmGoal::TopK(10));
+            }
+        }
+    }
+
+    fn row_top_k_with_floor_shared(
+        &self,
+        queries: &VectorStore,
+        k: usize,
+        floor: f64,
+        scratch: &mut EngineScratch,
+    ) -> TopKOutput {
+        match (self, scratch) {
+            (ServeEngine::Dynamic(e), EngineScratch::Dynamic(s)) => {
+                e.row_top_k_with_floor_shared(queries, k, floor, s)
+            }
+            (ServeEngine::Sharded(e), EngineScratch::Sharded(s)) => {
+                e.row_top_k_with_floor_shared(queries, k, floor, s)
+            }
+            // The engine kind is fixed for the server's lifetime and every
+            // scratch is made from it.
+            _ => unreachable!("scratch kind matches the engine kind"),
+        }
+    }
+
+    fn above_theta_shared(
+        &self,
+        queries: &VectorStore,
+        theta: f64,
+        scratch: &mut EngineScratch,
+    ) -> AboveThetaOutput {
+        match (self, scratch) {
+            (ServeEngine::Dynamic(e), EngineScratch::Dynamic(s)) => {
+                e.above_theta_shared(queries, theta, s)
+            }
+            (ServeEngine::Sharded(e), EngineScratch::Sharded(s)) => {
+                e.above_theta_shared(queries, theta, s)
+            }
+            _ => unreachable!("scratch kind matches the engine kind"),
+        }
+    }
+}
+
 /// State shared by the acceptor and every worker.
 struct Shared {
-    engine: RwLock<DynamicLemp>,
+    engine: RwLock<ServeEngine>,
     /// Vector dimensionality (immutable for the engine's lifetime; lets
     /// request validation run without touching the lock).
     dim: usize,
@@ -158,11 +312,11 @@ struct Shared {
 }
 
 impl Shared {
-    fn read_engine(&self) -> std::sync::RwLockReadGuard<'_, DynamicLemp> {
+    fn read_engine(&self) -> std::sync::RwLockReadGuard<'_, ServeEngine> {
         self.engine.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn write_engine(&self) -> std::sync::RwLockWriteGuard<'_, DynamicLemp> {
+    fn write_engine(&self) -> std::sync::RwLockWriteGuard<'_, ServeEngine> {
         self.engine.write().unwrap_or_else(|e| e.into_inner())
     }
 }
@@ -184,27 +338,22 @@ pub struct ServerHandle {
 
 impl Server {
     /// Binds `addr` (use port `0` for an ephemeral port) over the given
-    /// engine. An engine that is not yet warm is warmed here with a sample
-    /// of its own probe vectors — a service must never run the lazy `&mut`
-    /// path, so warmth is an invariant from the first request on.
+    /// engine — a [`DynamicLemp`], a [`ShardedLemp`], or a prebuilt
+    /// [`ServeEngine`]. An engine that is not yet warm is warmed here with
+    /// a sample of its own probe vectors — a service must never run the
+    /// lazy `&mut` path, so warmth is an invariant from the first request
+    /// on.
     ///
     /// # Errors
     /// Propagates socket errors.
     pub fn bind(
         addr: impl ToSocketAddrs,
-        mut engine: DynamicLemp,
+        engine: impl Into<ServeEngine>,
         cfg: ServeConfig,
     ) -> io::Result<Server> {
+        let mut engine = engine.into();
         if !engine.is_warm() {
-            // live_vectors() returns ascending ids, whose lengths are
-            // arbitrary, so a strided subset samples the length spectrum
-            // rather than one end of it.
-            let (_, live) = engine.live_vectors();
-            let rows = live.len().min(256);
-            let stride = (live.len() / rows.max(1)).max(1);
-            let picks: Vec<usize> = (0..rows).map(|i| i * stride).collect();
-            let sample = live.select(&picks);
-            engine.warm(&sample, WarmGoal::TopK(10));
+            engine.warm_on_self_sample();
         }
         let listener = TcpListener::bind(addr)?;
         let dim = engine.dim();
@@ -362,7 +511,7 @@ fn respond_http_error(shared: &Shared, stream: TcpStream, err: HttpError) {
 fn handle_connection(
     mut stream: TcpStream,
     shared: &Shared,
-    scratch: &mut MethodScratch,
+    scratch: &mut EngineScratch,
     allow_batch: bool,
 ) {
     let _ = stream.set_read_timeout(shared.cfg.io_timeout);
@@ -380,7 +529,7 @@ fn dispatch(
     stream: TcpStream,
     request: Request,
     shared: &Shared,
-    scratch: &mut MethodScratch,
+    scratch: &mut EngineScratch,
     allow_batch: bool,
 ) {
     match (request.method.as_str(), request.path.as_str()) {
@@ -397,11 +546,15 @@ fn dispatch(
         }
         ("GET", "/stats") => {
             let engine = shared.read_engine();
+            let shard_probes: Vec<Json> =
+                engine.shard_sizes().into_iter().map(|n| Json::Num(n as f64)).collect();
             let engine_info = obj(vec![
                 ("probes", Json::Num(engine.len() as f64)),
                 ("buckets", Json::Num(engine.bucket_count() as f64)),
                 ("dim", Json::Num(engine.dim() as f64)),
                 ("warm", Json::Bool(engine.is_warm())),
+                ("shards", Json::Num(engine.shard_count() as f64)),
+                ("shard_probes", Json::Arr(shard_probes)),
             ]);
             drop(engine);
             let body = obj(vec![("counters", shared.stats.snapshot()), ("engine", engine_info)]);
@@ -469,7 +622,7 @@ fn handle_query(
     stream: TcpStream,
     request: Request,
     shared: &Shared,
-    scratch: &mut MethodScratch,
+    scratch: &mut EngineScratch,
     allow_batch: bool,
 ) {
     let (kind, mut flat) = match parse_query(&request, shared.dim) {
@@ -617,6 +770,19 @@ fn handle_query(
 /// vectors are validated *before* the lock is taken, so the engine never
 /// sees a partial edit.
 fn handle_probes(stream: TcpStream, request: &Request, shared: &Shared) {
+    // The engine kind is immutable for the server's lifetime: reject edits
+    // on a sharded engine up front, before parsing and long before the
+    // write lock — a stream of doomed /probes requests must not serialize
+    // against in-flight query readers just to be told 400.
+    if matches!(&*shared.read_engine(), ServeEngine::Sharded(_)) {
+        ServerStats::bump(&shared.stats.probe_requests);
+        return respond_error(
+            shared,
+            stream,
+            400,
+            "probe edits are not supported on a sharded engine".into(),
+        );
+    }
     let text = match std::str::from_utf8(&request.body) {
         Ok(t) => t,
         Err(_) => return respond_error(shared, stream, 400, "body is not valid UTF-8".into()),
@@ -684,7 +850,18 @@ fn handle_probes(stream: TcpStream, request: &Request, shared: &Shared) {
     }
 
     ServerStats::bump(&shared.stats.probe_requests);
-    let mut engine = shared.write_engine();
+    let mut guard = shared.write_engine();
+    let ServeEngine::Dynamic(engine) = &mut *guard else {
+        // Shard routing of edits is a future step; the read-only sharded
+        // engine rejects them instead of silently dropping.
+        drop(guard);
+        return respond_error(
+            shared,
+            stream,
+            400,
+            "probe edits are not supported on a sharded engine".into(),
+        );
+    };
     let mut inserted = Vec::with_capacity(inserts.len());
     for v in &inserts {
         match engine.insert(v) {
@@ -692,14 +869,14 @@ fn handle_probes(stream: TcpStream, request: &Request, shared: &Shared) {
             Err(e) => {
                 // Validated above; only pathological inputs (non-finite)
                 // can land here.
-                drop(engine);
+                drop(guard);
                 return respond_error(shared, stream, 400, format!("insert rejected: {e}"));
             }
         }
     }
     let removed: Vec<Json> = removals.iter().map(|&id| Json::Bool(engine.remove(id))).collect();
     let live = engine.len();
-    drop(engine);
+    drop(guard);
     respond(
         stream,
         200,

@@ -5,7 +5,8 @@ use std::time::Duration;
 
 use lemp_baselines::types::topk_equivalent;
 use lemp_baselines::Naive;
-use lemp_core::{BucketPolicy, DynamicLemp, RunConfig, WarmGoal};
+use lemp_core::shard::ShardPolicy;
+use lemp_core::{BucketPolicy, DynamicLemp, RunConfig, ShardedLemp, WarmGoal};
 use lemp_data::synthetic::GeneratorConfig;
 use lemp_linalg::{ScoredItem, VectorStore};
 use lemp_serve::client;
@@ -104,6 +105,104 @@ fn concurrent_topk_matches_naive_baseline() {
     assert!(topk >= (THREADS * 3) as u64, "served {topk} top-k requests");
     assert!(batches >= 1 && batches <= counters.get("requests").and_then(Json::as_u64).unwrap());
     assert!(counters.get("queries").and_then(Json::as_u64).unwrap() >= queries.len() as u64);
+    handle.shutdown();
+}
+
+#[test]
+fn sharded_server_answers_exactly_and_reports_shard_counters() {
+    let probes = fixture(360, 11);
+    let queries = fixture(40, 12);
+    let k = 5;
+    let theta = 1.0;
+    let (expect_topk, _) = Naive.row_top_k(&queries, &probes, k);
+    let (expect_above, _) = Naive.above_theta(&queries, &probes, theta);
+    let mut expect_above: Vec<(u32, u32)> =
+        expect_above.iter().map(|e| (e.query, e.probe)).collect();
+    expect_above.sort_unstable();
+    assert!(!expect_above.is_empty(), "fixture must produce entries");
+
+    const SHARDS: usize = 3;
+    let mut engine = ShardedLemp::builder()
+        .shards(SHARDS)
+        .policy(ShardPolicy::LengthBanded)
+        .sample_size(8)
+        .threads(2)
+        .build(&probes);
+    engine.warm(&fixture(16, 777), WarmGoal::TopK(k));
+    let server = Server::bind("127.0.0.1:0", engine, ServeConfig::default()).unwrap();
+    let handle = server.start().unwrap();
+    let addr = handle.addr();
+
+    // Concurrent top-k clients over the sharded engine.
+    const THREADS: usize = 4;
+    let per = queries.len() / THREADS;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let (queries, expect_topk) = (&queries, &expect_topk);
+            scope.spawn(move || {
+                let lo = t * per;
+                let hi = if t == THREADS - 1 { queries.len() } else { lo + per };
+                let body = obj(vec![
+                    ("queries", queries_json(queries, lo, hi)),
+                    ("k", Json::Num(k as f64)),
+                ]);
+                let (status, reply) = client::post(addr, "/top-k", &body).expect("request");
+                assert_eq!(status, 200, "{reply:?}");
+                let lists = parse_lists(&reply);
+                assert!(
+                    topk_equivalent(&lists, &expect_topk[lo..hi].to_vec(), 1e-9),
+                    "rows {lo}..{hi} diverge from naive on the sharded server"
+                );
+            });
+        }
+    });
+
+    // Above-θ through the same endpoint and wire shape.
+    let body = obj(vec![
+        ("queries", queries_json(&queries, 0, queries.len())),
+        ("theta", Json::Num(theta)),
+    ]);
+    let (status, reply) = client::post(addr, "/above-theta", &body).unwrap();
+    assert_eq!(status, 200, "{reply:?}");
+    let mut got: Vec<(u32, u32)> = reply
+        .get("entries")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|e| {
+            (
+                e.get("query").and_then(Json::as_u64).unwrap() as u32,
+                e.get("probe").and_then(Json::as_u64).unwrap() as u32,
+            )
+        })
+        .collect();
+    got.sort_unstable();
+    assert_eq!(got, expect_above);
+
+    // /stats exposes the shard counters: shard count and the shard map.
+    let (status, stats) = client::get(addr, "/stats").unwrap();
+    assert_eq!(status, 200);
+    let engine_info = stats.get("engine").expect("engine info");
+    assert_eq!(engine_info.get("shards").and_then(Json::as_u64), Some(SHARDS as u64));
+    let shard_probes = engine_info.get("shard_probes").and_then(Json::as_arr).unwrap();
+    assert_eq!(shard_probes.len(), SHARDS);
+    let total: u64 = shard_probes.iter().map(|n| n.as_u64().unwrap()).sum();
+    assert_eq!(total, probes.len() as u64, "shard map must cover every probe");
+    assert_eq!(engine_info.get("probes").and_then(Json::as_u64), Some(probes.len() as u64));
+
+    // Probe edits are rejected on the read-only sharded engine.
+    let edit = obj(vec![(
+        "insert",
+        Json::Arr(vec![Json::Arr((0..DIM).map(|_| Json::Num(1.0)).collect())]),
+    )]);
+    let (status, reply) = client::post(addr, "/probes", &edit).unwrap();
+    assert_eq!(status, 400, "{reply:?}");
+    assert!(reply.get("error").and_then(Json::as_str).unwrap().contains("sharded"));
+
+    // /healthz is unchanged.
+    let (status, health) = client::get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(health.get("warm"), Some(&Json::Bool(true)));
     handle.shutdown();
 }
 
