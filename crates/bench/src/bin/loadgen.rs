@@ -3,18 +3,20 @@
 //!
 //! Usage:
 //! `loadgen addr=127.0.0.1:PORT [threads=4] [requests=200] [k=10] [qpr=2]
-//!  [seed=42] [theta=<f>] [verify-probes=<path>]`
+//!  [seed=42] [theta=<f>] [floor=<f>] [verify-probes=<path>]`
 //!
 //! * `threads` client threads split `requests` total requests, each
 //!   carrying `qpr` query vectors (dimensionality is discovered from
 //!   `GET /healthz`).
 //! * By default requests are `POST /top-k` at the given `k`; passing
+//!   `floor=` adds a score floor to every top-k request (the server
+//!   builds `QueryKind::TopKWithFloor` instead of plain `TopK`); passing
 //!   `theta=` switches to `POST /above-theta`.
 //! * With `verify-probes=` pointing at the matrix the server was booted
-//!   on, every answer — top-k lists, or Above-θ entry sets when `theta=`
-//!   is given — is checked against the naive baseline: the acceptance
-//!   gate for the serving layer (sharded or not), any mismatch exits
-//!   non-zero.
+//!   on, every answer — Row-Top-k lists (plain or floored), or Above-θ
+//!   entry sets when `theta=` is given — is checked against the naive
+//!   baseline: the acceptance gate for the serving layer (sharded or
+//!   not), any mismatch exits non-zero.
 //! * `503` responses (load shedding) are counted, not retried.
 
 use std::sync::Mutex;
@@ -69,7 +71,7 @@ fn main() {
     let args = Args::parse();
     let addr = args.get_str("addr", "");
     if addr.is_empty() {
-        eprintln!("usage: loadgen addr=HOST:PORT [threads=4] [requests=200] [k=10] [qpr=2] [seed=42] [theta=<f>] [verify-probes=<path>]");
+        eprintln!("usage: loadgen addr=HOST:PORT [threads=4] [requests=200] [k=10] [qpr=2] [seed=42] [theta=<f>] [floor=<f>] [verify-probes=<path>]");
         std::process::exit(2);
     }
     let threads = args.get_u64("threads", 4).max(1) as usize;
@@ -79,6 +81,12 @@ fn main() {
     let seed = args.get_u64("seed", 42);
     let theta = args.get_f64("theta", f64::NAN);
     let above_mode = theta.is_finite();
+    let floor = args.get_f64("floor", f64::NAN);
+    let floored = floor.is_finite();
+    if above_mode && floored {
+        eprintln!("loadgen: floor= applies to top-k mode; drop theta= to use it");
+        std::process::exit(2);
+    }
 
     // Discover the engine shape from the server itself.
     let (status, health) = match client::get(&addr, "/healthz") {
@@ -120,10 +128,14 @@ fn main() {
                             ("theta", Json::Num(theta)),
                         ])
                     } else {
-                        obj(vec![
+                        let mut fields = vec![
                             ("queries", queries_json(queries, lo, lo + qpr)),
                             ("k", Json::Num(k as f64)),
-                        ])
+                        ];
+                        if floored {
+                            fields.push(("floor", Json::Num(floor)));
+                        }
+                        obj(fields)
                     };
                     let path = if above_mode { "/above-theta" } else { "/top-k" };
                     let start = Instant::now();
@@ -257,7 +269,15 @@ fn main() {
                 );
             }
             Ok(probes) => {
-                let (expect, _) = Naive.row_top_k(&queries, &probes, k);
+                // Row-Top-k ground truth; with a floor, filter the naive
+                // lists (exact: any entry ≥ floor outside the plain top-k
+                // is dominated by k entries that are themselves ≥ floor).
+                let (mut expect, _) = Naive.row_top_k(&queries, &probes, k);
+                if floored {
+                    for list in &mut expect {
+                        list.retain(|item| item.score >= floor);
+                    }
+                }
                 for (r, lists) in &answers {
                     let lo = r * qpr;
                     if !topk_equivalent(lists, &expect[lo..lo + qpr].to_vec(), 1e-9) {
@@ -265,8 +285,9 @@ fn main() {
                         eprintln!("loadgen: request {r} diverges from the naive baseline");
                     }
                 }
+                let mode = if floored { "floored Row-Top-k" } else { "Row-Top-k" };
                 println!(
-                    "  verify     {} of {ok} answers checked against Naive, {mismatches} mismatches",
+                    "  verify     {} of {ok} {mode} answers checked against Naive, {mismatches} mismatches",
                     answers.len()
                 );
             }

@@ -26,15 +26,18 @@ use lemp_baselines::export;
 use lemp_baselines::types::TopKLists;
 use lemp_baselines::Naive;
 use lemp_core::shard::{is_sharded_image, ShardPolicy};
-use lemp_core::{AdaptiveConfig, BanditPolicy, Lemp, LempVariant, ShardedLemp, WarmGoal};
+use lemp_core::{
+    AdaptiveConfig, BanditPolicy, Engine, Lemp, LempVariant, QueryKind, QueryRequest, QueryRows,
+    ShardedLemp, WarmGoal,
+};
 use lemp_data::datasets::Dataset;
 use lemp_data::{io as mio, mm};
 use lemp_linalg::{stats, VectorStore};
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "usage:
-  lemp-cli above       <queries> <probes> theta=<f> [out=<path>] [variant=<L|C|I|LC|LI|TA|Tree|L2AP|BLSH>] [threads=<n>] [chunk=<n>] [abs=<bool>] [adaptive=<ucb1|eps-greedy>] [shards=<n>] [shard-policy=<rr|banded>]
-  lemp-cli topk        <queries> <probes> k=<n>     [out=<path>] [variant=...] [threads=<n>] [chunk=<n>] [floor=<f>] [adaptive=<ucb1|eps-greedy>] [shards=<n>] [shard-policy=<rr|banded>]
+  lemp-cli above       <queries> <probes> theta=<f> [out=<path>] [variant=<L|C|I|LC|LI|TA|Tree|L2AP|BLSH>] [threads=<n>] [chunk=<n>] [abs=<bool>] [adaptive=<ucb1|eps-greedy>] [shards=<n>] [shard-policy=<rr|banded>] [explain=<bool>]
+  lemp-cli topk        <queries> <probes> k=<n>     [out=<path>] [variant=...] [threads=<n>] [chunk=<n>] [floor=<f>] [adaptive=<ucb1|eps-greedy>] [shards=<n>] [shard-policy=<rr|banded>] [explain=<bool>]
   lemp-cli approx-topk <queries> <probes> k=<n> method=<srp|pca|centroid> [budget=<n>] [clusters=<n>] [expand=<n>] [seed=<u>] [verify=<bool>] [out=<path>]
   lemp-cli generate    <ie-nmf|ie-svd|netflix|kdd> <queries-out> <probes-out> [scale=<f>] [seed=<u>]
   lemp-cli convert     <in> <out> [mm-layout=<array|coordinate>]
@@ -49,9 +52,12 @@ matrix files by extension: .bin (lemp binary), .mtx (Matrix Market), otherwise C
 `above`/`topk`/`serve` accept a prebuilt engine image (from `index`) as the <probes>
 argument when its extension is .eng — single-shard (LEMPENG1) and sharded (LEMPSHD1)
 images are told apart by magic, so both kinds just work;
+`above`/`topk` build one QueryRequest and run it through the unified engine surface,
+so abs/floor/chunk/adaptive/shards compose freely (all combinations are exact);
 shards=<n> (n >= 1) partitions the probes across n shard engines (exact results,
 shard-parallel execution); shard-policy picks round-robin (rr) or length-banded
-partitioning and requires shards= or a sharded image";
+partitioning and requires shards= or a sharded image; explain=true prints the
+compiled per-bucket plan summary to stderr";
 
 /// Entry point shared by the binary and the tests. `args` excludes the
 /// program name.
@@ -277,22 +283,67 @@ fn load_sharded(args: &[String], probes_path: &str, shards: usize) -> Result<Sha
         .build(&probes))
 }
 
-/// `above`/`topk` over a sharded engine: warm on the query set, answer
-/// through the shared path, merge exactly. Output format matches the
-/// unsharded runs byte-for-byte (the conformance suite holds the results
-/// themselves identical).
-fn retrieve_sharded(args: &[String], above: bool, shards: usize) -> Result<(), String> {
+/// `above`/`topk`: one [`QueryRequest`], one engine handle, one execution
+/// path. The backend (fresh single engine, loaded image, sharded build or
+/// manifest) is chosen from the arguments and boxed behind `dyn Engine`;
+/// the request then runs through `plan` → `execute` with **no per-engine
+/// query dispatch** — abs/floor/chunk/adaptive/shards compose freely, and
+/// every combination is exact.
+fn retrieve(args: &[String], above: bool) -> Result<(), String> {
     let queries = load(positional(args, 0)?)?;
     let probes_path = positional(args, 1)?;
-    if opt_parse::<usize>(args, "chunk", 0)? > 0 {
-        return Err("sharded execution does not support chunked runs".into());
+    let threads: usize = opt_parse(args, "threads", 0)?; // 0 = backend default
+    let explain: bool = opt_parse(args, "explain", false)?;
+
+    // The request: what to retrieve plus how to execute it.
+    let kind = if above {
+        let theta: f64 = opt_require(args, "theta")?;
+        if opt_parse(args, "abs", false)? {
+            QueryKind::AbsAboveTheta { theta }
+        } else {
+            QueryKind::AboveTheta { theta }
+        }
+    } else {
+        let k: usize = opt_require(args, "k")?;
+        let floor: f64 = opt_parse(args, "floor", f64::NEG_INFINITY)?;
+        if floor > f64::NEG_INFINITY {
+            QueryKind::TopKWithFloor { k, floor }
+        } else {
+            QueryKind::TopK { k }
+        }
+    };
+    let mut request = QueryRequest::new(kind);
+    if let Some(acfg) = adaptive_cfg(args)? {
+        request = request.adaptive(acfg);
     }
-    if opt(args, "adaptive").is_some() {
-        return Err("sharded execution does not support adaptive selection in the CLI".into());
+    let chunk: usize = opt_parse(args, "chunk", 0)?; // 0 = monolithic
+    if chunk > 0 {
+        request = request.chunked(chunk);
     }
-    let threads: usize = opt_parse(args, "threads", 0)?;
-    let mut engine = load_sharded(args, probes_path, shards)?;
-    engine.set_threads(if threads > 0 { threads } else { engine.shard_count() });
+
+    // The engine handle: sharded (built or loaded) or single (built or
+    // loaded), behind one trait object either way.
+    let shards = shard_request(args)?;
+    let mut engine: Box<dyn Engine> = if shards.is_some() || sharded_image(probes_path)? {
+        let mut engine = load_sharded(args, probes_path, shards.unwrap_or(0))?;
+        engine.set_threads(if threads > 0 { threads } else { engine.shard_count() });
+        Box::new(engine)
+    } else {
+        reject_dangling_shard_policy(args)?;
+        let engine = if probes_path.ends_with(".eng") {
+            let mut loaded = Lemp::load(Path::new(probes_path))
+                .map_err(|e| format!("cannot load engine {probes_path}: {e}"))?;
+            if threads > 0 {
+                loaded.set_threads(threads);
+            }
+            loaded
+        } else {
+            let probes = load(probes_path)?;
+            let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
+            Lemp::builder().variant(variant).threads(threads.max(1)).build(&probes)
+        };
+        Box::new(engine)
+    };
     if engine.dim() != queries.dim() {
         return Err(format!(
             "dimensionality mismatch: queries r={}, probes r={}",
@@ -300,142 +351,52 @@ fn retrieve_sharded(args: &[String], above: bool, shards: usize) -> Result<(), S
             engine.dim()
         ));
     }
+
+    // Warm for the workload, compile, execute.
+    engine.warm_up(&queries, kind.warm_goal());
+    let plan = engine.plan(&request);
+    if explain {
+        eprintln!("plan: {}", plan.describe());
+    }
+    let mut scratch = engine.query_scratch();
+    let response = engine.execute(&plan, &queries, &mut scratch);
+
     let mut out = sink(args)?;
-    if above {
-        let theta: f64 = opt_require(args, "theta")?;
-        let abs: bool = opt_parse(args, "abs", false)?;
-        engine.warm(&queries, WarmGoal::Above(theta));
-        let mut scratch = engine.make_scratch();
-        let result = if abs {
-            engine.abs_above_theta_shared(&queries, theta, &mut scratch)
-        } else {
-            engine.above_theta_shared(&queries, theta, &mut scratch)
-        };
-        let mut entries = result.entries;
-        entries.sort_by_key(|e| (e.query, e.probe));
-        export::write_entries_csv(&mut out, &entries).map_err(|e| e.to_string())?;
-        let sign = if abs { "|·| ≥" } else { "≥" };
-        eprintln!(
-            "{} entries {sign} {theta} | {} queries over {} shards ({} probes), total {:.3}s",
-            entries.len(),
-            queries.len(),
-            engine.shard_count(),
-            engine.len(),
-            result.stats.counters.total_seconds()
-        );
-    } else {
-        let k: usize = opt_require(args, "k")?;
-        let floor: f64 = opt_parse(args, "floor", f64::NEG_INFINITY)?;
-        engine.warm(&queries, WarmGoal::TopK(k.max(1)));
-        let mut scratch = engine.make_scratch();
-        let result = engine.row_top_k_with_floor_shared(&queries, k, floor, &mut scratch);
-        export::write_topk_csv(&mut out, &result.lists).map_err(|e| e.to_string())?;
-        eprintln!(
-            "top-{k} for {} queries over {} shards ({} probes), total {:.3}s",
-            queries.len(),
-            engine.shard_count(),
-            engine.len(),
-            result.stats.counters.total_seconds()
-        );
-    }
-    Ok(())
-}
-
-fn retrieve(args: &[String], above: bool) -> Result<(), String> {
-    let shards = shard_request(args)?;
-    if shards.is_some() || sharded_image(positional(args, 1)?)? {
-        return retrieve_sharded(args, above, shards.unwrap_or(0));
-    }
-    reject_dangling_shard_policy(args)?;
-    let queries = load(positional(args, 0)?)?;
-    let probes_path = positional(args, 1)?;
-    let threads: usize = opt_parse(args, "threads", 1)?;
-    let chunk: usize = opt_parse(args, "chunk", 0)?; // 0 = monolithic
-                                                     // A prebuilt engine image skips preprocessing; a matrix builds fresh.
-    let mut engine = if probes_path.ends_with(".eng") {
-        Lemp::load(Path::new(probes_path))
-            .map_err(|e| format!("cannot load engine {probes_path}: {e}"))?
-    } else {
-        let probes = load(probes_path)?;
-        let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
-        Lemp::builder().variant(variant).threads(threads).build(&probes)
-    };
-    if engine.buckets().dim() != queries.dim() {
-        return Err(format!(
-            "dimensionality mismatch: queries r={}, probes r={}",
-            queries.dim(),
-            engine.buckets().dim()
-        ));
-    }
-    let mut out = sink(args)?;
-
-    let adaptive = adaptive_cfg(args)?;
-    if adaptive.is_some() && chunk > 0 {
-        return Err("adaptive selection does not support chunked execution".into());
-    }
-
-    if above {
-        let theta: f64 = opt_require(args, "theta")?;
-        let abs: bool = opt_parse(args, "abs", false)?;
-        if abs && (chunk > 0 || adaptive.is_some()) {
-            return Err("abs=true supports neither chunked nor adaptive execution".into());
+    let stats = &response.stats;
+    match response.rows {
+        QueryRows::Entries(mut entries) => {
+            entries.sort_by_key(|e| (e.query, e.probe));
+            export::write_entries_csv(&mut out, &entries).map_err(|e| e.to_string())?;
+            let (sign, theta) = match kind {
+                QueryKind::AbsAboveTheta { theta } => ("|·| ≥", theta),
+                QueryKind::AboveTheta { theta } => ("≥", theta),
+                _ => unreachable!("entry rows imply an Above-θ kind"),
+            };
+            eprintln!(
+                "{} entries {sign} {theta} | {} queries, {:.1} candidates/query, {} buckets over {} shard(s), total {:.3}s",
+                entries.len(),
+                stats.counters.queries,
+                stats.counters.candidates_per_query(),
+                stats.bucket_count,
+                engine.shard_count(),
+                stats.counters.total_seconds()
+            );
         }
-        let (mut entries, stats) = if let Some(acfg) = &adaptive {
-            let (result, _) = engine.above_theta_adaptive(&queries, theta, acfg);
-            (result.entries, result.stats)
-        } else if abs {
-            let result = engine.abs_above_theta(&queries, theta);
-            (result.entries, result.stats)
-        } else if chunk > 0 {
-            let mut collected = Vec::new();
-            let stats = engine
-                .above_theta_chunked(&queries, theta, chunk, |es| collected.extend_from_slice(es));
-            (collected, stats)
-        } else {
-            let result = engine.above_theta(&queries, theta);
-            (result.entries, result.stats)
-        };
-        entries.sort_by_key(|e| (e.query, e.probe));
-        export::write_entries_csv(&mut out, &entries).map_err(|e| e.to_string())?;
-        let sign = if abs { "|·| ≥" } else { "≥" };
-        eprintln!(
-            "{} entries {sign} {theta} | {} queries, {:.1} candidates/query, {} buckets, total {:.3}s",
-            entries.len(),
-            stats.counters.queries,
-            stats.counters.candidates_per_query(),
-            stats.bucket_count,
-            stats.counters.total_seconds()
-        );
-    } else {
-        let k: usize = opt_require(args, "k")?;
-        let floor: f64 = opt_parse(args, "floor", f64::NEG_INFINITY)?;
-        if floor > f64::NEG_INFINITY && (chunk > 0 || adaptive.is_some()) {
-            return Err("floor supports neither chunked nor adaptive execution".into());
+        QueryRows::Lists(lists) => {
+            export::write_topk_csv(&mut out, &lists).map_err(|e| e.to_string())?;
+            let k = match kind {
+                QueryKind::TopK { k } | QueryKind::TopKWithFloor { k, .. } => k,
+                _ => unreachable!("list rows imply a Row-Top-k kind"),
+            };
+            eprintln!(
+                "top-{k} for {} queries | {:.1} candidates/query, {} buckets over {} shard(s), total {:.3}s",
+                stats.counters.queries,
+                stats.counters.candidates_per_query(),
+                stats.bucket_count,
+                engine.shard_count(),
+                stats.counters.total_seconds()
+            );
         }
-        let (lists, stats) = if let Some(acfg) = &adaptive {
-            let (result, _) = engine.row_top_k_adaptive(&queries, k, acfg);
-            (result.lists, result.stats)
-        } else if floor > f64::NEG_INFINITY {
-            let result = engine.row_top_k_with_floor(&queries, k, floor);
-            (result.lists, result.stats)
-        } else if chunk > 0 {
-            let mut lists: TopKLists = vec![Vec::new(); queries.len()];
-            let stats = engine.row_top_k_chunked(&queries, k, chunk, |q, list| {
-                lists[q as usize] = list.to_vec();
-            });
-            (lists, stats)
-        } else {
-            let result = engine.row_top_k(&queries, k);
-            (result.lists, result.stats)
-        };
-        export::write_topk_csv(&mut out, &lists).map_err(|e| e.to_string())?;
-        eprintln!(
-            "top-{k} for {} queries | {:.1} candidates/query, {} buckets, total {:.3}s",
-            stats.counters.queries,
-            stats.counters.candidates_per_query(),
-            stats.bucket_count,
-            stats.counters.total_seconds()
-        );
     }
     Ok(())
 }
@@ -1007,10 +968,14 @@ mod tests {
         let mut values: Vec<f64> = entries.iter().map(|e| e.value).collect();
         values.sort_by(f64::total_cmp);
         assert_eq!(values, vec![-2.0, 2.0]);
-        // invalid combinations are rejected
-        let base = ["above", q.to_str().unwrap(), p.to_str().unwrap(), "theta=1.5"];
-        assert!(run(&s(&[&base[..], &["abs=true", "chunk=1"]].concat())).is_err());
-        assert!(run(&s(&[&base[..], &["abs=true", "adaptive=ucb1"]].concat())).is_err());
+        // abs composes with chunked and adaptive execution (all exact):
+        // the unified QueryRequest path answers identically.
+        let expect = std::fs::read_to_string(&out).unwrap();
+        let base = ["above", q.to_str().unwrap(), p.to_str().unwrap(), "theta=1.5", "abs=true"];
+        for extra in [["chunk=1"], ["adaptive=ucb1"]] {
+            run(&s(&[&base[..], &[extra[0], &format!("out={}", out.display())]].concat())).unwrap();
+            assert_eq!(std::fs::read_to_string(&out).unwrap(), expect, "{extra:?} diverges");
+        }
         for f in [&q, &p, &out] {
             std::fs::remove_file(f).ok();
         }
@@ -1035,9 +1000,13 @@ mod tests {
         let lists = export::read_topk_csv(std::fs::File::open(&out).unwrap()).unwrap();
         assert_eq!(lists[0].len(), 2, "only values 3 and 2 reach the floor");
         assert!(lists[0].iter().all(|i| i.score >= 1.5));
-        let base = ["topk", q.to_str().unwrap(), p.to_str().unwrap(), "k=3"];
-        assert!(run(&s(&[&base[..], &["floor=1.5", "chunk=1"]].concat())).is_err());
-        assert!(run(&s(&[&base[..], &["floor=1.5", "adaptive=ucb1"]].concat())).is_err());
+        // floor composes with chunked and adaptive execution, exactly.
+        let expect = std::fs::read_to_string(&out).unwrap();
+        let base = ["topk", q.to_str().unwrap(), p.to_str().unwrap(), "k=3", "floor=1.5"];
+        for extra in [["chunk=1"], ["adaptive=ucb1"]] {
+            run(&s(&[&base[..], &[extra[0], &format!("out={}", out.display())]].concat())).unwrap();
+            assert_eq!(std::fs::read_to_string(&out).unwrap(), expect, "{extra:?} diverges");
+        }
         for f in [&q, &p, &out] {
             std::fs::remove_file(f).ok();
         }
@@ -1074,8 +1043,51 @@ mod tests {
             );
         }
         assert!(run(&s(&[&base[..], &["adaptive=magic"]].concat())).is_err());
-        assert!(run(&s(&[&base[..], &["adaptive=ucb1", "chunk=2"]].concat())).is_err());
+        // adaptive + chunked compose through the unified path, exactly.
+        run(&s(&[&base[..], &["adaptive=ucb1", "chunk=2", &format!("out={}", out2.display())]]
+            .concat()))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&out1).unwrap(),
+            std::fs::read_to_string(&out2).unwrap(),
+            "adaptive+chunked must return the tuned result"
+        );
         for f in [&q, &p, &out1, &out2] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn topk_k_edge_cases_are_clamped() {
+        let q = temp("kedge-q", "csv");
+        let p = temp("kedge-p", "csv");
+        let out = temp("kedge-out", "csv");
+        write_csv_matrix(&q, &["1,0", "0,1"]);
+        write_csv_matrix(&p, &["2,0", "0,3", "1,1"]);
+        // k beyond the probe count returns every probe, no panic.
+        run(&s(&[
+            "topk",
+            q.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "k=100",
+            "explain=true",
+            &format!("out={}", out.display()),
+        ]))
+        .unwrap();
+        let lists = export::read_topk_csv(std::fs::File::open(&out).unwrap()).unwrap();
+        assert!(lists.iter().all(|l| l.len() == 3), "k > n must return every probe");
+        // k = 0 returns empty lists, no panic.
+        run(&s(&[
+            "topk",
+            q.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "k=0",
+            &format!("out={}", out.display()),
+        ]))
+        .unwrap();
+        let lists = export::read_topk_csv(std::fs::File::open(&out).unwrap()).unwrap();
+        assert!(lists.iter().all(Vec::is_empty));
+        for f in [&q, &p, &out] {
             std::fs::remove_file(f).ok();
         }
     }
@@ -1193,10 +1205,23 @@ mod tests {
             std::fs::read_to_string(&out2).unwrap(),
             "S=1 sharded topk diverges from unsharded"
         );
-        // Unsupported combinations are rejected, not silently ignored.
+        // Sharded execution composes with chunked and adaptive runs too —
+        // same unified path, same exact answers.
+        let base = ["topk", q.to_str().unwrap(), p.to_str().unwrap(), "k=3"];
+        run(&s(&[&base[..], &[&format!("out={}", out1.display())]].concat())).unwrap();
+        for extra in [["chunk=2"], ["adaptive=ucb1"]] {
+            run(&s(
+                &[&base[..], &["shards=2", extra[0], &format!("out={}", out2.display())]].concat()
+            ))
+            .unwrap();
+            assert_eq!(
+                std::fs::read_to_string(&out1).unwrap(),
+                std::fs::read_to_string(&out2).unwrap(),
+                "sharded {extra:?} diverges from unsharded"
+            );
+        }
+        // Nonsense options are still rejected, not silently ignored.
         let base = ["topk", q.to_str().unwrap(), p.to_str().unwrap(), "k=3", "shards=2"];
-        assert!(run(&s(&[&base[..], &["chunk=2"]].concat())).is_err());
-        assert!(run(&s(&[&base[..], &["adaptive=ucb1"]].concat())).is_err());
         assert!(run(&s(&[&base[..], &["shard-policy=magic"]].concat())).is_err());
         // shards=0 and a shard-policy that would be silently dropped error.
         let plain = ["topk", q.to_str().unwrap(), p.to_str().unwrap(), "k=3"];

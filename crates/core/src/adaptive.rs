@@ -605,6 +605,8 @@ pub(crate) fn row_top_k_adaptive_with(
         buckets.bucket_count(),
         "selector sized for a different bucketization"
     );
+    // Clamp k to the live probe count, like every Row-Top-k driver.
+    let k = k.min(buckets.total());
     let prep_start = Instant::now();
     let batch = QueryBatch::build(queries);
     let batch_prep_ns = prep_start.elapsed().as_nanos() as u64;
@@ -749,6 +751,8 @@ pub(crate) fn row_top_k_adaptive_prepared(
         buckets.bucket_count(),
         "selector sized for a different bucketization"
     );
+    // Clamp k to the live probe count, like every Row-Top-k driver.
+    let k = k.min(buckets.total());
     let prep_start = Instant::now();
     let batch = QueryBatch::build(queries);
     let batch_prep_ns = prep_start.elapsed().as_nanos() as u64;

@@ -16,6 +16,7 @@
 //! every query prunes are never indexed ("LEMP constructs indexes lazily on
 //! first use to further reduce computational cost").
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use lemp_apss::{BlshIndex, L2apIndex};
@@ -250,6 +251,21 @@ pub struct ProbeBuckets {
     total: usize,
     buckets: Vec<Bucket>,
     prep_ns: u64,
+    /// Bucketization epoch: a process-globally unique stamp refreshed on
+    /// every mutable access, so a compiled [`crate::QueryPlan`] can detect
+    /// *any* change to the bucketization it was derived from — including
+    /// count-preserving edits (an insert absorbed by an existing bucket,
+    /// a re-tune) that leave every other observable unchanged.
+    epoch: u64,
+}
+
+/// Process-global epoch source: every fresh stamp is strictly greater than
+/// every stamp handed out before, so no two bucketization states — across
+/// engines, rebuilds, or reloads — ever share an epoch.
+static BUCKETS_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+fn next_epoch() -> u64 {
+    BUCKETS_EPOCH.fetch_add(1, Ordering::Relaxed)
 }
 
 impl ProbeBuckets {
@@ -297,7 +313,13 @@ impl ProbeBuckets {
             });
             begin = end;
         }
-        Self { dim: probes.dim(), total: n, buckets, prep_ns: start.elapsed().as_nanos() as u64 }
+        Self {
+            dim: probes.dim(),
+            total: n,
+            buckets,
+            prep_ns: start.elapsed().as_nanos() as u64,
+            epoch: next_epoch(),
+        }
     }
 
     /// Vector dimensionality.
@@ -320,9 +342,17 @@ impl ProbeBuckets {
         &self.buckets
     }
 
-    /// Mutable access (lazy index construction).
+    /// Mutable access (lazy index construction). Refreshes the epoch:
+    /// any plan compiled before this call is considered stale.
     pub fn buckets_mut(&mut self) -> &mut [Bucket] {
+        self.epoch = next_epoch();
         &mut self.buckets
+    }
+
+    /// The current bucketization epoch (see the field docs); compiled
+    /// plans record it and refuse to execute against a different one.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of buckets (the Sec. 6.2 ablation reports this: 403 vs 26 for
@@ -334,6 +364,7 @@ impl ProbeBuckets {
     /// Full mutable access to the bucket vector, for dynamic maintenance
     /// (insertions may add or split buckets, removals may drop them).
     pub(crate) fn buckets_vec_mut(&mut self) -> &mut Vec<Bucket> {
+        self.epoch = next_epoch();
         &mut self.buckets
     }
 
@@ -344,7 +375,7 @@ impl ProbeBuckets {
 
     /// Reassembles a bucket set from persisted parts (engine loading).
     pub(crate) fn from_parts(dim: usize, total: usize, buckets: Vec<Bucket>) -> Self {
-        Self { dim, total, buckets, prep_ns: 0 }
+        Self { dim, total, buckets, prep_ns: 0, epoch: next_epoch() }
     }
 }
 

@@ -38,10 +38,12 @@
 
 use lemp_linalg::{kernels, LinalgError, VectorStore};
 
+use crate::adaptive::AdaptiveSelector;
 use crate::algos::MethodScratch;
 use crate::bucket::{Bucket, BucketPolicy, ProbeBuckets};
 use crate::exec::{BuildClock, RunConfig};
 use crate::persist::PersistError;
+use crate::plan::{self, Engine, QueryPlan, QueryRequest, QueryResponse, Scratch};
 use crate::runner::{self, AboveThetaOutput, TopKOutput};
 use crate::variant::TunedParams;
 use crate::{Lemp, WarmGoal, WarmReport, WarmState};
@@ -158,6 +160,27 @@ impl DynamicLemp {
         self.warm.as_ref().unwrap_or_else(|| {
             panic!("{caller} requires a warmed engine: call DynamicLemp::warm first")
         })
+    }
+
+    /// The unified execution core behind every `*_shared` entry point —
+    /// the same [`plan::run_request_single`] path [`Lemp`] uses, over the
+    /// live buckets.
+    fn shared_request(
+        &self,
+        caller: &str,
+        request: &QueryRequest,
+        queries: &VectorStore,
+        scratch: &mut MethodScratch,
+        selector: Option<&mut AdaptiveSelector>,
+    ) -> QueryResponse {
+        let warm = self.warm_state(caller);
+        let parts = plan::SinglePrepared {
+            buckets: &self.buckets,
+            config: &self.config,
+            per_bucket: &warm.per_bucket,
+            blsh: warm.blsh_table.as_ref(),
+        };
+        plan::run_request_single(&parts, request, queries, scratch, selector)
     }
 
     /// Rebuilds the indexes of bucket `b` so the warm invariant (every
@@ -443,16 +466,14 @@ impl DynamicLemp {
         theta: f64,
         scratch: &mut MethodScratch,
     ) -> AboveThetaOutput {
-        let warm = self.warm_state("above_theta_shared");
-        runner::above_theta_prepared(
-            &self.buckets,
+        self.shared_request(
+            "above_theta_shared",
+            &QueryRequest::above_theta(theta),
             queries,
-            theta,
-            &self.config,
-            &warm.per_bucket,
-            warm.blsh_table.as_ref(),
             scratch,
+            None,
         )
+        .into_above()
     }
 
     /// [`DynamicLemp::row_top_k`] through `&self` over a warmed engine.
@@ -482,17 +503,14 @@ impl DynamicLemp {
         floor: f64,
         scratch: &mut MethodScratch,
     ) -> TopKOutput {
-        let warm = self.warm_state("row_top_k_with_floor_shared");
-        runner::row_top_k_prepared(
-            &self.buckets,
+        self.shared_request(
+            "row_top_k_with_floor_shared",
+            &QueryRequest::top_k_with_floor(k, floor),
             queries,
-            k,
-            floor,
-            &self.config,
-            &warm.per_bucket,
-            warm.blsh_table.as_ref(),
             scratch,
+            None,
         )
+        .into_top_k()
     }
 
     /// [`DynamicLemp::abs_above_theta`] through `&self` over a warmed
@@ -507,7 +525,14 @@ impl DynamicLemp {
         theta: f64,
         scratch: &mut MethodScratch,
     ) -> AboveThetaOutput {
-        crate::abs_above_theta_via(queries, theta, |q| self.above_theta_shared(q, theta, scratch))
+        self.shared_request(
+            "abs_above_theta_shared",
+            &QueryRequest::abs_above_theta(theta),
+            queries,
+            scratch,
+            None,
+        )
+        .into_above()
     }
 
     /// Solves **|Above-θ|** (`|qᵀp| ≥ theta`, `theta > 0`) over the live
@@ -634,6 +659,58 @@ impl DynamicLemp {
     /// Same conditions as [`DynamicLemp::read_from`].
     pub fn load(path: &std::path::Path) -> Result<Self, PersistError> {
         Self::read_from(std::fs::File::open(path)?)
+    }
+}
+
+impl Engine for DynamicLemp {
+    fn plan(&self, request: &QueryRequest) -> QueryPlan {
+        let warm = self.warm_state("Engine::plan");
+        plan::plan_single(
+            &plan::SinglePrepared {
+                buckets: &self.buckets,
+                config: &self.config,
+                per_bucket: &warm.per_bucket,
+                blsh: warm.blsh_table.as_ref(),
+            },
+            request,
+        )
+    }
+
+    fn execute(
+        &self,
+        plan: &QueryPlan,
+        queries: &VectorStore,
+        scratch: &mut Scratch,
+    ) -> QueryResponse {
+        let warm = self.warm_state("Engine::execute");
+        plan::execute_single(
+            &self.buckets,
+            &self.config,
+            warm.blsh_table.as_ref(),
+            plan,
+            queries,
+            scratch,
+        )
+    }
+
+    fn query_scratch(&self) -> Scratch {
+        Scratch::single(self.make_scratch())
+    }
+
+    fn probes(&self) -> usize {
+        self.live
+    }
+
+    fn dim(&self) -> usize {
+        DynamicLemp::dim(self)
+    }
+
+    fn is_warm(&self) -> bool {
+        DynamicLemp::is_warm(self)
+    }
+
+    fn warm_up(&mut self, sample: &VectorStore, goal: WarmGoal) -> WarmReport {
+        DynamicLemp::warm(self, sample, goal)
     }
 }
 

@@ -43,6 +43,17 @@
 //! assert_eq!(top.lists.len(), 3);
 //! assert_eq!(top.lists[0].len(), 2);
 //! ```
+//!
+//! # The unified query surface
+//!
+//! Beyond the convenience methods above, every retrieval problem flows
+//! through one planned pipeline (see [`plan`]): a [`QueryRequest`]
+//! compiles via [`Engine::plan`] into a [`QueryPlan`] (per-bucket
+//! algorithm assignment from the tuned `t_b`/`φ_b`) and executes through
+//! [`Engine::execute`] with a caller-owned [`Scratch`]. [`Lemp`],
+//! [`DynamicLemp`] and [`ShardedLemp`] all implement the dyn-compatible
+//! [`Engine`] trait, so services hold `Box<dyn Engine>` handles and never
+//! dispatch on the backend.
 
 #![warn(missing_docs)]
 
@@ -54,6 +65,7 @@ pub mod dynamic;
 pub mod exec;
 pub mod index;
 pub mod persist;
+pub mod plan;
 pub mod query;
 pub mod runner;
 pub mod scratch;
@@ -69,6 +81,10 @@ pub use dynamic::DynamicLemp;
 pub use exec::RunConfig;
 pub use lemp_baselines::types::{Entry, RetrievalCounters, TopKLists};
 pub use persist::PersistError;
+pub use plan::{
+    BucketAlgo, Engine, ExecOptions, PlanSegment, Planner, QueryKind, QueryPlan, QueryRequest,
+    QueryResponse, QueryRows, Scratch,
+};
 pub use runner::{AboveThetaOutput, MethodMix, RunStats, TopKOutput};
 pub use shard::{ShardPolicy, ShardScratch, ShardedLemp};
 pub use stream::column_top_k;
@@ -326,10 +342,32 @@ impl Lemp {
         MethodScratch::new(runner::max_bucket_len(&self.buckets))
     }
 
-    fn warm_state(&self, caller: &str) -> &WarmState {
+    pub(crate) fn warm_state(&self, caller: &str) -> &WarmState {
         self.warm
             .as_ref()
             .unwrap_or_else(|| panic!("{caller} requires a warmed engine: call Lemp::warm first"))
+    }
+
+    /// The unified execution core behind every `*_shared` entry point:
+    /// builds the prepared view from the warm state and hands the request
+    /// to [`plan::run_request_single`] — one code path for all five
+    /// methods (plus their adaptive/chunked variants).
+    fn shared_request(
+        &self,
+        caller: &str,
+        request: &QueryRequest,
+        queries: &VectorStore,
+        scratch: &mut MethodScratch,
+        selector: Option<&mut AdaptiveSelector>,
+    ) -> QueryResponse {
+        let warm = self.warm_state(caller);
+        let parts = plan::SinglePrepared {
+            buckets: &self.buckets,
+            config: &self.config,
+            per_bucket: &warm.per_bucket,
+            blsh: warm.blsh_table.as_ref(),
+        };
+        plan::run_request_single(&parts, request, queries, scratch, selector)
     }
 
     /// [`Lemp::above_theta`] through `&self` over a warmed engine, with a
@@ -344,16 +382,14 @@ impl Lemp {
         theta: f64,
         scratch: &mut MethodScratch,
     ) -> AboveThetaOutput {
-        let warm = self.warm_state("above_theta_shared");
-        runner::above_theta_prepared(
-            &self.buckets,
+        self.shared_request(
+            "above_theta_shared",
+            &QueryRequest::above_theta(theta),
             queries,
-            theta,
-            &self.config,
-            &warm.per_bucket,
-            warm.blsh_table.as_ref(),
             scratch,
+            None,
         )
+        .into_above()
     }
 
     /// [`Lemp::row_top_k`] through `&self` over a warmed engine, with a
@@ -383,17 +419,14 @@ impl Lemp {
         floor: f64,
         scratch: &mut MethodScratch,
     ) -> TopKOutput {
-        let warm = self.warm_state("row_top_k_with_floor_shared");
-        runner::row_top_k_prepared(
-            &self.buckets,
+        self.shared_request(
+            "row_top_k_with_floor_shared",
+            &QueryRequest::top_k_with_floor(k, floor),
             queries,
-            k,
-            floor,
-            &self.config,
-            &warm.per_bucket,
-            warm.blsh_table.as_ref(),
             scratch,
+            None,
         )
+        .into_top_k()
     }
 
     /// [`Lemp::abs_above_theta`] through `&self` over a warmed engine.
@@ -407,7 +440,14 @@ impl Lemp {
         theta: f64,
         scratch: &mut MethodScratch,
     ) -> AboveThetaOutput {
-        abs_above_theta_via(queries, theta, |q| self.above_theta_shared(q, theta, scratch))
+        self.shared_request(
+            "abs_above_theta_shared",
+            &QueryRequest::abs_above_theta(theta),
+            queries,
+            scratch,
+            None,
+        )
+        .into_above()
     }
 
     /// [`Lemp::above_theta_adaptive_with`] through `&self` over a warmed
@@ -425,8 +465,14 @@ impl Lemp {
         selector: &mut AdaptiveSelector,
         scratch: &mut MethodScratch,
     ) -> AboveThetaOutput {
-        let _ = self.warm_state("above_theta_adaptive_shared");
-        adaptive::above_theta_adaptive_prepared(&self.buckets, queries, theta, selector, scratch)
+        self.shared_request(
+            "above_theta_adaptive_shared",
+            &QueryRequest::above_theta(theta),
+            queries,
+            scratch,
+            Some(selector),
+        )
+        .into_above()
     }
 
     /// [`Lemp::row_top_k_adaptive_with`] through `&self` over a warmed
@@ -441,8 +487,14 @@ impl Lemp {
         selector: &mut AdaptiveSelector,
         scratch: &mut MethodScratch,
     ) -> TopKOutput {
-        let _ = self.warm_state("row_top_k_adaptive_shared");
-        adaptive::row_top_k_adaptive_prepared(&self.buckets, queries, k, selector, scratch)
+        self.shared_request(
+            "row_top_k_adaptive_shared",
+            &QueryRequest::top_k(k),
+            queries,
+            scratch,
+            Some(selector),
+        )
+        .into_top_k()
     }
 
     /// Solves **Above-θ**: all entries of `QᵀP` that are ≥ `theta`.

@@ -634,6 +634,9 @@ pub(crate) fn row_top_k_floor(
     cfg: &RunConfig,
 ) -> TopKOutput {
     assert_eq!(queries.dim(), buckets.dim(), "query/probe dimensionality mismatch");
+    // Clamp k to the live probe count: `k > n` returns every probe anyway,
+    // and the clamp keeps a hostile k (say 10¹⁸) from sizing a heap.
+    let k = k.min(buckets.total());
     let prep_start = Instant::now();
     let batch = QueryBatch::build(queries);
     let blsh_table = make_blsh_table(cfg);
@@ -847,6 +850,8 @@ pub(crate) fn row_top_k_prepared(
     scratch: &mut MethodScratch,
 ) -> TopKOutput {
     assert_eq!(queries.dim(), buckets.dim(), "query/probe dimensionality mismatch");
+    // Same clamp as the lazy driver: non-panicking for any k.
+    let k = k.min(buckets.total());
     let prep_start = Instant::now();
     let batch = QueryBatch::build(queries);
     let batch_prep_ns = prep_start.elapsed().as_nanos() as u64;

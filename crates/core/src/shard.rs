@@ -64,13 +64,16 @@ use std::path::Path;
 
 use lemp_linalg::{ScoredItem, VectorStore};
 
-use crate::adaptive::{AdaptiveConfig, AdaptiveSelector};
+use crate::adaptive::{self, AdaptiveConfig, AdaptiveSelector};
 use crate::algos::MethodScratch;
 use crate::bucket::BucketPolicy;
 use crate::exec::RunConfig;
 use crate::persist::{expect_eof, read_u64, write_u64, PersistError};
-use crate::runner::{AboveThetaOutput, RunStats, TopKOutput};
-use crate::variant::LempVariant;
+use crate::plan::{
+    self, Engine, PlanSegment, Planner, QueryKind, QueryPlan, QueryRequest, QueryResponse, Scratch,
+};
+use crate::runner::{self, AboveThetaOutput, RunStats, TopKOutput};
+use crate::variant::{LempVariant, TunedParams};
 use crate::{Lemp, WarmGoal, WarmReport};
 
 /// How probe rows are assigned to shards.
@@ -588,21 +591,44 @@ impl ShardedLemp {
         );
     }
 
-    /// Runs `f` once per shard (shard engine + its scratch slot), fanned
-    /// out across up to `fan_out` scoped threads; results in shard order.
+    /// Runs `f` once per shard (shard engine + its scratch slot + its
+    /// per-bucket parameters), fanned out across up to `fan_out` scoped
+    /// threads; results in shard order.
     fn for_each_shard<T: Send>(
         &self,
-        scratch: &mut ShardScratch,
-        f: impl Fn(&Lemp, &mut MethodScratch) -> T + Sync,
+        scratches: &mut [MethodScratch],
+        params: &[&[TunedParams]],
+        f: impl Fn(&Lemp, &mut MethodScratch, &[TunedParams]) -> T + Sync,
     ) -> Vec<T> {
         let chunk = self.chunk_size();
         let f = &f;
         fan_out_chunks(
-            self.shards.chunks(chunk).zip(scratch.per_shard.chunks_mut(chunk)).collect(),
-            move |(shards, scratches): (&[Lemp], &mut [MethodScratch])| {
-                shards.iter().zip(scratches).map(|(shard, sc)| f(shard, sc)).collect()
+            self.shards
+                .chunks(chunk)
+                .zip(scratches.chunks_mut(chunk))
+                .zip(params.chunks(chunk))
+                .map(|((shards, scratches), params)| (shards, scratches, params))
+                .collect(),
+            move |(shards, scratches, params): (
+                &[Lemp],
+                &mut [MethodScratch],
+                &[&[TunedParams]],
+            )| {
+                shards
+                    .iter()
+                    .zip(scratches.iter_mut())
+                    .zip(params)
+                    .map(|((shard, sc), pb)| f(shard, sc, pb))
+                    .collect()
             },
         )
+    }
+
+    /// Each shard's tuned per-bucket parameters, straight from its warm
+    /// state (the classic entry points; the planned path reads them from
+    /// the plan's segments instead).
+    fn warm_params(&self, caller: &str) -> Vec<&[TunedParams]> {
+        self.shards.iter().map(|s| s.warm_state(caller).per_bucket.as_slice()).collect()
     }
 
     /// Shards per fan-out worker: `fan_out` workers cover the shard list
@@ -626,6 +652,179 @@ impl ShardedLemp {
         stats
     }
 
+    /// The unified execution core behind the sharded `*_shared` entry
+    /// points *and* [`Engine::execute`]: fans the request out across the
+    /// shards (serially under adaptive selection, so the learning
+    /// trajectories stay deterministic) and merges exactly.
+    fn run_sharded(
+        &self,
+        request: &QueryRequest,
+        queries: &VectorStore,
+        scratches: &mut [MethodScratch],
+        mut selectors: Option<&mut [AdaptiveSelector]>,
+        params: &[&[TunedParams]],
+    ) -> QueryResponse {
+        assert_eq!(
+            scratches.len(),
+            self.shards.len(),
+            "scratch was made for a different sharded engine"
+        );
+        assert_eq!(params.len(), self.shards.len(), "one parameter set per shard");
+        if let Some(sels) = &selectors {
+            assert_eq!(sels.len(), self.shards.len(), "one selector per shard");
+        }
+        if let Some(chunk) = request.options.chunk {
+            return self.run_chunked(request, queries, chunk, scratches, selectors, params);
+        }
+        match request.kind {
+            QueryKind::AboveTheta { theta } => QueryResponse::from_above(self.sharded_above(
+                theta,
+                queries,
+                scratches,
+                &mut selectors,
+                params,
+            )),
+            QueryKind::AbsAboveTheta { theta } => {
+                QueryResponse::from_above(crate::abs_above_theta_via(queries, theta, |q| {
+                    self.sharded_above(theta, q, scratches, &mut selectors, params)
+                }))
+            }
+            QueryKind::TopK { k } => QueryResponse::from_top_k(self.sharded_topk(
+                k,
+                f64::NEG_INFINITY,
+                queries,
+                scratches,
+                &mut selectors,
+                params,
+            )),
+            QueryKind::TopKWithFloor { k, floor } => QueryResponse::from_top_k(self.sharded_topk(
+                k,
+                floor,
+                queries,
+                scratches,
+                &mut selectors,
+                params,
+            )),
+        }
+    }
+
+    /// Chunked sharded execution: blocks of query rows sweep the whole
+    /// shard set through the shared chunked driver.
+    fn run_chunked(
+        &self,
+        request: &QueryRequest,
+        queries: &VectorStore,
+        chunk: usize,
+        scratches: &mut [MethodScratch],
+        mut selectors: Option<&mut [AdaptiveSelector]>,
+        params: &[&[TunedParams]],
+    ) -> QueryResponse {
+        plan::run_chunked_with(request, queries, chunk, |inner, block| {
+            self.run_sharded(inner, block, scratches, selectors.as_deref_mut(), params)
+        })
+    }
+
+    /// One Above-θ pass across all shards: concatenation merge (a probe
+    /// lives in exactly one shard), entry values bit-identical to the
+    /// unsharded engine.
+    fn sharded_above(
+        &self,
+        theta: f64,
+        queries: &VectorStore,
+        scratches: &mut [MethodScratch],
+        selectors: &mut Option<&mut [AdaptiveSelector]>,
+        params: &[&[TunedParams]],
+    ) -> AboveThetaOutput {
+        let outs: Vec<AboveThetaOutput> = match selectors {
+            Some(sels) => self
+                .shards
+                .iter()
+                .zip(scratches.iter_mut())
+                .zip(sels.iter_mut())
+                .map(|((shard, sc), sel)| {
+                    adaptive::above_theta_adaptive_prepared(
+                        shard.buckets(),
+                        queries,
+                        theta,
+                        sel,
+                        sc,
+                    )
+                })
+                .collect(),
+            None => self.for_each_shard(scratches, params, |shard, sc, pb| {
+                runner::above_theta_prepared(
+                    shard.buckets(),
+                    queries,
+                    theta,
+                    shard.config(),
+                    pb,
+                    shard.warm_state("sharded above-theta").blsh_table.as_ref(),
+                    sc,
+                )
+            }),
+        };
+        let mut entries = Vec::with_capacity(outs.iter().map(|o| o.entries.len()).sum());
+        let stats: Vec<RunStats> = outs
+            .into_iter()
+            .map(|o| {
+                entries.extend(o.entries);
+                o.stats
+            })
+            .collect();
+        let mut stats = self.merge_stats(&stats, queries.len());
+        stats.counters.results = entries.len() as u64;
+        AboveThetaOutput { entries, stats }
+    }
+
+    /// One Row-Top-k pass across all shards: per-shard local lists merged
+    /// with the exact per-query k-way merge.
+    fn sharded_topk(
+        &self,
+        k: usize,
+        floor: f64,
+        queries: &VectorStore,
+        scratches: &mut [MethodScratch],
+        selectors: &mut Option<&mut [AdaptiveSelector]>,
+        params: &[&[TunedParams]],
+    ) -> TopKOutput {
+        let mut outs: Vec<TopKOutput> = match selectors {
+            Some(sels) => self
+                .shards
+                .iter()
+                .zip(scratches.iter_mut())
+                .zip(sels.iter_mut())
+                .map(|((shard, sc), sel)| {
+                    adaptive::row_top_k_adaptive_prepared(shard.buckets(), queries, k, sel, sc)
+                })
+                .collect(),
+            None => self.for_each_shard(scratches, params, |shard, sc, pb| {
+                runner::row_top_k_prepared(
+                    shard.buckets(),
+                    queries,
+                    k,
+                    floor,
+                    shard.config(),
+                    pb,
+                    shard.warm_state("sharded row-top-k").blsh_table.as_ref(),
+                    sc,
+                )
+            }),
+        };
+        let mut lists = self.merge_lists(&mut outs, queries.len(), k);
+        if selectors.is_some() && floor > f64::NEG_INFINITY {
+            // Adaptive shards return plain top-k lists; filtering the
+            // merged result by the floor is exact (any entry ≥ floor
+            // outside the plain top-k is dominated by k entries ≥ floor).
+            for list in &mut lists {
+                list.retain(|item| item.score >= floor);
+            }
+        }
+        let stats: Vec<RunStats> = outs.into_iter().map(|o| o.stats).collect();
+        let mut stats = self.merge_stats(&stats, queries.len());
+        stats.counters.results = lists.iter().map(|l| l.len() as u64).sum();
+        TopKOutput { lists, stats }
+    }
+
     /// **Above-θ** across all shards: per-shard shared runs, results
     /// concatenated (a probe lives in exactly one shard). Entry values are
     /// bit-identical to the unsharded engine.
@@ -640,19 +839,15 @@ impl ShardedLemp {
         scratch: &mut ShardScratch,
     ) -> AboveThetaOutput {
         self.assert_ready("above_theta_shared", scratch);
-        let outs =
-            self.for_each_shard(scratch, |shard, sc| shard.above_theta_shared(queries, theta, sc));
-        let mut entries = Vec::with_capacity(outs.iter().map(|o| o.entries.len()).sum());
-        let stats: Vec<RunStats> = outs
-            .into_iter()
-            .map(|o| {
-                entries.extend(o.entries);
-                o.stats
-            })
-            .collect();
-        let mut stats = self.merge_stats(&stats, queries.len());
-        stats.counters.results = entries.len() as u64;
-        AboveThetaOutput { entries, stats }
+        let params = self.warm_params("above_theta_shared");
+        self.run_sharded(
+            &QueryRequest::above_theta(theta),
+            queries,
+            &mut scratch.per_shard,
+            None,
+            &params,
+        )
+        .into_above()
     }
 
     /// **Row-Top-k** across all shards: per-shard shared runs merged with
@@ -683,14 +878,15 @@ impl ShardedLemp {
         scratch: &mut ShardScratch,
     ) -> TopKOutput {
         self.assert_ready("row_top_k_with_floor_shared", scratch);
-        let mut outs = self.for_each_shard(scratch, |shard, sc| {
-            shard.row_top_k_with_floor_shared(queries, k, floor, sc)
-        });
-        let lists = self.merge_lists(&mut outs, queries.len(), k);
-        let stats: Vec<RunStats> = outs.into_iter().map(|o| o.stats).collect();
-        let mut stats = self.merge_stats(&stats, queries.len());
-        stats.counters.results = lists.iter().map(|l| l.len() as u64).sum();
-        TopKOutput { lists, stats }
+        let params = self.warm_params("row_top_k_with_floor_shared");
+        self.run_sharded(
+            &QueryRequest::top_k_with_floor(k, floor),
+            queries,
+            &mut scratch.per_shard,
+            None,
+            &params,
+        )
+        .into_top_k()
     }
 
     /// **|Above-θ|** across all shards (two exact Above-θ passes, as in
@@ -705,7 +901,16 @@ impl ShardedLemp {
         theta: f64,
         scratch: &mut ShardScratch,
     ) -> AboveThetaOutput {
-        crate::abs_above_theta_via(queries, theta, |q| self.above_theta_shared(q, theta, scratch))
+        self.assert_ready("abs_above_theta_shared", scratch);
+        let params = self.warm_params("abs_above_theta_shared");
+        self.run_sharded(
+            &QueryRequest::abs_above_theta(theta),
+            queries,
+            &mut scratch.per_shard,
+            None,
+            &params,
+        )
+        .into_above()
     }
 
     /// **Above-θ with online (bandit) selection** across all shards: each
@@ -725,18 +930,15 @@ impl ShardedLemp {
         scratch: &mut ShardScratch,
     ) -> AboveThetaOutput {
         self.assert_ready("above_theta_adaptive_shared", scratch);
-        assert_eq!(selectors.len(), self.shards.len(), "one selector per shard");
-        let mut entries = Vec::new();
-        let mut stats = Vec::with_capacity(self.shards.len());
-        for ((shard, selector), sc) in self.shards.iter().zip(selectors).zip(&mut scratch.per_shard)
-        {
-            let out = shard.above_theta_adaptive_shared(queries, theta, selector, sc);
-            entries.extend(out.entries);
-            stats.push(out.stats);
-        }
-        let mut stats = self.merge_stats(&stats, queries.len());
-        stats.counters.results = entries.len() as u64;
-        AboveThetaOutput { entries, stats }
+        let params = self.warm_params("above_theta_adaptive_shared");
+        self.run_sharded(
+            &QueryRequest::above_theta(theta),
+            queries,
+            &mut scratch.per_shard,
+            Some(selectors),
+            &params,
+        )
+        .into_above()
     }
 
     /// [`ShardedLemp::above_theta_adaptive_shared`] for Row-Top-k
@@ -752,17 +954,15 @@ impl ShardedLemp {
         scratch: &mut ShardScratch,
     ) -> TopKOutput {
         self.assert_ready("row_top_k_adaptive_shared", scratch);
-        assert_eq!(selectors.len(), self.shards.len(), "one selector per shard");
-        let mut outs = Vec::with_capacity(self.shards.len());
-        for ((shard, selector), sc) in self.shards.iter().zip(selectors).zip(&mut scratch.per_shard)
-        {
-            outs.push(shard.row_top_k_adaptive_shared(queries, k, selector, sc));
-        }
-        let lists = self.merge_lists(&mut outs, queries.len(), k);
-        let stats: Vec<RunStats> = outs.into_iter().map(|o| o.stats).collect();
-        let mut stats = self.merge_stats(&stats, queries.len());
-        stats.counters.results = lists.iter().map(|l| l.len() as u64).sum();
-        TopKOutput { lists, stats }
+        let params = self.warm_params("row_top_k_adaptive_shared");
+        self.run_sharded(
+            &QueryRequest::top_k(k),
+            queries,
+            &mut scratch.per_shard,
+            Some(selectors),
+            &params,
+        )
+        .into_top_k()
     }
 
     /// Per-query k-way merge of the shard outputs (lists are moved out of
@@ -887,6 +1087,75 @@ impl ShardedLemp {
     /// Same conditions as [`ShardedLemp::read_from`].
     pub fn load(path: &Path) -> Result<Self, PersistError> {
         Self::read_from(File::open(path)?)
+    }
+}
+
+impl Engine for ShardedLemp {
+    fn plan(&self, request: &QueryRequest) -> QueryPlan {
+        assert!(self.warm, "Engine::plan requires a warmed engine: call ShardedLemp::warm first");
+        let segments = self
+            .shards
+            .iter()
+            .map(|shard| {
+                Planner::segment(
+                    shard.buckets(),
+                    shard.config(),
+                    &shard.warm_state("Engine::plan").per_bucket,
+                )
+            })
+            .collect();
+        QueryPlan::new(*request, segments)
+    }
+
+    fn execute(
+        &self,
+        plan: &QueryPlan,
+        queries: &VectorStore,
+        scratch: &mut Scratch,
+    ) -> QueryResponse {
+        assert!(
+            self.warm,
+            "Engine::execute requires a warmed engine: call ShardedLemp::warm first"
+        );
+        let segments = plan.segments();
+        assert_eq!(
+            segments.len(),
+            self.shards.len(),
+            "stale plan — compiled for a different shard layout"
+        );
+        for (s, (segment, shard)) in segments.iter().zip(&self.shards).enumerate() {
+            segment.check_fresh(shard.buckets(), &format!("Engine::execute (shard {s})"));
+        }
+        let shapes: Vec<(usize, usize)> =
+            self.shards.iter().map(|s| (s.buckets().bucket_count(), s.buckets().dim())).collect();
+        let adaptive = plan.request().options.adaptive.map(|cfg| (cfg, shapes.as_slice()));
+        let (scratches, selectors) = scratch.sharded_parts("Engine::execute", adaptive);
+        let params: Vec<&[TunedParams]> = segments.iter().map(PlanSegment::params).collect();
+        self.run_sharded(plan.request(), queries, scratches, selectors, &params)
+    }
+
+    fn query_scratch(&self) -> Scratch {
+        Scratch::sharded(self.shards.iter().map(Lemp::make_scratch).collect())
+    }
+
+    fn probes(&self) -> usize {
+        self.total
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn is_warm(&self) -> bool {
+        self.warm
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn warm_up(&mut self, sample: &VectorStore, goal: WarmGoal) -> WarmReport {
+        ShardedLemp::warm(self, sample, goal)
     }
 }
 

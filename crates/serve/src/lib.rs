@@ -27,9 +27,21 @@
 //!
 //! `query` indices in `/above-theta` responses are row indices *within the
 //! request*; `id`/`probe` are the engine's stable probe ids. Errors come
-//! back as `{"error": "message"}` with a 4xx/5xx status. When the accept
-//! queue is full the server answers `503 {"error": "overloaded"}`
+//! back as `{"error": "message"}` with a 4xx/5xx status; `POST /probes`
+//! against a read-only (sharded) engine additionally carries a structured
+//! body (`"code": "probes_unsupported"`, `"engine": "sharded"`,
+//! `"shards": n`) so clients can branch without parsing prose. When the
+//! accept queue is full the server answers `503 {"error": "overloaded"}`
 //! immediately — load shedding, never head-of-line blocking.
+//!
+//! # Query dispatch
+//!
+//! Every query request is parsed into a [`lemp_core::QueryRequest`] and
+//! answered through the [`Engine`] trait (`plan` → `execute`): the server
+//! contains **no per-engine query dispatch** — pointing it at a different
+//! [`Engine`] backend requires no handler changes. Micro-batching
+//! coalesces queued requests whose `QueryRequest`s are equal into one
+//! engine call.
 
 #![warn(missing_docs)]
 
@@ -41,13 +53,14 @@ pub mod stats;
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use lemp_core::runner::{AboveThetaOutput, TopKOutput};
-use lemp_core::{DynamicLemp, MethodScratch, ShardScratch, ShardedLemp, WarmGoal};
+use lemp_core::{
+    DynamicLemp, Engine, QueryPlan, QueryRequest, QueryRows, Scratch, ShardedLemp, WarmGoal,
+};
 use lemp_linalg::VectorStore;
 
 use http::{HttpError, Request};
@@ -148,13 +161,16 @@ impl ConnQueue {
 
 /// The engine behind a server: either a single dynamic engine (probe
 /// edits supported) or a shard-parallel [`ShardedLemp`] (read-only probe
-/// set; a query batch fans out across all shards). The serving endpoints
-/// and wire shapes are identical — the handler dispatches transparently.
+/// set; a query batch fans out across all shards). **All query traffic
+/// flows through the [`Engine`] trait** ([`ServeEngine::as_engine`]) —
+/// the variants exist only for the *edit* path (`POST /probes`) and the
+/// `/stats` shard map; the handlers never match on the engine kind to
+/// answer a query.
 pub enum ServeEngine {
     /// One [`DynamicLemp`] — the PR-2 serving mode, `POST /probes` works.
     Dynamic(DynamicLemp),
     /// A [`ShardedLemp`] — shard-parallel queries, probe edits rejected
-    /// with `400` (shard routing of edits is a future step).
+    /// with a structured `400` (shard routing of edits is a future step).
     Sharded(ShardedLemp),
 }
 
@@ -170,20 +186,19 @@ impl From<ShardedLemp> for ServeEngine {
     }
 }
 
-/// Worker-owned scratch matching the engine kind it was made from (the
-/// single-engine scratch is boxed to keep the variants comparably sized).
-enum EngineScratch {
-    Dynamic(Box<MethodScratch>),
-    Sharded(ShardScratch),
-}
-
 impl ServeEngine {
+    /// The unified query handle: every request is planned and executed
+    /// through this trait object, whatever the backend.
+    pub fn as_engine(&self) -> &dyn Engine {
+        match self {
+            ServeEngine::Dynamic(e) => e,
+            ServeEngine::Sharded(e) => e,
+        }
+    }
+
     /// Live probe count.
     pub fn len(&self) -> usize {
-        match self {
-            ServeEngine::Dynamic(e) => e.len(),
-            ServeEngine::Sharded(e) => e.len(),
-        }
+        self.as_engine().probes()
     }
 
     /// `true` if no probes are live.
@@ -193,18 +208,12 @@ impl ServeEngine {
 
     /// Vector dimensionality.
     pub fn dim(&self) -> usize {
-        match self {
-            ServeEngine::Dynamic(e) => e.dim(),
-            ServeEngine::Sharded(e) => e.dim(),
-        }
+        self.as_engine().dim()
     }
 
     /// Whether the engine is warm (the shared query path is usable).
     pub fn is_warm(&self) -> bool {
-        match self {
-            ServeEngine::Dynamic(e) => e.is_warm(),
-            ServeEngine::Sharded(e) => e.is_warm(),
-        }
+        self.as_engine().is_warm()
     }
 
     /// Total bucket count (summed across shards when sharded).
@@ -217,10 +226,7 @@ impl ServeEngine {
 
     /// Number of shards (1 for the dynamic engine).
     pub fn shard_count(&self) -> usize {
-        match self {
-            ServeEngine::Dynamic(_) => 1,
-            ServeEngine::Sharded(e) => e.shard_count(),
-        }
+        self.as_engine().shard_count()
     }
 
     /// Probe count per shard (a one-element vector for the dynamic
@@ -229,13 +235,6 @@ impl ServeEngine {
         match self {
             ServeEngine::Dynamic(e) => vec![e.len()],
             ServeEngine::Sharded(e) => e.shard_sizes(),
-        }
-    }
-
-    fn make_scratch(&self) -> EngineScratch {
-        match self {
-            ServeEngine::Dynamic(e) => EngineScratch::Dynamic(Box::new(e.make_scratch())),
-            ServeEngine::Sharded(e) => EngineScratch::Sharded(e.make_scratch()),
         }
     }
 
@@ -260,43 +259,6 @@ impl ServeEngine {
             }
         }
     }
-
-    fn row_top_k_with_floor_shared(
-        &self,
-        queries: &VectorStore,
-        k: usize,
-        floor: f64,
-        scratch: &mut EngineScratch,
-    ) -> TopKOutput {
-        match (self, scratch) {
-            (ServeEngine::Dynamic(e), EngineScratch::Dynamic(s)) => {
-                e.row_top_k_with_floor_shared(queries, k, floor, s)
-            }
-            (ServeEngine::Sharded(e), EngineScratch::Sharded(s)) => {
-                e.row_top_k_with_floor_shared(queries, k, floor, s)
-            }
-            // The engine kind is fixed for the server's lifetime and every
-            // scratch is made from it.
-            _ => unreachable!("scratch kind matches the engine kind"),
-        }
-    }
-
-    fn above_theta_shared(
-        &self,
-        queries: &VectorStore,
-        theta: f64,
-        scratch: &mut EngineScratch,
-    ) -> AboveThetaOutput {
-        match (self, scratch) {
-            (ServeEngine::Dynamic(e), EngineScratch::Dynamic(s)) => {
-                e.above_theta_shared(queries, theta, s)
-            }
-            (ServeEngine::Sharded(e), EngineScratch::Sharded(s)) => {
-                e.above_theta_shared(queries, theta, s)
-            }
-            _ => unreachable!("scratch kind matches the engine kind"),
-        }
-    }
 }
 
 /// State shared by the acceptor and every worker.
@@ -309,6 +271,10 @@ struct Shared {
     queue: ConnQueue,
     cfg: ServeConfig,
     shutdown: AtomicBool,
+    /// Bumped (under the engine write lock) by every applied probe edit;
+    /// workers key their cached query plans on it, so a cached plan is
+    /// reused only while the engine it was compiled from is unchanged.
+    edits: AtomicU64,
 }
 
 impl Shared {
@@ -364,6 +330,7 @@ impl Server {
             queue: ConnQueue::new(cfg.queue_cap.max(1)),
             cfg,
             shutdown: AtomicBool::new(false),
+            edits: AtomicU64::new(0),
         });
         Ok(Server { listener, shared })
     }
@@ -455,26 +422,30 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
     }
 }
 
+/// Per-worker query state: the engine scratch plus a one-slot plan cache.
+/// Serving traffic is typically homogeneous (the same `QueryRequest` over
+/// and over), so caching the last compiled plan removes the per-request
+/// planning allocation from the hot path; the cache is keyed on the
+/// request *and* the edit counter, so probe edits invalidate it before a
+/// stale plan could ever reach `execute`.
+struct WorkerState {
+    scratch: Scratch,
+    plan: Option<(QueryRequest, u64, QueryPlan)>,
+}
+
 fn worker_loop(shared: &Shared) {
-    let mut scratch = shared.read_engine().make_scratch();
+    let mut worker =
+        WorkerState { scratch: shared.read_engine().as_engine().query_scratch(), plan: None };
     while let Some(stream) = shared.queue.pop() {
         // Contain panics (engine asserts on pathological inputs, future
         // bugs): one bad request must cost one connection, not a worker.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle_connection(stream, shared, &mut scratch, true);
+            handle_connection(stream, shared, &mut worker, true);
         }));
         if outcome.is_err() {
             ServerStats::bump(&shared.stats.server_errors);
         }
     }
-}
-
-/// The parameters of a query request; two requests batch together iff they
-/// agree on endpoint *and* parameters (one engine call must serve both).
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum QueryKind {
-    TopK { k: usize, floor: f64 },
-    Above { theta: f64 },
 }
 
 /// One parsed query request awaiting its batched engine call.
@@ -511,7 +482,7 @@ fn respond_http_error(shared: &Shared, stream: TcpStream, err: HttpError) {
 fn handle_connection(
     mut stream: TcpStream,
     shared: &Shared,
-    scratch: &mut EngineScratch,
+    worker: &mut WorkerState,
     allow_batch: bool,
 ) {
     let _ = stream.set_read_timeout(shared.cfg.io_timeout);
@@ -522,14 +493,14 @@ fn handle_connection(
         Err(e) => return respond_http_error(shared, stream, e),
     };
     ServerStats::bump(&shared.stats.requests);
-    dispatch(stream, request, shared, scratch, allow_batch);
+    dispatch(stream, request, shared, worker, allow_batch);
 }
 
 fn dispatch(
     stream: TcpStream,
     request: Request,
     shared: &Shared,
-    scratch: &mut EngineScratch,
+    worker: &mut WorkerState,
     allow_batch: bool,
 ) {
     match (request.method.as_str(), request.path.as_str()) {
@@ -562,7 +533,7 @@ fn dispatch(
         }
         ("POST", "/probes") => handle_probes(stream, &request, shared),
         ("POST", "/top-k") | ("POST", "/above-theta") => {
-            handle_query(stream, request, shared, scratch, allow_batch)
+            handle_query(stream, request, shared, worker, allow_batch)
         }
         (_, "/healthz" | "/stats" | "/probes" | "/top-k" | "/above-theta") => {
             respond_error(shared, stream, 405, format!("method {} not allowed", request.method));
@@ -571,8 +542,11 @@ fn dispatch(
     }
 }
 
-/// Parses a query request body into its kind and query rows (flat).
-fn parse_query(request: &Request, dim: usize) -> Result<(QueryKind, Vec<f64>), (u16, String)> {
+/// Parses a query request body into a core [`QueryRequest`] and the query
+/// rows (flat). The wire protocol maps directly onto the engine's unified
+/// query surface: `/top-k` builds [`QueryRequest::top_k`] (or the floored
+/// variant), `/above-theta` builds [`QueryRequest::above_theta`].
+fn parse_query(request: &Request, dim: usize) -> Result<(QueryRequest, Vec<f64>), (u16, String)> {
     let text = std::str::from_utf8(&request.body)
         .map_err(|_| (400, "body is not valid UTF-8".to_string()))?;
     let body = Json::parse(text).map_err(|e| (400, format!("invalid JSON: {e}")))?;
@@ -582,18 +556,22 @@ fn parse_query(request: &Request, dim: usize) -> Result<(QueryKind, Vec<f64>), (
                 .get("k")
                 .and_then(Json::as_u64)
                 .ok_or((400, "missing or invalid \"k\"".to_string()))?;
-            let floor = match body.get("floor") {
-                None => f64::NEG_INFINITY,
-                Some(v) => v.as_f64().ok_or((400, "invalid \"floor\"".to_string()))?,
-            };
-            QueryKind::TopK { k: k as usize, floor }
+            // A 64-bit k is accepted as-is: the engine clamps it to the
+            // live probe count, so a hostile value cannot size a heap.
+            match body.get("floor") {
+                None => QueryRequest::top_k(k as usize),
+                Some(v) => {
+                    let floor = v.as_f64().ok_or((400, "invalid \"floor\"".to_string()))?;
+                    QueryRequest::top_k_with_floor(k as usize, floor)
+                }
+            }
         }
         _ => {
             let theta = body
                 .get("theta")
                 .and_then(Json::as_f64)
                 .ok_or((400, "missing or invalid \"theta\"".to_string()))?;
-            QueryKind::Above { theta }
+            QueryRequest::above_theta(theta)
         }
     };
     let rows = body
@@ -622,10 +600,10 @@ fn handle_query(
     stream: TcpStream,
     request: Request,
     shared: &Shared,
-    scratch: &mut EngineScratch,
+    worker: &mut WorkerState,
     allow_batch: bool,
 ) {
-    let (kind, mut flat) = match parse_query(&request, shared.dim) {
+    let (query, mut flat) = match parse_query(&request, shared.dim) {
         Ok(parsed) => parsed,
         Err((status, message)) => return respond_error(shared, stream, status, message),
     };
@@ -669,18 +647,18 @@ fn handle_query(
             ServerStats::bump(&shared.stats.requests);
             if next_request.method == "POST" && next_request.path == request.path {
                 match parse_query(&next_request, shared.dim) {
-                    Ok((next_kind, next_flat)) if next_kind == kind => {
+                    Ok((next_query, next_flat)) if next_query == query => {
                         jobs.push(QueryJob { stream: next, rows: next_flat.len() / shared.dim });
                         flat.extend_from_slice(&next_flat);
                     }
                     Ok(_) => {
                         // Same endpoint, different parameters: its own call.
-                        dispatch(next, next_request, shared, scratch, false);
+                        dispatch(next, next_request, shared, worker, false);
                     }
                     Err((status, message)) => respond_error(shared, next, status, message),
                 }
             } else {
-                dispatch(next, next_request, shared, scratch, false);
+                dispatch(next, next_request, shared, worker, false);
             }
         }
     }
@@ -703,19 +681,34 @@ fn handle_query(
         ServerStats::add(&shared.stats.batched_requests, jobs.len() as u64);
     }
     ServerStats::add(&shared.stats.queries, store.len() as u64);
+    if query.kind.is_above() {
+        ServerStats::add(&shared.stats.above_requests, jobs.len() as u64);
+    } else {
+        ServerStats::add(&shared.stats.topk_requests, jobs.len() as u64);
+    }
 
+    // The unified dispatch: every query request — whatever the backend —
+    // is planned and executed through the `Engine` trait. No per-engine
+    // match arms anywhere on the query path; hostile parameters (huge k)
+    // are clamped by the engine itself. The plan is cached per worker:
+    // the edit counter is read *under the read lock* (edits bump it while
+    // holding the write lock), so a cached (request, edits) pair can never
+    // be stale for the engine state the lock protects.
     let engine = shared.read_engine();
-    match kind {
-        QueryKind::TopK { k, floor } => {
-            ServerStats::add(&shared.stats.topk_requests, jobs.len() as u64);
-            // k beyond the live probe count returns every probe anyway;
-            // clamping keeps a hostile k (say 10^18) from sizing a heap.
-            let k = k.min(engine.len());
-            let out = engine.row_top_k_with_floor_shared(&store, k, floor, scratch);
-            drop(engine);
+    let edits = shared.edits.load(Ordering::Acquire);
+    let cached = worker.plan.as_ref().is_some_and(|(req, at, _)| *req == query && *at == edits);
+    if !cached {
+        worker.plan = Some((query, edits, engine.as_engine().plan(&query)));
+    }
+    let (_, _, plan) = worker.plan.as_ref().expect("plan cached above");
+    let response = engine.as_engine().execute(plan, &store, &mut worker.scratch);
+    drop(engine);
+
+    match response.rows {
+        QueryRows::Lists(lists) => {
             let mut offset = 0usize;
             for job in jobs {
-                let lists: Vec<Json> = out.lists[offset..offset + job.rows]
+                let rendered: Vec<Json> = lists[offset..offset + job.rows]
                     .iter()
                     .map(|list| {
                         Json::Arr(
@@ -731,13 +724,10 @@ fn handle_query(
                     })
                     .collect();
                 offset += job.rows;
-                respond(job.stream, 200, &obj(vec![("lists", Json::Arr(lists))]));
+                respond(job.stream, 200, &obj(vec![("lists", Json::Arr(rendered))]));
             }
         }
-        QueryKind::Above { theta } => {
-            ServerStats::add(&shared.stats.above_requests, jobs.len() as u64);
-            let out = engine.above_theta_shared(&store, theta, scratch);
-            drop(engine);
+        QueryRows::Entries(entries) => {
             // Split the (unordered) entries back per job by query-row range.
             let mut per_job: Vec<Vec<Json>> = jobs.iter().map(|_| Vec::new()).collect();
             let mut bounds = Vec::with_capacity(jobs.len() + 1);
@@ -745,7 +735,7 @@ fn handle_query(
             for job in &jobs {
                 bounds.push(bounds.last().unwrap() + job.rows);
             }
-            for e in &out.entries {
+            for e in &entries {
                 let q = e.query as usize;
                 let j = bounds.partition_point(|&b| b <= q) - 1;
                 per_job[j].push(obj(vec![
@@ -766,6 +756,19 @@ fn handle_query(
     }
 }
 
+/// The structured error body for probe edits on an engine that cannot
+/// take them: a stable machine-readable `code`, the offending `engine`
+/// kind and its shard map size, alongside the human-readable `error`
+/// message every other 4xx carries.
+fn probes_unsupported_body(shards: usize) -> Json {
+    obj(vec![
+        ("error", Json::Str("probe edits are not supported on a sharded engine".into())),
+        ("code", Json::Str("probes_unsupported".into())),
+        ("engine", Json::Str("sharded".into())),
+        ("shards", Json::Num(shards as f64)),
+    ])
+}
+
 /// `POST /probes`: dynamic inserts/removals behind the write lock. All
 /// vectors are validated *before* the lock is taken, so the engine never
 /// sees a partial edit.
@@ -774,14 +777,15 @@ fn handle_probes(stream: TcpStream, request: &Request, shared: &Shared) {
     // on a sharded engine up front, before parsing and long before the
     // write lock — a stream of doomed /probes requests must not serialize
     // against in-flight query readers just to be told 400.
-    if matches!(&*shared.read_engine(), ServeEngine::Sharded(_)) {
-        ServerStats::bump(&shared.stats.probe_requests);
-        return respond_error(
-            shared,
-            stream,
-            400,
-            "probe edits are not supported on a sharded engine".into(),
-        );
+    {
+        let engine = shared.read_engine();
+        if matches!(&*engine, ServeEngine::Sharded(_)) {
+            let shards = engine.shard_count();
+            drop(engine);
+            ServerStats::bump(&shared.stats.probe_requests);
+            ServerStats::bump(&shared.stats.client_errors);
+            return respond(stream, 400, &probes_unsupported_body(shards));
+        }
     }
     let text = match std::str::from_utf8(&request.body) {
         Ok(t) => t,
@@ -854,13 +858,10 @@ fn handle_probes(stream: TcpStream, request: &Request, shared: &Shared) {
     let ServeEngine::Dynamic(engine) = &mut *guard else {
         // Shard routing of edits is a future step; the read-only sharded
         // engine rejects them instead of silently dropping.
+        let shards = guard.shard_count();
         drop(guard);
-        return respond_error(
-            shared,
-            stream,
-            400,
-            "probe edits are not supported on a sharded engine".into(),
-        );
+        ServerStats::bump(&shared.stats.client_errors);
+        return respond(stream, 400, &probes_unsupported_body(shards));
     };
     let mut inserted = Vec::with_capacity(inserts.len());
     for v in &inserts {
@@ -868,7 +869,9 @@ fn handle_probes(stream: TcpStream, request: &Request, shared: &Shared) {
             Ok(id) => inserted.push(Json::Num(id as f64)),
             Err(e) => {
                 // Validated above; only pathological inputs (non-finite)
-                // can land here.
+                // can land here. Earlier inserts of this request may have
+                // applied, so plan caches must still be invalidated.
+                shared.edits.fetch_add(1, Ordering::Release);
                 drop(guard);
                 return respond_error(shared, stream, 400, format!("insert rejected: {e}"));
             }
@@ -876,6 +879,10 @@ fn handle_probes(stream: TcpStream, request: &Request, shared: &Shared) {
     }
     let removed: Vec<Json> = removals.iter().map(|&id| Json::Bool(engine.remove(id))).collect();
     let live = engine.len();
+    // Invalidate worker plan caches *while still holding the write lock*:
+    // a reader that observes the old counter is ordered before this edit
+    // and executes against the pre-edit engine, never a stale mix.
+    shared.edits.fetch_add(1, Ordering::Release);
     drop(guard);
     respond(
         stream,
@@ -912,14 +919,16 @@ mod tests {
     }
 
     #[test]
-    fn query_kind_batch_compatibility() {
-        let a = QueryKind::TopK { k: 5, floor: f64::NEG_INFINITY };
-        let b = QueryKind::TopK { k: 5, floor: f64::NEG_INFINITY };
-        let c = QueryKind::TopK { k: 6, floor: f64::NEG_INFINITY };
-        let d = QueryKind::Above { theta: 1.0 };
+    fn query_request_batch_compatibility() {
+        let a = QueryRequest::top_k(5);
+        let b = QueryRequest::top_k(5);
+        let c = QueryRequest::top_k(6);
+        let d = QueryRequest::above_theta(1.0);
+        let e = QueryRequest::top_k_with_floor(5, 0.5);
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_ne!(a, d);
+        assert_ne!(a, e);
     }
 
     #[test]
@@ -929,13 +938,16 @@ mod tests {
             path: path.into(),
             body: body.as_bytes().to_vec(),
         };
-        let (kind, flat) =
+        let (query, flat) =
             parse_query(&req("/top-k", r#"{"queries":[[1,2],[3,4]],"k":3}"#), 2).unwrap();
-        assert_eq!(kind, QueryKind::TopK { k: 3, floor: f64::NEG_INFINITY });
+        assert_eq!(query, QueryRequest::top_k(3));
         assert_eq!(flat, vec![1.0, 2.0, 3.0, 4.0]);
-        let (kind, _) =
+        let (query, _) =
+            parse_query(&req("/top-k", r#"{"queries":[[1,2]],"k":3,"floor":0.5}"#), 2).unwrap();
+        assert_eq!(query, QueryRequest::top_k_with_floor(3, 0.5));
+        let (query, _) =
             parse_query(&req("/above-theta", r#"{"queries":[],"theta":0.5}"#), 2).unwrap();
-        assert_eq!(kind, QueryKind::Above { theta: 0.5 });
+        assert_eq!(query, QueryRequest::above_theta(0.5));
         for (path, body) in [
             ("/top-k", r#"{"queries":[[1,2]]}"#),         // missing k
             ("/top-k", r#"{"queries":[[1,2]],"k":-1}"#),  // bad k

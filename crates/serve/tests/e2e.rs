@@ -437,3 +437,66 @@ fn single_worker_micro_batches_concurrent_requests() {
     assert!(batched > 0, "micro-batching never engaged across 25 bursts");
     handle.shutdown();
 }
+
+#[test]
+fn sharded_probes_error_body_is_structured() {
+    // The read-only sharded engine rejects probe edits with a machine-
+    // readable error body, not a bare 400: stable `code`, the engine kind,
+    // and the shard count, alongside the usual human-readable `error`.
+    let probes = fixture(120, 20);
+    let mut engine = ShardedLemp::builder()
+        .shards(3)
+        .policy(ShardPolicy::RoundRobin)
+        .sample_size(8)
+        .build(&probes);
+    engine.warm(&fixture(16, 777), WarmGoal::TopK(3));
+    let server = Server::bind("127.0.0.1:0", engine, ServeConfig::default()).unwrap();
+    let handle = server.start().unwrap();
+
+    let edit = obj(vec![(
+        "insert",
+        Json::Arr(vec![Json::Arr((0..DIM).map(|_| Json::Num(1.0)).collect())]),
+    )]);
+    let (status, reply) = client::post(handle.addr(), "/probes", &edit).unwrap();
+    assert_eq!(status, 400, "{reply:?}");
+    assert_eq!(reply.get("code").and_then(Json::as_str), Some("probes_unsupported"));
+    assert_eq!(reply.get("engine").and_then(Json::as_str), Some("sharded"));
+    assert_eq!(reply.get("shards").and_then(Json::as_u64), Some(3));
+    let message = reply.get("error").and_then(Json::as_str).expect("human-readable error");
+    assert!(message.contains("sharded"), "{message}");
+
+    // The rejection is counted as a client error, and queries still work.
+    let (_, stats) = client::get(handle.addr(), "/stats").unwrap();
+    let errors =
+        stats.get("counters").unwrap().get("client_errors").and_then(Json::as_u64).unwrap();
+    assert!(errors >= 1, "client errors counted: {errors}");
+    let body = obj(vec![("queries", queries_json(&probes, 0, 1)), ("k", Json::Num(2.0))]);
+    let (status, _) = client::post(handle.addr(), "/top-k", &body).unwrap();
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn hostile_k_is_clamped_not_fatal() {
+    // k far beyond the probe count (large enough to overflow a heap
+    // allocation without the engine-side clamp) returns every probe; the
+    // same clamped semantics hold for k = 0. This is pinned here because
+    // the server no longer clamps — the engines do, uniformly.
+    let probes = fixture(60, 21);
+    let queries = fixture(4, 22);
+    let handle = boot(&probes, ServeConfig::default());
+    let addr = handle.addr();
+
+    let body = obj(vec![("queries", queries_json(&queries, 0, 4)), ("k", Json::Num(1e15))]);
+    let (status, reply) = client::post(addr, "/top-k", &body).unwrap();
+    assert_eq!(status, 200, "{reply:?}");
+    let lists = parse_lists(&reply);
+    assert!(lists.iter().all(|l| l.len() == probes.len()), "k > n must return every probe");
+
+    let body = obj(vec![("queries", queries_json(&queries, 0, 4)), ("k", Json::Num(0.0))]);
+    let (status, reply) = client::post(addr, "/top-k", &body).unwrap();
+    assert_eq!(status, 200, "{reply:?}");
+    let lists = parse_lists(&reply);
+    assert!(lists.iter().all(Vec::is_empty), "k = 0 must return empty lists");
+    handle.shutdown();
+}

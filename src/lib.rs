@@ -51,5 +51,7 @@ pub use lemp_linalg as linalg;
 
 pub use lemp_core::{
     AboveThetaOutput, AdaptiveConfig, AdaptiveReport, AdaptiveSelector, BanditPolicy, BucketPolicy,
-    Entry, Lemp, LempBuilder, LempVariant, RetrievalCounters, RunStats, TopKOutput,
+    DynamicLemp, Engine, Entry, ExecOptions, Lemp, LempBuilder, LempVariant, QueryKind, QueryPlan,
+    QueryRequest, QueryResponse, QueryRows, RetrievalCounters, RunStats, Scratch, ShardedLemp,
+    TopKOutput,
 };
