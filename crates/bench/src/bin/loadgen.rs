@@ -3,7 +3,8 @@
 //!
 //! Usage:
 //! `loadgen addr=127.0.0.1:PORT [threads=4] [requests=200] [k=10] [qpr=2]
-//!  [seed=42] [theta=<f>] [floor=<f>] [verify-probes=<path>]`
+//!  [seed=42] [theta=<f>] [floor=<f>] [verify-probes=<path>]
+//!  [insert-probes=<n>] [report=<path>]`
 //!
 //! * `threads` client threads split `requests` total requests, each
 //!   carrying `qpr` query vectors (dimensionality is discovered from
@@ -17,6 +18,13 @@
 //!   entry sets when `theta=` is given — is checked against the naive
 //!   baseline: the acceptance gate for the serving layer (sharded or
 //!   not), any mismatch exits non-zero.
+//! * `insert-probes=<n>` pushes `n` random probe vectors through
+//!   `POST /probes` (batches of 16) *before* the query phase — probe
+//!   churn for the durability crash drill. Incompatible with
+//!   `verify-probes=` (the inserted vectors are not in the matrix file).
+//! * `report=<path>` additionally writes the results as a machine-readable
+//!   JSON document (throughput, latency percentiles, verify counts) so CI
+//!   can archive perf trajectories as `BENCH_*.json` artifacts.
 //! * `503` responses (load shedding) are counted, not retried.
 
 use std::sync::Mutex;
@@ -87,6 +95,15 @@ fn main() {
         eprintln!("loadgen: floor= applies to top-k mode; drop theta= to use it");
         std::process::exit(2);
     }
+    let insert_probes = args.get_u64("insert-probes", 0) as usize;
+    let report_path = args.get_str("report", "");
+    if insert_probes > 0 && !args.get_str("verify-probes", "").is_empty() {
+        eprintln!(
+            "loadgen: insert-probes= mutates the live probe set, which verify-probes= \
+             cannot model; run them in separate invocations"
+        );
+        std::process::exit(2);
+    }
 
     // Discover the engine shape from the server itself.
     let (status, health) = match client::get(&addr, "/healthz") {
@@ -107,6 +124,38 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("loadgen: target {addr} | {probes_live} probes, r = {dim}");
+
+    // Probe churn ahead of the query phase: exercises the POST /probes
+    // write path (and, on a durable server, the WAL) under a live engine.
+    let mut inserted_probes = 0usize;
+    if insert_probes > 0 {
+        let churn = GeneratorConfig::gaussian(insert_probes, dim, 1.0).generate(seed ^ 0x9E37_79B9);
+        let mut lo = 0;
+        while lo < churn.len() {
+            let hi = (lo + 16).min(churn.len());
+            let body = obj(vec![("insert", queries_json(&churn, lo, hi))]);
+            match client::post(&addr, "/probes", &body) {
+                Ok((200, reply)) => {
+                    inserted_probes +=
+                        reply.get("inserted").and_then(Json::as_arr).map_or(0, |a| a.len());
+                }
+                Ok((status, reply)) => {
+                    eprintln!("loadgen: POST /probes returned {status}: {reply:?}");
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("loadgen: POST /probes failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            lo = hi;
+        }
+        if inserted_probes != insert_probes {
+            eprintln!("loadgen: asked for {insert_probes} inserts, server took {inserted_probes}");
+            std::process::exit(1);
+        }
+        eprintln!("loadgen: inserted {inserted_probes} probes before the query phase");
+    }
 
     let queries = GeneratorConfig::gaussian(requests * qpr, dim, 1.0).generate(seed);
 
@@ -292,6 +341,59 @@ fn main() {
                 );
             }
         }
+    }
+
+    // Machine-readable report for CI perf-trajectory archiving.
+    if !report_path.is_empty() {
+        let mode = if above_mode {
+            "above-theta"
+        } else if floored {
+            "top-k-floor"
+        } else {
+            "top-k"
+        };
+        let pct = |p: f64| {
+            let v = percentile(&latencies, p);
+            if v.is_finite() {
+                Json::Num(v)
+            } else {
+                Json::Null
+            }
+        };
+        let verified = if above_mode { above_answers.len() } else { answers.len() };
+        let doc = obj(vec![
+            ("mode", Json::Str(mode.into())),
+            ("threads", Json::Num(threads as f64)),
+            ("requests", Json::Num(requests as f64)),
+            ("qpr", Json::Num(qpr as f64)),
+            ("k", if above_mode { Json::Null } else { Json::Num(k as f64) }),
+            ("theta", if above_mode { Json::Num(theta) } else { Json::Null }),
+            ("floor", if floored { Json::Num(floor) } else { Json::Null }),
+            ("ok", Json::Num(ok as f64)),
+            ("shed", Json::Num(shed as f64)),
+            ("errors", Json::Num(errors as f64)),
+            ("inserted_probes", Json::Num(inserted_probes as f64)),
+            ("wall_seconds", Json::Num(wall)),
+            ("throughput_rps", Json::Num(ok as f64 / wall)),
+            ("throughput_qps", Json::Num((ok * qpr) as f64 / wall)),
+            ("latency_ms", obj(vec![("p50", pct(50.0)), ("p95", pct(95.0)), ("p99", pct(99.0))])),
+            (
+                "verify",
+                if verify_path.is_empty() {
+                    Json::Null
+                } else {
+                    obj(vec![
+                        ("checked", Json::Num(verified as f64)),
+                        ("mismatches", Json::Num(mismatches as f64)),
+                    ])
+                },
+            ),
+        ]);
+        if let Err(e) = std::fs::write(&report_path, doc.render()) {
+            eprintln!("loadgen: cannot write report {report_path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("loadgen: wrote JSON report -> {report_path}");
     }
 
     if errors > 0 || mismatches > 0 || ok == 0 {

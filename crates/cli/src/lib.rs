@@ -11,7 +11,10 @@
 //!   formats;
 //! * `stats` — length statistics and a bucketization preview of a matrix;
 //! * `tune-report` — the Sec. 4.4 tuner's per-bucket decisions for a
-//!   workload.
+//!   workload;
+//! * `recover` / `compact` — crash recovery and snapshot compaction of a
+//!   durable store directory (`lemp-store`); `serve durable=<dir>` boots
+//!   the service in write-ahead-logged mode.
 //!
 //! Matrix files are selected by extension: `.bin` (the workspace binary
 //! format), `.mtx` (Matrix Market array or coordinate), anything else CSV.
@@ -46,7 +49,9 @@ pub const USAGE: &str = "usage:
   lemp-cli topn        <queries> <probes> n=<n> [chunk=<n>] [out=<path>]
   lemp-cli index       <probes> <engine-out> [variant=...] [shards=<n>] [shard-policy=<rr|banded>]
   lemp-cli self-join   <matrix> t=<f> [out=<path>]
-  lemp-cli serve       <probes|engine.eng> [addr=127.0.0.1:0] [workers=<n>] [queue=<n>] [batch=<n>] [variant=...] [sample=<matrix>] [warm-k=<n>] [shards=<n>] [shard-policy=<rr|banded>]
+  lemp-cli serve       <probes|engine.eng> [addr=127.0.0.1:0] [workers=<n>] [queue=<n>] [batch=<n>] [variant=...] [sample=<matrix>] [warm-k=<n>] [shards=<n>] [shard-policy=<rr|banded>] [durable=<dir>] [sync=<always|never|N>]
+  lemp-cli recover     <store-dir> [verify=<bool>] [out=<engine.eng>]
+  lemp-cli compact     <store-dir>
 
 matrix files by extension: .bin (lemp binary), .mtx (Matrix Market), otherwise CSV;
 `above`/`topk`/`serve` accept a prebuilt engine image (from `index`) as the <probes>
@@ -57,7 +62,13 @@ so abs/floor/chunk/adaptive/shards compose freely (all combinations are exact);
 shards=<n> (n >= 1) partitions the probes across n shard engines (exact results,
 shard-parallel execution); shard-policy picks round-robin (rr) or length-banded
 partitioning and requires shards= or a sharded image; explain=true prints the
-compiled per-bucket plan summary to stderr";
+compiled per-bucket plan summary to stderr;
+durable=<dir> write-ahead logs every POST /probes edit into <dir> before applying
+it (first boot seeds the store from <probes>, later boots recover from the store
+and ignore <probes>); sync= picks the fsync cadence (default always); `recover`
+rebuilds the engine from the latest snapshot + WAL tail (verify=true gates its
+answers against Naive, out= saves the recovered engine image); `compact` folds
+the log into a fresh snapshot and prunes covered segments";
 
 /// Entry point shared by the binary and the tests. `args` excludes the
 /// program name.
@@ -78,6 +89,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "index" => index(args),
         "self-join" => self_join(args),
         "serve" => serve(args),
+        "recover" => recover_cmd(args),
+        "compact" => compact_cmd(args),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -627,6 +640,16 @@ fn serve(args: &[String]) -> Result<(), String> {
     let batch: usize = opt_parse(args, "batch", 8)?;
     let warm_k: usize = opt_parse(args, "warm-k", 10)?;
     let shards = shard_request(args)?;
+    let durable_dir = opt(args, "durable");
+    let sync = lemp_store::SyncPolicy::parse(opt(args, "sync").unwrap_or("always"))?;
+    if opt(args, "sync").is_some() && durable_dir.is_none() {
+        return Err("sync= requires durable=<dir>".into());
+    }
+    if durable_dir.is_some() && (shards.is_some() || sharded_image(probes_path)?) {
+        return Err("durable= requires the dynamic (single) engine; durability for sharded \
+             serving is a future step"
+            .into());
+    }
 
     // Warm-up sample: an explicit file, or (None) the engine's own probe
     // vectors — drawn from the same latent space, a reasonable tuning
@@ -675,28 +698,91 @@ fn serve(args: &[String]) -> Result<(), String> {
         );
         ServeEngine::Sharded(engine)
     } else {
+        use lemp_store::{DurableEngine, StoreOptions};
         reject_dangling_shard_policy(args)?;
-        let mut engine = if probes_path.ends_with(".eng") {
-            let loaded = Lemp::load(Path::new(probes_path))
-                .map_err(|e| format!("cannot load engine {probes_path}: {e}"))?;
-            DynamicLemp::from_engine(loaded, BucketPolicy::default())
-        } else {
-            let probes = load(probes_path)?;
-            let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
-            let config = RunConfig { variant, ..Default::default() };
-            DynamicLemp::new(&probes, BucketPolicy::default(), config)
+        let build = || -> Result<DynamicLemp, String> {
+            let engine = if probes_path.ends_with(".eng") {
+                let loaded = Lemp::load(Path::new(probes_path))
+                    .map_err(|e| format!("cannot load engine {probes_path}: {e}"))?;
+                DynamicLemp::from_engine(loaded, BucketPolicy::default())
+            } else {
+                let probes = load(probes_path)?;
+                let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
+                let config = RunConfig { variant, ..Default::default() };
+                DynamicLemp::new(&probes, BucketPolicy::default(), config)
+            };
+            if engine.is_empty() {
+                return Err(format!("{probes_path} holds no probe vectors"));
+            }
+            Ok(engine)
         };
-        if engine.is_empty() {
-            return Err(format!("{probes_path} holds no probe vectors"));
-        }
-        // Request-level parallelism comes from the worker pool; per-call
-        // threading would oversubscribe the cores.
-        engine.set_threads(1);
-        let sample = match explicit_sample(engine.dim())? {
-            Some(sample) => sample,
-            None => engine.live_vectors().1,
+        let mut engine: ServeEngine = match durable_dir {
+            Some(dir) => {
+                let dir = Path::new(dir);
+                let options = StoreOptions { sync, ..Default::default() };
+                let store = if DurableEngine::exists(dir) {
+                    // The store is the source of truth from the second
+                    // boot on: the <probes> argument only seeds a fresh
+                    // directory.
+                    let (store, report) = DurableEngine::open(dir, options)
+                        .map_err(|e| format!("cannot recover store {}: {e}", dir.display()))?;
+                    eprintln!(
+                        "recovered {} probes from {} (snapshot LSN {}, {} records replayed \
+                         across {} segments); ignoring {probes_path}",
+                        report.live_probes,
+                        dir.display(),
+                        report.snapshot_lsn,
+                        report.records_replayed,
+                        report.segments_scanned,
+                    );
+                    if let Some(detail) = report.torn_tail {
+                        eprintln!("torn WAL tail truncated: {detail}");
+                    }
+                    store
+                } else {
+                    let store = DurableEngine::create(dir, build()?, options)
+                        .map_err(|e| format!("cannot create store {}: {e}", dir.display()))?;
+                    eprintln!(
+                        "created store {} (sync: {sync}) seeded from {probes_path}",
+                        dir.display()
+                    );
+                    store
+                };
+                if store.engine().is_empty() {
+                    return Err(format!("store {} holds no probe vectors", dir.display()));
+                }
+                ServeEngine::Durable(Box::new(store))
+            }
+            None => ServeEngine::Dynamic(build()?),
         };
-        let report = engine.warm(&sample, WarmGoal::TopK(warm_k.max(1)));
+        // The warm-up recipe, once: request-level parallelism comes from
+        // the worker pool (per-call threading would oversubscribe the
+        // cores), the sample is the explicit one or the engine's own live
+        // vectors, the goal follows warm-k. The match arms below only
+        // bridge the two backends' accessors onto this shared recipe.
+        let goal = WarmGoal::TopK(warm_k.max(1));
+        let sample = {
+            let inner = match &engine {
+                ServeEngine::Dynamic(e) => e,
+                ServeEngine::Durable(e) => e.engine(),
+                ServeEngine::Sharded(_) => unreachable!("sharded engines take the other branch"),
+            };
+            match explicit_sample(inner.dim())? {
+                Some(sample) => sample,
+                None => inner.live_vectors().1,
+            }
+        };
+        let report = match &mut engine {
+            ServeEngine::Dynamic(e) => {
+                e.set_threads(1);
+                e.warm(&sample, goal)
+            }
+            ServeEngine::Durable(e) => {
+                e.set_threads(1);
+                e.warm(&sample, goal)
+            }
+            ServeEngine::Sharded(_) => unreachable!("sharded engines take the other branch"),
+        };
         eprintln!(
             "warmed {} probes in {} buckets: {} indexes built in {:.3}s (tuning {:.3}s)",
             engine.len(),
@@ -705,7 +791,7 @@ fn serve(args: &[String]) -> Result<(), String> {
             report.build_ns as f64 / 1e9,
             report.tune_ns as f64 / 1e9,
         );
-        ServeEngine::Dynamic(engine)
+        engine
     };
 
     let cfg = ServeConfig {
@@ -721,6 +807,120 @@ fn serve(args: &[String]) -> Result<(), String> {
     println!("lemp-serve listening on {local}");
     std::io::stdout().flush().map_err(|e| e.to_string())?;
     server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+/// `recover`: rebuild a [`lemp_core::DynamicLemp`] from a durable store
+/// directory (latest snapshot + WAL tail replay), report what happened,
+/// optionally save the recovered engine image and gate its answers
+/// against the naive baseline.
+fn recover_cmd(args: &[String]) -> Result<(), String> {
+    let dir = Path::new(positional(args, 0)?);
+    let verify: bool = opt_parse(args, "verify", false)?;
+    let started = std::time::Instant::now();
+    let (mut engine, report) =
+        lemp_store::recover(dir).map_err(|e| format!("cannot recover {}: {e}", dir.display()))?;
+    let elapsed = started.elapsed().as_secs_f64();
+    eprintln!(
+        "recovered {} live probes (dim {}) in {elapsed:.3}s: snapshot LSN {}, {} records \
+         replayed across {} segments, next LSN {}",
+        report.live_probes,
+        engine.dim(),
+        report.snapshot_lsn,
+        report.records_replayed,
+        report.segments_scanned,
+        report.next_lsn,
+    );
+    if let Some(detail) = &report.torn_tail {
+        eprintln!("torn WAL tail ignored: {detail}");
+    }
+    if let Some(out) = opt(args, "out") {
+        if !out.ends_with(".eng") {
+            return Err(format!("engine images use the .eng extension, got {out:?}"));
+        }
+        engine.save(Path::new(out)).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("saved recovered engine -> {out}");
+    }
+    if verify {
+        verify_recovered(&mut engine)?;
+    }
+    Ok(())
+}
+
+/// The `recover verify=true` gate: the recovered engine's Row-Top-k and
+/// Above-θ answers must match the naive baseline over its own live
+/// vectors — the CI crash drill runs this after SIGKILLing a durable
+/// server.
+fn verify_recovered(engine: &mut lemp_core::DynamicLemp) -> Result<(), String> {
+    use lemp_baselines::types::{canonical_pairs, topk_equivalent};
+    use lemp_linalg::ScoredItem;
+    let (ids, live) = engine.live_vectors();
+    if live.is_empty() {
+        eprintln!("verify: store is empty, nothing to check");
+        return Ok(());
+    }
+    // Queries: a strided sample of the live vectors themselves (same
+    // latent space, covers the length spectrum).
+    let rows = live.len().min(48);
+    let stride = (live.len() / rows).max(1);
+    let picks: Vec<usize> = (0..rows).map(|i| (i * stride) % live.len()).collect();
+    let queries = live.select(&picks);
+    let k = 10.min(live.len());
+    let (naive, _) = Naive.row_top_k(&queries, &live, k);
+    let mapped: Vec<Vec<ScoredItem>> = naive
+        .iter()
+        .map(|l| {
+            l.iter().map(|it| ScoredItem { id: ids[it.id] as usize, score: it.score }).collect()
+        })
+        .collect();
+    let out = engine.row_top_k(&queries, k);
+    if !topk_equivalent(&out.lists, &mapped, 1e-9) {
+        return Err("verify: recovered Row-Top-k answers diverge from the naive baseline".into());
+    }
+    // Above-θ at a threshold that bites: the median top-1 score.
+    let mut tops: Vec<f64> = naive.iter().filter_map(|l| l.first().map(|it| it.score)).collect();
+    tops.sort_by(f64::total_cmp);
+    let theta = tops[tops.len() / 2];
+    let (expect, _) = Naive.above_theta(&queries, &live, theta);
+    let mut expect: Vec<(u32, u32)> =
+        expect.iter().map(|e| (e.query, ids[e.probe as usize])).collect();
+    expect.sort_unstable();
+    let got = engine.above_theta(&queries, theta);
+    if canonical_pairs(&got.entries) != expect {
+        return Err("verify: recovered Above-θ answers diverge from the naive baseline".into());
+    }
+    eprintln!(
+        "verify: {} queries checked against Naive (top-{k} and Above-θ at {theta:.4}) — exact",
+        queries.len()
+    );
+    Ok(())
+}
+
+/// `compact`: fold a store's WAL into a fresh snapshot and prune the
+/// segments (and older snapshots) the new checkpoint covers.
+fn compact_cmd(args: &[String]) -> Result<(), String> {
+    use lemp_store::{DurableEngine, StoreOptions};
+    let dir = Path::new(positional(args, 0)?);
+    let started = std::time::Instant::now();
+    let (mut store, report) = DurableEngine::open(dir, StoreOptions::default())
+        .map_err(|e| format!("cannot open store {}: {e}", dir.display()))?;
+    eprintln!(
+        "opened store {}: {} live probes, {} records replayed, next LSN {}",
+        dir.display(),
+        report.live_probes,
+        report.records_replayed,
+        report.next_lsn,
+    );
+    let compaction = store.compact().map_err(|e| format!("compaction failed: {e}"))?;
+    let elapsed = started.elapsed().as_secs_f64();
+    eprintln!(
+        "compacted at LSN {} in {elapsed:.3}s: pruned {} segments and {} snapshots \
+         ({} bytes reclaimed)",
+        compaction.lsn,
+        compaction.segments_pruned,
+        compaction.snapshots_pruned,
+        compaction.bytes_reclaimed,
+    );
+    Ok(())
 }
 
 fn self_join(args: &[String]) -> Result<(), String> {
@@ -1291,6 +1491,74 @@ mod tests {
         for f in [&q, &p, &eng, &out1, &out2] {
             std::fs::remove_file(f).ok();
         }
+    }
+
+    #[test]
+    fn recover_and_compact_roundtrip_a_store() {
+        use lemp_core::{BucketPolicy, DynamicLemp, RunConfig};
+        use lemp_store::{DurableEngine, StoreOptions};
+        let dir = std::env::temp_dir().join(format!("lemp-cli-test-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = temp("recovered", "eng");
+
+        // Seed a store and push edits through the durable engine.
+        let probes = lemp_data::synthetic::GeneratorConfig::gaussian(40, 4, 1.0).generate(31);
+        let policy = BucketPolicy { min_bucket: 8, ..Default::default() };
+        let config = RunConfig { sample_size: 4, ..Default::default() };
+        let engine = DynamicLemp::new(&probes, policy, config);
+        let mut store = DurableEngine::create(&dir, engine, StoreOptions::default()).unwrap();
+        for i in 0..10 {
+            store.insert(&[0.5 + 0.1 * i as f64; 4]).unwrap();
+        }
+        store.remove(2).unwrap();
+        store.remove(5).unwrap();
+        drop(store); // simulate an abrupt exit (sync=always: all durable)
+
+        // recover: replays the log, verifies against Naive, saves an image.
+        run(&s(&[
+            "recover",
+            dir.to_str().unwrap(),
+            "verify=true",
+            &format!("out={}", out.display()),
+        ]))
+        .unwrap();
+        let recovered = DynamicLemp::load(&out).unwrap();
+        assert_eq!(recovered.len(), 48);
+        assert!(!recovered.contains(2) && recovered.contains(40));
+
+        // compact, then recover again: same engine, no replay needed.
+        run(&s(&["compact", dir.to_str().unwrap()])).unwrap();
+        let (post, report) = lemp_store::recover(&dir).unwrap();
+        assert_eq!(report.records_replayed, 0, "compaction folded the log away");
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        recovered.write_to(&mut a).unwrap();
+        post.write_to(&mut b).unwrap();
+        assert_eq!(a, b, "compaction changed the recovered engine");
+        run(&s(&["recover", dir.to_str().unwrap(), "verify=true"])).unwrap();
+
+        // Structured errors: missing store, bad out extension.
+        let nowhere = std::env::temp_dir().join("lemp-cli-no-such-store");
+        assert!(run(&s(&["recover", nowhere.to_str().unwrap()])).is_err());
+        assert!(run(&s(&["recover", dir.to_str().unwrap(), "out=foo.bin"]))
+            .unwrap_err()
+            .contains(".eng"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn serve_rejects_conflicting_durability_options() {
+        let p = temp("durable-p", "csv");
+        write_csv_matrix(&p, &["2,0", "0,3", "1,1"]);
+        let dir = std::env::temp_dir().join("lemp-cli-durable-opts");
+        let durable = format!("durable={}", dir.display());
+        let err = run(&s(&["serve", p.to_str().unwrap(), &durable, "shards=2"])).unwrap_err();
+        assert!(err.contains("dynamic"), "{err}");
+        let err = run(&s(&["serve", p.to_str().unwrap(), "sync=always"])).unwrap_err();
+        assert!(err.contains("requires durable"), "{err}");
+        let err = run(&s(&["serve", p.to_str().unwrap(), &durable, "sync=sometimes"])).unwrap_err();
+        assert!(err.contains("sync policy"), "{err}");
+        std::fs::remove_file(&p).ok();
     }
 
     #[test]

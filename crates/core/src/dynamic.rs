@@ -629,9 +629,30 @@ impl DynamicLemp {
         }
         let config = read_config(&mut r)?;
         let id_space = read_u64(&mut r, "id space")? as usize;
+        // Ids are u32, so a watermark past 2^32 can only be corruption.
+        // The id-space tables are allocated only *after* the bucket section
+        // has parsed (so the common corruption — a broken bucket — errors
+        // first), and through `try_reserve` so even a plausible-looking but
+        // absurd watermark becomes a Format error instead of an allocator
+        // abort.
+        if id_space > (1 << 32) {
+            return Err(PersistError::Format(format!(
+                "id-space watermark {id_space} exceeds the u32 id range"
+            )));
+        }
         let buckets = read_bucket_section(&mut r)?;
         expect_eof(&mut r)?;
 
+        // Probe allocatability first (graceful Format error instead of an
+        // allocator abort), then build through `vec![zero; n]`, whose
+        // zeroed-allocation path maps lazy pages — dead-id slots in a
+        // sparse id space cost address space, not resident memory.
+        {
+            let mut probe: Vec<f64> = Vec::new();
+            probe.try_reserve_exact(id_space).map_err(|_| {
+                PersistError::Format(format!("id-space watermark {id_space} is unallocatable"))
+            })?;
+        }
         let mut id_len = vec![0.0f64; id_space];
         let mut alive = vec![false; id_space];
         for bucket in buckets.buckets() {

@@ -33,6 +33,28 @@
 //! [`crate::DynamicLemp::from_engine`]); the two formats share the `.eng`
 //! extension and are told apart by magic
 //! ([`crate::shard::is_sharded_image`]).
+//!
+//! # The shared codec
+//!
+//! Every on-disk format in the LEMP family — `LEMPENG1`, `LEMPSHD1`,
+//! `LEMPDYN1` and the `lemp-store` durability files (`LEMPWAL1` write-ahead
+//! segments and their `CHECKPOINT` marker) — is built from the same four
+//! primitives: little-endian `u64`, IEEE-bits `f64`, and the
+//! truncation-aware readers that turn a short file into a
+//! [`PersistError::Format`] instead of a panic. They are exported here
+//! ([`write_u64`], [`write_f64`], [`read_u64`], [`read_f64`],
+//! [`expect_eof`]) so downstream crates encode with the *same* code rather
+//! than a copy that could drift.
+//!
+//! # Hostile-input hardening
+//!
+//! Readers never allocate proportionally to a size field before the bytes
+//! backing it have been read: counts coming from the file are capped before
+//! `with_capacity`, products are computed with checked arithmetic, and the
+//! dynamic engine's id-space table is allocated through `try_reserve` so an
+//! absurd (corrupted) watermark surfaces as a [`PersistError::Format`], not
+//! an allocator abort. The `persist_fuzz` integration test truncates and
+//! bit-flips images at every offset to keep these paths panic-free.
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -102,22 +124,40 @@ fn variant_from_tag(tag: u8) -> Result<LempVariant, PersistError> {
     })
 }
 
-pub(crate) fn write_u64<W: Write>(w: &mut W, x: u64) -> io::Result<()> {
+/// Writes a little-endian `u64` (the integer codec of every LEMP format).
+///
+/// # Errors
+/// Propagates write failures.
+pub fn write_u64<W: Write>(w: &mut W, x: u64) -> io::Result<()> {
     w.write_all(&x.to_le_bytes())
 }
 
-pub(crate) fn write_f64<W: Write>(w: &mut W, x: f64) -> io::Result<()> {
+/// Writes an `f64` as its IEEE bits, little-endian (bit-exact round trip).
+///
+/// # Errors
+/// Propagates write failures.
+pub fn write_f64<W: Write>(w: &mut W, x: f64) -> io::Result<()> {
     w.write_all(&x.to_le_bytes())
 }
 
-pub(crate) fn read_u64<R: Read>(r: &mut R, what: &str) -> Result<u64, PersistError> {
+/// Reads a little-endian `u64`; `what` names the field in the truncation
+/// error.
+///
+/// # Errors
+/// [`PersistError::Format`] when the reader ends mid-word.
+pub fn read_u64<R: Read>(r: &mut R, what: &str) -> Result<u64, PersistError> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)
         .map_err(|_| PersistError::Format(format!("truncated while reading {what}")))?;
     Ok(u64::from_le_bytes(buf))
 }
 
-pub(crate) fn read_f64<R: Read>(r: &mut R, what: &str) -> Result<f64, PersistError> {
+/// Reads an `f64` written by [`write_f64`]; `what` names the field in the
+/// truncation error.
+///
+/// # Errors
+/// [`PersistError::Format`] when the reader ends mid-word.
+pub fn read_f64<R: Read>(r: &mut R, what: &str) -> Result<f64, PersistError> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)
         .map_err(|_| PersistError::Format(format!("truncated while reading {what}")))?;
@@ -187,6 +227,11 @@ pub(crate) fn read_bucket_section<R: Read>(r: &mut R) -> Result<ProbeBuckets, Pe
     }
     let total = read_u64(r, "total")? as usize;
     let nbuckets = read_u64(r, "bucket count")? as usize;
+    // Capacity hints are capped: a corrupted count must not translate into
+    // a giant allocation before a single backing byte has been read (the
+    // pushes below grow the vectors against the *actual* file content, so
+    // truncation surfaces as a Format error long before memory pressure).
+    const CAP_HINT: usize = 1 << 16;
     let mut buckets = Vec::with_capacity(nbuckets.min(1 << 20));
     let mut seen = 0usize;
     let mut prev_min = f64::INFINITY;
@@ -203,15 +248,18 @@ pub(crate) fn read_bucket_section<R: Read>(r: &mut R) -> Result<ProbeBuckets, Pe
                 "bucket sizes exceed declared total {total}"
             )));
         }
-        let mut ids = Vec::with_capacity(count);
+        let mut ids = Vec::with_capacity(count.min(CAP_HINT));
         let mut buf4 = [0u8; 4];
         for _ in 0..count {
             r.read_exact(&mut buf4)
                 .map_err(|_| PersistError::Format("truncated id section".into()))?;
             ids.push(u32::from_le_bytes(buf4));
         }
-        let mut flat = Vec::with_capacity(count * dim);
-        for _ in 0..count * dim {
+        let values = count
+            .checked_mul(dim)
+            .ok_or_else(|| PersistError::Format("bucket size × dim overflows".into()))?;
+        let mut flat = Vec::with_capacity(values.min(CAP_HINT));
+        for _ in 0..values {
             flat.push(read_f64(r, "vector data")?);
         }
         let origs = VectorStore::from_flat(flat, dim)
@@ -243,7 +291,11 @@ pub(crate) fn read_bucket_section<R: Read>(r: &mut R) -> Result<ProbeBuckets, Pe
 }
 
 /// Reports trailing bytes after a complete image as a format error.
-pub(crate) fn expect_eof<R: Read>(r: &mut R) -> Result<(), PersistError> {
+///
+/// # Errors
+/// [`PersistError::Format`] when the reader still holds bytes;
+/// [`PersistError::Io`] when probing for them fails.
+pub fn expect_eof<R: Read>(r: &mut R) -> Result<(), PersistError> {
     let mut probe = [0u8; 1];
     if r.read(&mut probe)? != 0 {
         return Err(PersistError::Format("trailing bytes after engine image".into()));

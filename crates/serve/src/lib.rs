@@ -34,6 +34,16 @@
 //! accept queue is full the server answers `503 {"error": "overloaded"}`
 //! immediately — load shedding, never head-of-line blocking.
 //!
+//! # Durable mode
+//!
+//! With a [`DurableEngine`] backend (`lemp serve … durable=<dir>`) every
+//! `POST /probes` edit is appended to the store's `LEMPWAL1` write-ahead
+//! log **before** it mutates the engine, under the same write lock — a
+//! SIGKILLed server recovers its full probe set with `lemp recover <dir>`
+//! ([`lemp_store::recover`]). `/stats` then carries a `wal` object
+//! (`records_appended`/`records_durable`/`bytes_appended`/`fsyncs`/
+//! `segments_created`/`active_segment_bytes`) and `engine.durable: true`.
+//!
 //! # Query dispatch
 //!
 //! Every query request is parsed into a [`lemp_core::QueryRequest`] and
@@ -62,6 +72,7 @@ use lemp_core::{
     DynamicLemp, Engine, QueryPlan, QueryRequest, QueryRows, Scratch, ShardedLemp, WarmGoal,
 };
 use lemp_linalg::VectorStore;
+use lemp_store::{DurableEngine, StoreError};
 
 use http::{HttpError, Request};
 use json::{obj, Json};
@@ -167,8 +178,15 @@ impl ConnQueue {
 /// `/stats` shard map; the handlers never match on the engine kind to
 /// answer a query.
 pub enum ServeEngine {
-    /// One [`DynamicLemp`] — the PR-2 serving mode, `POST /probes` works.
+    /// One [`DynamicLemp`] — the PR-2 serving mode, `POST /probes` works
+    /// but edits live only in memory.
     Dynamic(DynamicLemp),
+    /// A [`DurableEngine`] — like `Dynamic`, but every probe edit is
+    /// appended to the store's write-ahead log *before* it is applied
+    /// (under the engine write lock), so a crashed server recovers its
+    /// probe set with `lemp recover`/[`lemp_store::recover`]. `/stats`
+    /// additionally reports the WAL counters.
+    Durable(Box<DurableEngine>),
     /// A [`ShardedLemp`] — shard-parallel queries, probe edits rejected
     /// with a structured `400` (shard routing of edits is a future step).
     Sharded(ShardedLemp),
@@ -177,6 +195,12 @@ pub enum ServeEngine {
 impl From<DynamicLemp> for ServeEngine {
     fn from(engine: DynamicLemp) -> Self {
         ServeEngine::Dynamic(engine)
+    }
+}
+
+impl From<DurableEngine> for ServeEngine {
+    fn from(engine: DurableEngine) -> Self {
+        ServeEngine::Durable(Box::new(engine))
     }
 }
 
@@ -192,6 +216,7 @@ impl ServeEngine {
     pub fn as_engine(&self) -> &dyn Engine {
         match self {
             ServeEngine::Dynamic(e) => e,
+            ServeEngine::Durable(e) => e.as_ref(),
             ServeEngine::Sharded(e) => e,
         }
     }
@@ -220,7 +245,16 @@ impl ServeEngine {
     pub fn bucket_count(&self) -> usize {
         match self {
             ServeEngine::Dynamic(e) => e.bucket_count(),
+            ServeEngine::Durable(e) => e.engine().bucket_count(),
             ServeEngine::Sharded(e) => e.bucket_count(),
+        }
+    }
+
+    /// WAL counters when the backend is durable, `None` otherwise.
+    pub fn wal_stats(&self) -> Option<lemp_store::WalStats> {
+        match self {
+            ServeEngine::Durable(e) => Some(e.wal_stats()),
+            _ => None,
         }
     }
 
@@ -234,6 +268,7 @@ impl ServeEngine {
     pub fn shard_sizes(&self) -> Vec<usize> {
         match self {
             ServeEngine::Dynamic(e) => vec![e.len()],
+            ServeEngine::Durable(e) => vec![e.engine().len()],
             ServeEngine::Sharded(e) => e.shard_sizes(),
         }
     }
@@ -241,17 +276,23 @@ impl ServeEngine {
     /// Warms an engine that arrived cold, on a strided self-sample of its
     /// own probe vectors (covers the length spectrum either way).
     fn warm_on_self_sample(&mut self) {
+        // live_vectors() returns ascending ids, whose lengths are
+        // arbitrary, so a strided subset samples the length spectrum
+        // rather than one end of it.
+        let strided = |live: &VectorStore| {
+            let rows = live.len().min(256);
+            let stride = (live.len() / rows.max(1)).max(1);
+            let picks: Vec<usize> = (0..rows).map(|i| i * stride).collect();
+            live.select(&picks)
+        };
         match self {
             ServeEngine::Dynamic(engine) => {
-                // live_vectors() returns ascending ids, whose lengths are
-                // arbitrary, so a strided subset samples the length
-                // spectrum rather than one end of it.
                 let (_, live) = engine.live_vectors();
-                let rows = live.len().min(256);
-                let stride = (live.len() / rows.max(1)).max(1);
-                let picks: Vec<usize> = (0..rows).map(|i| i * stride).collect();
-                let sample = live.select(&picks);
-                engine.warm(&sample, WarmGoal::TopK(10));
+                engine.warm(&strided(&live), WarmGoal::TopK(10));
+            }
+            ServeEngine::Durable(engine) => {
+                let (_, live) = engine.engine().live_vectors();
+                engine.warm(&strided(&live), WarmGoal::TopK(10));
             }
             ServeEngine::Sharded(engine) => {
                 let sample = engine.sample_vectors(256);
@@ -526,10 +567,27 @@ fn dispatch(
                 ("warm", Json::Bool(engine.is_warm())),
                 ("shards", Json::Num(engine.shard_count() as f64)),
                 ("shard_probes", Json::Arr(shard_probes)),
+                ("durable", Json::Bool(matches!(&*engine, ServeEngine::Durable(_)))),
             ]);
+            let wal = engine.wal_stats();
             drop(engine);
-            let body = obj(vec![("counters", shared.stats.snapshot()), ("engine", engine_info)]);
-            respond(stream, 200, &body);
+            let mut fields = vec![("counters", shared.stats.snapshot()), ("engine", engine_info)];
+            if let Some(wal) = wal {
+                // The durability counters: how much log exists, how much of
+                // it is fsync-durable, and what the fsync cadence costs.
+                fields.push((
+                    "wal",
+                    obj(vec![
+                        ("records_appended", Json::Num(wal.records_appended as f64)),
+                        ("records_durable", Json::Num(wal.records_durable as f64)),
+                        ("bytes_appended", Json::Num(wal.bytes_appended as f64)),
+                        ("fsyncs", Json::Num(wal.fsyncs as f64)),
+                        ("segments_created", Json::Num(wal.segments_created as f64)),
+                        ("active_segment_bytes", Json::Num(wal.active_segment_bytes as f64)),
+                    ]),
+                ));
+            }
+            respond(stream, 200, &obj(fields));
         }
         ("POST", "/probes") => handle_probes(stream, &request, shared),
         ("POST", "/top-k") | ("POST", "/above-theta") => {
@@ -769,6 +827,37 @@ fn probes_unsupported_body(shards: usize) -> Json {
     ])
 }
 
+/// One validated edit of a `POST /probes` request.
+enum Edit<'a> {
+    Insert(&'a [f64]),
+    Remove(u32),
+}
+
+/// Applies a request's edits through one backend closure (chosen once per
+/// request), collecting the response arrays in request order; stops at the
+/// first failure.
+fn run_edits(
+    inserts: &[Vec<f64>],
+    removals: &[u32],
+    mut apply: impl FnMut(Edit<'_>) -> Result<Json, (u16, String)>,
+) -> (Vec<Json>, Vec<Json>, Option<(u16, String)>) {
+    let mut inserted = Vec::with_capacity(inserts.len());
+    let mut removed = Vec::with_capacity(removals.len());
+    for v in inserts {
+        match apply(Edit::Insert(v)) {
+            Ok(id) => inserted.push(id),
+            Err(failure) => return (inserted, removed, Some(failure)),
+        }
+    }
+    for &id in removals {
+        match apply(Edit::Remove(id)) {
+            Ok(was_live) => removed.push(was_live),
+            Err(failure) => return (inserted, removed, Some(failure)),
+        }
+    }
+    (inserted, removed, None)
+}
+
 /// `POST /probes`: dynamic inserts/removals behind the write lock. All
 /// vectors are validated *before* the lock is taken, so the engine never
 /// sees a partial edit.
@@ -855,35 +944,53 @@ fn handle_probes(stream: TcpStream, request: &Request, shared: &Shared) {
 
     ServerStats::bump(&shared.stats.probe_requests);
     let mut guard = shared.write_engine();
-    let ServeEngine::Dynamic(engine) = &mut *guard else {
+    if matches!(&*guard, ServeEngine::Sharded(_)) {
         // Shard routing of edits is a future step; the read-only sharded
         // engine rejects them instead of silently dropping.
         let shards = guard.shard_count();
         drop(guard);
         ServerStats::bump(&shared.stats.client_errors);
         return respond(stream, 400, &probes_unsupported_body(shards));
-    };
-    let mut inserted = Vec::with_capacity(inserts.len());
-    for v in &inserts {
-        match engine.insert(v) {
-            Ok(id) => inserted.push(Json::Num(id as f64)),
-            Err(e) => {
-                // Validated above; only pathological inputs (non-finite)
-                // can land here. Earlier inserts of this request may have
-                // applied, so plan caches must still be invalidated.
-                shared.edits.fetch_add(1, Ordering::Release);
-                drop(guard);
-                return respond_error(shared, stream, 400, format!("insert rejected: {e}"));
-            }
-        }
     }
-    let removed: Vec<Json> = removals.iter().map(|&id| Json::Bool(engine.remove(id))).collect();
-    let live = engine.len();
+    // Both editable backends run the same loop (the engine kind is
+    // dispatched once per request, not per record); the durable one
+    // appends each edit to the WAL *before* applying it (log-then-apply),
+    // still under this write lock. A failure aborts the request: earlier
+    // edits of the request have applied (and are logged), later ones are
+    // not attempted — the engine and its log never diverge.
+    let (inserted, removed, failure) = match &mut *guard {
+        ServeEngine::Dynamic(engine) => run_edits(&inserts, &removals, |edit| match edit {
+            // Validated above; only pathological inputs can land here.
+            Edit::Insert(v) => engine
+                .insert(v)
+                .map(|id| Json::Num(id as f64))
+                .map_err(|e| (400, format!("insert rejected: {e}"))),
+            Edit::Remove(id) => Ok(Json::Bool(engine.remove(id))),
+        }),
+        ServeEngine::Durable(engine) => run_edits(&inserts, &removals, |edit| match edit {
+            Edit::Insert(v) => {
+                engine.insert(v).map(|id| Json::Num(id as f64)).map_err(|e| match e {
+                    StoreError::Invalid(msg) => (400, format!("insert rejected: {msg}")),
+                    other => (500, format!("wal append failed: {other}")),
+                })
+            }
+            Edit::Remove(id) => engine
+                .remove(id)
+                .map(Json::Bool)
+                .map_err(|e| (500, format!("wal append failed: {e}"))),
+        }),
+        ServeEngine::Sharded(_) => unreachable!("rejected before the edit loop"),
+    };
+    let live = guard.len();
     // Invalidate worker plan caches *while still holding the write lock*:
     // a reader that observes the old counter is ordered before this edit
-    // and executes against the pre-edit engine, never a stale mix.
+    // and executes against the pre-edit engine, never a stale mix. This
+    // runs on the failure path too — partial edits may have applied.
     shared.edits.fetch_add(1, Ordering::Release);
     drop(guard);
+    if let Some((status, message)) = failure {
+        return respond_error(shared, stream, status, message);
+    }
     respond(
         stream,
         200,

@@ -500,3 +500,94 @@ fn hostile_k_is_clamped_not_fatal() {
     assert!(lists.iter().all(Vec::is_empty), "k = 0 must return empty lists");
     handle.shutdown();
 }
+
+#[test]
+fn durable_server_survives_a_crash_and_recovery_matches() {
+    use lemp_store::{recover, DurableEngine, StoreOptions};
+
+    let dir = std::env::temp_dir().join(format!("lemp-e2e-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let probes = fixture(120, 21);
+    let policy = BucketPolicy { min_bucket: 8, cache_bytes: 64 << 10, ..Default::default() };
+    let config = RunConfig { sample_size: 8, ..Default::default() };
+    let engine = DynamicLemp::new(&probes, policy, config);
+    let durable = DurableEngine::create(&dir, engine, StoreOptions::default()).unwrap();
+    let server =
+        Server::bind("127.0.0.1:0", durable, ServeConfig::default()).expect("bind ephemeral port");
+    let handle = server.start().expect("start server");
+    let addr = handle.addr();
+
+    // Edit over the wire: insert a batch (one dominating spike among them)
+    // and remove a couple of seed probes.
+    let spike: Vec<f64> = (0..DIM).map(|i| if i == 0 { 100.0 } else { 0.0 }).collect();
+    let extra = fixture(5, 22);
+    let mut rows: Vec<Json> = (0..extra.len())
+        .map(|i| queries_json(&extra, i, i + 1).as_arr().unwrap()[0].clone())
+        .collect();
+    rows.push(Json::Arr(spike.iter().map(|&x| Json::Num(x)).collect()));
+    let body = obj(vec![
+        ("insert", Json::Arr(rows)),
+        ("remove", Json::Arr(vec![Json::Num(3.0), Json::Num(77.0)])),
+    ]);
+    let (status, reply) = client::post(addr, "/probes", &body).unwrap();
+    assert_eq!(status, 200, "{reply:?}");
+    assert_eq!(reply.get("inserted").and_then(Json::as_arr).unwrap().len(), 6);
+    let spike_id = reply.get("inserted").and_then(Json::as_arr).unwrap()[5].as_u64().unwrap();
+    assert_eq!(reply.get("probes").and_then(Json::as_u64), Some(124));
+
+    // Query answers reflect the edits while the server is up.
+    let probe_query = obj(vec![
+        (
+            "queries",
+            Json::Arr(vec![Json::Arr(
+                (0..DIM).map(|i| Json::Num(if i == 0 { 1.0 } else { 0.0 })).collect(),
+            )]),
+        ),
+        ("k", Json::Num(1.0)),
+    ]);
+    let (_, reply) = client::post(addr, "/top-k", &probe_query).unwrap();
+    assert_eq!(parse_lists(&reply)[0][0].id as u64, spike_id);
+
+    // /stats carries the WAL counters: 8 edits logged, all durable under
+    // the default (Always) sync policy.
+    let (status, stats) = client::get(addr, "/stats").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        stats.get("engine").and_then(|e| e.get("durable")),
+        Some(&Json::Bool(true)),
+        "{stats:?}"
+    );
+    let wal = stats.get("wal").expect("durable /stats exposes wal counters");
+    assert_eq!(wal.get("records_appended").and_then(Json::as_u64), Some(8));
+    assert_eq!(wal.get("records_durable").and_then(Json::as_u64), Some(8));
+    assert!(wal.get("fsyncs").and_then(Json::as_u64).unwrap() >= 8);
+    assert!(wal.get("bytes_appended").and_then(Json::as_u64).unwrap() > 0);
+
+    // "Crash": tear the server down without any graceful engine save.
+    handle.shutdown();
+
+    // Recovery rebuilds the exact probe set and answers match Naive.
+    let (recovered, report) = recover(&dir).unwrap();
+    assert_eq!(report.records_replayed, 8);
+    assert_eq!(recovered.len(), 124);
+    assert!(recovered.contains(spike_id as u32));
+    assert!(!recovered.contains(3) && !recovered.contains(77));
+    let (ids, live) = recovered.live_vectors();
+    let queries = fixture(10, 23);
+    let k = 5;
+    let (naive, _) = Naive.row_top_k(&queries, &live, k);
+    let mut warm = recovered;
+    let sample = fixture(16, 777);
+    warm.warm(&sample, WarmGoal::TopK(k));
+    let mut scratch = warm.make_scratch();
+    let out = warm.row_top_k_shared(&queries, k, &mut scratch);
+    // Map naive's row indices to stable ids before comparing.
+    let mapped: Vec<Vec<ScoredItem>> = naive
+        .iter()
+        .map(|list| {
+            list.iter().map(|it| ScoredItem { id: ids[it.id] as usize, score: it.score }).collect()
+        })
+        .collect();
+    assert!(topk_equivalent(&out.lists, &mapped, 1e-9), "recovered answers diverge from Naive");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,787 @@
+//! The `LEMPWAL1` write-ahead log: length-prefixed, CRC-checked edit
+//! records in rotating segment files.
+//!
+//! # Segment format
+//!
+//! A log directory holds segments named `wal-<start-lsn:016x>.log`:
+//!
+//! ```text
+//! "LEMPWAL1"            magic (8 bytes)
+//! u64 start_lsn         LSN of the first record (must match the name)
+//! repeated records:
+//!   u32 payload_len     little-endian
+//!   u32 crc32(payload)  IEEE CRC-32 (see [`crate::crc`])
+//!   payload:
+//!     u8  kind          1 = insert, 2 = remove, 3 = rebuild
+//!     u64 lsn           strictly sequential within and across segments
+//!     …                 kind-specific body (see [`WalRecord`])
+//! ```
+//!
+//! LSNs (log sequence numbers) number every applied edit `0, 1, 2, …` for
+//! the lifetime of the store; a snapshot marker at LSN `n` means "records
+//! `< n` are folded into the snapshot". Integers and floats use the same
+//! little-endian codec as every engine image ([`lemp_core::persist`]).
+//!
+//! # Torn tails
+//!
+//! A crash can cut a segment mid-record. Scanning stops at the first frame
+//! that is incomplete, fails its CRC, or decodes inconsistently; everything
+//! before it is trusted, everything after is the *torn tail*. Whether a
+//! torn tail is tolerable is the **caller's** decision by position: in the
+//! last segment it is the expected signature of a crash (recovery drops it,
+//! [`WalWriter::resume`] truncates it), while in any earlier segment it
+//! would silently swallow acknowledged records, so recovery reports it as
+//! [`StoreError::Corrupt`].
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::{StoreError, SyncPolicy};
+
+/// Magic bytes opening every segment file.
+pub const WAL_MAGIC: &[u8; 8] = b"LEMPWAL1";
+
+/// Segment header length: magic + start LSN.
+pub const HEADER_LEN: u64 = 16;
+
+/// Frame prefix length: payload length + CRC.
+const FRAME_PREFIX: usize = 8;
+
+/// Upper bound on a single record payload (a record holds at most one
+/// probe vector; 64 MiB is ≈ one million f64 coordinates). Lengths beyond
+/// it are treated as corruption rather than allocation requests.
+const MAX_PAYLOAD: u32 = 1 << 26;
+
+const KIND_INSERT: u8 = 1;
+const KIND_REMOVE: u8 = 2;
+const KIND_REBUILD: u8 = 3;
+
+/// One durable edit, the unit the WAL stores and recovery replays.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A probe insertion. The id the engine assigned is stored so replay
+    /// can verify it reproduces the exact same id sequence.
+    Insert {
+        /// Stable id the engine assigned at append time.
+        id: u32,
+        /// The inserted vector (validated finite before logging).
+        vector: Vec<f64>,
+    },
+    /// Removal of a live probe id.
+    Remove {
+        /// The removed stable id.
+        id: u32,
+    },
+    /// A full bucketization rebuild ([`lemp_core::DynamicLemp::rebuild`]).
+    Rebuild,
+}
+
+impl WalRecord {
+    fn kind_tag(&self) -> u8 {
+        match self {
+            WalRecord::Insert { .. } => KIND_INSERT,
+            WalRecord::Remove { .. } => KIND_REMOVE,
+            WalRecord::Rebuild => KIND_REBUILD,
+        }
+    }
+}
+
+/// File name of the segment whose first record carries `start_lsn`.
+pub fn segment_name(start_lsn: u64) -> String {
+    format!("wal-{start_lsn:016x}.log")
+}
+
+/// Parses a segment file name back to its start LSN.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Encodes one record into a complete frame (length + CRC + payload).
+pub(crate) fn encode_frame(lsn: u64, record: &WalRecord) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(32);
+    payload.push(record.kind_tag());
+    payload.extend_from_slice(&lsn.to_le_bytes());
+    match record {
+        WalRecord::Insert { id, vector } => {
+            payload.extend_from_slice(&id.to_le_bytes());
+            payload.extend_from_slice(&(vector.len() as u64).to_le_bytes());
+            for x in vector {
+                payload.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        WalRecord::Remove { id } => payload.extend_from_slice(&id.to_le_bytes()),
+        WalRecord::Rebuild => {}
+    }
+    let mut frame = Vec::with_capacity(FRAME_PREFIX + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Decodes a CRC-verified payload; errors describe the defect for the torn
+/// diagnostic.
+fn decode_payload(payload: &[u8]) -> Result<(u64, WalRecord), String> {
+    let take_u64 = |bytes: &[u8], at: usize, what: &str| -> Result<u64, String> {
+        bytes
+            .get(at..at + 8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+            .ok_or_else(|| format!("payload too short for {what}"))
+    };
+    let take_u32 = |bytes: &[u8], at: usize, what: &str| -> Result<u32, String> {
+        bytes
+            .get(at..at + 4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+            .ok_or_else(|| format!("payload too short for {what}"))
+    };
+    let kind = *payload.first().ok_or("empty payload")?;
+    let lsn = take_u64(payload, 1, "lsn")?;
+    let record = match kind {
+        KIND_INSERT => {
+            let id = take_u32(payload, 9, "insert id")?;
+            let dim = take_u64(payload, 13, "insert dim")? as usize;
+            let expect = 13 + 8 + 8 * dim;
+            if payload.len() != expect {
+                return Err(format!(
+                    "insert payload holds {} bytes, dim {dim} needs {expect}",
+                    payload.len()
+                ));
+            }
+            let mut vector = Vec::with_capacity(dim);
+            for i in 0..dim {
+                let bits = take_u64(payload, 21 + 8 * i, "insert coordinate")?;
+                vector.push(f64::from_bits(bits));
+            }
+            WalRecord::Insert { id, vector }
+        }
+        KIND_REMOVE => {
+            if payload.len() != 13 {
+                return Err(format!("remove payload holds {} bytes, needs 13", payload.len()));
+            }
+            WalRecord::Remove { id: take_u32(payload, 9, "remove id")? }
+        }
+        KIND_REBUILD => {
+            if payload.len() != 9 {
+                return Err(format!("rebuild payload holds {} bytes, needs 9", payload.len()));
+            }
+            WalRecord::Rebuild
+        }
+        other => return Err(format!("unknown record kind {other}")),
+    };
+    Ok((lsn, record))
+}
+
+/// Scan result of one segment file.
+#[derive(Debug)]
+pub struct SegmentScan {
+    /// The segment's start LSN (from its validated header).
+    pub start_lsn: u64,
+    /// Fully verified records, in LSN order.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Byte length of the verified prefix (header + whole good frames) —
+    /// where [`WalWriter::resume`] truncates.
+    pub valid_len: u64,
+    /// Why the scan stopped early, if it did (the torn-tail diagnostic).
+    pub torn: Option<String>,
+}
+
+/// Reads and verifies one segment. Only a broken *header* is an error —
+/// a header names the segment, so without one the file cannot be trusted
+/// at all; everything past the header degrades gracefully into
+/// [`SegmentScan::torn`] and the caller decides by position whether that
+/// is a crash signature or corruption.
+///
+/// # Errors
+/// [`StoreError::Io`] on read failures, [`StoreError::Corrupt`] on a
+/// missing/mismatched header.
+pub fn read_segment(path: &Path) -> Result<SegmentScan, StoreError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let corrupt = |offset: u64, detail: String| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        offset,
+        detail,
+    };
+    if bytes.len() < HEADER_LEN as usize {
+        return Err(corrupt(0, format!("file holds {} bytes, header needs 16", bytes.len())));
+    }
+    if &bytes[..8] != WAL_MAGIC {
+        return Err(corrupt(0, format!("bad magic {:?}", &bytes[..8])));
+    }
+    let start_lsn = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+    let named = path.file_name().and_then(|n| n.to_str()).and_then(parse_segment_name);
+    if named != Some(start_lsn) {
+        return Err(corrupt(8, format!("header start LSN {start_lsn} does not match the name")));
+    }
+
+    let mut records = Vec::new();
+    let mut offset = HEADER_LEN as usize;
+    let mut next_lsn = start_lsn;
+    let mut torn = None;
+    while offset < bytes.len() {
+        let Some(prefix) = bytes.get(offset..offset + FRAME_PREFIX) else {
+            torn = Some(format!("{} trailing bytes, frame prefix needs 8", bytes.len() - offset));
+            break;
+        };
+        let len = u32::from_le_bytes(prefix[..4].try_into().expect("4-byte slice"));
+        let crc = u32::from_le_bytes(prefix[4..8].try_into().expect("4-byte slice"));
+        if len > MAX_PAYLOAD {
+            torn = Some(format!("implausible payload length {len}"));
+            break;
+        }
+        let Some(payload) = bytes.get(offset + FRAME_PREFIX..offset + FRAME_PREFIX + len as usize)
+        else {
+            torn = Some(format!("payload of {len} bytes cut short"));
+            break;
+        };
+        if crc32(payload) != crc {
+            torn = Some("payload fails its CRC".into());
+            break;
+        }
+        match decode_payload(payload) {
+            Ok((lsn, record)) if lsn == next_lsn => {
+                records.push((lsn, record));
+                next_lsn += 1;
+            }
+            Ok((lsn, _)) => {
+                torn = Some(format!("record carries LSN {lsn}, expected {next_lsn}"));
+                break;
+            }
+            Err(detail) => {
+                torn = Some(detail);
+                break;
+            }
+        }
+        offset += FRAME_PREFIX + len as usize;
+    }
+    let valid_len = offset as u64;
+    Ok(SegmentScan { start_lsn, records, valid_len, torn })
+}
+
+/// Lists a directory's segments as `(start_lsn, path)`, ascending.
+///
+/// # Errors
+/// Propagates directory-read failures.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut segments = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(lsn) = entry.file_name().to_str().and_then(parse_segment_name) {
+            segments.push((lsn, entry.path()));
+        }
+    }
+    segments.sort_unstable_by_key(|&(lsn, _)| lsn);
+    Ok(segments)
+}
+
+/// Monotonic counters of one [`WalWriter`], exported by `lemp-serve`'s
+/// `GET /stats` in durable mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended (durable or not).
+    pub records_appended: u64,
+    /// Records covered by an fsync — the crash-survivable watermark.
+    pub records_durable: u64,
+    /// Frame bytes appended across all segments.
+    pub bytes_appended: u64,
+    /// `fsync` calls issued on segment files.
+    pub fsyncs: u64,
+    /// Segment files this writer created (rotation + creation).
+    pub segments_created: u64,
+    /// Bytes in the active segment (header + frames, flushed or pending).
+    pub active_segment_bytes: u64,
+}
+
+/// Appends records to the active segment of a log directory, rotating at
+/// a size threshold and fsyncing per the configured [`SyncPolicy`].
+///
+/// The writer tracks the *durable watermark* — the byte length of the
+/// active segment that has reached an fsync — which makes crash injection
+/// deterministic: [`WalWriter::simulate_crash`] discards the application
+/// buffer and truncates the file to that watermark, exactly the state a
+/// power loss leaves behind under a strict disk model.
+///
+/// Any append/flush/fsync failure **poisons** the writer: a partial
+/// `write` leaves the file cursor past the tracked offsets, so writing
+/// more frames would interleave garbage with acknowledged records, and a
+/// failed `fsync` may have dropped dirty pages, so a later successful one
+/// would falsely promote lost records to durable. Every call after a
+/// failure returns [`StoreError::Poisoned`]; reopening the store recovers
+/// (resume truncates at the last verified frame).
+#[derive(Debug)]
+pub struct WalWriter {
+    dir: PathBuf,
+    file: File,
+    segment_path: PathBuf,
+    segment_start: u64,
+    next_lsn: u64,
+    /// Bytes of the active segment handed to the OS.
+    written: u64,
+    /// Bytes of the active segment covered by an fsync.
+    synced: u64,
+    /// Encoded frames not yet written to the file (lost on crash).
+    pending: Vec<u8>,
+    records_pending_or_unsynced: u64,
+    policy: SyncPolicy,
+    segment_bytes: u64,
+    stats: WalStats,
+    /// Set by the first I/O failure; refuses all further mutation.
+    failed: bool,
+}
+
+impl WalWriter {
+    /// Creates a fresh segment `wal-<start_lsn>.log` in `dir` and returns
+    /// a writer positioned at `start_lsn`. The header (and the directory
+    /// entry) are fsynced before the writer is handed out.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on filesystem failures, including an already
+    /// existing segment of the same name.
+    pub fn create(
+        dir: &Path,
+        start_lsn: u64,
+        policy: SyncPolicy,
+        segment_bytes: u64,
+    ) -> Result<Self, StoreError> {
+        let segment_path = dir.join(segment_name(start_lsn));
+        let mut file = OpenOptions::new().write(true).create_new(true).open(&segment_path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.write_all(&start_lsn.to_le_bytes())?;
+        file.sync_all()?;
+        sync_dir(dir)?;
+        let stats = WalStats {
+            segments_created: 1,
+            fsyncs: 1,
+            active_segment_bytes: HEADER_LEN,
+            ..Default::default()
+        };
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            file,
+            segment_path,
+            segment_start: start_lsn,
+            next_lsn: start_lsn,
+            written: HEADER_LEN,
+            synced: HEADER_LEN,
+            pending: Vec::new(),
+            records_pending_or_unsynced: 0,
+            policy,
+            segment_bytes,
+            stats,
+            failed: false,
+        })
+    }
+
+    /// Resumes appending to an existing segment after recovery: the file
+    /// is truncated to `valid_len` (**torn-tail truncation** — everything
+    /// past the last verified frame is discarded) and the writer continues
+    /// at `next_lsn`.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn resume(
+        dir: &Path,
+        scan: &SegmentScan,
+        path: &Path,
+        policy: SyncPolicy,
+        segment_bytes: u64,
+    ) -> Result<Self, StoreError> {
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(scan.valid_len)?;
+        file.seek(SeekFrom::End(0))?;
+        file.sync_all()?;
+        let stats =
+            WalStats { fsyncs: 1, active_segment_bytes: scan.valid_len, ..Default::default() };
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            file,
+            segment_path: path.to_path_buf(),
+            segment_start: scan.start_lsn,
+            next_lsn: scan.start_lsn + scan.records.len() as u64,
+            written: scan.valid_len,
+            synced: scan.valid_len,
+            pending: Vec::new(),
+            records_pending_or_unsynced: 0,
+            policy,
+            segment_bytes,
+            stats,
+            failed: false,
+        })
+    }
+
+    /// The LSN the next append will carry.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Start LSN of the active segment.
+    pub fn segment_start(&self) -> u64 {
+        self.segment_start
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> WalStats {
+        let mut stats = self.stats;
+        stats.active_segment_bytes = self.written + self.pending.len() as u64;
+        stats
+    }
+
+    /// Test hook: marks the writer failed exactly as an I/O error would.
+    #[cfg(test)]
+    fn poison_for_test(&mut self) {
+        self.failed = true;
+    }
+
+    /// Refuses to touch a writer an earlier I/O failure poisoned.
+    fn guard(&self) -> Result<(), StoreError> {
+        if self.failed {
+            return Err(StoreError::Poisoned);
+        }
+        Ok(())
+    }
+
+    /// Runs a mutation, poisoning the writer on any failure.
+    fn poisoning<T>(
+        &mut self,
+        op: impl FnOnce(&mut Self) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        self.guard()?;
+        let result = op(self);
+        if result.is_err() {
+            self.failed = true;
+        }
+        result
+    }
+
+    /// Appends one record, applies the sync policy, and rotates the
+    /// segment when it crossed the size threshold. Returns the record's
+    /// LSN.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on write/fsync failures;
+    /// [`StoreError::Poisoned`] after any earlier failure.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64, StoreError> {
+        self.poisoning(|w| w.append_inner(record))
+    }
+
+    fn append_inner(&mut self, record: &WalRecord) -> Result<u64, StoreError> {
+        let lsn = self.next_lsn;
+        let frame = encode_frame(lsn, record);
+        self.stats.bytes_appended += frame.len() as u64;
+        self.pending.extend_from_slice(&frame);
+        self.next_lsn += 1;
+        self.stats.records_appended += 1;
+        self.records_pending_or_unsynced += 1;
+        match self.policy {
+            SyncPolicy::Always => self.sync_inner()?,
+            SyncPolicy::EveryN(n) => {
+                if self.records_pending_or_unsynced >= n.max(1) {
+                    self.sync_inner()?;
+                }
+            }
+            SyncPolicy::Never => {
+                // Keep the application buffer bounded; the bytes reach the
+                // OS but no fsync is issued (they die with the machine, not
+                // with the process).
+                if self.pending.len() >= 1 << 20 {
+                    self.flush()?;
+                }
+            }
+        }
+        if self.written + self.pending.len() as u64 >= self.segment_bytes {
+            self.rotate_inner()?;
+        }
+        Ok(lsn)
+    }
+
+    /// Writes pending frames to the OS without fsyncing.
+    fn flush(&mut self) -> Result<(), StoreError> {
+        if !self.pending.is_empty() {
+            self.file.write_all(&self.pending)?;
+            self.written += self.pending.len() as u64;
+            self.pending.clear();
+        }
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the active segment — after this returns, every
+    /// appended record survives [`WalWriter::simulate_crash`].
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on write/fsync failures;
+    /// [`StoreError::Poisoned`] after any earlier failure.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.poisoning(Self::sync_inner)
+    }
+
+    fn sync_inner(&mut self) -> Result<(), StoreError> {
+        self.flush()?;
+        if self.synced < self.written || self.records_pending_or_unsynced > 0 {
+            self.file.sync_all()?;
+            self.stats.fsyncs += 1;
+            self.synced = self.written;
+            self.stats.records_durable = self.stats.records_appended;
+            self.records_pending_or_unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Seals the active segment (flush + fsync) and starts a fresh one at
+    /// the current `next_lsn`. A no-op when the active segment is still
+    /// empty and already starts there.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on filesystem failures;
+    /// [`StoreError::Poisoned`] after any earlier failure.
+    pub fn rotate(&mut self) -> Result<(), StoreError> {
+        self.poisoning(Self::rotate_inner)
+    }
+
+    fn rotate_inner(&mut self) -> Result<(), StoreError> {
+        if self.segment_start == self.next_lsn
+            && self.written + (self.pending.len() as u64) == HEADER_LEN
+        {
+            return Ok(());
+        }
+        self.sync_inner()?;
+        let start_lsn = self.next_lsn;
+        let segment_path = self.dir.join(segment_name(start_lsn));
+        let mut file = OpenOptions::new().write(true).create_new(true).open(&segment_path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.write_all(&start_lsn.to_le_bytes())?;
+        file.sync_all()?;
+        sync_dir(&self.dir)?;
+        self.file = file;
+        self.segment_path = segment_path;
+        self.segment_start = start_lsn;
+        self.written = HEADER_LEN;
+        self.synced = HEADER_LEN;
+        self.stats.segments_created += 1;
+        self.stats.fsyncs += 2;
+        Ok(())
+    }
+
+    /// **Crash injection**: consumes the writer as a power loss would —
+    /// the application buffer is discarded and the active segment file is
+    /// truncated to the durable (fsynced) watermark. Deterministic by
+    /// construction, this is the fault point the crash-injection suite
+    /// sweeps.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on truncation failures.
+    pub fn simulate_crash(mut self) -> Result<(), StoreError> {
+        self.pending.clear();
+        self.file.set_len(self.synced)?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+}
+
+/// Fsyncs a directory so renames/creates/deletes inside it are durable.
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), StoreError> {
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lemp-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Insert { id: 7, vector: vec![1.0, -2.5, 0.25] },
+            WalRecord::Remove { id: 3 },
+            WalRecord::Rebuild,
+            WalRecord::Insert { id: 8, vector: vec![0.0; 5] },
+        ]
+    }
+
+    #[test]
+    fn segment_names_roundtrip() {
+        assert_eq!(segment_name(0), "wal-0000000000000000.log");
+        assert_eq!(parse_segment_name("wal-0000000000000000.log"), Some(0));
+        assert_eq!(parse_segment_name(&segment_name(0xdead_beef)), Some(0xdead_beef));
+        assert_eq!(parse_segment_name("wal-xyz.log"), None);
+        assert_eq!(parse_segment_name("snap-0000000000000000.eng"), None);
+        assert_eq!(parse_segment_name("wal-00.log"), None);
+    }
+
+    #[test]
+    fn frames_roundtrip_through_a_segment() {
+        let dir = tmpdir("roundtrip");
+        let mut writer = WalWriter::create(&dir, 5, SyncPolicy::Always, 1 << 20).unwrap();
+        for (i, record) in sample_records().iter().enumerate() {
+            assert_eq!(writer.append(record).unwrap(), 5 + i as u64);
+        }
+        let stats = writer.stats();
+        assert_eq!(stats.records_appended, 4);
+        assert_eq!(stats.records_durable, 4);
+        drop(writer);
+        let scan = read_segment(&dir.join(segment_name(5))).unwrap();
+        assert_eq!(scan.start_lsn, 5);
+        assert!(scan.torn.is_none());
+        let got: Vec<WalRecord> = scan.records.iter().map(|(_, r)| r.clone()).collect();
+        assert_eq!(got, sample_records());
+        let lsns: Vec<u64> = scan.records.iter().map(|&(l, _)| l).collect();
+        assert_eq!(lsns, vec![5, 6, 7, 8]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_splits_segments_at_the_threshold() {
+        let dir = tmpdir("rotate");
+        // Tiny threshold: every record rotates.
+        let mut writer = WalWriter::create(&dir, 0, SyncPolicy::Always, 64).unwrap();
+        for record in sample_records() {
+            writer.append(&record).unwrap();
+        }
+        assert!(writer.stats().segments_created >= 3, "{:?}", writer.stats());
+        drop(writer);
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() >= 3);
+        // Contiguity: each segment starts where the previous ended.
+        let mut expect = 0;
+        let mut all = Vec::new();
+        for (start, path) in &segments {
+            let scan = read_segment(path).unwrap();
+            assert_eq!(*start, expect, "gap before {}", path.display());
+            assert!(scan.torn.is_none());
+            expect += scan.records.len() as u64;
+            all.extend(scan.records.into_iter().map(|(_, r)| r));
+        }
+        assert_eq!(all, sample_records());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sync_policies_gate_the_durable_watermark() {
+        let dir = tmpdir("sync");
+        let mut writer = WalWriter::create(&dir, 0, SyncPolicy::EveryN(3), 1 << 20).unwrap();
+        writer.append(&WalRecord::Remove { id: 0 }).unwrap();
+        writer.append(&WalRecord::Remove { id: 1 }).unwrap();
+        assert_eq!(writer.stats().records_durable, 0, "below the batch size");
+        writer.append(&WalRecord::Remove { id: 2 }).unwrap();
+        assert_eq!(writer.stats().records_durable, 3, "batch boundary fsyncs");
+        writer.append(&WalRecord::Remove { id: 3 }).unwrap();
+        writer.sync().unwrap();
+        assert_eq!(writer.stats().records_durable, 4, "explicit sync");
+
+        let mut never =
+            WalWriter::create(&tmpdir("sync-never"), 0, SyncPolicy::Never, 1 << 20).unwrap();
+        for id in 0..10 {
+            never.append(&WalRecord::Remove { id }).unwrap();
+        }
+        assert_eq!(never.stats().records_durable, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulated_crash_drops_exactly_the_unsynced_tail() {
+        let dir = tmpdir("crash");
+        let mut writer = WalWriter::create(&dir, 0, SyncPolicy::EveryN(2), 1 << 20).unwrap();
+        for id in 0..5 {
+            writer.append(&WalRecord::Remove { id }).unwrap();
+        }
+        // 5 appends, sync every 2: records 0..4 durable, record 4 pending.
+        assert_eq!(writer.stats().records_durable, 4);
+        writer.simulate_crash().unwrap();
+        let scan = read_segment(&dir.join(segment_name(0))).unwrap();
+        assert_eq!(scan.records.len(), 4);
+        assert!(scan.torn.is_none(), "truncation lands on a frame boundary");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_truncates_a_torn_tail_and_continues() {
+        let dir = tmpdir("resume");
+        let mut writer = WalWriter::create(&dir, 0, SyncPolicy::Always, 1 << 20).unwrap();
+        for id in 0..3 {
+            writer.append(&WalRecord::Remove { id }).unwrap();
+        }
+        drop(writer);
+        // Tear the tail: append garbage bytes.
+        let path = dir.join(segment_name(0));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let good_len = bytes.len();
+        bytes.extend_from_slice(&[0x17; 11]);
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = read_segment(&path).unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert!(scan.torn.is_some());
+        assert_eq!(scan.valid_len, good_len as u64);
+        let mut writer =
+            WalWriter::resume(&dir, &scan, &path, SyncPolicy::Always, 1 << 20).unwrap();
+        assert_eq!(writer.next_lsn(), 3);
+        writer.append(&WalRecord::Rebuild).unwrap();
+        drop(writer);
+        let scan = read_segment(&path).unwrap();
+        assert!(scan.torn.is_none(), "torn bytes replaced by the new record");
+        assert_eq!(scan.records.len(), 4);
+        assert_eq!(scan.records[3], (3, WalRecord::Rebuild));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_poisoned_writer_refuses_every_mutation() {
+        let dir = tmpdir("poison");
+        let mut writer = WalWriter::create(&dir, 0, SyncPolicy::Always, 1 << 20).unwrap();
+        writer.append(&WalRecord::Rebuild).unwrap();
+        writer.poison_for_test();
+        assert!(matches!(writer.append(&WalRecord::Rebuild), Err(StoreError::Poisoned)));
+        assert!(matches!(writer.sync(), Err(StoreError::Poisoned)));
+        assert!(matches!(writer.rotate(), Err(StoreError::Poisoned)));
+        // The durable prefix on disk is untouched — reopening recovers it.
+        let scan = read_segment(&dir.join(segment_name(0))).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.torn.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_frames_stop_the_scan_without_panicking() {
+        let dir = tmpdir("corrupt");
+        let mut writer = WalWriter::create(&dir, 0, SyncPolicy::Always, 1 << 20).unwrap();
+        for record in sample_records() {
+            writer.append(&record).unwrap();
+        }
+        drop(writer);
+        let path = dir.join(segment_name(0));
+        let clean = std::fs::read(&path).unwrap();
+        // Flip one byte at every offset past the header: the scan must
+        // never panic, and must never *invent* records.
+        for offset in HEADER_LEN as usize..clean.len() {
+            let mut bad = clean.clone();
+            bad[offset] ^= 0x41;
+            std::fs::write(&path, &bad).unwrap();
+            let scan = read_segment(&path).unwrap();
+            assert!(scan.records.len() <= 4, "offset {offset} grew the log");
+            for (expect, got) in sample_records().iter().zip(scan.records.iter()) {
+                // A flip inside a float payload still fails the CRC, so
+                // every surviving record is byte-identical to what was
+                // appended.
+                assert_eq!(&got.1, expect, "offset {offset} mutated a record");
+            }
+        }
+        // Header corruption is a hard error, not a scan result.
+        for offset in 0..HEADER_LEN as usize {
+            let mut bad = clean.clone();
+            bad[offset] ^= 0x41;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(matches!(read_segment(&path), Err(StoreError::Corrupt { .. })));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,486 @@
+//! Crash-injection and corruption sweeps for the durability subsystem.
+//!
+//! The contract under test (the PR's acceptance criterion):
+//!
+//! * For **every fault point** — a deterministic crash that drops the
+//!   process's dirty state after each edit, mid-compaction, across
+//!   segment rotations — `recover(dir)` reproduces the pre-crash durable
+//!   engine **bit for bit** (serialized images compared byte-wise, and
+//!   every [`QueryKind`] checked through the engine-conformance
+//!   machinery).
+//! * For **every truncation/corruption offset** of a small log,
+//!   `recover(dir)` either yields an engine equal to the replay of some
+//!   durable *prefix* of the log (never invented state, never a skipped
+//!   middle) or returns a structured [`StoreError`] — no panics, no
+//!   silent divergence.
+//! * Snapshot + compact followed by replay ≡ pure replay.
+
+use std::path::PathBuf;
+
+use lemp_baselines::types::topk_equivalent;
+use lemp_core::{
+    BucketPolicy, DynamicLemp, Engine, QueryKind, QueryRequest, QueryRows, RunConfig, WarmGoal,
+};
+use lemp_data::synthetic::GeneratorConfig;
+use lemp_linalg::VectorStore;
+use lemp_store::{recover, CompactFault, DurableEngine, StoreError, StoreOptions, SyncPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 8;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lemp-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn base_probes(seed: u64) -> VectorStore {
+    GeneratorConfig::gaussian(60, DIM, 1.0).generate(seed)
+}
+
+fn base_engine(probes: &VectorStore) -> DynamicLemp {
+    let policy = BucketPolicy { min_bucket: 8, cache_bytes: 64 << 10, ..Default::default() };
+    let config = RunConfig { sample_size: 8, ..Default::default() };
+    DynamicLemp::new(probes, policy, config)
+}
+
+/// One scripted edit.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<f64>),
+    Remove(u32),
+    Rebuild,
+}
+
+/// A deterministic edit script whose removals always target live ids (a
+/// shadow engine tracks liveness while generating).
+fn script(n: usize, seed: u64) -> (VectorStore, Vec<Op>) {
+    let probes = base_probes(seed);
+    let mut shadow = base_engine(&probes);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        let roll = rng.random_range(0..10u32);
+        if roll < 5 || shadow.len() < 5 {
+            let scale = 10f64.powf(rng.random_range(-1.0..1.0));
+            let v: Vec<f64> =
+                (0..DIM).map(|_| scale * lemp_data::rng::standard_normal(&mut rng)).collect();
+            shadow.insert(&v).unwrap();
+            ops.push(Op::Insert(v));
+        } else if roll < 9 {
+            loop {
+                let id = rng.random_range(0..shadow.next_id());
+                if shadow.remove(id) {
+                    ops.push(Op::Remove(id));
+                    break;
+                }
+            }
+        } else {
+            shadow.rebuild();
+            ops.push(Op::Rebuild);
+        }
+    }
+    (probes, ops)
+}
+
+fn apply_oracle(engine: &mut DynamicLemp, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Insert(v) => {
+                engine.insert(v).unwrap();
+            }
+            Op::Remove(id) => {
+                assert!(engine.remove(*id), "script removes live ids only");
+            }
+            Op::Rebuild => engine.rebuild(),
+        }
+    }
+}
+
+fn apply_durable(store: &mut DurableEngine, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Insert(v) => {
+                store.insert(v).unwrap();
+            }
+            Op::Remove(id) => {
+                assert!(store.remove(*id).unwrap(), "script removes live ids only");
+            }
+            Op::Rebuild => store.rebuild().unwrap(),
+        }
+    }
+}
+
+/// Bit-exact fingerprint: the serialized `LEMPDYN1` image.
+fn image(engine: &DynamicLemp) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    engine.write_to(&mut bytes).unwrap();
+    bytes
+}
+
+fn canon_entries(entries: &[lemp_core::Entry]) -> Vec<(u32, u32, u64)> {
+    let mut v: Vec<(u32, u32, u64)> =
+        entries.iter().map(|e| (e.query, e.probe, e.value.to_bits())).collect();
+    v.sort_unstable();
+    v
+}
+
+/// The engine-conformance gate: warm both engines identically and compare
+/// every [`QueryKind`] through the [`Engine`] trait — Above-θ entry values
+/// bit for bit, Row-Top-k scores at tolerance 0.0.
+fn assert_conformant(a: &mut DynamicLemp, b: &mut DynamicLemp, label: &str) {
+    let sample = GeneratorConfig::gaussian(16, DIM, 1.0).generate(9100);
+    let queries = GeneratorConfig::gaussian(12, DIM, 1.0).generate(9101);
+    a.warm(&sample, WarmGoal::TopK(4));
+    b.warm(&sample, WarmGoal::TopK(4));
+    for kind in [
+        QueryKind::AboveTheta { theta: 1.0 },
+        QueryKind::AbsAboveTheta { theta: 1.0 },
+        QueryKind::TopK { k: 4 },
+        QueryKind::TopKWithFloor { k: 4, floor: 0.8 },
+    ] {
+        let request = QueryRequest::new(kind);
+        let (a, b): (&dyn Engine, &dyn Engine) = (a, b);
+        let mut sa = a.query_scratch();
+        let mut sb = b.query_scratch();
+        let ra = a.run(&request, &queries, &mut sa);
+        let rb = b.run(&request, &queries, &mut sb);
+        match (ra.rows, rb.rows) {
+            (QueryRows::Entries(ea), QueryRows::Entries(eb)) => {
+                assert_eq!(canon_entries(&ea), canon_entries(&eb), "{label}: {kind:?}");
+            }
+            (QueryRows::Lists(la), QueryRows::Lists(lb)) => {
+                assert!(topk_equivalent(&la, &lb, 0.0), "{label}: {kind:?}");
+            }
+            _ => panic!("{label}: {kind:?} produced mismatched row shapes"),
+        }
+    }
+}
+
+#[test]
+fn every_edit_fault_point_recovers_bit_for_bit() {
+    const N: usize = 24;
+    let (probes, ops) = script(N, 777);
+    for cut in 0..=N {
+        let dir = tmpdir(&format!("edit-fault-{cut}"));
+        let mut store =
+            DurableEngine::create(&dir, base_engine(&probes), StoreOptions::default()).unwrap();
+        apply_durable(&mut store, &ops[..cut]);
+        store.simulate_crash().unwrap();
+
+        let (mut recovered, report) = recover(&dir).unwrap();
+        assert_eq!(report.records_replayed, cut as u64, "fault after edit {cut}");
+        assert_eq!(report.next_lsn, cut as u64);
+        let mut oracle = base_engine(&probes);
+        apply_oracle(&mut oracle, &ops[..cut]);
+        assert_eq!(image(&recovered), image(&oracle), "fault after edit {cut} diverges");
+        if cut % 8 == 0 || cut == N {
+            assert_conformant(&mut recovered, &mut oracle, &format!("fault after edit {cut}"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn sync_policy_bounds_the_loss_window_exactly() {
+    const N: usize = 23;
+    let (probes, ops) = script(N, 778);
+    for (policy, tag) in [(SyncPolicy::EveryN(5), "every5"), (SyncPolicy::Never, "never")] {
+        let dir = tmpdir(&format!("sync-{tag}"));
+        let options = StoreOptions { sync: policy, ..Default::default() };
+        let mut store = DurableEngine::create(&dir, base_engine(&probes), options).unwrap();
+        apply_durable(&mut store, &ops);
+        let durable = store.wal_stats().records_durable;
+        match policy {
+            SyncPolicy::EveryN(n) => {
+                assert!(
+                    (N as u64) - durable < n,
+                    "{tag}: loss window {durable}/{N} exceeds the policy"
+                );
+            }
+            SyncPolicy::Never => assert_eq!(durable, 0),
+            SyncPolicy::Always => unreachable!(),
+        }
+        store.simulate_crash().unwrap();
+        let (recovered, report) = recover(&dir).unwrap();
+        assert_eq!(report.records_replayed, durable, "{tag}");
+        let mut oracle = base_engine(&probes);
+        apply_oracle(&mut oracle, &ops[..durable as usize]);
+        assert_eq!(image(&recovered), image(&oracle), "{tag}: durable prefix diverges");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn explicit_sync_makes_everything_durable_under_lazy_policies() {
+    let (probes, ops) = script(12, 779);
+    let dir = tmpdir("sync-explicit");
+    let options = StoreOptions { sync: SyncPolicy::Never, ..Default::default() };
+    let mut store = DurableEngine::create(&dir, base_engine(&probes), options).unwrap();
+    apply_durable(&mut store, &ops);
+    store.sync().unwrap();
+    assert_eq!(store.wal_stats().records_durable, 12);
+    store.simulate_crash().unwrap();
+    let (recovered, report) = recover(&dir).unwrap();
+    assert_eq!(report.records_replayed, 12);
+    let mut oracle = base_engine(&probes);
+    apply_oracle(&mut oracle, &ops);
+    assert_eq!(image(&recovered), image(&oracle));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupting_every_offset_yields_a_prefix_or_a_structured_error() {
+    const N: usize = 8;
+    let (probes, ops) = script(N, 780);
+    let dir = tmpdir("corrupt-sweep");
+    let mut store =
+        DurableEngine::create(&dir, base_engine(&probes), StoreOptions::default()).unwrap();
+    apply_durable(&mut store, &ops);
+    drop(store); // sync=Always: everything is already durable
+
+    // Every durable prefix the log could legally replay to.
+    let prefixes: Vec<Vec<u8>> = (0..=N)
+        .map(|cut| {
+            let mut oracle = base_engine(&probes);
+            apply_oracle(&mut oracle, &ops[..cut]);
+            image(&oracle)
+        })
+        .collect();
+
+    for what in ["truncate", "flip"] {
+        for name in ["wal", "snap", "marker"] {
+            let file: PathBuf = match name {
+                "wal" => lemp_store::wal::list_segments(&dir).unwrap()[0].1.clone(),
+                "snap" => dir.join(lemp_store::snapshot_name(0)),
+                _ => dir.join("CHECKPOINT"),
+            };
+            let clean = std::fs::read(&file).unwrap();
+            for offset in 0..clean.len() {
+                let mut bad = clean.clone();
+                match what {
+                    "truncate" => bad.truncate(offset),
+                    _ => bad[offset] ^= 0x20,
+                }
+                std::fs::write(&file, &bad).unwrap();
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| recover(&dir)));
+                std::fs::write(&file, &clean).unwrap();
+                let result = match outcome {
+                    Ok(result) => result,
+                    Err(_) => panic!("{what} {name} at {offset}: recover panicked"),
+                };
+                match result {
+                    Ok((engine, _)) => {
+                        let got = image(&engine);
+                        assert!(
+                            prefixes.contains(&got),
+                            "{what} {name} at {offset}: recovered engine matches no durable prefix"
+                        );
+                        assert_ne!(
+                            (what, name),
+                            ("flip", "snap"),
+                            "flip snap at {offset}: marker-pinned snapshot corruption must \
+                             never load"
+                        );
+                    }
+                    Err(e) => {
+                        // Structured error — exercise Display so a broken
+                        // formatter can't hide behind the sweep.
+                        let _ = e.to_string();
+                    }
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compaction_then_replay_equals_pure_replay() {
+    const N: usize = 30;
+    let (probes, ops) = script(N, 781);
+
+    // Store A: compact twice mid-stream. Store B: never compacts.
+    let dir_a = tmpdir("compact-a");
+    let dir_b = tmpdir("compact-b");
+    let mut a =
+        DurableEngine::create(&dir_a, base_engine(&probes), StoreOptions::default()).unwrap();
+    let mut b =
+        DurableEngine::create(&dir_b, base_engine(&probes), StoreOptions::default()).unwrap();
+    apply_durable(&mut a, &ops[..10]);
+    apply_durable(&mut b, &ops[..10]);
+    let report = a.compact().unwrap();
+    assert_eq!(report.lsn, 10);
+    assert_eq!(report.snapshots_pruned, 1, "the seed snapshot is pruned");
+    apply_durable(&mut a, &ops[10..20]);
+    apply_durable(&mut b, &ops[10..20]);
+    a.compact().unwrap();
+    apply_durable(&mut a, &ops[20..]);
+    apply_durable(&mut b, &ops[20..]);
+    a.simulate_crash().unwrap();
+    b.simulate_crash().unwrap();
+
+    let (mut ra, rep_a) = recover(&dir_a).unwrap();
+    let (mut rb, rep_b) = recover(&dir_b).unwrap();
+    assert_eq!(rep_a.snapshot_lsn, 20);
+    assert_eq!(rep_a.records_replayed, 10, "compacted store replays only the tail");
+    assert_eq!(rep_b.snapshot_lsn, 0);
+    assert_eq!(rep_b.records_replayed, N as u64, "pure replay covers everything");
+    assert_eq!(image(&ra), image(&rb), "compacted and pure-replay recoveries diverge");
+    assert_conformant(&mut ra, &mut rb, "compacted vs pure replay");
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn compaction_fault_points_recover_to_the_same_engine() {
+    const N: usize = 16;
+    let (probes, ops) = script(N, 782);
+    for fault in [CompactFault::AfterSnapshot, CompactFault::AfterMarker] {
+        // Crash immediately at the fault point …
+        let dir = tmpdir(&format!("compact-fault-{fault:?}"));
+        let mut store =
+            DurableEngine::create(&dir, base_engine(&probes), StoreOptions::default()).unwrap();
+        apply_durable(&mut store, &ops[..12]);
+        assert!(matches!(store.compact_with_fault(Some(fault)), Err(StoreError::Injected(_))));
+        store.simulate_crash().unwrap();
+        let (recovered, _) = recover(&dir).unwrap();
+        let mut oracle = base_engine(&probes);
+        apply_oracle(&mut oracle, &ops[..12]);
+        assert_eq!(image(&recovered), image(&oracle), "crash at {fault:?} diverges");
+
+        // … and keep editing past the fault before crashing: the store
+        // must absorb the half-finished compaction transparently.
+        let (mut store, report) = DurableEngine::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(report.next_lsn, 12);
+        apply_durable(&mut store, &ops[12..]);
+        store.simulate_crash().unwrap();
+        let (recovered, _) = recover(&dir).unwrap();
+        apply_oracle(&mut oracle, &ops[12..]);
+        assert_eq!(image(&recovered), image(&oracle), "edits after {fault:?} diverge");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn rotation_spreads_the_log_and_compaction_prunes_it() {
+    const N: usize = 40;
+    let (probes, ops) = script(N, 783);
+    let dir = tmpdir("rotate-prune");
+    // 512-byte segments: every couple of records rotates.
+    let options = StoreOptions { segment_bytes: 512, ..Default::default() };
+    let mut store = DurableEngine::create(&dir, base_engine(&probes), options).unwrap();
+    apply_durable(&mut store, &ops);
+    let segments_before = lemp_store::wal::list_segments(&dir).unwrap().len();
+    assert!(segments_before >= 5, "only {segments_before} segments at 512 B");
+    assert!(store.wal_stats().segments_created as usize >= 5);
+
+    // Recovery replays across every segment.
+    let stats = store.wal_stats();
+    store.simulate_crash().unwrap();
+    let (recovered, report) = recover(&dir).unwrap();
+    assert_eq!(report.segments_scanned, segments_before);
+    assert_eq!(report.records_replayed, stats.records_durable);
+    let mut oracle = base_engine(&probes);
+    apply_oracle(&mut oracle, &ops[..stats.records_durable as usize]);
+    assert_eq!(image(&recovered), image(&oracle));
+
+    // Compaction prunes everything the snapshot covers.
+    let (mut store, _) = DurableEngine::open(&dir, options).unwrap();
+    let report = store.compact().unwrap();
+    assert_eq!(report.segments_pruned, segments_before, "every pre-checkpoint segment goes");
+    let remaining = lemp_store::wal::list_segments(&dir).unwrap();
+    assert_eq!(remaining.len(), 1, "one fresh active segment survives");
+    assert_eq!(remaining[0].0, store.next_lsn());
+    drop(store);
+    let (recompacted, report) = recover(&dir).unwrap();
+    assert_eq!(report.records_replayed, 0, "post-compaction recovery replays nothing");
+    assert_eq!(image(&recompacted), image(&oracle));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_failures_are_structured() {
+    // Not a directory.
+    let missing = tmpdir("structured-missing");
+    assert!(matches!(recover(&missing), Err(StoreError::Missing(_))));
+
+    // A directory with no store in it.
+    std::fs::create_dir_all(&missing).unwrap();
+    assert!(matches!(recover(&missing), Err(StoreError::Missing(_))));
+
+    // A store whose *middle* segment lost a record: acknowledged records
+    // must never be skipped, so this is corruption, not a torn tail.
+    let (probes, ops) = script(20, 784);
+    let dir = tmpdir("structured-gap");
+    let options = StoreOptions { segment_bytes: 512, ..Default::default() };
+    let mut store = DurableEngine::create(&dir, base_engine(&probes), options).unwrap();
+    apply_durable(&mut store, &ops);
+    drop(store);
+    let segments = lemp_store::wal::list_segments(&dir).unwrap();
+    assert!(segments.len() >= 3);
+    let middle = &segments[1].1;
+    let bytes = std::fs::read(middle).unwrap();
+    std::fs::write(middle, &bytes[..bytes.len() - 1]).unwrap();
+    match recover(&dir) {
+        Err(StoreError::Corrupt { path, detail, .. }) => {
+            assert_eq!(&path, middle);
+            assert!(detail.contains("torn in a non-final segment"), "{detail}");
+        }
+        other => panic!("middle-segment tear not detected: {other:?}"),
+    }
+    // Deleting the middle segment outright is a log gap.
+    std::fs::remove_file(middle).unwrap();
+    match recover(&dir) {
+        Err(StoreError::Corrupt { detail, .. }) => assert!(detail.contains("log gap"), "{detail}"),
+        other => panic!("log gap not detected: {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&missing).ok();
+}
+
+#[test]
+fn a_lost_final_segment_is_detected_not_silently_skipped() {
+    // Checkpoint at LSN 8, then more edits into the post-compaction
+    // segment. Losing that *final* segment must be a structured error:
+    // accepting the checkpoint would resume the writer at a reused LSN
+    // below it, and every later recovery would silently drop the records
+    // written there.
+    let (probes, ops) = script(12, 786);
+    let dir = tmpdir("lost-final");
+    let mut store =
+        DurableEngine::create(&dir, base_engine(&probes), StoreOptions::default()).unwrap();
+    apply_durable(&mut store, &ops[..8]);
+    store.compact().unwrap();
+    apply_durable(&mut store, &ops[8..]);
+    drop(store);
+    let segments = lemp_store::wal::list_segments(&dir).unwrap();
+    assert_eq!(segments.len(), 1, "compaction left exactly the active segment");
+    std::fs::remove_file(&segments[0].1).unwrap();
+    match recover(&dir) {
+        Err(StoreError::Corrupt { detail, .. }) => {
+            assert!(detail.contains("not bracketed"), "{detail}")
+        }
+        other => panic!("lost final segment not detected: {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn create_refuses_to_clobber_and_open_refuses_nothing() {
+    let (probes, _) = script(0, 785);
+    let dir = tmpdir("create-twice");
+    let store = DurableEngine::create(&dir, base_engine(&probes), StoreOptions::default()).unwrap();
+    drop(store);
+    assert!(DurableEngine::exists(&dir));
+    match DurableEngine::create(&dir, base_engine(&probes), StoreOptions::default()) {
+        Err(StoreError::Missing(msg)) => assert!(msg.contains("already holds"), "{msg}"),
+        other => panic!("re-create allowed: {other:?}"),
+    }
+    let (store, report) = DurableEngine::open(&dir, StoreOptions::default()).unwrap();
+    assert_eq!(report.records_replayed, 0);
+    assert_eq!(store.engine().len(), 60);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -21,6 +21,7 @@
 //! | [`approx`] | `lemp-approx` | approximate MIPS: ALSH/XBOX transforms, SRP-LSH, PCA-tree, query centroids |
 //! | [`data`] | `lemp-data` | Table-1-calibrated generators, SGD matrix factorization, IO, θ calibration |
 //! | [`linalg`] | `lemp-linalg` | vector stores, kernels, top-k selection, statistics |
+//! | [`store`] | `lemp-store` | durability: write-ahead log, snapshots, crash recovery for the dynamic engine |
 //!
 //! ## Example
 //!
@@ -48,6 +49,7 @@ pub use lemp_baselines as baselines;
 pub use lemp_core as core;
 pub use lemp_data as data;
 pub use lemp_linalg as linalg;
+pub use lemp_store as store;
 
 pub use lemp_core::{
     AboveThetaOutput, AdaptiveConfig, AdaptiveReport, AdaptiveSelector, BanditPolicy, BucketPolicy,

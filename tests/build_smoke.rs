@@ -99,4 +99,8 @@ fn documented_facade_reexports_resolve() {
     assert_exists::<LempBuilder>();
     assert_exists::<RunStats>();
     assert_exists::<TopKOutput>();
+    // The durability subsystem rides along under `lemp::store`.
+    assert_exists::<lemp::store::DurableEngine>();
+    assert_exists::<lemp::store::StoreOptions>();
+    assert_exists::<lemp::store::SyncPolicy>();
 }
