@@ -20,11 +20,14 @@
 //!   not), any mismatch exits non-zero.
 //! * `insert-probes=<n>` pushes `n` random probe vectors through
 //!   `POST /probes` (batches of 16) *before* the query phase — probe
-//!   churn for the durability crash drill. Incompatible with
+//!   churn for the durability crash drills. Works against every backend,
+//!   sharded ones included: the per-insert `shards` array in the reply is
+//!   accumulated into a routed-edit distribution. Incompatible with
 //!   `verify-probes=` (the inserted vectors are not in the matrix file).
 //! * `report=<path>` additionally writes the results as a machine-readable
-//!   JSON document (throughput, latency percentiles, verify counts) so CI
-//!   can archive perf trajectories as `BENCH_*.json` artifacts.
+//!   JSON document (throughput, latency percentiles, verify counts, and
+//!   `shard_inserts` — inserts absorbed per shard) so CI can archive perf
+//!   trajectories as `BENCH_*.json` artifacts.
 //! * `503` responses (load shedding) are counted, not retried.
 
 use std::sync::Mutex;
@@ -128,6 +131,10 @@ fn main() {
     // Probe churn ahead of the query phase: exercises the POST /probes
     // write path (and, on a durable server, the WAL) under a live engine.
     let mut inserted_probes = 0usize;
+    // Routed-edit distribution: how many of our inserts each shard
+    // absorbed, from the `shards` array the server reports per insert
+    // (single-engine servers report shard 0 for everything).
+    let mut shard_inserts: Vec<u64> = Vec::new();
     if insert_probes > 0 {
         let churn = GeneratorConfig::gaussian(insert_probes, dim, 1.0).generate(seed ^ 0x9E37_79B9);
         let mut lo = 0;
@@ -138,6 +145,15 @@ fn main() {
                 Ok((200, reply)) => {
                     inserted_probes +=
                         reply.get("inserted").and_then(Json::as_arr).map_or(0, |a| a.len());
+                    if let Some(shards) = reply.get("shards").and_then(Json::as_arr) {
+                        for shard in shards {
+                            let shard = shard.as_u64().unwrap_or(0) as usize;
+                            if shard >= shard_inserts.len() {
+                                shard_inserts.resize(shard + 1, 0);
+                            }
+                            shard_inserts[shard] += 1;
+                        }
+                    }
                 }
                 Ok((status, reply)) => {
                     eprintln!("loadgen: POST /probes returned {status}: {reply:?}");
@@ -154,7 +170,12 @@ fn main() {
             eprintln!("loadgen: asked for {insert_probes} inserts, server took {inserted_probes}");
             std::process::exit(1);
         }
-        eprintln!("loadgen: inserted {inserted_probes} probes before the query phase");
+        let spread: Vec<String> = shard_inserts.iter().map(u64::to_string).collect();
+        eprintln!(
+            "loadgen: inserted {inserted_probes} probes before the query phase \
+             (per shard: [{}])",
+            spread.join(", ")
+        );
     }
 
     let queries = GeneratorConfig::gaussian(requests * qpr, dim, 1.0).generate(seed);
@@ -373,6 +394,14 @@ fn main() {
             ("shed", Json::Num(shed as f64)),
             ("errors", Json::Num(errors as f64)),
             ("inserted_probes", Json::Num(inserted_probes as f64)),
+            (
+                "shard_inserts",
+                if shard_inserts.is_empty() {
+                    Json::Null
+                } else {
+                    Json::Arr(shard_inserts.iter().map(|&n| Json::Num(n as f64)).collect())
+                },
+            ),
             ("wall_seconds", Json::Num(wall)),
             ("throughput_rps", Json::Num(ok as f64 / wall)),
             ("throughput_qps", Json::Num((ok * qpr) as f64 / wall)),

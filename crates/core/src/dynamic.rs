@@ -156,7 +156,7 @@ impl DynamicLemp {
         MethodScratch::new(runner::max_bucket_len(&self.buckets))
     }
 
-    fn warm_state(&self, caller: &str) -> &WarmState {
+    pub(crate) fn warm_state(&self, caller: &str) -> &WarmState {
         self.warm.as_ref().unwrap_or_else(|| {
             panic!("{caller} requires a warmed engine: call DynamicLemp::warm first")
         })
@@ -221,9 +221,22 @@ impl DynamicLemp {
         (id as usize) < self.alive.len() && self.alive[id as usize]
     }
 
-    /// The id the next [`Self::insert`] will return.
+    /// The id the next [`Self::insert`] will return — the id-space
+    /// watermark (ids below it are allocated, live or dead; ids at or
+    /// above it are free).
     pub fn next_id(&self) -> u32 {
         self.id_len.len() as u32
+    }
+
+    /// The run configuration this engine executes with.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// A fresh [`AdaptiveSelector`] sized for this engine's current
+    /// bucketization, for the adaptive (bandit) drivers.
+    pub fn adaptive_selector(&self, acfg: &crate::adaptive::AdaptiveConfig) -> AdaptiveSelector {
+        AdaptiveSelector::new(*acfg, self.buckets.bucket_count(), self.buckets.dim())
     }
 
     /// Current number of buckets.
@@ -231,20 +244,43 @@ impl DynamicLemp {
         self.buckets.bucket_count()
     }
 
-    /// Inserts a probe vector; returns its stable id.
+    /// Inserts a probe vector; returns its stable id (the current
+    /// watermark).
     ///
     /// # Errors
     /// [`LinalgError::DimMismatch`] on wrong dimensionality and
     /// [`LinalgError::NonFinite`] if any coordinate is NaN or infinite.
     pub fn insert(&mut self, v: &[f64]) -> Result<u32, LinalgError> {
+        self.insert_with_id(self.next_id(), v)
+    }
+
+    /// Inserts a probe vector under a **caller-chosen id** at or above the
+    /// current watermark; ids skipped over become permanently dead (they
+    /// read as "never live"), so the id space may be sparse. This is how a
+    /// sharded engine routes globally allocated ids to shards — every
+    /// shard sees a strictly increasing but gappy id sequence — and how
+    /// store replay re-applies an insert at its recorded id.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimMismatch`] on wrong dimensionality and
+    /// [`LinalgError::NonFinite`] if any coordinate is NaN or infinite.
+    ///
+    /// # Panics
+    /// If `id` is below the watermark ([`DynamicLemp::next_id`]) — ids are
+    /// allocate-once, never reused — or the id space is exhausted.
+    pub fn insert_with_id(&mut self, id: u32, v: &[f64]) -> Result<u32, LinalgError> {
         if v.len() != self.dim() {
             return Err(LinalgError::DimMismatch { left: self.dim(), right: v.len() });
         }
         if let Some(index) = v.iter().position(|x| !x.is_finite()) {
             return Err(LinalgError::NonFinite { index });
         }
-        assert!(self.id_len.len() < u32::MAX as usize, "id space exhausted");
-        let id = self.id_len.len() as u32;
+        assert!(
+            id as usize >= self.id_len.len(),
+            "id {id} is below the watermark {} (ids are allocate-once)",
+            self.id_len.len()
+        );
+        assert!(id < u32::MAX, "id space exhausted");
         let len = kernels::norm(v);
 
         let ratio = self.policy.length_ratio;
@@ -318,6 +354,10 @@ impl DynamicLemp {
             }
         }
 
+        // Pad the id space up to `id` with dead filler (zeroed pages stay
+        // lazy), then allocate it.
+        self.id_len.resize(id as usize, 0.0);
+        self.alive.resize(id as usize, false);
         self.id_len.push(len);
         self.alive.push(true);
         self.live += 1;

@@ -26,25 +26,53 @@
 //! tags, finiteness, within-bucket length ordering, the inter-bucket
 //! ordering the retrieval loops rely on, and exact trailing length.
 //!
-//! The sharded engine ([`crate::ShardedLemp`]) persists a `LEMPSHD1`
-//! manifest that embeds one such image per shard (see [`crate::shard`]).
-//! **Legacy single-shard `LEMPENG1` files keep loading unchanged** through
-//! [`Lemp::load`] and everything built on it (`lemp serve`,
-//! [`crate::DynamicLemp::from_engine`]); the two formats share the `.eng`
-//! extension and are told apart by magic
-//! ([`crate::shard::is_sharded_image`]).
+//! The sharded engine ([`crate::ShardedLemp`]) persists a `LEMPSHD2`
+//! manifest — policy kind, shard count, length-band floors, then one
+//! length-prefixed `LEMPDYN1` image per shard (see [`crate::shard`]).
+//! **Legacy files keep loading unchanged**: single-shard `LEMPENG1`
+//! images through [`Lemp::load`] and everything built on it (`lemp
+//! serve`, [`crate::DynamicLemp::from_engine`]), and `LEMPSHD1`
+//! manifests (immutable `Lemp` shards) through [`crate::ShardedLemp`]'s
+//! reader; the formats share the `.eng` extension and are told apart by
+//! magic ([`crate::shard::is_sharded_image`]).
+//!
+//! # The sharded store layout
+//!
+//! `lemp-store` composes durability with sharding on top of these
+//! images. A **sharded store directory** is a root `MANIFEST` plus one
+//! ordinary single-engine store directory per shard:
+//!
+//! ```text
+//! store/
+//!   MANIFEST             "LEMPSHM1": policy tag, shard count,
+//!                        length-band floors, CRC-32 trailer
+//!   shard-000/           an ordinary store directory:
+//!     snap-<lsn>.eng       LEMPDYN1 snapshot image(s)
+//!     CHECKPOINT           marker (checkpoint LSN + snapshot length/CRC)
+//!     wal-<lsn>.log        LEMPWAL1 write-ahead segments
+//!   shard-001/ …
+//! ```
+//!
+//! Each shard logs exactly the edits routed to it, so a shard's WAL
+//! replays onto its own snapshot independently of its siblings; the
+//! manifest carries what per-shard images cannot — the routing policy
+//! and band floors that make placement deterministic across restarts.
+//! Recovery reassembles the full sharded engine and re-checks the
+//! cross-shard invariants (disjoint global id spaces, equal
+//! dimensionality).
 //!
 //! # The shared codec
 //!
-//! Every on-disk format in the LEMP family — `LEMPENG1`, `LEMPSHD1`,
-//! `LEMPDYN1` and the `lemp-store` durability files (`LEMPWAL1` write-ahead
-//! segments and their `CHECKPOINT` marker) — is built from the same four
-//! primitives: little-endian `u64`, IEEE-bits `f64`, and the
-//! truncation-aware readers that turn a short file into a
-//! [`PersistError::Format`] instead of a panic. They are exported here
-//! ([`write_u64`], [`write_f64`], [`read_u64`], [`read_f64`],
-//! [`expect_eof`]) so downstream crates encode with the *same* code rather
-//! than a copy that could drift.
+//! Every on-disk format in the LEMP family — `LEMPENG1`, `LEMPSHD1`/
+//! `LEMPSHD2`, `LEMPDYN1` and the `lemp-store` durability files
+//! (`LEMPWAL1` write-ahead segments, their `CHECKPOINT` marker, and the
+//! `LEMPSHM1` root manifest) — is built from the same four primitives:
+//! little-endian `u64`, IEEE-bits `f64`, and the truncation-aware
+//! readers that turn a short file into a [`PersistError::Format`]
+//! instead of a panic. They are exported here ([`write_u64`],
+//! [`write_f64`], [`read_u64`], [`read_f64`], [`expect_eof`]) so
+//! downstream crates encode with the *same* code rather than a copy that
+//! could drift.
 //!
 //! # Hostile-input hardening
 //!

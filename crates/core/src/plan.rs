@@ -273,6 +273,13 @@ impl PlanSegment {
         debug_assert_eq!(self.params.len(), buckets.bucket_count());
     }
 
+    /// Whether this segment was compiled against the current epoch of
+    /// `buckets`. Edits only touch the owning shard's buckets, so in a
+    /// sharded plan exactly the touched shard's segment goes stale.
+    pub(crate) fn is_fresh(&self, buckets: &ProbeBuckets) -> bool {
+        self.epoch == buckets.epoch()
+    }
+
     /// The tuned per-bucket parameters (aligned with the bucket list).
     pub fn params(&self) -> &[TunedParams] {
         &self.params
@@ -592,6 +599,14 @@ pub trait Engine: Send + Sync {
     /// `sample` and force-builds every bucket's indexes) — the mutable
     /// setup step before the immutable `plan`/`execute` phase.
     fn warm_up(&mut self, sample: &VectorStore, goal: WarmGoal) -> WarmReport;
+
+    /// Recompiles a plan after edits may have invalidated it. The default
+    /// recompiles from scratch; sharded engines override it to reuse every
+    /// segment whose shard is untouched and recompile only the stale ones
+    /// (edits staleness-stamp only the owning shard's segment).
+    fn refresh_plan(&self, plan: &QueryPlan) -> QueryPlan {
+        self.plan(plan.request())
+    }
 
     /// Convenience: `plan` + `execute` in one call (dyn-dispatchable).
     fn run(

@@ -8,7 +8,25 @@
 //! parallelism* — a single query batch fans out across every shard on the
 //! engine's thread pool — and as the stepping stone toward multi-process
 //! and multi-host deployments (each shard is a self-contained, separately
-//! persistable [`Lemp`]).
+//! persistable [`DynamicLemp`]).
+//!
+//! # Routed edits
+//!
+//! Shards are dynamic engines, so the sharded engine absorbs probe churn:
+//! [`ShardedLemp::insert`] allocates the next **global** id and routes the
+//! vector to a shard deterministically
+//! ([`ShardPolicyKind::route_insert`]: `id mod S` for round-robin and
+//! explicit engines, fixed length bands captured at build time for
+//! length-banded ones — the same id always lands on the same shard).
+//! [`ShardedLemp::remove`] and [`ShardedLemp::rebuild`] forward to the
+//! owning shard ([`ShardedLemp::owner_of`]). Global-id uniqueness holds by
+//! construction (one watermark allocator, disjoint routing) and is still
+//! enforced at the merge layer by [`ShardError::DuplicateGlobalId`] and at
+//! load time by [`ShardedLemp::from_shards`]. Edits re-index only the
+//! touched shard (warm shards stay warm, exactly as in
+//! [`DynamicLemp::insert`]) and staleness-stamp only that shard's
+//! [`PlanSegment`] — plans refresh cheaply via
+//! [`Engine::refresh_plan`], which recompiles just the stale segments.
 //!
 //! # Exactness across the merge boundary
 //!
@@ -48,13 +66,17 @@
 //!
 //! # Persistence
 //!
-//! [`ShardedLemp::save`] writes a `LEMPSHD1` manifest: the shard map
-//! header plus every shard's ordinary `LEMPENG1` image, length-prefixed.
-//! Loading re-validates each embedded image with the full single-engine
-//! checks *and* the cross-shard invariants (equal dimensionality, globally
-//! disjoint probe ids). Legacy single-shard `.eng` files keep loading
-//! through [`Lemp::load`] — the two formats are distinguished by magic
-//! (see [`is_sharded_image`]).
+//! [`ShardedLemp::save`] writes a `LEMPSHD2` manifest: the shard map
+//! header (policy kind, shard count, the fixed routing bands) plus every
+//! shard's ordinary `LEMPDYN1` dynamic-engine image, length-prefixed — so
+//! id watermarks and dead ids survive the round trip and edits continue
+//! seamlessly after a load. Loading re-validates each embedded image with
+//! the full single-engine checks *and* the cross-shard invariants (equal
+//! dimensionality, globally disjoint probe ids). Legacy `LEMPSHD1`
+//! manifests (immutable `LEMPENG1` shards) still load — each shard is
+//! wrapped as a dynamic engine with the default bucket policy — and
+//! legacy single-shard `.eng` files keep loading through [`Lemp::load`];
+//! the formats are distinguished by magic (see [`is_sharded_image`]).
 
 use std::cmp::Ordering;
 use std::collections::HashSet;
@@ -62,13 +84,14 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use lemp_linalg::{ScoredItem, VectorStore};
+use lemp_linalg::{kernels, LinalgError, ScoredItem, VectorStore};
 
 use crate::adaptive::{self, AdaptiveConfig, AdaptiveSelector};
 use crate::algos::MethodScratch;
 use crate::bucket::BucketPolicy;
+use crate::dynamic::DynamicLemp;
 use crate::exec::RunConfig;
-use crate::persist::{expect_eof, read_u64, write_u64, PersistError};
+use crate::persist::{expect_eof, read_f64, read_u64, write_f64, write_u64, PersistError};
 use crate::plan::{
     self, Engine, PlanSegment, Planner, QueryKind, QueryPlan, QueryRequest, QueryResponse, Scratch,
 };
@@ -149,6 +172,42 @@ pub enum ShardPolicyKind {
     LengthBanded,
     /// Built with [`ShardPolicy::Explicit`].
     Explicit,
+}
+
+impl ShardPolicyKind {
+    /// **Deterministic insert routing**: the shard a freshly allocated
+    /// global `id` with vector length `len` lands on. Round-robin and
+    /// explicit engines place by `id mod shards` (for round-robin this
+    /// extends the build-time assignment exactly); length-banded engines
+    /// place by the fixed band boundaries captured when the engine was
+    /// built (`bands[i]` is the lowest length band `i` covers, so the
+    /// vector goes to the first band that reaches down to `len`). The same
+    /// `(id, len)` always routes to the same shard — replaying an edit
+    /// sequence reproduces the exact same placement.
+    pub fn route_insert(self, id: u32, len: f64, bands: &[f64], shards: usize) -> usize {
+        debug_assert!(shards >= 1);
+        match self {
+            // `bands` is non-increasing; the partition point counts the
+            // bands whose floor lies strictly above `len`.
+            ShardPolicyKind::LengthBanded => {
+                bands.partition_point(|&b| b > len).min(shards.saturating_sub(1))
+            }
+            _ => (id as usize) % shards,
+        }
+    }
+
+    /// **Closed-form ownership**, when the policy defines one: round-robin
+    /// placement is `id mod shards` for build rows and routed inserts
+    /// alike, so the owner is computable without consulting the shards.
+    /// Length-banded and explicit placements depend on engine state
+    /// (vector lengths / an external table); resolve those through
+    /// [`ShardedLemp::owner_of`], which scans shard membership.
+    pub fn owner_of(self, id: u32, shards: usize) -> Option<usize> {
+        match self {
+            ShardPolicyKind::RoundRobin => Some((id as usize) % shards.max(1)),
+            _ => None,
+        }
+    }
 }
 
 fn kind_tag(kind: ShardPolicyKind) -> u8 {
@@ -366,17 +425,21 @@ impl ShardedLempBuilder {
         self
     }
 
-    /// Partitions `probes` and builds one engine per shard. Bucket ids
-    /// inside every shard are relabeled to the **global** row ids, so shard
-    /// outputs merge without translation.
+    /// Partitions `probes` and builds one dynamic engine per shard. Bucket
+    /// ids inside every shard are relabeled to the **global** row ids, so
+    /// shard outputs merge without translation; for length-banded engines
+    /// the band boundaries are captured here, once, and govern every
+    /// future routed insert (placement stays deterministic across edits
+    /// and rebuilds).
     pub fn build(self, probes: &VectorStore) -> ShardedLemp {
         let fan_out = self.config.threads;
         // Shard engines stay single-threaded: the sharded layer owns the
         // parallelism (one worker per shard), and nesting thread pools
         // would oversubscribe the cores.
         let shard_config = RunConfig { threads: 1, ..self.config };
+        let kind = self.policy.kind();
         let rows_per_shard = self.policy.partition(probes, self.shards);
-        let shards = rows_per_shard
+        let shards: Vec<DynamicLemp> = rows_per_shard
             .iter()
             .map(|rows| {
                 let sub = probes.select(rows);
@@ -393,25 +456,44 @@ impl ShardedLempBuilder {
                         *slot = rows[*slot as usize] as u32;
                     }
                 }
-                engine
+                DynamicLemp::from_engine(engine, self.bucket_policy)
             })
             .collect();
-        ShardedLemp {
-            shards,
-            kind: self.policy.kind(),
-            fan_out,
-            dim: probes.dim(),
-            total: probes.len(),
-            warm: false,
-        }
+        let bands = compute_bands(&shards, kind);
+        ShardedLemp { shards, kind, bands, fan_out, dim: probes.dim() }
     }
 }
 
-/// A shard-parallel LEMP engine: `S` independently warmed [`Lemp`] shards
-/// behind an exact merge layer. After [`ShardedLemp::warm`] all query
-/// methods run through `&self` with a caller-owned [`ShardScratch`], so
-/// one sharded engine serves any number of threads concurrently — exactly
-/// like [`Lemp`], scaled out.
+/// The fixed routing bands of a length-banded engine: `bands[i]` is the
+/// lowest vector length shard `i` covers (`i < S-1`; the last shard takes
+/// everything shorter). Derived from the shard contents at build/load time
+/// and never recomputed — routed placement must stay deterministic while
+/// edits reshape the shards. Empty shards inherit the previous boundary
+/// (an empty shard 0 gets `+∞`, i.e. routes nothing), keeping the band
+/// vector non-increasing.
+fn compute_bands(shards: &[DynamicLemp], kind: ShardPolicyKind) -> Vec<f64> {
+    if kind != ShardPolicyKind::LengthBanded || shards.len() <= 1 {
+        return Vec::new();
+    }
+    let mut bands = Vec::with_capacity(shards.len() - 1);
+    let mut prev = f64::INFINITY;
+    for shard in &shards[..shards.len() - 1] {
+        let floor = shard.buckets().buckets().last().map_or(prev, |b| b.min_len);
+        let floor = floor.min(prev);
+        bands.push(floor);
+        prev = floor;
+    }
+    bands
+}
+
+/// A shard-parallel LEMP engine: `S` independently warmed [`DynamicLemp`]
+/// shards behind an exact merge layer, with deterministic edit routing.
+/// After [`ShardedLemp::warm`] all query methods run through `&self` with
+/// a caller-owned [`ShardScratch`], so one sharded engine serves any
+/// number of threads concurrently — exactly like [`Lemp`], scaled out —
+/// while [`ShardedLemp::insert`]/[`ShardedLemp::remove`] (under the
+/// caller's write exclusivity) route edits to the owning shard and keep
+/// warm shards warm.
 ///
 /// ```
 /// use lemp_core::shard::{ShardPolicy, ShardedLemp};
@@ -435,13 +517,14 @@ impl ShardedLempBuilder {
 /// ```
 #[derive(Debug)]
 pub struct ShardedLemp {
-    /// One engine per shard; bucket ids are global probe ids.
-    shards: Vec<Lemp>,
+    /// One dynamic engine per shard; bucket ids are global probe ids.
+    shards: Vec<DynamicLemp>,
     kind: ShardPolicyKind,
+    /// Fixed routing bands of a length-banded engine (see
+    /// [`compute_bands`]); empty for every other policy.
+    bands: Vec<f64>,
     fan_out: usize,
     dim: usize,
-    total: usize,
-    warm: bool,
 }
 
 impl ShardedLemp {
@@ -460,14 +543,14 @@ impl ShardedLemp {
         self.shards.len()
     }
 
-    /// Total number of probe vectors across all shards.
+    /// Total number of **live** probe vectors across all shards.
     pub fn len(&self) -> usize {
-        self.total
+        self.shards.iter().map(DynamicLemp::len).sum()
     }
 
-    /// `true` if no shard holds any probes.
+    /// `true` if no shard holds any live probes.
     pub fn is_empty(&self) -> bool {
-        self.total == 0
+        self.len() == 0
     }
 
     /// Vector dimensionality.
@@ -475,14 +558,15 @@ impl ShardedLemp {
         self.dim
     }
 
-    /// Probe count per shard (the shard map, in shard order).
+    /// Live probe count per shard (the shard map, in shard order) — reads
+    /// the engines, so it stays accurate under edits.
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.buckets().total()).collect()
+        self.shards.iter().map(DynamicLemp::len).collect()
     }
 
     /// Total bucket count across all shards.
     pub fn bucket_count(&self) -> usize {
-        self.shards.iter().map(|s| s.buckets().bucket_count()).sum()
+        self.shards.iter().map(DynamicLemp::bucket_count).sum()
     }
 
     /// The partitioning family this engine was built (or loaded) with.
@@ -490,9 +574,94 @@ impl ShardedLemp {
         self.kind
     }
 
+    /// The fixed routing bands of a length-banded engine (empty for other
+    /// policies): `bands[i]` is the lowest length shard `i` covers.
+    pub fn bands(&self) -> &[f64] {
+        &self.bands
+    }
+
     /// The shard engines (inspection / tests). Bucket ids are global.
-    pub fn shards(&self) -> &[Lemp] {
+    pub fn shards(&self) -> &[DynamicLemp] {
         &self.shards
+    }
+
+    /// The id the next [`ShardedLemp::insert`] will return: the **global**
+    /// watermark, i.e. the maximum of the shard watermarks (every
+    /// allocated id raised its owner's watermark past itself, and
+    /// watermarks never shrink).
+    pub fn next_id(&self) -> u32 {
+        self.shards.iter().map(DynamicLemp::next_id).max().unwrap_or(0)
+    }
+
+    /// Whether `id` refers to a live probe in any shard.
+    pub fn contains(&self, id: u32) -> bool {
+        self.shards.iter().any(|s| s.contains(id))
+    }
+
+    /// The shard that holds the **live** probe `id`, or `None` when the id
+    /// is dead or unallocated. Round-robin ownership is closed-form
+    /// ([`ShardPolicyKind::owner_of`]); other policies scan shard
+    /// membership (`S` constant-time lookups).
+    pub fn owner_of(&self, id: u32) -> Option<usize> {
+        match self.kind.owner_of(id, self.shards.len()) {
+            Some(s) => self.shards[s].contains(id).then_some(s),
+            None => self.shards.iter().position(|s| s.contains(id)),
+        }
+    }
+
+    /// **Pure routing preview**: the `(id, shard)` the next insert of `v`
+    /// will produce, without mutating anything — how a write-ahead-logging
+    /// store records an insert's placement *before* applying it. The
+    /// vector must already be validated (finite, right dimensionality).
+    pub fn route_insert(&self, v: &[f64]) -> (u32, usize) {
+        let id = self.next_id();
+        let shard = self.kind.route_insert(id, kernels::norm(v), &self.bands, self.shards.len());
+        (id, shard)
+    }
+
+    /// **Routed insert**: allocates the next global id, routes it to its
+    /// shard ([`ShardPolicyKind::route_insert`]) and inserts there
+    /// ([`DynamicLemp::insert_with_id`]). A warm engine stays warm — only
+    /// the touched shard re-indexes, and only its [`PlanSegment`] goes
+    /// stale. Returns the stable global id.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimMismatch`] on wrong dimensionality and
+    /// [`LinalgError::NonFinite`] if any coordinate is NaN or infinite
+    /// (nothing changes on error).
+    pub fn insert(&mut self, v: &[f64]) -> Result<u32, LinalgError> {
+        if v.len() != self.dim {
+            return Err(LinalgError::DimMismatch { left: self.dim, right: v.len() });
+        }
+        if let Some(index) = v.iter().position(|x| !x.is_finite()) {
+            return Err(LinalgError::NonFinite { index });
+        }
+        let (id, shard) = self.route_insert(v);
+        let got = self.shards[shard].insert_with_id(id, v)?;
+        debug_assert_eq!(got, id);
+        Ok(id)
+    }
+
+    /// **Routed removal**: forwards to the owning shard
+    /// ([`ShardedLemp::owner_of`]); returns whether the id was live. A
+    /// dead or unallocated id is a no-op.
+    pub fn remove(&mut self, id: u32) -> bool {
+        match self.owner_of(id) {
+            Some(s) => self.shards[s].remove(id),
+            None => false,
+        }
+    }
+
+    /// **Per-shard rebuild** ([`DynamicLemp::rebuild`] on every shard,
+    /// fanned out across the thread pool): compacts each shard's
+    /// bucketization in place. Stable ids, shard placement and the routing
+    /// bands are all preserved — rebuilds never re-route probes, so
+    /// placement stays deterministic.
+    pub fn rebuild(&mut self) {
+        let chunk = self.chunk_size();
+        fan_out_chunks(self.shards.chunks_mut(chunk).collect(), |shards: &mut [DynamicLemp]| {
+            shards.iter_mut().map(DynamicLemp::rebuild).collect::<Vec<()>>()
+        });
     }
 
     /// Overrides the shard fan-out thread count (shard engines themselves
@@ -510,35 +679,53 @@ impl ShardedLemp {
     pub fn warm(&mut self, sample: &VectorStore, goal: WarmGoal) -> WarmReport {
         assert_eq!(sample.dim(), self.dim, "query/probe dimensionality mismatch");
         let chunk = self.chunk_size();
-        let reports: Vec<WarmReport> =
-            fan_out_chunks(self.shards.chunks_mut(chunk).collect(), |shards: &mut [Lemp]| {
-                shards.iter_mut().map(|s| s.warm(sample, goal)).collect()
-            });
+        let reports: Vec<WarmReport> = fan_out_chunks(
+            self.shards.chunks_mut(chunk).collect(),
+            |shards: &mut [DynamicLemp]| shards.iter_mut().map(|s| s.warm(sample, goal)).collect(),
+        );
         let mut report = WarmReport::default();
         for r in reports {
             report.indexes_built += r.indexes_built;
             report.build_ns += r.build_ns;
             report.tune_ns += r.tune_ns;
         }
-        self.warm = true;
         report
     }
 
     /// Whether [`ShardedLemp::warm`] has run (the `*_shared` methods are
-    /// usable).
+    /// usable). Warmth lives in the shards and survives edits — an insert
+    /// or removal re-indexes the touched shard inside the edit.
     pub fn is_warm(&self) -> bool {
-        self.warm
+        self.shards.iter().all(DynamicLemp::is_warm)
     }
 
     /// A [`ShardScratch`] sized for this engine (one per querying thread).
+    /// Scratch grows on demand, so it stays valid as edits reshape the
+    /// shards.
     pub fn make_scratch(&self) -> ShardScratch {
-        ShardScratch { per_shard: self.shards.iter().map(Lemp::make_scratch).collect() }
+        ShardScratch { per_shard: self.shards.iter().map(DynamicLemp::make_scratch).collect() }
     }
 
     /// Fresh per-shard selectors for the adaptive drivers, aligned with
     /// the shard list.
     pub fn adaptive_selectors(&self, acfg: &AdaptiveConfig) -> Vec<AdaptiveSelector> {
         self.shards.iter().map(|s| s.adaptive_selector(acfg)).collect()
+    }
+
+    /// Every live vector with its global id, concatenated shard by shard
+    /// (mirrors [`DynamicLemp::live_vectors`]) — `ids[i]` is the stable
+    /// global id of row `i` in the returned store.
+    pub fn live_vectors(&self) -> (Vec<u32>, VectorStore) {
+        let mut ids = Vec::with_capacity(self.len());
+        let mut store = VectorStore::empty(self.dim).expect("dim > 0");
+        for shard in &self.shards {
+            let (shard_ids, vectors) = shard.live_vectors();
+            for (i, &id) in shard_ids.iter().enumerate() {
+                ids.push(id);
+                store.push(vectors.vector(i)).expect("same dimensionality");
+            }
+        }
+        (ids, store)
     }
 
     /// Exactly `min(max, len)` probe vectors, strided across every shard's
@@ -549,13 +736,14 @@ impl ShardedLemp {
     /// count comes out exact regardless of shard-size skew.
     pub fn sample_vectors(&self, max: usize) -> VectorStore {
         let mut store = VectorStore::empty(self.dim).expect("dim > 0");
-        if self.total == 0 || max == 0 {
+        let total = self.len();
+        if total == 0 || max == 0 {
             return store;
         }
-        let mut nonempty: Vec<&Lemp> =
+        let mut nonempty: Vec<&DynamicLemp> =
             self.shards.iter().filter(|s| s.buckets().total() > 0).collect();
         nonempty.sort_by_key(|s| s.buckets().total());
-        let mut remaining = max.min(self.total);
+        let mut remaining = max.min(total);
         for (i, shard) in nonempty.iter().enumerate() {
             if remaining == 0 {
                 break;
@@ -583,7 +771,7 @@ impl ShardedLemp {
     }
 
     fn assert_ready(&self, caller: &str, scratch: &ShardScratch) {
-        assert!(self.warm, "{caller} requires a warmed engine: call ShardedLemp::warm first");
+        assert!(self.is_warm(), "{caller} requires a warmed engine: call ShardedLemp::warm first");
         assert_eq!(
             scratch.per_shard.len(),
             self.shards.len(),
@@ -598,7 +786,7 @@ impl ShardedLemp {
         &self,
         scratches: &mut [MethodScratch],
         params: &[&[TunedParams]],
-        f: impl Fn(&Lemp, &mut MethodScratch, &[TunedParams]) -> T + Sync,
+        f: impl Fn(&DynamicLemp, &mut MethodScratch, &[TunedParams]) -> T + Sync,
     ) -> Vec<T> {
         let chunk = self.chunk_size();
         let f = &f;
@@ -610,7 +798,7 @@ impl ShardedLemp {
                 .map(|((shards, scratches), params)| (shards, scratches, params))
                 .collect(),
             move |(shards, scratches, params): (
-                &[Lemp],
+                &[DynamicLemp],
                 &mut [MethodScratch],
                 &[&[TunedParams]],
             )| {
@@ -982,12 +1170,68 @@ impl ShardedLemp {
             .collect()
     }
 
-    /// Serializes the sharded engine as a `LEMPSHD1` manifest: policy
-    /// kind, shard count, then every shard's ordinary engine image,
-    /// length-prefixed. The fan-out thread count is deliberately **not**
-    /// persisted — it is a machine-specific runtime knob (loaders pick
-    /// their own via [`ShardedLemp::set_threads`]), not a property of the
-    /// data.
+    /// Assembles a sharded engine from independently built (or recovered)
+    /// dynamic shards — the constructor a sharded store uses after
+    /// per-shard crash recovery. Validates the cross-shard invariants the
+    /// routed-edit machinery relies on: at least one shard, equal
+    /// dimensionality everywhere, globally disjoint live probe ids, and a
+    /// well-formed band vector (`S-1` non-increasing, non-NaN boundaries
+    /// for a length-banded engine; empty otherwise).
+    ///
+    /// # Errors
+    /// [`PersistError::Format`] describing the violated invariant.
+    pub fn from_shards(
+        shards: Vec<DynamicLemp>,
+        kind: ShardPolicyKind,
+        bands: Vec<f64>,
+    ) -> Result<Self, PersistError> {
+        if shards.is_empty() {
+            return Err(PersistError::Format("a sharded engine needs at least one shard".into()));
+        }
+        let dim = shards[0].dim();
+        for (s, shard) in shards.iter().enumerate().skip(1) {
+            if shard.dim() != dim {
+                return Err(PersistError::Format(format!(
+                    "shard {s} has dimensionality {}, shard 0 has {dim}",
+                    shard.dim()
+                )));
+            }
+        }
+        let mut seen_ids: HashSet<u32> = HashSet::new();
+        for shard in &shards {
+            for bucket in shard.buckets().buckets() {
+                for &id in &bucket.ids {
+                    if !seen_ids.insert(id) {
+                        return Err(PersistError::Format(format!(
+                            "probe id {id} appears in more than one shard"
+                        )));
+                    }
+                }
+            }
+        }
+        let expected_bands =
+            if kind == ShardPolicyKind::LengthBanded { shards.len() - 1 } else { 0 };
+        if bands.len() != expected_bands {
+            return Err(PersistError::Format(format!(
+                "{} routing bands, policy needs {expected_bands}",
+                bands.len()
+            )));
+        }
+        if bands.iter().any(|b| b.is_nan()) || bands.windows(2).any(|w| w[0] < w[1]) {
+            return Err(PersistError::Format(
+                "routing bands must be non-increasing and non-NaN".into(),
+            ));
+        }
+        Ok(Self { shards, kind, bands, fan_out: 1, dim })
+    }
+
+    /// Serializes the sharded engine as a `LEMPSHD2` manifest: policy
+    /// kind, shard count, the fixed routing bands, then every shard's
+    /// ordinary `LEMPDYN1` dynamic-engine image, length-prefixed (so id
+    /// watermarks and dead ids survive). The fan-out thread count is
+    /// deliberately **not** persisted — it is a machine-specific runtime
+    /// knob (loaders pick their own via [`ShardedLemp::set_threads`]), not
+    /// a property of the data.
     ///
     /// # Errors
     /// Propagates write failures.
@@ -996,6 +1240,10 @@ impl ShardedLemp {
         w.write_all(SHARD_MAGIC)?;
         w.write_all(&[kind_tag(self.kind)])?;
         write_u64(&mut w, self.shards.len() as u64)?;
+        write_u64(&mut w, self.bands.len() as u64)?;
+        for &band in &self.bands {
+            write_f64(&mut w, band)?;
+        }
         for shard in &self.shards {
             let mut image = Vec::new();
             shard.write_to(&mut image)?;
@@ -1014,10 +1262,13 @@ impl ShardedLemp {
         self.write_to(File::create(path)?)
     }
 
-    /// Deserializes a manifest written by [`ShardedLemp::write_to`]. Every
-    /// embedded shard image passes the full single-engine validation, and
-    /// the cross-shard invariants are checked on top: at least one shard,
-    /// equal dimensionality everywhere, and globally disjoint probe ids.
+    /// Deserializes a manifest written by [`ShardedLemp::write_to`]
+    /// (`LEMPSHD2`, dynamic shards) or by a pre-dynamic version of it
+    /// (`LEMPSHD1`, immutable shards — each is wrapped as a dynamic engine
+    /// under the default bucket policy, with routing bands derived from
+    /// the shard contents). Every embedded shard image passes the full
+    /// single-engine validation, and the cross-shard invariants are
+    /// checked on top by [`ShardedLemp::from_shards`].
     ///
     /// # Errors
     /// [`PersistError::Format`] on bad magic or any validation failure;
@@ -1027,9 +1278,11 @@ impl ShardedLemp {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)
             .map_err(|_| PersistError::Format("file too short for magic".into()))?;
-        if &magic != SHARD_MAGIC {
-            return Err(PersistError::Format(format!("bad magic {magic:?}")));
-        }
+        let legacy = match &magic {
+            m if m == SHARD_MAGIC => false,
+            m if m == SHARD_MAGIC_V1 => true,
+            _ => return Err(PersistError::Format(format!("bad magic {magic:?}"))),
+        };
         let mut tag = [0u8; 1];
         r.read_exact(&mut tag)
             .map_err(|_| PersistError::Format("truncated shard policy tag".into()))?;
@@ -1041,10 +1294,23 @@ impl ShardedLemp {
         if count > 1 << 16 {
             return Err(PersistError::Format(format!("implausible shard count {count}")));
         }
+        let bands = if legacy {
+            Vec::new() // derived from the shard contents below
+        } else {
+            let n = read_u64(&mut r, "band count")? as usize;
+            let expected = if kind == ShardPolicyKind::LengthBanded { count - 1 } else { 0 };
+            if n != expected {
+                return Err(PersistError::Format(format!(
+                    "{n} routing bands, policy needs {expected}"
+                )));
+            }
+            let mut bands = Vec::with_capacity(n);
+            for _ in 0..n {
+                bands.push(read_f64(&mut r, "routing band")?);
+            }
+            bands
+        };
         let mut shards = Vec::with_capacity(count);
-        let mut seen_ids: HashSet<u32> = HashSet::new();
-        let mut dim = 0usize;
-        let mut total = 0usize;
         for s in 0..count {
             let len = read_u64(&mut r, "shard image length")?;
             let mut image = Vec::new();
@@ -1052,32 +1318,22 @@ impl ShardedLemp {
             if image.len() as u64 != len {
                 return Err(PersistError::Format(format!("shard {s}: truncated image")));
             }
-            let shard = Lemp::read_from(&image[..])
-                .map_err(|e| PersistError::Format(format!("shard {s}: {e}")))?;
-            if s == 0 {
-                dim = shard.buckets().dim();
-            } else if shard.buckets().dim() != dim {
-                return Err(PersistError::Format(format!(
-                    "shard {s} has dimensionality {}, shard 0 has {dim}",
-                    shard.buckets().dim()
-                )));
-            }
-            for bucket in shard.buckets().buckets() {
-                for &id in &bucket.ids {
-                    if !seen_ids.insert(id) {
-                        return Err(PersistError::Format(format!(
-                            "probe id {id} appears in more than one shard"
-                        )));
-                    }
-                }
-            }
-            total += shard.buckets().total();
+            let shard = if legacy {
+                let engine = Lemp::read_from(&image[..])
+                    .map_err(|e| PersistError::Format(format!("shard {s}: {e}")))?;
+                DynamicLemp::from_engine(engine, BucketPolicy::default())
+            } else {
+                DynamicLemp::read_from(&image[..])
+                    .map_err(|e| PersistError::Format(format!("shard {s}: {e}")))?
+            };
             shards.push(shard);
         }
         expect_eof(&mut r)?;
+        let bands = if legacy { compute_bands(&shards, kind) } else { bands };
         // Fan-out is a runtime knob of the loading machine, not of the
-        // image: start serial and let the loader call `set_threads`.
-        Ok(Self { shards, kind, fan_out: 1, dim, total, warm: false })
+        // image: `from_shards` starts serial and the loader picks its own
+        // via `set_threads`.
+        Self::from_shards(shards, kind, bands)
     }
 
     /// Loads a sharded engine from a file (see
@@ -1092,7 +1348,10 @@ impl ShardedLemp {
 
 impl Engine for ShardedLemp {
     fn plan(&self, request: &QueryRequest) -> QueryPlan {
-        assert!(self.warm, "Engine::plan requires a warmed engine: call ShardedLemp::warm first");
+        assert!(
+            self.is_warm(),
+            "Engine::plan requires a warmed engine: call ShardedLemp::warm first"
+        );
         let segments = self
             .shards
             .iter()
@@ -1114,7 +1373,7 @@ impl Engine for ShardedLemp {
         scratch: &mut Scratch,
     ) -> QueryResponse {
         assert!(
-            self.warm,
+            self.is_warm(),
             "Engine::execute requires a warmed engine: call ShardedLemp::warm first"
         );
         let segments = plan.segments();
@@ -1135,11 +1394,11 @@ impl Engine for ShardedLemp {
     }
 
     fn query_scratch(&self) -> Scratch {
-        Scratch::sharded(self.shards.iter().map(Lemp::make_scratch).collect())
+        Scratch::sharded(self.shards.iter().map(DynamicLemp::make_scratch).collect())
     }
 
     fn probes(&self) -> usize {
-        self.total
+        self.len()
     }
 
     fn dim(&self) -> usize {
@@ -1147,7 +1406,7 @@ impl Engine for ShardedLemp {
     }
 
     fn is_warm(&self) -> bool {
-        self.warm
+        ShardedLemp::is_warm(self)
     }
 
     fn shard_count(&self) -> usize {
@@ -1157,13 +1416,48 @@ impl Engine for ShardedLemp {
     fn warm_up(&mut self, sample: &VectorStore, goal: WarmGoal) -> WarmReport {
         ShardedLemp::warm(self, sample, goal)
     }
+
+    /// **Segment-granular refresh**: edits staleness-stamp only the owning
+    /// shard's buckets, so every untouched shard's segment is reused
+    /// verbatim and only the stale ones recompile.
+    fn refresh_plan(&self, plan: &QueryPlan) -> QueryPlan {
+        assert!(
+            self.is_warm(),
+            "Engine::refresh_plan requires a warmed engine: call ShardedLemp::warm first"
+        );
+        if plan.segments().len() != self.shards.len() {
+            // The shard layout itself changed (different engine): recompile.
+            return self.plan(plan.request());
+        }
+        let segments = plan
+            .segments()
+            .iter()
+            .zip(&self.shards)
+            .map(|(segment, shard)| {
+                if segment.is_fresh(shard.buckets()) {
+                    segment.clone()
+                } else {
+                    Planner::segment(
+                        shard.buckets(),
+                        shard.config(),
+                        &shard.warm_state("Engine::refresh_plan").per_bucket,
+                    )
+                }
+            })
+            .collect();
+        QueryPlan::new(*plan.request(), segments)
+    }
 }
 
-const SHARD_MAGIC: &[u8; 8] = b"LEMPSHD1";
+const SHARD_MAGIC: &[u8; 8] = b"LEMPSHD2";
+/// The pre-dynamic manifest magic (immutable `LEMPENG1` shards): still
+/// readable, never written.
+const SHARD_MAGIC_V1: &[u8; 8] = b"LEMPSHD1";
 
-/// Whether the file at `path` is a sharded (`LEMPSHD1`) engine manifest,
-/// as opposed to a legacy single-shard (`LEMPENG1`) image — both use the
-/// `.eng` extension, so services sniff the magic to pick the loader.
+/// Whether the file at `path` is a sharded engine manifest (`LEMPSHD2` or
+/// legacy `LEMPSHD1`), as opposed to a single-shard (`LEMPENG1` /
+/// `LEMPDYN1`) image — all use the `.eng` extension, so services sniff
+/// the magic to pick the loader.
 ///
 /// # Errors
 /// Propagates filesystem errors (a too-short file reads as "not sharded").
@@ -1171,7 +1465,7 @@ pub fn is_sharded_image(path: &Path) -> Result<bool, PersistError> {
     let mut magic = [0u8; 8];
     let mut f = File::open(path)?;
     match f.read_exact(&mut magic) {
-        Ok(()) => Ok(&magic == SHARD_MAGIC),
+        Ok(()) => Ok(&magic == SHARD_MAGIC || &magic == SHARD_MAGIC_V1),
         // Shorter than any magic: certainly not a sharded manifest. Real
         // I/O failures still surface instead of silently reading as
         // "single-shard" and failing later with a misleading format error.
@@ -1372,24 +1666,168 @@ mod tests {
     fn manifest_rejects_overlapping_shard_ids() {
         // Hand-build a manifest whose two shards are the *same* image:
         // every probe id collides.
-        let (q, p) = data(5, 30, 70);
-        let single = {
-            let mut e = Lemp::builder().sample_size(4).build(&p);
-            e.warm(&q, WarmGoal::TopK(2));
-            e
-        };
+        let (_, p) = data(5, 30, 70);
+        let single = DynamicLemp::new(&p, BucketPolicy::default(), RunConfig::default());
         let mut image = Vec::new();
         single.write_to(&mut image).unwrap();
         let mut buf = Vec::new();
         buf.extend_from_slice(SHARD_MAGIC);
         buf.push(0); // round-robin tag
         buf.extend_from_slice(&2u64.to_le_bytes()); // shard count
+        buf.extend_from_slice(&0u64.to_le_bytes()); // band count
         for _ in 0..2 {
             buf.extend_from_slice(&(image.len() as u64).to_le_bytes());
             buf.extend_from_slice(&image);
         }
         let err = ShardedLemp::read_from(&buf[..]).unwrap_err();
         assert!(err.to_string().contains("more than one shard"), "{err}");
+    }
+
+    #[test]
+    fn legacy_v1_manifests_still_load() {
+        // Hand-build a LEMPSHD1 manifest (immutable Lemp shards) and check
+        // it loads as a dynamic sharded engine that accepts edits.
+        let (q, p) = data(10, 60, 71);
+        let lengths = p.lengths();
+        let mut order: Vec<usize> = (0..60).collect();
+        order.sort_by(|&a, &b| lengths[b].total_cmp(&lengths[a]).then(a.cmp(&b)));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(SHARD_MAGIC_V1);
+        buf.push(1); // length-banded tag
+        buf.extend_from_slice(&2u64.to_le_bytes()); // shard count
+        for rows in [&order[..30], &order[30..]] {
+            let sub = p.select(rows);
+            let mut shard = Lemp::builder().sample_size(4).build(&sub);
+            for bucket in shard.buckets_mut().buckets_mut() {
+                for slot in &mut bucket.ids {
+                    *slot = rows[*slot as usize] as u32;
+                }
+            }
+            let mut image = Vec::new();
+            shard.write_to(&mut image).unwrap();
+            buf.extend_from_slice(&(image.len() as u64).to_le_bytes());
+            buf.extend_from_slice(&image);
+        }
+        let mut loaded = ShardedLemp::read_from(&buf[..]).unwrap();
+        assert_eq!(loaded.shard_count(), 2);
+        assert_eq!(loaded.len(), 60);
+        assert_eq!(loaded.policy_kind(), ShardPolicyKind::LengthBanded);
+        assert_eq!(loaded.bands().len(), 1, "bands derive from the legacy shard contents");
+        assert_eq!(loaded.next_id(), 60);
+        // The legacy engine is mutable after load.
+        let id = loaded.insert(&[0.5; 8]).unwrap();
+        assert_eq!(id, 60);
+        assert!(loaded.remove(id));
+        loaded.warm(&q, WarmGoal::TopK(3));
+        let mut scratch = loaded.make_scratch();
+        let top = loaded.row_top_k_shared(&q, 3, &mut scratch);
+        let (expect, _) = Naive.row_top_k(&q, &p, 3);
+        assert!(topk_equivalent(&top.lists, &expect, 1e-9));
+    }
+
+    #[test]
+    fn routed_edits_match_unsharded_dynamic_engine() {
+        // The acceptance criterion in miniature: the same edit script on a
+        // sharded and an unsharded engine answers bit-identically.
+        let (q, p) = data(15, 120, 72);
+        for policy in [ShardPolicy::RoundRobin, ShardPolicy::LengthBanded] {
+            let mut sharded =
+                ShardedLemp::builder().shards(3).policy(policy.clone()).sample_size(8).build(&p);
+            let mut single = DynamicLemp::new(&p, BucketPolicy::default(), RunConfig::default());
+            let extra = GeneratorConfig::gaussian(30, 8, 1.5).generate(73);
+            for i in 0..extra.len() {
+                let a = sharded.insert(extra.vector(i)).unwrap();
+                let b = single.insert(extra.vector(i)).unwrap();
+                assert_eq!(a, b, "global id allocation diverged ({policy:?})");
+            }
+            for id in (0..140u32).step_by(3) {
+                assert_eq!(sharded.remove(id), single.remove(id), "{policy:?}: removal of {id}");
+            }
+            sharded.rebuild();
+            assert_eq!(sharded.len(), single.len());
+            assert_eq!(sharded.next_id(), single.next_id());
+            sharded.warm(&q, WarmGoal::TopK(5));
+            let mut scratch = sharded.make_scratch();
+            let above = sharded.above_theta_shared(&q, 1.0, &mut scratch);
+            let expect = single.above_theta(&q, 1.0);
+            assert_eq!(
+                canonical_pairs(&above.entries),
+                canonical_pairs(&expect.entries),
+                "{policy:?}"
+            );
+            let top = sharded.row_top_k_shared(&q, 4, &mut scratch);
+            let expect = single.row_top_k(&q, 4);
+            assert!(topk_equivalent(&top.lists, &expect.lists, 0.0), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn insert_routing_is_deterministic_and_disjoint() {
+        let (_, p) = data(1, 50, 74);
+        let mut engine = ShardedLemp::builder()
+            .shards(3)
+            .policy(ShardPolicy::LengthBanded)
+            .sample_size(4)
+            .build(&p);
+        let bands = engine.bands().to_vec();
+        let extra = GeneratorConfig::gaussian(20, 8, 2.0).generate(75);
+        for i in 0..extra.len() {
+            let v = extra.vector(i);
+            let (id, shard) = engine.route_insert(v);
+            // The preview, the policy's closed form, and the actual insert
+            // all agree.
+            assert_eq!(
+                shard,
+                ShardPolicyKind::LengthBanded.route_insert(id, kernels::norm(v), &bands, 3)
+            );
+            let got = engine.insert(v).unwrap();
+            assert_eq!(got, id);
+            assert_eq!(engine.owner_of(id), Some(shard), "insert landed off its route");
+        }
+        // Rebuilds keep placement: owners do not move.
+        let owners: Vec<Option<usize>> =
+            (0..engine.next_id()).map(|i| engine.owner_of(i)).collect();
+        engine.rebuild();
+        let after: Vec<Option<usize>> = (0..engine.next_id()).map(|i| engine.owner_of(i)).collect();
+        assert_eq!(owners, after, "rebuild re-routed probes");
+        // Bands are fixed at build time.
+        assert_eq!(engine.bands(), bands.as_slice());
+    }
+
+    #[test]
+    fn refresh_plan_recompiles_only_the_touched_shard() {
+        let (q, p) = data(10, 90, 76);
+        let mut engine = warmed(&p, &q, 3, ShardPolicy::RoundRobin);
+        let request = QueryRequest::top_k(3);
+        let before = Engine::plan(&engine, &request);
+        // Route an insert; round-robin places id 90 on shard 90 % 3 == 0.
+        let id = engine.insert(&[1.5; 8]).unwrap();
+        assert_eq!(engine.owner_of(id), Some(0));
+        let after = engine.refresh_plan(&before);
+        assert_ne!(
+            before.segments()[0],
+            after.segments()[0],
+            "the touched shard's segment must recompile"
+        );
+        assert_eq!(before.segments()[1], after.segments()[1], "untouched segment reused");
+        assert_eq!(before.segments()[2], after.segments()[2], "untouched segment reused");
+        // The stale plan panics, the refreshed one executes.
+        let mut scratch = Engine::query_scratch(&engine);
+        let out = engine.execute(&after, &q, &mut scratch).into_top_k();
+        let (expect, _) = {
+            let (ids, live) = engine.live_vectors();
+            let (lists, stats) = Naive.row_top_k(&q, &live, 3);
+            let mapped: Vec<Vec<ScoredItem>> = lists
+                .iter()
+                .map(|l| {
+                    l.iter()
+                        .map(|it| ScoredItem { id: ids[it.id] as usize, score: it.score })
+                        .collect()
+                })
+                .collect();
+            (mapped, stats)
+        };
+        assert!(topk_equivalent(&out.lists, &expect, 1e-9));
     }
 
     #[test]

@@ -309,3 +309,111 @@ proptest! {
         prop_assert_eq!(kway_merge_topk(lists, k), Err(ShardError::DuplicateGlobalId(item.id)));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Property tests: routed edits — placement determinism across rebuilds and
+// differential conformance against the unsharded dynamic engine under
+// arbitrary insert/remove/rebuild interleavings.
+// ---------------------------------------------------------------------------
+
+/// One step of an edit script. `Insert` carries a seed for a deterministic
+/// vector; `Remove` selects the r-th live id at apply time (so scripts
+/// stay valid however earlier steps reshaped the engine).
+#[derive(Debug, Clone)]
+enum Edit {
+    Insert(u64),
+    Remove(usize),
+    Rebuild,
+}
+
+fn edit_script() -> impl Strategy<Value = Vec<Edit>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0u64..1000).prop_map(Edit::Insert),
+            2 => (0usize..64).prop_map(Edit::Remove),
+            1 => Just(Edit::Rebuild),
+        ],
+        0..=24,
+    )
+}
+
+/// Deterministic insert vector with varied length so the banded policy
+/// routes non-trivially.
+fn edit_vector(seed: u64) -> Vec<f64> {
+    (0..6u64).map(|i| ((seed * 31 + i * 7) % 13) as f64 * 0.25 - 0.75).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn routed_edit_scripts_match_the_unsharded_dynamic_engine(
+        script in edit_script(),
+        shards in 1usize..=4,
+        banded in 0u8..2,
+        seed in 0u64..4,
+    ) {
+        use lemp_core::{BucketPolicy, DynamicLemp, RunConfig};
+        let p = GeneratorConfig::gaussian(40, 6, 1.2).generate(6000 + seed);
+        let q = GeneratorConfig::gaussian(10, 6, 1.0).generate(6100 + seed);
+        let policy =
+            if banded == 1 { ShardPolicy::LengthBanded } else { ShardPolicy::RoundRobin };
+        let mut sharded =
+            ShardedLemp::builder().shards(shards).policy(policy).sample_size(8).build(&p);
+        let bucket_policy = BucketPolicy { min_bucket: 8, ..Default::default() };
+        let run_config = RunConfig { sample_size: 8, ..Default::default() };
+        let mut single = DynamicLemp::new(&p, bucket_policy, run_config);
+
+        for edit in &script {
+            match edit {
+                Edit::Insert(s) => {
+                    let v = edit_vector(*s);
+                    // Routing is deterministic: the preview pins (id, shard)
+                    // before the edit, and the edit lands exactly there.
+                    let (id, owner) = sharded.route_insert(&v);
+                    prop_assert_eq!(sharded.insert(&v).unwrap(), id);
+                    prop_assert_eq!(sharded.owner_of(id), Some(owner));
+                    let single_id = single.insert(&v).unwrap();
+                    prop_assert_eq!(single_id, id, "id allocation diverged from unsharded");
+                }
+                Edit::Remove(r) => {
+                    let (ids, _) = sharded.live_vectors();
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let id = ids[r % ids.len()];
+                    prop_assert!(sharded.remove(id));
+                    prop_assert!(single.remove(id));
+                }
+                Edit::Rebuild => {
+                    // Placement survives rebuilds: every live id keeps its
+                    // owner, so routing stays a pure function of the id
+                    // space, never of bucket layout.
+                    let owners: Vec<(u32, Option<usize>)> = {
+                        let (ids, _) = sharded.live_vectors();
+                        ids.iter().map(|&id| (id, sharded.owner_of(id))).collect()
+                    };
+                    sharded.rebuild();
+                    single.rebuild();
+                    for (id, owner) in owners {
+                        prop_assert_eq!(sharded.owner_of(id), owner, "rebuild moved id {}", id);
+                    }
+                }
+            }
+        }
+
+        // Differential conformance after the whole script: bit-identical
+        // answers (tolerance 0.0) for both query kinds.
+        sharded.warm(&q, WarmGoal::TopK(4));
+        let mut scratch = sharded.make_scratch();
+        let topk = sharded.row_top_k_shared(&q, 4, &mut scratch);
+        let expect = single.row_top_k(&q, 4);
+        prop_assert!(
+            topk_equivalent(&topk.lists, &expect.lists, 0.0),
+            "top-k diverged from the unsharded dynamic engine"
+        );
+        let above = sharded.above_theta_shared(&q, 0.9, &mut scratch);
+        let expect = single.above_theta(&q, 0.9);
+        prop_assert_eq!(canonical_pairs(&above.entries), canonical_pairs(&expect.entries));
+    }
+}

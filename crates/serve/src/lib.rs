@@ -21,18 +21,19 @@
 //! |---|---|---|
 //! | `POST /top-k` | `{"queries": [[f64; dim], …], "k": n, "floor"?: f}` | `{"lists": [[{"id", "score"}, …], …]}` |
 //! | `POST /above-theta` | `{"queries": [[f64; dim], …], "theta": f}` | `{"entries": [{"query", "probe", "value"}, …], "count": n}` |
-//! | `POST /probes` | `{"insert"?: [[f64; dim], …], "remove"?: [id, …]}` | `{"inserted": [id, …], "removed": [bool, …], "probes": n}` |
+//! | `POST /probes` | `{"insert"?: [[f64; dim], …], "remove"?: [id, …]}` | `{"inserted": [id, …], "shards": [s, …], "removed": [bool, …], "probes": n}` |
 //! | `GET /healthz` | — | `{"ok": true, "probes": n, "dim": d, "warm": true}` |
 //! | `GET /stats` | — | `{"counters": {…}, "engine": {…}}` |
 //!
 //! `query` indices in `/above-theta` responses are row indices *within the
-//! request*; `id`/`probe` are the engine's stable probe ids. Errors come
-//! back as `{"error": "message"}` with a 4xx/5xx status; `POST /probes`
-//! against a read-only (sharded) engine additionally carries a structured
-//! body (`"code": "probes_unsupported"`, `"engine": "sharded"`,
-//! `"shards": n`) so clients can branch without parsing prose. When the
-//! accept queue is full the server answers `503 {"error": "overloaded"}`
-//! immediately — load shedding, never head-of-line blocking.
+//! request*; `id`/`probe` are the engine's stable probe ids. `POST
+//! /probes` works against **every** backend — single or sharded, volatile
+//! or durable; the response's `shards` array reports the shard each insert
+//! was routed to (always `0` on a single engine), so load generators can
+//! observe the placement distribution. Errors come back as
+//! `{"error": "message"}` with a 4xx/5xx status. When the accept queue is
+//! full the server answers `503 {"error": "overloaded"}` immediately —
+//! load shedding, never head-of-line blocking.
 //!
 //! # Durable mode
 //!
@@ -43,6 +44,13 @@
 //! ([`lemp_store::recover`]). `/stats` then carries a `wal` object
 //! (`records_appended`/`records_durable`/`bytes_appended`/`fsyncs`/
 //! `segments_created`/`active_segment_bytes`) and `engine.durable: true`.
+//!
+//! Durability composes with sharding: a [`ShardedDurableEngine`] backend
+//! (`lemp serve … shards=N durable=<dir>`) routes each edit to the owning
+//! shard's log-then-apply path ([`lemp_store::recover_sharded`] reassembles
+//! the full engine after a crash). `/stats` then reports the live
+//! per-shard probe counts (`engine.shard_probes`), the aggregate `wal`
+//! object, and a per-shard `wal_shards` array.
 //!
 //! # Query dispatch
 //!
@@ -72,7 +80,7 @@ use lemp_core::{
     DynamicLemp, Engine, QueryPlan, QueryRequest, QueryRows, Scratch, ShardedLemp, WarmGoal,
 };
 use lemp_linalg::VectorStore;
-use lemp_store::{DurableEngine, StoreError};
+use lemp_store::{DurableEngine, ShardedDurableEngine, StoreError, WalStats};
 
 use http::{HttpError, Request};
 use json::{obj, Json};
@@ -170,13 +178,12 @@ impl ConnQueue {
     }
 }
 
-/// The engine behind a server: either a single dynamic engine (probe
-/// edits supported) or a shard-parallel [`ShardedLemp`] (read-only probe
-/// set; a query batch fans out across all shards). **All query traffic
-/// flows through the [`Engine`] trait** ([`ServeEngine::as_engine`]) —
-/// the variants exist only for the *edit* path (`POST /probes`) and the
-/// `/stats` shard map; the handlers never match on the engine kind to
-/// answer a query.
+/// The engine behind a server: sharding and durability compose freely —
+/// every variant takes probe edits through `POST /probes`. **All query
+/// traffic flows through the [`Engine`] trait**
+/// ([`ServeEngine::as_engine`]) — the variants exist only for the *edit*
+/// path (`POST /probes`) and the `/stats` shard map; the handlers never
+/// match on the engine kind to answer a query.
 pub enum ServeEngine {
     /// One [`DynamicLemp`] — the PR-2 serving mode, `POST /probes` works
     /// but edits live only in memory.
@@ -187,9 +194,15 @@ pub enum ServeEngine {
     /// probe set with `lemp recover`/[`lemp_store::recover`]. `/stats`
     /// additionally reports the WAL counters.
     Durable(Box<DurableEngine>),
-    /// A [`ShardedLemp`] — shard-parallel queries, probe edits rejected
-    /// with a structured `400` (shard routing of edits is a future step).
+    /// A [`ShardedLemp`] — shard-parallel queries; probe edits are routed
+    /// to the owning shard ([`ShardedLemp::insert`]/
+    /// [`ShardedLemp::owner_of`]) but live only in memory.
     Sharded(ShardedLemp),
+    /// A [`ShardedDurableEngine`] — shard-parallel queries *and* durable
+    /// routed edits: each edit is appended to the owning shard's
+    /// write-ahead log before it is applied, so a crashed server recovers
+    /// every shard with `lemp recover`/[`lemp_store::recover_sharded`].
+    ShardedDurable(Box<ShardedDurableEngine>),
 }
 
 impl From<DynamicLemp> for ServeEngine {
@@ -210,6 +223,12 @@ impl From<ShardedLemp> for ServeEngine {
     }
 }
 
+impl From<ShardedDurableEngine> for ServeEngine {
+    fn from(engine: ShardedDurableEngine) -> Self {
+        ServeEngine::ShardedDurable(Box::new(engine))
+    }
+}
+
 impl ServeEngine {
     /// The unified query handle: every request is planned and executed
     /// through this trait object, whatever the backend.
@@ -218,6 +237,7 @@ impl ServeEngine {
             ServeEngine::Dynamic(e) => e,
             ServeEngine::Durable(e) => e.as_ref(),
             ServeEngine::Sharded(e) => e,
+            ServeEngine::ShardedDurable(e) => e.as_ref(),
         }
     }
 
@@ -247,13 +267,40 @@ impl ServeEngine {
             ServeEngine::Dynamic(e) => e.bucket_count(),
             ServeEngine::Durable(e) => e.engine().bucket_count(),
             ServeEngine::Sharded(e) => e.bucket_count(),
+            ServeEngine::ShardedDurable(e) => e.engine().bucket_count(),
         }
     }
 
-    /// WAL counters when the backend is durable, `None` otherwise.
-    pub fn wal_stats(&self) -> Option<lemp_store::WalStats> {
+    /// Whether edits are write-ahead logged.
+    pub fn is_durable(&self) -> bool {
+        matches!(self, ServeEngine::Durable(_) | ServeEngine::ShardedDurable(_))
+    }
+
+    /// WAL counters when the backend is durable (summed across shards for
+    /// a sharded store), `None` otherwise.
+    pub fn wal_stats(&self) -> Option<WalStats> {
         match self {
             ServeEngine::Durable(e) => Some(e.wal_stats()),
+            ServeEngine::ShardedDurable(e) => {
+                Some(e.wal_stats().into_iter().fold(WalStats::default(), |mut sum, s| {
+                    sum.records_appended += s.records_appended;
+                    sum.records_durable += s.records_durable;
+                    sum.bytes_appended += s.bytes_appended;
+                    sum.fsyncs += s.fsyncs;
+                    sum.segments_created += s.segments_created;
+                    sum.active_segment_bytes += s.active_segment_bytes;
+                    sum
+                }))
+            }
+            _ => None,
+        }
+    }
+
+    /// Per-shard WAL counters when the backend is sharded *and* durable,
+    /// `None` otherwise.
+    pub fn shard_wal_stats(&self) -> Option<Vec<WalStats>> {
+        match self {
+            ServeEngine::ShardedDurable(e) => Some(e.wal_stats()),
             _ => None,
         }
     }
@@ -263,13 +310,15 @@ impl ServeEngine {
         self.as_engine().shard_count()
     }
 
-    /// Probe count per shard (a one-element vector for the dynamic
-    /// engine) — the `/stats` shard map.
+    /// Live probe count per shard (a one-element vector for the dynamic
+    /// engine) — the `/stats` shard map. Computed from the engine on every
+    /// call, so routed edits show up immediately.
     pub fn shard_sizes(&self) -> Vec<usize> {
         match self {
             ServeEngine::Dynamic(e) => vec![e.len()],
             ServeEngine::Durable(e) => vec![e.engine().len()],
             ServeEngine::Sharded(e) => e.shard_sizes(),
+            ServeEngine::ShardedDurable(e) => e.engine().shard_sizes(),
         }
     }
 
@@ -296,6 +345,10 @@ impl ServeEngine {
             }
             ServeEngine::Sharded(engine) => {
                 let sample = engine.sample_vectors(256);
+                engine.warm(&sample, WarmGoal::TopK(10));
+            }
+            ServeEngine::ShardedDurable(engine) => {
+                let sample = engine.engine().sample_vectors(256);
                 engine.warm(&sample, WarmGoal::TopK(10));
             }
         }
@@ -567,25 +620,30 @@ fn dispatch(
                 ("warm", Json::Bool(engine.is_warm())),
                 ("shards", Json::Num(engine.shard_count() as f64)),
                 ("shard_probes", Json::Arr(shard_probes)),
-                ("durable", Json::Bool(matches!(&*engine, ServeEngine::Durable(_)))),
+                ("durable", Json::Bool(engine.is_durable())),
             ]);
             let wal = engine.wal_stats();
+            let wal_shards = engine.shard_wal_stats();
             drop(engine);
+            let render_wal = |wal: &WalStats| {
+                obj(vec![
+                    ("records_appended", Json::Num(wal.records_appended as f64)),
+                    ("records_durable", Json::Num(wal.records_durable as f64)),
+                    ("bytes_appended", Json::Num(wal.bytes_appended as f64)),
+                    ("fsyncs", Json::Num(wal.fsyncs as f64)),
+                    ("segments_created", Json::Num(wal.segments_created as f64)),
+                    ("active_segment_bytes", Json::Num(wal.active_segment_bytes as f64)),
+                ])
+            };
             let mut fields = vec![("counters", shared.stats.snapshot()), ("engine", engine_info)];
             if let Some(wal) = wal {
                 // The durability counters: how much log exists, how much of
-                // it is fsync-durable, and what the fsync cadence costs.
-                fields.push((
-                    "wal",
-                    obj(vec![
-                        ("records_appended", Json::Num(wal.records_appended as f64)),
-                        ("records_durable", Json::Num(wal.records_durable as f64)),
-                        ("bytes_appended", Json::Num(wal.bytes_appended as f64)),
-                        ("fsyncs", Json::Num(wal.fsyncs as f64)),
-                        ("segments_created", Json::Num(wal.segments_created as f64)),
-                        ("active_segment_bytes", Json::Num(wal.active_segment_bytes as f64)),
-                    ]),
-                ));
+                // it is fsync-durable, and what the fsync cadence costs —
+                // summed across shards for a sharded store.
+                fields.push(("wal", render_wal(&wal)));
+            }
+            if let Some(shards) = wal_shards {
+                fields.push(("wal_shards", Json::Arr(shards.iter().map(render_wal).collect())));
             }
             respond(stream, 200, &obj(fields));
         }
@@ -756,7 +814,14 @@ fn handle_query(
     let edits = shared.edits.load(Ordering::Acquire);
     let cached = worker.plan.as_ref().is_some_and(|(req, at, _)| *req == query && *at == edits);
     if !cached {
-        worker.plan = Some((query, edits, engine.as_engine().plan(&query)));
+        // Same request, newer engine: refresh instead of recompiling from
+        // scratch — a sharded engine re-plans only the segments of shards
+        // an edit actually touched ([`Engine::refresh_plan`]).
+        let plan = match worker.plan.take() {
+            Some((req, _, plan)) if req == query => engine.as_engine().refresh_plan(&plan),
+            _ => engine.as_engine().plan(&query),
+        };
+        worker.plan = Some((query, edits, plan));
     }
     let (_, _, plan) = worker.plan.as_ref().expect("plan cached above");
     let response = engine.as_engine().execute(plan, &store, &mut worker.scratch);
@@ -814,19 +879,6 @@ fn handle_query(
     }
 }
 
-/// The structured error body for probe edits on an engine that cannot
-/// take them: a stable machine-readable `code`, the offending `engine`
-/// kind and its shard map size, alongside the human-readable `error`
-/// message every other 4xx carries.
-fn probes_unsupported_body(shards: usize) -> Json {
-    obj(vec![
-        ("error", Json::Str("probe edits are not supported on a sharded engine".into())),
-        ("code", Json::Str("probes_unsupported".into())),
-        ("engine", Json::Str("sharded".into())),
-        ("shards", Json::Num(shards as f64)),
-    ])
-}
-
 /// One validated edit of a `POST /probes` request.
 enum Edit<'a> {
     Insert(&'a [f64]),
@@ -858,24 +910,10 @@ fn run_edits(
     (inserted, removed, None)
 }
 
-/// `POST /probes`: dynamic inserts/removals behind the write lock. All
-/// vectors are validated *before* the lock is taken, so the engine never
-/// sees a partial edit.
+/// `POST /probes`: inserts/removals behind the write lock, routed to the
+/// owning shard on a sharded backend. All vectors are validated *before*
+/// the lock is taken, so the engine never sees a partial edit.
 fn handle_probes(stream: TcpStream, request: &Request, shared: &Shared) {
-    // The engine kind is immutable for the server's lifetime: reject edits
-    // on a sharded engine up front, before parsing and long before the
-    // write lock — a stream of doomed /probes requests must not serialize
-    // against in-flight query readers just to be told 400.
-    {
-        let engine = shared.read_engine();
-        if matches!(&*engine, ServeEngine::Sharded(_)) {
-            let shards = engine.shard_count();
-            drop(engine);
-            ServerStats::bump(&shared.stats.probe_requests);
-            ServerStats::bump(&shared.stats.client_errors);
-            return respond(stream, 400, &probes_unsupported_body(shards));
-        }
-    }
     let text = match std::str::from_utf8(&request.body) {
         Ok(t) => t,
         Err(_) => return respond_error(shared, stream, 400, "body is not valid UTF-8".into()),
@@ -944,42 +982,69 @@ fn handle_probes(stream: TcpStream, request: &Request, shared: &Shared) {
 
     ServerStats::bump(&shared.stats.probe_requests);
     let mut guard = shared.write_engine();
-    if matches!(&*guard, ServeEngine::Sharded(_)) {
-        // Shard routing of edits is a future step; the read-only sharded
-        // engine rejects them instead of silently dropping.
-        let shards = guard.shard_count();
-        drop(guard);
-        ServerStats::bump(&shared.stats.client_errors);
-        return respond(stream, 400, &probes_unsupported_body(shards));
-    }
-    // Both editable backends run the same loop (the engine kind is
-    // dispatched once per request, not per record); the durable one
-    // appends each edit to the WAL *before* applying it (log-then-apply),
-    // still under this write lock. A failure aborts the request: earlier
-    // edits of the request have applied (and are logged), later ones are
-    // not attempted — the engine and its log never diverge.
+    // Every backend runs the same loop (the engine kind is dispatched once
+    // per request, not per record); the durable ones append each edit to
+    // the owning WAL *before* applying it (log-then-apply), still under
+    // this write lock. A failure aborts the request: earlier edits of the
+    // request have applied (and are logged), later ones are not attempted —
+    // the engine and its log never diverge. Each successful insert also
+    // records the shard it was routed to (always 0 on a single engine).
+    let mut shards: Vec<Json> = Vec::with_capacity(inserts.len());
     let (inserted, removed, failure) = match &mut *guard {
         ServeEngine::Dynamic(engine) => run_edits(&inserts, &removals, |edit| match edit {
             // Validated above; only pathological inputs can land here.
             Edit::Insert(v) => engine
                 .insert(v)
-                .map(|id| Json::Num(id as f64))
+                .map(|id| {
+                    shards.push(Json::Num(0.0));
+                    Json::Num(id as f64)
+                })
                 .map_err(|e| (400, format!("insert rejected: {e}"))),
             Edit::Remove(id) => Ok(Json::Bool(engine.remove(id))),
         }),
         ServeEngine::Durable(engine) => run_edits(&inserts, &removals, |edit| match edit {
-            Edit::Insert(v) => {
-                engine.insert(v).map(|id| Json::Num(id as f64)).map_err(|e| match e {
+            Edit::Insert(v) => engine
+                .insert(v)
+                .map(|id| {
+                    shards.push(Json::Num(0.0));
+                    Json::Num(id as f64)
+                })
+                .map_err(|e| match e {
                     StoreError::Invalid(msg) => (400, format!("insert rejected: {msg}")),
                     other => (500, format!("wal append failed: {other}")),
-                })
-            }
+                }),
             Edit::Remove(id) => engine
                 .remove(id)
                 .map(Json::Bool)
                 .map_err(|e| (500, format!("wal append failed: {e}"))),
         }),
-        ServeEngine::Sharded(_) => unreachable!("rejected before the edit loop"),
+        ServeEngine::Sharded(engine) => run_edits(&inserts, &removals, |edit| match edit {
+            Edit::Insert(v) => engine
+                .insert(v)
+                .map(|id| {
+                    let owner = engine.owner_of(id).expect("freshly inserted id is live");
+                    shards.push(Json::Num(owner as f64));
+                    Json::Num(id as f64)
+                })
+                .map_err(|e| (400, format!("insert rejected: {e}"))),
+            Edit::Remove(id) => Ok(Json::Bool(engine.remove(id))),
+        }),
+        ServeEngine::ShardedDurable(engine) => run_edits(&inserts, &removals, |edit| match edit {
+            Edit::Insert(v) => engine
+                .insert(v)
+                .map(|(id, shard)| {
+                    shards.push(Json::Num(shard as f64));
+                    Json::Num(id as f64)
+                })
+                .map_err(|e| match e {
+                    StoreError::Invalid(msg) => (400, format!("insert rejected: {msg}")),
+                    other => (500, format!("wal append failed: {other}")),
+                }),
+            Edit::Remove(id) => engine
+                .remove(id)
+                .map(|owner| Json::Bool(owner.is_some()))
+                .map_err(|e| (500, format!("wal append failed: {e}"))),
+        }),
     };
     let live = guard.len();
     // Invalidate worker plan caches *while still holding the write lock*:
@@ -996,6 +1061,7 @@ fn handle_probes(stream: TcpStream, request: &Request, shared: &Shared) {
         200,
         &obj(vec![
             ("inserted", Json::Arr(inserted)),
+            ("shards", Json::Arr(shards)),
             ("removed", Json::Arr(removed)),
             ("probes", Json::Num(live as f64)),
         ]),

@@ -190,14 +190,29 @@ fn sharded_server_answers_exactly_and_reports_shard_counters() {
     assert_eq!(total, probes.len() as u64, "shard map must cover every probe");
     assert_eq!(engine_info.get("probes").and_then(Json::as_u64), Some(probes.len() as u64));
 
-    // Probe edits are rejected on the read-only sharded engine.
+    // Probe edits are routed to the owning shard; the response names it,
+    // and `/stats.shard_probes` reflects the edit immediately (it is read
+    // from the live engine, not a boot-time snapshot).
     let edit = obj(vec![(
         "insert",
         Json::Arr(vec![Json::Arr((0..DIM).map(|_| Json::Num(1.0)).collect())]),
     )]);
     let (status, reply) = client::post(addr, "/probes", &edit).unwrap();
-    assert_eq!(status, 400, "{reply:?}");
-    assert!(reply.get("error").and_then(Json::as_str).unwrap().contains("sharded"));
+    assert_eq!(status, 200, "{reply:?}");
+    let id = reply.get("inserted").and_then(Json::as_arr).unwrap()[0].as_u64().unwrap();
+    assert_eq!(id, probes.len() as u64, "global watermark allocates the next id");
+    let routed = reply.get("shards").and_then(Json::as_arr).unwrap()[0].as_u64().unwrap();
+    assert!((routed as usize) < SHARDS);
+    let (status, stats) = client::get(addr, "/stats").unwrap();
+    assert_eq!(status, 200);
+    let engine_info = stats.get("engine").expect("engine info");
+    let shard_probes = engine_info.get("shard_probes").and_then(Json::as_arr).unwrap();
+    let total: u64 = shard_probes.iter().map(|n| n.as_u64().unwrap()).sum();
+    assert_eq!(total, probes.len() as u64 + 1, "shard map must be live after the edit");
+    // Queries keep answering exactly over the edited probe set.
+    let body = obj(vec![("queries", queries_json(&queries, 0, 4)), ("k", Json::Num(k as f64))]);
+    let (status, _) = client::post(addr, "/top-k", &body).unwrap();
+    assert_eq!(status, 200);
 
     // /healthz is unchanged.
     let (status, health) = client::get(addr, "/healthz").unwrap();
@@ -439,41 +454,86 @@ fn single_worker_micro_batches_concurrent_requests() {
 }
 
 #[test]
-fn sharded_probes_error_body_is_structured() {
-    // The read-only sharded engine rejects probe edits with a machine-
-    // readable error body, not a bare 400: stable `code`, the engine kind,
-    // and the shard count, alongside the usual human-readable `error`.
+fn sharded_durable_server_routes_edits_and_recovers() {
+    // `shards=` and `durable=` compose: a server over a
+    // `ShardedDurableEngine` routes every wire edit to the owning shard's
+    // log-then-apply path, reports per-shard WAL counters, and a recovery
+    // of the store directory reassembles the exact post-edit probe set.
+    use lemp_store::{recover_sharded, ShardedDurableEngine, StoreOptions};
+
+    let dir = std::env::temp_dir().join(format!("lemp-e2e-shdur-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
     let probes = fixture(120, 20);
+    const SHARDS: usize = 3;
     let mut engine = ShardedLemp::builder()
-        .shards(3)
+        .shards(SHARDS)
         .policy(ShardPolicy::RoundRobin)
         .sample_size(8)
         .build(&probes);
     engine.warm(&fixture(16, 777), WarmGoal::TopK(3));
-    let server = Server::bind("127.0.0.1:0", engine, ServeConfig::default()).unwrap();
+    let durable = ShardedDurableEngine::create(&dir, engine, StoreOptions::default()).unwrap();
+    let server = Server::bind("127.0.0.1:0", durable, ServeConfig::default()).unwrap();
     let handle = server.start().unwrap();
+    let addr = handle.addr();
 
-    let edit = obj(vec![(
-        "insert",
-        Json::Arr(vec![Json::Arr((0..DIM).map(|_| Json::Num(1.0)).collect())]),
-    )]);
-    let (status, reply) = client::post(handle.addr(), "/probes", &edit).unwrap();
-    assert_eq!(status, 400, "{reply:?}");
-    assert_eq!(reply.get("code").and_then(Json::as_str), Some("probes_unsupported"));
-    assert_eq!(reply.get("engine").and_then(Json::as_str), Some("sharded"));
-    assert_eq!(reply.get("shards").and_then(Json::as_u64), Some(3));
-    let message = reply.get("error").and_then(Json::as_str).expect("human-readable error");
-    assert!(message.contains("sharded"), "{message}");
+    // Insert a batch and remove two seeds; the reply names the owning
+    // shard of every insert, and round-robin routing makes it predictable.
+    let extra = fixture(6, 22);
+    let rows: Vec<Json> = (0..extra.len())
+        .map(|i| queries_json(&extra, i, i + 1).as_arr().unwrap()[0].clone())
+        .collect();
+    let body = obj(vec![
+        ("insert", Json::Arr(rows)),
+        ("remove", Json::Arr(vec![Json::Num(3.0), Json::Num(77.0)])),
+    ]);
+    let (status, reply) = client::post(addr, "/probes", &body).unwrap();
+    assert_eq!(status, 200, "{reply:?}");
+    let inserted = reply.get("inserted").and_then(Json::as_arr).unwrap();
+    let shards = reply.get("shards").and_then(Json::as_arr).unwrap();
+    assert_eq!(inserted.len(), 6);
+    assert_eq!(shards.len(), 6);
+    for (id, shard) in inserted.iter().zip(shards) {
+        let (id, shard) = (id.as_u64().unwrap(), shard.as_u64().unwrap());
+        assert_eq!(shard, id % SHARDS as u64, "round-robin owner of id {id}");
+    }
+    assert_eq!(reply.get("probes").and_then(Json::as_u64), Some(124));
+    let removed = reply.get("removed").and_then(Json::as_arr).unwrap();
+    assert_eq!(removed, &[Json::Bool(true), Json::Bool(true)]);
 
-    // The rejection is counted as a client error, and queries still work.
-    let (_, stats) = client::get(handle.addr(), "/stats").unwrap();
-    let errors =
-        stats.get("counters").unwrap().get("client_errors").and_then(Json::as_u64).unwrap();
-    assert!(errors >= 1, "client errors counted: {errors}");
-    let body = obj(vec![("queries", queries_json(&probes, 0, 1)), ("k", Json::Num(2.0))]);
-    let (status, _) = client::post(handle.addr(), "/top-k", &body).unwrap();
+    // /stats: live per-shard probe counts, the aggregate WAL counters, and
+    // the per-shard breakdown (8 records total, all durable under Always).
+    let (status, stats) = client::get(addr, "/stats").unwrap();
     assert_eq!(status, 200);
+    let engine_info = stats.get("engine").expect("engine info");
+    assert_eq!(engine_info.get("durable"), Some(&Json::Bool(true)));
+    assert_eq!(engine_info.get("shards").and_then(Json::as_u64), Some(SHARDS as u64));
+    let shard_probes = engine_info.get("shard_probes").and_then(Json::as_arr).unwrap();
+    let total: u64 = shard_probes.iter().map(|n| n.as_u64().unwrap()).sum();
+    assert_eq!(total, 124, "shard map is live after the edits");
+    let wal = stats.get("wal").expect("aggregate wal counters");
+    assert_eq!(wal.get("records_appended").and_then(Json::as_u64), Some(8));
+    assert_eq!(wal.get("records_durable").and_then(Json::as_u64), Some(8));
+    let per_shard = stats.get("wal_shards").and_then(Json::as_arr).unwrap();
+    assert_eq!(per_shard.len(), SHARDS);
+    let split: u64 =
+        per_shard.iter().map(|w| w.get("records_appended").and_then(Json::as_u64).unwrap()).sum();
+    assert_eq!(split, 8, "per-shard counters partition the aggregate");
+
+    // Queries still answer, and answers reflect the edits.
+    let body = obj(vec![("queries", queries_json(&probes, 0, 2)), ("k", Json::Num(3.0))]);
+    let (status, _) = client::post(addr, "/top-k", &body).unwrap();
+    assert_eq!(status, 200);
+
+    // "Crash" the server; recovery reassembles the full sharded engine.
     handle.shutdown();
+    let (recovered, report) = recover_sharded(&dir).unwrap();
+    assert_eq!(report.shards.len(), SHARDS);
+    assert_eq!(recovered.len(), 124);
+    assert!(!recovered.contains(3) && !recovered.contains(77));
+    for id in inserted {
+        assert!(recovered.contains(id.as_u64().unwrap() as u32));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -18,18 +18,27 @@
 //!   exclusivity, with a configurable [`SyncPolicy`]. Queries delegate
 //!   through the [`lemp_core::Engine`] trait, so the warmed `&self` hot
 //!   path is untouched.
+//! * [`sharded`] — the same composition over a [`lemp_core::ShardedLemp`]:
+//!   one WAL + snapshot directory per shard plus a root `MANIFEST`
+//!   (routing policy, shard count, length bands). [`ShardedDurableEngine`]
+//!   routes every edit to the owning shard's log-then-apply path;
+//!   [`recover_sharded`] recovers each shard directory independently and
+//!   reassembles the full engine, cross-checking globally disjoint id
+//!   spaces.
 //!
 //! # Recovery contract
 //!
 //! Replay is **deterministic and self-verifying**: records carry strictly
-//! sequential LSNs, inserts record the id the engine assigned (replay
-//! fails loudly if it would assign a different one), and the engine's edit
-//! operations are pure functions of its state — so recovering a snapshot
-//! and replaying the tail reproduces the pre-crash engine **bit for bit**
-//! (the crash-injection suite asserts exactly that, across every fault
-//! point and every corrupted-tail offset). Anything a corrupted directory
-//! could break surfaces as a structured [`StoreError`], never a panic or
-//! a silently diverged engine.
+//! sequential LSNs, inserts record the globally allocated id (a standalone
+//! store requires it to equal the id the engine would assign; a shard of a
+//! sharded store accepts the gaps left by ids routed to its siblings, and
+//! nothing below its watermark), and the engine's edit operations are pure
+//! functions of its state — so recovering a snapshot and replaying the
+//! tail reproduces the pre-crash engine **bit for bit** (the
+//! crash-injection suite asserts exactly that, across every fault point
+//! and every corrupted-tail offset, for single and sharded stores alike).
+//! Anything a corrupted directory could break surfaces as a structured
+//! [`StoreError`], never a panic or a silently diverged engine.
 //!
 //! ```
 //! use lemp_core::{BucketPolicy, DynamicLemp, RunConfig};
@@ -55,9 +64,13 @@
 #![warn(missing_docs)]
 
 pub mod crc;
+pub mod sharded;
 pub mod store;
 pub mod wal;
 
+pub use sharded::{
+    is_sharded_store, recover_sharded, shard_dir_name, ShardedDurableEngine, ShardedRecoveryReport,
+};
 pub use store::{
     recover, snapshot_name, CompactFault, CompactionReport, DurableEngine, RecoveryReport,
     StoreOptions,

@@ -41,7 +41,7 @@ use crate::wal::{
 use crate::{StoreError, SyncPolicy};
 
 /// Marker file name.
-const MARKER: &str = "CHECKPOINT";
+pub(crate) const MARKER: &str = "CHECKPOINT";
 /// Marker magic bytes.
 const MARKER_MAGIC: &[u8; 8] = b"LEMPCKP1";
 
@@ -120,7 +120,7 @@ pub fn parse_snapshot_name(name: &str) -> Option<u64> {
 /// whose bytes rotted after the marker was written is *detected*, never
 /// silently loaded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Marker {
+pub(crate) struct Marker {
     lsn: u64,
     snapshot_len: u64,
     snapshot_crc: u32,
@@ -128,7 +128,7 @@ struct Marker {
 
 /// Writes the `CHECKPOINT` marker atomically (tmp + fsync + rename + dir
 /// fsync).
-fn write_marker(dir: &Path, marker: Marker) -> Result<(), StoreError> {
+pub(crate) fn write_marker(dir: &Path, marker: Marker) -> Result<(), StoreError> {
     let mut bytes = Vec::with_capacity(32);
     bytes.extend_from_slice(MARKER_MAGIC);
     bytes.extend_from_slice(&marker.lsn.to_le_bytes());
@@ -175,7 +175,7 @@ fn read_marker(dir: &Path) -> Result<Option<Marker>, StoreError> {
 }
 
 /// Lists snapshots as `(lsn, path)`, ascending.
-fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+pub(crate) fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
     let mut snaps = Vec::new();
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
@@ -192,7 +192,11 @@ fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
 /// The image is the ordinary `LEMPDYN1` dynamic-engine format
 /// ([`DynamicLemp::write_to`]) — the snapshotter reuses `lemp-core`'s
 /// persistence end to end rather than keeping a copy.
-fn write_snapshot(dir: &Path, engine: &DynamicLemp, lsn: u64) -> Result<Marker, StoreError> {
+pub(crate) fn write_snapshot(
+    dir: &Path,
+    engine: &DynamicLemp,
+    lsn: u64,
+) -> Result<Marker, StoreError> {
     let mut image = Vec::new();
     engine.write_to(&mut image)?;
     let marker = Marker { lsn, snapshot_len: image.len() as u64, snapshot_crc: crc32(&image) };
@@ -208,16 +212,30 @@ fn write_snapshot(dir: &Path, engine: &DynamicLemp, lsn: u64) -> Result<Marker, 
 }
 
 /// Everything recovery learned, including what a writer needs to resume.
-struct Recovered {
-    engine: DynamicLemp,
-    report: RecoveryReport,
+pub(crate) struct Recovered {
+    pub(crate) engine: DynamicLemp,
+    pub(crate) report: RecoveryReport,
     /// The last segment's scan + path (the writer resumes into it), absent
     /// when the directory holds no segments.
-    tail: Option<(SegmentScan, PathBuf)>,
+    pub(crate) tail: Option<(SegmentScan, PathBuf)>,
+}
+
+/// How replay matches a logged insert id against the engine watermark.
+///
+/// A standalone store allocates ids itself, so the recorded id must equal
+/// the watermark exactly ([`IdSpace::Dense`]). A shard of a sharded store
+/// sees only its slice of a *global* id space: ids skip the values routed
+/// to sibling shards, so replay accepts any id at or above the local
+/// watermark and pads the gap with dead filler ([`IdSpace::Routed`]) —
+/// exactly what [`lemp_core::DynamicLemp::insert_with_id`] does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum IdSpace {
+    Dense,
+    Routed,
 }
 
 /// Core recovery: load the best snapshot, replay the WAL tail.
-fn recover_inner(dir: &Path) -> Result<Recovered, StoreError> {
+pub(crate) fn recover_inner(dir: &Path, ids: IdSpace) -> Result<Recovered, StoreError> {
     if !dir.is_dir() {
         return Err(StoreError::Missing(format!("{} is not a directory", dir.display())));
     }
@@ -335,7 +353,7 @@ fn recover_inner(dir: &Path) -> Result<Recovered, StoreError> {
             });
             continue;
         }
-        return replay(dir, engine, snapshot_lsn, scans);
+        return replay(dir, engine, snapshot_lsn, scans, ids);
     }
     Err(last_error.expect("candidates were non-empty"))
 }
@@ -346,6 +364,7 @@ fn replay(
     mut engine: DynamicLemp,
     snapshot_lsn: u64,
     scans: Vec<(PathBuf, SegmentScan)>,
+    ids: IdSpace,
 ) -> Result<Recovered, StoreError> {
     let mut replayed = 0u64;
     let mut next_lsn = snapshot_lsn;
@@ -363,7 +382,7 @@ fn replay(
                     detail: format!("expected LSN {next_lsn} next"),
                 });
             }
-            apply(&mut engine, *lsn, record)?;
+            apply(&mut engine, *lsn, record, ids)?;
             next_lsn = lsn + 1;
             replayed += 1;
         }
@@ -382,19 +401,29 @@ fn replay(
 
 /// Applies one record exactly as the original edit did; any divergence is
 /// a structured error, never a silent drift.
-fn apply(engine: &mut DynamicLemp, lsn: u64, record: &WalRecord) -> Result<(), StoreError> {
+fn apply(
+    engine: &mut DynamicLemp,
+    lsn: u64,
+    record: &WalRecord,
+    ids: IdSpace,
+) -> Result<(), StoreError> {
     match record {
         WalRecord::Insert { id, vector } => {
-            let got = engine.insert(vector).map_err(|e| StoreError::Replay {
+            let next = engine.next_id();
+            let plausible = match ids {
+                IdSpace::Dense => *id == next,
+                IdSpace::Routed => *id >= next,
+            };
+            if !plausible {
+                return Err(StoreError::Replay {
+                    lsn,
+                    detail: format!("log recorded insert of id {id}, engine would assign {next}"),
+                });
+            }
+            engine.insert_with_id(*id, vector).map_err(|e| StoreError::Replay {
                 lsn,
                 detail: format!("insert of id {id} rejected: {e}"),
             })?;
-            if got != *id {
-                return Err(StoreError::Replay {
-                    lsn,
-                    detail: format!("insert produced id {got}, log recorded {id}"),
-                });
-            }
         }
         WalRecord::Remove { id } => {
             if !engine.remove(*id) {
@@ -420,7 +449,7 @@ fn apply(engine: &mut DynamicLemp, lsn: u64, record: &WalRecord) -> Result<(), S
 /// markers, [`StoreError::Replay`] when a record contradicts the engine
 /// state it replays onto, [`StoreError::Io`] on filesystem failures.
 pub fn recover(dir: &Path) -> Result<(DynamicLemp, RecoveryReport), StoreError> {
-    let recovered = recover_inner(dir)?;
+    let recovered = recover_inner(dir, IdSpace::Dense)?;
     Ok((recovered.engine, recovered.report))
 }
 
@@ -482,7 +511,7 @@ impl DurableEngine {
     /// Everything [`recover`] raises, plus write failures while truncating
     /// or creating the active segment.
     pub fn open(dir: &Path, options: StoreOptions) -> Result<(Self, RecoveryReport), StoreError> {
-        let recovered = recover_inner(dir)?;
+        let recovered = recover_inner(dir, IdSpace::Dense)?;
         let snapshot_lsn = recovered.report.snapshot_lsn;
         let wal = match &recovered.tail {
             Some((scan, path)) => {
