@@ -4,7 +4,7 @@
 //! Usage:
 //! `loadgen addr=127.0.0.1:PORT [threads=4] [requests=200] [k=10] [qpr=2]
 //!  [seed=42] [theta=<f>] [floor=<f>] [verify-probes=<path>]
-//!  [insert-probes=<n>] [report=<path>]`
+//!  [insert-probes=<n>] [follower=<addr>] [report=<path>]`
 //!
 //! * `threads` client threads split `requests` total requests, each
 //!   carrying `qpr` query vectors (dimensionality is discovered from
@@ -24,9 +24,15 @@
 //!   sharded ones included: the per-insert `shards` array in the reply is
 //!   accumulated into a routed-edit distribution. Incompatible with
 //!   `verify-probes=` (the inserted vectors are not in the matrix file).
+//! * `follower=<addr>` is the replication consistency gate: after the
+//!   query phase, wait (bounded) for the follower's `replication.lag_lsn`
+//!   to reach 0, then replay every acknowledged request against the
+//!   follower and demand answers identical to the leader's. Any
+//!   divergence — or a follower that never catches up — exits non-zero.
 //! * `report=<path>` additionally writes the results as a machine-readable
-//!   JSON document (throughput, latency percentiles, verify counts, and
-//!   `shard_inserts` — inserts absorbed per shard) so CI can archive perf
+//!   JSON document (throughput, latency percentiles, verify counts,
+//!   `shard_inserts` — inserts absorbed per shard — and `replication`
+//!   role/lag sampled at the end of the run) so CI can archive perf
 //!   trajectories as `BENCH_*.json` artifacts.
 //! * `503` responses (load shedding) are counted, not retried.
 
@@ -99,6 +105,7 @@ fn main() {
         std::process::exit(2);
     }
     let insert_probes = args.get_u64("insert-probes", 0) as usize;
+    let follower = args.get_str("follower", "");
     let report_path = args.get_str("report", "");
     if insert_probes > 0 && !args.get_str("verify-probes", "").is_empty() {
         eprintln!(
@@ -180,34 +187,39 @@ fn main() {
 
     let queries = GeneratorConfig::gaussian(requests * qpr, dim, 1.0).generate(seed);
 
+    // One request body per request index — shared between the query-phase
+    // workers and the follower replay, so both sides send identical bytes.
+    let request_body = |r: usize| {
+        let lo = r * qpr;
+        if above_mode {
+            obj(vec![
+                ("queries", queries_json(&queries, lo, lo + qpr)),
+                ("theta", Json::Num(theta)),
+            ])
+        } else {
+            let mut fields =
+                vec![("queries", queries_json(&queries, lo, lo + qpr)), ("k", Json::Num(k as f64))];
+            if floored {
+                fields.push(("floor", Json::Num(floor)));
+            }
+            obj(fields)
+        }
+    };
+    let query_path = if above_mode { "/above-theta" } else { "/top-k" };
+
     // Fan out: `threads` workers split the request index space; every
     // request is an independent HTTP exchange over its own socket.
     let outcomes: Mutex<Vec<(usize, Outcome)>> = Mutex::new(Vec::with_capacity(requests));
     let wall_start = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..threads {
-            let (queries, outcomes, addr) = (&queries, &outcomes, &addr);
+            let (request_body, outcomes, addr) = (&request_body, &outcomes, &addr);
             scope.spawn(move || {
                 let mut local = Vec::new();
                 let mut r = t;
                 while r < requests {
-                    let lo = r * qpr;
-                    let body = if above_mode {
-                        obj(vec![
-                            ("queries", queries_json(queries, lo, lo + qpr)),
-                            ("theta", Json::Num(theta)),
-                        ])
-                    } else {
-                        let mut fields = vec![
-                            ("queries", queries_json(queries, lo, lo + qpr)),
-                            ("k", Json::Num(k as f64)),
-                        ];
-                        if floored {
-                            fields.push(("floor", Json::Num(floor)));
-                        }
-                        obj(fields)
-                    };
-                    let path = if above_mode { "/above-theta" } else { "/top-k" };
+                    let body = request_body(r);
+                    let path = query_path;
                     let start = Instant::now();
                     let outcome = match client::post(addr, path, &body) {
                         Ok((200, reply)) => {
@@ -364,6 +376,86 @@ fn main() {
         }
     }
 
+    // Replication consistency gate: wait for the follower to drain its
+    // lag, then replay every acknowledged request against it. The leader's
+    // answers are the reference — the gate proves no acknowledged edit or
+    // answer was lost or mangled on the wire.
+    let mut follower_mismatches = 0usize;
+    let mut follower_checked = 0usize;
+    if !follower.is_empty() {
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            match replication_stats(&follower) {
+                Some((_, 0)) => break,
+                state => {
+                    if Instant::now() >= deadline {
+                        match state {
+                            Some((_, lag)) => eprintln!(
+                                "loadgen: follower {follower} is still {lag} LSNs behind \
+                                 after 30s"
+                            ),
+                            None => eprintln!(
+                                "loadgen: follower {follower} reports no replication state"
+                            ),
+                        }
+                        std::process::exit(1);
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+            }
+        }
+        println!("loadgen: follower {follower} lag_lsn 0");
+        answers.sort_unstable_by_key(|(r, _)| *r);
+        above_answers.sort_unstable_by_key(|(r, _)| *r);
+        let entry_key = |e: &AboveEntry| (e.0, e.1);
+        for r in answers.iter().map(|(r, _)| *r).chain(above_answers.iter().map(|(r, _)| *r)) {
+            let body = request_body(r);
+            let reply = match client::post(&follower, query_path, &body) {
+                Ok((200, reply)) => reply,
+                Ok((status, reply)) => {
+                    eprintln!("loadgen: follower request {r} returned {status}: {reply:?}");
+                    follower_mismatches += 1;
+                    continue;
+                }
+                Err(e) => {
+                    eprintln!("loadgen: follower request {r} failed: {e}");
+                    follower_mismatches += 1;
+                    continue;
+                }
+            };
+            follower_checked += 1;
+            let matches_leader = if above_mode {
+                let leader = &above_answers.iter().find(|(i, _)| *i == r).unwrap().1;
+                let mut expect = leader.clone();
+                expect.sort_unstable_by_key(entry_key);
+                match parse_entries(&reply) {
+                    Ok(mut got) => {
+                        got.sort_unstable_by_key(entry_key);
+                        got.len() == expect.len()
+                            && got.iter().zip(&expect).all(|(g, e)| {
+                                g.0 == e.0 && g.1 == e.1 && (g.2 - e.2).abs() <= 1e-12
+                            })
+                    }
+                    Err(_) => false,
+                }
+            } else {
+                let leader = &answers.iter().find(|(i, _)| *i == r).unwrap().1;
+                match parse_lists(&reply) {
+                    Ok(got) => topk_equivalent(&got, leader, 1e-12),
+                    Err(_) => false,
+                }
+            };
+            if !matches_leader {
+                follower_mismatches += 1;
+                eprintln!("loadgen: follower request {r} diverges from the leader's answer");
+            }
+        }
+        println!(
+            "  follower   {follower_checked} answers replayed against {follower}, \
+             {follower_mismatches} mismatches"
+        );
+    }
+
     // Machine-readable report for CI perf-trajectory archiving.
     if !report_path.is_empty() {
         let mode = if above_mode {
@@ -417,6 +509,17 @@ fn main() {
                     ])
                 },
             ),
+            (
+                "replication",
+                // Sampled at the end of the run: the follower when one is
+                // gated, otherwise whatever role the target itself reports.
+                match replication_stats(if follower.is_empty() { &addr } else { &follower }) {
+                    Some((role, lag)) => {
+                        obj(vec![("role", Json::Str(role)), ("lag_lsn", Json::Num(lag as f64))])
+                    }
+                    None => Json::Null,
+                },
+            ),
         ]);
         if let Err(e) = std::fs::write(&report_path, doc.render()) {
             eprintln!("loadgen: cannot write report {report_path}: {e}");
@@ -425,9 +528,22 @@ fn main() {
         eprintln!("loadgen: wrote JSON report -> {report_path}");
     }
 
-    if errors > 0 || mismatches > 0 || ok == 0 {
+    if errors > 0 || mismatches > 0 || follower_mismatches > 0 || ok == 0 {
         std::process::exit(1);
     }
+}
+
+/// Samples `replication.{role, lag_lsn}` from a server's `/stats`; `None`
+/// when the server is unreachable or reports no replication role.
+fn replication_stats(addr: &str) -> Option<(String, u64)> {
+    let (status, stats) = client::get(addr, "/stats").ok()?;
+    if status != 200 {
+        return None;
+    }
+    let repl = stats.get("replication")?;
+    let role = repl.get("role").and_then(Json::as_str)?.to_string();
+    let lag = repl.get("lag_lsn").and_then(Json::as_u64).unwrap_or(0);
+    Some((role, lag))
 }
 
 fn parse_lists(body: &Json) -> Result<Vec<Vec<ScoredItem>>, String> {

@@ -51,7 +51,8 @@ pub const USAGE: &str = "usage:
   lemp-cli topn        <queries> <probes> n=<n> [chunk=<n>] [out=<path>]
   lemp-cli index       <probes> <engine-out> [variant=...] [shards=<n>] [shard-policy=<rr|banded>]
   lemp-cli self-join   <matrix> t=<f> [out=<path>]
-  lemp-cli serve       <probes|engine.eng> [addr=127.0.0.1:0] [workers=<n>] [queue=<n>] [batch=<n>] [variant=...] [sample=<matrix>] [warm-k=<n>] [shards=<n>] [shard-policy=<rr|banded>] [durable=<dir>] [sync=<always|never|N>]
+  lemp-cli serve       <probes|engine.eng> [addr=127.0.0.1:0] [workers=<n>] [queue=<n>] [batch=<n>] [variant=...] [sample=<matrix>] [warm-k=<n>] [shards=<n>] [shard-policy=<rr|banded>] [durable=<dir>] [sync=<always|never|N>] [replication=<addr>] [replicate-from=<addr>]
+  lemp-cli promote     <addr>
   lemp-cli recover     <store-dir> [verify=<bool>] [out=<engine.eng>]
   lemp-cli compact     <store-dir>
 
@@ -73,7 +74,12 @@ MANIFEST), and a second boot reassembles the sharded engine from the store alone
 sync= picks the fsync cadence (default always); `recover` rebuilds the engine
 from the latest snapshot + WAL tail of a single or sharded store (verify=true
 gates its answers against Naive, out= saves the recovered engine image);
-`compact` folds the log(s) into fresh snapshots and prunes covered segments";
+`compact` folds the log(s) into fresh snapshots and prunes covered segments;
+replication=<addr> (leader) serves the store's snapshot + WAL to followers on a
+second listener; replicate-from=<addr> (follower) bootstraps an empty durable=
+store from that leader and tails its WAL, serving reads only (POST /probes is
+409) until `promote` flips it to a standalone leader; both require durable=
+with a single (non-sharded) store";
 
 /// Entry point shared by the binary and the tests. `args` excludes the
 /// program name.
@@ -94,6 +100,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "index" => index(args),
         "self-join" => self_join(args),
         "serve" => serve(args),
+        "promote" => promote_cmd(args),
         "recover" => recover_cmd(args),
         "compact" => compact_cmd(args),
         other => Err(format!("unknown subcommand {other:?}")),
@@ -655,6 +662,20 @@ fn serve(args: &[String]) -> Result<(), String> {
     // is the source of truth from the second boot on.
     let sharded_store = durable_dir.is_some_and(|d| lemp_store::is_sharded_store(Path::new(d)));
 
+    let replication = opt(args, "replication");
+    let replicate_from = opt(args, "replicate-from");
+    if replication.is_some() && replicate_from.is_some() {
+        return Err(
+            "replication= (leader) and replicate-from= (follower) are mutually exclusive".into()
+        );
+    }
+    if (replication.is_some() || replicate_from.is_some()) && durable_dir.is_none() {
+        return Err("replication requires durable=<dir> (the log is what is replicated)".into());
+    }
+    if (replication.is_some() || replicate_from.is_some()) && (sharded_store || shards.is_some()) {
+        return Err("replication requires a single durable store (drop shards=)".into());
+    }
+
     // Warm-up sample: an explicit file, or (None) the engine's own probe
     // vectors — drawn from the same latent space, a reasonable tuning
     // stand-in.
@@ -818,6 +839,32 @@ fn serve(args: &[String]) -> Result<(), String> {
                         eprintln!("torn WAL tail truncated: {detail}");
                     }
                     store
+                } else if let Some(leader) = replicate_from {
+                    // A fresh follower bootstraps over the wire instead of
+                    // seeding from <probes>: the leader's snapshot is the
+                    // truth the tail loop then extends.
+                    let (status, payload) = lemp_serve::client::request_bytes(
+                        leader,
+                        "GET",
+                        "/repl/snapshot",
+                        Some(std::time::Duration::from_secs(30)),
+                    )
+                    .map_err(|e| format!("cannot fetch a snapshot from {leader}: {e}"))?;
+                    if status != 200 {
+                        return Err(format!("leader {leader} answered {status} to /repl/snapshot"));
+                    }
+                    let (store, report) = lemp_store::replication::bootstrap(
+                        dir, &payload, options,
+                    )
+                    .map_err(|e| format!("cannot bootstrap store {}: {e}", dir.display()))?;
+                    eprintln!(
+                        "bootstrapped follower store {} from {leader} (snapshot LSN {}, {} live \
+                         probes); ignoring {probes_path}",
+                        dir.display(),
+                        report.snapshot_lsn,
+                        report.live_probes,
+                    );
+                    store
                 } else {
                     let store = DurableEngine::create(dir, build()?, options)
                         .map_err(|e| format!("cannot create store {}: {e}", dir.display()))?;
@@ -883,13 +930,43 @@ fn serve(args: &[String]) -> Result<(), String> {
         batch_max: batch.max(1),
         ..Default::default()
     };
-    let server = Server::bind(addr, engine, cfg).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let mut server =
+        Server::bind(addr, engine, cfg).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = server.local_addr().map_err(|e| e.to_string())?;
+    if let Some(repl_addr) = replication {
+        let bound = server
+            .enable_leader(repl_addr)
+            .map_err(|e| format!("cannot start the replication listener on {repl_addr}: {e}"))?;
+        // Scripts parse this line too — keep it distinct from the
+        // "listening on" line below.
+        println!("lemp-serve replication on {bound}");
+    }
+    if let Some(leader) = replicate_from {
+        server
+            .replicate_from(leader.to_string())
+            .map_err(|e| format!("cannot replicate from {leader}: {e}"))?;
+        eprintln!("replicating from {leader} (read-only until POST /promote)");
+    }
     // Scripts parse this line to discover the ephemeral port; flush so it
     // is visible before the accept loop blocks.
     println!("lemp-serve listening on {local}");
     std::io::stdout().flush().map_err(|e| e.to_string())?;
     server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+/// `promote <addr>` — asks a read-only follower to start accepting edits.
+fn promote_cmd(args: &[String]) -> Result<(), String> {
+    let addr = positional(args, 0)?;
+    let (status, body) = lemp_serve::client::post(addr, "/promote", &lemp_serve::json::obj(vec![]))
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    if status != 200 {
+        let detail = body.get("error").and_then(|e| e.as_str()).unwrap_or("").to_string();
+        return Err(format!("{addr} answered {status} to /promote: {detail}"));
+    }
+    let next_lsn = body.get("next_lsn").and_then(|v| v.as_u64()).unwrap_or(0);
+    let probes = body.get("probes").and_then(|v| v.as_u64()).unwrap_or(0);
+    println!("promoted {addr}: accepting edits at LSN {next_lsn}, {probes} probes live");
+    Ok(())
 }
 
 /// `recover`: rebuild a [`lemp_core::DynamicLemp`] from a durable store

@@ -40,6 +40,46 @@ pub fn request(
     parse_response(&raw)
 }
 
+/// One request/response exchange returning the raw body bytes — for the
+/// binary replication payloads, which are not JSON.
+///
+/// # Errors
+/// Socket failures and malformed responses (as
+/// [`io::ErrorKind::InvalidData`]).
+pub fn request_bytes(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    timeout: Option<Duration>,
+) -> io::Result<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    stream.set_nodelay(true)?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: lemp\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let invalid = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| invalid("no header/body separator in response"))?;
+    let head =
+        std::str::from_utf8(&raw[..head_end]).map_err(|_| invalid("non-UTF-8 response head"))?;
+    let status_line = head.lines().next().ok_or_else(|| invalid("empty response"))?;
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("malformed status line"))?;
+    Ok((status, raw[head_end + 4..].to_vec()))
+}
+
 /// Splits a raw HTTP response into status code and parsed JSON body.
 fn parse_response(raw: &[u8]) -> io::Result<(u16, Json)> {
     let invalid = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());

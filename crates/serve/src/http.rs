@@ -19,10 +19,24 @@ const MAX_HEAD: usize = 16 * 1024;
 pub struct Request {
     /// `GET`, `POST`, … (uppercased as received).
     pub method: String,
-    /// The path component (query strings are not used by this API).
+    /// The path component, query string stripped.
     pub path: String,
+    /// The raw query string after `?` (empty when absent); see
+    /// [`Request::query_param`].
+    pub query: String,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Looks up a query-string parameter by exact key (no percent
+    /// decoding — this API only passes numbers and plain identifiers).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+    }
 }
 
 /// Why a request could not be read.
@@ -84,7 +98,10 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     if !version.starts_with("HTTP/1.") {
         return Err(bad(505, format!("unsupported version {version}")));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut content_length = 0usize;
     for line in lines {
@@ -122,7 +139,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
             return Err(bad(400, "more body bytes than Content-Length declares"));
         }
     }
-    Ok(Request { method, path, body })
+    Ok(Request { method, path, query, body })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -136,6 +153,8 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
+        410 => "Gone",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
@@ -150,13 +169,25 @@ pub fn reason(status: u16) -> &'static str {
 /// connection (one request per connection keeps the worker pool fair under
 /// load shedding).
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    write_response_bytes(stream, status, "application/json", body.as_bytes())
+}
+
+/// Writes a complete response with an explicit content type and a binary
+/// body (the replication endpoints ship `application/octet-stream`
+/// payloads) and flushes. Closes the connection like [`write_response`].
+pub fn write_response_bytes(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         reason(status),
         body.len()
     );
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(body)?;
     stream.flush()
 }
 
@@ -193,10 +224,14 @@ mod tests {
     }
 
     #[test]
-    fn parses_get_without_body_and_strips_query() {
-        let req = parse_raw(b"get /stats?verbose=1 HTTP/1.0\r\n\r\n").unwrap();
+    fn parses_get_without_body_and_keeps_query() {
+        let req = parse_raw(b"get /stats?verbose=1&id=a HTTP/1.0\r\n\r\n").unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/stats");
+        assert_eq!(req.query, "verbose=1&id=a");
+        assert_eq!(req.query_param("verbose"), Some("1"));
+        assert_eq!(req.query_param("id"), Some("a"));
+        assert_eq!(req.query_param("missing"), None);
         assert!(req.body.is_empty());
     }
 

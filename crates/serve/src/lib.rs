@@ -24,6 +24,7 @@
 //! | `POST /probes` | `{"insert"?: [[f64; dim], …], "remove"?: [id, …]}` | `{"inserted": [id, …], "shards": [s, …], "removed": [bool, …], "probes": n}` |
 //! | `GET /healthz` | — | `{"ok": true, "probes": n, "dim": d, "warm": true}` |
 //! | `GET /stats` | — | `{"counters": {…}, "engine": {…}}` |
+//! | `POST /promote` | — | `{"promoted": true, "next_lsn": l, "probes": n}` (followers only) |
 //!
 //! `query` indices in `/above-theta` responses are row indices *within the
 //! request*; `id`/`probe` are the engine's stable probe ids. `POST
@@ -52,6 +53,22 @@
 //! per-shard probe counts (`engine.shard_probes`), the aggregate `wal`
 //! object, and a per-shard `wal_shards` array.
 //!
+//! # Replication
+//!
+//! A durable single-store server can be a replication **leader**
+//! ([`Server::enable_leader`]): a second listener streams its checkpoint
+//! snapshot and WAL batches (the `lemp-store` `LEMPSNP1`/`LEMPREP1` wire
+//! framing — see [`lemp_store::replication`]) to followers via
+//! `GET /repl/snapshot` and long-polled `GET /repl/wal?from=<lsn>`.
+//! A **follower** ([`Server::replicate_from`]) tail-follows a leader from
+//! its own durable watermark, applying records under the engine write
+//! lock through the same self-verifying replay crash recovery uses; it
+//! serves reads through the unchanged `&self` query path, answers `409`
+//! to `POST /probes`, and `POST /promote` flips it read-write (the tail
+//! loop stops before the promote is acknowledged). `/stats` carries a
+//! `replication` object: `role`, `lag_lsn`, `leader`/`promoted` on a
+//! follower, per-follower progress counters on a leader.
+//!
 //! # Query dispatch
 //!
 //! Every query request is parsed into a [`lemp_core::QueryRequest`] and
@@ -66,6 +83,7 @@
 pub mod client;
 pub mod http;
 pub mod json;
+mod replication;
 pub mod stats;
 
 use std::collections::VecDeque;
@@ -276,6 +294,22 @@ impl ServeEngine {
         matches!(self, ServeEngine::Durable(_) | ServeEngine::ShardedDurable(_))
     }
 
+    /// The durable single-store backend, when that is what serves —
+    /// replication works against exactly this shape (one store, one log).
+    pub fn durable_store(&self) -> Option<&DurableEngine> {
+        match self {
+            ServeEngine::Durable(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    fn durable_store_mut(&mut self) -> Option<&mut DurableEngine> {
+        match self {
+            ServeEngine::Durable(e) => Some(e),
+            _ => None,
+        }
+    }
+
     /// WAL counters when the backend is durable (summed across shards for
     /// a sharded store), `None` otherwise.
     pub fn wal_stats(&self) -> Option<WalStats> {
@@ -369,6 +403,9 @@ struct Shared {
     /// workers key their cached query plans on it, so a cached plan is
     /// reused only while the engine it was compiled from is unchanged.
     edits: AtomicU64,
+    /// Replication role and progress (inert unless this server is a
+    /// leader or follower).
+    repl: replication::ReplState,
 }
 
 impl Shared {
@@ -386,6 +423,9 @@ impl Shared {
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
+    /// The replication acceptor (leader) or tail loop (follower), when a
+    /// role was configured before [`Server::start`].
+    repl_threads: Vec<JoinHandle<()>>,
 }
 
 /// Handle to a running server: address, shutdown, join.
@@ -394,6 +434,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    repl_threads: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -425,8 +466,43 @@ impl Server {
             cfg,
             shutdown: AtomicBool::new(false),
             edits: AtomicU64::new(0),
+            repl: replication::ReplState::default(),
         });
-        Ok(Server { listener, shared })
+        Ok(Server { listener, shared, repl_threads: Vec::new() })
+    }
+
+    /// Makes this server a replication **leader**: binds a second
+    /// listener on `addr` (port `0` for ephemeral) that streams the
+    /// durable store's checkpoint snapshot and WAL batches to followers.
+    /// Returns the bound replication address.
+    ///
+    /// # Errors
+    /// [`io::ErrorKind::InvalidInput`] unless the backend is a durable
+    /// single store; socket errors from the bind.
+    pub fn enable_leader(&mut self, addr: &str) -> io::Result<SocketAddr> {
+        let (bound, handle) = replication::start_leader(&self.shared, addr)?;
+        self.repl_threads.push(handle);
+        Ok(bound)
+    }
+
+    /// Makes this server a replication **follower** of the leader's
+    /// replication listener at `leader`: spawns the tail loop, which
+    /// long-polls from the store's durable watermark and applies batches
+    /// under the engine write lock. The server answers `409` to
+    /// `POST /probes` until `POST /promote`.
+    ///
+    /// # Errors
+    /// [`io::ErrorKind::InvalidInput`] unless the backend is a durable
+    /// single store.
+    pub fn replicate_from(&mut self, leader: String) -> io::Result<()> {
+        let id = self
+            .listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| format!("pid-{}", std::process::id()));
+        let handle = replication::start_follower(&self.shared, leader, id)?;
+        self.repl_threads.push(handle);
+        Ok(())
     }
 
     /// The bound address (with the real port when `0` was requested).
@@ -458,7 +534,13 @@ impl Server {
             .name("lemp-serve-acceptor".to_string())
             .spawn(move || accept_loop(&listener, &shared))
             .expect("spawn acceptor");
-        Ok(ServerHandle { addr, shared: self.shared, acceptor, workers })
+        Ok(ServerHandle {
+            addr,
+            shared: self.shared,
+            acceptor,
+            workers,
+            repl_threads: self.repl_threads,
+        })
     }
 
     /// Serves until the process dies (the CLI entry point).
@@ -484,18 +566,31 @@ impl ServerHandle {
         for w in self.workers {
             w.join().ok();
         }
+        for t in self.repl_threads {
+            t.join().ok();
+        }
     }
 
-    /// Stops accepting, drains the queue, and joins all threads. Queued
-    /// but unanswered connections are dropped (clients see EOF).
+    /// Stops accepting, drains the queue, and joins all threads (the
+    /// replication acceptor or tail loop included). Queued but unanswered
+    /// connections are dropped (clients see EOF).
     pub fn shutdown(self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Unblock the acceptor with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
+        // Same for the replication acceptor, when one is listening.
+        if let Some(addr) =
+            *self.shared.repl.listener_addr.lock().unwrap_or_else(|e| e.into_inner())
+        {
+            let _ = TcpStream::connect(addr);
+        }
         self.shared.queue.close();
         self.acceptor.join().ok();
         for w in self.workers {
             w.join().ok();
+        }
+        for t in self.repl_threads {
+            t.join().ok();
         }
     }
 }
@@ -636,6 +731,9 @@ fn dispatch(
                 ])
             };
             let mut fields = vec![("counters", shared.stats.snapshot()), ("engine", engine_info)];
+            if let Some(replication) = shared.repl.stats_json() {
+                fields.push(("replication", replication));
+            }
             if let Some(wal) = wal {
                 // The durability counters: how much log exists, how much of
                 // it is fsync-durable, and what the fsync cadence costs —
@@ -647,11 +745,26 @@ fn dispatch(
             }
             respond(stream, 200, &obj(fields));
         }
-        ("POST", "/probes") => handle_probes(stream, &request, shared),
+        ("POST", "/probes") => {
+            if shared.repl.is_read_only() {
+                let leader = shared.repl.leader.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                respond_error(
+                    shared,
+                    stream,
+                    409,
+                    format!(
+                        "read-only follower replicating from {leader}; POST /promote to accept edits"
+                    ),
+                );
+            } else {
+                handle_probes(stream, &request, shared);
+            }
+        }
+        ("POST", "/promote") => replication::handle_promote(stream, shared),
         ("POST", "/top-k") | ("POST", "/above-theta") => {
             handle_query(stream, request, shared, worker, allow_batch)
         }
-        (_, "/healthz" | "/stats" | "/probes" | "/top-k" | "/above-theta") => {
+        (_, "/healthz" | "/stats" | "/probes" | "/promote" | "/top-k" | "/above-theta") => {
             respond_error(shared, stream, 405, format!("method {} not allowed", request.method));
         }
         (_, path) => respond_error(shared, stream, 404, format!("unknown path {path:?}")),
@@ -1109,6 +1222,7 @@ mod tests {
         let req = |path: &str, body: &str| Request {
             method: "POST".into(),
             path: path.into(),
+            query: String::new(),
             body: body.as_bytes().to_vec(),
         };
         let (query, flat) =

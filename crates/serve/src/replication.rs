@@ -1,0 +1,419 @@
+//! Role-aware replication plumbing for the server: the leader's
+//! replication listener and the follower's tail loop.
+//!
+//! The leader side is a second, dedicated listener (bound via
+//! `lemp serve … replication=<addr>`) speaking the same hand-rolled
+//! HTTP/1.1 as the query surface, with binary `lemp-store` replication
+//! payloads as bodies:
+//!
+//! * `GET /repl/snapshot` → the `LEMPSNP1` bootstrap payload
+//!   ([`lemp_store::replication::read_bootstrap`]).
+//! * `GET /repl/wal?from=<lsn>&wait=<ms>&id=<follower>` → one `LEMPREP1`
+//!   batch from the leader's on-disk log
+//!   ([`lemp_store::replication::feed`]), long-polling up to `wait`
+//!   milliseconds when the follower is caught up; `410 Gone` with
+//!   `first_available` when compaction pruned past `from`.
+//!
+//! The follower side is one background thread that long-polls the leader
+//! from the store's own watermark, applies each batch under the engine
+//! write lock through [`DurableEngine::apply_replicated`] (the same
+//! self-verifying replay crash recovery uses), and maintains the
+//! `replication.lag_lsn` gauge. Because the request LSN is always re-read
+//! from the store, the loop is idempotent across retries, leader restarts,
+//! and follower restarts — it resumes from whatever is durable locally.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lemp_store::replication::{decode_batch, feed, read_bootstrap, Feed, MAX_BATCH_RECORDS};
+
+use crate::json::{obj, Json};
+use crate::{client, http, Shared};
+
+// Role values for `ReplState::role`; `0` (the atomic's default) means no
+// replication role.
+/// Serving a replication listener for followers.
+pub(crate) const ROLE_LEADER: u8 = 1;
+/// Tail-following a leader (read-only until promoted).
+pub(crate) const ROLE_FOLLOWER: u8 = 2;
+
+/// How long one leader-side long poll lasts at most, and the cap a
+/// follower may request.
+const MAX_WAIT_MS: u64 = 10_000;
+
+/// The follower's long-poll window per request.
+const TAIL_WAIT_MS: u64 = 500;
+
+/// Pause between leader-side polls of its own log during a long poll, and
+/// the follower's retry backoff after an unreachable leader.
+const POLL_SLEEP: Duration = Duration::from_millis(25);
+const RETRY_BACKOFF: Duration = Duration::from_millis(200);
+
+/// Per-follower progress, keyed by the follower-supplied `id`.
+pub(crate) struct FollowerProgress {
+    pub(crate) id: String,
+    /// The follower's durable watermark as of its latest request — every
+    /// record below it is applied *and* fsynced over there.
+    pub(crate) acked_lsn: u64,
+    pub(crate) batches: u64,
+    pub(crate) records: u64,
+}
+
+/// Replication state hanging off [`Shared`] — all of it atomics or
+/// mutexes, touched outside the engine lock except where noted.
+#[derive(Default)]
+pub(crate) struct ReplState {
+    pub(crate) role: AtomicU8,
+    /// Set under the engine write lock by `POST /promote`; the tail loop
+    /// re-checks it under the same lock before applying, so no record
+    /// lands after a promote response is sent.
+    pub(crate) promoted: AtomicBool,
+    /// leader's log end minus this follower's watermark, updated after
+    /// every poll (0 when caught up; meaningful on followers only).
+    pub(crate) lag: AtomicU64,
+    /// The leader address a follower tails.
+    pub(crate) leader: Mutex<String>,
+    /// The leader's replication listener address (for the shutdown poke).
+    pub(crate) listener_addr: Mutex<Option<SocketAddr>>,
+    pub(crate) followers: Mutex<Vec<FollowerProgress>>,
+    pub(crate) last_error: Mutex<Option<String>>,
+}
+
+impl ReplState {
+    /// A follower refuses edits until promoted.
+    pub(crate) fn is_read_only(&self) -> bool {
+        self.role.load(Ordering::SeqCst) == ROLE_FOLLOWER && !self.promoted.load(Ordering::SeqCst)
+    }
+
+    fn record_error(&self, msg: String) {
+        eprintln!("replication: {msg}");
+        *self.last_error.lock().unwrap_or_else(|e| e.into_inner()) = Some(msg);
+    }
+
+    /// The `/stats` `replication` object, or `None` when this server has
+    /// no replication role.
+    pub(crate) fn stats_json(&self) -> Option<Json> {
+        let role = self.role.load(Ordering::SeqCst);
+        let mut fields = vec![(
+            "role",
+            Json::Str(
+                match role {
+                    ROLE_LEADER => "leader",
+                    ROLE_FOLLOWER => "follower",
+                    _ => return None,
+                }
+                .into(),
+            ),
+        )];
+        fields.push(("lag_lsn", Json::Num(self.lag.load(Ordering::SeqCst) as f64)));
+        if role == ROLE_FOLLOWER {
+            let leader = self.leader.lock().unwrap_or_else(|e| e.into_inner()).clone();
+            fields.push(("leader", Json::Str(leader)));
+            fields.push(("promoted", Json::Bool(self.promoted.load(Ordering::SeqCst))));
+        }
+        if role == ROLE_LEADER {
+            let followers = self.followers.lock().unwrap_or_else(|e| e.into_inner());
+            let rendered = followers
+                .iter()
+                .map(|f| {
+                    obj(vec![
+                        ("id", Json::Str(f.id.clone())),
+                        ("acked_lsn", Json::Num(f.acked_lsn as f64)),
+                        ("batches", Json::Num(f.batches as f64)),
+                        ("records", Json::Num(f.records as f64)),
+                    ])
+                })
+                .collect();
+            fields.push(("followers", Json::Arr(rendered)));
+        }
+        if let Some(err) = self.last_error.lock().unwrap_or_else(|e| e.into_inner()).as_ref() {
+            fields.push(("last_error", Json::Str(err.clone())));
+        }
+        Some(obj(fields))
+    }
+
+    fn note_follower(&self, id: &str, acked_lsn: u64, records: u64) {
+        let mut followers = self.followers.lock().unwrap_or_else(|e| e.into_inner());
+        match followers.iter_mut().find(|f| f.id == id) {
+            Some(f) => {
+                f.acked_lsn = acked_lsn;
+                if records > 0 {
+                    f.batches += 1;
+                    f.records += records;
+                }
+            }
+            None => followers.push(FollowerProgress {
+                id: id.to_string(),
+                acked_lsn,
+                batches: u64::from(records > 0),
+                records,
+            }),
+        }
+    }
+}
+
+/// Binds the leader's replication listener and spawns its acceptor.
+/// Requires a durable single-store backend (the log being replicated is
+/// that store's).
+pub(crate) fn start_leader(
+    shared: &Arc<Shared>,
+    addr: &str,
+) -> std::io::Result<(SocketAddr, JoinHandle<()>)> {
+    let dir =
+        shared.read_engine().durable_store().map(|s| s.dir().to_path_buf()).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "replication requires a durable single-store backend (durable=<dir>, no shards)",
+            )
+        })?;
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    shared.repl.role.store(ROLE_LEADER, Ordering::SeqCst);
+    *shared.repl.listener_addr.lock().unwrap_or_else(|e| e.into_inner()) = Some(bound);
+    let shared = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name("lemp-repl-acceptor".to_string())
+        .spawn(move || leader_loop(&listener, &shared, &dir))
+        .expect("spawn replication acceptor");
+    Ok((bound, handle))
+}
+
+fn leader_loop(listener: &TcpListener, shared: &Arc<Shared>, dir: &Path) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let shared = Arc::clone(shared);
+        let dir: PathBuf = dir.to_path_buf();
+        // Thread per connection: follower counts are small, and a long
+        // poll must not block the accept loop.
+        let _ = std::thread::Builder::new()
+            .name("lemp-repl-conn".to_string())
+            .spawn(move || handle_repl_conn(stream, &shared, &dir));
+    }
+}
+
+fn write_json(stream: &mut TcpStream, status: u16, body: &Json) {
+    let _ = http::write_response(stream, status, &body.render());
+}
+
+fn write_json_error(stream: &mut TcpStream, status: u16, message: String) {
+    write_json(stream, status, &obj(vec![("error", Json::Str(message))]));
+}
+
+fn handle_repl_conn(mut stream: TcpStream, shared: &Arc<Shared>, dir: &Path) {
+    let _ = stream.set_read_timeout(shared.cfg.io_timeout);
+    let _ = stream.set_write_timeout(shared.cfg.io_timeout);
+    let _ = stream.set_nodelay(true);
+    let request = match http::read_request(&mut stream, shared.cfg.max_body) {
+        Ok(r) => r,
+        Err(http::HttpError::Io(_)) => return,
+        Err(http::HttpError::Bad { status, message }) => {
+            return write_json_error(&mut stream, status, message);
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/repl/snapshot") => match read_bootstrap(dir) {
+            Ok(bytes) => {
+                let _ = http::write_response_bytes(
+                    &mut stream,
+                    200,
+                    "application/octet-stream",
+                    &bytes,
+                );
+            }
+            Err(e) => write_json_error(&mut stream, 500, format!("snapshot feed failed: {e}")),
+        },
+        ("GET", "/repl/wal") => {
+            let Some(from) = request.query_param("from").and_then(|v| v.parse::<u64>().ok()) else {
+                return write_json_error(&mut stream, 400, "missing or bad from=<lsn>".into());
+            };
+            let wait_ms = request
+                .query_param("wait")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0)
+                .min(MAX_WAIT_MS);
+            let id = request.query_param("id").unwrap_or("anonymous").to_string();
+            shared.repl.note_follower(&id, from, 0);
+            let deadline = Instant::now() + Duration::from_millis(wait_ms);
+            loop {
+                match feed(dir, from, MAX_BATCH_RECORDS) {
+                    Ok(Feed::Gap { first_available }) => {
+                        return write_json(
+                            &mut stream,
+                            410,
+                            &obj(vec![
+                                (
+                                    "error",
+                                    Json::Str(format!(
+                                        "LSN {from} was compacted away; re-bootstrap"
+                                    )),
+                                ),
+                                ("first_available", Json::Num(first_available as f64)),
+                            ]),
+                        );
+                    }
+                    Ok(Feed::Batch { bytes, records, .. }) => {
+                        let done = records > 0
+                            || Instant::now() >= deadline
+                            || shared.shutdown.load(Ordering::SeqCst);
+                        if done {
+                            shared.repl.note_follower(&id, from, records as u64);
+                            let _ = http::write_response_bytes(
+                                &mut stream,
+                                200,
+                                "application/octet-stream",
+                                &bytes,
+                            );
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        // Transient (e.g. a segment pruned mid-read during
+                        // compaction): the follower retries from its
+                        // unchanged watermark.
+                        return write_json_error(&mut stream, 500, format!("feed failed: {e}"));
+                    }
+                }
+                std::thread::sleep(POLL_SLEEP);
+            }
+        }
+        (_, path) => write_json_error(&mut stream, 404, format!("unknown path {path:?}")),
+    }
+}
+
+/// Marks this server a follower of `leader` and spawns the tail loop.
+/// Requires a durable single-store backend.
+pub(crate) fn start_follower(
+    shared: &Arc<Shared>,
+    leader: String,
+    follower_id: String,
+) -> std::io::Result<JoinHandle<()>> {
+    if shared.read_engine().durable_store().is_none() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "replicate-from requires a durable single-store backend (durable=<dir>, no shards)",
+        ));
+    }
+    shared.repl.role.store(ROLE_FOLLOWER, Ordering::SeqCst);
+    *shared.repl.leader.lock().unwrap_or_else(|e| e.into_inner()) = leader.clone();
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name("lemp-repl-tail".to_string())
+        .spawn(move || follower_loop(&shared, &leader, &follower_id))
+}
+
+fn follower_loop(shared: &Arc<Shared>, leader: &str, follower_id: &str) {
+    let mut backoff = false;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) || shared.repl.promoted.load(Ordering::SeqCst) {
+            return;
+        }
+        if backoff {
+            std::thread::sleep(RETRY_BACKOFF);
+            backoff = false;
+        }
+        let from = match shared.read_engine().durable_store().map(|s| s.next_lsn()) {
+            Some(lsn) => lsn,
+            None => return,
+        };
+        let path = format!("/repl/wal?from={from}&wait={TAIL_WAIT_MS}&id={follower_id}");
+        match client::request_bytes(leader, "GET", &path, Some(Duration::from_secs(30))) {
+            Ok((200, bytes)) => match decode_batch(&bytes, from) {
+                Ok(batch) => {
+                    let mut failed = None;
+                    let local_next;
+                    {
+                        let mut engine = shared.write_engine();
+                        // Re-check under the lock: a promote that won the
+                        // lock first must win outright.
+                        if shared.repl.promoted.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let Some(store) = engine.durable_store_mut() else { return };
+                        for (lsn, record) in &batch.records {
+                            if let Err(e) = store.apply_replicated(*lsn, record) {
+                                failed = Some(format!("apply at LSN {lsn} failed: {e}"));
+                                break;
+                            }
+                        }
+                        local_next = store.next_lsn();
+                        if local_next > from {
+                            // Invalidate cached query plans like any edit.
+                            shared.edits.fetch_add(1, Ordering::Release);
+                        }
+                    }
+                    shared
+                        .repl
+                        .lag
+                        .store(batch.leader_next_lsn.saturating_sub(local_next), Ordering::SeqCst);
+                    if let Some(msg) = failed {
+                        // The leader's log contradicts this store: keep
+                        // serving reads, stop tailing (a structured halt,
+                        // visible in /stats replication.last_error).
+                        shared.repl.record_error(msg);
+                        return;
+                    }
+                }
+                Err(e) => {
+                    // A truncated or corrupt response; the watermark is
+                    // unchanged, so retrying is idempotent.
+                    shared.repl.record_error(format!("bad batch from {leader}: {e}"));
+                    backoff = true;
+                }
+            },
+            Ok((410, _)) => {
+                shared.repl.record_error(format!(
+                    "leader {leader} compacted past LSN {from}; re-bootstrap this follower"
+                ));
+                return;
+            }
+            Ok((status, _)) => {
+                shared.repl.record_error(format!("leader {leader} answered {status}"));
+                backoff = true;
+            }
+            Err(e) => {
+                // Leader unreachable (crashed, network blip): keep
+                // retrying — the operator decides whether to promote.
+                shared.repl.record_error(format!("leader {leader} unreachable: {e}"));
+                backoff = true;
+            }
+        }
+    }
+}
+
+/// `POST /promote`: a follower stops tailing and starts accepting edits.
+/// Idempotent — promoting an already-promoted follower reports the same
+/// shape again.
+pub(crate) fn handle_promote(mut stream: TcpStream, shared: &Shared) {
+    if shared.repl.role.load(Ordering::SeqCst) != ROLE_FOLLOWER {
+        return write_json_error(
+            &mut stream,
+            409,
+            "promote applies to a replicating follower".into(),
+        );
+    }
+    let (next_lsn, probes) = {
+        let engine = shared.write_engine();
+        // Under the write lock: the tail loop applies batches under this
+        // lock and re-checks `promoted` inside it, so once we release, no
+        // replicated record can land after the promote is acknowledged.
+        shared.repl.promoted.store(true, Ordering::SeqCst);
+        let next = engine.durable_store().map_or(0, |s| s.next_lsn());
+        (next, engine.len())
+    };
+    write_json(
+        &mut stream,
+        200,
+        &obj(vec![
+            ("promoted", Json::Bool(true)),
+            ("next_lsn", Json::Num(next_lsn as f64)),
+            ("probes", Json::Num(probes as f64)),
+        ]),
+    );
+}

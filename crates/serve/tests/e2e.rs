@@ -651,3 +651,119 @@ fn durable_server_survives_a_crash_and_recovery_matches() {
     assert!(topk_equivalent(&out.lists, &mapped, 1e-9), "recovered answers diverge from Naive");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn replication_follower_tails_promotes_and_diverges_never() {
+    // Full leader/follower lifecycle over real sockets: bootstrap from
+    // the wire snapshot, tail to lag 0, identical answers on both roles,
+    // 409 while read-only, promote, accept a local edit, and a recovery
+    // of the follower's store that accounts for every replicated record.
+    use lemp_store::replication::bootstrap;
+    use lemp_store::{recover, DurableEngine, StoreOptions, SyncPolicy};
+
+    let leader_dir = std::env::temp_dir().join(format!("lemp-e2e-repl-l-{}", std::process::id()));
+    let follower_dir = std::env::temp_dir().join(format!("lemp-e2e-repl-f-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&leader_dir);
+    let _ = std::fs::remove_dir_all(&follower_dir);
+    let options = StoreOptions { sync: SyncPolicy::Always, ..Default::default() };
+
+    let probes = fixture(80, 31);
+    let policy = BucketPolicy { min_bucket: 8, cache_bytes: 64 << 10, ..Default::default() };
+    let config = RunConfig { sample_size: 8, ..Default::default() };
+    let engine = DynamicLemp::new(&probes, policy, config);
+    let durable = DurableEngine::create(&leader_dir, engine, options).unwrap();
+    let mut leader = Server::bind("127.0.0.1:0", durable, ServeConfig::default()).unwrap();
+    let repl_addr = leader.enable_leader("127.0.0.1:0").unwrap();
+    let leader_handle = leader.start().unwrap();
+    let leader_addr = leader_handle.addr();
+
+    // Edits that land before the follower exists (they ride the WAL, not
+    // the snapshot).
+    let extra = fixture(6, 32);
+    let body = obj(vec![("insert", queries_json(&extra, 0, 4))]);
+    let (status, reply) = client::post(leader_addr, "/probes", &body).unwrap();
+    assert_eq!(status, 200, "{reply:?}");
+
+    // Bootstrap the follower from the leader's wire snapshot.
+    let (status, payload) =
+        client::request_bytes(repl_addr, "GET", "/repl/snapshot", Some(Duration::from_secs(10)))
+            .unwrap();
+    assert_eq!(status, 200);
+    let (follower_store, report) = bootstrap(&follower_dir, &payload, options).unwrap();
+    assert_eq!(report.snapshot_lsn, 0);
+    assert_eq!(report.live_probes, 80);
+    let mut follower = Server::bind("127.0.0.1:0", follower_store, ServeConfig::default()).unwrap();
+    follower.replicate_from(repl_addr.to_string()).unwrap();
+    let follower_handle = follower.start().unwrap();
+    let follower_addr = follower_handle.addr();
+
+    // More edits while the follower is tailing.
+    let body = obj(vec![("insert", queries_json(&extra, 4, 6))]);
+    let (status, _) = client::post(leader_addr, "/probes", &body).unwrap();
+    assert_eq!(status, 200);
+
+    // Wait for the follower to fully catch up (86 probes, lag 0).
+    let mut caught_up = false;
+    for _ in 0..100 {
+        let (_, stats) = client::get(follower_addr, "/stats").unwrap();
+        let probes_live =
+            stats.get("engine").and_then(|e| e.get("probes")).and_then(Json::as_u64).unwrap();
+        let repl = stats.get("replication").expect("follower stats carry replication");
+        assert_eq!(repl.get("role").and_then(Json::as_str), Some("follower"));
+        let lag = repl.get("lag_lsn").and_then(Json::as_u64).unwrap();
+        if probes_live == 86 && lag == 0 {
+            caught_up = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert!(caught_up, "follower never reached lag 0 with 86 probes");
+
+    // Leader and follower answer identically.
+    let queries = fixture(12, 33);
+    let body =
+        obj(vec![("queries", queries_json(&queries, 0, queries.len())), ("k", Json::Num(5.0))]);
+    let (ls, lreply) = client::post(leader_addr, "/top-k", &body).unwrap();
+    let (fs, freply) = client::post(follower_addr, "/top-k", &body).unwrap();
+    assert_eq!((ls, fs), (200, 200));
+    assert!(
+        topk_equivalent(&parse_lists(&lreply), &parse_lists(&freply), 1e-12),
+        "follower answers diverge from the leader"
+    );
+
+    // The leader tracks its follower's progress.
+    let (_, lstats) = client::get(leader_addr, "/stats").unwrap();
+    let lrepl = lstats.get("replication").expect("leader stats carry replication");
+    assert_eq!(lrepl.get("role").and_then(Json::as_str), Some("leader"));
+    let followers = lrepl.get("followers").and_then(Json::as_arr).unwrap();
+    assert!(!followers.is_empty(), "leader reports no follower progress");
+
+    // Read-only until promoted; promote only applies to followers.
+    let edit = obj(vec![("insert", queries_json(&extra, 0, 1))]);
+    let (status, _) = client::post(follower_addr, "/probes", &edit).unwrap();
+    assert_eq!(status, 409, "follower must refuse edits before promote");
+    let (status, _) = client::post(leader_addr, "/promote", &obj(vec![])).unwrap();
+    assert_eq!(status, 409, "a leader must refuse promotion");
+
+    // Promote: the follower flips read-write and accepts a local edit.
+    let (status, reply) = client::post(follower_addr, "/promote", &obj(vec![])).unwrap();
+    assert_eq!(status, 200, "{reply:?}");
+    assert_eq!(reply.get("promoted").and_then(Json::as_bool), Some(true));
+    assert_eq!(reply.get("next_lsn").and_then(Json::as_u64), Some(6));
+    let (status, reply) = client::post(follower_addr, "/probes", &edit).unwrap();
+    assert_eq!(status, 200, "{reply:?}");
+    let (_, health) = client::get(follower_addr, "/healthz").unwrap();
+    assert_eq!(health.get("probes").and_then(Json::as_u64), Some(87));
+
+    leader_handle.shutdown();
+    follower_handle.shutdown();
+
+    // The follower's store accounts for every record: 6 replicated + 1
+    // local post-promote, all replayed from its own log.
+    let (recovered, report) = recover(&follower_dir).unwrap();
+    assert_eq!(report.snapshot_lsn, 0);
+    assert_eq!(report.records_replayed, 7);
+    assert_eq!(recovered.len(), 87);
+    std::fs::remove_dir_all(&leader_dir).ok();
+    std::fs::remove_dir_all(&follower_dir).ok();
+}

@@ -25,6 +25,13 @@
 //!   [`recover_sharded`] recovers each shard directory independently and
 //!   reassembles the full engine, cross-checking globally disjoint id
 //!   spaces.
+//! * [`replication`] — leader/follower replication over the same
+//!   artifacts: a `LEMPSNP1` snapshot payload bootstraps a follower, and
+//!   `LEMPREP1` batches (byte-identical `LEMPWAL1` frames, strictly
+//!   sequential LSNs, CRC on every header and frame) tail-follow the
+//!   leader's log; [`DurableEngine::apply_replicated`] applies each record
+//!   log-then-apply at the follower's watermark. See the module docs for
+//!   the exact wire framing.
 //!
 //! # Recovery contract
 //!
@@ -64,6 +71,7 @@
 #![warn(missing_docs)]
 
 pub mod crc;
+pub mod replication;
 pub mod sharded;
 pub mod store;
 pub mod wal;

@@ -121,9 +121,9 @@ pub fn parse_snapshot_name(name: &str) -> Option<u64> {
 /// silently loaded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Marker {
-    lsn: u64,
-    snapshot_len: u64,
-    snapshot_crc: u32,
+    pub(crate) lsn: u64,
+    pub(crate) snapshot_len: u64,
+    pub(crate) snapshot_crc: u32,
 }
 
 /// Writes the `CHECKPOINT` marker atomically (tmp + fsync + rename + dir
@@ -148,7 +148,7 @@ pub(crate) fn write_marker(dir: &Path, marker: Marker) -> Result<(), StoreError>
 
 /// Reads the marker: `Ok(None)` when absent, [`StoreError::Corrupt`] when
 /// present but broken (recovery then falls back to scanning snapshots).
-fn read_marker(dir: &Path) -> Result<Option<Marker>, StoreError> {
+pub(crate) fn read_marker(dir: &Path) -> Result<Option<Marker>, StoreError> {
     let path = dir.join(MARKER);
     let mut bytes = Vec::new();
     match File::open(&path) {
@@ -611,6 +611,74 @@ impl DurableEngine {
         let removed = self.engine.remove(id);
         debug_assert!(removed);
         Ok(true)
+    }
+
+    /// Applies one record received from a replication leader at exactly
+    /// this store's watermark: validates it against the live engine,
+    /// appends it to the local log (so the follower's log reproduces the
+    /// leader's bit for bit), then applies it through the same replay
+    /// path crash recovery uses.
+    ///
+    /// # Errors
+    /// [`StoreError::Replay`] when `lsn` is a duplicate/stale record or a
+    /// gap (nothing is logged or applied — the tail loop re-requests from
+    /// the true watermark), or when the record contradicts the engine
+    /// state (a hostile or diverged leader); [`StoreError::Io`] when the
+    /// append fails.
+    pub fn apply_replicated(&mut self, lsn: u64, record: &WalRecord) -> Result<(), StoreError> {
+        let next = self.wal.next_lsn();
+        if lsn != next {
+            let detail = if lsn < next {
+                format!("duplicate or stale record (local watermark is {next})")
+            } else {
+                format!("gap: expected LSN {next}")
+            };
+            return Err(StoreError::Replay { lsn, detail });
+        }
+        // Validate before appending: the log and the engine must never
+        // diverge, so the record goes to disk only once the apply below
+        // cannot fail.
+        match record {
+            WalRecord::Insert { id, vector } => {
+                if *id != self.engine.next_id() {
+                    return Err(StoreError::Replay {
+                        lsn,
+                        detail: format!(
+                            "insert carries id {id}, engine would assign {}",
+                            self.engine.next_id()
+                        ),
+                    });
+                }
+                if vector.len() != self.engine.dim() {
+                    return Err(StoreError::Replay {
+                        lsn,
+                        detail: format!(
+                            "vector has {} coordinates, engine dimensionality is {}",
+                            vector.len(),
+                            self.engine.dim()
+                        ),
+                    });
+                }
+                if let Some(i) = vector.iter().position(|x| !x.is_finite()) {
+                    return Err(StoreError::Replay {
+                        lsn,
+                        detail: format!("coordinate {i} is not finite"),
+                    });
+                }
+            }
+            WalRecord::Remove { id } => {
+                if !self.engine.contains(*id) {
+                    return Err(StoreError::Replay {
+                        lsn,
+                        detail: format!("remove of dead id {id}"),
+                    });
+                }
+            }
+            WalRecord::Rebuild => {}
+        }
+        let appended = self.wal.append(record)?;
+        debug_assert_eq!(appended, lsn);
+        apply(&mut self.engine, lsn, record, IdSpace::Dense)
     }
 
     /// **Log-then-apply rebuild** ([`DynamicLemp::rebuild`]).

@@ -52,7 +52,7 @@ const FRAME_PREFIX: usize = 8;
 /// Upper bound on a single record payload (a record holds at most one
 /// probe vector; 64 MiB is ≈ one million f64 coordinates). Lengths beyond
 /// it are treated as corruption rather than allocation requests.
-const MAX_PAYLOAD: u32 = 1 << 26;
+pub(crate) const MAX_PAYLOAD: u32 = 1 << 26;
 
 const KIND_INSERT: u8 = 1;
 const KIND_REMOVE: u8 = 2;
@@ -127,7 +127,7 @@ pub(crate) fn encode_frame(lsn: u64, record: &WalRecord) -> Vec<u8> {
 
 /// Decodes a CRC-verified payload; errors describe the defect for the torn
 /// diagnostic.
-fn decode_payload(payload: &[u8]) -> Result<(u64, WalRecord), String> {
+pub(crate) fn decode_payload(payload: &[u8]) -> Result<(u64, WalRecord), String> {
     let take_u64 = |bytes: &[u8], at: usize, what: &str| -> Result<u64, String> {
         bytes
             .get(at..at + 8)

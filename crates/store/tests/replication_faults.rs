@@ -1,0 +1,298 @@
+//! Fault sweeps for the replication protocol, in the `crash_injection.rs`
+//! style.
+//!
+//! The contract under test:
+//!
+//! * A replication batch truncated at **every byte offset**, or corrupted
+//!   by **any single bit flip**, decodes to a structured
+//!   [`StoreError::Corrupt`] — never a panic, never silently fewer or
+//!   different records than the header promised.
+//! * A hostile leader feeding duplicate, stale, or out-of-order LSNs is
+//!   rejected at decode (non-sequential batch) or at apply
+//!   ([`StoreError::Replay`]), leaving the follower's engine untouched.
+//! * A follower that crashes mid-tail and restarts resumes from its
+//!   durable watermark, and after catching up is **bit-identical** to the
+//!   leader (serialized `LEMPDYN1` images compared byte-wise).
+//! * A leader that compacted past a follower's watermark reports a gap,
+//!   not garbage.
+
+use std::path::PathBuf;
+
+use lemp_core::{BucketPolicy, DynamicLemp, RunConfig};
+use lemp_data::synthetic::GeneratorConfig;
+use lemp_store::crc::crc32;
+use lemp_store::replication::{
+    bootstrap, decode_batch, decode_snapshot, encode_batch, feed, read_bootstrap, Feed,
+};
+use lemp_store::{DurableEngine, StoreError, StoreOptions, SyncPolicy, WalRecord};
+
+const DIM: usize = 4;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lemp-repl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn base_engine(seed: u64) -> DynamicLemp {
+    let probes = GeneratorConfig::gaussian(24, DIM, 1.0).generate(seed);
+    let policy = BucketPolicy { min_bucket: 8, cache_bytes: 64 << 10, ..Default::default() };
+    let config = RunConfig { sample_size: 8, ..Default::default() };
+    DynamicLemp::new(&probes, policy, config)
+}
+
+fn options() -> StoreOptions {
+    StoreOptions { sync: SyncPolicy::Always, ..Default::default() }
+}
+
+/// Bit-exact fingerprint: the serialized `LEMPDYN1` image.
+fn image(engine: &DynamicLemp) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    engine.write_to(&mut bytes).unwrap();
+    bytes
+}
+
+fn sample_records(from: u64, n: usize) -> Vec<(u64, WalRecord)> {
+    (0..n)
+        .map(|i| {
+            let lsn = from + i as u64;
+            match i % 3 {
+                0 => (lsn, WalRecord::Insert { id: i as u32, vector: vec![0.5; DIM] }),
+                1 => (lsn, WalRecord::Remove { id: i as u32 }),
+                _ => (lsn, WalRecord::Rebuild),
+            }
+        })
+        .collect()
+}
+
+/// Hand-rolls one WAL frame (`len | crc | payload`) so tests can forge
+/// LSN sequences `encode_batch` refuses to produce.
+fn forged_frame(lsn: u64, id: u32) -> Vec<u8> {
+    let mut payload = vec![1u8]; // KIND_INSERT
+    payload.extend_from_slice(&lsn.to_le_bytes());
+    payload.extend_from_slice(&id.to_le_bytes());
+    payload.extend_from_slice(&(DIM as u64).to_le_bytes());
+    for _ in 0..DIM {
+        payload.extend_from_slice(&1.0f64.to_le_bytes());
+    }
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Hand-rolls a whole batch around forged frames — a hostile leader.
+fn forged_batch(from: u64, leader_next: u64, lsns: &[u64]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"LEMPREP1");
+    bytes.extend_from_slice(&from.to_le_bytes());
+    bytes.extend_from_slice(&leader_next.to_le_bytes());
+    bytes.extend_from_slice(&(lsns.len() as u32).to_le_bytes());
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    for &lsn in lsns {
+        bytes.extend_from_slice(&forged_frame(lsn, lsn as u32));
+    }
+    bytes
+}
+
+#[test]
+fn truncated_batch_at_every_offset_is_structured() {
+    let records = sample_records(3, 6);
+    let bytes = encode_batch(3, 9, &records);
+    for len in 0..bytes.len() {
+        match decode_batch(&bytes[..len], 3) {
+            Err(StoreError::Corrupt { .. }) => {}
+            other => panic!("truncation at {len}/{} gave {other:?}", bytes.len()),
+        }
+    }
+    assert_eq!(decode_batch(&bytes, 3).unwrap().records, records);
+}
+
+#[test]
+fn every_single_bit_flip_in_a_batch_is_detected() {
+    let records = sample_records(0, 4);
+    let bytes = encode_batch(0, 4, &records);
+    for offset in 0..bytes.len() {
+        for bit in [0x01u8, 0x80u8] {
+            let mut flipped = bytes.clone();
+            flipped[offset] ^= bit;
+            match decode_batch(&flipped, 0) {
+                Err(StoreError::Corrupt { .. }) => {}
+                other => panic!("flip of bit {bit:#04x} at byte {offset} gave {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_snapshot_at_every_offset_is_structured() {
+    let engine = base_engine(11);
+    let payload = {
+        let dir = tmpdir("snap-trunc");
+        let store = DurableEngine::create(&dir, engine, options()).unwrap();
+        drop(store);
+        let bytes = read_bootstrap(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        bytes
+    };
+    for len in 0..payload.len() {
+        match decode_snapshot(&payload[..len]) {
+            Err(StoreError::Corrupt { .. }) => {}
+            other => panic!("truncation at {len}/{} gave {other:?}", payload.len()),
+        }
+    }
+    assert!(decode_snapshot(&payload).is_ok());
+}
+
+#[test]
+fn hostile_duplicate_and_out_of_order_lsns_are_rejected_at_decode() {
+    // Duplicate LSN inside the batch.
+    let dup = forged_batch(5, 9, &[5, 5]);
+    assert!(matches!(decode_batch(&dup, 5), Err(StoreError::Corrupt { .. })));
+    // A skipped LSN inside the batch.
+    let gap = forged_batch(5, 9, &[5, 7]);
+    assert!(matches!(decode_batch(&gap, 5), Err(StoreError::Corrupt { .. })));
+    // Reordered records.
+    let swapped = forged_batch(5, 9, &[6, 5]);
+    assert!(matches!(decode_batch(&swapped, 5), Err(StoreError::Corrupt { .. })));
+    // A batch answering a different watermark than the follower asked for.
+    let shifted = forged_batch(4, 9, &[4, 5]);
+    assert!(matches!(decode_batch(&shifted, 5), Err(StoreError::Corrupt { .. })));
+    // A count larger than the frames present.
+    let mut short = forged_batch(5, 9, &[5, 6]);
+    short.truncate(short.len() - forged_frame(6, 6).len());
+    assert!(matches!(decode_batch(&short, 5), Err(StoreError::Corrupt { .. })));
+}
+
+#[test]
+fn apply_replicated_rejects_hostile_lsns_without_touching_the_engine() {
+    let dir = tmpdir("hostile-apply");
+    let mut store = DurableEngine::create(&dir, base_engine(3), options()).unwrap();
+    let next_id = store.engine().next_id();
+    store.apply_replicated(0, &WalRecord::Insert { id: next_id, vector: vec![1.0; DIM] }).unwrap();
+    let before = image(store.engine());
+
+    // Stale / duplicate.
+    let stale = store.apply_replicated(0, &WalRecord::Rebuild).unwrap_err();
+    assert!(matches!(stale, StoreError::Replay { lsn: 0, .. }), "{stale}");
+    // Gap.
+    let gap = store.apply_replicated(5, &WalRecord::Rebuild).unwrap_err();
+    assert!(matches!(gap, StoreError::Replay { lsn: 5, .. }), "{gap}");
+    // Insert with an id the engine would not assign.
+    let bad_id = store
+        .apply_replicated(1, &WalRecord::Insert { id: 999, vector: vec![1.0; DIM] })
+        .unwrap_err();
+    assert!(matches!(bad_id, StoreError::Replay { lsn: 1, .. }), "{bad_id}");
+    // Insert with the wrong dimensionality.
+    let bad_dim = store
+        .apply_replicated(1, &WalRecord::Insert { id: next_id + 1, vector: vec![1.0; DIM + 2] })
+        .unwrap_err();
+    assert!(matches!(bad_dim, StoreError::Replay { lsn: 1, .. }), "{bad_dim}");
+    // Remove of a dead id.
+    let dead = store.apply_replicated(1, &WalRecord::Remove { id: 998 }).unwrap_err();
+    assert!(matches!(dead, StoreError::Replay { lsn: 1, .. }), "{dead}");
+
+    // None of the rejected records reached the engine or the log.
+    assert_eq!(image(store.engine()), before);
+    assert_eq!(store.next_lsn(), 1);
+    drop(store);
+    let (_, report) = DurableEngine::open(&dir, options()).unwrap();
+    assert_eq!(report.records_replayed, 1, "rejected records must not be logged");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn follower_restart_mid_tail_resumes_from_its_durable_watermark() {
+    let leader_dir = tmpdir("restart-leader");
+    let follower_dir = tmpdir("restart-follower");
+    let mut leader = DurableEngine::create(&leader_dir, base_engine(7), options()).unwrap();
+    for i in 0..18u32 {
+        if i % 5 == 4 {
+            assert!(leader.remove(i - 2).unwrap());
+        } else {
+            leader.insert(&[0.25 * f64::from(i); DIM]).unwrap();
+        }
+    }
+    assert_eq!(leader.next_lsn(), 18);
+
+    // Bootstrap and tail half of the log.
+    let payload = read_bootstrap(&leader_dir).unwrap();
+    let (mut follower, report) = bootstrap(&follower_dir, &payload, options()).unwrap();
+    assert_eq!(report.snapshot_lsn, 0);
+    assert_eq!(report.records_replayed, 0);
+    let Feed::Batch { bytes, records, leader_next } = feed(&leader_dir, 0, 9).unwrap() else {
+        panic!("expected a batch");
+    };
+    assert_eq!((records, leader_next), (9, 18));
+    for (lsn, record) in decode_batch(&bytes, 0).unwrap().records {
+        follower.apply_replicated(lsn, &record).unwrap();
+    }
+    assert_eq!(follower.next_lsn(), 9);
+    follower.simulate_crash().unwrap(); // crash mid-tail
+
+    // Restart: recovery lands exactly on the durable watermark …
+    let (mut follower, report) = DurableEngine::open(&follower_dir, options()).unwrap();
+    assert_eq!(report.records_replayed, 9);
+    assert_eq!(follower.next_lsn(), 9);
+
+    // … and tailing from it converges to a bit-identical engine.
+    let Feed::Batch { bytes, .. } = feed(&leader_dir, follower.next_lsn(), 4096).unwrap() else {
+        panic!("expected a batch");
+    };
+    for (lsn, record) in decode_batch(&bytes, 9).unwrap().records {
+        follower.apply_replicated(lsn, &record).unwrap();
+    }
+    assert_eq!(follower.next_lsn(), leader.next_lsn());
+    assert_eq!(image(follower.engine()), image(leader.engine()));
+
+    // A caught-up follower gets an empty batch, not an error.
+    let Feed::Batch { records, leader_next, .. } = feed(&leader_dir, 18, 4096).unwrap() else {
+        panic!("expected a batch");
+    };
+    assert_eq!((records, leader_next), (0, 18));
+    std::fs::remove_dir_all(&leader_dir).ok();
+    std::fs::remove_dir_all(&follower_dir).ok();
+}
+
+#[test]
+fn feed_reports_a_gap_after_the_leader_compacts_past_the_watermark() {
+    let dir = tmpdir("gap");
+    let mut leader = DurableEngine::create(&dir, base_engine(9), options()).unwrap();
+    for i in 0..6u32 {
+        leader.insert(&[f64::from(i); DIM]).unwrap();
+    }
+    leader.compact().unwrap();
+    match feed(&dir, 0, 4096).unwrap() {
+        Feed::Gap { first_available } => assert_eq!(first_available, 6),
+        other => panic!("expected a gap, got {other:?}"),
+    }
+    // The checkpoint itself is still feedable.
+    assert!(matches!(feed(&dir, 6, 4096), Ok(Feed::Batch { records: 0, .. })));
+    drop(leader);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bootstrap_rejects_bad_payloads_and_existing_stores() {
+    let leader_dir = tmpdir("bootstrap-leader");
+    let store = DurableEngine::create(&leader_dir, base_engine(13), options()).unwrap();
+    drop(store);
+    let payload = read_bootstrap(&leader_dir).unwrap();
+
+    // A corrupted image is rejected before anything is written.
+    let target = tmpdir("bootstrap-target");
+    let mut flipped = payload.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x20;
+    assert!(matches!(bootstrap(&target, &flipped, options()), Err(StoreError::Corrupt { .. })));
+    assert!(!DurableEngine::exists(&target), "rejected bootstrap must leave no store behind");
+
+    // A valid payload bootstraps; bootstrapping over it is refused.
+    let (follower, _) = bootstrap(&target, &payload, options()).unwrap();
+    drop(follower);
+    assert!(matches!(bootstrap(&target, &payload, options()), Err(StoreError::Missing(_))));
+    std::fs::remove_dir_all(&leader_dir).ok();
+    std::fs::remove_dir_all(&target).ok();
+}
