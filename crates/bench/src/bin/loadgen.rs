@@ -22,8 +22,13 @@
 //!   `POST /probes` (batches of 16) *before* the query phase — probe
 //!   churn for the durability crash drills. Works against every backend,
 //!   sharded ones included: the per-insert `shards` array in the reply is
-//!   accumulated into a routed-edit distribution. Incompatible with
-//!   `verify-probes=` (the inserted vectors are not in the matrix file).
+//!   accumulated into a routed-edit distribution. Per-batch edit latency
+//!   percentiles are reported (`edit_latency_ms` in the JSON report) —
+//!   against a `sync-replicas=` leader they measure the quorum wait, not
+//!   just the local fsync. A `503` with `code: "quorum_timeout"` is
+//!   counted, not fatal: the server applied and fsynced the edit, only
+//!   the follower quorum lagged. Incompatible with `verify-probes=` (the
+//!   inserted vectors are not in the matrix file).
 //! * `follower=<addr>` is the replication consistency gate: after the
 //!   query phase, wait (bounded) for the follower's `replication.lag_lsn`
 //!   to reach 0, then replay every acknowledged request against the
@@ -142,14 +147,20 @@ fn main() {
     // absorbed, from the `shards` array the server reports per insert
     // (single-engine servers report shard 0 for everything).
     let mut shard_inserts: Vec<u64> = Vec::new();
+    // Per-batch POST /probes latency — against a semi-synchronous leader
+    // this includes the quorum wait, so it is the client-visible edit cost.
+    let mut edit_latencies: Vec<u64> = Vec::new();
+    let mut quorum_timeouts = 0usize;
     if insert_probes > 0 {
         let churn = GeneratorConfig::gaussian(insert_probes, dim, 1.0).generate(seed ^ 0x9E37_79B9);
         let mut lo = 0;
         while lo < churn.len() {
             let hi = (lo + 16).min(churn.len());
             let body = obj(vec![("insert", queries_json(&churn, lo, hi))]);
+            let start = Instant::now();
             match client::post(&addr, "/probes", &body) {
                 Ok((200, reply)) => {
+                    edit_latencies.push(start.elapsed().as_nanos() as u64);
                     inserted_probes +=
                         reply.get("inserted").and_then(Json::as_arr).map_or(0, |a| a.len());
                     if let Some(shards) = reply.get("shards").and_then(Json::as_arr) {
@@ -161,6 +172,17 @@ fn main() {
                             shard_inserts[shard] += 1;
                         }
                     }
+                }
+                Ok((503, reply))
+                    if reply.get("code").and_then(Json::as_str) == Some("quorum_timeout") =>
+                {
+                    // The leader applied and fsynced the batch; only the
+                    // follower quorum lagged. Count the whole batch as
+                    // inserted (the 503 body carries no per-insert ids) and
+                    // keep going — delayed replication is not lost data.
+                    edit_latencies.push(start.elapsed().as_nanos() as u64);
+                    quorum_timeouts += 1;
+                    inserted_probes += hi - lo;
                 }
                 Ok((status, reply)) => {
                     eprintln!("loadgen: POST /probes returned {status}: {reply:?}");
@@ -177,11 +199,15 @@ fn main() {
             eprintln!("loadgen: asked for {insert_probes} inserts, server took {inserted_probes}");
             std::process::exit(1);
         }
+        edit_latencies.sort_unstable();
         let spread: Vec<String> = shard_inserts.iter().map(u64::to_string).collect();
         eprintln!(
             "loadgen: inserted {inserted_probes} probes before the query phase \
-             (per shard: [{}])",
-            spread.join(", ")
+             (per shard: [{}]) | edit latency p50 {:.3} ms, p99 {:.3} ms | \
+             {quorum_timeouts} quorum timeouts",
+            spread.join(", "),
+            percentile(&edit_latencies, 50.0),
+            percentile(&edit_latencies, 99.0),
         );
     }
 
@@ -486,6 +512,16 @@ fn main() {
             ("shed", Json::Num(shed as f64)),
             ("errors", Json::Num(errors as f64)),
             ("inserted_probes", Json::Num(inserted_probes as f64)),
+            ("quorum_timeouts", Json::Num(quorum_timeouts as f64)),
+            (
+                "edit_latency_ms",
+                if edit_latencies.is_empty() {
+                    Json::Null
+                } else {
+                    let ep = |p: f64| Json::Num(percentile(&edit_latencies, p));
+                    obj(vec![("p50", ep(50.0)), ("p95", ep(95.0)), ("p99", ep(99.0))])
+                },
+            ),
             (
                 "shard_inserts",
                 if shard_inserts.is_empty() {

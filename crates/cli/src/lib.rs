@@ -51,7 +51,7 @@ pub const USAGE: &str = "usage:
   lemp-cli topn        <queries> <probes> n=<n> [chunk=<n>] [out=<path>]
   lemp-cli index       <probes> <engine-out> [variant=...] [shards=<n>] [shard-policy=<rr|banded>]
   lemp-cli self-join   <matrix> t=<f> [out=<path>]
-  lemp-cli serve       <probes|engine.eng> [addr=127.0.0.1:0] [workers=<n>] [queue=<n>] [batch=<n>] [variant=...] [sample=<matrix>] [warm-k=<n>] [shards=<n>] [shard-policy=<rr|banded>] [durable=<dir>] [sync=<always|never|N>] [replication=<addr>] [replicate-from=<addr>]
+  lemp-cli serve       <probes|engine.eng> [addr=127.0.0.1:0] [workers=<n>] [queue=<n>] [batch=<n>] [variant=...] [sample=<matrix>] [warm-k=<n>] [shards=<n>] [shard-policy=<rr|banded>] [durable=<dir>] [sync=<always|never|N>] [replication=<addr>] [sync-replicas=<n>] [quorum-timeout-ms=<n>] [replicate-from=<addr>]
   lemp-cli promote     <addr>
   lemp-cli recover     <store-dir> [verify=<bool>] [out=<engine.eng>]
   lemp-cli compact     <store-dir>
@@ -76,10 +76,15 @@ from the latest snapshot + WAL tail of a single or sharded store (verify=true
 gates its answers against Naive, out= saves the recovered engine image);
 `compact` folds the log(s) into fresh snapshots and prunes covered segments;
 replication=<addr> (leader) serves the store's snapshot + WAL to followers on a
-second listener; replicate-from=<addr> (follower) bootstraps an empty durable=
+second listener; sync-replicas=<n> makes the leader semi-synchronous — each
+POST /probes acknowledgment waits until n followers' durable watermarks cover
+the edit (bounded by quorum-timeout-ms, default 2000; on timeout the server
+answers a structured 503 with code quorum_timeout and the edit stays durable
+locally); replicate-from=<addr> (follower) bootstraps an empty durable=
 store from that leader and tails its WAL, serving reads only (POST /probes is
-409) until `promote` flips it to a standalone leader; both require durable=
-with a single (non-sharded) store";
+409) until `promote` fences the store with a fresh epoch and flips it to a
+standalone leader (a second promote is rejected with code already_fenced);
+both require durable= with a single (non-sharded) store";
 
 /// Entry point shared by the binary and the tests. `args` excludes the
 /// program name.
@@ -675,6 +680,13 @@ fn serve(args: &[String]) -> Result<(), String> {
     if (replication.is_some() || replicate_from.is_some()) && (sharded_store || shards.is_some()) {
         return Err("replication requires a single durable store (drop shards=)".into());
     }
+    let sync_replicas: usize = opt_parse(args, "sync-replicas", 0)?;
+    let quorum_timeout_ms: u64 = opt_parse(args, "quorum-timeout-ms", 2_000)?;
+    if (sync_replicas > 0 || opt(args, "quorum-timeout-ms").is_some()) && replication.is_none() {
+        return Err(
+            "sync-replicas=/quorum-timeout-ms= require replication=<addr> (a leader)".into()
+        );
+    }
 
     // Warm-up sample: an explicit file, or (None) the engine's own probe
     // vectors — drawn from the same latent space, a reasonable tuning
@@ -928,6 +940,8 @@ fn serve(args: &[String]) -> Result<(), String> {
         workers: workers.max(1),
         queue_cap: queue.max(1),
         batch_max: batch.max(1),
+        sync_replicas,
+        quorum_timeout: std::time::Duration::from_millis(quorum_timeout_ms),
         ..Default::default()
     };
     let mut server =
@@ -965,7 +979,11 @@ fn promote_cmd(args: &[String]) -> Result<(), String> {
     }
     let next_lsn = body.get("next_lsn").and_then(|v| v.as_u64()).unwrap_or(0);
     let probes = body.get("probes").and_then(|v| v.as_u64()).unwrap_or(0);
-    println!("promoted {addr}: accepting edits at LSN {next_lsn}, {probes} probes live");
+    let epoch = body.get("fence_epoch").and_then(|v| v.as_u64()).unwrap_or(0);
+    println!(
+        "promoted {addr}: fence epoch {epoch}, accepting edits at LSN {next_lsn}, \
+         {probes} probes live"
+    );
     Ok(())
 }
 
@@ -1813,6 +1831,15 @@ mod tests {
         assert!(err.contains("requires durable"), "{err}");
         let err = run(&s(&["serve", p.to_str().unwrap(), &durable, "sync=sometimes"])).unwrap_err();
         assert!(err.contains("sync policy"), "{err}");
+        // Quorum knobs are leader-only: they demand replication=<addr>.
+        let err =
+            run(&s(&["serve", p.to_str().unwrap(), &durable, "sync-replicas=1"])).unwrap_err();
+        assert!(err.contains("require replication="), "{err}");
+        let err = run(&s(&["serve", p.to_str().unwrap(), &durable, "quorum-timeout-ms=500"]))
+            .unwrap_err();
+        assert!(err.contains("require replication="), "{err}");
+        let err = run(&s(&["serve", p.to_str().unwrap(), "replication=127.0.0.1:0"])).unwrap_err();
+        assert!(err.contains("requires durable"), "{err}");
         std::fs::remove_file(&p).ok();
     }
 

@@ -24,7 +24,7 @@
 //! | `POST /probes` | `{"insert"?: [[f64; dim], …], "remove"?: [id, …]}` | `{"inserted": [id, …], "shards": [s, …], "removed": [bool, …], "probes": n}` |
 //! | `GET /healthz` | — | `{"ok": true, "probes": n, "dim": d, "warm": true}` |
 //! | `GET /stats` | — | `{"counters": {…}, "engine": {…}}` |
-//! | `POST /promote` | — | `{"promoted": true, "next_lsn": l, "probes": n}` (followers only) |
+//! | `POST /promote` | — | `{"promoted": true, "fence_epoch": e, "next_lsn": l, "probes": n}` (followers only; `409 {"code": "already_fenced"}` on a second promote) |
 //!
 //! `query` indices in `/above-theta` responses are row indices *within the
 //! request*; `id`/`probe` are the engine's stable probe ids. `POST
@@ -57,17 +57,28 @@
 //!
 //! A durable single-store server can be a replication **leader**
 //! ([`Server::enable_leader`]): a second listener streams its checkpoint
-//! snapshot and WAL batches (the `lemp-store` `LEMPSNP1`/`LEMPREP1` wire
+//! snapshot and WAL batches (the `lemp-store` `LEMPSNP2`/`LEMPREP2` wire
 //! framing — see [`lemp_store::replication`]) to followers via
 //! `GET /repl/snapshot` and long-polled `GET /repl/wal?from=<lsn>`.
 //! A **follower** ([`Server::replicate_from`]) tail-follows a leader from
 //! its own durable watermark, applying records under the engine write
 //! lock through the same self-verifying replay crash recovery uses; it
 //! serves reads through the unchanged `&self` query path, answers `409`
-//! to `POST /probes`, and `POST /promote` flips it read-write (the tail
-//! loop stops before the promote is acknowledged). `/stats` carries a
-//! `replication` object: `role`, `lag_lsn`, `leader`/`promoted` on a
-//! follower, per-follower progress counters on a leader.
+//! to `POST /probes`, and `POST /promote` fences the store with a fresh
+//! epoch and flips it read-write (the tail loop stops before the promote
+//! is acknowledged, and the fencing epoch shuts the old leader out of
+//! every replication path). `/stats` carries a `replication` object:
+//! `role`, `lag_lsn`, `fence_epoch`, `leader`/`promoted` on a follower,
+//! per-follower progress counters on a leader.
+//!
+//! With [`ServeConfig::sync_replicas]` set to `n > 0`, acknowledgments
+//! turn **semi-synchronous**: a leader holds each `POST /probes` response
+//! until `n` followers' durable watermarks cover the edit's last LSN
+//! (their long-poll `from` *is* the ack), bounded by
+//! [`ServeConfig::quorum_timeout`]. On timeout the server answers a
+//! structured `503` with `code: "quorum_timeout"` — the edit **is**
+//! durable locally and stays queued for followers; the client learns
+//! replication lagged, not that data was lost.
 //!
 //! # Query dispatch
 //!
@@ -120,6 +131,17 @@ pub struct ServeConfig {
     pub io_timeout: Option<Duration>,
     /// Largest accepted request body in bytes.
     pub max_body: usize,
+    /// Followers whose durable watermark must cover an edit before the
+    /// leader acknowledges it (`0` = asynchronous, the default). Only
+    /// meaningful on a replication leader.
+    pub sync_replicas: usize,
+    /// How long a `POST /probes` response may wait for the
+    /// `sync_replicas` quorum before answering `503 quorum_timeout`.
+    pub quorum_timeout: Duration,
+    /// A follower that has not polled within this window is expired from
+    /// the progress table: its stale watermark can neither satisfy nor
+    /// block a quorum, and `/stats` stops listing it.
+    pub follower_ttl: Duration,
 }
 
 impl Default for ServeConfig {
@@ -130,6 +152,9 @@ impl Default for ServeConfig {
             batch_max: 8,
             io_timeout: Some(Duration::from_secs(5)),
             max_body: 16 << 20,
+            sync_replicas: 0,
+            quorum_timeout: Duration::from_secs(2),
+            follower_ttl: Duration::from_secs(10),
         }
     }
 }
@@ -719,6 +744,7 @@ fn dispatch(
             ]);
             let wal = engine.wal_stats();
             let wal_shards = engine.shard_wal_stats();
+            let fence_epoch = engine.durable_store().map(|s| s.fence_epoch());
             drop(engine);
             let render_wal = |wal: &WalStats| {
                 obj(vec![
@@ -731,7 +757,8 @@ fn dispatch(
                 ])
             };
             let mut fields = vec![("counters", shared.stats.snapshot()), ("engine", engine_info)];
-            if let Some(replication) = shared.repl.stats_json() {
+            if let Some(replication) = shared.repl.stats_json(shared.cfg.follower_ttl, fence_epoch)
+            {
                 fields.push(("replication", replication));
             }
             if let Some(wal) = wal {
@@ -1095,6 +1122,7 @@ fn handle_probes(stream: TcpStream, request: &Request, shared: &Shared) {
 
     ServerStats::bump(&shared.stats.probe_requests);
     let mut guard = shared.write_engine();
+    let pre_lsn = guard.durable_store().map(|s| s.next_lsn());
     // Every backend runs the same loop (the engine kind is dispatched once
     // per request, not per record); the durable ones append each edit to
     // the owning WAL *before* applying it (log-then-apply), still under
@@ -1160,6 +1188,7 @@ fn handle_probes(stream: TcpStream, request: &Request, shared: &Shared) {
         }),
     };
     let live = guard.len();
+    let post_lsn = guard.durable_store().map(|s| s.next_lsn());
     // Invalidate worker plan caches *while still holding the write lock*:
     // a reader that observes the old counter is ordered before this edit
     // and executes against the pre-edit engine, never a stale mix. This
@@ -1168,6 +1197,48 @@ fn handle_probes(stream: TcpStream, request: &Request, shared: &Shared) {
     drop(guard);
     if let Some((status, message)) = failure {
         return respond_error(shared, stream, status, message);
+    }
+    // Semi-synchronous mode: hold the acknowledgment (outside the engine
+    // lock — queries and followers keep flowing) until `sync_replicas`
+    // fresh followers' durable watermarks cover this request's last LSN.
+    // On timeout the edit is NOT rolled back: it is fsynced locally and
+    // stays queued for every follower, so the structured 503 reports
+    // delayed replication, never lost data.
+    if shared.cfg.sync_replicas > 0
+        && shared.repl.role.load(Ordering::SeqCst) == replication::ROLE_LEADER
+    {
+        if let (Some(pre), Some(post)) = (pre_lsn, post_lsn) {
+            if post > pre {
+                if let Err(acked) = shared.repl.await_quorum(
+                    shared.cfg.sync_replicas,
+                    post,
+                    shared.cfg.quorum_timeout,
+                    shared.cfg.follower_ttl,
+                ) {
+                    ServerStats::bump(&shared.stats.quorum_timeouts);
+                    return respond(
+                        stream,
+                        503,
+                        &obj(vec![
+                            (
+                                "error",
+                                Json::Str(format!(
+                                    "quorum not reached: {acked} of {} required followers \
+                                     acknowledged LSN {post} within {}ms; the edit is durable \
+                                     locally and queued for followers",
+                                    shared.cfg.sync_replicas,
+                                    shared.cfg.quorum_timeout.as_millis()
+                                )),
+                            ),
+                            ("code", Json::Str("quorum_timeout".into())),
+                            ("required", Json::Num(shared.cfg.sync_replicas as f64)),
+                            ("acked", Json::Num(acked as f64)),
+                            ("lsn", Json::Num(post as f64)),
+                        ]),
+                    );
+                }
+            }
+        }
     }
     respond(
         stream,

@@ -1,18 +1,21 @@
 //! Role-aware replication plumbing for the server: the leader's
-//! replication listener and the follower's tail loop.
+//! replication listener, the follower's tail loop, quorum bookkeeping
+//! for semi-synchronous acknowledgments, and promote fencing.
 //!
 //! The leader side is a second, dedicated listener (bound via
 //! `lemp serve … replication=<addr>`) speaking the same hand-rolled
 //! HTTP/1.1 as the query surface, with binary `lemp-store` replication
 //! payloads as bodies:
 //!
-//! * `GET /repl/snapshot` → the `LEMPSNP1` bootstrap payload
+//! * `GET /repl/snapshot` → the `LEMPSNP2` bootstrap payload
 //!   ([`lemp_store::replication::read_bootstrap`]).
-//! * `GET /repl/wal?from=<lsn>&wait=<ms>&id=<follower>` → one `LEMPREP1`
-//!   batch from the leader's on-disk log
+//! * `GET /repl/wal?from=<lsn>&wait=<ms>&id=<follower>&epoch=<e>` → one
+//!   `LEMPREP2` batch from the leader's on-disk log
 //!   ([`lemp_store::replication::feed`]), long-polling up to `wait`
 //!   milliseconds when the follower is caught up; `410 Gone` with
-//!   `first_available` when compaction pruned past `from`.
+//!   `first_available` when compaction pruned past `from`; `409` with
+//!   `code: "fenced"` when the follower announces a fencing epoch newer
+//!   than the leader's — a fenced ex-leader must not feed anyone.
 //!
 //! The follower side is one background thread that long-polls the leader
 //! from the store's own watermark, applies each batch under the engine
@@ -21,11 +24,34 @@
 //! `replication.lag_lsn` gauge. Because the request LSN is always re-read
 //! from the store, the loop is idempotent across retries, leader restarts,
 //! and follower restarts — it resumes from whatever is durable locally.
+//!
+//! # Quorum acknowledgments
+//!
+//! With `sync-replicas=<n>` the leader holds every `POST /probes`
+//! response until `n` distinct followers' durable watermarks cover the
+//! edit's LSN. The watermark is the `from` a follower sends on its *next*
+//! poll — everything below it is applied and fsynced over there — so no
+//! extra ack round-trip exists: the poll itself is the ack.
+//! [`ReplState::await_quorum`] blocks on a condvar that every follower
+//! poll signals; only followers seen within `follower-ttl` count, so a
+//! ghost entry from a crashed follower can neither satisfy nor
+//! permanently block a quorum.
+//!
+//! # Fencing
+//!
+//! `POST /promote` appends a fencing-epoch record to the follower's own
+//! log ([`lemp_store::DurableEngine::fence`]) before acknowledging. The
+//! epoch replicates like any record, rides batch headers, and is
+//! announced by followers on every poll, so after a failover the old
+//! leader is rejected on every path: its feed answers `409 fenced`, its
+//! batches carry a stale epoch, and `apply_replicated` refuses
+//! non-monotonic epoch records. A second promote against an
+//! already-fenced store answers `409` with `code: "already_fenced"`.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -48,8 +74,9 @@ const MAX_WAIT_MS: u64 = 10_000;
 /// The follower's long-poll window per request.
 const TAIL_WAIT_MS: u64 = 500;
 
-/// Pause between leader-side polls of its own log during a long poll, and
-/// the follower's retry backoff after an unreachable leader.
+/// Pause between leader-side polls of its own log during a long poll and
+/// between acceptor polls of the nonblocking listener; also the
+/// follower's retry backoff after an unreachable leader.
 const POLL_SLEEP: Duration = Duration::from_millis(25);
 const RETRY_BACKOFF: Duration = Duration::from_millis(200);
 
@@ -61,6 +88,10 @@ pub(crate) struct FollowerProgress {
     pub(crate) acked_lsn: u64,
     pub(crate) batches: u64,
     pub(crate) records: u64,
+    /// When the follower last polled; entries older than the configured
+    /// TTL are expired so a restarted follower's ghost row can neither
+    /// satisfy nor block a quorum.
+    pub(crate) last_seen: Instant,
 }
 
 /// Replication state hanging off [`Shared`] — all of it atomics or
@@ -80,6 +111,9 @@ pub(crate) struct ReplState {
     /// The leader's replication listener address (for the shutdown poke).
     pub(crate) listener_addr: Mutex<Option<SocketAddr>>,
     pub(crate) followers: Mutex<Vec<FollowerProgress>>,
+    /// Signalled on every follower poll so `await_quorum` wakes as soon
+    /// as a watermark advances instead of busy-polling.
+    pub(crate) followers_cv: Condvar,
     pub(crate) last_error: Mutex<Option<String>>,
 }
 
@@ -95,8 +129,9 @@ impl ReplState {
     }
 
     /// The `/stats` `replication` object, or `None` when this server has
-    /// no replication role.
-    pub(crate) fn stats_json(&self) -> Option<Json> {
+    /// no replication role. Expired follower rows are pruned here too, so
+    /// `/stats` never advertises a ghost.
+    pub(crate) fn stats_json(&self, ttl: Duration, fence_epoch: Option<u64>) -> Option<Json> {
         let role = self.role.load(Ordering::SeqCst);
         let mut fields = vec![(
             "role",
@@ -110,13 +145,17 @@ impl ReplState {
             ),
         )];
         fields.push(("lag_lsn", Json::Num(self.lag.load(Ordering::SeqCst) as f64)));
+        if let Some(epoch) = fence_epoch {
+            fields.push(("fence_epoch", Json::Num(epoch as f64)));
+        }
         if role == ROLE_FOLLOWER {
             let leader = self.leader.lock().unwrap_or_else(|e| e.into_inner()).clone();
             fields.push(("leader", Json::Str(leader)));
             fields.push(("promoted", Json::Bool(self.promoted.load(Ordering::SeqCst))));
         }
         if role == ROLE_LEADER {
-            let followers = self.followers.lock().unwrap_or_else(|e| e.into_inner());
+            let mut followers = self.followers.lock().unwrap_or_else(|e| e.into_inner());
+            followers.retain(|f| f.last_seen.elapsed() <= ttl);
             let rendered = followers
                 .iter()
                 .map(|f| {
@@ -136,11 +175,13 @@ impl ReplState {
         Some(obj(fields))
     }
 
-    fn note_follower(&self, id: &str, acked_lsn: u64, records: u64) {
+    fn note_follower(&self, id: &str, acked_lsn: u64, records: u64, ttl: Duration) {
         let mut followers = self.followers.lock().unwrap_or_else(|e| e.into_inner());
+        followers.retain(|f| f.last_seen.elapsed() <= ttl || f.id == id);
         match followers.iter_mut().find(|f| f.id == id) {
             Some(f) => {
                 f.acked_lsn = acked_lsn;
+                f.last_seen = Instant::now();
                 if records > 0 {
                     f.batches += 1;
                     f.records += records;
@@ -151,7 +192,44 @@ impl ReplState {
                 acked_lsn,
                 batches: u64::from(records > 0),
                 records,
+                last_seen: Instant::now(),
             }),
+        }
+        drop(followers);
+        self.followers_cv.notify_all();
+    }
+
+    /// Blocks until `need` distinct followers seen within `ttl` have a
+    /// durable watermark at or above `target_lsn`, or until `timeout`
+    /// elapses. Returns the satisfied count on success, the best count
+    /// observed on timeout.
+    pub(crate) fn await_quorum(
+        &self,
+        need: usize,
+        target_lsn: u64,
+        timeout: Duration,
+        ttl: Duration,
+    ) -> Result<usize, usize> {
+        let deadline = Instant::now() + timeout;
+        let mut followers = self.followers.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            let acked = followers
+                .iter()
+                .filter(|f| f.last_seen.elapsed() <= ttl && f.acked_lsn >= target_lsn)
+                .count();
+            if acked >= need {
+                return Ok(acked);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(acked);
+            }
+            // Cap the wait at POLL_SLEEP so a follower *expiring* (which
+            // signals nothing) is still noticed promptly.
+            let wait = (deadline - now).min(POLL_SLEEP * 4);
+            let (guard, _) =
+                self.followers_cv.wait_timeout(followers, wait).unwrap_or_else(|e| e.into_inner());
+            followers = guard;
         }
     }
 }
@@ -177,24 +255,54 @@ pub(crate) fn start_leader(
     let shared = Arc::clone(shared);
     let handle = std::thread::Builder::new()
         .name("lemp-repl-acceptor".to_string())
-        .spawn(move || leader_loop(&listener, &shared, &dir))
+        .spawn(move || {
+            let shutdown = Arc::clone(&shared);
+            accept_loop(&listener, &shutdown.shutdown, |stream| {
+                let shared = Arc::clone(&shared);
+                let dir: PathBuf = dir.clone();
+                // Thread per connection: follower counts are small, and a
+                // long poll must not block the accept loop.
+                let _ = std::thread::Builder::new()
+                    .name("lemp-repl-conn".to_string())
+                    .spawn(move || handle_repl_conn(stream, &shared, &dir));
+            });
+        })
         .expect("spawn replication acceptor");
     Ok((bound, handle))
 }
 
-fn leader_loop(listener: &TcpListener, shared: &Arc<Shared>, dir: &Path) {
-    for conn in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
+/// Accepts connections until `shutdown` flips, polling a nonblocking
+/// listener. The old acceptor blocked in `accept` and only re-checked the
+/// flag after a connection arrived, so shutdown could hang until the next
+/// follower happened to connect; polling bounds that to one `POLL_SLEEP`.
+pub(crate) fn accept_loop(
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+    mut on_conn: impl FnMut(TcpStream),
+) {
+    // If the platform refuses nonblocking mode we fall back to blocking
+    // accepts; the self-connect nudge in `ServerHandle::shutdown` still
+    // unblocks those.
+    let nonblocking = listener.set_nonblocking(true).is_ok();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
         }
-        let Ok(stream) = conn else { continue };
-        let shared = Arc::clone(shared);
-        let dir: PathBuf = dir.to_path_buf();
-        // Thread per connection: follower counts are small, and a long
-        // poll must not block the accept loop.
-        let _ = std::thread::Builder::new()
-            .name("lemp-repl-conn".to_string())
-            .spawn(move || handle_repl_conn(stream, &shared, &dir));
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Per-connection I/O must block again (with timeouts set
+                // by the handler); nonblocking is an acceptor-only trick.
+                let _ = stream.set_nonblocking(false);
+                on_conn(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL_SLEEP),
+            Err(_) => {
+                if !nonblocking {
+                    continue;
+                }
+                std::thread::sleep(POLL_SLEEP);
+            }
+        }
     }
 }
 
@@ -239,10 +347,33 @@ fn handle_repl_conn(mut stream: TcpStream, shared: &Arc<Shared>, dir: &Path) {
                 .unwrap_or(0)
                 .min(MAX_WAIT_MS);
             let id = request.query_param("id").unwrap_or("anonymous").to_string();
-            shared.repl.note_follower(&id, from, 0);
+            let follower_epoch =
+                request.query_param("epoch").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+            let leader_epoch = shared.read_engine().durable_store().map_or(0, |s| s.fence_epoch());
+            if follower_epoch > leader_epoch {
+                // The follower has seen a newer fence than we ever wrote:
+                // we are the demoted half of a failover. Refuse to feed —
+                // our log may have diverged past the promote point.
+                return write_json(
+                    &mut stream,
+                    409,
+                    &obj(vec![
+                        (
+                            "error",
+                            Json::Str(format!(
+                                "follower is at fencing epoch {follower_epoch}, \
+                                 this leader only at {leader_epoch}; leader is fenced"
+                            )),
+                        ),
+                        ("code", Json::Str("fenced".into())),
+                        ("fence_epoch", Json::Num(leader_epoch as f64)),
+                    ]),
+                );
+            }
+            shared.repl.note_follower(&id, from, 0, shared.cfg.follower_ttl);
             let deadline = Instant::now() + Duration::from_millis(wait_ms);
             loop {
-                match feed(dir, from, MAX_BATCH_RECORDS) {
+                match feed(dir, from, MAX_BATCH_RECORDS, leader_epoch) {
                     Ok(Feed::Gap { first_available }) => {
                         return write_json(
                             &mut stream,
@@ -263,7 +394,12 @@ fn handle_repl_conn(mut stream: TcpStream, shared: &Arc<Shared>, dir: &Path) {
                             || Instant::now() >= deadline
                             || shared.shutdown.load(Ordering::SeqCst);
                         if done {
-                            shared.repl.note_follower(&id, from, records as u64);
+                            shared.repl.note_follower(
+                                &id,
+                                from,
+                                records as u64,
+                                shared.cfg.follower_ttl,
+                            );
                             let _ = http::write_response_bytes(
                                 &mut stream,
                                 200,
@@ -318,14 +454,40 @@ fn follower_loop(shared: &Arc<Shared>, leader: &str, follower_id: &str) {
             std::thread::sleep(RETRY_BACKOFF);
             backoff = false;
         }
-        let from = match shared.read_engine().durable_store().map(|s| s.next_lsn()) {
-            Some(lsn) => lsn,
-            None => return,
-        };
-        let path = format!("/repl/wal?from={from}&wait={TAIL_WAIT_MS}&id={follower_id}");
+        let (from, local_epoch) =
+            match shared.read_engine().durable_store().map(|s| (s.next_lsn(), s.fence_epoch())) {
+                Some(v) => v,
+                None => return,
+            };
+        let path = format!(
+            "/repl/wal?from={from}&wait={TAIL_WAIT_MS}&id={follower_id}&epoch={local_epoch}"
+        );
         match client::request_bytes(leader, "GET", &path, Some(Duration::from_secs(30))) {
             Ok((200, bytes)) => match decode_batch(&bytes, from) {
                 Ok(batch) => {
+                    if batch.epoch < local_epoch {
+                        // A batch stamped below our fence is the old
+                        // leader still talking after a failover; its log
+                        // may have diverged, so stop tailing it outright.
+                        shared.repl.record_error(format!(
+                            "leader {leader} is at fencing epoch {} but this store is fenced \
+                             at {local_epoch}; refusing its batches",
+                            batch.epoch
+                        ));
+                        return;
+                    }
+                    if batch.records.is_empty() {
+                        // Caught up: refresh the lag gauge without taking
+                        // the engine write lock. Skipping this left a
+                        // stale nonzero lag after the last real batch
+                        // whenever the leader went idle, and the CI drill
+                        // and loadgen both spin on `lag_lsn == 0`.
+                        shared
+                            .repl
+                            .lag
+                            .store(batch.leader_next_lsn.saturating_sub(from), Ordering::SeqCst);
+                        continue;
+                    }
                     let mut failed = None;
                     let local_next;
                     {
@@ -367,6 +529,15 @@ fn follower_loop(shared: &Arc<Shared>, leader: &str, follower_id: &str) {
                     backoff = true;
                 }
             },
+            Ok((409, _)) => {
+                // The leader admits it is fenced behind this store (or
+                // rejects our epoch outright): never tail a stale leader.
+                shared.repl.record_error(format!(
+                    "leader {leader} rejected fencing epoch {local_epoch} (409); \
+                     it is a demoted ex-leader — stopping the tail"
+                ));
+                return;
+            }
             Ok((410, _)) => {
                 shared.repl.record_error(format!(
                     "leader {leader} compacted past LSN {from}; re-bootstrap this follower"
@@ -387,9 +558,10 @@ fn follower_loop(shared: &Arc<Shared>, leader: &str, follower_id: &str) {
     }
 }
 
-/// `POST /promote`: a follower stops tailing and starts accepting edits.
-/// Idempotent — promoting an already-promoted follower reports the same
-/// shape again.
+/// `POST /promote`: a follower stops tailing, fences its log with a fresh
+/// epoch, and starts accepting edits. A second promote against an
+/// already-fenced store is rejected with `code: "already_fenced"` —
+/// exactly one caller wins the fence.
 pub(crate) fn handle_promote(mut stream: TcpStream, shared: &Shared) {
     if shared.repl.role.load(Ordering::SeqCst) != ROLE_FOLLOWER {
         return write_json_error(
@@ -398,22 +570,121 @@ pub(crate) fn handle_promote(mut stream: TcpStream, shared: &Shared) {
             "promote applies to a replicating follower".into(),
         );
     }
-    let (next_lsn, probes) = {
-        let engine = shared.write_engine();
+    let outcome = {
+        let mut engine = shared.write_engine();
         // Under the write lock: the tail loop applies batches under this
         // lock and re-checks `promoted` inside it, so once we release, no
         // replicated record can land after the promote is acknowledged.
-        shared.repl.promoted.store(true, Ordering::SeqCst);
-        let next = engine.durable_store().map_or(0, |s| s.next_lsn());
-        (next, engine.len())
+        // The swap arbitrates concurrent promotes — exactly one proceeds
+        // to write the fence.
+        if shared.repl.promoted.swap(true, Ordering::SeqCst) {
+            let epoch = engine.durable_store().map_or(0, |s| s.fence_epoch());
+            Err((
+                409,
+                obj(vec![
+                    ("error", Json::Str("already promoted: this store is fenced".into())),
+                    ("code", Json::Str("already_fenced".into())),
+                    ("fence_epoch", Json::Num(epoch as f64)),
+                ]),
+            ))
+        } else {
+            let fenced = match engine.durable_store_mut() {
+                Some(store) => store.fence().map(|(epoch, _lsn)| epoch),
+                None => unreachable!("followers always run a durable single-store backend"),
+            };
+            match fenced {
+                Ok(epoch) => {
+                    // The fence consumed an LSN; cached plans key on edits.
+                    shared.edits.fetch_add(1, Ordering::Release);
+                    let next = engine.durable_store().map_or(0, |s| s.next_lsn());
+                    Ok((epoch, next, engine.len()))
+                }
+                Err(e) => {
+                    // The fence never became durable: surrender the
+                    // promotion so a retry (or a rival) can take it.
+                    shared.repl.promoted.store(false, Ordering::SeqCst);
+                    Err((500, obj(vec![("error", Json::Str(format!("fencing failed: {e}")))])))
+                }
+            }
+        }
     };
-    write_json(
-        &mut stream,
-        200,
-        &obj(vec![
-            ("promoted", Json::Bool(true)),
-            ("next_lsn", Json::Num(next_lsn as f64)),
-            ("probes", Json::Num(probes as f64)),
-        ]),
-    );
+    match outcome {
+        Ok((epoch, next_lsn, probes)) => write_json(
+            &mut stream,
+            200,
+            &obj(vec![
+                ("promoted", Json::Bool(true)),
+                ("fence_epoch", Json::Num(epoch as f64)),
+                ("next_lsn", Json::Num(next_lsn as f64)),
+                ("probes", Json::Num(probes as f64)),
+            ]),
+        ),
+        Err((status, body)) => write_json(&mut stream, status, &body),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_loop_stops_on_shutdown_without_a_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let acceptor = std::thread::spawn(move || accept_loop(&listener, &flag, |_| {}));
+        std::thread::sleep(Duration::from_millis(100));
+        shutdown.store(true, Ordering::SeqCst);
+        // Join through a channel so a regression (acceptor blocked in
+        // `accept` with no follower ever connecting) fails the test
+        // instead of hanging it.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = acceptor.join();
+            let _ = tx.send(());
+        });
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("acceptor must notice shutdown without a connection");
+    }
+
+    #[test]
+    fn await_quorum_counts_only_fresh_followers() {
+        let state = ReplState::default();
+        let ttl = Duration::from_millis(60);
+        state.note_follower("a", 10, 0, ttl);
+        assert_eq!(state.await_quorum(1, 10, Duration::from_millis(10), ttl), Ok(1));
+        assert_eq!(state.await_quorum(1, 11, Duration::from_millis(10), ttl), Err(0));
+        assert_eq!(state.await_quorum(2, 10, Duration::from_millis(10), ttl), Err(1));
+        // Once the entry ages past the TTL it is a ghost: a restarted
+        // follower's stale watermark must not satisfy a quorum.
+        std::thread::sleep(Duration::from_millis(90));
+        assert_eq!(state.await_quorum(1, 10, Duration::from_millis(10), ttl), Err(0));
+    }
+
+    #[test]
+    fn a_follower_poll_wakes_a_waiting_quorum() {
+        let state = Arc::new(ReplState::default());
+        let ttl = Duration::from_secs(10);
+        let waiter = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || state.await_quorum(1, 7, Duration::from_secs(5), ttl))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        state.note_follower("f", 7, 1, ttl);
+        assert_eq!(waiter.join().unwrap(), Ok(1));
+    }
+
+    #[test]
+    fn note_follower_expires_ghost_entries() {
+        let state = ReplState::default();
+        let ttl = Duration::from_millis(60);
+        state.note_follower("old", 5, 2, ttl);
+        std::thread::sleep(Duration::from_millis(90));
+        // A new follower polling prunes the expired row.
+        state.note_follower("new", 9, 0, ttl);
+        let followers = state.followers.lock().unwrap();
+        assert_eq!(followers.len(), 1);
+        assert_eq!(followers[0].id, "new");
+        assert_eq!(followers[0].acked_lsn, 9);
+    }
 }

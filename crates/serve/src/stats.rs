@@ -29,6 +29,10 @@ pub struct ServerStats {
     pub client_errors: AtomicU64,
     /// Requests failed with a 5xx.
     pub server_errors: AtomicU64,
+    /// `POST /probes` requests answered `503 quorum_timeout` because too
+    /// few followers acknowledged in time (the edit is still durable
+    /// locally — this counts delayed replication, not lost data).
+    pub quorum_timeouts: AtomicU64,
 }
 
 impl ServerStats {
@@ -56,6 +60,7 @@ impl ServerStats {
             ("shed", get(&self.shed)),
             ("client_errors", get(&self.client_errors)),
             ("server_errors", get(&self.server_errors)),
+            ("quorum_timeouts", get(&self.quorum_timeouts)),
         ])
     }
 }

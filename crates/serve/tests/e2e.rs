@@ -745,25 +745,263 @@ fn replication_follower_tails_promotes_and_diverges_never() {
     let (status, _) = client::post(leader_addr, "/promote", &obj(vec![])).unwrap();
     assert_eq!(status, 409, "a leader must refuse promotion");
 
-    // Promote: the follower flips read-write and accepts a local edit.
+    // Promote: the follower fences its log (epoch 1 consumes LSN 6) and
+    // flips read-write.
     let (status, reply) = client::post(follower_addr, "/promote", &obj(vec![])).unwrap();
     assert_eq!(status, 200, "{reply:?}");
     assert_eq!(reply.get("promoted").and_then(Json::as_bool), Some(true));
-    assert_eq!(reply.get("next_lsn").and_then(Json::as_u64), Some(6));
+    assert_eq!(reply.get("fence_epoch").and_then(Json::as_u64), Some(1));
+    assert_eq!(reply.get("next_lsn").and_then(Json::as_u64), Some(7));
     let (status, reply) = client::post(follower_addr, "/probes", &edit).unwrap();
     assert_eq!(status, 200, "{reply:?}");
     let (_, health) = client::get(follower_addr, "/healthz").unwrap();
     assert_eq!(health.get("probes").and_then(Json::as_u64), Some(87));
 
+    // A second promote hits the fence: structured rejection, not a
+    // second epoch.
+    let (status, reply) = client::post(follower_addr, "/promote", &obj(vec![])).unwrap();
+    assert_eq!(status, 409, "{reply:?}");
+    assert_eq!(reply.get("code").and_then(Json::as_str), Some("already_fenced"));
+    assert_eq!(reply.get("fence_epoch").and_then(Json::as_u64), Some(1));
+
+    // The promoted follower advertises its fence in /stats.
+    let (_, stats) = client::get(follower_addr, "/stats").unwrap();
+    let repl = stats.get("replication").unwrap();
+    assert_eq!(repl.get("fence_epoch").and_then(Json::as_u64), Some(1));
+
     leader_handle.shutdown();
     follower_handle.shutdown();
 
     // The follower's store accounts for every record: 6 replicated + 1
-    // local post-promote, all replayed from its own log.
+    // fencing epoch + 1 local post-promote, all replayed from its own log.
     let (recovered, report) = recover(&follower_dir).unwrap();
     assert_eq!(report.snapshot_lsn, 0);
-    assert_eq!(report.records_replayed, 7);
+    assert_eq!(report.records_replayed, 8);
+    assert_eq!(report.fence_epoch, 1);
     assert_eq!(recovered.len(), 87);
+    std::fs::remove_dir_all(&leader_dir).ok();
+    std::fs::remove_dir_all(&follower_dir).ok();
+}
+
+/// Builds a warmed durable leader store in `dir` (80 probes).
+fn durable_leader_store(dir: &std::path::Path, seed: u64) -> lemp_store::DurableEngine {
+    use lemp_store::{DurableEngine, StoreOptions, SyncPolicy};
+    let _ = std::fs::remove_dir_all(dir);
+    let probes = fixture(80, seed);
+    let policy = BucketPolicy { min_bucket: 8, cache_bytes: 64 << 10, ..Default::default() };
+    let config = RunConfig { sample_size: 8, ..Default::default() };
+    let engine = DynamicLemp::new(&probes, policy, config);
+    let options = StoreOptions { sync: SyncPolicy::Always, ..Default::default() };
+    DurableEngine::create(dir, engine, options).unwrap()
+}
+
+#[test]
+fn quorum_timeout_without_followers_keeps_the_edit_durable() {
+    // sync-replicas=1 with zero connected followers: every edit must come
+    // back as a structured quorum_timeout 503, never a 200 — and still be
+    // fsynced locally, proving the 503 means "replication lagged", not
+    // "edit lost". A restart with the same config then serves the edit.
+    use lemp_store::{recover, DurableEngine, StoreOptions, SyncPolicy};
+
+    let dir = std::env::temp_dir().join(format!("lemp-e2e-quorum-solo-{}", std::process::id()));
+    let store = durable_leader_store(&dir, 41);
+    let cfg = ServeConfig {
+        sync_replicas: 1,
+        quorum_timeout: Duration::from_millis(200),
+        ..Default::default()
+    };
+    let mut leader = Server::bind("127.0.0.1:0", store, cfg).unwrap();
+    leader.enable_leader("127.0.0.1:0").unwrap();
+    let handle = leader.start().unwrap();
+    let addr = handle.addr();
+
+    let extra = fixture(2, 42);
+    let edit = obj(vec![("insert", queries_json(&extra, 0, 1))]);
+    let (status, reply) = client::post(addr, "/probes", &edit).unwrap();
+    assert_eq!(status, 503, "{reply:?}");
+    assert_eq!(reply.get("code").and_then(Json::as_str), Some("quorum_timeout"));
+    assert_eq!(reply.get("required").and_then(Json::as_u64), Some(1));
+    assert_eq!(reply.get("acked").and_then(Json::as_u64), Some(0));
+    assert_eq!(reply.get("lsn").and_then(Json::as_u64), Some(1));
+
+    // The engine applied the edit (503 reports delayed replication, not a
+    // rollback), queries keep working, and the counter ticks.
+    let (_, health) = client::get(addr, "/healthz").unwrap();
+    assert_eq!(health.get("probes").and_then(Json::as_u64), Some(81));
+    let (_, stats) = client::get(addr, "/stats").unwrap();
+    let counters = stats.get("counters").unwrap();
+    assert_eq!(counters.get("quorum_timeouts").and_then(Json::as_u64), Some(1));
+
+    // Removals time out the same way.
+    let removal = obj(vec![("remove", Json::Arr(vec![Json::Num(0.0)]))]);
+    let (status, reply) = client::post(addr, "/probes", &removal).unwrap();
+    assert_eq!(status, 503, "{reply:?}");
+    assert_eq!(reply.get("code").and_then(Json::as_str), Some("quorum_timeout"));
+
+    handle.shutdown();
+
+    // Both "timed out" edits are on disk.
+    let (recovered, report) = recover(&dir).unwrap();
+    assert_eq!(report.records_replayed, 2);
+    assert_eq!(recovered.len(), 80); // +1 insert, -1 removal
+    assert!(!recovered.contains(0));
+
+    // Leader restart with sync-replicas still set and zero followers:
+    // boots, serves reads, and keeps refusing unreplicated acks.
+    let options = StoreOptions { sync: SyncPolicy::Always, ..Default::default() };
+    let (store, _) = DurableEngine::open(&dir, options).unwrap();
+    let cfg = ServeConfig {
+        sync_replicas: 1,
+        quorum_timeout: Duration::from_millis(200),
+        ..Default::default()
+    };
+    let mut leader = Server::bind("127.0.0.1:0", store, cfg).unwrap();
+    leader.enable_leader("127.0.0.1:0").unwrap();
+    let handle = leader.start().unwrap();
+    let addr = handle.addr();
+    let (_, health) = client::get(addr, "/healthz").unwrap();
+    assert_eq!(health.get("probes").and_then(Json::as_u64), Some(80));
+    let queries = fixture(4, 43);
+    let body = obj(vec![("queries", queries_json(&queries, 0, 4)), ("k", Json::Num(3.0))]);
+    let (status, _) = client::post(addr, "/top-k", &body).unwrap();
+    assert_eq!(status, 200, "reads must flow with an unmet quorum");
+    let (status, reply) = client::post(addr, "/probes", &edit).unwrap();
+    assert_eq!(status, 503, "{reply:?}");
+    assert_eq!(reply.get("code").and_then(Json::as_str), Some("quorum_timeout"));
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quorum_acks_with_a_tailing_follower_then_times_out_after_its_death() {
+    // The happy path: with one live follower, sync-replicas=1 edits are
+    // acknowledged with 200. After the follower acks LSN N and dies, the
+    // next edit (N+1) must time out once the TTL expires its ghost row —
+    // a stale acked_lsn must never satisfy a quorum it no longer covers.
+    use lemp_store::replication::bootstrap;
+    use lemp_store::{StoreOptions, SyncPolicy};
+
+    let leader_dir = std::env::temp_dir().join(format!("lemp-e2e-ql-{}", std::process::id()));
+    let follower_dir = std::env::temp_dir().join(format!("lemp-e2e-qf-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&follower_dir);
+    let options = StoreOptions { sync: SyncPolicy::Always, ..Default::default() };
+
+    let store = durable_leader_store(&leader_dir, 51);
+    let ttl = Duration::from_millis(900);
+    let cfg = ServeConfig {
+        sync_replicas: 1,
+        quorum_timeout: Duration::from_secs(5),
+        follower_ttl: ttl,
+        ..Default::default()
+    };
+    let mut leader = Server::bind("127.0.0.1:0", store, cfg).unwrap();
+    let repl_addr = leader.enable_leader("127.0.0.1:0").unwrap();
+    let leader_handle = leader.start().unwrap();
+    let leader_addr = leader_handle.addr();
+
+    let (status, payload) =
+        client::request_bytes(repl_addr, "GET", "/repl/snapshot", Some(Duration::from_secs(10)))
+            .unwrap();
+    assert_eq!(status, 200);
+    let (follower_store, _) = bootstrap(&follower_dir, &payload, options).unwrap();
+    let mut follower = Server::bind("127.0.0.1:0", follower_store, ServeConfig::default()).unwrap();
+    follower.replicate_from(repl_addr.to_string()).unwrap();
+    let follower_handle = follower.start().unwrap();
+    let follower_addr = follower_handle.addr();
+
+    // Semi-synchronous 200: the ack waited for the follower's watermark.
+    let extra = fixture(3, 52);
+    let edit = obj(vec![("insert", queries_json(&extra, 0, 1))]);
+    let (status, reply) = client::post(leader_addr, "/probes", &edit).unwrap();
+    assert_eq!(status, 200, "quorum of 1 live follower must ack: {reply:?}");
+
+    // The follower is fully durable at the acked LSN, and an idle leader
+    // leaves lag_lsn pinned at 0 (the gauge refreshes on empty long
+    // polls, not only when a batch arrives).
+    let mut zero_lags = 0;
+    for _ in 0..50 {
+        let (_, stats) = client::get(follower_addr, "/stats").unwrap();
+        let repl = stats.get("replication").unwrap();
+        let probes_live =
+            stats.get("engine").and_then(|e| e.get("probes")).and_then(Json::as_u64).unwrap();
+        if probes_live == 81 && repl.get("lag_lsn").and_then(Json::as_u64) == Some(0) {
+            zero_lags += 1;
+            if zero_lags == 3 {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert_eq!(zero_lags, 3, "follower lag must settle at 0 while the leader idles");
+
+    // The follower acks LSN N, then crashes before N+1 exists.
+    follower_handle.shutdown();
+    std::thread::sleep(ttl + Duration::from_millis(300));
+
+    // Its ghost row has expired: /stats lists no followers…
+    let (_, stats) = client::get(leader_addr, "/stats").unwrap();
+    let followers =
+        stats.get("replication").and_then(|r| r.get("followers")).and_then(Json::as_arr).unwrap();
+    assert!(followers.is_empty(), "expired follower must leave /stats: {followers:?}");
+
+    // …and the next edit cannot ride the stale acked_lsn: quorum_timeout.
+    let edit = obj(vec![("insert", queries_json(&extra, 1, 2))]);
+    let start = std::time::Instant::now();
+    let (status, reply) = client::post(leader_addr, "/probes", &edit).unwrap();
+    assert_eq!(status, 503, "{reply:?}");
+    assert_eq!(reply.get("code").and_then(Json::as_str), Some("quorum_timeout"));
+    assert!(start.elapsed() >= Duration::from_secs(5), "must wait out the quorum window");
+
+    leader_handle.shutdown();
+    std::fs::remove_dir_all(&leader_dir).ok();
+    std::fs::remove_dir_all(&follower_dir).ok();
+}
+
+#[test]
+fn concurrent_promotes_elect_exactly_one_winner() {
+    // Two promotes racing: exactly one may fence the store. The loser
+    // gets the structured already_fenced rejection, and the epoch ends at
+    // 1 — never 2.
+    use lemp_store::replication::bootstrap;
+    use lemp_store::{StoreOptions, SyncPolicy};
+
+    let leader_dir = std::env::temp_dir().join(format!("lemp-e2e-race-l-{}", std::process::id()));
+    let follower_dir = std::env::temp_dir().join(format!("lemp-e2e-race-f-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&follower_dir);
+    let options = StoreOptions { sync: SyncPolicy::Always, ..Default::default() };
+
+    let store = durable_leader_store(&leader_dir, 61);
+    let mut leader = Server::bind("127.0.0.1:0", store, ServeConfig::default()).unwrap();
+    let repl_addr = leader.enable_leader("127.0.0.1:0").unwrap();
+    let leader_handle = leader.start().unwrap();
+
+    let (status, payload) =
+        client::request_bytes(repl_addr, "GET", "/repl/snapshot", Some(Duration::from_secs(10)))
+            .unwrap();
+    assert_eq!(status, 200);
+    let (follower_store, _) = bootstrap(&follower_dir, &payload, options).unwrap();
+    let mut follower = Server::bind("127.0.0.1:0", follower_store, ServeConfig::default()).unwrap();
+    follower.replicate_from(repl_addr.to_string()).unwrap();
+    let follower_handle = follower.start().unwrap();
+    let follower_addr = follower_handle.addr();
+
+    let results: Vec<(u16, Json)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                scope.spawn(move || client::post(follower_addr, "/promote", &obj(vec![])).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wins: Vec<&(u16, Json)> = results.iter().filter(|(s, _)| *s == 200).collect();
+    let losses: Vec<&(u16, Json)> = results.iter().filter(|(s, _)| *s == 409).collect();
+    assert_eq!((wins.len(), losses.len()), (1, 1), "{results:?}");
+    assert_eq!(wins[0].1.get("fence_epoch").and_then(Json::as_u64), Some(1));
+    assert_eq!(losses[0].1.get("code").and_then(Json::as_str), Some("already_fenced"));
+    assert_eq!(losses[0].1.get("fence_epoch").and_then(Json::as_u64), Some(1));
+
+    follower_handle.shutdown();
+    leader_handle.shutdown();
     std::fs::remove_dir_all(&leader_dir).ok();
     std::fs::remove_dir_all(&follower_dir).ok();
 }

@@ -26,12 +26,14 @@
 //!   reassembles the full engine, cross-checking globally disjoint id
 //!   spaces.
 //! * [`replication`] — leader/follower replication over the same
-//!   artifacts: a `LEMPSNP1` snapshot payload bootstraps a follower, and
-//!   `LEMPREP1` batches (byte-identical `LEMPWAL1` frames, strictly
-//!   sequential LSNs, CRC on every header and frame) tail-follow the
-//!   leader's log; [`DurableEngine::apply_replicated`] applies each record
-//!   log-then-apply at the follower's watermark. See the module docs for
-//!   the exact wire framing.
+//!   artifacts: a `LEMPSNP2` snapshot payload bootstraps a follower, and
+//!   `LEMPREP2` batches (byte-identical `LEMPWAL1` frames, strictly
+//!   sequential LSNs, a fencing epoch, CRC on every header and frame)
+//!   tail-follow the leader's log; [`DurableEngine::apply_replicated`]
+//!   applies each record log-then-apply at the follower's watermark, and
+//!   [`DurableEngine::fence`] stamps a monotonically increasing fencing
+//!   epoch so a promoted follower can reject its ex-leader. See the
+//!   module docs for the exact wire framing.
 //!
 //! # Recovery contract
 //!

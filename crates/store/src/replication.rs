@@ -11,28 +11,33 @@
 //!
 //! Two self-describing binary messages, little-endian throughout:
 //!
-//! **Snapshot** (`LEMPSNP1`) — the bootstrap payload:
+//! **Snapshot** (`LEMPSNP2`) — the bootstrap payload:
 //!
 //! ```text
-//! magic "LEMPSNP1" (8) | checkpoint LSN (u64) | image length (u64) |
-//! image CRC-32 (u32) | LEMPDYN1 engine image (image length bytes)
+//! magic "LEMPSNP2" (8) | checkpoint LSN (u64) | fencing epoch (u64) |
+//! image length (u64) | image CRC-32 (u32) |
+//! LEMPDYN1 engine image (image length bytes)
 //! ```
 //!
-//! **Batch** (`LEMPREP1`) — one tail-follow response:
+//! **Batch** (`LEMPREP2`) — one tail-follow response:
 //!
 //! ```text
-//! magic "LEMPREP1" (8) | from LSN (u64) | leader next LSN (u64) |
-//! record count (u32) | header CRC-32 (u32) | count WAL frames
+//! magic "LEMPREP2" (8) | from LSN (u64) | leader next LSN (u64) |
+//! fencing epoch (u64) | record count (u32) | header CRC-32 (u32) |
+//! count WAL frames
 //! ```
 //!
 //! Each frame is byte-identical to its on-disk `LEMPWAL1` form
 //! (`payload length (u32) | payload CRC-32 (u32) | payload`), and record
 //! LSNs are strictly sequential from the batch's *from LSN* — so the
 //! follower's append path reproduces the leader's log bit for bit. The
-//! header CRC covers the 28 bytes before it; together with the per-frame
+//! header CRC covers the 36 bytes before it; together with the per-frame
 //! CRCs every single-bit corruption of a batch is detected. `leader next
 //! LSN` is the leader's log end at feed time, which is what the follower's
-//! `lag_lsn` is computed from.
+//! `lag_lsn` is computed from. The *fencing epoch* is the sender's fence
+//! at feed time: a follower whose store carries a higher epoch refuses the
+//! batch outright (the sender is a fenced ex-leader whose log may have
+//! diverged past the fence point).
 //!
 //! Decoding is strict: a bad magic, a mismatched *from LSN*, a count that
 //! disagrees with the frames present, trailing bytes, a CRC failure, or a
@@ -78,17 +83,21 @@ use crate::wal::{
 };
 use crate::{store::write_marker, DurableEngine, StoreError};
 
-/// Magic bytes opening every replication batch.
-pub const REPL_MAGIC: &[u8; 8] = b"LEMPREP1";
+/// Magic bytes opening every replication batch (`LEMPREP2` added the
+/// fencing epoch).
+pub const REPL_MAGIC: &[u8; 8] = b"LEMPREP2";
 
-/// Magic bytes opening every bootstrap snapshot payload.
-pub const SNAP_MAGIC: &[u8; 8] = b"LEMPSNP1";
+/// Magic bytes opening every bootstrap snapshot payload (`LEMPSNP2` added
+/// the fencing epoch).
+pub const SNAP_MAGIC: &[u8; 8] = b"LEMPSNP2";
 
-/// Batch header length: magic + from LSN + leader next LSN + count + CRC.
-const BATCH_HEADER: usize = 32;
+/// Batch header length: magic + from LSN + leader next LSN + fencing
+/// epoch + count + CRC.
+const BATCH_HEADER: usize = 40;
 
-/// Snapshot header length: magic + LSN + image length + image CRC.
-const SNAP_HEADER: usize = 28;
+/// Snapshot header length: magic + LSN + fencing epoch + image length +
+/// image CRC.
+const SNAP_HEADER: usize = 36;
 
 /// Upper bound on records per batch — a hostile count cannot size an
 /// allocation, and a leader feed stays bounded per long-poll round trip.
@@ -112,18 +121,28 @@ pub struct ReplBatch {
     /// The leader's log end when the batch was built — `lag_lsn` is
     /// `leader_next_lsn - (from_lsn + records.len())`.
     pub leader_next_lsn: u64,
+    /// The sender's fencing epoch at feed time — the receiver rejects a
+    /// batch below its own fence.
+    pub epoch: u64,
     /// The records, with strictly sequential LSNs from `from_lsn`.
     pub records: Vec<(u64, WalRecord)>,
 }
 
-/// Encodes one batch. `records` must carry strictly sequential LSNs
-/// starting at `from_lsn` (debug-asserted; [`decode_batch`] enforces it on
-/// the receiving side regardless).
-pub fn encode_batch(from_lsn: u64, leader_next_lsn: u64, records: &[(u64, WalRecord)]) -> Vec<u8> {
+/// Encodes one batch stamped with the sender's fencing `epoch`. `records`
+/// must carry strictly sequential LSNs starting at `from_lsn`
+/// (debug-asserted; [`decode_batch`] enforces it on the receiving side
+/// regardless).
+pub fn encode_batch(
+    from_lsn: u64,
+    leader_next_lsn: u64,
+    epoch: u64,
+    records: &[(u64, WalRecord)],
+) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(BATCH_HEADER + 64 * records.len());
     bytes.extend_from_slice(REPL_MAGIC);
     bytes.extend_from_slice(&from_lsn.to_le_bytes());
     bytes.extend_from_slice(&leader_next_lsn.to_le_bytes());
+    bytes.extend_from_slice(&epoch.to_le_bytes());
     bytes.extend_from_slice(&(records.len() as u32).to_le_bytes());
     let header_crc = crc32(&bytes[..BATCH_HEADER - 4]);
     bytes.extend_from_slice(&header_crc.to_le_bytes());
@@ -144,23 +163,24 @@ pub fn encode_batch(from_lsn: u64, leader_next_lsn: u64, records: &[(u64, WalRec
 /// frames present, or trailing bytes.
 pub fn decode_batch(bytes: &[u8], expect_from: u64) -> Result<ReplBatch, StoreError> {
     if bytes.len() < BATCH_HEADER {
-        return Err(corrupt(0, format!("batch holds {} bytes, header needs 32", bytes.len())));
+        return Err(corrupt(0, format!("batch holds {} bytes, header needs 40", bytes.len())));
     }
     if &bytes[..8] != REPL_MAGIC {
         return Err(corrupt(0, format!("bad batch magic {:?}", &bytes[..8])));
     }
-    let header_crc = u32::from_le_bytes(bytes[28..32].try_into().expect("4-byte slice"));
-    if crc32(&bytes[..28]) != header_crc {
-        return Err(corrupt(28, "batch header fails its CRC".into()));
+    let header_crc = u32::from_le_bytes(bytes[36..40].try_into().expect("4-byte slice"));
+    if crc32(&bytes[..36]) != header_crc {
+        return Err(corrupt(36, "batch header fails its CRC".into()));
     }
     let from_lsn = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
     let leader_next_lsn = u64::from_le_bytes(bytes[16..24].try_into().expect("8-byte slice"));
-    let count = u32::from_le_bytes(bytes[24..28].try_into().expect("4-byte slice")) as usize;
+    let epoch = u64::from_le_bytes(bytes[24..32].try_into().expect("8-byte slice"));
+    let count = u32::from_le_bytes(bytes[32..36].try_into().expect("4-byte slice")) as usize;
     if from_lsn != expect_from {
         return Err(corrupt(8, format!("batch answers LSN {from_lsn}, asked for {expect_from}")));
     }
     if count > MAX_BATCH_RECORDS {
-        return Err(corrupt(24, format!("implausible record count {count}")));
+        return Err(corrupt(32, format!("implausible record count {count}")));
     }
     let mut records = Vec::with_capacity(count);
     let mut offset = BATCH_HEADER;
@@ -201,50 +221,52 @@ pub fn decode_batch(bytes: &[u8], expect_from: u64) -> Result<ReplBatch, StoreEr
             format!("{} trailing bytes after the last record", bytes.len() - offset),
         ));
     }
-    Ok(ReplBatch { from_lsn, leader_next_lsn, records })
+    Ok(ReplBatch { from_lsn, leader_next_lsn, epoch, records })
 }
 
 /// Encodes a bootstrap snapshot payload around a `LEMPDYN1` engine image
-/// taken at checkpoint `lsn`.
-pub fn encode_snapshot(lsn: u64, image: &[u8]) -> Vec<u8> {
+/// taken at checkpoint `lsn` under fencing `epoch`.
+pub fn encode_snapshot(lsn: u64, epoch: u64, image: &[u8]) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(SNAP_HEADER + image.len());
     bytes.extend_from_slice(SNAP_MAGIC);
     bytes.extend_from_slice(&lsn.to_le_bytes());
+    bytes.extend_from_slice(&epoch.to_le_bytes());
     bytes.extend_from_slice(&(image.len() as u64).to_le_bytes());
     bytes.extend_from_slice(&crc32(image).to_le_bytes());
     bytes.extend_from_slice(image);
     bytes
 }
 
-/// Decodes a bootstrap snapshot payload back to `(checkpoint LSN, image)`.
-/// The image bytes are CRC-verified here; [`bootstrap`] additionally
-/// decodes them through `lemp-core`'s persistence validation before
-/// writing anything to disk.
+/// Decodes a bootstrap snapshot payload back to `(checkpoint LSN, fencing
+/// epoch, image)`. The image bytes are CRC-verified here; [`bootstrap`]
+/// additionally decodes them through `lemp-core`'s persistence validation
+/// before writing anything to disk.
 ///
 /// # Errors
 /// [`StoreError::Corrupt`] on bad magic, truncation, a length that
 /// disagrees with the bytes present, or a CRC failure.
-pub fn decode_snapshot(bytes: &[u8]) -> Result<(u64, Vec<u8>), StoreError> {
+pub fn decode_snapshot(bytes: &[u8]) -> Result<(u64, u64, Vec<u8>), StoreError> {
     if bytes.len() < SNAP_HEADER {
-        return Err(corrupt(0, format!("snapshot holds {} bytes, header needs 28", bytes.len())));
+        return Err(corrupt(0, format!("snapshot holds {} bytes, header needs 36", bytes.len())));
     }
     if &bytes[..8] != SNAP_MAGIC {
         return Err(corrupt(0, format!("bad snapshot magic {:?}", &bytes[..8])));
     }
     let lsn = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
-    let image_len = u64::from_le_bytes(bytes[16..24].try_into().expect("8-byte slice")) as usize;
-    let crc = u32::from_le_bytes(bytes[24..28].try_into().expect("4-byte slice"));
+    let epoch = u64::from_le_bytes(bytes[16..24].try_into().expect("8-byte slice"));
+    let image_len = u64::from_le_bytes(bytes[24..32].try_into().expect("8-byte slice")) as usize;
+    let crc = u32::from_le_bytes(bytes[32..36].try_into().expect("4-byte slice"));
     let image = &bytes[SNAP_HEADER..];
     if image.len() != image_len {
         return Err(corrupt(
-            16,
+            24,
             format!("snapshot declares {image_len} image bytes, {} present", image.len()),
         ));
     }
     if crc32(image) != crc {
-        return Err(corrupt(24, "snapshot image fails its CRC".into()));
+        return Err(corrupt(32, "snapshot image fails its CRC".into()));
     }
-    Ok((lsn, image.to_vec()))
+    Ok((lsn, epoch, image.to_vec()))
 }
 
 /// What [`feed`] hands back for one tail-follow request.
@@ -272,16 +294,17 @@ pub enum Feed {
 
 /// Leader-side tail feed: collects up to `max_records` flushed records at
 /// or past `from` from the log segments in `dir` and encodes them as one
-/// batch. Reads the segments from disk, so it needs no lock on the live
-/// engine; only frames the writer has flushed are visible (a record the
-/// leader itself would lose in a crash is never replicated).
+/// batch stamped with the sender's fencing `epoch`. Reads the segments
+/// from disk, so it needs no lock on the live engine; only frames the
+/// writer has flushed are visible (a record the leader itself would lose
+/// in a crash is never replicated).
 ///
 /// # Errors
 /// [`StoreError::Missing`] when `dir` holds no segments at all,
 /// [`StoreError::Corrupt`] on a torn non-final segment or a log gap,
 /// [`StoreError::Io`] on read failures (transient during concurrent
 /// compaction — the follower retries).
-pub fn feed(dir: &Path, from: u64, max_records: usize) -> Result<Feed, StoreError> {
+pub fn feed(dir: &Path, from: u64, max_records: usize, epoch: u64) -> Result<Feed, StoreError> {
     let segments = list_segments(dir)?;
     if segments.is_empty() {
         return Err(StoreError::Missing(format!(
@@ -346,7 +369,7 @@ pub fn feed(dir: &Path, from: u64, max_records: usize) -> Result<Feed, StoreErro
     }
     let count = records.len();
     Ok(Feed::Batch {
-        bytes: encode_batch(from, log_end, &records),
+        bytes: encode_batch(from, log_end, epoch, &records),
         records: count,
         leader_next: log_end,
     })
@@ -369,6 +392,10 @@ pub fn read_bootstrap(dir: &Path) -> Result<Vec<u8>, StoreError> {
         Some(m) => snapshots.iter().find(|(lsn, _)| *lsn == m.lsn).cloned().ok_or_else(missing)?,
         None => snapshots.last().cloned().ok_or_else(missing)?,
     };
+    // The marker's fencing epoch covers everything folded into the
+    // snapshot; any later bump still sits in the log and replicates
+    // through the tail.
+    let epoch = marker.as_ref().map_or(0, |m| m.fence_epoch);
     let image = std::fs::read(&path)?;
     if let Some(m) = marker {
         if image.len() as u64 != m.snapshot_len || crc32(&image) != m.snapshot_crc {
@@ -379,7 +406,7 @@ pub fn read_bootstrap(dir: &Path) -> Result<Vec<u8>, StoreError> {
             });
         }
     }
-    Ok(encode_snapshot(lsn, &image))
+    Ok(encode_snapshot(lsn, epoch, &image))
 }
 
 /// Follower-side bootstrap: materializes a fresh store directory from a
@@ -400,7 +427,7 @@ pub fn bootstrap(
     payload: &[u8],
     options: StoreOptions,
 ) -> Result<(DurableEngine, RecoveryReport), StoreError> {
-    let (lsn, image) = decode_snapshot(payload)?;
+    let (lsn, epoch, image) = decode_snapshot(payload)?;
     // Validate the image end to end before touching the filesystem.
     DynamicLemp::read_from(&image[..])?;
     std::fs::create_dir_all(dir)?;
@@ -424,7 +451,12 @@ pub fn bootstrap(
     drop(WalWriter::create(dir, lsn, options.sync, options.segment_bytes)?);
     write_marker(
         dir,
-        Marker { lsn, snapshot_len: image.len() as u64, snapshot_crc: crc32(&image) },
+        Marker {
+            lsn,
+            snapshot_len: image.len() as u64,
+            snapshot_crc: crc32(&image),
+            fence_epoch: epoch,
+        },
     )?;
     DurableEngine::open(dir, options)
 }
@@ -445,24 +477,26 @@ mod tests {
     #[test]
     fn batch_roundtrips() {
         let recs = records(7, 5);
-        let bytes = encode_batch(7, 20, &recs);
+        let bytes = encode_batch(7, 20, 3, &recs);
         let batch = decode_batch(&bytes, 7).unwrap();
         assert_eq!(batch.from_lsn, 7);
         assert_eq!(batch.leader_next_lsn, 20);
+        assert_eq!(batch.epoch, 3);
         assert_eq!(batch.records, recs);
     }
 
     #[test]
     fn empty_batch_roundtrips() {
-        let bytes = encode_batch(42, 42, &[]);
+        let bytes = encode_batch(42, 42, 0, &[]);
         let batch = decode_batch(&bytes, 42).unwrap();
         assert!(batch.records.is_empty());
         assert_eq!(batch.leader_next_lsn, 42);
+        assert_eq!(batch.epoch, 0);
     }
 
     #[test]
     fn batch_for_the_wrong_watermark_is_rejected() {
-        let bytes = encode_batch(7, 9, &records(7, 2));
+        let bytes = encode_batch(7, 9, 0, &records(7, 2));
         let err = decode_batch(&bytes, 8).unwrap_err();
         assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
     }
@@ -470,8 +504,8 @@ mod tests {
     #[test]
     fn snapshot_roundtrips_and_rejects_corruption() {
         let image = vec![1u8, 2, 3, 4, 5];
-        let bytes = encode_snapshot(9, &image);
-        assert_eq!(decode_snapshot(&bytes).unwrap(), (9, image));
+        let bytes = encode_snapshot(9, 2, &image);
+        assert_eq!(decode_snapshot(&bytes).unwrap(), (9, 2, image));
         let mut flipped = bytes.clone();
         *flipped.last_mut().unwrap() ^= 0x40;
         assert!(matches!(decode_snapshot(&flipped), Err(StoreError::Corrupt { .. })));

@@ -6,7 +6,8 @@
 //! ```text
 //! store/
 //!   snap-<lsn:016x>.eng    LEMPDYN1 engine image folding records < lsn
-//!   CHECKPOINT             marker: magic + u64 lsn + CRC32 (tmp+rename)
+//!   CHECKPOINT             marker: magic + lsn + snapshot len + fencing
+//!                          epoch + snapshot CRC + CRC (tmp+rename)
 //!   wal-<lsn:016x>.log     LEMPWAL1 segments (see [`crate::wal`])
 //! ```
 //!
@@ -42,8 +43,11 @@ use crate::{StoreError, SyncPolicy};
 
 /// Marker file name.
 pub(crate) const MARKER: &str = "CHECKPOINT";
-/// Marker magic bytes.
-const MARKER_MAGIC: &[u8; 8] = b"LEMPCKP1";
+/// Marker magic bytes (`LEMPCKP2` added the fencing epoch field).
+const MARKER_MAGIC: &[u8; 8] = b"LEMPCKP2";
+/// Marker file length: magic + lsn + snapshot_len + fence_epoch +
+/// snapshot_crc + crc.
+const MARKER_LEN: usize = 40;
 
 /// Tuning knobs of a store.
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +79,9 @@ pub struct RecoveryReport {
     pub torn_tail: Option<String>,
     /// Live probe count of the recovered engine.
     pub live_probes: usize,
+    /// The recovered fencing epoch: the marker's, raised by any epoch
+    /// records found in the log.
+    pub fence_epoch: u64,
 }
 
 /// What [`DurableEngine::compact`] reclaimed.
@@ -118,21 +125,25 @@ pub fn parse_snapshot_name(name: &str) -> Option<u64> {
 /// What the `CHECKPOINT` marker pins: the checkpoint LSN plus the byte
 /// length and CRC-32 of the snapshot image it points at — so a snapshot
 /// whose bytes rotted after the marker was written is *detected*, never
-/// silently loaded.
+/// silently loaded — plus the fencing epoch at checkpoint time, so the
+/// fence survives compaction pruning the epoch records below the
+/// checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Marker {
     pub(crate) lsn: u64,
     pub(crate) snapshot_len: u64,
     pub(crate) snapshot_crc: u32,
+    pub(crate) fence_epoch: u64,
 }
 
 /// Writes the `CHECKPOINT` marker atomically (tmp + fsync + rename + dir
 /// fsync).
 pub(crate) fn write_marker(dir: &Path, marker: Marker) -> Result<(), StoreError> {
-    let mut bytes = Vec::with_capacity(32);
+    let mut bytes = Vec::with_capacity(MARKER_LEN);
     bytes.extend_from_slice(MARKER_MAGIC);
     bytes.extend_from_slice(&marker.lsn.to_le_bytes());
     bytes.extend_from_slice(&marker.snapshot_len.to_le_bytes());
+    bytes.extend_from_slice(&marker.fence_epoch.to_le_bytes());
     bytes.extend_from_slice(&marker.snapshot_crc.to_le_bytes());
     let crc = crc32(&bytes);
     bytes.extend_from_slice(&crc.to_le_bytes());
@@ -157,20 +168,21 @@ pub(crate) fn read_marker(dir: &Path) -> Result<Option<Marker>, StoreError> {
         Err(e) => return Err(e.into()),
     };
     let corrupt = |detail: String| StoreError::Corrupt { path: path.clone(), offset: 0, detail };
-    if bytes.len() != 32 {
-        return Err(corrupt(format!("marker holds {} bytes, needs 32", bytes.len())));
+    if bytes.len() != MARKER_LEN {
+        return Err(corrupt(format!("marker holds {} bytes, needs {MARKER_LEN}", bytes.len())));
     }
     if &bytes[..8] != MARKER_MAGIC {
         return Err(corrupt(format!("bad marker magic {:?}", &bytes[..8])));
     }
-    let crc = u32::from_le_bytes(bytes[28..32].try_into().expect("4-byte slice"));
-    if crc32(&bytes[..28]) != crc {
+    let crc = u32::from_le_bytes(bytes[36..40].try_into().expect("4-byte slice"));
+    if crc32(&bytes[..36]) != crc {
         return Err(corrupt("marker fails its CRC".into()));
     }
     Ok(Some(Marker {
         lsn: u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice")),
         snapshot_len: u64::from_le_bytes(bytes[16..24].try_into().expect("8-byte slice")),
-        snapshot_crc: u32::from_le_bytes(bytes[24..28].try_into().expect("4-byte slice")),
+        fence_epoch: u64::from_le_bytes(bytes[24..32].try_into().expect("8-byte slice")),
+        snapshot_crc: u32::from_le_bytes(bytes[32..36].try_into().expect("4-byte slice")),
     }))
 }
 
@@ -199,7 +211,14 @@ pub(crate) fn write_snapshot(
 ) -> Result<Marker, StoreError> {
     let mut image = Vec::new();
     engine.write_to(&mut image)?;
-    let marker = Marker { lsn, snapshot_len: image.len() as u64, snapshot_crc: crc32(&image) };
+    // The caller raises `fence_epoch` before writing the marker when the
+    // store carries a fence (sharded stores never do).
+    let marker = Marker {
+        lsn,
+        snapshot_len: image.len() as u64,
+        snapshot_crc: crc32(&image),
+        fence_epoch: 0,
+    };
     let final_path = dir.join(snapshot_name(lsn));
     let tmp = dir.join(format!("{}.tmp", snapshot_name(lsn)));
     let mut file = File::create(&tmp)?;
@@ -283,6 +302,13 @@ pub(crate) fn recover_inner(dir: &Path, ids: IdSpace) -> Result<Recovered, Store
     // "no segments at all" is loss too, never acceptable alongside a
     // checkpoint.
     let marker = read_marker(dir);
+    // The marker's fencing epoch is a durable floor even when recovery
+    // falls back to another snapshot: epochs only ever grow, and the
+    // records that raised past it (if any) are still in the log.
+    let epoch_floor = match &marker {
+        Ok(Some(m)) => m.fence_epoch,
+        _ => 0,
+    };
     let snapshots = list_snapshots(dir)?;
     let usable = |lsn: u64| match (first_available, log_end) {
         (Some(first), Some(end)) => lsn >= first && lsn <= end,
@@ -353,7 +379,7 @@ pub(crate) fn recover_inner(dir: &Path, ids: IdSpace) -> Result<Recovered, Store
             });
             continue;
         }
-        return replay(dir, engine, snapshot_lsn, scans, ids);
+        return replay(dir, engine, snapshot_lsn, scans, ids, epoch_floor);
     }
     Err(last_error.expect("candidates were non-empty"))
 }
@@ -365,14 +391,22 @@ fn replay(
     snapshot_lsn: u64,
     scans: Vec<(PathBuf, SegmentScan)>,
     ids: IdSpace,
+    epoch_floor: u64,
 ) -> Result<Recovered, StoreError> {
     let mut replayed = 0u64;
     let mut next_lsn = snapshot_lsn;
     let mut torn_tail = None;
+    let mut fence_epoch = epoch_floor;
     let segments_scanned = scans.len();
     for (_, scan) in &scans {
         torn_tail = scan.torn.clone();
         for (lsn, record) in &scan.records {
+            // Epoch records raise the fence even from segments below the
+            // snapshot (not yet pruned): the fence is a property of the
+            // whole log, not of the replayed suffix.
+            if let WalRecord::Epoch { epoch } = record {
+                fence_epoch = fence_epoch.max(*epoch);
+            }
             if *lsn < snapshot_lsn {
                 continue; // folded into the snapshot (not yet pruned)
             }
@@ -394,6 +428,7 @@ fn replay(
         segments_scanned,
         torn_tail,
         live_probes: engine.len(),
+        fence_epoch,
     };
     let tail = scans.into_iter().last().map(|(path, scan)| (scan, path));
     Ok(Recovered { engine, report, tail })
@@ -434,6 +469,9 @@ fn apply(
             }
         }
         WalRecord::Rebuild => engine.rebuild(),
+        // The fence lives in the store, not the engine; replay tracks it
+        // at the scan level and `DurableEngine` at apply time.
+        WalRecord::Epoch { .. } => {}
     }
     Ok(())
 }
@@ -469,6 +507,10 @@ pub struct DurableEngine {
     wal: WalWriter,
     options: StoreOptions,
     snapshot_lsn: u64,
+    /// The fencing epoch: bumped by [`DurableEngine::fence`] (promotion),
+    /// raised by replicated epoch records, recovered from the log and the
+    /// checkpoint marker.
+    fence_epoch: u64,
 }
 
 impl DurableEngine {
@@ -495,7 +537,7 @@ impl DurableEngine {
         let marker = write_snapshot(dir, &engine, 0)?;
         write_marker(dir, marker)?;
         let wal = WalWriter::create(dir, 0, options.sync, options.segment_bytes)?;
-        Ok(Self { dir: dir.to_path_buf(), engine, wal, options, snapshot_lsn: 0 })
+        Ok(Self { dir: dir.to_path_buf(), engine, wal, options, snapshot_lsn: 0, fence_epoch: 0 })
     }
 
     /// Whether `dir` holds a store (a `CHECKPOINT` marker or a snapshot).
@@ -525,8 +567,14 @@ impl DurableEngine {
             )?,
         };
         debug_assert_eq!(wal.next_lsn(), recovered.report.next_lsn);
-        let store =
-            Self { dir: dir.to_path_buf(), engine: recovered.engine, wal, options, snapshot_lsn };
+        let store = Self {
+            dir: dir.to_path_buf(),
+            engine: recovered.engine,
+            wal,
+            options,
+            snapshot_lsn,
+            fence_epoch: recovered.report.fence_epoch,
+        };
         Ok((store, recovered.report))
     }
 
@@ -556,6 +604,29 @@ impl DurableEngine {
     /// ever applied to this store.
     pub fn next_lsn(&self) -> u64 {
         self.wal.next_lsn()
+    }
+
+    /// The current fencing epoch (0 until the store is ever fenced).
+    pub fn fence_epoch(&self) -> u64 {
+        self.fence_epoch
+    }
+
+    /// **Fences the store**: appends (and fsyncs, whatever the sync
+    /// policy) an epoch record one above the current fencing epoch.
+    /// Promotion calls this so a promoted follower's log outranks the old
+    /// leader's — replication refuses to move records from a lower epoch
+    /// onto a higher-epoch store in either direction. Returns the new
+    /// epoch and the LSN its record consumed.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on append/fsync failures (the fence did not
+    /// take).
+    pub fn fence(&mut self) -> Result<(u64, u64), StoreError> {
+        let epoch = self.fence_epoch + 1;
+        let lsn = self.wal.append(&WalRecord::Epoch { epoch })?;
+        self.wal.sync()?;
+        self.fence_epoch = epoch;
+        Ok((epoch, lsn))
     }
 
     /// Warms the inner engine ([`DynamicLemp::warm`]); warmth is runtime
@@ -675,9 +746,25 @@ impl DurableEngine {
                 }
             }
             WalRecord::Rebuild => {}
+            WalRecord::Epoch { epoch } => {
+                // Fencing epochs are strictly monotone: a replicated bump
+                // at or below the local fence is a stale or forged leader.
+                if *epoch <= self.fence_epoch {
+                    return Err(StoreError::Replay {
+                        lsn,
+                        detail: format!(
+                            "fencing epoch {epoch} does not exceed the local epoch {}",
+                            self.fence_epoch
+                        ),
+                    });
+                }
+            }
         }
         let appended = self.wal.append(record)?;
         debug_assert_eq!(appended, lsn);
+        if let WalRecord::Epoch { epoch } = record {
+            self.fence_epoch = *epoch;
+        }
         apply(&mut self.engine, lsn, record, IdSpace::Dense)
     }
 
@@ -725,7 +812,10 @@ impl DurableEngine {
     ) -> Result<CompactionReport, StoreError> {
         self.wal.sync()?;
         let lsn = self.wal.next_lsn();
-        let marker = write_snapshot(&self.dir, &self.engine, lsn)?;
+        let mut marker = write_snapshot(&self.dir, &self.engine, lsn)?;
+        // Compaction prunes the epoch records below the checkpoint; the
+        // marker carries the fence across that pruning.
+        marker.fence_epoch = self.fence_epoch;
         if fault == Some(CompactFault::AfterSnapshot) {
             return Err(StoreError::Injected("after-snapshot"));
         }

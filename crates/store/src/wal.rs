@@ -12,7 +12,7 @@
 //!   u32 payload_len     little-endian
 //!   u32 crc32(payload)  IEEE CRC-32 (see [`crate::crc`])
 //!   payload:
-//!     u8  kind          1 = insert, 2 = remove, 3 = rebuild
+//!     u8  kind          1 = insert, 2 = remove, 3 = rebuild, 4 = epoch
 //!     u64 lsn           strictly sequential within and across segments
 //!     …                 kind-specific body (see [`WalRecord`])
 //! ```
@@ -57,6 +57,7 @@ pub(crate) const MAX_PAYLOAD: u32 = 1 << 26;
 const KIND_INSERT: u8 = 1;
 const KIND_REMOVE: u8 = 2;
 const KIND_REBUILD: u8 = 3;
+const KIND_EPOCH: u8 = 4;
 
 /// One durable edit, the unit the WAL stores and recovery replays.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +77,14 @@ pub enum WalRecord {
     },
     /// A full bucketization rebuild ([`lemp_core::DynamicLemp::rebuild`]).
     Rebuild,
+    /// A fencing-epoch bump: `POST /promote` stamps the new (strictly
+    /// larger) epoch into the log, so the fence is durable, replicates to
+    /// downstream followers, and replays through crash recovery. The
+    /// record does not touch the engine's probe set.
+    Epoch {
+        /// The new fencing epoch (strictly above every earlier one).
+        epoch: u64,
+    },
 }
 
 impl WalRecord {
@@ -84,6 +93,7 @@ impl WalRecord {
             WalRecord::Insert { .. } => KIND_INSERT,
             WalRecord::Remove { .. } => KIND_REMOVE,
             WalRecord::Rebuild => KIND_REBUILD,
+            WalRecord::Epoch { .. } => KIND_EPOCH,
         }
     }
 }
@@ -117,6 +127,7 @@ pub(crate) fn encode_frame(lsn: u64, record: &WalRecord) -> Vec<u8> {
         }
         WalRecord::Remove { id } => payload.extend_from_slice(&id.to_le_bytes()),
         WalRecord::Rebuild => {}
+        WalRecord::Epoch { epoch } => payload.extend_from_slice(&epoch.to_le_bytes()),
     }
     let mut frame = Vec::with_capacity(FRAME_PREFIX + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -171,6 +182,12 @@ pub(crate) fn decode_payload(payload: &[u8]) -> Result<(u64, WalRecord), String>
                 return Err(format!("rebuild payload holds {} bytes, needs 9", payload.len()));
             }
             WalRecord::Rebuild
+        }
+        KIND_EPOCH => {
+            if payload.len() != 17 {
+                return Err(format!("epoch payload holds {} bytes, needs 17", payload.len()));
+            }
+            WalRecord::Epoch { epoch: take_u64(payload, 9, "fencing epoch")? }
         }
         other => return Err(format!("unknown record kind {other}")),
     };
@@ -606,6 +623,7 @@ mod tests {
             WalRecord::Remove { id: 3 },
             WalRecord::Rebuild,
             WalRecord::Insert { id: 8, vector: vec![0.0; 5] },
+            WalRecord::Epoch { epoch: 3 },
         ]
     }
 
@@ -627,8 +645,8 @@ mod tests {
             assert_eq!(writer.append(record).unwrap(), 5 + i as u64);
         }
         let stats = writer.stats();
-        assert_eq!(stats.records_appended, 4);
-        assert_eq!(stats.records_durable, 4);
+        assert_eq!(stats.records_appended, 5);
+        assert_eq!(stats.records_durable, 5);
         drop(writer);
         let scan = read_segment(&dir.join(segment_name(5))).unwrap();
         assert_eq!(scan.start_lsn, 5);
@@ -636,7 +654,7 @@ mod tests {
         let got: Vec<WalRecord> = scan.records.iter().map(|(_, r)| r.clone()).collect();
         assert_eq!(got, sample_records());
         let lsns: Vec<u64> = scan.records.iter().map(|&(l, _)| l).collect();
-        assert_eq!(lsns, vec![5, 6, 7, 8]);
+        assert_eq!(lsns, vec![5, 6, 7, 8, 9]);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -767,7 +785,7 @@ mod tests {
             bad[offset] ^= 0x41;
             std::fs::write(&path, &bad).unwrap();
             let scan = read_segment(&path).unwrap();
-            assert!(scan.records.len() <= 4, "offset {offset} grew the log");
+            assert!(scan.records.len() <= 5, "offset {offset} grew the log");
             for (expect, got) in sample_records().iter().zip(scan.records.iter()) {
                 // A flip inside a float payload still fails the CRC, so
                 // every surviving record is byte-identical to what was

@@ -85,9 +85,10 @@ fn forged_frame(lsn: u64, id: u32) -> Vec<u8> {
 /// Hand-rolls a whole batch around forged frames — a hostile leader.
 fn forged_batch(from: u64, leader_next: u64, lsns: &[u64]) -> Vec<u8> {
     let mut bytes = Vec::new();
-    bytes.extend_from_slice(b"LEMPREP1");
+    bytes.extend_from_slice(b"LEMPREP2");
     bytes.extend_from_slice(&from.to_le_bytes());
     bytes.extend_from_slice(&leader_next.to_le_bytes());
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // fencing epoch
     bytes.extend_from_slice(&(lsns.len() as u32).to_le_bytes());
     let crc = crc32(&bytes);
     bytes.extend_from_slice(&crc.to_le_bytes());
@@ -100,7 +101,7 @@ fn forged_batch(from: u64, leader_next: u64, lsns: &[u64]) -> Vec<u8> {
 #[test]
 fn truncated_batch_at_every_offset_is_structured() {
     let records = sample_records(3, 6);
-    let bytes = encode_batch(3, 9, &records);
+    let bytes = encode_batch(3, 9, 0, &records);
     for len in 0..bytes.len() {
         match decode_batch(&bytes[..len], 3) {
             Err(StoreError::Corrupt { .. }) => {}
@@ -113,7 +114,7 @@ fn truncated_batch_at_every_offset_is_structured() {
 #[test]
 fn every_single_bit_flip_in_a_batch_is_detected() {
     let records = sample_records(0, 4);
-    let bytes = encode_batch(0, 4, &records);
+    let bytes = encode_batch(0, 4, 0, &records);
     for offset in 0..bytes.len() {
         for bit in [0x01u8, 0x80u8] {
             let mut flipped = bytes.clone();
@@ -222,7 +223,7 @@ fn follower_restart_mid_tail_resumes_from_its_durable_watermark() {
     let (mut follower, report) = bootstrap(&follower_dir, &payload, options()).unwrap();
     assert_eq!(report.snapshot_lsn, 0);
     assert_eq!(report.records_replayed, 0);
-    let Feed::Batch { bytes, records, leader_next } = feed(&leader_dir, 0, 9).unwrap() else {
+    let Feed::Batch { bytes, records, leader_next } = feed(&leader_dir, 0, 9, 0).unwrap() else {
         panic!("expected a batch");
     };
     assert_eq!((records, leader_next), (9, 18));
@@ -238,7 +239,7 @@ fn follower_restart_mid_tail_resumes_from_its_durable_watermark() {
     assert_eq!(follower.next_lsn(), 9);
 
     // … and tailing from it converges to a bit-identical engine.
-    let Feed::Batch { bytes, .. } = feed(&leader_dir, follower.next_lsn(), 4096).unwrap() else {
+    let Feed::Batch { bytes, .. } = feed(&leader_dir, follower.next_lsn(), 4096, 0).unwrap() else {
         panic!("expected a batch");
     };
     for (lsn, record) in decode_batch(&bytes, 9).unwrap().records {
@@ -248,7 +249,7 @@ fn follower_restart_mid_tail_resumes_from_its_durable_watermark() {
     assert_eq!(image(follower.engine()), image(leader.engine()));
 
     // A caught-up follower gets an empty batch, not an error.
-    let Feed::Batch { records, leader_next, .. } = feed(&leader_dir, 18, 4096).unwrap() else {
+    let Feed::Batch { records, leader_next, .. } = feed(&leader_dir, 18, 4096, 0).unwrap() else {
         panic!("expected a batch");
     };
     assert_eq!((records, leader_next), (0, 18));
@@ -264,14 +265,114 @@ fn feed_reports_a_gap_after_the_leader_compacts_past_the_watermark() {
         leader.insert(&[f64::from(i); DIM]).unwrap();
     }
     leader.compact().unwrap();
-    match feed(&dir, 0, 4096).unwrap() {
+    match feed(&dir, 0, 4096, 0).unwrap() {
         Feed::Gap { first_available } => assert_eq!(first_available, 6),
         other => panic!("expected a gap, got {other:?}"),
     }
     // The checkpoint itself is still feedable.
-    assert!(matches!(feed(&dir, 6, 4096), Ok(Feed::Batch { records: 0, .. })));
+    assert!(matches!(feed(&dir, 6, 4096, 0), Ok(Feed::Batch { records: 0, .. })));
     drop(leader);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fencing_epoch_survives_crash_restart_and_compaction() {
+    let dir = tmpdir("fence-durable");
+    let mut store = DurableEngine::create(&dir, base_engine(17), options()).unwrap();
+    store.insert(&[1.0; DIM]).unwrap();
+    assert_eq!(store.fence_epoch(), 0);
+    let (epoch, lsn) = store.fence().unwrap();
+    assert_eq!((epoch, lsn), (1, 1), "fencing consumes the next LSN");
+    store.insert(&[2.0; DIM]).unwrap();
+    store.simulate_crash().unwrap();
+
+    // The epoch record replays like any other WAL record.
+    let (mut store, report) = DurableEngine::open(&dir, options()).unwrap();
+    assert_eq!(report.fence_epoch, 1);
+    assert_eq!(store.fence_epoch(), 1);
+
+    // Compaction prunes the epoch record from the log, so the marker must
+    // carry it across the checkpoint.
+    let (epoch, _) = store.fence().unwrap();
+    assert_eq!(epoch, 2);
+    store.compact().unwrap();
+    drop(store);
+    let (store, report) = DurableEngine::open(&dir, options()).unwrap();
+    assert_eq!(report.fence_epoch, 2, "marker must carry the epoch past compaction");
+    assert_eq!(store.fence_epoch(), 2);
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn apply_replicated_rejects_non_monotonic_fencing_epochs() {
+    let dir = tmpdir("fence-stale");
+    let mut store = DurableEngine::create(&dir, base_engine(19), options()).unwrap();
+    store.apply_replicated(0, &WalRecord::Epoch { epoch: 2 }).unwrap();
+    assert_eq!(store.fence_epoch(), 2);
+    let before = image(store.engine());
+
+    // Equal and lower epochs are the fenced ex-leader talking: reject both.
+    let stale = store.apply_replicated(1, &WalRecord::Epoch { epoch: 2 }).unwrap_err();
+    assert!(matches!(stale, StoreError::Replay { lsn: 1, .. }), "{stale}");
+    let lower = store.apply_replicated(1, &WalRecord::Epoch { epoch: 1 }).unwrap_err();
+    assert!(matches!(lower, StoreError::Replay { lsn: 1, .. }), "{lower}");
+    assert_eq!(store.fence_epoch(), 2);
+    assert_eq!(store.next_lsn(), 1);
+    assert_eq!(image(store.engine()), before);
+
+    // A strictly higher epoch advances the fence.
+    store.apply_replicated(1, &WalRecord::Epoch { epoch: 5 }).unwrap();
+    assert_eq!(store.fence_epoch(), 5);
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn feed_stamps_the_epoch_and_bootstrap_carries_it() {
+    let leader_dir = tmpdir("fence-feed");
+    let follower_dir = tmpdir("fence-feed-follower");
+    let mut leader = DurableEngine::create(&leader_dir, base_engine(23), options()).unwrap();
+    leader.insert(&[1.0; DIM]).unwrap();
+    let (epoch, _) = leader.fence().unwrap();
+    assert_eq!(epoch, 1);
+    leader.insert(&[2.0; DIM]).unwrap();
+
+    // The batch header advertises whatever epoch the serving layer passes.
+    let Feed::Batch { bytes, records, .. } = feed(&leader_dir, 0, 4096, epoch).unwrap() else {
+        panic!("expected a batch");
+    };
+    assert_eq!(records, 3);
+    let batch = decode_batch(&bytes, 0).unwrap();
+    assert_eq!(batch.epoch, 1);
+
+    // A follower replaying the batch inherits the fence from the WAL: the
+    // leader has not checkpointed since fencing, so its bootstrap payload
+    // is the pre-fence snapshot at LSN 0 and the epoch arrives via the log.
+    let payload = read_bootstrap(&leader_dir).unwrap();
+    let (_, snap_epoch, _) = decode_snapshot(&payload).unwrap();
+    assert_eq!(snap_epoch, 0);
+    let (mut follower, _) = bootstrap(&follower_dir, &payload, options()).unwrap();
+    for (lsn, record) in batch.records {
+        follower.apply_replicated(lsn, &record).unwrap();
+    }
+    assert_eq!(follower.fence_epoch(), 1);
+    assert_eq!(image(follower.engine()), image(leader.engine()));
+
+    // …and a post-fence checkpoint bakes it into the bootstrap payload.
+    leader.compact().unwrap();
+    drop(leader);
+    let payload = read_bootstrap(&leader_dir).unwrap();
+    let (_, snap_epoch, _) = decode_snapshot(&payload).unwrap();
+    assert_eq!(snap_epoch, 1, "checkpointed bootstrap must carry the fence");
+    let fresh_dir = tmpdir("fence-feed-fresh");
+    let (fresh, report) = bootstrap(&fresh_dir, &payload, options()).unwrap();
+    assert_eq!(report.fence_epoch, 1);
+    assert_eq!(fresh.fence_epoch(), 1);
+    drop(fresh);
+    std::fs::remove_dir_all(&leader_dir).ok();
+    std::fs::remove_dir_all(&follower_dir).ok();
+    std::fs::remove_dir_all(&fresh_dir).ok();
 }
 
 #[test]
