@@ -13,14 +13,19 @@
 //! | [`srp`] | \[15\], \[9\] | sign-random-projection LSH with Hamming ranking ([`SrpLsh`]) and banded tables ([`SrpTables`]) |
 //! | [`pca_tree`] | \[16\] | PCA-tree with budgeted backtracking ([`PcaTree`]) |
 //! | [`centroids`] | \[17\] Koenigstein et al. | query k-means + exact LEMP per centroid ([`centroid_row_top_k`]) |
+//! | [`quantized`] | — | the engine's PQ buckets scored **without** verification ([`QuantizedScorer`]) |
 //! | [`recall`] | — | tie-tolerant recall/precision metrics for grading all of the above |
 //!
-//! Every method here verifies its candidates with exact inner products, so
-//! reported scores are always correct — only *recall* (which probes make
-//! the candidate set) is approximate. Each index exposes a knob trading
-//! time for recall (`budget`, `tables`, `leaf_budget`, `expand`), and each
-//! degenerates to the exact answer at the knob's maximum, which the test
-//! suite verifies.
+//! Every method here except [`quantized`] verifies its candidates with
+//! exact inner products, so reported scores are always correct — only
+//! *recall* (which probes make the candidate set) is approximate. Each
+//! index exposes a knob trading time for recall (`budget`, `tables`,
+//! `leaf_budget`, `expand`), and each degenerates to the exact answer at
+//! the knob's maximum, which the test suite verifies. [`quantized`] is the
+//! deliberate exception: it reports the raw LUT-scan scores of the exact
+//! engine's QUANT buckets so their standalone quality can be measured —
+//! scores are off by at most the trained distortion bound, and its knob is
+//! the code width in bits.
 //!
 //! # Example
 //!
@@ -44,6 +49,7 @@
 pub mod centroids;
 pub mod error;
 pub mod pca_tree;
+pub mod quantized;
 pub mod recall;
 pub mod srp;
 pub mod transform;
@@ -53,5 +59,6 @@ pub use centroids::{
 };
 pub use error::ApproxError;
 pub use pca_tree::{PcaTree, PcaTreeConfig};
+pub use quantized::{QuantizedScorer, QuantizedScorerConfig};
 pub use srp::{SrpConfig, SrpLsh, SrpTables, SrpTablesConfig};
 pub use transform::{AlshTransform, MipsTransform, XboxTransform};

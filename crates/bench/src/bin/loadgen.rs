@@ -36,9 +36,10 @@
 //!   divergence — or a follower that never catches up — exits non-zero.
 //! * `report=<path>` additionally writes the results as a machine-readable
 //!   JSON document (throughput, latency percentiles, verify counts,
-//!   `shard_inserts` — inserts absorbed per shard — and `replication`
-//!   role/lag sampled at the end of the run) so CI can archive perf
-//!   trajectories as `BENCH_*.json` artifacts.
+//!   `shard_inserts` — inserts absorbed per shard — plus `replication`
+//!   role/lag and `engine_memory` — the server's full-precision vs
+//!   quantized probe residency per shard — sampled at the end of the run)
+//!   so CI can archive perf trajectories as `BENCH_*.json` artifacts.
 //! * `503` responses (load shedding) are counted, not retried.
 
 use std::sync::Mutex;
@@ -556,6 +557,13 @@ fn main() {
                     None => Json::Null,
                 },
             ),
+            (
+                "engine_memory",
+                // The server's probe-residency split (full-precision vs
+                // quantized bytes, per shard), sampled at the end of the
+                // run — CI archives it to track what quantization saves.
+                engine_memory(&addr).unwrap_or(Json::Null),
+            ),
         ]);
         if let Err(e) = std::fs::write(&report_path, doc.render()) {
             eprintln!("loadgen: cannot write report {report_path}: {e}");
@@ -567,6 +575,17 @@ fn main() {
     if errors > 0 || mismatches > 0 || follower_mismatches > 0 || ok == 0 {
         std::process::exit(1);
     }
+}
+
+/// Samples `engine.memory` from a server's `/stats` (full-precision vs
+/// quantized probe residency, per shard); `None` when the server is
+/// unreachable or predates the field.
+fn engine_memory(addr: &str) -> Option<Json> {
+    let (status, stats) = client::get(addr, "/stats").ok()?;
+    if status != 200 {
+        return None;
+    }
+    stats.get("engine")?.get("memory").cloned()
 }
 
 /// Samples `replication.{role, lag_lsn}` from a server's `/stats`; `None`

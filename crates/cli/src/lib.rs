@@ -41,17 +41,17 @@ use lemp_linalg::{stats, VectorStore};
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "usage:
-  lemp-cli above       <queries> <probes> theta=<f> [out=<path>] [variant=<L|C|I|LC|LI|TA|Tree|L2AP|BLSH>] [threads=<n>] [chunk=<n>] [abs=<bool>] [adaptive=<ucb1|eps-greedy>] [shards=<n>] [shard-policy=<rr|banded>] [explain=<bool>]
-  lemp-cli topk        <queries> <probes> k=<n>     [out=<path>] [variant=...] [threads=<n>] [chunk=<n>] [floor=<f>] [adaptive=<ucb1|eps-greedy>] [shards=<n>] [shard-policy=<rr|banded>] [explain=<bool>]
+  lemp-cli above       <queries> <probes> theta=<f> [out=<path>] [variant=<L|C|I|LC|LI|TA|Tree|L2AP|BLSH>] [threads=<n>] [chunk=<n>] [abs=<bool>] [adaptive=<ucb1|eps-greedy>] [shards=<n>] [shard-policy=<rr|banded>] [quantize=<bits|off>] [explain=<bool>]
+  lemp-cli topk        <queries> <probes> k=<n>     [out=<path>] [variant=...] [threads=<n>] [chunk=<n>] [floor=<f>] [adaptive=<ucb1|eps-greedy>] [shards=<n>] [shard-policy=<rr|banded>] [quantize=<bits|off>] [explain=<bool>]
   lemp-cli approx-topk <queries> <probes> k=<n> method=<srp|pca|centroid> [budget=<n>] [clusters=<n>] [expand=<n>] [seed=<u>] [verify=<bool>] [out=<path>]
   lemp-cli generate    <ie-nmf|ie-svd|netflix|kdd> <queries-out> <probes-out> [scale=<f>] [seed=<u>]
   lemp-cli convert     <in> <out> [mm-layout=<array|coordinate>]
   lemp-cli stats       <matrix>
   lemp-cli tune-report <queries> <probes> (theta=<f> | k=<n>) [variant=...]
   lemp-cli topn        <queries> <probes> n=<n> [chunk=<n>] [out=<path>]
-  lemp-cli index       <probes> <engine-out> [variant=...] [shards=<n>] [shard-policy=<rr|banded>]
+  lemp-cli index       <probes> <engine-out> [variant=...] [shards=<n>] [shard-policy=<rr|banded>] [quantize=<bits|off>]
   lemp-cli self-join   <matrix> t=<f> [out=<path>]
-  lemp-cli serve       <probes|engine.eng> [addr=127.0.0.1:0] [workers=<n>] [queue=<n>] [batch=<n>] [variant=...] [sample=<matrix>] [warm-k=<n>] [shards=<n>] [shard-policy=<rr|banded>] [durable=<dir>] [sync=<always|never|N>] [replication=<addr>] [sync-replicas=<n>] [quorum-timeout-ms=<n>] [replicate-from=<addr>]
+  lemp-cli serve       <probes|engine.eng> [addr=127.0.0.1:0] [workers=<n>] [queue=<n>] [batch=<n>] [variant=...] [sample=<matrix>] [warm-k=<n>] [shards=<n>] [shard-policy=<rr|banded>] [quantize=<bits|off>] [durable=<dir>] [sync=<always|never|N>] [replication=<addr>] [sync-replicas=<n>] [quorum-timeout-ms=<n>] [replicate-from=<addr>]
   lemp-cli promote     <addr>
   lemp-cli recover     <store-dir> [verify=<bool>] [out=<engine.eng>]
   lemp-cli compact     <store-dir>
@@ -64,8 +64,12 @@ images are told apart by magic, so both kinds just work;
 so abs/floor/chunk/adaptive/shards compose freely (all combinations are exact);
 shards=<n> (n >= 1) partitions the probes across n shard engines (exact results,
 shard-parallel execution); shard-policy picks round-robin (rr) or length-banded
-partitioning and requires shards= or a sharded image; explain=true prints the
-compiled per-bucket plan summary to stderr;
+partitioning and requires shards= or a sharded image; quantize=<bits> (1..=16)
+trains per-bucket subspace codebooks at warm-up and lets the tuner pick the
+quantized LUT scan per bucket — every candidate is re-verified against the
+full-precision vectors, so answers stay exact; explain=true prints the
+compiled per-bucket plan summary to stderr (a quantized bucket names its bits,
+codebook size and distortion bound);
 durable=<dir> write-ahead logs every POST /probes edit into <dir> before applying
 it (first boot seeds the store from <probes>, later boots recover from the store
 and ignore <probes>); durable= composes with shards=: each edit is logged by the
@@ -236,6 +240,31 @@ fn adaptive_cfg(args: &[String]) -> Result<Option<AdaptiveConfig>, String> {
     }
 }
 
+/// Parses `quantize=<bits|off>`: a per-subspace code width in `1..=16`,
+/// or `off`/absent for full precision. `0`, widths beyond 16 and garbage
+/// are structured errors, never panics.
+fn parse_quantize(args: &[String]) -> Result<u8, String> {
+    match opt(args, "quantize") {
+        None | Some("off") => Ok(0),
+        Some(raw) => match raw.parse::<u8>() {
+            Ok(bits) if (1..=16).contains(&bits) => Ok(bits),
+            _ => Err(format!("bad quantize: {raw:?} (a bit width in 1..=16, or off)")),
+        },
+    }
+}
+
+/// Rejects a `quantize=` on a prebuilt engine image, whose quantization
+/// is baked in — silently ignoring the option would lie about what runs.
+fn reject_quantize_on_image(args: &[String], path: &str) -> Result<(), String> {
+    if opt(args, "quantize").is_some() {
+        return Err(format!(
+            "{path} already encodes its quantization; rebuild with \
+             `lemp index <probes> <out.eng> quantize=<bits>`"
+        ));
+    }
+    Ok(())
+}
+
 /// Parses `shard-policy=<rr|banded>` (default round-robin).
 fn parse_shard_policy(args: &[String]) -> Result<ShardPolicy, String> {
     match opt(args, "shard-policy").unwrap_or("rr") {
@@ -281,6 +310,7 @@ fn sharded_image(path: &str) -> Result<bool, String> {
 /// options are rejected rather than silently ignored.
 fn load_sharded(args: &[String], probes_path: &str, shards: usize) -> Result<ShardedLemp, String> {
     if sharded_image(probes_path)? {
+        reject_quantize_on_image(args, probes_path)?;
         let engine = ShardedLemp::load(Path::new(probes_path))
             .map_err(|e| format!("cannot load sharded engine {probes_path}: {e}"))?;
         if shards > 0 && shards != engine.shard_count() {
@@ -310,6 +340,7 @@ fn load_sharded(args: &[String], probes_path: &str, shards: usize) -> Result<Sha
         .shards(shards)
         .policy(parse_shard_policy(args)?)
         .variant(variant)
+        .quantize(parse_quantize(args)?)
         .build(&probes))
 }
 
@@ -361,6 +392,7 @@ fn retrieve(args: &[String], above: bool) -> Result<(), String> {
     } else {
         reject_dangling_shard_policy(args)?;
         let engine = if probes_path.ends_with(".eng") {
+            reject_quantize_on_image(args, probes_path)?;
             let mut loaded = Lemp::load(Path::new(probes_path))
                 .map_err(|e| format!("cannot load engine {probes_path}: {e}"))?;
             if threads > 0 {
@@ -370,7 +402,11 @@ fn retrieve(args: &[String], above: bool) -> Result<(), String> {
         } else {
             let probes = load(probes_path)?;
             let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
-            Lemp::builder().variant(variant).threads(threads.max(1)).build(&probes)
+            Lemp::builder()
+                .variant(variant)
+                .threads(threads.max(1))
+                .quantize(parse_quantize(args)?)
+                .build(&probes)
         };
         Box::new(engine)
     };
@@ -387,6 +423,14 @@ fn retrieve(args: &[String], above: bool) -> Result<(), String> {
     let plan = engine.plan(&request);
     if explain {
         eprintln!("plan: {}", plan.describe());
+        // Per-bucket assignments, parameters included — a quantized bucket
+        // names its code width, codebook size and distortion bound, e.g.
+        // `QUANT(bits=8, k=256, eps=1.2e-2)`.
+        for (s, segment) in plan.segments().iter().enumerate() {
+            for (b, algo) in segment.algos().iter().enumerate() {
+                eprintln!("  shard {s} bucket {b}: {}", algo.detail());
+            }
+        }
     }
     let mut scratch = engine.query_scratch();
     let response = engine.execute(&plan, &queries, &mut scratch);
@@ -613,11 +657,13 @@ fn index(args: &[String]) -> Result<(), String> {
         return Err(format!("engine images use the .eng extension, got {out:?}"));
     }
     let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
+    let quantize = parse_quantize(args)?;
     if let Some(shards) = shard_request(args)? {
         let engine = ShardedLemp::builder()
             .shards(shards)
             .policy(parse_shard_policy(args)?)
             .variant(variant)
+            .quantize(quantize)
             .build(&probes);
         engine.save(Path::new(out)).map_err(|e| format!("cannot write engine {out}: {e}"))?;
         eprintln!(
@@ -629,7 +675,7 @@ fn index(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     reject_dangling_shard_policy(args)?;
-    let engine = Lemp::builder().variant(variant).build(&probes);
+    let engine = Lemp::builder().variant(variant).quantize(quantize).build(&probes);
     engine.save(Path::new(out)).map_err(|e| format!("cannot write engine {out}: {e}"))?;
     eprintln!(
         "indexed {} probes into {} buckets -> {out}",
@@ -656,6 +702,9 @@ fn serve(args: &[String]) -> Result<(), String> {
     let queue: usize = opt_parse(args, "queue", 64)?;
     let batch: usize = opt_parse(args, "batch", 8)?;
     let warm_k: usize = opt_parse(args, "warm-k", 10)?;
+    // Validated up front so hostile quantize= inputs fail before any store
+    // is opened or seeded, whatever branch serves.
+    let quantize = parse_quantize(args)?;
     let shards = shard_request(args)?;
     let durable_dir = opt(args, "durable");
     let sync = lemp_store::SyncPolicy::parse(opt(args, "sync").unwrap_or("always"))?;
@@ -814,13 +863,14 @@ fn serve(args: &[String]) -> Result<(), String> {
         reject_dangling_shard_policy(args)?;
         let build = || -> Result<DynamicLemp, String> {
             let engine = if probes_path.ends_with(".eng") {
+                reject_quantize_on_image(args, probes_path)?;
                 let loaded = Lemp::load(Path::new(probes_path))
                     .map_err(|e| format!("cannot load engine {probes_path}: {e}"))?;
                 DynamicLemp::from_engine(loaded, BucketPolicy::default())
             } else {
                 let probes = load(probes_path)?;
                 let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
-                let config = RunConfig { variant, ..Default::default() };
+                let config = RunConfig { variant, quantize_bits: quantize, ..Default::default() };
                 DynamicLemp::new(&probes, BucketPolicy::default(), config)
             };
             if engine.is_empty() {
@@ -1889,6 +1939,90 @@ mod tests {
         run(&s(&["recover", dir.to_str().unwrap(), "verify=true"])).unwrap();
         std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn quantized_runs_match_full_precision_exactly() {
+        let q = temp("quant-q", "csv");
+        let p = temp("quant-p", "csv");
+        let eng = temp("quant", "eng");
+        let out1 = temp("quant-out1", "csv");
+        let out2 = temp("quant-out2", "csv");
+        let qrows: Vec<String> =
+            (0..6).map(|i| format!("{},{}", 1.0 + i as f64 * 0.3, 2.0 - i as f64 * 0.2)).collect();
+        // Distinct values everywhere so the top-k boundary has no ties.
+        let prows: Vec<String> = (0..40)
+            .map(|i| format!("{},{}", 0.5 + i as f64 * 0.13, ((i * 7) % 11) as f64 * 0.4))
+            .collect();
+        std::fs::write(&q, qrows.join("\n")).unwrap();
+        std::fs::write(&p, prows.join("\n")).unwrap();
+        // Quantized runs re-verify every candidate: bit-identical output,
+        // with and without sharding, for both problems.
+        for base in [
+            vec!["topk", q.to_str().unwrap(), p.to_str().unwrap(), "k=3"],
+            vec!["above", q.to_str().unwrap(), p.to_str().unwrap(), "theta=1.5"],
+        ] {
+            run(&s(&[&base[..], &[&format!("out={}", out1.display())]].concat())).unwrap();
+            for extra in [vec!["quantize=8"], vec!["quantize=8", "shards=2"]] {
+                let mut argv: Vec<&str> = base.clone();
+                argv.extend(extra.iter().copied());
+                let out = format!("out={}", out2.display());
+                argv.push(&out);
+                run(&s(&argv)).unwrap();
+                assert_eq!(
+                    std::fs::read_to_string(&out1).unwrap(),
+                    std::fs::read_to_string(&out2).unwrap(),
+                    "quantized {base:?} {extra:?} diverges from full precision"
+                );
+            }
+        }
+        // quantize=off is the explicit default.
+        run(&s(&[
+            "topk",
+            q.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "k=3",
+            "quantize=off",
+            &format!("out={}", out2.display()),
+        ]))
+        .unwrap();
+        // A quantized image persists its codebooks and answers identically.
+        run(&s(&["index", p.to_str().unwrap(), eng.to_str().unwrap(), "quantize=8"])).unwrap();
+        run(&s(&[
+            "topk",
+            q.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "k=3",
+            &format!("out={}", out1.display()),
+        ]))
+        .unwrap();
+        run(&s(&[
+            "topk",
+            q.to_str().unwrap(),
+            eng.to_str().unwrap(),
+            "k=3",
+            &format!("out={}", out2.display()),
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&out1).unwrap(),
+            std::fs::read_to_string(&out2).unwrap(),
+            "quantized image diverges from a fresh full-precision run"
+        );
+        // Hostile inputs are structured errors, never panics.
+        let base = ["topk", q.to_str().unwrap(), p.to_str().unwrap(), "k=3"];
+        for bad in ["quantize=0", "quantize=17", "quantize=256", "quantize=-8", "quantize=lots"] {
+            let err = run(&s(&[&base[..], &[bad]].concat())).unwrap_err();
+            assert!(err.contains("bad quantize"), "{bad}: {err}");
+        }
+        // quantize= on a prebuilt image is rejected, not silently dropped.
+        let err =
+            run(&s(&["topk", q.to_str().unwrap(), eng.to_str().unwrap(), "k=3", "quantize=8"]))
+                .unwrap_err();
+        assert!(err.contains("already encodes"), "{err}");
+        for f in [&q, &p, &eng, &out1, &out2] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]

@@ -82,6 +82,10 @@ pub struct MethodScratch {
     pub ranges: Vec<(usize, usize)>,
     /// Result buffer for adapters that verify internally.
     pub row: Vec<(u32, f64)>,
+    /// Query-specific lookup table for the quantized scan (`m·k` entries).
+    pub lut: Vec<f64>,
+    /// Approximate score buffer for the quantized scan (`n` entries).
+    pub qscores: Vec<f64>,
 }
 
 impl MethodScratch {
@@ -95,6 +99,8 @@ impl MethodScratch {
             focus: Vec::new(),
             ranges: Vec::new(),
             row: Vec::new(),
+            lut: Vec::new(),
+            qscores: Vec::new(),
         }
     }
 

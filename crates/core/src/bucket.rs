@@ -24,6 +24,7 @@ use lemp_baselines::{CoverTree, TaIndex};
 use lemp_linalg::VectorStore;
 
 use crate::index::{ColumnIndex, RowIndex};
+use crate::quant::QuantizedBucket;
 
 /// Controls the greedy bucketization.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,6 +80,9 @@ pub struct BucketIndexes {
     pub l2ap: Option<L2apIndex>,
     /// BayesLSH signatures over the unit directions.
     pub blsh: Option<BlshIndex>,
+    /// Quantized representation (subspace codebooks + packed codes) for the
+    /// LUT scoring scan.
+    pub quant: Option<QuantizedBucket>,
 }
 
 /// One probe bucket in the Fig. 4a layout.
@@ -242,6 +246,39 @@ impl Bucket {
             false
         }
     }
+
+    /// Trains the quantized representation at the given code width if
+    /// absent; returns whether it was built now. A zero or out-of-range
+    /// `bits` leaves the bucket unquantized (train refuses it).
+    pub fn ensure_quant(&mut self, bits: u8, seed: u64) -> bool {
+        if self.indexes.quant.is_none() {
+            self.indexes.quant = QuantizedBucket::train(&self.dirs, bits, seed);
+            self.indexes.quant.is_some()
+        } else {
+            false
+        }
+    }
+}
+
+/// Resident bytes of an engine's probe storage, split by representation —
+/// the observable behind the quantization compression ratio (`/stats`
+/// reports one of these per shard).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryUsage {
+    /// Full-precision residency: unit directions and original vectors
+    /// (8 bytes per coordinate each) plus per-probe length and id.
+    pub full_bytes: u64,
+    /// Quantized residency: codebooks + packed codes plus per-probe length
+    /// and id; zero until codebooks are trained.
+    pub quantized_bytes: u64,
+}
+
+impl MemoryUsage {
+    /// Element-wise accumulation (aggregating buckets or shards).
+    pub fn merge(&mut self, other: &MemoryUsage) {
+        self.full_bytes += other.full_bytes;
+        self.quantized_bytes += other.quantized_bytes;
+    }
 }
 
 /// The preprocessed probe side: all buckets, by decreasing length.
@@ -359,6 +396,20 @@ impl ProbeBuckets {
     /// cache-aware vs cache-oblivious KDD).
     pub fn bucket_count(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// Probe-residency accounting: full-precision bytes vs the quantized
+    /// representation's bytes, summed over buckets.
+    pub fn memory_usage(&self) -> MemoryUsage {
+        let mut mem = MemoryUsage::default();
+        for b in &self.buckets {
+            let n = b.len() as u64;
+            mem.full_bytes += n * (16 * self.dim as u64 + 12);
+            if let Some(q) = &b.indexes.quant {
+                mem.quantized_bytes += q.resident_bytes() as u64 + 12 * n;
+            }
+        }
+        mem
     }
 
     /// Full mutable access to the bucket vector, for dynamic maintenance

@@ -608,6 +608,12 @@ impl DynamicLemp {
         &self.buckets
     }
 
+    /// Probe-side memory residency (full-precision vs quantized bytes),
+    /// as [`crate::Lemp::memory_usage`].
+    pub fn memory_usage(&self) -> crate::bucket::MemoryUsage {
+        self.buckets.memory_usage()
+    }
+
     /// Serializes the dynamic engine: bucketization policy, run
     /// configuration, the id-space watermark and the bucket contents.
     /// Stable ids survive the round trip; dead ids stay dead (they are
@@ -616,9 +622,15 @@ impl DynamicLemp {
     /// # Errors
     /// Propagates write failures.
     pub fn write_to<W: std::io::Write>(&self, writer: W) -> Result<(), PersistError> {
-        use crate::persist::{write_bucket_section, write_config, write_f64, write_u64};
+        use crate::persist::{
+            write_bucket_section, write_config, write_f64, write_quant_section, write_u64,
+        };
         let mut w = std::io::BufWriter::new(writer);
-        w.write_all(DYN_MAGIC)?;
+        // Same backward-compat rule as the static format: quantization off
+        // → byte-identical LEMPDYN1 image; on → LEMPDYN2 with the
+        // quantized section appended after the bucket section.
+        let quantized = self.config.quantize_bits > 0;
+        w.write_all(if quantized { DYN_MAGIC2 } else { DYN_MAGIC })?;
         write_f64(&mut w, self.policy.length_ratio)?;
         write_u64(&mut w, self.policy.min_bucket as u64)?;
         write_u64(&mut w, self.policy.cache_bytes as u64)?;
@@ -626,6 +638,9 @@ impl DynamicLemp {
         write_config(&mut w, &self.config)?;
         write_u64(&mut w, self.id_len.len() as u64)?;
         write_bucket_section(&mut w, &self.buckets)?;
+        if quantized {
+            write_quant_section(&mut w, self.config.quantize_bits, &self.buckets)?;
+        }
         use std::io::Write;
         w.flush()?;
         Ok(())
@@ -650,14 +665,18 @@ impl DynamicLemp {
     /// the shared bucket-section validations plus id-space violations
     /// (ids at/above the watermark, duplicate ids across buckets).
     pub fn read_from<R: std::io::Read>(reader: R) -> Result<Self, PersistError> {
-        use crate::persist::{expect_eof, read_bucket_section, read_config, read_f64, read_u64};
+        use crate::persist::{
+            expect_eof, read_bucket_section, read_config, read_f64, read_quant_section, read_u64,
+        };
         let mut r = std::io::BufReader::new(reader);
         let mut magic = [0u8; 8];
         std::io::Read::read_exact(&mut r, &mut magic)
             .map_err(|_| PersistError::Format("file too short for magic".into()))?;
-        if &magic != DYN_MAGIC {
-            return Err(PersistError::Format(format!("bad magic {magic:?}")));
-        }
+        let quantized = match &magic {
+            m if m == DYN_MAGIC => false,
+            m if m == DYN_MAGIC2 => true,
+            _ => return Err(PersistError::Format(format!("bad magic {magic:?}"))),
+        };
         let policy = BucketPolicy {
             length_ratio: read_f64(&mut r, "length_ratio")?,
             min_bucket: read_u64(&mut r, "min_bucket")? as usize,
@@ -680,7 +699,11 @@ impl DynamicLemp {
                 "id-space watermark {id_space} exceeds the u32 id range"
             )));
         }
-        let buckets = read_bucket_section(&mut r)?;
+        let mut buckets = read_bucket_section(&mut r)?;
+        let mut config = config;
+        if quantized {
+            config.quantize_bits = read_quant_section(&mut r, &mut buckets)?;
+        }
         expect_eof(&mut r)?;
 
         // Probe allocatability first (graceful Format error instead of an
@@ -776,6 +799,7 @@ impl Engine for DynamicLemp {
 }
 
 const DYN_MAGIC: &[u8; 8] = b"LEMPDYN1";
+const DYN_MAGIC2: &[u8; 8] = b"LEMPDYN2";
 
 /// A fresh single-vector bucket.
 fn singleton(id: u32, v: &[f64]) -> Bucket {
@@ -1092,6 +1116,37 @@ mod tests {
         let id_l = loaded.insert(&[1.0; 8]).unwrap();
         assert_eq!(id_e, id_l, "id watermark diverged after load");
         assert!(loaded.remove(id_l));
+    }
+
+    #[test]
+    fn quantized_persistence_roundtrips_after_edits() {
+        let probes = fixture(120, 25);
+        let config = RunConfig { sample_size: 8, quantize_bits: 8, ..Default::default() };
+        let policy = BucketPolicy { min_bucket: 8, ..Default::default() };
+        let mut e = DynamicLemp::new(&probes, policy, config);
+        let sample = fixture(12, 26);
+        e.warm(&sample, crate::WarmGoal::TopK(3));
+        // Edits re-encode the touched bucket inside the edit (rewarm).
+        e.insert(&[2.5; 8]).unwrap();
+        assert!(e.remove(3));
+        assert!(
+            e.buckets().buckets().iter().all(|b| b.indexes.quant.is_some()),
+            "warm quantized engine must keep codebooks through edits"
+        );
+        let mut buf = Vec::new();
+        e.write_to(&mut buf).unwrap();
+        assert_eq!(&buf[..8], b"LEMPDYN2");
+        let mut loaded = DynamicLemp::read_from(&buf[..]).unwrap();
+        check_invariants(&loaded);
+        assert_eq!(loaded.config().quantize_bits, 8);
+        for (a, b) in loaded.buckets().buckets().iter().zip(e.buckets().buckets()) {
+            assert_eq!(a.indexes.quant, b.indexes.quant, "quant state must round-trip");
+        }
+        assert!(loaded.memory_usage().quantized_bytes > 0);
+        let queries = fixture(10, 27);
+        let x = e.above_theta(&queries, 1.0);
+        let y = loaded.above_theta(&queries, 1.0);
+        assert_eq!(canonical_pairs(&x.entries), canonical_pairs(&y.entries));
     }
 
     #[test]

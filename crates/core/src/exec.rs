@@ -32,6 +32,11 @@ pub struct RunConfig {
     /// lower bound on the local threshold exists (Above-θ runs derive it
     /// from `θ_b(q_max)` instead).
     pub l2ap_topk_threshold: f64,
+    /// Code width for the quantized bucket representation (`0` disables
+    /// quantization; valid widths are `1..=16`). When enabled, `warm`
+    /// trains per-bucket codebooks and the tuner decides per bucket
+    /// whether the LUT scan or the variant's exact scan wins.
+    pub quantize_bits: u8,
 }
 
 impl Default for RunConfig {
@@ -44,6 +49,7 @@ impl Default for RunConfig {
             tree_base: 1.3,
             threads: 1,
             l2ap_topk_threshold: 0.05,
+            quantize_bits: 0,
         }
     }
 }
@@ -68,6 +74,7 @@ pub(crate) fn needs_build(bucket: &Bucket, method: ResolvedMethod) -> bool {
         ResolvedMethod::Tree => bucket.indexes.tree.is_none(),
         ResolvedMethod::L2ap => bucket.indexes.l2ap.is_none(),
         ResolvedMethod::Blsh => bucket.indexes.blsh.is_none(),
+        ResolvedMethod::Quant => bucket.indexes.quant.is_none(),
     }
 }
 
@@ -94,6 +101,7 @@ pub(crate) fn ensure_for(
         ResolvedMethod::Tree => bucket.ensure_tree(cfg.tree_base),
         ResolvedMethod::L2ap => bucket.ensure_l2ap(l2ap_t),
         ResolvedMethod::Blsh => bucket.ensure_blsh(cfg.blsh_bits, bucket_seed),
+        ResolvedMethod::Quant => bucket.ensure_quant(cfg.quantize_bits, bucket_seed),
     };
     if built {
         clock.ns += start.elapsed().as_nanos() as u64;
@@ -147,6 +155,11 @@ pub(crate) fn run_method(
             let index = bucket.indexes.blsh.as_ref().expect("BLSH index built");
             let table = blsh_table.expect("BLSH table precomputed");
             blsh_bucket::run(ctx, bucket, index, table, sink);
+            0
+        }
+        ResolvedMethod::Quant => {
+            let q = bucket.indexes.quant.as_ref().expect("QUANT codebooks trained");
+            crate::quant::run(ctx, bucket, q, &mut scratch.lut, &mut scratch.qscores, sink);
             0
         }
     }
@@ -245,6 +258,18 @@ mod tests {
         assert_eq!(clock.built, 6); // everything except Length
         assert!(clock.ns > 0);
         assert!(!needs_build(bucket, ResolvedMethod::Tree));
+    }
+
+    #[test]
+    fn ensure_for_trains_quant_codebooks_once() {
+        let mut pb = one_bucket(80, 2);
+        let bucket = &mut pb.buckets_mut()[0];
+        let cfg = RunConfig { quantize_bits: 8, ..Default::default() };
+        let mut clock = BuildClock::default();
+        ensure_for(bucket, ResolvedMethod::Quant, 0.5, &cfg, 7, &mut clock);
+        ensure_for(bucket, ResolvedMethod::Quant, 0.5, &cfg, 7, &mut clock); // idempotent
+        assert_eq!(clock.built, 1);
+        assert!(!needs_build(bucket, ResolvedMethod::Quant));
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod exec;
 pub mod index;
 pub mod persist;
 pub mod plan;
+pub mod quant;
 pub mod query;
 pub mod runner;
 pub mod scratch;
@@ -76,7 +77,7 @@ pub mod variant;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveReport, AdaptiveSelector, BanditPolicy};
 pub use algos::MethodScratch;
-pub use bucket::{Bucket, BucketPolicy, ProbeBuckets};
+pub use bucket::{Bucket, BucketPolicy, MemoryUsage, ProbeBuckets};
 pub use dynamic::DynamicLemp;
 pub use exec::RunConfig;
 pub use lemp_baselines::types::{Entry, RetrievalCounters, TopKLists};
@@ -85,6 +86,7 @@ pub use plan::{
     BucketAlgo, Engine, ExecOptions, PlanSegment, Planner, QueryKind, QueryPlan, QueryRequest,
     QueryResponse, QueryRows, Scratch,
 };
+pub use quant::{QuantCodes, QuantizedBucket};
 pub use runner::{AboveThetaOutput, MethodMix, RunStats, TopKOutput};
 pub use shard::{ShardPolicy, ShardScratch, ShardedLemp};
 pub use stream::column_top_k;
@@ -272,6 +274,21 @@ impl LempBuilder {
         self
     }
 
+    /// Enables quantized probe buckets with `bits`-wide PQ codes
+    /// (1..=16; 0 disables, the default). When enabled, [`Lemp::warm`]
+    /// trains per-bucket subspace codebooks and the tuner may route bucket
+    /// scans through the LUT kernel; every candidate is re-verified against
+    /// the full-precision vectors, so results stay exact.
+    ///
+    /// # Panics
+    /// If `bits > 16` — use the CLI/service layers for non-panicking
+    /// validation of untrusted input.
+    pub fn quantize(mut self, bits: u8) -> Self {
+        assert!(bits <= quant::MAX_QUANT_BITS, "quantize bits must be ≤ 16, got {bits}");
+        self.config.quantize_bits = bits;
+        self
+    }
+
     /// Builds the engine over the probe vectors (one vector per row).
     pub fn build(self, probes: &VectorStore) -> Lemp {
         Lemp { buckets: ProbeBuckets::build(probes, &self.policy), config: self.config, warm: None }
@@ -304,6 +321,13 @@ impl Lemp {
     /// The active run configuration.
     pub fn config(&self) -> &RunConfig {
         &self.config
+    }
+
+    /// Probe-side memory residency: full-precision bytes vs quantized
+    /// bytes across all buckets (the quantized side is 0 until codebooks
+    /// are trained — i.e. before a warm-up with quantization enabled).
+    pub fn memory_usage(&self) -> MemoryUsage {
+        self.buckets.memory_usage()
     }
 
     /// Overrides the retrieval worker-thread count of an existing engine

@@ -20,6 +20,32 @@
 //!                                            lazy anyway, Sec. 4.2)
 //! ```
 //!
+//! # The quantized section (version 2)
+//!
+//! Engines built with quantization ([`crate::LempBuilder::quantize`])
+//! persist under the `LEMPENG2` magic: the byte-identical version-1
+//! layout followed by one **quantized section** —
+//!
+//! ```text
+//! quantize_bits                             u8, 1..=16
+//! per bucket: present flag (u8);            0 = codebooks not trained yet
+//!   if present: bits (u8), sub_dim, k,      (re-train at the next warm)
+//!   m·k·sub_dim codebook doubles,
+//!   m·n packed codes (u8 per code ≤ 8 bits, u16 above)
+//! ```
+//!
+//! **Backward-compat rule**: an engine with quantization *off* writes the
+//! `LEMPENG1` bytes unchanged — old readers keep working and images diff
+//! clean — while readers accept both magics, so legacy images load into
+//! quantization-aware builds (and re-train codebooks at the next warm if
+//! quantization is then enabled). The same rule applies to the dynamic
+//! format (`LEMPDYN1`/`LEMPDYN2`, see [`crate::dynamic`]); sharded
+//! manifests inherit it through their embedded per-shard dynamic images.
+//! Loading validates every shape and code index of the section
+//! ([`crate::quant::QuantizedBucket::from_parts`]) and **recomputes** the
+//! distortion bound `eps` from the full-precision directions — a tampered
+//! image can corrupt the codebooks but never the exactness contract.
+//!
 //! All integers are little-endian `u64` (`u32` for ids), floats are IEEE
 //! `f64` bits, so files are portable across platforms. Loading validates
 //! everything a corrupted or hand-edited file could break: magic, variant
@@ -92,10 +118,12 @@ use lemp_linalg::VectorStore;
 
 use crate::bucket::{Bucket, ProbeBuckets};
 use crate::exec::RunConfig;
+use crate::quant::{QuantCodes, QuantizedBucket, MAX_QUANT_BITS};
 use crate::variant::LempVariant;
 use crate::Lemp;
 
 const MAGIC: &[u8; 8] = b"LEMPENG1";
+const MAGIC2: &[u8; 8] = b"LEMPENG2";
 
 /// Errors raised by engine persistence.
 #[derive(Debug)]
@@ -217,6 +245,7 @@ pub(crate) fn read_config<R: Read>(r: &mut R) -> Result<RunConfig, PersistError>
         tree_base: read_f64(r, "tree_base")?,
         threads: (read_u64(r, "threads")? as usize).max(1),
         l2ap_topk_threshold: read_f64(r, "l2ap_topk_threshold")?,
+        quantize_bits: 0,
     };
     if !config.blsh_eps.is_finite() || !config.tree_base.is_finite() {
         return Err(PersistError::Format("non-finite configuration value".into()));
@@ -318,6 +347,132 @@ pub(crate) fn read_bucket_section<R: Read>(r: &mut R) -> Result<ProbeBuckets, Pe
     Ok(ProbeBuckets::from_parts(dim, total, buckets))
 }
 
+/// Writes the quantized section (see the module docs): the configured code
+/// width, then per bucket a present flag and — when codebooks are trained —
+/// the full quantized representation. `eps` is deliberately *not* stored;
+/// readers recompute it from the directions.
+pub(crate) fn write_quant_section<W: Write>(
+    w: &mut W,
+    quantize_bits: u8,
+    buckets: &ProbeBuckets,
+) -> Result<(), PersistError> {
+    w.write_all(&[quantize_bits])?;
+    for bucket in buckets.buckets() {
+        let Some(q) = &bucket.indexes.quant else {
+            w.write_all(&[0u8])?;
+            continue;
+        };
+        w.write_all(&[1u8, q.bits()])?;
+        write_u64(w, q.sub_dim() as u64)?;
+        write_u64(w, q.k() as u64)?;
+        for &x in q.codebooks() {
+            write_f64(w, x)?;
+        }
+        match q.codes() {
+            QuantCodes::U8(codes) => w.write_all(codes)?,
+            QuantCodes::U16(codes) => {
+                for &c in codes {
+                    w.write_all(&c.to_le_bytes())?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads and validates a quantized section written by
+/// [`write_quant_section`], attaching the reconstructed
+/// [`QuantizedBucket`]s to `buckets` and returning the configured code
+/// width. All shape/code validation and the `eps` recomputation happen in
+/// [`QuantizedBucket::from_parts`] — a corrupted section becomes a
+/// [`PersistError::Format`], never a panic or an oversized allocation.
+pub(crate) fn read_quant_section<R: Read>(
+    r: &mut R,
+    buckets: &mut ProbeBuckets,
+) -> Result<u8, PersistError> {
+    const CAP_HINT: usize = 1 << 16;
+    let mut byte = [0u8; 1];
+    r.read_exact(&mut byte)
+        .map_err(|_| PersistError::Format("truncated while reading quantize_bits".into()))?;
+    let quantize_bits = byte[0];
+    if quantize_bits == 0 || quantize_bits > MAX_QUANT_BITS {
+        return Err(PersistError::Format(format!("quantize_bits {quantize_bits} outside 1..=16")));
+    }
+    for (b, bucket) in buckets.buckets_vec_mut().iter_mut().enumerate() {
+        r.read_exact(&mut byte)
+            .map_err(|_| PersistError::Format(format!("bucket {b}: truncated quant flag")))?;
+        match byte[0] {
+            0 => continue,
+            1 => {}
+            other => {
+                return Err(PersistError::Format(format!(
+                    "bucket {b}: quant flag {other} is neither 0 nor 1"
+                )))
+            }
+        }
+        r.read_exact(&mut byte)
+            .map_err(|_| PersistError::Format(format!("bucket {b}: truncated quant bits")))?;
+        let bits = byte[0];
+        if bits == 0 || bits > MAX_QUANT_BITS {
+            return Err(PersistError::Format(format!(
+                "bucket {b}: quant bits {bits} outside 1..=16"
+            )));
+        }
+        let sub_dim = read_u64(r, "quant sub_dim")? as usize;
+        let k = read_u64(r, "quant k")? as usize;
+        // Shape sanity *before* sizing any read: a corrupted sub_dim or k
+        // must not drive a huge (or zero-divisor) element count.
+        let n = bucket.len();
+        let dim = bucket.dirs.dim();
+        if sub_dim == 0 || sub_dim > dim {
+            return Err(PersistError::Format(format!(
+                "bucket {b}: quant sub_dim {sub_dim} invalid for dim {dim}"
+            )));
+        }
+        if k == 0 || k > n {
+            return Err(PersistError::Format(format!(
+                "bucket {b}: quant k {k} invalid for {n} probes"
+            )));
+        }
+        let m = dim.div_ceil(sub_dim);
+        let cb_len = m
+            .checked_mul(k)
+            .and_then(|x| x.checked_mul(sub_dim))
+            .ok_or_else(|| PersistError::Format(format!("bucket {b}: codebook size overflows")))?;
+        let mut codebooks = Vec::with_capacity(cb_len.min(CAP_HINT));
+        for _ in 0..cb_len {
+            codebooks.push(read_f64(r, "quant codebook")?);
+        }
+        let code_count = m
+            .checked_mul(n)
+            .ok_or_else(|| PersistError::Format(format!("bucket {b}: code count overflows")))?;
+        let codes = if bits <= 8 {
+            let mut v = Vec::with_capacity(code_count.min(CAP_HINT));
+            for _ in 0..code_count {
+                r.read_exact(&mut byte).map_err(|_| {
+                    PersistError::Format(format!("bucket {b}: truncated quant codes"))
+                })?;
+                v.push(byte[0]);
+            }
+            QuantCodes::U8(v)
+        } else {
+            let mut v = Vec::with_capacity(code_count.min(CAP_HINT));
+            let mut two = [0u8; 2];
+            for _ in 0..code_count {
+                r.read_exact(&mut two).map_err(|_| {
+                    PersistError::Format(format!("bucket {b}: truncated quant codes"))
+                })?;
+                v.push(u16::from_le_bytes(two));
+            }
+            QuantCodes::U16(v)
+        };
+        let q = QuantizedBucket::from_parts(bits, sub_dim, k, codebooks, codes, &bucket.dirs)
+            .map_err(|e| PersistError::Format(format!("bucket {b}: {e}")))?;
+        bucket.indexes.quant = Some(q);
+    }
+    Ok(quantize_bits)
+}
+
 /// Reports trailing bytes after a complete image as a format error.
 ///
 /// # Errors
@@ -340,9 +495,15 @@ impl Lemp {
     /// Propagates write failures.
     pub fn write_to<W: Write>(&self, writer: W) -> Result<(), PersistError> {
         let mut w = BufWriter::new(writer);
-        w.write_all(MAGIC)?;
+        // Backward-compat rule: quantization off → byte-identical LEMPENG1
+        // image; on → LEMPENG2 with the quantized section appended.
+        let quantized = self.config.quantize_bits > 0;
+        w.write_all(if quantized { MAGIC2 } else { MAGIC })?;
         write_config(&mut w, &self.config)?;
         write_bucket_section(&mut w, &self.buckets)?;
+        if quantized {
+            write_quant_section(&mut w, self.config.quantize_bits, &self.buckets)?;
+        }
         w.flush()?;
         Ok(())
     }
@@ -366,11 +527,16 @@ impl Lemp {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)
             .map_err(|_| PersistError::Format("file too short for magic".into()))?;
-        if &magic != MAGIC {
-            return Err(PersistError::Format(format!("bad magic {magic:?}")));
+        let quantized = match &magic {
+            m if m == MAGIC => false,
+            m if m == MAGIC2 => true,
+            _ => return Err(PersistError::Format(format!("bad magic {magic:?}"))),
+        };
+        let mut config = read_config(&mut r)?;
+        let mut buckets = read_bucket_section(&mut r)?;
+        if quantized {
+            config.quantize_bits = read_quant_section(&mut r, &mut buckets)?;
         }
-        let config = read_config(&mut r)?;
-        let buckets = read_bucket_section(&mut r)?;
         expect_eof(&mut r)?;
         Ok(Lemp::from_parts(buckets, config))
     }
@@ -491,6 +657,86 @@ mod tests {
         bad.push(7);
         let err = Lemp::read_from(&bad[..]).unwrap_err();
         assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn quantized_roundtrip_restores_codebooks_without_retraining() {
+        let (q, p) = fixture();
+        let mut original =
+            Lemp::builder().variant(LempVariant::LI).sample_size(7).quantize(8).build(&p);
+        original.warm(&q, crate::WarmGoal::TopK(3)); // trains codebooks
+        assert!(
+            original.buckets().buckets().iter().all(|b| b.indexes.quant.is_some()),
+            "warm with quantize=8 must train every bucket"
+        );
+        let mut buf = Vec::new();
+        original.write_to(&mut buf).unwrap();
+        assert_eq!(&buf[..8], b"LEMPENG2");
+        let loaded = Lemp::read_from(&buf[..]).unwrap();
+        assert_eq!(loaded.config().quantize_bits, 8);
+        for (a, b) in loaded.buckets().buckets().iter().zip(original.buckets().buckets()) {
+            assert_eq!(a.indexes.quant, b.indexes.quant, "codebooks/codes/eps must round-trip");
+        }
+        assert!(loaded.memory_usage().quantized_bytes > 0);
+    }
+
+    #[test]
+    fn quantization_off_keeps_the_legacy_magic() {
+        let (_, p) = fixture();
+        let engine = Lemp::builder().build(&p);
+        let mut buf = Vec::new();
+        engine.write_to(&mut buf).unwrap();
+        assert_eq!(&buf[..8], b"LEMPENG1");
+        assert_eq!(Lemp::read_from(&buf[..]).unwrap().config().quantize_bits, 0);
+    }
+
+    #[test]
+    fn quantized_section_rejects_corruption() {
+        let (q, p) = fixture();
+        let mut engine = Lemp::builder().sample_size(5).quantize(8).build(&p);
+        engine.warm(&q, crate::WarmGoal::Above(1.0));
+        let mut buf = Vec::new();
+        engine.write_to(&mut buf).unwrap();
+
+        // Truncation anywhere inside the quantized section.
+        let legacy_len = {
+            let mut legacy = Vec::new();
+            Lemp::builder().build(&p).write_to(&mut legacy).unwrap();
+            legacy.len()
+        };
+        assert!(buf.len() > legacy_len, "quantized image must carry extra bytes");
+        for cut in [legacy_len, legacy_len + 1, legacy_len + 9, buf.len() - 1] {
+            assert!(
+                matches!(Lemp::read_from(&buf[..cut]), Err(PersistError::Format(_))),
+                "quant-section truncation at {cut} not detected"
+            );
+        }
+
+        // An out-of-range quantize_bits word (the section's first byte).
+        let mut bad = buf.clone();
+        bad[legacy_len] = 99;
+        let err = Lemp::read_from(&bad[..]).unwrap_err();
+        assert!(err.to_string().contains("1..=16"), "unexpected error: {err}");
+
+        // Bit-flip a code byte to an out-of-range index: the *last* byte
+        // of the image is a code (codes close each bucket's record).
+        let mut bad = buf.clone();
+        *bad.last_mut().unwrap() = u8::MAX;
+        let err = Lemp::read_from(&bad[..]).unwrap_err();
+        assert!(err.to_string().contains("≥ k"), "unexpected error: {err}");
+
+        // Tampering a codebook double keeps the image loadable (any finite
+        // value is a legal centroid) but the recomputed eps still covers
+        // the damage, so answers stay exact.
+        let mut bent = buf.clone();
+        let cb_at = legacy_len + 1 + 2 + 16; // flag, bits, sub_dim, k of bucket 0
+        bent[cb_at..cb_at + 8].copy_from_slice(&7.5f64.to_le_bytes());
+        let mut loaded = Lemp::read_from(&bent[..]).unwrap();
+        loaded.warm(&q, crate::WarmGoal::Above(1.0));
+        let mut fresh = Lemp::builder().sample_size(5).build(&p);
+        let a = loaded.above_theta(&q, 1.2);
+        let b = fresh.above_theta(&q, 1.2);
+        assert_eq!(canonical_pairs(&a.entries), canonical_pairs(&b.entries));
     }
 
     #[test]

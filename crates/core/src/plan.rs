@@ -211,6 +211,16 @@ pub enum BucketAlgo {
     L2ap,
     /// BayesLSH-Lite adapter (approximate).
     Blsh,
+    /// Quantized LUT scan (candidates re-verified against full precision).
+    Quant {
+        /// Code width in bits.
+        bits: u8,
+        /// Centroids per subspace codebook.
+        k: u32,
+        /// The bucket's distortion bound `eps`, as IEEE-754 bits (keeps the
+        /// enum `Eq`-comparable; recover with [`f64::from_bits`]).
+        eps_bits: u64,
+    },
 }
 
 impl BucketAlgo {
@@ -224,6 +234,21 @@ impl BucketAlgo {
             BucketAlgo::Tree => "Tree",
             BucketAlgo::L2ap => "L2AP",
             BucketAlgo::Blsh => "BLSH",
+            BucketAlgo::Quant { .. } => "QUANT",
+        }
+    }
+
+    /// Long display naming the algorithm's parameters — what the CLI's
+    /// `explain=true` prints per bucket (e.g.
+    /// `QUANT(bits=8, k=256, eps=1.2e-2)`).
+    pub fn detail(&self) -> String {
+        match self {
+            BucketAlgo::Coord(phi) => format!("COORD(phi={phi})"),
+            BucketAlgo::Incr(phi) => format!("INCR(phi={phi})"),
+            BucketAlgo::Quant { bits, k, eps_bits } => {
+                format!("QUANT(bits={bits}, k={k}, eps={:.1e})", f64::from_bits(*eps_bits))
+            }
+            other => other.name().to_string(),
         }
     }
 }
@@ -237,6 +262,9 @@ fn algo_of(method: ResolvedMethod) -> BucketAlgo {
         ResolvedMethod::Tree => BucketAlgo::Tree,
         ResolvedMethod::L2ap => BucketAlgo::L2ap,
         ResolvedMethod::Blsh => BucketAlgo::Blsh,
+        // Reached only when the bucket has no trained codebooks (the zip in
+        // `Planner::segment` fills in the trained parameters otherwise).
+        ResolvedMethod::Quant => BucketAlgo::Quant { bits: 0, k: 0, eps_bits: 0 },
     }
 }
 
@@ -309,12 +337,23 @@ impl Planner {
         debug_assert_eq!(tuned.len(), buckets.bucket_count());
         let algos = tuned
             .iter()
-            .map(|params| {
+            .zip(buckets.buckets())
+            .map(|(params, bucket)| {
                 // The strongest local threshold any query can pose is 1.0
                 // (θ_b is capped by the cosine bound), which is exactly the
                 // threshold the warm-up built indexes for — so this names
                 // the index that serves the bucket.
-                algo_of(resolve(config.variant, params, 1.0))
+                match resolve(config.variant, params, 1.0) {
+                    ResolvedMethod::Quant => {
+                        let q = bucket.indexes.quant.as_ref();
+                        BucketAlgo::Quant {
+                            bits: q.map_or(config.quantize_bits, |q| q.bits()),
+                            k: q.map_or(0, |q| q.k() as u32),
+                            eps_bits: q.map_or(0, |q| q.eps().to_bits()),
+                        }
+                    }
+                    method => algo_of(method),
+                }
             })
             .collect();
         PlanSegment { params: tuned.to_vec(), algos, epoch: buckets.epoch() }
@@ -912,6 +951,13 @@ mod tests {
     #[should_panic(expected = "chunk_size must be positive")]
     fn zero_chunk_is_rejected_at_construction() {
         let _ = QueryRequest::top_k(3).chunked(0);
+    }
+
+    #[test]
+    fn quant_algo_renders_its_parameters() {
+        let algo = BucketAlgo::Quant { bits: 8, k: 256, eps_bits: 0.012f64.to_bits() };
+        assert_eq!(algo.name(), "QUANT");
+        assert_eq!(algo.detail(), "QUANT(bits=8, k=256, eps=1.2e-2)");
     }
 
     #[test]

@@ -74,6 +74,8 @@ pub struct MethodMix {
     pub l2ap: u64,
     /// Pairs served by the BLSH adapter.
     pub blsh: u64,
+    /// Pairs served by the quantized LUT scan.
+    pub quant: u64,
 }
 
 impl MethodMix {
@@ -86,6 +88,7 @@ impl MethodMix {
             ResolvedMethod::Tree => self.tree += 1,
             ResolvedMethod::L2ap => self.l2ap += 1,
             ResolvedMethod::Blsh => self.blsh += 1,
+            ResolvedMethod::Quant => self.quant += 1,
         }
     }
 
@@ -97,11 +100,19 @@ impl MethodMix {
         self.tree += other.tree;
         self.l2ap += other.l2ap;
         self.blsh += other.blsh;
+        self.quant += other.quant;
     }
 
     /// Total pairs processed.
     pub fn total(&self) -> u64 {
-        self.length + self.coord + self.incr + self.ta + self.tree + self.l2ap + self.blsh
+        self.length
+            + self.coord
+            + self.incr
+            + self.ta
+            + self.tree
+            + self.l2ap
+            + self.blsh
+            + self.quant
     }
 
     /// Fraction of pairs served by LENGTH (0 when nothing ran).
@@ -503,6 +514,12 @@ pub(crate) fn warm_bucket(
     }
     let method = ensure_method(cfg.variant, params, 1.0);
     ensure_for(bucket, method, cfg.l2ap_topk_threshold, cfg, bucket_seed, clock);
+    if cfg.quantize_bits > 0 {
+        // Quantized codebooks train at warm regardless of the tuner's
+        // per-bucket pick, so reloads/plan refreshes never train on the
+        // query path and `/stats` residency is observable right away.
+        ensure_for(bucket, ResolvedMethod::Quant, cfg.l2ap_topk_threshold, cfg, bucket_seed, clock);
+    }
     ensure_for(bucket, ResolvedMethod::Coord(1), cfg.l2ap_topk_threshold, cfg, bucket_seed, clock);
     if bucket.dirs.dim() > 1 {
         ensure_for(

@@ -411,6 +411,15 @@ impl ShardedLempBuilder {
         self
     }
 
+    /// Quantized probe codes for every shard engine: `bits` per subspace
+    /// code (1..=16), or 0 to disable (the default). See
+    /// [`LempBuilder::quantize`](crate::LempBuilder::quantize).
+    pub fn quantize(mut self, bits: u8) -> Self {
+        assert!(bits <= crate::quant::MAX_QUANT_BITS, "quantize bits must be ≤ 16, got {bits}");
+        self.config.quantize_bits = bits;
+        self
+    }
+
     /// Threads for the **shard fan-out** (shard engines themselves run
     /// single-threaded; parallelism comes from querying shards
     /// concurrently). Default 1 = serial shard sweep.
@@ -449,6 +458,7 @@ impl ShardedLempBuilder {
                     .sample_size(shard_config.sample_size)
                     .tree_base(shard_config.tree_base)
                     .blsh(shard_config.blsh_bits, shard_config.blsh_eps)
+                    .quantize(shard_config.quantize_bits)
                     .build(&sub);
                 // Relabel local row ids (0..rows.len()) to global ids.
                 for bucket in engine.buckets_mut().buckets_mut() {
@@ -583,6 +593,14 @@ impl ShardedLemp {
     /// The shard engines (inspection / tests). Bucket ids are global.
     pub fn shards(&self) -> &[DynamicLemp] {
         &self.shards
+    }
+
+    /// Per-shard probe residency: full-precision direction bytes vs
+    /// quantized code+codebook bytes (see
+    /// [`MemoryUsage`](crate::bucket::MemoryUsage)). One entry per shard,
+    /// in shard order.
+    pub fn memory_usage(&self) -> Vec<crate::bucket::MemoryUsage> {
+        self.shards.iter().map(DynamicLemp::memory_usage).collect()
     }
 
     /// The id the next [`ShardedLemp::insert`] will return: the **global**
@@ -1635,6 +1653,47 @@ mod tests {
         let mut scratch = loaded.make_scratch();
         let after = loaded.above_theta_shared(&q, 1.0, &mut scratch);
         assert_eq!(canonical_pairs(&before.entries), canonical_pairs(&after.entries));
+    }
+
+    #[test]
+    fn quantized_shards_roundtrip_with_codes_and_report_memory() {
+        let (q, p) = data(15, 150, 55);
+        let mut engine = ShardedLemp::builder()
+            .shards(3)
+            .policy(ShardPolicy::LengthBanded)
+            .sample_size(8)
+            .quantize(8)
+            .build(&p);
+        engine.warm(&q, WarmGoal::TopK(4));
+        for shard in engine.shards() {
+            assert_eq!(shard.config().quantize_bits, 8, "builder must thread quantize to shards");
+            assert!(
+                shard.buckets().buckets().iter().all(|b| b.indexes.quant.is_some()),
+                "warm quantized shard must hold codebooks"
+            );
+        }
+        let usage = engine.memory_usage();
+        assert_eq!(usage.len(), 3);
+        assert!(usage.iter().all(|u| u.full_bytes > 0 && u.quantized_bytes > 0));
+        // Routed edits re-encode the touched bucket.
+        engine.insert(&[2.0; 8]).unwrap();
+        assert!(engine.remove(7));
+        let mut scratch = engine.make_scratch();
+        let before = engine.row_top_k_shared(&q, 4, &mut scratch);
+
+        let mut buf = Vec::new();
+        engine.write_to(&mut buf).unwrap();
+        let mut loaded = ShardedLemp::read_from(&buf[..]).unwrap();
+        for (a, b) in loaded.shards().iter().zip(engine.shards()) {
+            assert_eq!(a.config().quantize_bits, 8);
+            for (x, y) in a.buckets().buckets().iter().zip(b.buckets().buckets()) {
+                assert_eq!(x.indexes.quant, y.indexes.quant, "quant state must round-trip");
+            }
+        }
+        loaded.warm(&q, WarmGoal::TopK(4));
+        let mut scratch = loaded.make_scratch();
+        let after = loaded.row_top_k_shared(&q, 4, &mut scratch);
+        assert!(topk_equivalent(&before.lists, &after.lists, 0.0));
     }
 
     #[test]

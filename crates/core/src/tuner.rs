@@ -19,12 +19,13 @@ use std::time::Instant;
 
 use lemp_linalg::kernels;
 
+use crate::algos::blsh_bucket::MinMatchTable;
 use crate::algos::{MethodScratch, QueryCtx, Sink};
 use crate::bounds::{local_threshold, region_threshold};
 use crate::bucket::{Bucket, ProbeBuckets};
 use crate::exec::{ensure_for, run_method, BuildClock, RunConfig};
 use crate::query::QueryBatch;
-use crate::variant::{ResolvedMethod, TunedParams};
+use crate::variant::{resolve, LempVariant, ResolvedMethod, TunedParams};
 
 /// Largest focus-set size the tuner tries (the paper: "typically in the
 /// range of 1–5").
@@ -58,8 +59,11 @@ pub(crate) enum TuneGoal {
     TopK(usize),
 }
 
-/// Runs the tuner for variants with a coordinate method; `clock` accumulates
-/// index builds triggered by tuning (they count as preprocessing).
+/// Runs the tuner: φ/t_b selection for variants with a coordinate method,
+/// plus — when quantization is enabled — a per-bucket decision whether the
+/// quantized LUT scan beats the variant's own method (any variant). `clock`
+/// accumulates index builds triggered by tuning (they count as
+/// preprocessing).
 pub(crate) fn tune(
     buckets: &mut ProbeBuckets,
     batch: &QueryBatch,
@@ -69,9 +73,29 @@ pub(crate) fn tune(
     clock: &mut BuildClock,
 ) -> Tuning {
     let nbuckets = buckets.bucket_count();
-    if !cfg.variant.needs_phi() || nbuckets == 0 || batch.is_empty() {
-        return Tuning::untuned(nbuckets);
+    let mut tuning = if !cfg.variant.needs_phi() || nbuckets == 0 || batch.is_empty() {
+        Tuning::untuned(nbuckets)
+    } else {
+        tune_phi_tb(buckets, batch, goal, cfg, scratch, clock)
+    };
+    if cfg.quantize_bits > 0 && nbuckets > 0 && !batch.is_empty() {
+        let start = Instant::now();
+        tune_quant(buckets, batch, goal, cfg, scratch, clock, &mut tuning.per_bucket);
+        tuning.tune_ns += start.elapsed().as_nanos() as u64;
     }
+    tuning
+}
+
+/// The Sec. 4.4 φ/t_b selection (coordinate-method variants only).
+fn tune_phi_tb(
+    buckets: &mut ProbeBuckets,
+    batch: &QueryBatch,
+    goal: &TuneGoal,
+    cfg: &RunConfig,
+    scratch: &mut MethodScratch,
+    clock: &mut BuildClock,
+) -> Tuning {
+    let nbuckets = buckets.bucket_count();
     let start = Instant::now();
     // The paper's tuning cost is "negligible since the number of query
     // vectors is large"; keep that true at small m by capping the sample at
@@ -125,17 +149,99 @@ pub(crate) fn tune(
                 local_threshold: th_b,
                 scaled: dir, // tuning measures relative cost; q̄ scale suffices
             };
-            let t_len = time_method(ResolvedMethod::Length, &ctx, bucket, scratch, &mut sink);
+            let t_len = time_method(ResolvedMethod::Length, &ctx, bucket, None, scratch, &mut sink);
             let mut t_phi = [u64::MAX; MAX_PHI];
             for phi in 1..=max_phi {
                 t_phi[phi - 1] =
-                    time_method(coord_method(incr, phi), &ctx, bucket, scratch, &mut sink);
+                    time_method(coord_method(incr, phi), &ctx, bucket, None, scratch, &mut sink);
             }
             rows.push((th_b, t_len, t_phi));
         }
         per_bucket.push(pick_params(&rows, max_phi, cfg));
     }
     Tuning { per_bucket, tune_ns: start.elapsed().as_nanos() as u64 }
+}
+
+/// Per-bucket quantization decision: time the quantized LUT scan (including
+/// the verification its candidate set would cost) against the variant's own
+/// resolved method on the sampled queries, and flip `quant` on wherever the
+/// compressed scan is at least as fast — a tie favors quantization since it
+/// also shrinks residency. Codebooks are trained here (preprocessing, like
+/// the coordinate indexes); exactness never depends on this choice.
+#[allow(clippy::too_many_arguments)]
+fn tune_quant(
+    buckets: &mut ProbeBuckets,
+    batch: &QueryBatch,
+    goal: &TuneGoal,
+    cfg: &RunConfig,
+    scratch: &mut MethodScratch,
+    clock: &mut BuildClock,
+    per_bucket: &mut [TunedParams],
+) {
+    let effective = cfg.sample_size.min(batch.len() / 20 + 4);
+    let positions = batch.sample_positions(effective);
+    let mut sample_theta = Vec::with_capacity(positions.len());
+    let mut sample_len = Vec::with_capacity(positions.len());
+    for &qi in &positions {
+        match goal {
+            TuneGoal::Above(theta) => {
+                sample_theta.push(*theta);
+                sample_len.push(batch.lengths[qi]);
+            }
+            TuneGoal::TopK(k) => {
+                sample_theta.push(seed_threshold(buckets, batch.dirs.vector(qi), *k));
+                sample_len.push(1.0);
+            }
+        }
+    }
+    let blsh_table = if cfg.variant == LempVariant::Blsh {
+        Some(MinMatchTable::new(cfg.blsh_bits, cfg.blsh_eps))
+    } else {
+        None
+    };
+    let mut sink = Sink::default();
+    for (b, params) in per_bucket.iter_mut().enumerate().take(buckets.bucket_count()) {
+        let seed = crate::runner::cfg_seed(cfg, b);
+        let bucket = &mut buckets.buckets_mut()[b];
+        if bucket.max_len <= 0.0 {
+            continue;
+        }
+        ensure_for(bucket, ResolvedMethod::Quant, 1e-3, cfg, seed, clock);
+        if bucket.indexes.quant.is_none() {
+            continue;
+        }
+        scratch.ensure(bucket.len());
+        let mut t_quant = 0u128;
+        let mut t_base = 0u128;
+        let mut measured = false;
+        for (s, &qi) in positions.iter().enumerate() {
+            let theta = sample_theta[s];
+            let qlen = sample_len[s];
+            if local_threshold(theta, qlen, bucket.max_len) > 1.0 {
+                continue;
+            }
+            let th_b = region_threshold(theta, qlen, bucket.max_len, bucket.min_len);
+            let incumbent = resolve(cfg.variant, params, th_b);
+            ensure_for(bucket, incumbent, 1e-3, cfg, seed, clock);
+            let dir = batch.dirs.vector(qi);
+            let ctx = QueryCtx {
+                dir,
+                len: qlen,
+                theta,
+                theta_over_len: safe_div(theta, qlen),
+                local_threshold: th_b,
+                scaled: dir, // tuning measures relative cost; q̄ scale suffices
+            };
+            t_quant +=
+                time_method(ResolvedMethod::Quant, &ctx, bucket, None, scratch, &mut sink) as u128;
+            t_base += time_method(incumbent, &ctx, bucket, blsh_table.as_ref(), scratch, &mut sink)
+                as u128;
+            measured = true;
+        }
+        if measured && t_quant <= t_base {
+            params.quant = true;
+        }
+    }
 }
 
 fn coord_method(incr: bool, phi: usize) -> ResolvedMethod {
@@ -164,12 +270,13 @@ fn time_method(
     method: ResolvedMethod,
     ctx: &QueryCtx<'_>,
     bucket: &Bucket,
+    blsh_table: Option<&MinMatchTable>,
     scratch: &mut MethodScratch,
     sink: &mut Sink,
 ) -> u64 {
     sink.clear();
     let start = Instant::now();
-    let _ = run_method(method, ctx, bucket, None, scratch, sink);
+    let _ = run_method(method, ctx, bucket, blsh_table, scratch, sink);
     let mut sum = 0.0;
     for &lid in &sink.unverified {
         sum += kernels::dot(ctx.dir, bucket.dirs.vector(lid as usize));
@@ -219,7 +326,7 @@ fn pick_params(
     // t_b: grid argmin of the mixed cost (only for hybrid variants; pure
     // coordinate variants keep t_b = 0 so LENGTH is never chosen).
     if !cfg.variant.needs_tb() {
-        return TunedParams { tb: 0.0, phi: best_phi };
+        return TunedParams { tb: 0.0, phi: best_phi, quant: false };
     }
     let mut best_tb = 0.0;
     let mut best_cost = u128::MAX;
@@ -243,7 +350,7 @@ fn pick_params(
             best_tb = tb;
         }
     }
-    TunedParams { tb: best_tb, phi: best_phi }
+    TunedParams { tb: best_tb, phi: best_phi, quant: false }
 }
 
 #[cfg(test)]
@@ -288,6 +395,20 @@ mod tests {
         assert_eq!(tuning.tune_ns, 0);
         assert_eq!(clock.built, 0);
         assert!(tuning.per_bucket.iter().all(|p| *p == TunedParams::default()));
+    }
+
+    #[test]
+    fn quantize_enabled_trains_codebooks_and_decides_per_bucket() {
+        let (mut pb, batch, _) = setup(400, 60, 1.0);
+        // LEMP-L needs no φ tuning, but the quant pass must still run.
+        let cfg = RunConfig { variant: LempVariant::L, quantize_bits: 8, ..RunConfig::default() };
+        let mut scratch = MethodScratch::new(512);
+        let mut clock = BuildClock::default();
+        let tuning = tune(&mut pb, &batch, &TuneGoal::Above(0.5), &cfg, &mut scratch, &mut clock);
+        assert_eq!(tuning.per_bucket.len(), pb.bucket_count());
+        assert!(clock.built > 0, "codebooks train during tuning");
+        assert!(pb.buckets().iter().all(|b| b.indexes.quant.is_some()));
+        assert!(tuning.tune_ns > 0, "the quant pass counts as tuning time");
     }
 
     #[test]

@@ -91,12 +91,16 @@ pub struct TunedParams {
     pub tb: f64,
     /// Focus-set size for COORD/INCR.
     pub phi: usize,
+    /// Run the quantized LUT scan for this bucket instead of the variant's
+    /// method (set by the tuner when the engine was built with
+    /// `quantize=<bits>` and the compressed scan timed faster).
+    pub quant: bool,
 }
 
 impl Default for TunedParams {
     fn default() -> Self {
         // Untuned fallback: always the coordinate method, two lists.
-        Self { tb: 0.0, phi: 2 }
+        Self { tb: 0.0, phi: 2, quant: false }
     }
 }
 
@@ -110,12 +114,20 @@ pub(crate) enum ResolvedMethod {
     Tree,
     L2ap,
     Blsh,
+    /// The quantized LUT scan over packed codes (candidates re-verified
+    /// against full-precision vectors by the shared verification step).
+    Quant,
 }
 
 /// Resolves the variant + tuned parameters + local threshold into a method.
 /// Appendix A: "we use COORD instead of INCR whenever φ_b = 1" (identical
-/// candidates, cheaper scan).
+/// candidates, cheaper scan). A bucket the tuner marked `quant` always runs
+/// the quantized LUT scan — its candidates are a verified superset of any
+/// exact method's answers, so the override is safe for every variant.
 pub(crate) fn resolve(variant: LempVariant, tuned: &TunedParams, theta_b: f64) -> ResolvedMethod {
+    if tuned.quant {
+        return ResolvedMethod::Quant;
+    }
     let coord_method = |phi: usize, incr: bool| {
         if incr && phi > 1 {
             ResolvedMethod::Incr(phi)
@@ -164,7 +176,7 @@ mod tests {
 
     #[test]
     fn hybrid_resolution_switches_on_tb() {
-        let tuned = TunedParams { tb: 0.5, phi: 3 };
+        let tuned = TunedParams { tb: 0.5, phi: 3, quant: false };
         assert_eq!(resolve(LempVariant::LI, &tuned, 0.4), ResolvedMethod::Length);
         assert_eq!(resolve(LempVariant::LI, &tuned, 0.6), ResolvedMethod::Incr(3));
         assert_eq!(resolve(LempVariant::LC, &tuned, 0.4), ResolvedMethod::Length);
@@ -173,17 +185,26 @@ mod tests {
 
     #[test]
     fn incr_with_phi_one_degrades_to_coord() {
-        let tuned = TunedParams { tb: 0.0, phi: 1 };
+        let tuned = TunedParams { tb: 0.0, phi: 1, quant: false };
         assert_eq!(resolve(LempVariant::I, &tuned, 0.9), ResolvedMethod::Coord(1));
         assert_eq!(resolve(LempVariant::LI, &tuned, 0.9), ResolvedMethod::Coord(1));
     }
 
     #[test]
     fn pure_variants_ignore_tb() {
-        let tuned = TunedParams { tb: 0.99, phi: 2 };
+        let tuned = TunedParams { tb: 0.99, phi: 2, quant: false };
         assert_eq!(resolve(LempVariant::C, &tuned, 0.01), ResolvedMethod::Coord(2));
         assert_eq!(resolve(LempVariant::L, &tuned, 0.99), ResolvedMethod::Length);
         assert_eq!(resolve(LempVariant::Ta, &tuned, 0.5), ResolvedMethod::Ta);
+    }
+
+    #[test]
+    fn quant_flag_overrides_every_variant() {
+        let tuned = TunedParams { tb: 0.5, phi: 3, quant: true };
+        for v in LempVariant::all() {
+            assert_eq!(resolve(v, &tuned, 0.9), ResolvedMethod::Quant);
+            assert_eq!(resolve(v, &tuned, 0.1), ResolvedMethod::Quant);
+        }
     }
 
     #[test]

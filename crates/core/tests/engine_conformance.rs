@@ -207,6 +207,74 @@ fn every_kind_and_option_matches_the_classic_entry_points() {
 }
 
 #[test]
+fn quantized_engines_answer_bit_identically_for_every_kind_and_backend() {
+    // The quantized differential suite: engines carrying 8-bit probe codes
+    // must answer every QueryKind × ExecOptions combination **bit-for-bit**
+    // like their full-precision twins, on all three backends. The QUANT
+    // scan only prunes with the distortion-lifted bound; verification
+    // against the full-precision vectors restores exactness — any
+    // divergence here is a broken bound, not a tolerance issue.
+    let (q, p) = fixture();
+    let floor = biting_floor(&q, &p);
+
+    let mut single = Lemp::builder().sample_size(8).build(&p);
+    single.warm(&q, WarmGoal::TopK(K));
+    let exact_single = classic_for_single(&single, &q, floor);
+
+    let mut quant_single = Lemp::builder().sample_size(8).quantize(8).build(&p);
+    quant_single.warm(&q, WarmGoal::TopK(K));
+    assert!(
+        quant_single.buckets().buckets().iter().all(|b| b.indexes.quant.is_some()),
+        "warm must train every bucket's codebooks"
+    );
+
+    let config = RunConfig { sample_size: 8, quantize_bits: 8, ..Default::default() };
+    let mut quant_dynamic = DynamicLemp::new(&p, BucketPolicy::default(), config);
+    quant_dynamic.warm(&q, WarmGoal::TopK(K));
+
+    let mut quant_sharded = ShardedLemp::builder()
+        .shards(3)
+        .policy(ShardPolicy::LengthBanded)
+        .sample_size(8)
+        .quantize(8)
+        .build(&p);
+    quant_sharded.warm(&q, WarmGoal::TopK(K));
+
+    let backends: Vec<(&str, Box<dyn Engine>)> = vec![
+        ("Lemp+quant", Box::new(quant_single)),
+        ("DynamicLemp+quant", Box::new(quant_dynamic)),
+        ("ShardedLemp+quant", Box::new(quant_sharded)),
+    ];
+    for (name, boxed) in backends {
+        let engine: &dyn Engine = boxed.as_ref();
+        let mut scratch = engine.query_scratch();
+        for kind in kinds(floor) {
+            for (opt_name, options) in option_sets() {
+                let request = QueryRequest { kind, options };
+                let plan = engine.plan(&request);
+                let response = engine.execute(&plan, &q, &mut scratch);
+                let label = format!("{name} / {} / {opt_name}", kind.name());
+                match (&response.rows, &kind) {
+                    (QueryRows::Entries(entries), QueryKind::AboveTheta { .. }) => {
+                        assert_eq!(canon(entries), exact_single.above, "{label}");
+                    }
+                    (QueryRows::Entries(entries), QueryKind::AbsAboveTheta { .. }) => {
+                        assert_eq!(canon(entries), exact_single.abs, "{label}");
+                    }
+                    (QueryRows::Lists(lists), QueryKind::TopK { .. }) => {
+                        assert!(topk_equivalent(lists, &exact_single.topk, 0.0), "{label}");
+                    }
+                    (QueryRows::Lists(lists), QueryKind::TopKWithFloor { .. }) => {
+                        assert!(topk_equivalent(lists, &exact_single.floored, 0.0), "{label}");
+                    }
+                    _ => panic!("{label}: response shape does not match the kind"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn k_edge_cases_are_clamped_identically_across_engines() {
     let (q, p) = fixture();
     let n = p.len();

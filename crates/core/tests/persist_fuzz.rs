@@ -7,15 +7,20 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use lemp_core::{BucketPolicy, DynamicLemp, Lemp, PersistError, RunConfig, ShardedLemp};
+use lemp_core::{BucketPolicy, DynamicLemp, Lemp, PersistError, RunConfig, ShardedLemp, WarmGoal};
 use lemp_data::synthetic::GeneratorConfig;
 use lemp_linalg::VectorStore;
 
 // Deliberately tiny: the sweeps below parse the image once per byte per
 // mask, so the image size is the test's runtime multiplier. Every format
-// feature (multiple buckets, dead ids, two shards) still appears.
+// feature (multiple buckets, dead ids, two shards, trained codebooks)
+// still appears.
 fn probes() -> VectorStore {
     GeneratorConfig::gaussian(12, 2, 1.2).generate(5150)
+}
+
+fn queries() -> VectorStore {
+    GeneratorConfig::gaussian(6, 2, 1.0).generate(5151)
 }
 
 /// The three loaders under test, type-erased to "bytes → outcome".
@@ -55,10 +60,38 @@ fn images() -> Vec<(&'static str, Vec<u8>, Loader)> {
     sharded.write_to(&mut bytes).unwrap();
     let sharded_image = bytes;
 
+    // The v2 images carry the appended quantized section (code width,
+    // per-bucket flags, codebooks, packed codes); warming first trains the
+    // codebooks so the section is fully populated, and the sweeps below
+    // then corrupt every byte of it like any other region.
+    let q = queries();
+    let mut quant_static = Lemp::builder().sample_size(4).quantize(8).build(&p);
+    quant_static.warm(&q, WarmGoal::TopK(3));
+    let mut bytes = Vec::new();
+    quant_static.write_to(&mut bytes).unwrap();
+    let quant_static_image = bytes;
+
+    let policy = BucketPolicy { min_bucket: 8, ..Default::default() };
+    let config = RunConfig { sample_size: 4, quantize_bits: 8, ..Default::default() };
+    let mut quant_dynamic = DynamicLemp::new(&p, policy, config);
+    quant_dynamic.warm(&q, WarmGoal::TopK(3));
+    let mut bytes = Vec::new();
+    quant_dynamic.write_to(&mut bytes).unwrap();
+    let quant_dynamic_image = bytes;
+
+    let mut quant_sharded = ShardedLemp::builder().shards(2).sample_size(4).quantize(8).build(&p);
+    quant_sharded.warm(&q, WarmGoal::TopK(3));
+    let mut bytes = Vec::new();
+    quant_sharded.write_to(&mut bytes).unwrap();
+    let quant_sharded_image = bytes;
+
     vec![
         ("LEMPENG1", static_image, load_static as Loader),
         ("LEMPDYN1", dynamic_image, load_dynamic as Loader),
         ("LEMPSHD1", sharded_image, load_sharded as Loader),
+        ("LEMPENG2", quant_static_image, load_static as Loader),
+        ("LEMPDYN2", quant_dynamic_image, load_dynamic as Loader),
+        ("LEMPSHD2", quant_sharded_image, load_sharded as Loader),
     ]
 }
 

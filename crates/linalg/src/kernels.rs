@@ -82,6 +82,45 @@ pub fn axpy(s: f64, b: &[f64], a: &mut [f64]) {
     simd::axpy(s, b, a);
 }
 
+/// LUT gather-accumulate scan over `u8` code indices — the scoring kernel
+/// of the quantized bucket representation.
+///
+/// `codes` holds `m` subspace rows of `n` probe codes each, subspace-major
+/// (`codes[s·n + i]` is probe `i`'s code in subspace `s`); `lut` holds `m`
+/// rows of `k` table entries (`lut[s·k + c]` is the query's inner product
+/// with centroid `c` of subspace `s`). Probe `i`'s approximate score,
+/// written to `out[i]`, is the sum of its `m` table entries, accumulated in
+/// increasing subspace order. Dispatches to a bit-identical AVX2 gather
+/// kernel (four probes per iteration, one per lane) when available.
+///
+/// Code values `≥ k` are clamped to `k − 1` on every path — hostile codes
+/// degrade scores, never memory safety.
+///
+/// # Panics
+/// If `k == 0`, `codes.len() != m·n`, `lut.len() != m·k` or `out.len() < n`.
+#[inline]
+pub fn lut_scan_u8(codes: &[u8], lut: &[f64], n: usize, m: usize, k: usize, out: &mut [f64]) {
+    assert!(k >= 1, "lut_scan: k must be positive");
+    assert_eq!(codes.len(), m * n, "lut_scan: codes must hold m·n entries");
+    assert_eq!(lut.len(), m * k, "lut_scan: lut must hold m·k entries");
+    assert!(out.len() >= n, "lut_scan: out must hold n scores");
+    simd::lut_scan_u8(codes, lut, n, m, k, out);
+}
+
+/// LUT gather-accumulate scan over `u16` code indices (codebooks wider than
+/// 256 centroids); same contract as [`lut_scan_u8`].
+///
+/// # Panics
+/// As in [`lut_scan_u8`].
+#[inline]
+pub fn lut_scan_u16(codes: &[u16], lut: &[f64], n: usize, m: usize, k: usize, out: &mut [f64]) {
+    assert!(k >= 1, "lut_scan: k must be positive");
+    assert_eq!(codes.len(), m * n, "lut_scan: codes must hold m·n entries");
+    assert_eq!(lut.len(), m * k, "lut_scan: lut must hold m·k entries");
+    assert!(out.len() >= n, "lut_scan: out must hold n scores");
+    simd::lut_scan_u16(codes, lut, n, m, k, out);
+}
+
 /// Cosine of the angle between `a` and `b`; 0 if either vector is zero.
 #[inline]
 pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
@@ -162,6 +201,27 @@ mod tests {
         approx(cosine(&[1.0, 0.0], &[0.0, 2.0]), 0.0);
         approx(cosine(&[1.0, 0.0], &[-3.0, 0.0]), -1.0);
         approx(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn lut_scan_sums_one_table_entry_per_subspace() {
+        // 2 subspaces, 4 centroids, 3 probes; scores follow by hand.
+        let lut = [10.0, 20.0, 30.0, 40.0, 1.0, 2.0, 3.0, 4.0];
+        let codes = [0u8, 3, 1, /* subspace 1 */ 2, 0, 3];
+        let mut out = [0.0; 3];
+        lut_scan_u8(&codes, &lut, 3, 2, 4, &mut out);
+        assert_eq!(out, [13.0, 41.0, 24.0]);
+        let codes16: Vec<u16> = codes.iter().map(|&c| c as u16).collect();
+        let mut out16 = [0.0; 3];
+        lut_scan_u16(&codes16, &lut, 3, 2, 4, &mut out16);
+        assert_eq!(out16, [13.0, 41.0, 24.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "codes must hold")]
+    fn lut_scan_rejects_misshapen_codes() {
+        let mut out = [0.0; 2];
+        lut_scan_u8(&[0u8; 3], &[0.0; 4], 2, 2, 2, &mut out);
     }
 
     #[test]

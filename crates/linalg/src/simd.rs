@@ -149,6 +149,92 @@ pub(crate) fn axpy(s: f64, b: &[f64], a: &mut [f64]) {
     axpy_scalar(s, b, a);
 }
 
+/// Dispatched LUT gather-accumulate scan over `u8` codes; see
+/// [`crate::kernels::lut_scan_u8`] for the contract.
+#[inline]
+pub(crate) fn lut_scan_u8(
+    codes: &[u8],
+    lut: &[f64],
+    n: usize,
+    m: usize,
+    k: usize,
+    out: &mut [f64],
+) {
+    debug_assert!(k >= 1 && codes.len() == m * n && lut.len() == m * k && out.len() >= n);
+    #[cfg(target_arch = "x86_64")]
+    if n >= MIN_SIMD_LEN && active() == Isa::Avx2 {
+        // SAFETY: as in `dot`; slice shapes are checked by the public
+        // wrapper, and every table index is clamped to `k - 1` before the
+        // gather, so no lane can read outside `lut`.
+        return unsafe { avx2::lut_scan_u8(codes, lut, n, m, k, out) };
+    }
+    lut_scan_u8_scalar(codes, lut, n, m, k, out)
+}
+
+/// Dispatched LUT gather-accumulate scan over `u16` codes; see
+/// [`crate::kernels::lut_scan_u16`] for the contract.
+#[inline]
+pub(crate) fn lut_scan_u16(
+    codes: &[u16],
+    lut: &[f64],
+    n: usize,
+    m: usize,
+    k: usize,
+    out: &mut [f64],
+) {
+    debug_assert!(k >= 1 && codes.len() == m * n && lut.len() == m * k && out.len() >= n);
+    #[cfg(target_arch = "x86_64")]
+    if n >= MIN_SIMD_LEN && active() == Isa::Avx2 {
+        // SAFETY: as in `lut_scan_u8`.
+        return unsafe { avx2::lut_scan_u16(codes, lut, n, m, k, out) };
+    }
+    lut_scan_u16_scalar(codes, lut, n, m, k, out)
+}
+
+/// Portable reference LUT scan over `u8` codes: probe `i`'s score is the
+/// sum over subspaces `s` of `lut[s·k + codes[s·n + i]]`, accumulated in
+/// increasing `s` with a single chain per probe (the AVX2 kernel keeps one
+/// probe per lane, so its per-probe rounding sequence is identical).
+/// Indices are clamped to `k − 1` — hostile codes degrade scores, never
+/// memory safety.
+#[inline]
+pub(crate) fn lut_scan_u8_scalar(
+    codes: &[u8],
+    lut: &[f64],
+    n: usize,
+    m: usize,
+    k: usize,
+    out: &mut [f64],
+) {
+    for i in 0..n {
+        let mut acc = 0.0;
+        for s in 0..m {
+            acc += lut[s * k + (codes[s * n + i] as usize).min(k - 1)];
+        }
+        out[i] = acc;
+    }
+}
+
+/// Portable reference LUT scan over `u16` codes (same scheme as the `u8`
+/// variant).
+#[inline]
+pub(crate) fn lut_scan_u16_scalar(
+    codes: &[u16],
+    lut: &[f64],
+    n: usize,
+    m: usize,
+    k: usize,
+    out: &mut [f64],
+) {
+    for i in 0..n {
+        let mut acc = 0.0;
+        for s in 0..m {
+            acc += lut[s * k + (codes[s * n + i] as usize).min(k - 1)];
+        }
+        out[i] = acc;
+    }
+}
+
 /// Portable reference inner product (four independent accumulators).
 #[inline]
 pub(crate) fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
@@ -208,8 +294,9 @@ pub(crate) fn axpy_scalar(s: f64, b: &[f64], a: &mut [f64]) {
 #[cfg(target_arch = "x86_64")]
 mod avx2 {
     use std::arch::x86_64::{
-        __m256d, _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_setzero_pd,
-        _mm256_storeu_pd, _mm256_sub_pd,
+        __m128i, __m256d, _mm256_add_pd, _mm256_i32gather_pd, _mm256_loadu_pd, _mm256_mul_pd,
+        _mm256_set1_pd, _mm256_setzero_pd, _mm256_storeu_pd, _mm256_sub_pd, _mm_cvtepu16_epi32,
+        _mm_cvtepu8_epi32, _mm_cvtsi32_si128, _mm_cvtsi64_si128, _mm_min_epi32, _mm_set1_epi32,
     };
 
     /// Reduces the 4-lane accumulator exactly like the scalar kernels:
@@ -274,6 +361,161 @@ mod avx2 {
             tail += d * d;
         }
         reduce(acc) + tail
+    }
+
+    /// Loads four consecutive `u8` codes as clamped 32-bit gather indices
+    /// (one 32-bit load + byte unpack, instead of four scalar loads).
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 and that `ptr` points at
+    /// four readable bytes.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn idx4_u8(ptr: *const u8, clamp: __m128i) -> __m128i {
+        let packed = _mm_cvtsi32_si128(ptr.cast::<i32>().read_unaligned());
+        _mm_min_epi32(_mm_cvtepu8_epi32(packed), clamp)
+    }
+
+    /// Loads four consecutive `u16` codes as clamped 32-bit gather indices.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 and that `ptr` points at
+    /// four readable `u16`s.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn idx4_u16(ptr: *const u16, clamp: __m128i) -> __m128i {
+        let packed = _mm_cvtsi64_si128(ptr.cast::<i64>().read_unaligned());
+        _mm_min_epi32(_mm_cvtepu16_epi32(packed), clamp)
+    }
+
+    /// AVX2 LUT scan over `u8` codes, bit-identical to
+    /// [`super::lut_scan_u8_scalar`]: sixteen probes per iteration, one
+    /// probe per lane across four *independent* accumulator vectors, each
+    /// lane accumulating `lut[s·k + code]` in increasing subspace order —
+    /// the same single-chain rounding sequence per probe as the scalar
+    /// kernel (independent chains never mix, so parallelism changes no
+    /// value). Four chains in flight hide the multi-cycle gather latency
+    /// that a single chain would serialize on. Indices are clamped to
+    /// `k − 1` before the gather so the read stays inside `lut` for any
+    /// code value.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2, `codes.len() == m·n`,
+    /// `lut.len() == m·k`, `out.len() >= n` and `k >= 1`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn lut_scan_u8(
+        codes: &[u8],
+        lut: &[f64],
+        n: usize,
+        m: usize,
+        k: usize,
+        out: &mut [f64],
+    ) {
+        let clamp = _mm_set1_epi32(k as i32 - 1);
+        let mut i = 0;
+        while i + 16 <= n {
+            let mut a0 = _mm256_setzero_pd();
+            let mut a1 = _mm256_setzero_pd();
+            let mut a2 = _mm256_setzero_pd();
+            let mut a3 = _mm256_setzero_pd();
+            for s in 0..m {
+                let base = codes.as_ptr().add(s * n + i);
+                let table = lut.as_ptr().add(s * k);
+                a0 = _mm256_add_pd(a0, _mm256_i32gather_pd::<8>(table, idx4_u8(base, clamp)));
+                a1 =
+                    _mm256_add_pd(a1, _mm256_i32gather_pd::<8>(table, idx4_u8(base.add(4), clamp)));
+                a2 =
+                    _mm256_add_pd(a2, _mm256_i32gather_pd::<8>(table, idx4_u8(base.add(8), clamp)));
+                a3 = _mm256_add_pd(
+                    a3,
+                    _mm256_i32gather_pd::<8>(table, idx4_u8(base.add(12), clamp)),
+                );
+            }
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), a0);
+            _mm256_storeu_pd(out.as_mut_ptr().add(i + 4), a1);
+            _mm256_storeu_pd(out.as_mut_ptr().add(i + 8), a2);
+            _mm256_storeu_pd(out.as_mut_ptr().add(i + 12), a3);
+            i += 16;
+        }
+        while i + 4 <= n {
+            let mut acc = _mm256_setzero_pd();
+            for s in 0..m {
+                let idx = idx4_u8(codes.as_ptr().add(s * n + i), clamp);
+                acc = _mm256_add_pd(acc, _mm256_i32gather_pd::<8>(lut.as_ptr().add(s * k), idx));
+            }
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), acc);
+            i += 4;
+        }
+        for i in i..n {
+            let mut acc = 0.0;
+            for s in 0..m {
+                acc += lut[s * k + (codes[s * n + i] as usize).min(k - 1)];
+            }
+            out[i] = acc;
+        }
+    }
+
+    /// AVX2 LUT scan over `u16` codes, bit-identical to
+    /// [`super::lut_scan_u16_scalar`] (same scheme as the `u8` variant:
+    /// sixteen probes per iteration over four independent chains).
+    ///
+    /// # Safety
+    /// As in [`lut_scan_u8`].
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn lut_scan_u16(
+        codes: &[u16],
+        lut: &[f64],
+        n: usize,
+        m: usize,
+        k: usize,
+        out: &mut [f64],
+    ) {
+        let clamp = _mm_set1_epi32(k as i32 - 1);
+        let mut i = 0;
+        while i + 16 <= n {
+            let mut a0 = _mm256_setzero_pd();
+            let mut a1 = _mm256_setzero_pd();
+            let mut a2 = _mm256_setzero_pd();
+            let mut a3 = _mm256_setzero_pd();
+            for s in 0..m {
+                let base = codes.as_ptr().add(s * n + i);
+                let table = lut.as_ptr().add(s * k);
+                a0 = _mm256_add_pd(a0, _mm256_i32gather_pd::<8>(table, idx4_u16(base, clamp)));
+                a1 = _mm256_add_pd(
+                    a1,
+                    _mm256_i32gather_pd::<8>(table, idx4_u16(base.add(4), clamp)),
+                );
+                a2 = _mm256_add_pd(
+                    a2,
+                    _mm256_i32gather_pd::<8>(table, idx4_u16(base.add(8), clamp)),
+                );
+                a3 = _mm256_add_pd(
+                    a3,
+                    _mm256_i32gather_pd::<8>(table, idx4_u16(base.add(12), clamp)),
+                );
+            }
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), a0);
+            _mm256_storeu_pd(out.as_mut_ptr().add(i + 4), a1);
+            _mm256_storeu_pd(out.as_mut_ptr().add(i + 8), a2);
+            _mm256_storeu_pd(out.as_mut_ptr().add(i + 12), a3);
+            i += 16;
+        }
+        while i + 4 <= n {
+            let mut acc = _mm256_setzero_pd();
+            for s in 0..m {
+                let idx = idx4_u16(codes.as_ptr().add(s * n + i), clamp);
+                acc = _mm256_add_pd(acc, _mm256_i32gather_pd::<8>(lut.as_ptr().add(s * k), idx));
+            }
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), acc);
+            i += 4;
+        }
+        for i in i..n {
+            let mut acc = 0.0;
+            for s in 0..m {
+                acc += lut[s * k + (codes[s * n + i] as usize).min(k - 1)];
+            }
+            out[i] = acc;
+        }
     }
 
     /// AVX2 `a += s·b`, bit-identical to [`super::axpy_scalar`]
@@ -415,6 +657,97 @@ mod tests {
             for j in 0..n {
                 assert_eq!(a_scalar[j].to_bits(), a_simd[j].to_bits(), "n={n} j={j}");
             }
+        }
+    }
+
+    /// Deterministic pseudo-random code indices in `[0, k)`.
+    fn pseudo_codes(seed: u64, n: usize, k: usize) -> Vec<u8> {
+        pseudo(seed, n).iter().map(|x| (((x + 2.0) / 4.0) * k as f64) as u8 % k as u8).collect()
+    }
+
+    #[test]
+    fn avx2_lut_scan_u8_is_bit_identical_for_every_tail_length() {
+        if !avx2_supported() {
+            return;
+        }
+        let (m, k) = (5, 7);
+        let lut = pseudo(99, m * k);
+        for n in 0..130 {
+            let codes = pseudo_codes(5000 + n as u64, m * n, k);
+            let mut want = vec![0.0; n];
+            let mut got = vec![0.0; n];
+            lut_scan_u8_scalar(&codes, &lut, n, m, k, &mut want);
+            // SAFETY: guarded by `avx2_supported` above.
+            unsafe { avx2::lut_scan_u8(&codes, &lut, n, m, k, &mut got) };
+            for i in 0..n {
+                assert_eq!(want[i].to_bits(), got[i].to_bits(), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn avx2_lut_scan_u16_is_bit_identical_for_every_tail_length() {
+        if !avx2_supported() {
+            return;
+        }
+        let (m, k) = (3, 300); // k > 256 exercises the wide-code range
+        let lut = pseudo(77, m * k);
+        for n in 0..130 {
+            let codes: Vec<u16> = pseudo(6000 + n as u64, m * n)
+                .iter()
+                .map(|x| (((x + 2.0) / 4.0) * k as f64) as u16 % k as u16)
+                .collect();
+            let mut want = vec![0.0; n];
+            let mut got = vec![0.0; n];
+            lut_scan_u16_scalar(&codes, &lut, n, m, k, &mut want);
+            // SAFETY: guarded by `avx2_supported` above.
+            unsafe { avx2::lut_scan_u16(&codes, &lut, n, m, k, &mut got) };
+            for i in 0..n {
+                assert_eq!(want[i].to_bits(), got[i].to_bits(), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn lut_scan_clamps_hostile_codes_on_both_paths() {
+        let (n, m, k) = (9, 2, 3);
+        let codes = vec![255u8; m * n]; // far beyond k − 1
+        let lut = pseudo(11, m * k);
+        let mut want = vec![0.0; n];
+        lut_scan_u8_scalar(&codes, &lut, n, m, k, &mut want);
+        let expect = lut[k - 1] + lut[k + k - 1];
+        for v in &want {
+            assert_eq!(v.to_bits(), expect.to_bits());
+        }
+        if avx2_supported() {
+            let mut got = vec![0.0; n];
+            // SAFETY: guarded by `avx2_supported` above.
+            unsafe { avx2::lut_scan_u8(&codes, &lut, n, m, k, &mut got) };
+            for i in 0..n {
+                assert_eq!(want[i].to_bits(), got[i].to_bits(), "i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_lut_scan_matches_scalar_regardless_of_isa() {
+        let _g = isa_guard();
+        let (n, m, k) = (53, 4, 9);
+        let codes = pseudo_codes(21, m * n, k);
+        let lut = pseudo(22, m * k);
+        let mut want = vec![0.0; n];
+        lut_scan_u8_scalar(&codes, &lut, n, m, k, &mut want);
+        for isa in [Isa::Scalar, Isa::Avx2] {
+            if isa == Isa::Avx2 && !avx2_supported() {
+                continue;
+            }
+            let prev = override_isa(isa);
+            let mut got = vec![0.0; n];
+            lut_scan_u8(&codes, &lut, n, m, k, &mut got);
+            for i in 0..n {
+                assert_eq!(want[i].to_bits(), got[i].to_bits(), "{isa:?} i={i}");
+            }
+            override_isa(prev);
         }
     }
 

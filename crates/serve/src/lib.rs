@@ -381,6 +381,18 @@ impl ServeEngine {
         }
     }
 
+    /// Probe residency per shard (a one-element vector for the dynamic
+    /// engine): full-precision direction bytes vs quantized code+codebook
+    /// bytes — the `/stats` `engine.memory` map.
+    pub fn memory_usage(&self) -> Vec<lemp_core::MemoryUsage> {
+        match self {
+            ServeEngine::Dynamic(e) => vec![e.memory_usage()],
+            ServeEngine::Durable(e) => vec![e.engine().memory_usage()],
+            ServeEngine::Sharded(e) => e.memory_usage(),
+            ServeEngine::ShardedDurable(e) => e.engine().memory_usage(),
+        }
+    }
+
     /// Warms an engine that arrived cold, on a strided self-sample of its
     /// own probe vectors (covers the length spectrum either way).
     fn warm_on_self_sample(&mut self) {
@@ -733,6 +745,25 @@ fn dispatch(
             let engine = shared.read_engine();
             let shard_probes: Vec<Json> =
                 engine.shard_sizes().into_iter().map(|n| Json::Num(n as f64)).collect();
+            // Probe residency: full-precision direction bytes vs quantized
+            // code+codebook bytes, totalled and per shard — how much memory
+            // the probe representation costs and how much quantization
+            // saves on each shard.
+            let usage = engine.memory_usage();
+            let render_usage = |u: &lemp_core::MemoryUsage| {
+                obj(vec![
+                    ("full_bytes", Json::Num(u.full_bytes as f64)),
+                    ("quantized_bytes", Json::Num(u.quantized_bytes as f64)),
+                ])
+            };
+            let memory = obj(vec![
+                ("full_bytes", Json::Num(usage.iter().map(|u| u.full_bytes).sum::<u64>() as f64)),
+                (
+                    "quantized_bytes",
+                    Json::Num(usage.iter().map(|u| u.quantized_bytes).sum::<u64>() as f64),
+                ),
+                ("shards", Json::Arr(usage.iter().map(render_usage).collect())),
+            ]);
             let engine_info = obj(vec![
                 ("probes", Json::Num(engine.len() as f64)),
                 ("buckets", Json::Num(engine.bucket_count() as f64)),
@@ -740,6 +771,7 @@ fn dispatch(
                 ("warm", Json::Bool(engine.is_warm())),
                 ("shards", Json::Num(engine.shard_count() as f64)),
                 ("shard_probes", Json::Arr(shard_probes)),
+                ("memory", memory),
                 ("durable", Json::Bool(engine.is_durable())),
             ]);
             let wal = engine.wal_stats();

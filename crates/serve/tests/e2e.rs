@@ -109,6 +109,54 @@ fn concurrent_topk_matches_naive_baseline() {
 }
 
 #[test]
+fn quantized_server_answers_exactly_and_reports_memory() {
+    let probes = fixture(300, 21);
+    let queries = fixture(24, 22);
+    let k = 5;
+    let (expect, _) = Naive.row_top_k(&queries, &probes, k);
+
+    let policy = BucketPolicy { min_bucket: 8, ..Default::default() };
+    let config = RunConfig { sample_size: 8, quantize_bits: 8, ..Default::default() };
+    let mut engine = DynamicLemp::new(&probes, policy, config);
+    engine.warm(&fixture(16, 777), WarmGoal::TopK(k));
+    let server = Server::bind("127.0.0.1:0", engine, ServeConfig::default()).unwrap();
+    let handle = server.start().unwrap();
+    let addr = handle.addr();
+
+    // Quantized-verified answers stay exact over the wire.
+    let body = obj(vec![
+        ("queries", queries_json(&queries, 0, queries.len())),
+        ("k", Json::Num(k as f64)),
+    ]);
+    let (status, reply) = client::post(addr, "/top-k", &body).unwrap();
+    assert_eq!(status, 200, "{reply:?}");
+    assert!(topk_equivalent(&parse_lists(&reply), &expect, 1e-9));
+
+    // /stats pins engine.memory: full-precision vs quantized residency,
+    // totalled and per shard.
+    let (status, stats) = client::get(addr, "/stats").unwrap();
+    assert_eq!(status, 200);
+    let memory = stats.get("engine").and_then(|e| e.get("memory")).expect("engine.memory");
+    let full = memory.get("full_bytes").and_then(Json::as_u64).unwrap();
+    let quant = memory.get("quantized_bytes").and_then(Json::as_u64).unwrap();
+    assert!(full >= (probes.len() * DIM * 8) as u64, "full residency covers every direction");
+    assert!(quant > 0, "a warm quantized engine reports code residency");
+    assert!(quant < full, "8-bit codes must undercut f64 directions");
+    let shards = memory.get("shards").and_then(Json::as_arr).unwrap();
+    assert_eq!(shards.len(), 1);
+    assert_eq!(shards[0].get("full_bytes").and_then(Json::as_u64), Some(full));
+    assert_eq!(shards[0].get("quantized_bytes").and_then(Json::as_u64), Some(quant));
+    handle.shutdown();
+
+    // An unquantized server reports zero quantized residency.
+    let handle = boot(&probes, ServeConfig::default());
+    let (_, stats) = client::get(handle.addr(), "/stats").unwrap();
+    let memory = stats.get("engine").and_then(|e| e.get("memory")).expect("engine.memory");
+    assert_eq!(memory.get("quantized_bytes").and_then(Json::as_u64), Some(0));
+    handle.shutdown();
+}
+
+#[test]
 fn sharded_server_answers_exactly_and_reports_shard_counters() {
     let probes = fixture(360, 11);
     let queries = fixture(40, 12);
