@@ -40,10 +40,21 @@
 //!   role/lag and `engine_memory` — the server's full-precision vs
 //!   quantized probe residency per shard — sampled at the end of the run)
 //!   so CI can archive perf trajectories as `BENCH_*.json` artifacts.
+//! * The server's `GET /metrics` is scraped before and after the query
+//!   phase; the delta of the engine-telemetry counters is embedded in the
+//!   report under `"metrics"`, and on a clean run (no sheds, no errors)
+//!   the server-side `lemp_http_request_duration_seconds_count` delta for
+//!   the query path must equal the number of requests this client sent —
+//!   any disagreement exits non-zero (a lost or double-counted request is
+//!   an observability bug worth failing CI over).
+//! * Latency percentiles come from the same fixed-bucket
+//!   [`lemp_serve::metrics::Histogram`] the server exports — constant
+//!   memory however long the run, at bucket-resolution accuracy.
 //! * `503` responses (load shedding) are counted, not retried.
 
+use std::collections::HashMap;
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lemp_baselines::types::topk_equivalent;
 use lemp_baselines::Naive;
@@ -53,6 +64,7 @@ use lemp_data::{io as mio, mm};
 use lemp_linalg::{ScoredItem, VectorStore};
 use lemp_serve::client;
 use lemp_serve::json::{obj, Json};
+use lemp_serve::metrics::Histogram;
 
 fn load_matrix(path: &str) -> Result<VectorStore, String> {
     let p = std::path::Path::new(path);
@@ -72,12 +84,34 @@ fn queries_json(store: &VectorStore, lo: usize, hi: usize) -> Json {
     )
 }
 
-fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
-    if sorted_ns.is_empty() {
-        return f64::NAN;
+/// The `p`-th percentile (0–100) of a latency histogram, in milliseconds.
+/// Same fixed buckets as the server's exported histograms, so a run of any
+/// length costs constant memory.
+fn percentile(h: &Histogram, p: f64) -> f64 {
+    h.quantile(p / 100.0) * 1e3
+}
+
+/// Scrapes `GET /metrics` into a flat `"name{labels}" -> value` map;
+/// `None` when the server is unreachable or answers non-200.
+fn scrape_metrics(addr: &str) -> Option<HashMap<String, f64>> {
+    let timeout = Some(std::time::Duration::from_secs(10));
+    let (status, body) = client::request_bytes(addr, "GET", "/metrics", timeout).ok()?;
+    if status != 200 {
+        return None;
     }
-    let idx = ((p / 100.0) * (sorted_ns.len() - 1) as f64).round() as usize;
-    sorted_ns[idx] as f64 / 1e6
+    let text = String::from_utf8(body).ok()?;
+    let mut samples = HashMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if let Some((key, value)) = line.rsplit_once(' ') {
+            if let Ok(v) = value.parse::<f64>() {
+                samples.insert(key.to_string(), v);
+            }
+        }
+    }
+    Some(samples)
 }
 
 /// One Above-θ result entry: (local query row, probe id, value).
@@ -150,7 +184,7 @@ fn main() {
     let mut shard_inserts: Vec<u64> = Vec::new();
     // Per-batch POST /probes latency — against a semi-synchronous leader
     // this includes the quorum wait, so it is the client-visible edit cost.
-    let mut edit_latencies: Vec<u64> = Vec::new();
+    let edit_latencies = Histogram::request_latency();
     let mut quorum_timeouts = 0usize;
     if insert_probes > 0 {
         let churn = GeneratorConfig::gaussian(insert_probes, dim, 1.0).generate(seed ^ 0x9E37_79B9);
@@ -161,7 +195,7 @@ fn main() {
             let start = Instant::now();
             match client::post(&addr, "/probes", &body) {
                 Ok((200, reply)) => {
-                    edit_latencies.push(start.elapsed().as_nanos() as u64);
+                    edit_latencies.observe(start.elapsed().as_secs_f64());
                     inserted_probes +=
                         reply.get("inserted").and_then(Json::as_arr).map_or(0, |a| a.len());
                     if let Some(shards) = reply.get("shards").and_then(Json::as_arr) {
@@ -181,7 +215,7 @@ fn main() {
                     // follower quorum lagged. Count the whole batch as
                     // inserted (the 503 body carries no per-insert ids) and
                     // keep going — delayed replication is not lost data.
-                    edit_latencies.push(start.elapsed().as_nanos() as u64);
+                    edit_latencies.observe(start.elapsed().as_secs_f64());
                     quorum_timeouts += 1;
                     inserted_probes += hi - lo;
                 }
@@ -200,7 +234,6 @@ fn main() {
             eprintln!("loadgen: asked for {insert_probes} inserts, server took {inserted_probes}");
             std::process::exit(1);
         }
-        edit_latencies.sort_unstable();
         let spread: Vec<String> = shard_inserts.iter().map(u64::to_string).collect();
         eprintln!(
             "loadgen: inserted {inserted_probes} probes before the query phase \
@@ -211,6 +244,11 @@ fn main() {
             percentile(&edit_latencies, 99.0),
         );
     }
+
+    // Scrape the server's cumulative metrics on either side of the query
+    // phase: the delta isolates what *this* run contributed, so the
+    // server-side histogram count can be checked against our own tally.
+    let metrics_before = scrape_metrics(&addr);
 
     let queries = GeneratorConfig::gaussian(requests * qpr, dim, 1.0).generate(seed);
 
@@ -286,7 +324,7 @@ fn main() {
     let wall = wall_start.elapsed().as_secs_f64();
 
     let outcomes = outcomes.into_inner().unwrap();
-    let mut latencies: Vec<u64> = Vec::new();
+    let latencies = Histogram::request_latency();
     let mut ok = 0usize;
     let mut shed = 0usize;
     let mut errors = 0usize;
@@ -296,7 +334,7 @@ fn main() {
         match outcome {
             Outcome::Ok { ns, lists, entries } => {
                 ok += 1;
-                latencies.push(ns);
+                latencies.observe(ns as f64 / 1e9);
                 if above_mode {
                     above_answers.push((r, entries));
                 } else {
@@ -310,7 +348,6 @@ fn main() {
             }
         }
     }
-    latencies.sort_unstable();
 
     println!(
         "loadgen results ({} threads x {} requests, {} queries/request):",
@@ -331,6 +368,54 @@ fn main() {
         percentile(&latencies, 95.0),
         percentile(&latencies, 99.0)
     );
+
+    // Cross-check the server's request accounting against our own tally:
+    // on a clean run (nothing shed, nothing errored) the per-endpoint
+    // histogram must have counted exactly the requests we sent — batched
+    // or not. A disagreement means requests were lost or double-counted
+    // somewhere in the serve dispatch, which is worth failing CI over.
+    // The server records each observation just after writing the response
+    // bytes, so the last request can race our scrape by microseconds —
+    // rescrape briefly until the count settles at the expected value.
+    let count_key = format!("lemp_http_request_duration_seconds_count{{path=\"{query_path}\"}}");
+    let expected_count = metrics_before
+        .as_ref()
+        .map(|b| b.get(&count_key).copied().unwrap_or(0.0) + requests as f64);
+    let mut metrics_after = scrape_metrics(&addr);
+    for _ in 0..100 {
+        match (&metrics_after, &expected_count) {
+            (Some(after), Some(expected)) if after.get(&count_key) != Some(expected) => {
+                std::thread::sleep(Duration::from_millis(5));
+                metrics_after = scrape_metrics(&addr);
+            }
+            _ => break,
+        }
+    }
+    let metric_delta = |name: &str| -> f64 {
+        match (&metrics_before, &metrics_after) {
+            (Some(before), Some(after)) => {
+                after.get(name).copied().unwrap_or(0.0) - before.get(name).copied().unwrap_or(0.0)
+            }
+            _ => f64::NAN,
+        }
+    };
+    let mut metrics_mismatch = false;
+    if metrics_before.is_none() || metrics_after.is_none() {
+        eprintln!("loadgen: warning: GET /metrics not scrapeable; skipping the histogram check");
+    } else {
+        let server_count = metric_delta(&count_key);
+        println!(
+            "  metrics    server counted {server_count} {query_path} requests \
+             (sent {requests}, ok {ok})"
+        );
+        if shed == 0 && errors == 0 && server_count != requests as f64 {
+            metrics_mismatch = true;
+            eprintln!(
+                "loadgen: histogram mismatch: server counted {server_count} {query_path} \
+                 requests, this client sent {requests}"
+            );
+        }
+    }
 
     // Optional exactness gate against the naive baseline — covers both
     // modes, so a sharded (or any) server can be verified end to end under
@@ -516,7 +601,7 @@ fn main() {
             ("quorum_timeouts", Json::Num(quorum_timeouts as f64)),
             (
                 "edit_latency_ms",
-                if edit_latencies.is_empty() {
+                if edit_latencies.count() == 0 {
                     Json::Null
                 } else {
                     let ep = |p: f64| Json::Num(percentile(&edit_latencies, p));
@@ -564,6 +649,42 @@ fn main() {
                 // run — CI archives it to track what quantization saves.
                 engine_memory(&addr).unwrap_or(Json::Null),
             ),
+            (
+                "metrics",
+                // What this run contributed to the server's cumulative
+                // `/metrics` counters (after-minus-before deltas): the
+                // engine telemetry the flat /stats counters cannot see.
+                if metrics_before.is_some() && metrics_after.is_some() {
+                    let d = |name: &str| Json::Num(metric_delta(name));
+                    let mix: Vec<(&str, Json)> = lemp_serve::metrics::ALGO_LABELS
+                        .iter()
+                        .filter_map(|&algo| {
+                            let key = format!("lemp_engine_method_pairs_total{{algo=\"{algo}\"}}");
+                            let delta = metric_delta(&key);
+                            (delta > 0.0).then_some((algo, Json::Num(delta)))
+                        })
+                        .collect();
+                    obj(vec![
+                        ("request_count", d(&count_key)),
+                        (
+                            "request_seconds",
+                            d(&format!(
+                                "lemp_http_request_duration_seconds_sum{{path=\"{query_path}\"}}"
+                            )),
+                        ),
+                        ("engine_queries", d("lemp_engine_queries_total")),
+                        ("engine_candidates", d("lemp_engine_candidates_total")),
+                        ("engine_pruned", d("lemp_engine_pruned_total")),
+                        ("engine_results", d("lemp_engine_results_total")),
+                        ("plan_cache_hits", d("lemp_plan_cache_hits_total")),
+                        ("plan_cache_misses", d("lemp_plan_cache_misses_total")),
+                        ("plan_refreshes", d("lemp_plan_refreshes_total")),
+                        ("method_pairs", obj(mix)),
+                    ])
+                } else {
+                    Json::Null
+                },
+            ),
         ]);
         if let Err(e) = std::fs::write(&report_path, doc.render()) {
             eprintln!("loadgen: cannot write report {report_path}: {e}");
@@ -572,7 +693,7 @@ fn main() {
         eprintln!("loadgen: wrote JSON report -> {report_path}");
     }
 
-    if errors > 0 || mismatches > 0 || follower_mismatches > 0 || ok == 0 {
+    if errors > 0 || mismatches > 0 || follower_mismatches > 0 || metrics_mismatch || ok == 0 {
         std::process::exit(1);
     }
 }

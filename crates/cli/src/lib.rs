@@ -41,8 +41,8 @@ use lemp_linalg::{stats, VectorStore};
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "usage:
-  lemp-cli above       <queries> <probes> theta=<f> [out=<path>] [variant=<L|C|I|LC|LI|TA|Tree|L2AP|BLSH>] [threads=<n>] [chunk=<n>] [abs=<bool>] [adaptive=<ucb1|eps-greedy>] [shards=<n>] [shard-policy=<rr|banded>] [quantize=<bits|off>] [explain=<bool>]
-  lemp-cli topk        <queries> <probes> k=<n>     [out=<path>] [variant=...] [threads=<n>] [chunk=<n>] [floor=<f>] [adaptive=<ucb1|eps-greedy>] [shards=<n>] [shard-policy=<rr|banded>] [quantize=<bits|off>] [explain=<bool>]
+  lemp-cli above       <queries> <probes> theta=<f> [out=<path>] [variant=<L|C|I|LC|LI|TA|Tree|L2AP|BLSH>] [threads=<n>] [chunk=<n>] [abs=<bool>] [adaptive=<ucb1|eps-greedy>] [shards=<n>] [shard-policy=<rr|banded>] [quantize=<bits|off>] [quantize-force=<bool>] [explain=<bool>]
+  lemp-cli topk        <queries> <probes> k=<n>     [out=<path>] [variant=...] [threads=<n>] [chunk=<n>] [floor=<f>] [adaptive=<ucb1|eps-greedy>] [shards=<n>] [shard-policy=<rr|banded>] [quantize=<bits|off>] [quantize-force=<bool>] [explain=<bool>]
   lemp-cli approx-topk <queries> <probes> k=<n> method=<srp|pca|centroid> [budget=<n>] [clusters=<n>] [expand=<n>] [seed=<u>] [verify=<bool>] [out=<path>]
   lemp-cli generate    <ie-nmf|ie-svd|netflix|kdd> <queries-out> <probes-out> [scale=<f>] [seed=<u>]
   lemp-cli convert     <in> <out> [mm-layout=<array|coordinate>]
@@ -51,7 +51,7 @@ pub const USAGE: &str = "usage:
   lemp-cli topn        <queries> <probes> n=<n> [chunk=<n>] [out=<path>]
   lemp-cli index       <probes> <engine-out> [variant=...] [shards=<n>] [shard-policy=<rr|banded>] [quantize=<bits|off>]
   lemp-cli self-join   <matrix> t=<f> [out=<path>]
-  lemp-cli serve       <probes|engine.eng> [addr=127.0.0.1:0] [workers=<n>] [queue=<n>] [batch=<n>] [variant=...] [sample=<matrix>] [warm-k=<n>] [shards=<n>] [shard-policy=<rr|banded>] [quantize=<bits|off>] [durable=<dir>] [sync=<always|never|N>] [replication=<addr>] [sync-replicas=<n>] [quorum-timeout-ms=<n>] [replicate-from=<addr>]
+  lemp-cli serve       <probes|engine.eng> [addr=127.0.0.1:0] [workers=<n>] [queue=<n>] [batch=<n>] [variant=...] [sample=<matrix>] [warm-k=<n>] [shards=<n>] [shard-policy=<rr|banded>] [quantize=<bits|off>] [quantize-force=<bool>] [durable=<dir>] [sync=<always|never|N>] [replication=<addr>] [sync-replicas=<n>] [quorum-timeout-ms=<n>] [replicate-from=<addr>] [slow-query-ms=<n>]
   lemp-cli promote     <addr>
   lemp-cli recover     <store-dir> [verify=<bool>] [out=<engine.eng>]
   lemp-cli compact     <store-dir>
@@ -67,7 +67,9 @@ shard-parallel execution); shard-policy picks round-robin (rr) or length-banded
 partitioning and requires shards= or a sharded image; quantize=<bits> (1..=16)
 trains per-bucket subspace codebooks at warm-up and lets the tuner pick the
 quantized LUT scan per bucket — every candidate is re-verified against the
-full-precision vectors, so answers stay exact; explain=true prints the
+full-precision vectors, so answers stay exact; quantize-force=true skips the
+tuner's load-sensitive LUT-vs-exact timing and always routes codebooked
+buckets through the LUT scan (reproducible QUANT usage for benchmarks); explain=true prints the
 compiled per-bucket plan summary to stderr (a quantized bucket names its bits,
 codebook size and distortion bound);
 durable=<dir> write-ahead logs every POST /probes edit into <dir> before applying
@@ -88,7 +90,10 @@ locally); replicate-from=<addr> (follower) bootstraps an empty durable=
 store from that leader and tails its WAL, serving reads only (POST /probes is
 409) until `promote` fences the store with a fresh epoch and flips it to a
 standalone leader (a second promote is rejected with code already_fenced);
-both require durable= with a single (non-sharded) store";
+both require durable= with a single (non-sharded) store;
+serve exposes Prometheus text metrics on GET /metrics (latency histograms,
+engine telemetry, WAL/replication gauges); slow-query-ms=<n> logs one JSON
+line to stderr for every query request at or above n milliseconds";
 
 /// Entry point shared by the binary and the tests. `args` excludes the
 /// program name.
@@ -253,6 +258,18 @@ fn parse_quantize(args: &[String]) -> Result<u8, String> {
     }
 }
 
+/// Parses `quantize-force=<bool>`: route every bucket with trained
+/// codebooks through the quantized LUT scan instead of letting the tuner
+/// time LUT vs exact (which varies with machine load). Requires
+/// `quantize=<bits>`.
+fn parse_quantize_force(args: &[String], bits: u8) -> Result<bool, String> {
+    let force: bool = opt_parse(args, "quantize-force", false)?;
+    if force && bits == 0 {
+        return Err("quantize-force=true requires quantize=<bits>".into());
+    }
+    Ok(force)
+}
+
 /// Rejects a `quantize=` on a prebuilt engine image, whose quantization
 /// is baked in — silently ignoring the option would lie about what runs.
 fn reject_quantize_on_image(args: &[String], path: &str) -> Result<(), String> {
@@ -336,11 +353,13 @@ fn load_sharded(args: &[String], probes_path: &str, shards: usize) -> Result<Sha
     }
     let probes = load(probes_path)?;
     let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
+    let quantize = parse_quantize(args)?;
     Ok(ShardedLemp::builder()
         .shards(shards)
         .policy(parse_shard_policy(args)?)
         .variant(variant)
-        .quantize(parse_quantize(args)?)
+        .quantize(quantize)
+        .quantize_force(parse_quantize_force(args, quantize)?)
         .build(&probes))
 }
 
@@ -402,10 +421,12 @@ fn retrieve(args: &[String], above: bool) -> Result<(), String> {
         } else {
             let probes = load(probes_path)?;
             let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
+            let quantize = parse_quantize(args)?;
             Lemp::builder()
                 .variant(variant)
                 .threads(threads.max(1))
-                .quantize(parse_quantize(args)?)
+                .quantize(quantize)
+                .quantize_force(parse_quantize_force(args, quantize)?)
                 .build(&probes)
         };
         Box::new(engine)
@@ -731,6 +752,9 @@ fn serve(args: &[String]) -> Result<(), String> {
     }
     let sync_replicas: usize = opt_parse(args, "sync-replicas", 0)?;
     let quorum_timeout_ms: u64 = opt_parse(args, "quorum-timeout-ms", 2_000)?;
+    // 0 = disabled: every threshold crossing is a stderr line, so an
+    // accidental slow-query-ms=0 would log every single request.
+    let slow_query_ms: u64 = opt_parse(args, "slow-query-ms", 0)?;
     if (sync_replicas > 0 || opt(args, "quorum-timeout-ms").is_some()) && replication.is_none() {
         return Err(
             "sync-replicas=/quorum-timeout-ms= require replication=<addr> (a leader)".into()
@@ -870,7 +894,12 @@ fn serve(args: &[String]) -> Result<(), String> {
             } else {
                 let probes = load(probes_path)?;
                 let variant = parse_variant(opt(args, "variant").unwrap_or("LI"))?;
-                let config = RunConfig { variant, quantize_bits: quantize, ..Default::default() };
+                let config = RunConfig {
+                    variant,
+                    quantize_bits: quantize,
+                    quantize_force: parse_quantize_force(args, quantize)?,
+                    ..Default::default()
+                };
                 DynamicLemp::new(&probes, BucketPolicy::default(), config)
             };
             if engine.is_empty() {
@@ -992,6 +1021,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         batch_max: batch.max(1),
         sync_replicas,
         quorum_timeout: std::time::Duration::from_millis(quorum_timeout_ms),
+        slow_query: (slow_query_ms > 0).then(|| std::time::Duration::from_millis(slow_query_ms)),
         ..Default::default()
     };
     let mut server =

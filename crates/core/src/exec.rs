@@ -37,6 +37,14 @@ pub struct RunConfig {
     /// trains per-bucket codebooks and the tuner decides per bucket
     /// whether the LUT scan or the variant's exact scan wins.
     pub quantize_bits: u8,
+    /// Skips the tuner's LUT-vs-exact timing race and routes every bucket
+    /// with trained codebooks through the quantized scan. The per-bucket
+    /// decision in `tune_quant` is measured wall-clock, so which buckets
+    /// flip to QUANT varies with machine load; forcing it makes runs that
+    /// must exercise the LUT kernel (benchmarks, smoke tests) reproducible.
+    /// No effect unless `quantize_bits > 0`; exactness is unaffected either
+    /// way (candidates are always re-verified against full precision).
+    pub quantize_force: bool,
 }
 
 impl Default for RunConfig {
@@ -50,6 +58,7 @@ impl Default for RunConfig {
             threads: 1,
             l2ap_topk_threshold: 0.05,
             quantize_bits: 0,
+            quantize_force: false,
         }
     }
 }

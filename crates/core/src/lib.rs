@@ -72,6 +72,7 @@ pub mod runner;
 pub mod scratch;
 pub mod shard;
 pub mod stream;
+pub mod telemetry;
 pub mod tuner;
 pub mod variant;
 
@@ -90,6 +91,7 @@ pub use quant::{QuantCodes, QuantizedBucket};
 pub use runner::{AboveThetaOutput, MethodMix, RunStats, TopKOutput};
 pub use shard::{ShardPolicy, ShardScratch, ShardedLemp};
 pub use stream::column_top_k;
+pub use telemetry::{NullSink, TelemetrySink};
 pub use variant::{LempVariant, TunedParams};
 
 use algos::blsh_bucket::MinMatchTable;
@@ -286,6 +288,15 @@ impl LempBuilder {
     pub fn quantize(mut self, bits: u8) -> Self {
         assert!(bits <= quant::MAX_QUANT_BITS, "quantize bits must be ≤ 16, got {bits}");
         self.config.quantize_bits = bits;
+        self
+    }
+
+    /// Forces the quantized LUT scan on every bucket with trained
+    /// codebooks instead of letting the tuner time LUT vs exact (see
+    /// [`RunConfig::quantize_force`]). No effect without
+    /// [`quantize`](Self::quantize).
+    pub fn quantize_force(mut self, force: bool) -> Self {
+        self.config.quantize_force = force;
         self
     }
 

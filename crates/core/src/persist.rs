@@ -246,6 +246,9 @@ pub(crate) fn read_config<R: Read>(r: &mut R) -> Result<RunConfig, PersistError>
         threads: (read_u64(r, "threads")? as usize).max(1),
         l2ap_topk_threshold: read_f64(r, "l2ap_topk_threshold")?,
         quantize_bits: 0,
+        // A runtime tuning preference, deliberately not persisted: images
+        // bake the tuner's per-bucket decisions instead.
+        quantize_force: false,
     };
     if !config.blsh_eps.is_finite() || !config.tree_base.is_finite() {
         return Err(PersistError::Format("non-finite configuration value".into()));

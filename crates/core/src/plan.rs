@@ -657,6 +657,23 @@ pub trait Engine: Send + Sync {
         let plan = self.plan(request);
         self.execute(&plan, queries, scratch)
     }
+
+    /// [`Engine::execute`] plus one [`crate::telemetry::TelemetrySink::on_query`] call: the
+    /// sink receives the plan's request, the live probe count and the
+    /// response's [`RunStats`] after the run, on the executing thread.
+    /// This is how services observe engine telemetry without the engine
+    /// depending on any serving crate (see [`crate::telemetry`]).
+    fn execute_observed(
+        &self,
+        plan: &QueryPlan,
+        queries: &VectorStore,
+        scratch: &mut Scratch,
+        sink: &dyn crate::telemetry::TelemetrySink,
+    ) -> QueryResponse {
+        let response = self.execute(plan, queries, scratch);
+        sink.on_query(plan.request(), self.probes(), &response.stats);
+        response
+    }
 }
 
 /// The prepared (warmed, read-only) parts of one single-engine execution:

@@ -420,6 +420,14 @@ impl ShardedLempBuilder {
         self
     }
 
+    /// Forces the quantized LUT scan in every shard engine (see
+    /// [`RunConfig::quantize_force`]). No effect without
+    /// [`quantize`](Self::quantize).
+    pub fn quantize_force(mut self, force: bool) -> Self {
+        self.config.quantize_force = force;
+        self
+    }
+
     /// Threads for the **shard fan-out** (shard engines themselves run
     /// single-threaded; parallelism comes from querying shards
     /// concurrently). Default 1 = serial shard sweep.
@@ -459,6 +467,7 @@ impl ShardedLempBuilder {
                     .tree_base(shard_config.tree_base)
                     .blsh(shard_config.blsh_bits, shard_config.blsh_eps)
                     .quantize(shard_config.quantize_bits)
+                    .quantize_force(shard_config.quantize_force)
                     .build(&sub);
                 // Relabel local row ids (0..rows.len()) to global ids.
                 for bucket in engine.buckets_mut().buckets_mut() {

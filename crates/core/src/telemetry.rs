@@ -1,0 +1,88 @@
+//! The engine-side telemetry hook: services observe per-query
+//! [`RunStats`] without the engine knowing who is listening.
+//!
+//! Every [`Engine::execute`](crate::Engine::execute) call already produces
+//! the uniform run accounting ([`RunStats`] with its per-method
+//! [`MethodMix`](crate::MethodMix)), but a service that answers requests
+//! through `dyn Engine` had nowhere to send it — `lemp-serve` used to drop
+//! `QueryResponse::stats` on the floor. [`TelemetrySink`] is the pipe: a
+//! caller hands one to
+//! [`Engine::execute_observed`](crate::Engine::execute_observed) and
+//! receives the request, the live probe count and the run statistics after
+//! every execution, on the executing thread, with no serve-layer types
+//! leaking into the engine crate. Sinks must be cheap and non-blocking
+//! (atomic counter bumps, histogram bins): they run on the query hot path.
+
+use crate::plan::QueryRequest;
+use crate::runner::RunStats;
+
+/// A recipient of per-query execution telemetry.
+///
+/// Implementations must be `Send + Sync` (engines execute from many
+/// threads) and should be wait-free in practice — a sink that takes locks
+/// serializes the embarrassingly parallel retrieval phase it observes.
+pub trait TelemetrySink: Send + Sync {
+    /// Called once per [`Engine::execute_observed`](crate::Engine::execute_observed)
+    /// call, after the engine produced its response. `probes` is the live
+    /// probe count at execution time (so sinks can derive pruning rates:
+    /// `queries × probes − candidates` pairs never reached a full inner
+    /// product), and `stats` is the response's [`RunStats`].
+    fn on_query(&self, request: &QueryRequest, probes: usize, stats: &RunStats);
+}
+
+/// A sink that discards everything — the default when nobody listens.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn on_query(&self, _request: &QueryRequest, _probes: usize, _stats: &RunStats) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, Lemp, WarmGoal};
+    use lemp_linalg::VectorStore;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct CountingSink {
+        calls: AtomicU64,
+        queries: AtomicU64,
+        probes: AtomicU64,
+    }
+
+    impl TelemetrySink for CountingSink {
+        fn on_query(&self, request: &QueryRequest, probes: usize, stats: &RunStats) {
+            assert_eq!(request.kind.name(), "top-k");
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            self.queries.fetch_add(stats.counters.queries, Ordering::Relaxed);
+            self.probes.store(probes as u64, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn execute_observed_reports_each_run_to_the_sink() {
+        let probes =
+            VectorStore::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0], vec![1.0, 1.0]]).unwrap();
+        let queries = VectorStore::from_rows(&[vec![3.0, 1.0], vec![0.5, 0.5]]).unwrap();
+        let mut engine = Lemp::new(&probes);
+        engine.warm(&queries, WarmGoal::TopK(2));
+
+        let engine: &dyn Engine = &engine;
+        let request = QueryRequest::top_k(2);
+        let plan = engine.plan(&request);
+        let mut scratch = engine.query_scratch();
+        let sink = CountingSink::default();
+        let observed = engine.execute_observed(&plan, &queries, &mut scratch, &sink);
+        let plain = engine.execute(&plan, &queries, &mut scratch);
+        assert_eq!(observed.lists().unwrap(), plain.lists().unwrap(), "sink must not alter rows");
+        assert_eq!(sink.calls.load(Ordering::Relaxed), 1);
+        assert_eq!(sink.queries.load(Ordering::Relaxed), 2);
+        assert_eq!(sink.probes.load(Ordering::Relaxed), 3);
+
+        engine.execute_observed(&plan, &queries, &mut scratch, &NullSink);
+        engine.execute_observed(&plan, &queries, &mut scratch, &sink);
+        assert_eq!(sink.calls.load(Ordering::Relaxed), 2);
+    }
+}

@@ -210,6 +210,11 @@ fn tune_quant(
         if bucket.indexes.quant.is_none() {
             continue;
         }
+        if cfg.quantize_force {
+            // Deterministic override: skip the timing race entirely.
+            params.quant = true;
+            continue;
+        }
         scratch.ensure(bucket.len());
         let mut t_quant = 0u128;
         let mut t_base = 0u128;

@@ -23,7 +23,8 @@
 //! | `POST /above-theta` | `{"queries": [[f64; dim], …], "theta": f}` | `{"entries": [{"query", "probe", "value"}, …], "count": n}` |
 //! | `POST /probes` | `{"insert"?: [[f64; dim], …], "remove"?: [id, …]}` | `{"inserted": [id, …], "shards": [s, …], "removed": [bool, …], "probes": n}` |
 //! | `GET /healthz` | — | `{"ok": true, "probes": n, "dim": d, "warm": true}` |
-//! | `GET /stats` | — | `{"counters": {…}, "engine": {…}}` |
+//! | `GET /stats` | — | `{"uptime_seconds": s, "counters": {…}, "engine": {…}}` |
+//! | `GET /metrics` | — | Prometheus text exposition (`text/plain; version=0.0.4`) |
 //! | `POST /promote` | — | `{"promoted": true, "fence_epoch": e, "next_lsn": l, "probes": n}` (followers only; `409 {"code": "already_fenced"}` on a second promote) |
 //!
 //! `query` indices in `/above-theta` responses are row indices *within the
@@ -80,6 +81,34 @@
 //! durable locally and stays queued for followers; the client learns
 //! replication lagged, not that data was lost.
 //!
+//! # Observability: `/stats` vs `/metrics`
+//!
+//! The two read-only introspection endpoints carry the same counters but
+//! serve different consumers, and the split is a contract:
+//!
+//! * `GET /stats` is the **JSON snapshot for humans and test harnesses** —
+//!   nested objects (`counters`, `engine`, `wal`, `replication`), natural
+//!   names, exact shapes asserted by the e2e suite. Its schema may grow
+//!   fields but existing ones keep their meaning.
+//! * `GET /metrics` is the **Prometheus text exposition for scrapers**
+//!   (see [`metrics`]): flat `lemp_*` families with `# HELP`/`# TYPE`
+//!   headers, per-endpoint latency/body-size histograms, engine query
+//!   telemetry fed through [`lemp_core::TelemetrySink`] (candidates,
+//!   pruned pairs, per-algorithm method mix incl. QUANT, plan-cache
+//!   hits/misses/refreshes), and scrape-time gauges (uptime, memory
+//!   residency, WAL watermarks, replication role/lag/followers). Metric
+//!   names and label sets are append-only: dashboards must never break on
+//!   an upgrade.
+//!
+//! Anything exposed by `/metrics` as a point-in-time gauge is derived from
+//! the same sources `/stats` reads (and both share the edit-keyed shape
+//! cache), so the two views never disagree about the engine. With
+//! `slow-query-ms=<n>` (`ServeConfig::slow_query`) the server additionally
+//! emits one structured JSON line to stderr for every query request at or
+//! above the threshold — kind, parameters, batch fold, latency, and the
+//! run's [`lemp_core::RunStats`] — so tail-latency offenders are
+//! attributable without a debugger.
+//!
 //! # Query dispatch
 //!
 //! Every query request is parsed into a [`lemp_core::QueryRequest`] and
@@ -94,6 +123,7 @@
 pub mod client;
 pub mod http;
 pub mod json;
+pub mod metrics;
 mod replication;
 pub mod stats;
 
@@ -103,10 +133,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use lemp_core::{
-    DynamicLemp, Engine, QueryPlan, QueryRequest, QueryRows, Scratch, ShardedLemp, WarmGoal,
+    DynamicLemp, Engine, QueryKind, QueryPlan, QueryRequest, QueryRows, RunStats, Scratch,
+    ShardedLemp, WarmGoal,
 };
 use lemp_linalg::VectorStore;
 use lemp_store::{DurableEngine, ShardedDurableEngine, StoreError, WalStats};
@@ -142,6 +173,11 @@ pub struct ServeConfig {
     /// the progress table: its stale watermark can neither satisfy nor
     /// block a quorum, and `/stats` stops listing it.
     pub follower_ttl: Duration,
+    /// Slow-query threshold (`slow-query-ms=<n>` on the CLI): a query
+    /// request whose wall latency reaches it is logged as one structured
+    /// JSON line on stderr — kind, parameters, batch fold, latency, and
+    /// its [`RunStats`]. `None` (the default) disables the log.
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -155,6 +191,7 @@ impl Default for ServeConfig {
             sync_replicas: 0,
             quorum_timeout: Duration::from_secs(2),
             follower_ttl: Duration::from_secs(10),
+            slow_query: None,
         }
     }
 }
@@ -433,6 +470,12 @@ struct Shared {
     /// request validation run without touching the lock).
     dim: usize,
     stats: ServerStats,
+    /// The `/metrics` registry: latency/body histograms, plan-cache and
+    /// engine-telemetry counters (the engine reports into it through
+    /// [`lemp_core::TelemetrySink`]).
+    metrics: metrics::Metrics,
+    /// Server start time (`uptime_seconds` in `/stats` and `/metrics`).
+    start: Instant,
     queue: ConnQueue,
     cfg: ServeConfig,
     shutdown: AtomicBool,
@@ -440,9 +483,21 @@ struct Shared {
     /// workers key their cached query plans on it, so a cached plan is
     /// reused only while the engine it was compiled from is unchanged.
     edits: AtomicU64,
+    /// The engine-shape cache behind `/stats` and `/metrics`, keyed on
+    /// [`Shared::edits`] exactly like the worker plan caches: per-shard
+    /// probe counts and memory residency walk every shard, so they are
+    /// recomputed only after an edit actually changed the engine.
+    shape: Mutex<Option<ShapeCache>>,
     /// Replication role and progress (inert unless this server is a
     /// leader or follower).
     repl: replication::ReplState,
+}
+
+/// One cached engine shape (see [`Shared::shape`]).
+struct ShapeCache {
+    edits: u64,
+    shard_sizes: Vec<usize>,
+    memory: Vec<lemp_core::MemoryUsage>,
 }
 
 impl Shared {
@@ -452,6 +507,27 @@ impl Shared {
 
     fn write_engine(&self) -> std::sync::RwLockWriteGuard<'_, ServeEngine> {
         self.engine.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Per-shard probe counts and memory residency, served from the
+    /// edit-keyed cache. The caller holds the engine read lock (`engine`
+    /// is borrowed from its guard), so the edit counter it reads is
+    /// consistent with the engine state: edits bump the counter under the
+    /// write lock, and a cached shape is reused only while no edit has
+    /// been applied since it was computed.
+    fn engine_shape(&self, engine: &ServeEngine) -> (Vec<usize>, Vec<lemp_core::MemoryUsage>) {
+        let edits = self.edits.load(Ordering::Acquire);
+        let mut cache = self.shape.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(cached) = cache.as_ref() {
+            if cached.edits == edits {
+                return (cached.shard_sizes.clone(), cached.memory.clone());
+            }
+        }
+        let shard_sizes = engine.shard_sizes();
+        let memory = engine.memory_usage();
+        *cache =
+            Some(ShapeCache { edits, shard_sizes: shard_sizes.clone(), memory: memory.clone() });
+        (shard_sizes, memory)
     }
 }
 
@@ -499,10 +575,13 @@ impl Server {
             engine: RwLock::new(engine),
             dim,
             stats: ServerStats::default(),
+            metrics: metrics::Metrics::default(),
+            start: Instant::now(),
             queue: ConnQueue::new(cfg.queue_cap.max(1)),
             cfg,
             shutdown: AtomicBool::new(false),
             edits: AtomicU64::new(0),
+            shape: Mutex::new(None),
             repl: replication::ReplState::default(),
         });
         Ok(Server { listener, shared, repl_threads: Vec::new() })
@@ -729,6 +808,15 @@ fn dispatch(
     worker: &mut WorkerState,
     allow_batch: bool,
 ) {
+    // Every routed request is observed into the per-endpoint latency and
+    // body-size histograms — including the incompatible drained requests
+    // that `handle_query` hands back through a recursive dispatch.
+    // Requests *joined* into a batch never come back here; `handle_query`
+    // observes those itself, so `_count{path="/top-k"}` equals the number
+    // of requests clients sent, not the number of engine calls.
+    let start = Instant::now();
+    let endpoint = metrics::Endpoint::of(&request.path);
+    let body_len = request.body.len();
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             let engine = shared.read_engine();
@@ -743,13 +831,16 @@ fn dispatch(
         }
         ("GET", "/stats") => {
             let engine = shared.read_engine();
+            // Per-shard probe counts and memory residency walk every shard;
+            // both come from the edit-keyed shape cache so an idle server
+            // computes them once, not per scrape.
+            let (shard_sizes, usage) = shared.engine_shape(&engine);
             let shard_probes: Vec<Json> =
-                engine.shard_sizes().into_iter().map(|n| Json::Num(n as f64)).collect();
+                shard_sizes.into_iter().map(|n| Json::Num(n as f64)).collect();
             // Probe residency: full-precision direction bytes vs quantized
             // code+codebook bytes, totalled and per shard — how much memory
             // the probe representation costs and how much quantization
             // saves on each shard.
-            let usage = engine.memory_usage();
             let render_usage = |u: &lemp_core::MemoryUsage| {
                 obj(vec![
                     ("full_bytes", Json::Num(u.full_bytes as f64)),
@@ -788,7 +879,11 @@ fn dispatch(
                     ("active_segment_bytes", Json::Num(wal.active_segment_bytes as f64)),
                 ])
             };
-            let mut fields = vec![("counters", shared.stats.snapshot()), ("engine", engine_info)];
+            let mut fields = vec![
+                ("uptime_seconds", Json::Num(shared.start.elapsed().as_secs_f64())),
+                ("counters", shared.stats.snapshot()),
+                ("engine", engine_info),
+            ];
             if let Some(replication) = shared.repl.stats_json(shared.cfg.follower_ttl, fence_epoch)
             {
                 fields.push(("replication", replication));
@@ -803,6 +898,34 @@ fn dispatch(
                 fields.push(("wal_shards", Json::Arr(shards.iter().map(render_wal).collect())));
             }
             respond(stream, 200, &obj(fields));
+        }
+        ("GET", "/metrics") => {
+            // Cumulative series live in the registry; point-in-time gauges
+            // are sampled here under the read lock and rendered together.
+            let engine = shared.read_engine();
+            let (_, usage) = shared.engine_shape(&engine);
+            let gauges = metrics::ScrapeGauges {
+                uptime_seconds: shared.start.elapsed().as_secs_f64(),
+                probes: engine.len() as u64,
+                buckets: engine.bucket_count() as u64,
+                shards: engine.shard_count() as u64,
+                memory_full_bytes: usage.iter().map(|u| u.full_bytes).sum(),
+                memory_quantized_bytes: usage.iter().map(|u| u.quantized_bytes).sum(),
+                wal: engine.wal_stats(),
+                replication: shared.repl.gauges(
+                    shared.cfg.follower_ttl,
+                    engine.durable_store().map(|s| s.fence_epoch()),
+                ),
+            };
+            drop(engine);
+            let text = shared.metrics.render(&shared.stats, &gauges);
+            let mut stream = stream;
+            let _ = http::write_response_bytes(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4",
+                text.as_bytes(),
+            );
         }
         ("POST", "/probes") => {
             if shared.repl.is_read_only() {
@@ -823,11 +946,15 @@ fn dispatch(
         ("POST", "/top-k") | ("POST", "/above-theta") => {
             handle_query(stream, request, shared, worker, allow_batch)
         }
-        (_, "/healthz" | "/stats" | "/probes" | "/promote" | "/top-k" | "/above-theta") => {
+        (
+            _,
+            "/healthz" | "/stats" | "/metrics" | "/probes" | "/promote" | "/top-k" | "/above-theta",
+        ) => {
             respond_error(shared, stream, 405, format!("method {} not allowed", request.method));
         }
         (_, path) => respond_error(shared, stream, 404, format!("unknown path {path:?}")),
     }
+    shared.metrics.observe_request(endpoint, start.elapsed().as_secs_f64(), body_len);
 }
 
 /// Parses a query request body into a core [`QueryRequest`] and the query
@@ -891,11 +1018,16 @@ fn handle_query(
     worker: &mut WorkerState,
     allow_batch: bool,
 ) {
+    let start = Instant::now();
+    let endpoint = metrics::Endpoint::of(&request.path);
     let (query, mut flat) = match parse_query(&request, shared.dim) {
         Ok(parsed) => parsed,
         Err((status, message)) => return respond_error(shared, stream, status, message),
     };
     let mut jobs = vec![QueryJob { stream, rows: flat.len() / shared.dim }];
+    // Body sizes of requests that join this batch: they skip the dispatch
+    // wrapper, so their histogram samples are recorded here instead.
+    let mut joined_bodies: Vec<usize> = Vec::new();
 
     // Micro-batching: one worker wakeup drains every *compatible* queued
     // query request (same endpoint, same parameters) and answers them all
@@ -936,6 +1068,7 @@ fn handle_query(
             if next_request.method == "POST" && next_request.path == request.path {
                 match parse_query(&next_request, shared.dim) {
                     Ok((next_query, next_flat)) if next_query == query => {
+                        joined_bodies.push(next_request.body.len());
                         jobs.push(QueryJob { stream: next, rows: next_flat.len() / shared.dim });
                         flat.extend_from_slice(&next_flat);
                     }
@@ -985,20 +1118,33 @@ fn handle_query(
     let engine = shared.read_engine();
     let edits = shared.edits.load(Ordering::Acquire);
     let cached = worker.plan.as_ref().is_some_and(|(req, at, _)| *req == query && *at == edits);
-    if !cached {
+    if cached {
+        ServerStats::bump(&shared.metrics.plan_cache_hits);
+    } else {
         // Same request, newer engine: refresh instead of recompiling from
         // scratch — a sharded engine re-plans only the segments of shards
         // an edit actually touched ([`Engine::refresh_plan`]).
         let plan = match worker.plan.take() {
-            Some((req, _, plan)) if req == query => engine.as_engine().refresh_plan(&plan),
-            _ => engine.as_engine().plan(&query),
+            Some((req, _, plan)) if req == query => {
+                ServerStats::bump(&shared.metrics.plan_refreshes);
+                engine.as_engine().refresh_plan(&plan)
+            }
+            _ => {
+                ServerStats::bump(&shared.metrics.plan_cache_misses);
+                engine.as_engine().plan(&query)
+            }
         };
         worker.plan = Some((query, edits, plan));
     }
     let (_, _, plan) = worker.plan.as_ref().expect("plan cached above");
-    let response = engine.as_engine().execute(plan, &store, &mut worker.scratch);
+    // `execute_observed` routes the run's `RunStats` into the `/metrics`
+    // registry (candidates, pruned pairs, method mix, per-kind counts).
+    let response =
+        engine.as_engine().execute_observed(plan, &store, &mut worker.scratch, &shared.metrics);
     drop(engine);
 
+    let folded = jobs.len();
+    let run_stats = response.stats.clone();
     match response.rows {
         QueryRows::Lists(lists) => {
             let mut offset = 0usize;
@@ -1049,6 +1195,66 @@ fn handle_query(
             }
         }
     }
+
+    // Batch-joined requests share the batch's wall latency (they waited on
+    // the same engine call); the first request is observed by dispatch.
+    let elapsed = start.elapsed();
+    for body_len in joined_bodies {
+        shared.metrics.observe_request(endpoint, elapsed.as_secs_f64(), body_len);
+    }
+    if shared.cfg.slow_query.is_some_and(|threshold| elapsed >= threshold) {
+        ServerStats::bump(&shared.metrics.slow_queries);
+        if let Some((req, _, _)) = worker.plan.as_ref() {
+            eprintln!("{}", slow_query_line(req, folded, elapsed, &run_stats).render());
+        }
+    }
+}
+
+/// The structured slow-query log line: one JSON object per offending
+/// engine call (a batch logs once, with its fold count), written to
+/// stderr by `handle_query` when [`ServeConfig::slow_query`] is set.
+fn slow_query_line(
+    req: &QueryRequest,
+    requests: usize,
+    elapsed: Duration,
+    stats: &RunStats,
+) -> Json {
+    let mut fields =
+        vec![("slow_query", Json::Bool(true)), ("kind", Json::Str(req.kind.name().into()))];
+    match req.kind {
+        QueryKind::TopK { k } => fields.push(("k", Json::Num(k as f64))),
+        QueryKind::TopKWithFloor { k, floor } => {
+            fields.push(("k", Json::Num(k as f64)));
+            fields.push(("floor", Json::Num(floor)));
+        }
+        QueryKind::AboveTheta { theta } | QueryKind::AbsAboveTheta { theta } => {
+            fields.push(("theta", Json::Num(theta)));
+        }
+    }
+    let c = &stats.counters;
+    let mix = &stats.method_mix;
+    fields.extend([
+        ("latency_ms", Json::Num(elapsed.as_secs_f64() * 1e3)),
+        ("requests", Json::Num(requests as f64)),
+        ("queries", Json::Num(c.queries as f64)),
+        ("candidates", Json::Num(c.candidates as f64)),
+        ("results", Json::Num(c.results as f64)),
+        ("retrieval_ms", Json::Num(c.retrieval_ns as f64 / 1e6)),
+        ("buckets", Json::Num(stats.bucket_count as f64)),
+        (
+            "method_mix",
+            obj(metrics::ALGO_LABELS
+                .iter()
+                .zip([
+                    mix.length, mix.coord, mix.incr, mix.ta, mix.tree, mix.l2ap, mix.blsh,
+                    mix.quant,
+                ])
+                .filter(|(_, n)| *n > 0)
+                .map(|(&algo, n)| (algo, Json::Num(n as f64)))
+                .collect()),
+        ),
+    ]);
+    obj(fields)
 }
 
 /// One validated edit of a `POST /probes` request.
@@ -1305,6 +1511,46 @@ mod tests {
         queue.close();
         assert!(queue.pop().is_none(), "closed + empty unblocks pop");
         assert!(queue.try_push(mk()).is_err(), "closed queue rejects");
+    }
+
+    #[test]
+    fn slow_query_line_renders_a_structured_json_record() {
+        use lemp_core::{MethodMix, RetrievalCounters};
+        let stats = RunStats {
+            counters: RetrievalCounters {
+                queries: 4,
+                candidates: 120,
+                results: 20,
+                retrieval_ns: 2_500_000,
+                ..Default::default()
+            },
+            method_mix: MethodMix { incr: 3, quant: 1, ..Default::default() },
+            bucket_count: 7,
+            ..Default::default()
+        };
+        let line = slow_query_line(
+            &QueryRequest::top_k_with_floor(5, 0.25),
+            3,
+            Duration::from_millis(12),
+            &stats,
+        );
+        assert_eq!(line.get("slow_query"), Some(&Json::Bool(true)));
+        assert_eq!(line.get("kind").and_then(Json::as_str), Some("top-k-with-floor"));
+        assert_eq!(line.get("k").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(line.get("floor").and_then(Json::as_f64), Some(0.25));
+        assert_eq!(line.get("latency_ms").and_then(Json::as_f64), Some(12.0));
+        assert_eq!(line.get("requests").and_then(Json::as_u64), Some(3));
+        assert_eq!(line.get("queries").and_then(Json::as_u64), Some(4));
+        assert_eq!(line.get("candidates").and_then(Json::as_u64), Some(120));
+        assert_eq!(line.get("retrieval_ms").and_then(Json::as_f64), Some(2.5));
+        let mix = line.get("method_mix").expect("method_mix object");
+        assert_eq!(mix.get("INCR").and_then(Json::as_u64), Some(3));
+        assert_eq!(mix.get("QUANT").and_then(Json::as_u64), Some(1));
+        assert_eq!(mix.get("LENGTH"), None, "zero counts are elided");
+        // The rendered line is one self-contained JSON object.
+        let rendered = line.render();
+        assert!(rendered.starts_with('{') && rendered.ends_with('}'), "{rendered}");
+        assert!(!rendered.contains('\n'), "log lines must be single-line");
     }
 
     #[test]

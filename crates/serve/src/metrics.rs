@@ -1,0 +1,986 @@
+//! The zero-dependency observability registry behind `GET /metrics`:
+//! lock-free fixed-bucket histograms, counters, and the Prometheus text
+//! exposition renderer.
+//!
+//! Everything here is `std`-only atomics — recording a sample is a handful
+//! of relaxed `fetch_add`s (plus one CAS loop for the f64 sum), so the
+//! instrumentation can sit directly on the serve hot path. The registry
+//! ([`Metrics`]) holds only the *cumulative* series (request latency and
+//! body-size histograms per endpoint, plan-cache and engine-telemetry
+//! counters); point-in-time gauges (WAL watermarks, replication lag,
+//! memory residency, uptime) are sampled at scrape time by the `/metrics`
+//! handler and passed in as [`ScrapeGauges`] — a scrape never observes a
+//! half-updated gauge and the registry never holds a lock.
+//!
+//! [`Metrics`] implements [`lemp_core::TelemetrySink`], so the engine's
+//! [`execute_observed`](lemp_core::Engine::execute_observed) path feeds
+//! the per-query [`RunStats`]/[`MethodMix`](lemp_core::MethodMix)
+//! accounting straight into the `lemp_engine_*` families without the core
+//! crate knowing this module exists.
+//!
+//! The output of [`Metrics::render`] follows the Prometheus text
+//! exposition format, version 0.0.4: one `# HELP`/`# TYPE` pair per
+//! family, histogram samples as cumulative `le`-labeled `_bucket` series
+//! ending in `le="+Inf"` plus `_sum`/`_count`. The in-repo
+//! `scripts/promlint.py` checker (run in CI) validates exactly these
+//! invariants on a live scrape.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lemp_core::{QueryRequest, RunStats, TelemetrySink};
+use lemp_store::WalStats;
+
+/// Histogram bucket upper bounds for request latency, in seconds —
+/// 100 µs to 10 s, roughly log-spaced (the classic 1-2.5-5 decade walk).
+pub const DURATION_BOUNDS: [f64; 16] = [
+    0.000_1, 0.000_25, 0.000_5, 0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0,
+];
+
+/// Histogram bucket upper bounds for request body sizes, in bytes —
+/// 256 B to the 16 MiB `max_body` default, one bucket per 4×.
+pub const BODY_BOUNDS: [f64; 9] = [
+    256.0,
+    1_024.0,
+    4_096.0,
+    16_384.0,
+    65_536.0,
+    262_144.0,
+    1_048_576.0,
+    4_194_304.0,
+    16_777_216.0,
+];
+
+/// A lock-free fixed-bucket histogram: one atomic bin per upper bound plus
+/// an overflow (`+Inf`) bin, a sample count, and an exact f64 sum
+/// (accumulated through a compare-exchange loop on the bit pattern).
+///
+/// Bucket semantics follow Prometheus: a sample `v` lands in the first
+/// bucket whose upper bound satisfies `v <= le`. Recording is wait-free on
+/// the bins and count; the sum CAS retries only under write contention on
+/// the same histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[f64]>,
+    /// `bounds.len() + 1` bins; the last is the `+Inf` overflow.
+    bins: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given finite upper bounds (`+Inf` is implicit).
+    ///
+    /// # Panics
+    /// If `bounds` is empty, unsorted, or holds a non-finite value.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "a histogram needs at least one finite bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec().into_boxed_slice(),
+            bins: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+        }
+    }
+
+    /// A latency histogram over [`DURATION_BOUNDS`] (seconds).
+    pub fn request_latency() -> Self {
+        Self::new(&DURATION_BOUNDS)
+    }
+
+    /// A body-size histogram over [`BODY_BOUNDS`] (bytes).
+    pub fn body_bytes() -> Self {
+        Self::new(&BODY_BOUNDS)
+    }
+
+    /// Records one sample. NaN is counted into the `+Inf` bin (it fits no
+    /// finite bound) so `_count` always equals the number of calls.
+    pub fn observe(&self, v: f64) {
+        // `partition_point` would put NaN at index 0 (every `b < NaN` is
+        // false); route it to +Inf explicitly, matching Prometheus.
+        let idx =
+            if v.is_nan() { self.bins.len() - 1 } else { self.bounds.partition_point(|&b| b < v) };
+        self.bins[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of all recorded samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The finite upper bounds this histogram was built with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bin (non-cumulative) sample counts; the final entry is the
+    /// `+Inf` overflow bin.
+    pub fn bin_counts(&self) -> Vec<u64> {
+        self.bins.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation inside the bucket holding the target rank — the
+    /// standard fixed-bucket estimator (what `histogram_quantile` does on
+    /// the scrape side). Samples in the overflow bin clamp to the largest
+    /// finite bound. Returns NaN on an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return f64::NAN;
+        }
+        let target = (q.clamp(0.0, 1.0) * count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, bin) in self.bins.iter().enumerate() {
+            let n = bin.load(Ordering::Relaxed);
+            if n == 0 {
+                cum += n;
+                continue;
+            }
+            if (cum + n) as f64 >= target {
+                let Some(&hi) = self.bounds.get(i) else {
+                    // Overflow bin: all we know is "past the last bound".
+                    return *self.bounds.last().expect("bounds are non-empty");
+                };
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let frac = (target - cum as f64) / n as f64;
+                return lo + frac * (hi - lo);
+            }
+            cum += n;
+        }
+        *self.bounds.last().expect("bounds are non-empty")
+    }
+}
+
+/// The fixed endpoint label set of the HTTP metric families. Unknown paths
+/// collapse into [`Endpoint::Other`] so a scanner probing random URLs
+/// cannot mint unbounded label values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /top-k`.
+    TopK,
+    /// `POST /above-theta`.
+    AboveTheta,
+    /// `POST /probes`.
+    Probes,
+    /// `POST /promote`.
+    Promote,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /stats`.
+    Stats,
+    /// `GET /metrics` (scrapes observe themselves).
+    MetricsPage,
+    /// Anything else (404s and friends).
+    Other,
+}
+
+impl Endpoint {
+    /// Every endpoint, in rendering order.
+    pub const ALL: [Endpoint; 8] = [
+        Endpoint::TopK,
+        Endpoint::AboveTheta,
+        Endpoint::Probes,
+        Endpoint::Promote,
+        Endpoint::Healthz,
+        Endpoint::Stats,
+        Endpoint::MetricsPage,
+        Endpoint::Other,
+    ];
+
+    /// Maps a request path onto its endpoint bucket.
+    pub fn of(path: &str) -> Endpoint {
+        match path {
+            "/top-k" => Endpoint::TopK,
+            "/above-theta" => Endpoint::AboveTheta,
+            "/probes" => Endpoint::Probes,
+            "/promote" => Endpoint::Promote,
+            "/healthz" => Endpoint::Healthz,
+            "/stats" => Endpoint::Stats,
+            "/metrics" => Endpoint::MetricsPage,
+            _ => Endpoint::Other,
+        }
+    }
+
+    /// The `path` label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::TopK => "/top-k",
+            Endpoint::AboveTheta => "/above-theta",
+            Endpoint::Probes => "/probes",
+            Endpoint::Promote => "/promote",
+            Endpoint::Healthz => "/healthz",
+            Endpoint::Stats => "/stats",
+            Endpoint::MetricsPage => "/metrics",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Endpoint::ALL.iter().position(|&e| e == self).expect("ALL lists every endpoint")
+    }
+}
+
+/// The `algo` label values of `lemp_engine_method_pairs_total`, in the
+/// order of the [`lemp_core::MethodMix`] fields.
+pub const ALGO_LABELS: [&str; 8] =
+    ["LENGTH", "COORD", "INCR", "TA", "Tree", "L2AP", "BLSH", "QUANT"];
+
+/// The `kind` label values of `lemp_engine_requests_total`, matching
+/// [`lemp_core::QueryKind::name`].
+const KIND_LABELS: [&str; 4] = ["above-theta", "abs-above-theta", "top-k", "top-k-with-floor"];
+
+/// The cumulative metric registry of one server instance. All fields are
+/// plain atomics or [`Histogram`]s — recording never blocks, and a scrape
+/// reads whatever is current without coordination (per-sample precision is
+/// not required between series; each individual series is exact).
+#[derive(Debug)]
+pub struct Metrics {
+    /// Request latency per endpoint (seconds), indexed by [`Endpoint`].
+    latency: Vec<Histogram>,
+    /// Request body size per endpoint (bytes), indexed by [`Endpoint`].
+    body: Vec<Histogram>,
+    /// Worker plan-cache hits (the cached `(request, edits)` pair matched).
+    pub plan_cache_hits: AtomicU64,
+    /// Worker plan-cache misses compiled from scratch.
+    pub plan_cache_misses: AtomicU64,
+    /// Worker plan-cache misses served by [`lemp_core::Engine::refresh_plan`]
+    /// (same request, newer engine — stale segments recompiled only).
+    pub plan_refreshes: AtomicU64,
+    /// Engine executions by query kind, indexed like [`KIND_LABELS`].
+    engine_requests: [AtomicU64; 4],
+    /// Query vectors the engine answered.
+    pub engine_queries: AtomicU64,
+    /// Full inner products computed (the paper's candidate count).
+    pub engine_candidates: AtomicU64,
+    /// (query, probe) pairs pruned before a full inner product —
+    /// `queries × probes − candidates`, saturating.
+    pub engine_pruned: AtomicU64,
+    /// Result rows produced.
+    pub engine_results: AtomicU64,
+    /// Retrieval-phase time, nanoseconds.
+    pub engine_retrieval_ns: AtomicU64,
+    /// (query, bucket) pairs served per bucket algorithm, indexed like
+    /// [`ALGO_LABELS`].
+    method_pairs: [AtomicU64; 8],
+    /// Requests that exceeded the slow-query threshold and were logged.
+    pub slow_queries: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self {
+            latency: Endpoint::ALL.iter().map(|_| Histogram::request_latency()).collect(),
+            body: Endpoint::ALL.iter().map(|_| Histogram::body_bytes()).collect(),
+            plan_cache_hits: AtomicU64::new(0),
+            plan_cache_misses: AtomicU64::new(0),
+            plan_refreshes: AtomicU64::new(0),
+            engine_requests: Default::default(),
+            engine_queries: AtomicU64::new(0),
+            engine_candidates: AtomicU64::new(0),
+            engine_pruned: AtomicU64::new(0),
+            engine_results: AtomicU64::new(0),
+            engine_retrieval_ns: AtomicU64::new(0),
+            method_pairs: Default::default(),
+            slow_queries: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    /// Records one answered request: its endpoint, wall latency and
+    /// request body size. Batched query requests call this once per
+    /// *request* (not per engine call), so the `/top-k` `_count` matches
+    /// the number of requests clients actually sent.
+    pub fn observe_request(&self, endpoint: Endpoint, seconds: f64, body_bytes: usize) {
+        self.latency[endpoint.index()].observe(seconds);
+        self.body[endpoint.index()].observe(body_bytes as f64);
+    }
+
+    /// The latency histogram of one endpoint (tests and quantile reads).
+    pub fn latency_of(&self, endpoint: Endpoint) -> &Histogram {
+        &self.latency[endpoint.index()]
+    }
+
+    /// The method-pair counter value of one algorithm label.
+    pub fn method_pairs_of(&self, algo: &str) -> u64 {
+        ALGO_LABELS
+            .iter()
+            .position(|&a| a == algo)
+            .map_or(0, |i| self.method_pairs[i].load(Ordering::Relaxed))
+    }
+
+    /// Renders the full Prometheus text exposition: the registry's
+    /// cumulative series plus the caller-sampled [`ScrapeGauges`].
+    pub fn render(&self, stats: &crate::stats::ServerStats, gauges: &ScrapeGauges) -> String {
+        let mut out = String::with_capacity(16 * 1024);
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+
+        // HTTP layer.
+        let series: Vec<(Vec<(&str, String)>, &Histogram)> = Endpoint::ALL
+            .iter()
+            .map(|&e| (vec![("path", e.label().to_string())], &self.latency[e.index()]))
+            .collect();
+        write_histogram_family(
+            &mut out,
+            "lemp_http_request_duration_seconds",
+            "Wall time from request read to response write, per endpoint.",
+            &series,
+        );
+        let series: Vec<(Vec<(&str, String)>, &Histogram)> = Endpoint::ALL
+            .iter()
+            .map(|&e| (vec![("path", e.label().to_string())], &self.body[e.index()]))
+            .collect();
+        write_histogram_family(
+            &mut out,
+            "lemp_http_request_body_bytes",
+            "Request body size, per endpoint.",
+            &series,
+        );
+        write_counter(
+            &mut out,
+            "lemp_http_requests_total",
+            "Requests fully read and routed (any endpoint, any outcome).",
+            get(&stats.requests),
+        );
+        write_counter(
+            &mut out,
+            "lemp_http_shed_total",
+            "Connections answered 503 because the accept queue was full.",
+            get(&stats.shed),
+        );
+        write_counter(
+            &mut out,
+            "lemp_http_client_errors_total",
+            "Requests rejected with a 4xx.",
+            get(&stats.client_errors),
+        );
+        write_counter(
+            &mut out,
+            "lemp_http_server_errors_total",
+            "Requests failed with a 5xx.",
+            get(&stats.server_errors),
+        );
+        write_counter(
+            &mut out,
+            "lemp_batches_total",
+            "Engine calls made for query endpoints (micro-batching folds requests).",
+            get(&stats.batches),
+        );
+        write_counter(
+            &mut out,
+            "lemp_batched_requests_total",
+            "Query requests answered as part of a multi-request batch.",
+            get(&stats.batched_requests),
+        );
+        write_counter(
+            &mut out,
+            "lemp_queries_total",
+            "Query vectors answered across all query requests.",
+            get(&stats.queries),
+        );
+        write_counter(
+            &mut out,
+            "lemp_quorum_timeouts_total",
+            "Edits answered 503 quorum_timeout (durable locally, replication lagged).",
+            get(&stats.quorum_timeouts),
+        );
+        write_counter(
+            &mut out,
+            "lemp_slow_queries_total",
+            "Requests at or above the slow-query threshold, logged to stderr.",
+            get(&self.slow_queries),
+        );
+
+        // Plan cache.
+        write_counter(
+            &mut out,
+            "lemp_plan_cache_hits_total",
+            "Query requests served with a worker's cached plan.",
+            get(&self.plan_cache_hits),
+        );
+        write_counter(
+            &mut out,
+            "lemp_plan_cache_misses_total",
+            "Query plans compiled from scratch.",
+            get(&self.plan_cache_misses),
+        );
+        write_counter(
+            &mut out,
+            "lemp_plan_refreshes_total",
+            "Stale cached plans refreshed after edits (untouched shard segments reused).",
+            get(&self.plan_refreshes),
+        );
+
+        // Engine telemetry (fed by the TelemetrySink hook).
+        let series: Vec<(Vec<(&str, String)>, u64)> = KIND_LABELS
+            .iter()
+            .zip(&self.engine_requests)
+            .map(|(&kind, c)| (vec![("kind", kind.to_string())], get(c)))
+            .collect();
+        write_counter_family(
+            &mut out,
+            "lemp_engine_requests_total",
+            "Engine executions by query kind.",
+            &series,
+        );
+        write_counter(
+            &mut out,
+            "lemp_engine_queries_total",
+            "Query vectors executed by the engine.",
+            get(&self.engine_queries),
+        );
+        write_counter(
+            &mut out,
+            "lemp_engine_candidates_total",
+            "Full inner products computed during retrieval (the candidate count).",
+            get(&self.engine_candidates),
+        );
+        write_counter(
+            &mut out,
+            "lemp_engine_pruned_total",
+            "(query, probe) pairs pruned before a full inner product.",
+            get(&self.engine_pruned),
+        );
+        write_counter(
+            &mut out,
+            "lemp_engine_results_total",
+            "Result rows produced by the engine.",
+            get(&self.engine_results),
+        );
+        write_gauge(
+            &mut out,
+            "lemp_engine_retrieval_seconds_total",
+            "counter",
+            "Cumulative retrieval-phase time.",
+            get(&self.engine_retrieval_ns) as f64 / 1e9,
+        );
+        let series: Vec<(Vec<(&str, String)>, u64)> = ALGO_LABELS
+            .iter()
+            .zip(&self.method_pairs)
+            .map(|(&algo, c)| (vec![("algo", algo.to_string())], get(c)))
+            .collect();
+        write_counter_family(
+            &mut out,
+            "lemp_engine_method_pairs_total",
+            "(query, bucket) pairs served per bucket algorithm (the method mix).",
+            &series,
+        );
+
+        // Scrape-time gauges.
+        write_gauge(
+            &mut out,
+            "lemp_uptime_seconds",
+            "gauge",
+            "Seconds since the server started.",
+            gauges.uptime_seconds,
+        );
+        write_gauge(
+            &mut out,
+            "lemp_engine_probes",
+            "gauge",
+            "Live probe vectors.",
+            gauges.probes as f64,
+        );
+        write_gauge(
+            &mut out,
+            "lemp_engine_buckets",
+            "gauge",
+            "Probe buckets across all shards.",
+            gauges.buckets as f64,
+        );
+        write_gauge(&mut out, "lemp_engine_shards", "gauge", "Shard count.", gauges.shards as f64);
+        let series = vec![
+            (vec![("kind", "full".to_string())], gauges.memory_full_bytes as f64),
+            (vec![("kind", "quantized".to_string())], gauges.memory_quantized_bytes as f64),
+        ];
+        write_gauge_family(
+            &mut out,
+            "lemp_engine_memory_bytes",
+            "Probe residency: full-precision vs quantized code+codebook bytes.",
+            &series,
+        );
+
+        if let Some(wal) = &gauges.wal {
+            write_gauge(
+                &mut out,
+                "lemp_wal_durable_lsn",
+                "gauge",
+                "Records fsync-durable in the write-ahead log (the durable watermark).",
+                wal.records_durable as f64,
+            );
+            write_gauge(
+                &mut out,
+                "lemp_wal_records_appended",
+                "gauge",
+                "Records appended to the write-ahead log.",
+                wal.records_appended as f64,
+            );
+            write_gauge(
+                &mut out,
+                "lemp_wal_bytes_appended",
+                "gauge",
+                "Bytes appended to the write-ahead log.",
+                wal.bytes_appended as f64,
+            );
+            write_gauge(&mut out, "lemp_wal_fsyncs", "gauge", "WAL fsyncs.", wal.fsyncs as f64);
+            write_gauge(
+                &mut out,
+                "lemp_wal_segments_created",
+                "gauge",
+                "WAL segments created.",
+                wal.segments_created as f64,
+            );
+            write_gauge(
+                &mut out,
+                "lemp_wal_active_segment_bytes",
+                "gauge",
+                "Bytes in the active WAL segment.",
+                wal.active_segment_bytes as f64,
+            );
+        }
+
+        if let Some(repl) = &gauges.replication {
+            write_gauge(
+                &mut out,
+                "lemp_replication_role",
+                "gauge",
+                "Replication role: 1 = leader, 2 = follower.",
+                repl.role_code as f64,
+            );
+            write_gauge(
+                &mut out,
+                "lemp_replication_lag_lsn",
+                "gauge",
+                "Leader log end minus this follower's durable watermark (0 when caught up).",
+                repl.lag_lsn as f64,
+            );
+            write_gauge(
+                &mut out,
+                "lemp_replication_fence_epoch",
+                "gauge",
+                "Fencing epoch of the durable store.",
+                repl.fence_epoch as f64,
+            );
+            write_gauge(
+                &mut out,
+                "lemp_replication_followers",
+                "gauge",
+                "Followers seen within the TTL (leaders only; 0 elsewhere).",
+                repl.followers.len() as f64,
+            );
+            if !repl.followers.is_empty() {
+                let series: Vec<(Vec<(&str, String)>, f64)> = repl
+                    .followers
+                    .iter()
+                    .map(|f| (vec![("id", f.id.clone())], f.acked_lsn as f64))
+                    .collect();
+                write_gauge_family(
+                    &mut out,
+                    "lemp_replication_follower_acked_lsn",
+                    "Durable watermark acknowledged by each follower.",
+                    &series,
+                );
+                let series: Vec<(Vec<(&str, String)>, f64)> = repl
+                    .followers
+                    .iter()
+                    .map(|f| (vec![("id", f.id.clone())], f.records as f64))
+                    .collect();
+                write_gauge_family(
+                    &mut out,
+                    "lemp_replication_follower_records",
+                    "WAL records streamed to each follower.",
+                    &series,
+                );
+            }
+        }
+        out
+    }
+}
+
+impl TelemetrySink for Metrics {
+    fn on_query(&self, request: &QueryRequest, probes: usize, stats: &RunStats) {
+        let add = |c: &AtomicU64, n: u64| {
+            c.fetch_add(n, Ordering::Relaxed);
+        };
+        if let Some(i) = KIND_LABELS.iter().position(|&k| k == request.kind.name()) {
+            add(&self.engine_requests[i], 1);
+        }
+        let c = &stats.counters;
+        add(&self.engine_queries, c.queries);
+        add(&self.engine_candidates, c.candidates);
+        add(&self.engine_results, c.results);
+        add(&self.engine_retrieval_ns, c.retrieval_ns);
+        let pairs = c.queries.saturating_mul(probes as u64);
+        add(&self.engine_pruned, pairs.saturating_sub(c.candidates));
+        let mix = &stats.method_mix;
+        for (slot, n) in self
+            .method_pairs
+            .iter()
+            .zip([mix.length, mix.coord, mix.incr, mix.ta, mix.tree, mix.l2ap, mix.blsh, mix.quant])
+        {
+            add(slot, n);
+        }
+    }
+}
+
+/// Point-in-time values sampled by the `/metrics` handler under the engine
+/// read lock, rendered as gauges next to the registry's cumulative series.
+#[derive(Debug, Default)]
+pub struct ScrapeGauges {
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
+    /// Live probe vectors.
+    pub probes: u64,
+    /// Probe buckets across all shards.
+    pub buckets: u64,
+    /// Shard count.
+    pub shards: u64,
+    /// Full-precision probe residency, bytes.
+    pub memory_full_bytes: u64,
+    /// Quantized probe residency, bytes.
+    pub memory_quantized_bytes: u64,
+    /// WAL counters (summed across shards), when the backend is durable.
+    pub wal: Option<WalStats>,
+    /// Replication state, when this server has a replication role.
+    pub replication: Option<ReplicationGauges>,
+}
+
+/// Replication gauge values for one scrape.
+#[derive(Debug, Default)]
+pub struct ReplicationGauges {
+    /// 1 = leader, 2 = follower.
+    pub role_code: u8,
+    /// Leader log end minus this store's durable watermark.
+    pub lag_lsn: u64,
+    /// Fencing epoch of the durable store.
+    pub fence_epoch: u64,
+    /// Per-follower progress (leaders only).
+    pub followers: Vec<FollowerGauge>,
+}
+
+/// One follower's progress row at scrape time.
+#[derive(Debug)]
+pub struct FollowerGauge {
+    /// The follower-supplied id (its serving address by default).
+    pub id: String,
+    /// Its durable watermark as of its latest poll.
+    pub acked_lsn: u64,
+    /// WAL records streamed to it.
+    pub records: u64,
+}
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(&str, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+fn write_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+fn write_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    write_header(out, name, "counter", help);
+    out.push_str(&format!("{name} {value}\n"));
+}
+
+fn write_counter_family(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    series: &[(Vec<(&str, String)>, u64)],
+) {
+    write_header(out, name, "counter", help);
+    for (labels, value) in series {
+        out.push_str(&format!("{name}{} {value}\n", render_labels(labels)));
+    }
+}
+
+fn write_gauge(out: &mut String, name: &str, kind: &str, help: &str, value: f64) {
+    write_header(out, name, kind, help);
+    out.push_str(&format!("{name} {value}\n"));
+}
+
+fn write_gauge_family(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    series: &[(Vec<(&str, String)>, f64)],
+) {
+    write_header(out, name, "gauge", help);
+    for (labels, value) in series {
+        out.push_str(&format!("{name}{} {value}\n", render_labels(labels)));
+    }
+}
+
+fn write_histogram_family(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    series: &[(Vec<(&str, String)>, &Histogram)],
+) {
+    write_header(out, name, "histogram", help);
+    for (labels, h) in series {
+        let mut cum = 0u64;
+        let bins = h.bin_counts();
+        for (i, n) in bins.iter().enumerate() {
+            cum += n;
+            let le = match h.bounds().get(i) {
+                Some(b) => b.to_string(),
+                None => "+Inf".to_string(),
+            };
+            let mut all = labels.clone();
+            all.push(("le", le));
+            out.push_str(&format!("{name}_bucket{} {cum}\n", render_labels(&all)));
+        }
+        let labels = render_labels(labels);
+        out.push_str(&format!("{name}_sum{labels} {}\n", h.sum()));
+        out.push_str(&format!("{name}_count{labels} {}\n", h.count()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn concurrent_recording_sums_exactly() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        // Integer-valued samples: f64 addition is exact.
+                        h.observe(((i + t) % 128) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 80_000);
+        let expect: f64 =
+            (0..8u64).map(|t| (0..10_000u64).map(|i| ((i + t) % 128) as f64).sum::<f64>()).sum();
+        assert_eq!(h.sum(), expect, "concurrent f64 sum must lose no sample");
+        assert_eq!(h.bin_counts().iter().sum::<u64>(), 80_000);
+    }
+
+    #[test]
+    fn boundary_values_land_in_the_correct_le_bin() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5); // le="1"
+        h.observe(1.0); // le="1" — bounds are inclusive
+        h.observe(1.000_001); // le="2"
+        h.observe(2.0); // le="2"
+        h.observe(2.5); // +Inf
+        assert_eq!(h.bin_counts(), vec![2, 2, 1]);
+        assert_eq!(h.count(), 5);
+        // NaN still counts (into +Inf), keeping _count == calls.
+        h.observe(f64::NAN);
+        assert_eq!(h.bin_counts(), vec![2, 2, 2]);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for _ in 0..50 {
+            h.observe(0.5);
+        }
+        for _ in 0..50 {
+            h.observe(3.0);
+        }
+        // Rank 50 sits exactly at the end of the first bucket.
+        assert!((h.quantile(0.5) - 1.0).abs() < 1e-9);
+        // Rank 100 is the end of the (2, 4] bucket.
+        assert!((h.quantile(1.0) - 4.0).abs() < 1e-9);
+        // Median of the upper half interpolates inside (2, 4].
+        let p75 = h.quantile(0.75);
+        assert!(p75 > 2.0 && p75 <= 4.0, "{p75}");
+        // Overflow-only samples clamp to the largest finite bound.
+        let o = Histogram::new(&[1.0]);
+        o.observe(99.0);
+        assert_eq!(o.quantile(0.5), 1.0);
+        assert!(Histogram::new(&[1.0]).quantile(0.5).is_nan());
+    }
+
+    /// A minimal Prometheus text parser: family TYPE lines plus samples,
+    /// enough to round-trip what the renderer writes.
+    struct Parsed {
+        types: HashMap<String, String>,
+        samples: HashMap<String, f64>,
+    }
+
+    fn parse_exposition(text: &str) -> Parsed {
+        let mut types = HashMap::new();
+        let mut samples = HashMap::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_ascii_whitespace();
+                let name = it.next().expect("TYPE has a name").to_string();
+                let kind = it.next().expect("TYPE has a kind").to_string();
+                types.insert(name, kind);
+            } else if !line.starts_with('#') && !line.is_empty() {
+                let (key, value) = line.rsplit_once(' ').expect("sample has a value");
+                let value: f64 = value.parse().expect("sample value parses");
+                samples.insert(key.to_string(), value);
+            }
+        }
+        Parsed { types, samples }
+    }
+
+    #[test]
+    fn exposition_output_round_trips_through_a_parser() {
+        let metrics = Metrics::default();
+        metrics.observe_request(Endpoint::TopK, 0.003, 512);
+        metrics.observe_request(Endpoint::TopK, 0.3, 2048);
+        metrics.observe_request(Endpoint::Healthz, 0.000_05, 0);
+        metrics.plan_cache_hits.fetch_add(3, Ordering::Relaxed);
+        let stats = crate::stats::ServerStats::default();
+        crate::stats::ServerStats::add(&stats.requests, 3);
+        let gauges = ScrapeGauges {
+            uptime_seconds: 12.5,
+            probes: 64,
+            buckets: 4,
+            shards: 1,
+            memory_full_bytes: 4096,
+            memory_quantized_bytes: 0,
+            wal: Some(WalStats { records_durable: 7, ..Default::default() }),
+            replication: Some(ReplicationGauges {
+                role_code: 1,
+                lag_lsn: 0,
+                fence_epoch: 2,
+                followers: vec![FollowerGauge {
+                    id: "127.0.0.1:9\"x".into(),
+                    acked_lsn: 7,
+                    records: 3,
+                }],
+            }),
+        };
+        let text = metrics.render(&stats, &gauges);
+        let parsed = parse_exposition(&text);
+
+        assert_eq!(
+            parsed.types.get("lemp_http_request_duration_seconds").map(String::as_str),
+            Some("histogram")
+        );
+        assert_eq!(
+            parsed.types.get("lemp_engine_candidates_total").map(String::as_str),
+            Some("counter")
+        );
+        assert_eq!(parsed.types.get("lemp_wal_durable_lsn").map(String::as_str), Some("gauge"));
+
+        // Histogram invariants: cumulative non-decreasing buckets, +Inf
+        // bucket equals _count, sum matches what went in.
+        let bucket = |le: &str| {
+            parsed.samples[&format!(
+                "lemp_http_request_duration_seconds_bucket{{path=\"/top-k\",le=\"{le}\"}}"
+            )]
+        };
+        assert_eq!(bucket("0.005"), 1.0);
+        assert_eq!(bucket("0.5"), 2.0);
+        assert_eq!(bucket("+Inf"), 2.0);
+        let mut prev = 0.0;
+        for b in DURATION_BOUNDS {
+            let cur = bucket(&b.to_string());
+            assert!(cur >= prev, "buckets must be cumulative");
+            prev = cur;
+        }
+        assert_eq!(
+            parsed.samples["lemp_http_request_duration_seconds_count{path=\"/top-k\"}"],
+            2.0
+        );
+        let sum = parsed.samples["lemp_http_request_duration_seconds_sum{path=\"/top-k\"}"];
+        assert!((sum - 0.303).abs() < 1e-12, "{sum}");
+
+        assert_eq!(parsed.samples["lemp_http_requests_total"], 3.0);
+        assert_eq!(parsed.samples["lemp_plan_cache_hits_total"], 3.0);
+        assert_eq!(parsed.samples["lemp_wal_durable_lsn"], 7.0);
+        assert_eq!(parsed.samples["lemp_replication_role"], 1.0);
+        assert_eq!(parsed.samples["lemp_replication_fence_epoch"], 2.0);
+        // Label values escape quotes.
+        assert_eq!(
+            parsed.samples["lemp_replication_follower_acked_lsn{id=\"127.0.0.1:9\\\"x\"}"],
+            7.0
+        );
+        // Every method-mix label is always present, QUANT included.
+        for algo in ALGO_LABELS {
+            let key = format!("lemp_engine_method_pairs_total{{algo=\"{algo}\"}}");
+            assert_eq!(parsed.samples[&key], 0.0, "{key}");
+        }
+        // Every sample line belongs to a declared family.
+        for key in parsed.samples.keys() {
+            let name = key.split('{').next().unwrap();
+            let family = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .filter(|f| parsed.types.contains_key(*f))
+                .unwrap_or(name);
+            assert!(parsed.types.contains_key(family), "undeclared family for {key}");
+        }
+    }
+
+    #[test]
+    fn telemetry_sink_accumulates_run_stats() {
+        use lemp_core::{MethodMix, RetrievalCounters};
+        let metrics = Metrics::default();
+        let stats = RunStats {
+            counters: RetrievalCounters {
+                candidates: 40,
+                queries: 2,
+                results: 10,
+                retrieval_ns: 1_000,
+                ..Default::default()
+            },
+            method_mix: MethodMix { length: 3, quant: 2, ..Default::default() },
+            ..Default::default()
+        };
+        let request = QueryRequest::top_k(5);
+        metrics.on_query(&request, 100, &stats);
+        metrics.on_query(&request, 100, &stats);
+        assert_eq!(metrics.engine_queries.load(Ordering::Relaxed), 4);
+        assert_eq!(metrics.engine_candidates.load(Ordering::Relaxed), 80);
+        // 2 × (2 queries × 100 probes − 40 candidates).
+        assert_eq!(metrics.engine_pruned.load(Ordering::Relaxed), 320);
+        assert_eq!(metrics.method_pairs_of("LENGTH"), 6);
+        assert_eq!(metrics.method_pairs_of("QUANT"), 4);
+        assert_eq!(metrics.method_pairs_of("COORD"), 0);
+        let text = metrics.render(&crate::stats::ServerStats::default(), &ScrapeGauges::default());
+        assert!(text.contains("lemp_engine_requests_total{kind=\"top-k\"} 2"));
+        assert!(text.contains("lemp_engine_method_pairs_total{algo=\"QUANT\"} 4"));
+    }
+}

@@ -175,6 +175,40 @@ impl ReplState {
         Some(obj(fields))
     }
 
+    /// The `/metrics` replication gauges, or `None` when this server has
+    /// no replication role. Mirrors [`ReplState::stats_json`] — expired
+    /// follower rows are pruned under the same TTL, so the two views list
+    /// the same followers.
+    pub(crate) fn gauges(
+        &self,
+        ttl: Duration,
+        fence_epoch: Option<u64>,
+    ) -> Option<crate::metrics::ReplicationGauges> {
+        let role = self.role.load(Ordering::SeqCst);
+        if role != ROLE_LEADER && role != ROLE_FOLLOWER {
+            return None;
+        }
+        let mut out = crate::metrics::ReplicationGauges {
+            role_code: role,
+            lag_lsn: self.lag.load(Ordering::SeqCst),
+            fence_epoch: fence_epoch.unwrap_or(0),
+            followers: Vec::new(),
+        };
+        if role == ROLE_LEADER {
+            let mut followers = self.followers.lock().unwrap_or_else(|e| e.into_inner());
+            followers.retain(|f| f.last_seen.elapsed() <= ttl);
+            out.followers = followers
+                .iter()
+                .map(|f| crate::metrics::FollowerGauge {
+                    id: f.id.clone(),
+                    acked_lsn: f.acked_lsn,
+                    records: f.records,
+                })
+                .collect();
+        }
+        Some(out)
+    }
+
     fn note_follower(&self, id: &str, acked_lsn: u64, records: u64, ttl: Duration) {
         let mut followers = self.followers.lock().unwrap_or_else(|e| e.into_inner());
         followers.retain(|f| f.last_seen.elapsed() <= ttl || f.id == id);

@@ -1053,3 +1053,315 @@ fn concurrent_promotes_elect_exactly_one_winner() {
     std::fs::remove_dir_all(&leader_dir).ok();
     std::fs::remove_dir_all(&follower_dir).ok();
 }
+
+// ---- /metrics exposition -------------------------------------------------
+
+/// Fetches `/metrics`, validates the Prometheus text exposition, and
+/// returns the samples keyed by `name{labels}`.
+fn scrape_metrics(addr: std::net::SocketAddr) -> std::collections::HashMap<String, f64> {
+    let (status, body) =
+        client::request_bytes(addr, "GET", "/metrics", Some(Duration::from_secs(10))).unwrap();
+    assert_eq!(status, 200);
+    parse_exposition(&String::from_utf8(body).expect("metrics body is utf-8"))
+}
+
+/// Scrapes until `key` reaches `expected`. The serving thread records its
+/// HTTP observation after the response bytes are written, so a scrape
+/// racing the last response can run one observation behind; the window is
+/// microseconds, but under parallel-test load it is real.
+fn scrape_settled(
+    addr: std::net::SocketAddr,
+    key: &str,
+    expected: f64,
+) -> std::collections::HashMap<String, f64> {
+    let mut samples = scrape_metrics(addr);
+    for _ in 0..400 {
+        if samples.get(key) == Some(&expected) {
+            return samples;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        samples = scrape_metrics(addr);
+    }
+    panic!("{key} never reached {expected}, last saw {:?}", samples.get(key));
+}
+
+/// Minimal exposition-format checker: metric-name syntax, `# TYPE` before
+/// samples, no duplicate series, cumulative histogram buckets ending at
+/// `+Inf` == `_count`.
+fn parse_exposition(text: &str) -> std::collections::HashMap<String, f64> {
+    let mut types: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut samples: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').expect("TYPE line has a kind");
+            assert!(
+                name.chars().enumerate().all(|(i, c)| c == '_'
+                    || c == ':'
+                    || c.is_ascii_alphabetic()
+                    || (i > 0 && c.is_ascii_digit())),
+                "invalid metric name {name}"
+            );
+            types.insert(name.to_string(), kind.to_string());
+        } else if line.starts_with('#') || line.is_empty() {
+            continue;
+        } else {
+            let (key, value) = line.rsplit_once(' ').expect("sample line");
+            let value: f64 = value.parse().unwrap_or_else(|_| panic!("bad value: {line}"));
+            let name = key.split('{').next().unwrap();
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|s| {
+                    name.strip_suffix(s)
+                        .filter(|f| types.get(*f).map(String::as_str) == Some("histogram"))
+                })
+                .unwrap_or(name);
+            assert!(types.contains_key(family), "sample {key} precedes its # TYPE line");
+            assert!(samples.insert(key.to_string(), value).is_none(), "duplicate series {key}");
+        }
+    }
+    for (name, kind) in &types {
+        if kind != "histogram" {
+            continue;
+        }
+        let count_prefix = format!("{name}_count");
+        let count_keys: Vec<String> =
+            samples.keys().filter(|k| k.starts_with(&count_prefix)).cloned().collect();
+        assert!(!count_keys.is_empty(), "histogram {name} has no _count");
+        for count_key in count_keys {
+            let labels =
+                count_key[count_prefix.len()..].trim_start_matches('{').trim_end_matches('}');
+            let bucket_prefix =
+                format!("{name}_bucket{{{labels}{}le=\"", if labels.is_empty() { "" } else { "," });
+            let mut buckets: Vec<(f64, f64)> = samples
+                .iter()
+                .filter_map(|(k, &v)| {
+                    let le = k.strip_prefix(&bucket_prefix)?.strip_suffix("\"}")?;
+                    Some((if le == "+Inf" { f64::INFINITY } else { le.parse().ok()? }, v))
+                })
+                .collect();
+            buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+            assert!(!buckets.is_empty(), "histogram series {count_key} has no buckets");
+            assert!(
+                buckets.windows(2).all(|w| w[0].1 <= w[1].1),
+                "{name}{{{labels}}} buckets are not cumulative"
+            );
+            let &(last_le, inf_count) = buckets.last().unwrap();
+            assert_eq!(last_le, f64::INFINITY, "{name}{{{labels}}} misses the +Inf bucket");
+            assert_eq!(inf_count, samples[&count_key], "{name}{{{labels}}} +Inf != _count");
+        }
+    }
+    samples
+}
+
+#[test]
+fn metrics_count_requests_and_engine_telemetry_on_a_plain_server() {
+    let probes = fixture(200, 51);
+    let queries = fixture(8, 52);
+    let handle = boot(&probes, ServeConfig::default());
+    let addr = handle.addr();
+
+    // Sequential requests: no micro-batch folding, so every count below is
+    // exact.
+    const POSTS: usize = 7;
+    for i in 0..POSTS {
+        let lo = i % 4;
+        let body =
+            obj(vec![("queries", queries_json(&queries, lo, lo + 2)), ("k", Json::Num(3.0))]);
+        let (status, _) = client::post(addr, "/top-k", &body).unwrap();
+        assert_eq!(status, 200);
+    }
+    let theta = obj(vec![("queries", queries_json(&queries, 0, 2)), ("theta", Json::Num(0.5))]);
+    let (status, _) = client::post(addr, "/above-theta", &theta).unwrap();
+    assert_eq!(status, 200);
+
+    scrape_settled(addr, "lemp_http_request_duration_seconds_count{path=\"/top-k\"}", POSTS as f64);
+    let samples = scrape_settled(
+        addr,
+        "lemp_http_request_duration_seconds_count{path=\"/above-theta\"}",
+        1.0,
+    );
+    let key = |k: &str| samples[k];
+    assert_eq!(key("lemp_http_request_duration_seconds_count{path=\"/top-k\"}"), POSTS as f64);
+    assert_eq!(key("lemp_http_request_body_bytes_count{path=\"/top-k\"}"), POSTS as f64);
+    assert!(key("lemp_http_request_body_bytes_sum{path=\"/top-k\"}") > 0.0);
+    assert_eq!(key("lemp_http_request_duration_seconds_count{path=\"/above-theta\"}"), 1.0);
+    assert_eq!(key("lemp_engine_requests_total{kind=\"top-k\"}"), POSTS as f64);
+    assert_eq!(key("lemp_engine_requests_total{kind=\"above-theta\"}"), 1.0);
+    assert_eq!(key("lemp_engine_queries_total"), (POSTS * 2 + 2) as f64);
+    assert!(key("lemp_engine_candidates_total") > 0.0);
+    assert!(key("lemp_engine_results_total") > 0.0);
+    assert!(key("lemp_engine_pruned_total") >= 0.0);
+    // Every engine execution resolves a plan: hits + misses + refreshes
+    // account for all of them.
+    let plans = key("lemp_plan_cache_hits_total")
+        + key("lemp_plan_cache_misses_total")
+        + key("lemp_plan_refreshes_total");
+    assert_eq!(plans, (POSTS + 1) as f64, "plan-cache counters must partition engine runs");
+    assert_eq!(key("lemp_engine_probes"), probes.len() as f64);
+    assert_eq!(key("lemp_engine_shards"), 1.0);
+    assert!(key("lemp_engine_memory_bytes{kind=\"full\"}") > 0.0);
+    assert!(key("lemp_uptime_seconds") >= 0.0);
+    // No slow-query threshold configured: the counter stays flat.
+    assert_eq!(key("lemp_slow_queries_total"), 0.0);
+
+    // The scrape endpoint observes itself: a later scrape counts the
+    // earlier ones.
+    let again = scrape_metrics(addr);
+    let metrics_count = "lemp_http_request_duration_seconds_count{path=\"/metrics\"}";
+    assert!(again[metrics_count] >= 1.0, "scrapes of /metrics are themselves observed");
+    assert!(again[metrics_count] >= samples[metrics_count]);
+
+    // /stats carries the new uptime field alongside its snapshot.
+    let (status, stats) = client::get(addr, "/stats").unwrap();
+    assert_eq!(status, 200);
+    assert!(stats.get("uptime_seconds").and_then(Json::as_f64).unwrap() >= 0.0);
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_report_quant_method_mix_on_a_quantized_server() {
+    let probes = fixture(300, 61);
+    let queries = fixture(16, 62);
+    let policy = BucketPolicy { min_bucket: 8, ..Default::default() };
+    // quantize_force: the tuner's LUT-vs-exact choice is measured
+    // wall-clock and flips with machine load; forcing it keeps this test
+    // deterministic.
+    let config =
+        RunConfig { sample_size: 8, quantize_bits: 8, quantize_force: true, ..Default::default() };
+    let mut engine = DynamicLemp::new(&probes, policy, config);
+    engine.warm(&queries, WarmGoal::TopK(5));
+    let server = Server::bind("127.0.0.1:0", engine, ServeConfig::default()).unwrap();
+    let handle = server.start().unwrap();
+    let addr = handle.addr();
+
+    let body =
+        obj(vec![("queries", queries_json(&queries, 0, queries.len())), ("k", Json::Num(5.0))]);
+    let (status, _) = client::post(addr, "/top-k", &body).unwrap();
+    assert_eq!(status, 200);
+
+    let samples = scrape_metrics(addr);
+    assert!(
+        samples["lemp_engine_method_pairs_total{algo=\"QUANT\"}"] > 0.0,
+        "a quantized engine must score pairs through the QUANT kernel"
+    );
+    assert!(samples["lemp_engine_memory_bytes{kind=\"quantized\"}"] > 0.0);
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_expose_wal_gauges_on_a_durable_server() {
+    use lemp_store::{DurableEngine, StoreOptions};
+
+    let dir = std::env::temp_dir().join(format!("lemp-e2e-metrics-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let probes = fixture(120, 71);
+    let policy = BucketPolicy { min_bucket: 8, cache_bytes: 64 << 10, ..Default::default() };
+    let config = RunConfig { sample_size: 8, ..Default::default() };
+    let engine = DynamicLemp::new(&probes, policy, config);
+    let durable = DurableEngine::create(&dir, engine, StoreOptions::default()).unwrap();
+    let server = Server::bind("127.0.0.1:0", durable, ServeConfig::default()).unwrap();
+    let handle = server.start().unwrap();
+    let addr = handle.addr();
+
+    let extra = fixture(3, 72);
+    let body = obj(vec![("insert", queries_json(&extra, 0, 3))]);
+    let (status, _) = client::post(addr, "/probes", &body).unwrap();
+    assert_eq!(status, 200);
+
+    let samples =
+        scrape_settled(addr, "lemp_http_request_duration_seconds_count{path=\"/probes\"}", 1.0);
+    assert_eq!(samples["lemp_wal_records_appended"], 3.0);
+    assert_eq!(samples["lemp_wal_durable_lsn"], 3.0, "Always sync keeps durable == appended");
+    assert!(samples["lemp_wal_bytes_appended"] > 0.0);
+    assert!(samples["lemp_wal_fsyncs"] >= 3.0);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_expose_shard_gauges_on_a_sharded_server() {
+    let probes = fixture(240, 81);
+    let queries = fixture(8, 82);
+    let engine = ShardedLemp::builder()
+        .shards(3)
+        .policy(ShardPolicy::LengthBanded)
+        .sample_size(8)
+        .threads(2)
+        .build(&probes);
+    let server = Server::bind("127.0.0.1:0", engine, ServeConfig::default()).unwrap();
+    let handle = server.start().unwrap();
+    let addr = handle.addr();
+
+    let body = obj(vec![("queries", queries_json(&queries, 0, 4)), ("k", Json::Num(3.0))]);
+    let (status, _) = client::post(addr, "/top-k", &body).unwrap();
+    assert_eq!(status, 200);
+
+    let samples = scrape_metrics(addr);
+    assert_eq!(samples["lemp_engine_shards"], 3.0);
+    assert_eq!(samples["lemp_engine_probes"], probes.len() as f64);
+    assert!(samples["lemp_engine_buckets"] >= 3.0, "every shard buckets its probes");
+    assert!(samples["lemp_engine_candidates_total"] > 0.0);
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_expose_replication_gauges_on_both_roles() {
+    use lemp_store::replication::bootstrap;
+    use lemp_store::{StoreOptions, SyncPolicy};
+
+    let leader_dir =
+        std::env::temp_dir().join(format!("lemp-e2e-metrics-rl-{}", std::process::id()));
+    let follower_dir =
+        std::env::temp_dir().join(format!("lemp-e2e-metrics-rf-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&follower_dir);
+    let options = StoreOptions { sync: SyncPolicy::Always, ..Default::default() };
+
+    let mut leader =
+        Server::bind("127.0.0.1:0", durable_leader_store(&leader_dir, 91), ServeConfig::default())
+            .unwrap();
+    let repl_addr = leader.enable_leader("127.0.0.1:0").unwrap();
+    let leader_handle = leader.start().unwrap();
+    let leader_addr = leader_handle.addr();
+
+    let (status, payload) =
+        client::request_bytes(repl_addr, "GET", "/repl/snapshot", Some(Duration::from_secs(10)))
+            .unwrap();
+    assert_eq!(status, 200);
+    let (follower_store, _) = bootstrap(&follower_dir, &payload, options).unwrap();
+    let mut follower = Server::bind("127.0.0.1:0", follower_store, ServeConfig::default()).unwrap();
+    follower.replicate_from(repl_addr.to_string()).unwrap();
+    let follower_handle = follower.start().unwrap();
+    let follower_addr = follower_handle.addr();
+
+    // One replicated edit, then wait for the follower to catch up.
+    let extra = fixture(2, 92);
+    let body = obj(vec![("insert", queries_json(&extra, 0, 2))]);
+    let (status, _) = client::post(leader_addr, "/probes", &body).unwrap();
+    assert_eq!(status, 200);
+    let mut caught_up = false;
+    for _ in 0..100 {
+        let samples = scrape_metrics(follower_addr);
+        assert_eq!(samples["lemp_replication_role"], 2.0, "follower advertises role 2");
+        if samples["lemp_replication_lag_lsn"] == 0.0 && samples["lemp_engine_probes"] == 82.0 {
+            caught_up = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert!(caught_up, "follower never reported lag 0 at 82 probes via /metrics");
+
+    // The leader advertises its role and per-follower progress.
+    let samples = scrape_metrics(leader_addr);
+    assert_eq!(samples["lemp_replication_role"], 1.0, "leader advertises role 1");
+    assert_eq!(samples["lemp_replication_fence_epoch"], 0.0);
+    assert_eq!(samples["lemp_replication_followers"], 1.0);
+    let acked: Vec<&String> =
+        samples.keys().filter(|k| k.starts_with("lemp_replication_follower_acked_lsn{")).collect();
+    assert_eq!(acked.len(), 1, "exactly one follower series: {acked:?}");
+    assert_eq!(samples[acked[0]], 2.0, "follower acked both edit records");
+
+    leader_handle.shutdown();
+    follower_handle.shutdown();
+    std::fs::remove_dir_all(&leader_dir).ok();
+    std::fs::remove_dir_all(&follower_dir).ok();
+}

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition (0.0.4) payload.
+
+Reads from a file argument or stdin and exits nonzero on the first class
+of violation found. Checks, in the spirit of `promtool check metrics`:
+
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  * every sample's family has a `# TYPE` line, and it appears first
+  * TYPE kinds are counter|gauge|histogram|summary|untyped
+  * no duplicate series (same name + label set twice)
+  * sample values parse as floats (including +Inf/-Inf/NaN)
+  * label values are well-formed (balanced quotes, valid escapes)
+  * histograms: every series has a `+Inf` bucket, buckets are cumulative
+    (non-decreasing with `le`), and the `+Inf` bucket equals `_count`
+
+Usage:
+  promlint.py [exposition.txt]
+  curl -s localhost:9100/metrics | promlint.py
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def fail(lineno, line, message):
+    sys.stderr.write(f"promlint: line {lineno}: {message}\n  {line}\n")
+    sys.exit(1)
+
+
+def parse_value(raw):
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)
+
+
+def family_of(name, types):
+    """Resolves a sample name to its declared family (histogram samples
+    carry a suffix)."""
+    for suffix in HIST_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) in ("histogram", "summary"):
+                return base
+    return name
+
+
+def main():
+    if len(sys.argv) > 2:
+        sys.stderr.write(__doc__)
+        sys.exit(2)
+    if len(sys.argv) == 2:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+
+    types = {}
+    samples = {}  # "name{labels}" -> (value, parsed labels dict, name)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE ") :].split(" ")
+            if len(parts) != 2:
+                fail(lineno, line, "malformed TYPE line")
+            name, kind = parts
+            if not NAME_RE.match(name):
+                fail(lineno, line, f"invalid metric name {name!r}")
+            if kind not in TYPES:
+                fail(lineno, line, f"unknown type {kind!r}")
+            if name in types:
+                fail(lineno, line, f"duplicate TYPE for {name}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP or comment
+        try:
+            key, raw_value = line.rsplit(" ", 1)
+        except ValueError:
+            fail(lineno, line, "sample line without a value")
+        try:
+            value = parse_value(raw_value)
+        except ValueError:
+            fail(lineno, line, f"unparseable value {raw_value!r}")
+        name = key.split("{", 1)[0]
+        if not NAME_RE.match(name):
+            fail(lineno, line, f"invalid metric name {name!r}")
+        labels = {}
+        if "{" in key:
+            if not key.endswith("}"):
+                fail(lineno, line, "unterminated label set")
+            blob = key[key.index("{") + 1 : -1]
+            consumed = 0
+            for m in LABEL_RE.finditer(blob):
+                labels[m.group(1)] = m.group(2)
+                consumed += len(m.group(0))
+            # Account for the commas between pairs.
+            consumed += max(0, len(labels) - 1)
+            if consumed != len(blob):
+                fail(lineno, line, f"malformed label set {{{blob}}}")
+        if family_of(name, types) not in types:
+            fail(lineno, line, f"sample {name} precedes (or lacks) its # TYPE line")
+        if key in samples:
+            fail(lineno, line, f"duplicate series {key}")
+        samples[key] = (value, labels, name)
+
+    # Histogram shape checks per label set.
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        series = {}  # frozen non-le label set -> {"le": {...}, "count": v}
+        for key, (value, labels, name) in samples.items():
+            if not name.startswith(family):
+                continue
+            rest = dict(labels)
+            le = rest.pop("le", None)
+            ident = tuple(sorted(rest.items()))
+            slot = series.setdefault(ident, {"le": {}, "count": None})
+            if name == family + "_bucket":
+                if le is None:
+                    fail(0, key, f"{family} bucket without an le label")
+                slot["le"][parse_value(le)] = value
+            elif name == family + "_count":
+                slot["count"] = value
+        if not series:
+            sys.stderr.write(f"promlint: histogram {family} has no series\n")
+            sys.exit(1)
+        for ident, slot in series.items():
+            where = f"{family}{dict(ident)}"
+            if math.inf not in slot["le"]:
+                sys.stderr.write(f"promlint: {where} has no +Inf bucket\n")
+                sys.exit(1)
+            ordered = sorted(slot["le"].items())
+            counts = [c for _, c in ordered]
+            if any(a > b for a, b in zip(counts, counts[1:])):
+                sys.stderr.write(f"promlint: {where} buckets are not cumulative\n")
+                sys.exit(1)
+            if slot["count"] is None:
+                sys.stderr.write(f"promlint: {where} has no _count sample\n")
+                sys.exit(1)
+            if slot["le"][math.inf] != slot["count"]:
+                sys.stderr.write(f"promlint: {where} +Inf bucket != _count\n")
+                sys.exit(1)
+
+    print(f"promlint: OK ({len(types)} families, {len(samples)} series)")
+
+
+if __name__ == "__main__":
+    main()
